@@ -1,0 +1,71 @@
+//! Substrate cost: big-integer primitives that dominate the exact
+//! pipelines (multiplication, division, gcd via rational reduction,
+//! factorials, decimal I/O).
+
+use bigint::BigInt;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rational::{binomial, factorial, Rational};
+
+fn big(bits: usize) -> BigInt {
+    // Deterministic pseudo-random value with the requested bit length.
+    let mut x = BigInt::one();
+    let mut seed = 0x9e37_79b9u64;
+    while (x.bits() as usize) < bits {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        x = x * BigInt::from(u32::MAX) + BigInt::from(seed as u32);
+    }
+    x
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for bits in [256usize, 2048, 16384] {
+        let a = big(bits);
+        let b = big(bits / 2 + 17);
+        group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bench, _| {
+            bench.iter(|| &a * &b)
+        });
+        group.bench_with_input(BenchmarkId::new("div_rem", bits), &bits, |bench, _| {
+            bench.iter(|| a.div_rem(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("gcd", bits), &bits, |bench, _| {
+            bench.iter(|| a.gcd(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("to_string", bits), &bits, |bench, _| {
+            bench.iter(|| a.to_string())
+        });
+    }
+    group.finish();
+}
+
+fn bench_combinatorics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combinatorics");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [20u32, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("factorial", n), &n, |b, &n| {
+            b.iter(|| factorial(n))
+        });
+        group.bench_with_input(BenchmarkId::new("binomial_half", n), &n, |b, &n| {
+            b.iter(|| binomial(n, n / 2))
+        });
+    }
+    // Rational reduction pressure: summing many unlike fractions.
+    group.bench_function("rational_harmonic_200", |b| {
+        b.iter(|| {
+            (1i64..=200)
+                .map(|k| Rational::ratio(1, k))
+                .sum::<Rational>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigint, bench_combinatorics);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Optimizer cost: the exact symbolic pipeline (piecewise construction
+//! plus Sturm maximization) vs the numeric multistart coordinate
+//! ascent, plus the root-isolation primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decision::numeric::{maximize_threshold, SearchOptions};
+use decision::{symmetric, Capacity};
+use polynomial::Polynomial;
+use rational::Rational;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizers");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [3usize, 5, 7] {
+        let cap = Capacity::proportional(n, 3);
+        group.bench_with_input(BenchmarkId::new("symbolic_analyze", n), &n, |b, &n| {
+            b.iter(|| symmetric::analyze(n, &cap))
+        });
+        let curve = symmetric::analyze(n, &cap).expect("n >= 2");
+        let tol = Rational::ratio(1, 1 << 30);
+        group.bench_with_input(BenchmarkId::new("symbolic_maximize", n), &n, |b, _| {
+            b.iter(|| curve.maximize(&tol))
+        });
+    }
+    let quick = SearchOptions {
+        restarts: 2,
+        tolerance: 1e-6,
+        max_sweeps: 20,
+        seed: 1,
+    };
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("numeric_multistart", n), &n, |b, &n| {
+            b.iter(|| maximize_threshold(n, n as f64 / 3.0, &quick))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("root_finding");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for degree in [4usize, 8, 12] {
+        let roots: Vec<Rational> = (1..=degree as i64)
+            .map(|k| Rational::ratio(k, degree as i64 + 1))
+            .collect();
+        let p = Polynomial::from_roots(&roots);
+        group.bench_with_input(BenchmarkId::new("isolate", degree), &p, |b, p| {
+            b.iter(|| p.isolate_roots(&Rational::zero(), &Rational::one()))
+        });
+        let ivs = p.isolate_roots(&Rational::zero(), &Rational::one());
+        let tol = Rational::ratio(1, 1 << 30);
+        group.bench_with_input(BenchmarkId::new("refine_first_root", degree), &p, |b, p| {
+            b.iter(|| p.refine_root(&ivs[0], &tol))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conditions(c: &mut Criterion) {
+    use decision::{conditions, SingleThresholdAlgorithm};
+    let mut group = c.benchmark_group("theorem_5_2");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [3usize, 5, 7] {
+        let algo = SingleThresholdAlgorithm::new(
+            (0..n)
+                .map(|i| Rational::ratio(i as i64 + 2, 2 * n as i64))
+                .collect(),
+        )
+        .expect("valid thresholds");
+        let cap = Capacity::proportional(n, 3);
+        group.bench_with_input(BenchmarkId::new("partial_piecewise", n), &n, |b, _| {
+            b.iter(|| conditions::partial_piecewise(&algo, 0, &cap))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_gradient", n), &n, |b, _| {
+            b.iter(|| conditions::optimality_gradient(&algo, &cap))
+        });
+    }
+    group.finish();
+}
+
+fn bench_general_rules(c: &mut Criterion) {
+    use decision::rules::{BinZeroSet, GeneralRule};
+    let mut group = c.benchmark_group("general_rules");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [3usize, 5, 7] {
+        let set = BinZeroSet::new(vec![
+            (Rational::zero(), Rational::ratio(1, 4)),
+            (Rational::ratio(1, 2), Rational::ratio(3, 4)),
+        ])
+        .expect("valid intervals");
+        let rule = GeneralRule::new(vec![set; n]).expect("n >= 2");
+        let cap = Capacity::proportional(n, 3);
+        group.bench_with_input(BenchmarkId::new("two_interval_exact", n), &n, |b, _| {
+            b.iter(|| rule.winning_probability(&cap))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_symbolic,
+    bench_roots,
+    bench_conditions,
+    bench_general_rules
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Simulator throughput: thread scaling and batch-size ablation of the
+//! batched Monte-Carlo engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decision::SingleThresholdAlgorithm;
+use rational::Rational;
+use simulator::Simulation;
+
+const TRIALS: u64 = 200_000;
+
+fn bench_threads(c: &mut Criterion) {
+    let rule = SingleThresholdAlgorithm::symmetric(5, Rational::ratio(5, 8)).expect("valid");
+    let mut group = c.benchmark_group("simulator_threads");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(TRIALS));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let sim = Simulation::new(TRIALS, 42).with_threads(threads);
+                b.iter(|| sim.run(&rule, 5.0 / 3.0));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let rule = SingleThresholdAlgorithm::symmetric(5, Rational::ratio(5, 8)).expect("valid");
+    let mut group = c.benchmark_group("simulator_batch_size");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(TRIALS));
+    for batch in [1_024u64, 16_384, 131_072] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let sim = Simulation::new(TRIALS, 42).with_batch_size(batch);
+            b.iter(|| sim.run(&rule, 5.0 / 3.0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads, bench_batch_size);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! V2: CDF/density of sums of uniforms — exact rational vs `f64`
+//! paths, general boxes vs the Irwin–Hall special case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rational::Rational;
+use uniform_sums::{irwin_hall_cdf, irwin_hall_cdf_f64, BoxSum};
+
+fn box_sum(m: usize) -> BoxSum {
+    BoxSum::new(
+        (0..m)
+            .map(|i| Rational::ratio(i as i64 % 5 + 1, i as i64 % 3 + 2))
+            .collect(),
+    )
+    .expect("positive sides")
+}
+
+fn bench_sums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_sums");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for m in [4usize, 8, 12] {
+        let s = box_sum(m);
+        let t = s.support_max() * Rational::ratio(2, 5);
+        let tf = t.to_f64();
+        group.bench_with_input(BenchmarkId::new("cdf_exact", m), &s, |b, s| {
+            b.iter(|| s.cdf(&t))
+        });
+        group.bench_with_input(BenchmarkId::new("cdf_f64", m), &s, |b, s| {
+            b.iter(|| s.cdf_f64(tf))
+        });
+        group.bench_with_input(BenchmarkId::new("pdf_exact", m), &s, |b, s| {
+            b.iter(|| s.pdf(&t))
+        });
+    }
+    for m in [8u32, 16, 24] {
+        let t = Rational::ratio(i64::from(m) * 2, 5);
+        let tf = t.to_f64();
+        group.bench_with_input(BenchmarkId::new("irwin_hall_exact", m), &m, |b, &m| {
+            b.iter(|| irwin_hall_cdf(m, &t))
+        });
+        group.bench_with_input(BenchmarkId::new("irwin_hall_f64", m), &m, |b, &m| {
+            b.iter(|| irwin_hall_cdf_f64(m, tf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sums);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! V1 ablation: Proposition 2.2 volume — pruned DFS vs naive bitmask
+//! enumeration vs `f64` fast path vs Monte-Carlo estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geometry::{MonteCarloVolume, SimplexBoxIntersection};
+use rational::Rational;
+
+fn polytope(m: usize) -> SimplexBoxIntersection {
+    // Mixed ratios so the subset pruning has real work to do.
+    let sigma: Vec<Rational> = (0..m)
+        .map(|i| Rational::ratio(i as i64 % 3 + 1, 1))
+        .collect();
+    let pi: Vec<Rational> = (0..m)
+        .map(|i| Rational::ratio(1, i as i64 % 4 + 2))
+        .collect();
+    SimplexBoxIntersection::new(sigma, pi).expect("valid polytope")
+}
+
+fn bench_volume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("volume");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for m in [4usize, 8, 12] {
+        let p = polytope(m);
+        group.bench_with_input(BenchmarkId::new("exact_pruned", m), &p, |b, p| {
+            b.iter(|| p.volume())
+        });
+        group.bench_with_input(BenchmarkId::new("exact_bitmask", m), &p, |b, p| {
+            b.iter(|| p.volume_unpruned())
+        });
+        group.bench_with_input(BenchmarkId::new("f64", m), &p, |b, p| {
+            b.iter(|| p.volume_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("monte_carlo_10k", m), &p, |b, p| {
+            b.iter(|| MonteCarloVolume::new(7).estimate(p, 10_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_volume);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Theorem 4.1 / 5.1 evaluation cost: exact vs `f64`, symmetric
+//! rank-grouped path vs full `2^n` enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decision::{
+    winning_probability_oblivious, winning_probability_oblivious_f64,
+    winning_probability_threshold, winning_probability_threshold_f64, Capacity, ObliviousAlgorithm,
+    SingleThresholdAlgorithm,
+};
+use rational::Rational;
+
+fn bench_winning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("winning_probability");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [4usize, 8, 12] {
+        let cap = Capacity::proportional(n, 3);
+        let beta = Rational::ratio(5, 8);
+        // Symmetric algorithms take the O(n) rank-grouped path.
+        let sym = SingleThresholdAlgorithm::symmetric(n, beta.clone()).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("threshold_symmetric_exact", n),
+            &n,
+            |b, _| b.iter(|| winning_probability_threshold(&sym, &cap)),
+        );
+        // A barely-asymmetric vector forces the 2^n enumeration.
+        let mut thresholds = vec![beta.clone(); n];
+        thresholds[0] = Rational::ratio(5, 9);
+        let asym = SingleThresholdAlgorithm::new(thresholds).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("threshold_enumerated_exact", n),
+            &n,
+            |b, _| b.iter(|| winning_probability_threshold(&asym, &cap)),
+        );
+        let mut f: Vec<f64> = vec![0.625; n];
+        f[0] = 5.0 / 9.0;
+        group.bench_with_input(
+            BenchmarkId::new("threshold_enumerated_f64", n),
+            &n,
+            |b, _| b.iter(|| winning_probability_threshold_f64(&f, cap.to_f64())),
+        );
+
+        let coin = ObliviousAlgorithm::fair(n);
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_symmetric_exact", n),
+            &n,
+            |b, _| b.iter(|| winning_probability_oblivious(&coin, &cap)),
+        );
+        let af = vec![0.5; n];
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_enumerated_f64", n),
+            &n,
+            |b, _| b.iter(|| winning_probability_oblivious_f64(&af, cap.to_f64())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_winning);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!   figures                 — run everything
+//!   figures fig1            — Figure 1 (δ = 1) CSV + peak summary
+//!   figures fig2            — Figure 2 (δ = n/3) CSV + peak summary
+//!   figures table-oblivious — Theorem 4.3 table
+//!   figures case-n3         — Section 5.2.1 exact case analysis
+//!   figures case-n4         — Section 5.2.2 exact case analysis
+//!   figures tradeoff        — knowledge-vs-uniformity table
+//!   figures validate        — closed forms vs Monte-Carlo
+//!
+//! CSV output lands in `results/`.
+
+use bench::{
+    case_analysis, figure1, figure2, render_markdown_table, table_oblivious, tradeoff_table,
+    validation_table, write_csv, Series,
+};
+use decision::Capacity;
+use rational::Rational;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map_or("all", String::as_str);
+    let all = which == "all";
+
+    if all || which == "fig1" {
+        fig(1, &figure1(bench::DEFAULT_SAMPLES));
+    }
+    if all || which == "fig2" {
+        fig(2, &figure2(bench::DEFAULT_SAMPLES));
+    }
+    if all || which == "table-oblivious" {
+        oblivious_table();
+    }
+    if all || which == "case-n3" {
+        case(3, &Capacity::unit(), "paper §5.2.1");
+    }
+    if all || which == "case-n4" {
+        case(
+            4,
+            &Capacity::new(Rational::ratio(4, 3)).expect("positive"),
+            "paper §5.2.2",
+        );
+    }
+    if all || which == "tradeoff" {
+        tradeoff();
+    }
+    if all || which == "validate" {
+        validate();
+    }
+    if all || which == "faults" {
+        faults();
+    }
+}
+
+fn faults() {
+    println!("## Crash-fault sensitivity (n = 4, δ = 1, exact mixtures)");
+    let rows = bench::fault_table(4, &Capacity::unit(), 10);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.p_crash.to_string(),
+                format!("{:.6}", row.threshold),
+                format!("{:.6}", row.oblivious),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_markdown_table(&["p_crash", "threshold 5/8", "oblivious 1/2"], &rendered)
+    );
+}
+
+fn fig(index: usize, curves: &[Series]) {
+    let path_name = format!("results/figure{index}.csv");
+    let path = Path::new(&path_name);
+    write_csv(path, curves).expect("write CSV");
+    println!("## Figure {index} (written to {})", path.display());
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            let peak = c.peak();
+            vec![
+                c.label.clone(),
+                format!("{:.4}", peak.x),
+                format!("{:.4}", peak.y),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_markdown_table(&["series", "argmax β", "max P"], &rows)
+    );
+}
+
+fn oblivious_table() {
+    println!("## Theorem 4.3: oblivious optimum (α* = 1/2 for every n)");
+    let rows = table_oblivious(&[2, 3, 4, 5, 6, 8, 10, 12], |n| {
+        Capacity::proportional(n, 3)
+    });
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.n.to_string(),
+                row.capacity.to_string(),
+                format!("{} ≈ {:.6}", row.uniform_value, row.uniform_value.to_f64()),
+                format!("{}/{}", row.split, row.n - row.split),
+                format!("{:.6}", row.split_value.to_f64()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_markdown_table(
+            &["n", "δ", "P(1/2) exact", "best split", "split value"],
+            &rendered
+        )
+    );
+}
+
+fn case(n: usize, capacity: &Capacity, which: &str) {
+    let case = case_analysis(n, capacity);
+    println!("## Case analysis n = {n}, {capacity} ({which})");
+    println!("break-points: {:?}", case.breakpoints);
+    for (i, piece) in case.pieces.iter().enumerate() {
+        println!(
+            "  P(β) on ({}, {}] = {piece}",
+            case.breakpoints[i],
+            case.breakpoints[i + 1]
+        );
+    }
+    println!("optimality conditions:");
+    for c in &case.conditions {
+        println!("  {c}");
+    }
+    println!(
+        "optimum: β* ≈ {:.10}, P* ≈ {:.10}\n",
+        case.beta_star, case.p_star
+    );
+}
+
+fn tradeoff() {
+    println!("## Knowledge vs uniformity (δ = n/3)");
+    let rows = tradeoff_table(&[2, 3, 4, 5, 6, 7, 8], |n| Capacity::proportional(n, 3));
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.n.to_string(),
+                row.capacity.to_string(),
+                format!("{:.6}", row.oblivious),
+                format!("{:.6}", row.beta_star),
+                format!("{:.6}", row.threshold),
+                format!("{:.6}", row.partition),
+                format!("{:.6}", row.omniscient),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_markdown_table(
+            &[
+                "n",
+                "δ",
+                "oblivious 1/2",
+                "β*",
+                "threshold P*",
+                "partition",
+                "omniscient (MC)",
+            ],
+            &rendered
+        )
+    );
+}
+
+fn validate() {
+    println!("## Closed forms vs Monte-Carlo (1M rounds)");
+    let rows = validation_table(1_000_000, 42);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.label.clone(),
+                format!("{:.6}", row.exact),
+                format!("{:.6}", row.simulated),
+                format!("{:.2}", row.z_score),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_markdown_table(&["algorithm", "exact", "simulated", "|z|"], &rendered)
+    );
+}

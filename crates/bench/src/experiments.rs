@@ -1,0 +1,386 @@
+//! The experiment builders behind every figure and table.
+
+use crate::series::Series;
+use decision::{
+    oblivious, symmetric, winning_probability_threshold, Capacity, ObliviousAlgorithm,
+    SingleThresholdAlgorithm,
+};
+use rational::Rational;
+use simulator::{full_information_win_rate, Simulation};
+
+/// Default grid resolution for figure curves.
+pub const DEFAULT_SAMPLES: usize = 200;
+
+/// F1 — Figure 1: winning probability vs `β` for `n = 3, 4, 5` at the
+/// Papadimitriou-Yannakakis capacity `δ = 1`.
+///
+/// # Panics
+///
+/// Panics if `samples < 2`.
+#[must_use]
+pub fn figure1(samples: usize) -> Vec<Series> {
+    figure_curves(&[3, 4, 5], |_| Capacity::unit(), samples)
+}
+
+/// F2 — Figure 2: winning probability vs `β` for `n = 3, 4, 5` under
+/// the paper's scaling rule `δ = n/3` ("compensate for the increase in
+/// the number of players").
+///
+/// # Panics
+///
+/// Panics if `samples < 2`.
+#[must_use]
+pub fn figure2(samples: usize) -> Vec<Series> {
+    figure_curves(&[3, 4, 5], |n| Capacity::proportional(n, 3), samples)
+}
+
+/// Samples the exact piecewise polynomial `P(β)` on a uniform grid for
+/// each system size.
+///
+/// # Panics
+///
+/// Panics if `samples < 2` or any `n < 2`.
+#[must_use]
+pub fn figure_curves(
+    ns: &[usize],
+    capacity_of: impl Fn(usize) -> Capacity,
+    samples: usize,
+) -> Vec<Series> {
+    assert!(samples >= 2, "need at least two grid points");
+    ns.iter()
+        .map(|&n| {
+            let cap = capacity_of(n);
+            let curve = symmetric::analyze(n, &cap).expect("n >= 2");
+            let points = (0..=samples)
+                .map(|k| {
+                    let beta = k as f64 / samples as f64;
+                    let p = curve.eval_f64(beta).expect("β in domain");
+                    (beta, p)
+                })
+                .collect();
+            Series::new(format!("n = {n} ({cap})"), points)
+        })
+        .collect()
+}
+
+/// One row of the oblivious-optimum table (T1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObliviousRow {
+    /// System size.
+    pub n: usize,
+    /// Capacity used.
+    pub capacity: Capacity,
+    /// The symmetric optimum `P(1/2)` (Theorem 4.3), exact.
+    pub uniform_value: Rational,
+    /// Best deterministic split size (bin-0 players).
+    pub split: usize,
+    /// Winning probability of the best deterministic split, exact.
+    pub split_value: Rational,
+}
+
+/// T1 — the oblivious optimum across sizes and capacities, alongside
+/// the deterministic-partition corner that the interior analysis does
+/// not cover.
+///
+/// # Panics
+///
+/// Panics if any `n < 2`.
+#[must_use]
+pub fn table_oblivious(ns: &[usize], capacity_of: impl Fn(usize) -> Capacity) -> Vec<ObliviousRow> {
+    ns.iter()
+        .map(|&n| {
+            let capacity = capacity_of(n);
+            let opt = oblivious::optimal(n, &capacity).expect("n >= 2");
+            let split = oblivious::best_deterministic_split(n, &capacity).expect("n >= 2");
+            ObliviousRow {
+                n,
+                capacity,
+                uniform_value: opt.value,
+                split: split.bin0_size,
+                split_value: split.value,
+            }
+        })
+        .collect()
+}
+
+/// The exact symbolic case analysis of a symmetric threshold instance
+/// (T2 for `n = 3, δ = 1`; T3 for `n = 4, δ = 4/3`).
+#[derive(Clone, Debug)]
+pub struct CaseAnalysis {
+    /// System size.
+    pub n: usize,
+    /// Capacity used.
+    pub capacity: Capacity,
+    /// Interval endpoints of the piecewise polynomial.
+    pub breakpoints: Vec<Rational>,
+    /// Rendered polynomial pieces, left to right.
+    pub pieces: Vec<String>,
+    /// Rendered per-piece optimality conditions (`P'(β) = 0`).
+    pub conditions: Vec<String>,
+    /// The optimal threshold (refined rational approximation).
+    pub beta_star: f64,
+    /// The optimal winning probability.
+    pub p_star: f64,
+}
+
+/// Runs the full symbolic case analysis for `(n, δ)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn case_analysis(n: usize, capacity: &Capacity) -> CaseAnalysis {
+    let curve = symmetric::analyze(n, capacity).expect("n >= 2");
+    let conditions = symmetric::optimality_conditions(n, capacity)
+        .expect("n >= 2")
+        .into_iter()
+        .map(|((lo, hi), dp)| format!("on ({lo}, {hi}]: {dp} = 0"))
+        .collect();
+    let best = curve.maximize(&Rational::ratio(1, 1_000_000_000_000));
+    CaseAnalysis {
+        n,
+        capacity: capacity.clone(),
+        breakpoints: curve.breakpoints().to_vec(),
+        pieces: curve.pieces().iter().map(ToString::to_string).collect(),
+        conditions,
+        beta_star: best.argmax.to_f64(),
+        p_star: best.value.to_f64(),
+    }
+}
+
+/// One row of the knowledge-vs-uniformity trade-off table (T4).
+#[derive(Clone, Debug)]
+pub struct TradeoffRow {
+    /// System size.
+    pub n: usize,
+    /// Capacity used.
+    pub capacity: Capacity,
+    /// Oblivious symmetric optimum `P(1/2)`.
+    pub oblivious: f64,
+    /// Optimal symmetric threshold.
+    pub beta_star: f64,
+    /// Its winning probability.
+    pub threshold: f64,
+    /// Best deterministic partition value.
+    pub partition: f64,
+    /// Monte-Carlo estimate of the full-information upper bound (an
+    /// omniscient coordinator splitting the realized inputs).
+    pub omniscient: f64,
+}
+
+/// T4 — the trade-off table across system sizes.
+///
+/// # Panics
+///
+/// Panics if any `n < 2`.
+#[must_use]
+pub fn tradeoff_table(ns: &[usize], capacity_of: impl Fn(usize) -> Capacity) -> Vec<TradeoffRow> {
+    let tol = Rational::ratio(1, 1 << 40);
+    ns.iter()
+        .map(|&n| {
+            let capacity = capacity_of(n);
+            let coin = oblivious::optimal_value(n, &capacity).expect("n >= 2");
+            let best = symmetric::analyze(n, &capacity)
+                .expect("n >= 2")
+                .maximize(&tol);
+            let split = oblivious::best_deterministic_split(n, &capacity).expect("n >= 2");
+            let omniscient = full_information_win_rate(n, capacity.to_f64(), 200_000, 7 + n as u64);
+            TradeoffRow {
+                n,
+                capacity,
+                oblivious: coin.to_f64(),
+                beta_star: best.argmax.to_f64(),
+                threshold: best.value.to_f64(),
+                partition: split.value.to_f64(),
+                omniscient: omniscient.estimate,
+            }
+        })
+        .collect()
+}
+
+/// One row of the closed-form-vs-simulation validation table (V3).
+#[derive(Clone, Debug)]
+pub struct ValidationRow {
+    /// Human-readable description of the algorithm.
+    pub label: String,
+    /// Exact winning probability.
+    pub exact: f64,
+    /// Monte-Carlo estimate.
+    pub simulated: f64,
+    /// `|exact − simulated|` in units of the standard error.
+    pub z_score: f64,
+}
+
+/// V3 — validates the closed forms against the batched simulator.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+#[must_use]
+pub fn validation_table(trials: u64, seed: u64) -> Vec<ValidationRow> {
+    let mut rows = Vec::new();
+    let sim = Simulation::new(trials, seed);
+
+    for (n, delta) in [
+        (3usize, Rational::one()),
+        (4, Rational::ratio(4, 3)),
+        (5, Rational::ratio(5, 3)),
+    ] {
+        let cap = Capacity::new(delta).expect("positive");
+
+        let coin = ObliviousAlgorithm::fair(n);
+        let exact = oblivious::optimal_value(n, &cap).expect("n >= 2").to_f64();
+        let report = sim.run(&coin, cap.to_f64());
+        rows.push(ValidationRow {
+            label: format!("oblivious 1/2, n={n}, {cap}"),
+            exact,
+            simulated: report.estimate,
+            z_score: (report.estimate - exact).abs() / report.std_error.max(1e-12),
+        });
+
+        let beta = Rational::ratio(5, 8);
+        let th = SingleThresholdAlgorithm::symmetric(n, beta).expect("valid β");
+        let exact = winning_probability_threshold(&th, &cap)
+            .expect("exact")
+            .to_f64();
+        let report = sim.run(&th, cap.to_f64());
+        rows.push(ValidationRow {
+            label: format!("threshold 5/8, n={n}, {cap}"),
+            exact,
+            simulated: report.estimate,
+            z_score: (report.estimate - exact).abs() / report.std_error.max(1e-12),
+        });
+    }
+    rows
+}
+
+/// One row of the crash-fault sensitivity table (extension
+/// experiment E1 in DESIGN.md).
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// Crash probability per player.
+    pub p_crash: Rational,
+    /// Exact winning probability of the threshold algorithm.
+    pub threshold: f64,
+    /// Exact winning probability of the fair oblivious coin.
+    pub oblivious: f64,
+}
+
+/// E1 — crash-fault sensitivity: exact winning probabilities under
+/// independent player crashes, for the optimal-ish threshold rule and
+/// the fair coin.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn fault_table(n: usize, capacity: &Capacity, steps: i64) -> Vec<FaultRow> {
+    let threshold = SingleThresholdAlgorithm::symmetric(n, Rational::ratio(5, 8)).expect("valid β");
+    let coin = ObliviousAlgorithm::fair(n);
+    (0..=steps)
+        .map(|k| {
+            let p_crash = Rational::ratio(k, steps);
+            FaultRow {
+                threshold: decision::faults::threshold_with_crashes(&threshold, capacity, &p_crash)
+                    .expect("valid inputs")
+                    .to_f64(),
+                oblivious: decision::faults::oblivious_with_crashes(&coin, capacity, &p_crash)
+                    .expect("valid inputs")
+                    .to_f64(),
+                p_crash,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_peaks_match_known_optima() {
+        let curves = figure1(400);
+        assert_eq!(curves.len(), 3);
+        // n = 3 peak near 0.622 / 0.5446.
+        let p3 = curves[0].peak();
+        assert!((p3.x - 0.6225).abs() < 0.01, "peak at {}", p3.x);
+        assert!((p3.y - 0.5446).abs() < 0.001);
+    }
+
+    #[test]
+    fn figure2_series_cover_unit_interval() {
+        let curves = figure2(50);
+        for c in &curves {
+            assert_eq!(c.points.len(), 51);
+            assert_eq!(c.points[0].x, 0.0);
+            assert_eq!(c.points[50].x, 1.0);
+            assert!(c.points.iter().all(|p| (0.0..=1.0).contains(&p.y)));
+        }
+    }
+
+    #[test]
+    fn oblivious_table_uniform_value_is_constant_in_alpha_star() {
+        let rows = table_oblivious(&[2, 3, 4], |_| Capacity::unit());
+        // Values decrease with n at fixed δ = 1 (harder to pack).
+        assert!(rows[0].uniform_value > rows[1].uniform_value);
+        assert!(rows[1].uniform_value > rows[2].uniform_value);
+        // Splits are balanced.
+        for row in &rows {
+            assert!(row.split == row.n / 2 || row.split == row.n - row.n / 2);
+        }
+    }
+
+    #[test]
+    fn case_analysis_t2_shape() {
+        let case = case_analysis(3, &Capacity::unit());
+        assert_eq!(case.breakpoints.len(), 4);
+        assert_eq!(case.pieces.len(), 3);
+        assert_eq!(case.conditions.len(), 3);
+        assert!((case.beta_star - 0.62204).abs() < 1e-4);
+        assert!((case.p_star - 0.54463).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validation_rows_are_tight() {
+        for row in validation_table(120_000, 9) {
+            assert!(row.z_score < 4.5, "{}: z = {}", row.label, row.z_score);
+        }
+    }
+
+    #[test]
+    fn fault_table_is_monotone_and_anchored() {
+        let rows = fault_table(4, &Capacity::unit(), 5);
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(w[1].threshold >= w[0].threshold);
+            assert!(w[1].oblivious >= w[0].oblivious);
+        }
+        assert!((rows.last().unwrap().threshold - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tradeoff_table_reports_flagship_result() {
+        let rows = tradeoffs_for_test();
+        let n3 = &rows[0];
+        assert!(n3.threshold > n3.oblivious, "threshold wins at n=3, δ=1");
+    }
+
+    fn tradeoffs_for_test() -> Vec<TradeoffRow> {
+        tradeoff_table(&[3], |_| Capacity::unit())
+    }
+
+    #[test]
+    fn omniscient_dominates_every_algorithm_column() {
+        for row in tradeoff_table(&[3, 4], |n| Capacity::proportional(n, 3)) {
+            let best_algo = row.oblivious.max(row.threshold).max(row.partition);
+            // Allow Monte-Carlo noise on the omniscient estimate.
+            assert!(
+                row.omniscient > best_algo - 0.01,
+                "n = {}: omniscient {} vs best {}",
+                row.n,
+                row.omniscient,
+                best_algo
+            );
+        }
+    }
+}

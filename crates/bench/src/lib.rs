@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation (and the validation experiments of DESIGN.md)
+//! as CSV/markdown series.
+//!
+//! The `figures` binary drives this library; the Criterion benches
+//! reuse its workload builders so the measured code paths are exactly
+//! the ones that produce the published numbers.
+//!
+//! Experiment index (see DESIGN.md for the full mapping):
+//!
+//! * **F1** — Figure 1: `P(β)` for `n = 3, 4, 5` at fixed `δ = 1`.
+//! * **F2** — Figure 2: `P(β)` for `n = 3, 4, 5` at scaled `δ = n/3`.
+//! * **T1** — Theorem 4.3: oblivious optimum table over `n`, `δ`.
+//! * **T2/T3** — Sections 5.2.1/5.2.2: exact case analyses.
+//! * **T4** — knowledge-vs-uniformity trade-off table.
+//! * **V1–V3** — formula-vs-Monte-Carlo validation experiments.
+
+pub mod experiments;
+pub mod output;
+pub mod series;
+
+pub use experiments::*;
+pub use output::{render_markdown_table, write_csv};
+pub use series::{Point, Series};

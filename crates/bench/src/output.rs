@@ -1,0 +1,83 @@
+//! CSV and markdown rendering of experiment outputs.
+
+use crate::series::Series;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes curves to a CSV file with columns `series,x,y`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_csv(path: &Path, series: &[Series]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "series,x,y")?;
+    for s in series {
+        for p in &s.points {
+            writeln!(file, "{},{},{}", s.label, p.x, p.y)?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders rows as a GitHub-flavoured markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+#[must_use]
+pub fn render_markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("nocomm-bench-test");
+        let path = dir.join("curve.csv");
+        let series = vec![Series::new("n = 3", vec![(0.0, 0.1), (1.0, 0.2)])];
+        write_csv(&path, &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "series,x,y\nn = 3,0,0.1\nn = 3,1,0.2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = render_markdown_table(
+            &["n", "value"],
+            &[
+                vec!["3".into(), "0.54".into()],
+                vec!["4".into(), "0.43".into()],
+            ],
+        );
+        assert!(md.starts_with("| n | value |\n|---|---|\n"));
+        assert!(md.contains("| 3 | 0.54 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_markdown_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

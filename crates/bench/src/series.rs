@@ -1,0 +1,58 @@
+//! Data-series containers for figure regeneration.
+
+use serde::Serialize;
+
+/// One sample of a curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct Point {
+    /// Abscissa (e.g. the threshold `β`).
+    pub x: f64,
+    /// Ordinate (e.g. the winning probability).
+    pub y: f64,
+}
+
+/// A labelled curve, one per figure line.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Series {
+    /// Legend label, e.g. `"n = 3"`.
+    pub label: String,
+    /// Samples in ascending `x`.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Builds a series from `(x, y)` pairs.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points: points.into_iter().map(|(x, y)| Point { x, y }).collect(),
+        }
+    }
+
+    /// The sample with the largest `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    #[must_use]
+    pub fn peak(&self) -> Point {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| a.y.total_cmp(&b.y))
+            .expect("non-empty series")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_finds_maximum() {
+        let s = Series::new("test", vec![(0.0, 0.1), (0.5, 0.9), (1.0, 0.3)]);
+        assert_eq!(s.peak(), Point { x: 0.5, y: 0.9 });
+        assert_eq!(s.label, "test");
+    }
+}

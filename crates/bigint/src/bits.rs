@@ -1,0 +1,222 @@
+//! Bit-level operations: shifts and radix conversion.
+
+use crate::int::BigInt;
+use crate::limbs;
+use crate::sign::Sign;
+use std::ops::{Shl, Shr};
+
+impl Shl<u32> for &BigInt {
+    type Output = BigInt;
+
+    /// Shifts the magnitude left (sign is preserved; `-1 << 1 == -2`).
+    fn shl(self, bits: u32) -> BigInt {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / limbs::BITS) as usize;
+        let bit_shift = bits % limbs::BITS;
+        let mut mag = vec![0u32; limb_shift];
+        mag.extend_from_slice(&limbs::shl_bits(&self.mag, bit_shift));
+        BigInt::from_limbs(self.sign, mag)
+    }
+}
+
+impl Shr<u32> for &BigInt {
+    type Output = BigInt;
+
+    /// Shifts the magnitude right, truncating toward zero for negative
+    /// values (like division by a power of two with `/`).
+    fn shr(self, bits: u32) -> BigInt {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / limbs::BITS) as usize;
+        if limb_shift >= self.mag.len() {
+            return BigInt::new();
+        }
+        let bit_shift = bits % limbs::BITS;
+        let mag = limbs::shr_bits(&self.mag[limb_shift..], bit_shift);
+        BigInt::from_limbs(self.sign, mag)
+    }
+}
+
+impl Shl<u32> for BigInt {
+    type Output = BigInt;
+    fn shl(self, bits: u32) -> BigInt {
+        &self << bits
+    }
+}
+
+impl Shr<u32> for BigInt {
+    type Output = BigInt;
+    fn shr(self, bits: u32) -> BigInt {
+        &self >> bits
+    }
+}
+
+impl BigInt {
+    /// Parses from a string in the given radix (2 to 36), accepting an
+    /// optional sign and `_` separators.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from_str_radix("ff", 16).unwrap(), BigInt::from(255));
+    /// assert_eq!(BigInt::from_str_radix("-101", 2).unwrap(), BigInt::from(-5));
+    /// assert_eq!(BigInt::from_str_radix("zz", 36).unwrap(), BigInt::from(1295));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ParseBigIntError`] on empty input or digits
+    /// outside the radix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is outside `2..=36`.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<BigInt, crate::ParseBigIntError> {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mut mag: Vec<u32> = Vec::new();
+        let mut any = false;
+        for c in digits.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c
+                .to_digit(radix)
+                .ok_or_else(|| crate::parse::invalid_digit(c))?;
+            any = true;
+            // mag = mag * radix + d
+            let mut carry = u64::from(d);
+            for limb in &mut mag {
+                let t = u64::from(*limb) * u64::from(radix) + carry;
+                *limb = t as u32;
+                carry = t >> 32;
+            }
+            while carry != 0 {
+                mag.push(carry as u32);
+                carry >>= 32;
+            }
+        }
+        if !any {
+            return Err(crate::parse::empty_input());
+        }
+        Ok(BigInt::from_limbs(sign, mag))
+    }
+
+    /// Formats in the given radix (2 to 36) with lowercase digits.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from(255).to_str_radix(16), "ff");
+    /// assert_eq!(BigInt::from(-5).to_str_radix(2), "-101");
+    /// assert_eq!(BigInt::new().to_str_radix(8), "0");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is outside `2..=36`.
+    #[must_use]
+    pub fn to_str_radix(&self, radix: u32) -> String {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+        let mut mag = self.mag.clone();
+        let mut out = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = limbs::div_rem_limb(&mag, radix);
+            out.push(DIGITS[r as usize]);
+            mag = q;
+        }
+        if self.is_negative() {
+            out.push(b'-');
+        }
+        out.reverse();
+        String::from_utf8(out).expect("ascii digits")
+    }
+
+    /// Number of trailing zero bits in the magnitude; `None` for zero.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from(40).trailing_zeros(), Some(3));
+    /// assert_eq!(BigInt::new().trailing_zeros(), None);
+    /// ```
+    #[must_use]
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        let limb_index = self.mag.iter().position(|&l| l != 0)?;
+        Some(
+            limb_index as u64 * u64::from(limbs::BITS)
+                + u64::from(self.mag[limb_index].trailing_zeros()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_match_multiplication_and_division() {
+        let x = BigInt::from(0x1234_5678_9abc_def0u64);
+        for bits in [0u32, 1, 31, 32, 33, 64, 100] {
+            let shifted = &x << bits;
+            assert_eq!(shifted, &x * BigInt::from(2u32).pow(bits), "<< {bits}");
+            assert_eq!(&shifted >> bits, x, ">> {bits}");
+        }
+    }
+
+    #[test]
+    fn shr_truncates_toward_zero_for_negatives() {
+        assert_eq!(BigInt::from(-5) >> 1, BigInt::from(-2));
+        assert_eq!(BigInt::from(-1) >> 10, BigInt::new());
+    }
+
+    #[test]
+    fn shr_past_length_is_zero() {
+        assert_eq!(BigInt::from(u64::MAX) >> 64, BigInt::new());
+        assert_eq!(BigInt::from(u64::MAX) >> 63, BigInt::from(1));
+    }
+
+    #[test]
+    fn radix_roundtrip_many_bases() {
+        let value: BigInt = "123456789012345678901234567890".parse().unwrap();
+        for radix in [2u32, 3, 8, 10, 16, 36] {
+            let s = value.to_str_radix(radix);
+            assert_eq!(
+                BigInt::from_str_radix(&s, radix).unwrap(),
+                value,
+                "radix {radix}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_matches_std_for_u64() {
+        let v = 0xdead_beef_u64;
+        let big = BigInt::from(v);
+        assert_eq!(big.to_str_radix(16), format!("{v:x}"));
+        assert_eq!(big.to_str_radix(2), format!("{v:b}"));
+        assert_eq!(big.to_str_radix(8), format!("{v:o}"));
+    }
+
+    #[test]
+    fn from_str_radix_rejects_bad_digits() {
+        assert!(BigInt::from_str_radix("12", 2).is_err());
+        assert!(BigInt::from_str_radix("", 10).is_err());
+        assert!(BigInt::from_str_radix("_", 10).is_err());
+        assert!(BigInt::from_str_radix("g", 16).is_err());
+    }
+
+    #[test]
+    fn trailing_zeros_counts() {
+        assert_eq!(BigInt::from(1).trailing_zeros(), Some(0));
+        assert_eq!((BigInt::from(1) << 100).trailing_zeros(), Some(100));
+        assert_eq!(BigInt::from(-24).trailing_zeros(), Some(3));
+    }
+}

@@ -1,0 +1,137 @@
+//! Conversions between [`BigInt`] and primitive integers.
+
+use crate::int::BigInt;
+use crate::sign::Sign;
+use std::fmt;
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(value: $t) -> BigInt {
+                let mut mag = Vec::new();
+                #[allow(clippy::cast_lossless)]
+                let mut v = value as u128;
+                while v > 0 {
+                    mag.push(v as u32);
+                    v >>= 32;
+                }
+                BigInt::from_limbs(Sign::Plus, mag)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(value: $t) -> BigInt {
+                let sign = if value < 0 { Sign::Minus } else { Sign::Plus };
+                #[allow(clippy::cast_lossless)]
+                let mut v = (value as i128).unsigned_abs();
+                let mut mag = Vec::new();
+                while v > 0 {
+                    mag.push(v as u32);
+                    v >>= 32;
+                }
+                BigInt::from_limbs(sign, mag)
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+/// Error returned when a [`BigInt`] does not fit the requested
+/// primitive type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TryFromBigIntError;
+
+impl fmt::Display for TryFromBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("big integer out of range for target type")
+    }
+}
+
+impl std::error::Error for TryFromBigIntError {}
+
+impl TryFrom<&BigInt> for i64 {
+    type Error = TryFromBigIntError;
+
+    fn try_from(value: &BigInt) -> Result<i64, TryFromBigIntError> {
+        i128::try_from(value)?
+            .try_into()
+            .map_err(|_| TryFromBigIntError)
+    }
+}
+
+impl TryFrom<&BigInt> for u64 {
+    type Error = TryFromBigIntError;
+
+    fn try_from(value: &BigInt) -> Result<u64, TryFromBigIntError> {
+        if value.is_negative() {
+            return Err(TryFromBigIntError);
+        }
+        i128::try_from(value)?
+            .try_into()
+            .map_err(|_| TryFromBigIntError)
+    }
+}
+
+impl TryFrom<&BigInt> for i128 {
+    type Error = TryFromBigIntError;
+
+    fn try_from(value: &BigInt) -> Result<i128, TryFromBigIntError> {
+        if value.mag.len() > 4 {
+            return Err(TryFromBigIntError);
+        }
+        let mut mag = 0u128;
+        for &limb in value.mag.iter().rev() {
+            mag = (mag << 32) | u128::from(limb);
+        }
+        match value.sign() {
+            Sign::Zero => Ok(0),
+            Sign::Plus => i128::try_from(mag).map_err(|_| TryFromBigIntError),
+            Sign::Minus => {
+                if mag > i128::MAX.unsigned_abs() + 1 {
+                    Err(TryFromBigIntError)
+                } else {
+                    Ok((mag as i128).wrapping_neg())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_primitives_roundtrip() {
+        assert_eq!(i64::try_from(&BigInt::from(0u8)), Ok(0));
+        assert_eq!(i64::try_from(&BigInt::from(i64::MIN)), Ok(i64::MIN));
+        assert_eq!(i64::try_from(&BigInt::from(i64::MAX)), Ok(i64::MAX));
+        assert_eq!(u64::try_from(&BigInt::from(u64::MAX)), Ok(u64::MAX));
+        assert_eq!(i128::try_from(&BigInt::from(i128::MIN)), Ok(i128::MIN));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let big = BigInt::from(u128::MAX);
+        assert!(i64::try_from(&big).is_err());
+        assert!(i128::try_from(&big).is_err());
+        assert!(u64::try_from(&BigInt::from(-1)).is_err());
+        let huge = BigInt::from(u128::MAX) * BigInt::from(u128::MAX);
+        assert!(i128::try_from(&huge).is_err());
+    }
+
+    #[test]
+    fn i128_min_edge() {
+        // |i128::MIN| = 2^127 needs the wrapping_neg path.
+        let x = BigInt::from(i128::MIN);
+        assert_eq!(i128::try_from(&x), Ok(i128::MIN));
+        let one_less = &x - &BigInt::from(1);
+        assert!(i128::try_from(&one_less).is_err());
+    }
+}

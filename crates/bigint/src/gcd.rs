@@ -1,0 +1,79 @@
+//! Greatest common divisor.
+
+use crate::int::BigInt;
+
+impl BigInt {
+    /// Computes the non-negative greatest common divisor by the
+    /// Euclidean algorithm; `gcd(0, 0) = 0`.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// let g = BigInt::from(-48).gcd(&BigInt::from(180));
+    /// assert_eq!(g, BigInt::from(12));
+    /// ```
+    #[must_use]
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Computes the least common multiple; `lcm(0, x) = 0`.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from(4).lcm(&BigInt::from(6)), BigInt::from(12));
+    /// ```
+    #[must_use]
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::new();
+        }
+        let g = self.gcd(other);
+        (&self.abs() / &g) * other.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(BigInt::new().gcd(&BigInt::new()), BigInt::new());
+        assert_eq!(BigInt::from(7).gcd(&BigInt::new()), BigInt::from(7));
+        assert_eq!(BigInt::new().gcd(&BigInt::from(-7)), BigInt::from(7));
+        assert_eq!(BigInt::from(17).gcd(&BigInt::from(13)), BigInt::from(1));
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal() {
+        let a = BigInt::from(2 * 3 * 3 * 5 * 7 * 11i64);
+        let b = BigInt::from(3 * 5 * 5 * 13i64);
+        let g = a.gcd(&b);
+        assert_eq!(g, BigInt::from(15));
+        assert!((&a % &g).is_zero());
+        assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn gcd_large_values() {
+        let a = BigInt::from(3u32).pow(100) * BigInt::from(2u32).pow(37);
+        let b = BigInt::from(3u32).pow(60) * BigInt::from(5u32).pow(20);
+        assert_eq!(a.gcd(&b), BigInt::from(3u32).pow(60));
+    }
+
+    #[test]
+    fn lcm_gcd_product_identity() {
+        for (x, y) in [(4i64, 6), (-4, 6), (12, 18), (1, 999)] {
+            let a = BigInt::from(x);
+            let b = BigInt::from(y);
+            assert_eq!(a.gcd(&b) * a.lcm(&b), (&a * &b).abs(), "{x},{y}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The [`BigInt`] type: a sign plus a normalized limb magnitude.
+
+use crate::limbs;
+use crate::sign::Sign;
+use std::cmp::Ordering;
+
+/// An arbitrary-precision signed integer.
+///
+/// Internally a [`Sign`] and a little-endian `u32` limb vector with no
+/// trailing zeros; zero is represented by an empty magnitude and
+/// [`Sign::Zero`].
+///
+/// # Examples
+///
+/// ```
+/// use bigint::BigInt;
+///
+/// let a = BigInt::from(7).pow(40);
+/// let b: BigInt = "6366805760909027985741435139224001".parse().unwrap();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    pub(crate) sign: Sign,
+    pub(crate) mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// Constructs zero.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert!(BigInt::new().is_zero());
+    /// ```
+    #[must_use]
+    pub fn new() -> BigInt {
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
+    }
+
+    /// Constructs zero (alias of [`BigInt::new`]).
+    #[must_use]
+    pub fn zero() -> BigInt {
+        BigInt::new()
+    }
+
+    /// Constructs one.
+    #[must_use]
+    pub fn one() -> BigInt {
+        BigInt::from(1u32)
+    }
+
+    /// Builds a value from a sign and little-endian `u32` limbs,
+    /// normalizing trailing zeros and the sign of zero.
+    ///
+    /// ```
+    /// use bigint::{BigInt, Sign};
+    /// let x = BigInt::from_limbs(Sign::Minus, vec![5, 0, 0]);
+    /// assert_eq!(x, BigInt::from(-5));
+    /// assert_eq!(BigInt::from_limbs(Sign::Minus, vec![0]), BigInt::new());
+    /// ```
+    #[must_use]
+    pub fn from_limbs(sign: Sign, mut mag: Vec<u32>) -> BigInt {
+        limbs::normalize(&mut mag);
+        let sign = if mag.is_empty() { Sign::Zero } else { sign };
+        debug_assert!(sign != Sign::Zero || mag.is_empty());
+        BigInt { sign, mag }
+    }
+
+    /// Returns the sign.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns `true` iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag == [1]
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Returns `true` iff the value is even.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert!(BigInt::from(-4).is_even());
+    /// assert!(BigInt::new().is_even());
+    /// ```
+    #[must_use]
+    pub fn is_even(&self) -> bool {
+        self.mag.first().is_none_or(|l| l % 2 == 0)
+    }
+
+    /// Returns the absolute value.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from(-9).abs(), BigInt::from(9));
+    /// ```
+    #[must_use]
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero {
+                Sign::Zero
+            } else {
+                Sign::Plus
+            },
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// Returns the number of bits in the magnitude (zero has zero bits).
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from(255).bits(), 8);
+    /// assert_eq!(BigInt::new().bits(), 0);
+    /// ```
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => {
+                (self.mag.len() as u64 - 1) * u64::from(limbs::BITS)
+                    + u64::from(limbs::BITS - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Raises `self` to the `exp`-th power by repeated squaring.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from(-2).pow(9), BigInt::from(-512));
+    /// assert_eq!(BigInt::new().pow(0), BigInt::from(1));
+    /// ```
+    #[must_use]
+    pub fn pow(&self, exp: u32) -> BigInt {
+        let mut result = BigInt::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+
+    /// Computes truncated division with remainder: `self = q*d + r` with
+    /// `|r| < |d|` and `r` carrying the sign of `self` (like Rust's `%`).
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// let (q, r) = BigInt::from(-7).div_rem(&BigInt::from(2));
+    /// assert_eq!((q, r), (BigInt::from(-3), BigInt::from(-1)));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    #[must_use]
+    pub fn div_rem(&self, d: &BigInt) -> (BigInt, BigInt) {
+        assert!(!d.is_zero(), "division by zero");
+        let (q_mag, r_mag) = limbs::div_rem(&self.mag, &d.mag);
+        let q = BigInt::from_limbs(self.sign.mul(d.sign), q_mag);
+        let r = BigInt::from_limbs(self.sign, r_mag);
+        (q, r)
+    }
+
+    /// Compares magnitudes, ignoring signs.
+    #[must_use]
+    pub fn cmp_abs(&self, other: &BigInt) -> Ordering {
+        limbs::cmp(&self.mag, &other.mag)
+    }
+
+    /// Converts to `f64`, rounding; very large magnitudes yield
+    /// `±infinity`.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// assert_eq!(BigInt::from(-3).to_f64(), -3.0);
+    /// let big = BigInt::from(1u64 << 60) * BigInt::from(1u64 << 60);
+    /// assert_eq!(big.to_f64(), (2f64).powi(120));
+    /// ```
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let mut value = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            value = value * f64::from(u32::MAX) + value + f64::from(limb);
+        }
+        value * f64::from(self.sign.signum())
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> BigInt {
+        BigInt::new()
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Plus => limbs::cmp(&self.mag, &other.mag),
+                Sign::Minus => limbs::cmp(&other.mag, &self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_across_signs() {
+        let xs = [-5i64, -1, 0, 1, 3, 1 << 40];
+        for &x in &xs {
+            for &y in &xs {
+                assert_eq!(
+                    BigInt::from(x).cmp(&BigInt::from(y)),
+                    x.cmp(&y),
+                    "{x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigInt::from(1).bits(), 1);
+        assert_eq!(BigInt::from(u32::MAX).bits(), 32);
+        assert_eq!(BigInt::from(1u64 << 32).bits(), 33);
+    }
+
+    #[test]
+    fn pow_matches_i128() {
+        for base in -5i128..=5 {
+            for exp in 0u32..8 {
+                assert_eq!(
+                    BigInt::from(base).pow(exp),
+                    BigInt::from(base.pow(exp)),
+                    "{base}^{exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn div_rem_sign_convention_matches_rust() {
+        for a in [-17i64, -6, -1, 0, 1, 6, 17] {
+            for b in [-5i64, -2, 2, 5] {
+                let (q, r) = BigInt::from(a).div_rem(&BigInt::from(b));
+                assert_eq!(q, BigInt::from(a / b), "{a}/{b}");
+                assert_eq!(r, BigInt::from(a % b), "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_f64_zero_and_sign() {
+        assert_eq!(BigInt::new().to_f64(), 0.0);
+        assert_eq!(BigInt::from(-123456789).to_f64(), -123456789.0);
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let x = BigInt::from_limbs(Sign::Plus, vec![0, 0, 0]);
+        assert!(x.is_zero());
+        assert_eq!(x.sign(), Sign::Zero);
+    }
+}

@@ -1,0 +1,43 @@
+//! Arbitrary-precision signed integer arithmetic.
+//!
+//! This crate is the lowest substrate of the `nocomm` workspace: every
+//! inclusion–exclusion sum in the paper is a rational number whose
+//! numerator and denominator can grow combinatorially (factorials,
+//! binomials, powers of rational break-points), so exact evaluation
+//! needs unbounded integers. We implement them from scratch on `u32`
+//! limbs with `u64` intermediates:
+//!
+//! * addition / subtraction with carry/borrow propagation,
+//! * schoolbook and Karatsuba multiplication,
+//! * Knuth Algorithm D long division,
+//! * Euclidean gcd, exponentiation by squaring,
+//! * radix-10 parsing and formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use bigint::BigInt;
+//!
+//! let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+//! let b = BigInt::from(42);
+//! let (q, r) = (&a * &b).div_rem(&a);
+//! assert_eq!(q, b);
+//! assert!(r.is_zero());
+//! ```
+
+mod bits;
+mod convert;
+mod gcd;
+mod limbs;
+mod ops;
+pub(crate) mod parse;
+#[cfg(feature = "serde")]
+mod serde_impls;
+mod sign;
+
+mod int;
+
+pub use convert::TryFromBigIntError;
+pub use int::BigInt;
+pub use parse::ParseBigIntError;
+pub use sign::Sign;

@@ -1,0 +1,421 @@
+//! Low-level unsigned limb algorithms.
+//!
+//! Magnitudes are little-endian `Vec<u32>` slices with no trailing zero
+//! limbs ("normalized"). All functions here operate on raw limb slices;
+//! sign handling lives in [`crate::int`].
+
+use std::cmp::Ordering;
+
+pub(crate) const BITS: u32 = 32;
+
+/// Limb count below which multiplication falls back to schoolbook.
+///
+/// Exposed (crate-internally) so the benchmark harness can ablate it.
+pub(crate) const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Removes trailing zero limbs.
+pub(crate) fn normalize(limbs: &mut Vec<u32>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+/// Compares two normalized magnitudes.
+pub(crate) fn cmp(a: &[u32], b: &[u32]) -> Ordering {
+    debug_assert!(a.last() != Some(&0) && b.last() != Some(&0));
+    a.len()
+        .cmp(&b.len())
+        .then_with(|| a.iter().rev().cmp(b.iter().rev()))
+}
+
+/// Returns `a + b`.
+pub(crate) fn add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &limb) in long.iter().enumerate() {
+        let s = u64::from(limb) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+        out.push(s as u32);
+        carry = s >> BITS;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// Returns `a - b`; requires `a >= b`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `a < b`.
+pub(crate) fn sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(cmp(a, b) != Ordering::Less, "limb subtraction underflow");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for (i, &limb) in a.iter().enumerate() {
+        let d = i64::from(limb) - i64::from(b.get(i).copied().unwrap_or(0)) - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << BITS)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    normalize(&mut out);
+    out
+}
+
+/// Schoolbook `O(nm)` multiplication.
+pub(crate) fn mul_schoolbook(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        let ai = u64::from(ai);
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai * u64::from(bj) + u64::from(out[i + j]) + carry;
+            out[i + j] = t as u32;
+            carry = t >> BITS;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = u64::from(out[k]) + carry;
+            out[k] = t as u32;
+            carry = t >> BITS;
+            k += 1;
+        }
+    }
+    normalize(&mut out);
+    out
+}
+
+/// Karatsuba multiplication with schoolbook base case.
+pub(crate) fn mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()) / 2;
+    let (a0, a1) = split_at_normalized(a, half);
+    let (b0, b1) = split_at_normalized(b, half);
+
+    let z0 = mul(a0, b0);
+    let z2 = mul(a1, b1);
+    let a01 = add(a0, a1);
+    let b01 = add(b0, b1);
+    let mut z1 = mul(&a01, &b01);
+    z1 = sub(&z1, &z0);
+    z1 = sub(&z1, &z2);
+
+    let mut out = z0;
+    add_shifted(&mut out, &z1, half);
+    add_shifted(&mut out, &z2, 2 * half);
+    normalize(&mut out);
+    out
+}
+
+/// Splits `a` at limb index `at`, normalizing both halves.
+fn split_at_normalized(a: &[u32], at: usize) -> (&[u32], &[u32]) {
+    if at >= a.len() {
+        return (a, &[]);
+    }
+    let (lo, hi) = a.split_at(at);
+    let mut lo_len = lo.len();
+    while lo_len > 0 && lo[lo_len - 1] == 0 {
+        lo_len -= 1;
+    }
+    (&lo[..lo_len], hi)
+}
+
+/// `acc += x << (shift limbs)`.
+fn add_shifted(acc: &mut Vec<u32>, x: &[u32], shift: usize) {
+    if x.is_empty() {
+        return;
+    }
+    if acc.len() < shift + x.len() + 1 {
+        acc.resize(shift + x.len() + 1, 0);
+    }
+    let mut carry = 0u64;
+    for (i, &xi) in x.iter().enumerate() {
+        let t = u64::from(acc[shift + i]) + u64::from(xi) + carry;
+        acc[shift + i] = t as u32;
+        carry = t >> BITS;
+    }
+    let mut k = shift + x.len();
+    while carry != 0 {
+        let t = u64::from(acc[k]) + carry;
+        acc[k] = t as u32;
+        carry = t >> BITS;
+        k += 1;
+    }
+}
+
+/// Shifts left by `bits` (< 32), returning a fresh vector.
+pub(crate) fn shl_bits(a: &[u32], bits: u32) -> Vec<u32> {
+    debug_assert!(bits < BITS);
+    if bits == 0 || a.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u32;
+    for &limb in a {
+        out.push((limb << bits) | carry);
+        carry = limb >> (BITS - bits);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shifts right by `bits` (< 32), returning a fresh vector.
+pub(crate) fn shr_bits(a: &[u32], bits: u32) -> Vec<u32> {
+    debug_assert!(bits < BITS);
+    if bits == 0 || a.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = vec![0u32; a.len()];
+    for i in 0..a.len() {
+        out[i] = a[i] >> bits;
+        if i + 1 < a.len() {
+            out[i] |= a[i + 1] << (BITS - bits);
+        }
+    }
+    normalize(&mut out);
+    out
+}
+
+/// Divides by a single limb; returns `(quotient, remainder)`.
+pub(crate) fn div_rem_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+    assert!(d != 0, "division by zero limb");
+    let mut q = vec![0u32; a.len()];
+    let mut rem = 0u64;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << BITS) | u64::from(a[i]);
+        q[i] = (cur / u64::from(d)) as u32;
+        rem = cur % u64::from(d);
+    }
+    normalize(&mut q);
+    (q, rem as u32)
+}
+
+/// Knuth Algorithm D long division of normalized magnitudes.
+///
+/// Returns `(quotient, remainder)` with `a = q*b + r`, `0 <= r < b`.
+///
+/// # Panics
+///
+/// Panics if `b` is empty (division by zero).
+pub(crate) fn div_rem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    assert!(!b.is_empty(), "division by zero");
+    match cmp(a, b) {
+        Ordering::Less => return (Vec::new(), a.to_vec()),
+        Ordering::Equal => return (vec![1], Vec::new()),
+        Ordering::Greater => {}
+    }
+    if b.len() == 1 {
+        let (q, r) = div_rem_limb(a, b[0]);
+        let rem = if r == 0 { Vec::new() } else { vec![r] };
+        return (q, rem);
+    }
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = b.last().unwrap().leading_zeros();
+    let u = {
+        let mut u = shl_bits(a, shift);
+        // Guarantee an extra high limb for the first iteration.
+        if u.len() == a.len() {
+            u.push(0);
+        }
+        u
+    };
+    let v = shl_bits(b, shift);
+    let n = v.len();
+    let m = u.len() - n - if u.last() == Some(&0) { 1 } else { 0 };
+    let mut u = u;
+    if u.len() < n + m + 1 {
+        u.resize(n + m + 1, 0);
+    }
+    let mut q = vec![0u32; m + 1];
+    let v_hi = u64::from(v[n - 1]);
+    let v_next = u64::from(v[n - 2]);
+
+    for j in (0..=m).rev() {
+        // D3: estimate q_hat, clamped to a single limb so the correction
+        // products below cannot overflow u64.
+        let top = (u64::from(u[j + n]) << BITS) | u64::from(u[j + n - 1]);
+        let mut q_hat = top / v_hi;
+        let mut r_hat = top % v_hi;
+        if q_hat > u64::from(u32::MAX) {
+            q_hat = u64::from(u32::MAX);
+            r_hat = top - q_hat * v_hi;
+        }
+        while r_hat <= u64::from(u32::MAX)
+            && q_hat * v_next > ((r_hat << BITS) | u64::from(u[j + n - 2]))
+        {
+            q_hat -= 1;
+            r_hat += v_hi;
+        }
+
+        // D4: multiply-subtract u[j..j+n+1] -= q_hat * v.
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..n {
+            let p = q_hat * u64::from(v[i]) + carry;
+            carry = p >> BITS;
+            let d = i64::from(u[j + i]) - i64::from(p as u32) - borrow;
+            if d < 0 {
+                u[j + i] = (d + (1i64 << BITS)) as u32;
+                borrow = 1;
+            } else {
+                u[j + i] = d as u32;
+                borrow = 0;
+            }
+        }
+        let d = i64::from(u[j + n]) - i64::from(carry as u32) - borrow;
+        if d < 0 {
+            // D6: estimate was one too large; add back.
+            u[j + n] = (d + (1i64 << BITS)) as u32;
+            q_hat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let t = u64::from(u[j + i]) + u64::from(v[i]) + carry;
+                u[j + i] = t as u32;
+                carry = t >> BITS;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as u32);
+        } else {
+            u[j + n] = d as u32;
+        }
+        q[j] = q_hat as u32;
+    }
+
+    normalize(&mut q);
+    let mut rem = u;
+    rem.truncate(n);
+    normalize(&mut rem);
+    let rem = shr_bits(&rem, shift);
+    (q, rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_u128(mut x: u128) -> Vec<u32> {
+        let mut v = Vec::new();
+        while x > 0 {
+            v.push(x as u32);
+            x >>= 32;
+        }
+        v
+    }
+
+    fn to_u128(limbs: &[u32]) -> u128 {
+        limbs
+            .iter()
+            .rev()
+            .fold(0u128, |acc, &l| (acc << 32) | u128::from(l))
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = from_u128(0xffff_ffff_ffff_ffff_1234);
+        let b = from_u128(0xffff_ffff_abcd);
+        let s = add(&a, &b);
+        assert_eq!(to_u128(&s), 0xffff_ffff_ffff_ffff_1234 + 0xffff_ffff_abcd);
+        assert_eq!(sub(&s, &b), a);
+        assert_eq!(sub(&s, &a), b);
+    }
+
+    #[test]
+    fn sub_to_zero_is_empty() {
+        let a = from_u128(987_654_321);
+        assert!(sub(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn mul_small_matches_u128() {
+        for (x, y) in [(0u128, 5u128), (3, 4), (u64::MAX as u128, u64::MAX as u128)] {
+            let p = mul(&from_u128(x), &from_u128(y));
+            assert_eq!(to_u128(&p), x * y);
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Deterministic pseudo-random limbs, long enough to cross the threshold.
+        let mut seed = 0x9e37_79b9u32;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            seed
+        };
+        let a: Vec<u32> = (0..97).map(|_| next()).collect();
+        let b: Vec<u32> = (0..73).map(|_| next()).collect();
+        let mut a = a;
+        let mut b = b;
+        normalize(&mut a);
+        normalize(&mut b);
+        assert_eq!(mul(&a, &b), mul_schoolbook(&a, &b));
+    }
+
+    #[test]
+    fn div_rem_limb_invariant() {
+        let a = from_u128(0xdead_beef_cafe_babe_f00d);
+        let (q, r) = div_rem_limb(&a, 10007);
+        assert_eq!(
+            to_u128(&q) * 10007 + u128::from(r),
+            0xdead_beef_cafe_babe_f00d
+        );
+    }
+
+    #[test]
+    fn div_rem_invariant_multi_limb() {
+        let a = from_u128(0xffff_eeee_dddd_cccc_bbbb_aaaa_9999_8888);
+        let b = from_u128(0x1_2345_6789_abcd);
+        let (q, r) = div_rem(&a, &b);
+        let recomposed = add(&mul(&q, &b), &r);
+        assert_eq!(to_u128(&recomposed), to_u128(&a));
+        assert_eq!(cmp(&r, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_exercises_add_back_region() {
+        // Divisor with high bit set and second limb maximal stresses the
+        // q_hat over-estimate path.
+        let b = vec![0xffff_ffff, 0xffff_ffff, 0x8000_0000];
+        let a = {
+            let mut t = mul(&b, &[0xffff_fffe, 0x7]);
+            t = add(&t, &[12345]);
+            t
+        };
+        let (q, r) = div_rem(&a, &b);
+        assert_eq!(q, vec![0xffff_fffe, 0x7]);
+        assert_eq!(r, vec![12345]);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = from_u128(0x8000_0000_0000_0001);
+        for bits in 0..32 {
+            let s = shl_bits(&a, bits);
+            assert_eq!(shr_bits(&s, bits), a);
+        }
+    }
+
+    #[test]
+    fn cmp_orders_by_length_then_lex() {
+        assert_eq!(cmp(&[1, 1], &[u32::MAX]), Ordering::Greater);
+        assert_eq!(cmp(&[5], &[6]), Ordering::Less);
+        assert_eq!(cmp(&[7, 2], &[9, 2]), Ordering::Less);
+    }
+}

@@ -1,0 +1,236 @@
+//! Arithmetic operator implementations for [`BigInt`].
+//!
+//! All four combinations of owned/borrowed operands are provided; the
+//! by-reference forms do the work and the owned forms forward to them.
+
+use crate::int::BigInt;
+use crate::limbs;
+use crate::sign::Sign;
+use std::cmp::Ordering;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+/// Adds two signed magnitudes.
+fn signed_add(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::Zero, _) => b.clone(),
+        (_, Sign::Zero) => a.clone(),
+        (sa, sb) if sa == sb => BigInt::from_limbs(sa, limbs::add(&a.mag, &b.mag)),
+        (sa, _) => match limbs::cmp(&a.mag, &b.mag) {
+            Ordering::Equal => BigInt::new(),
+            Ordering::Greater => BigInt::from_limbs(sa, limbs::sub(&a.mag, &b.mag)),
+            Ordering::Less => BigInt::from_limbs(-sa, limbs::sub(&b.mag, &a.mag)),
+        },
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        signed_add(self, rhs)
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        signed_add(self, &-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_limbs(self.sign.mul(rhs.sign), limbs::mul(&self.mag, &rhs.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    /// Truncated division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    /// Remainder of truncated division (sign follows the dividend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: -self.sign,
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = -self.sign;
+        self
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self += &rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign for BigInt {
+    fn sub_assign(&mut self, rhs: BigInt) {
+        *self -= &rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign for BigInt {
+    fn mul_assign(&mut self, rhs: BigInt) {
+        *self *= &rhs;
+    }
+}
+
+impl Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::new(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a BigInt> for BigInt {
+    fn sum<I: Iterator<Item = &'a BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::new(), |acc, x| acc + x)
+    }
+}
+
+impl Product for BigInt {
+    fn product<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::one(), |acc, x| acc * x)
+    }
+}
+
+impl<'a> Product<&'a BigInt> for BigInt {
+    fn product<I: Iterator<Item = &'a BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::one(), |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigInt;
+
+    #[test]
+    fn mixed_sign_arithmetic_matches_i128() {
+        let xs = [-3_000_000_007i128, -12, -1, 0, 1, 17, 1 << 70];
+        for &x in &xs {
+            for &y in &xs {
+                assert_eq!(BigInt::from(x) + BigInt::from(y), BigInt::from(x + y));
+                assert_eq!(BigInt::from(x) - BigInt::from(y), BigInt::from(x - y));
+                if x.checked_mul(y).is_some() {
+                    assert_eq!(BigInt::from(x) * BigInt::from(y), BigInt::from(x * y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = BigInt::from(10);
+        x += BigInt::from(5);
+        x -= BigInt::from(3);
+        x *= BigInt::from(-2);
+        assert_eq!(x, BigInt::from(-24));
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let xs: Vec<BigInt> = (1..=6).map(BigInt::from).collect();
+        assert_eq!(xs.iter().sum::<BigInt>(), BigInt::from(21));
+        assert_eq!(xs.iter().product::<BigInt>(), BigInt::from(720));
+        assert_eq!(
+            Vec::<BigInt>::new().into_iter().sum::<BigInt>(),
+            BigInt::new()
+        );
+        assert_eq!(
+            Vec::<BigInt>::new().into_iter().product::<BigInt>(),
+            BigInt::one()
+        );
+    }
+
+    #[test]
+    fn add_cancellation_produces_canonical_zero() {
+        let a = BigInt::from(1u64 << 50);
+        let z = &a - &a;
+        assert!(z.is_zero());
+        assert_eq!(z, BigInt::new());
+    }
+
+    #[test]
+    fn div_and_rem_operators() {
+        let a = BigInt::from(1000);
+        let b = BigInt::from(-7);
+        assert_eq!(&a / &b, BigInt::from(-142));
+        assert_eq!(&a % &b, BigInt::from(6));
+    }
+}

@@ -1,0 +1,197 @@
+//! Decimal parsing and formatting.
+
+use crate::int::BigInt;
+use crate::limbs;
+use crate::sign::Sign;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a [`BigInt`] from a string fails.
+///
+/// ```
+/// use bigint::BigInt;
+/// assert!("12x34".parse::<BigInt>().is_err());
+/// assert!("".parse::<BigInt>().is_err());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => f.write_str("cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+/// Crate-internal constructor for radix parsing errors.
+pub(crate) fn invalid_digit(c: char) -> ParseBigIntError {
+    ParseBigIntError {
+        kind: ParseErrorKind::InvalidDigit(c),
+    }
+}
+
+/// Crate-internal constructor for empty-input errors.
+pub(crate) fn empty_input() -> ParseBigIntError {
+    ParseBigIntError {
+        kind: ParseErrorKind::Empty,
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    /// Parses an optionally signed decimal integer. Underscores are
+    /// accepted as digit separators (`"1_000_000"`).
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut mag: Vec<u32> = Vec::new();
+        let mut seen_digit = false;
+        // Consume nine decimal digits at a time: mag = mag*10^k + chunk.
+        let mut chunk = 0u32;
+        let mut chunk_len = 0u32;
+        let flush = |mag: &mut Vec<u32>, chunk: u32, chunk_len: u32| {
+            if chunk_len == 0 {
+                return;
+            }
+            let scale = 10u32.pow(chunk_len);
+            let mut carry = u64::from(chunk);
+            for limb in mag.iter_mut() {
+                let t = u64::from(*limb) * u64::from(scale) + carry;
+                *limb = t as u32;
+                carry = t >> 32;
+            }
+            while carry != 0 {
+                mag.push(carry as u32);
+                carry >>= 32;
+            }
+        };
+        for c in digits.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or(ParseBigIntError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            seen_digit = true;
+            chunk = chunk * 10 + d;
+            chunk_len += 1;
+            if chunk_len == 9 {
+                flush(&mut mag, chunk, chunk_len);
+                chunk = 0;
+                chunk_len = 0;
+            }
+        }
+        if !seen_digit {
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        flush(&mut mag, chunk, chunk_len);
+        Ok(BigInt::from_limbs(sign, mag))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel nine decimal digits at a time.
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = limbs::div_rem_limb(&mag, 1_000_000_000);
+            chunks.push(r);
+            mag = q;
+        }
+        let mut digits = chunks.last().map_or_else(String::new, |c| c.to_string());
+        for c in chunks.iter().rev().skip(1) {
+            digits.push_str(&format!("{c:09}"));
+        }
+        f.pad_integral(self.sign != Sign::Minus, "", &digits)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip_small() {
+        for s in ["0", "1", "-1", "42", "-99999", "1000000000000000000000000"] {
+            let x: BigInt = s.parse().unwrap();
+            assert_eq!(x.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn plus_prefix_and_underscores() {
+        assert_eq!("+17".parse::<BigInt>().unwrap(), BigInt::from(17));
+        assert_eq!(
+            "1_000_000".parse::<BigInt>().unwrap(),
+            BigInt::from(1_000_000)
+        );
+    }
+
+    #[test]
+    fn negative_zero_is_zero() {
+        let x: BigInt = "-0".parse().unwrap();
+        assert!(x.is_zero());
+        assert_eq!(x.to_string(), "0");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("_".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("0x10".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn display_pads_with_internal_zero_chunks() {
+        // 10^18 + 7: middle chunk must render as 000000000.
+        let x: BigInt = "1000000000000000007".parse().unwrap();
+        assert_eq!(x.to_string(), "1000000000000000007");
+        assert_eq!(x, BigInt::from(1_000_000_000_000_000_007u64));
+    }
+
+    #[test]
+    fn factorial_100_known_value() {
+        let mut f = BigInt::one();
+        for i in 2u32..=100 {
+            f *= BigInt::from(i);
+        }
+        let expected = "93326215443944152681699238856266700490715968264381621468\
+                        59296389521759999322991560894146397615651828625369792082\
+                        7223758251185210916864000000000000000000000000";
+        assert_eq!(f.to_string(), expected.replace(char::is_whitespace, ""));
+    }
+}

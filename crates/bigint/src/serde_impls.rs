@@ -1,0 +1,40 @@
+//! Serde support (behind the `serde` feature): big integers travel as
+//! decimal strings, which every format and every consumer can parse
+//! losslessly.
+
+use crate::int::BigInt;
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for BigInt {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for BigInt {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BigInt, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        text.parse().map_err(DeError::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::de::value::{Error as ValueError, StrDeserializer};
+    use serde::de::IntoDeserializer;
+
+    #[test]
+    fn deserializes_from_string_token() {
+        let de: StrDeserializer<'_, ValueError> = "-12345678901234567890".into_deserializer();
+        let x = BigInt::deserialize(de).unwrap();
+        assert_eq!(x, -("12345678901234567890".parse::<BigInt>().unwrap()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let de: StrDeserializer<'_, ValueError> = "12x".into_deserializer();
+        assert!(BigInt::deserialize(de).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The sign of a [`BigInt`](crate::BigInt).
+
+use std::ops::Neg;
+
+/// Sign of a [`BigInt`](crate::BigInt).
+///
+/// The invariant maintained throughout the crate is that a zero value
+/// always carries [`Sign::Zero`]; `Plus`/`Minus` imply a non-empty
+/// magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use bigint::{BigInt, Sign};
+///
+/// assert_eq!(BigInt::from(-3).sign(), Sign::Minus);
+/// assert_eq!(BigInt::from(0).sign(), Sign::Zero);
+/// assert_eq!((-BigInt::from(-3)).sign(), Sign::Plus);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    /// Returns the product sign of `self` and `other`.
+    ///
+    /// ```
+    /// use bigint::Sign;
+    /// assert_eq!(Sign::Minus.mul(Sign::Minus), Sign::Plus);
+    /// assert_eq!(Sign::Minus.mul(Sign::Zero), Sign::Zero);
+    /// ```
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // also provided as std::ops::Mul below
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Plus, Sign::Plus) | (Sign::Minus, Sign::Minus) => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+
+    /// Returns `1`, `0`, or `-1` as an `i32`.
+    ///
+    /// ```
+    /// use bigint::Sign;
+    /// assert_eq!(Sign::Minus.signum(), -1);
+    /// ```
+    #[must_use]
+    pub fn signum(self) -> i32 {
+        match self {
+            Sign::Minus => -1,
+            Sign::Zero => 0,
+            Sign::Plus => 1,
+        }
+    }
+}
+
+impl std::ops::Mul for Sign {
+    type Output = Sign;
+
+    fn mul(self, rhs: Sign) -> Sign {
+        Sign::mul(self, rhs)
+    }
+}
+
+impl Neg for Sign {
+    type Output = Sign;
+
+    fn neg(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_table() {
+        use Sign::*;
+        assert_eq!(Plus.mul(Plus), Plus);
+        assert_eq!(Plus.mul(Minus), Minus);
+        assert_eq!(Minus.mul(Plus), Minus);
+        assert_eq!(Minus.mul(Minus), Plus);
+        for s in [Minus, Zero, Plus] {
+            assert_eq!(s.mul(Zero), Zero);
+            assert_eq!(Zero.mul(s), Zero);
+        }
+    }
+
+    #[test]
+    fn neg_is_involution() {
+        for s in [Sign::Minus, Sign::Zero, Sign::Plus] {
+            assert_eq!(-(-s), s);
+        }
+    }
+
+    #[test]
+    fn signum_matches_order() {
+        assert!(Sign::Minus < Sign::Zero && Sign::Zero < Sign::Plus);
+        assert_eq!(Sign::Plus.signum(), 1);
+        assert_eq!(Sign::Zero.signum(), 0);
+    }
+}

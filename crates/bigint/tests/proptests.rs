@@ -1,0 +1,109 @@
+//! Property-based tests for `BigInt`: ring axioms, division invariants,
+//! parse/display round-trips, and agreement with `i128` on small values.
+
+use bigint::BigInt;
+use proptest::prelude::*;
+
+/// Strategy producing a `BigInt` spanning one to several limbs.
+fn any_bigint() -> impl Strategy<Value = BigInt> {
+    proptest::collection::vec(any::<u32>(), 0..6).prop_flat_map(|limbs| {
+        (Just(limbs), any::<bool>()).prop_map(|(limbs, neg)| {
+            let x = limbs.iter().rev().fold(BigInt::new(), |acc, &l| {
+                acc * BigInt::from(1u64 << 32) + BigInt::from(l)
+            });
+            if neg {
+                -x
+            } else {
+                x
+            }
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in any_bigint(), b in any_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn addition_associates(a in any_bigint(), b in any_bigint(), c in any_bigint()) {
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in any_bigint(), b in any_bigint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in any_bigint(), b in any_bigint(), c in any_bigint()) {
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+    }
+
+    #[test]
+    fn distributivity(a in any_bigint(), b in any_bigint(), c in any_bigint()) {
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in any_bigint(), b in any_bigint()) {
+        prop_assert_eq!((&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any_bigint(), b in any_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a.clone());
+        prop_assert!(r.cmp_abs(&b) == std::cmp::Ordering::Less);
+        // Remainder sign convention matches the dividend.
+        prop_assert!(r.is_zero() || r.is_negative() == a.is_negative());
+    }
+
+    #[test]
+    fn parse_display_roundtrip(a in any_bigint()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+    }
+
+    #[test]
+    fn matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (a128, b128) = (i128::from(a), i128::from(b));
+        prop_assert_eq!(BigInt::from(a) + BigInt::from(b), BigInt::from(a128 + b128));
+        prop_assert_eq!(BigInt::from(a) * BigInt::from(b), BigInt::from(a128 * b128));
+        if b != 0 {
+            prop_assert_eq!(BigInt::from(a) / BigInt::from(b), BigInt::from(a128 / b128));
+            prop_assert_eq!(BigInt::from(a) % BigInt::from(b), BigInt::from(a128 % b128));
+        }
+    }
+
+    #[test]
+    fn gcd_properties(a in any_bigint(), b in any_bigint()) {
+        let g = a.gcd(&b);
+        if g.is_zero() {
+            prop_assert!(a.is_zero() && b.is_zero());
+        } else {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        }
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in any_bigint(), e1 in 0u32..6, e2 in 0u32..6) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in any_bigint(), b in any_bigint()) {
+        let diff = &a - &b;
+        prop_assert_eq!(a.cmp(&b), diff.cmp(&BigInt::new()));
+    }
+
+    #[test]
+    fn to_f64_tracks_i64(a in any::<i64>()) {
+        let exact = a as f64;
+        let got = BigInt::from(a).to_f64();
+        prop_assert!((got - exact).abs() <= exact.abs() * 1e-12);
+    }
+}

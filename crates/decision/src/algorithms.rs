@@ -1,0 +1,273 @@
+//! The two algorithm families of the no-communication case.
+
+use crate::ModelError;
+use rational::Rational;
+
+/// One of the two bins a player can choose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bin {
+    /// The bin labelled `0`.
+    Zero,
+    /// The bin labelled `1`.
+    One,
+}
+
+impl Bin {
+    /// Returns the opposite bin.
+    #[must_use]
+    pub fn other(self) -> Bin {
+        match self {
+            Bin::Zero => Bin::One,
+            Bin::One => Bin::Zero,
+        }
+    }
+}
+
+/// A local decision rule: what player `i` does given only its own
+/// input — the defining constraint of the no-communication case.
+///
+/// `coin` is a uniform `[0,1)` sample supplied by the harness so that
+/// randomized rules stay deterministic given the harness RNG; purely
+/// deterministic rules ignore it.
+pub trait LocalRule: Send + Sync {
+    /// Number of players in the system.
+    fn n(&self) -> usize;
+
+    /// The bin player `player` chooses on input `input`, given a
+    /// private uniform `coin`.
+    fn decide(&self, player: usize, input: f64, coin: f64) -> Bin;
+}
+
+/// An oblivious algorithm: each player ignores its input and picks
+/// bin 0 with probability `α_i` (the paper's probability vector `ᾱ`).
+///
+/// # Examples
+///
+/// ```
+/// use decision::ObliviousAlgorithm;
+/// use rational::Rational;
+///
+/// let fair = ObliviousAlgorithm::fair(4);
+/// assert_eq!(fair.probabilities()[0], Rational::ratio(1, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObliviousAlgorithm {
+    /// `α_i = P(player i chooses bin 0)`.
+    alpha: Vec<Rational>,
+}
+
+impl ObliviousAlgorithm {
+    /// Constructs from the probability vector `α` (per-player
+    /// probability of choosing bin 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if fewer than two players or any
+    /// probability lies outside `[0, 1]`.
+    pub fn new(alpha: Vec<Rational>) -> Result<ObliviousAlgorithm, ModelError> {
+        if alpha.len() < 2 {
+            return Err(ModelError::TooFewPlayers { n: alpha.len() });
+        }
+        for (index, a) in alpha.iter().enumerate() {
+            if a.is_negative() || a > &Rational::one() {
+                return Err(ModelError::ProbabilityOutOfRange { index });
+            }
+        }
+        Ok(ObliviousAlgorithm { alpha })
+    }
+
+    /// The symmetric algorithm where every player uses the same `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on invalid `n` or `alpha`.
+    pub fn symmetric(n: usize, alpha: Rational) -> Result<ObliviousAlgorithm, ModelError> {
+        ObliviousAlgorithm::new(vec![alpha; n])
+    }
+
+    /// The optimal uniform algorithm `α = 1/2` (Theorem 4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn fair(n: usize) -> ObliviousAlgorithm {
+        ObliviousAlgorithm::symmetric(n, Rational::ratio(1, 2)).expect("n >= 2")
+    }
+
+    /// The probability vector `α`.
+    #[must_use]
+    pub fn probabilities(&self) -> &[Rational] {
+        &self.alpha
+    }
+
+    /// Number of players.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Returns `true` iff all players use the same probability.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        self.alpha.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+impl LocalRule for ObliviousAlgorithm {
+    fn n(&self) -> usize {
+        self.alpha.len()
+    }
+
+    fn decide(&self, player: usize, _input: f64, coin: f64) -> Bin {
+        if coin < self.alpha[player].to_f64() {
+            Bin::Zero
+        } else {
+            Bin::One
+        }
+    }
+}
+
+/// A deterministic single-threshold algorithm: player `i` picks bin 0
+/// iff `x_i ≤ a_i` (the paper's non-oblivious family).
+///
+/// # Examples
+///
+/// ```
+/// use decision::{Bin, LocalRule, SingleThresholdAlgorithm};
+/// use rational::Rational;
+///
+/// let a = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(5, 8)).unwrap();
+/// assert_eq!(a.decide(0, 0.5, 0.0), Bin::Zero);
+/// assert_eq!(a.decide(0, 0.7, 0.0), Bin::One);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SingleThresholdAlgorithm {
+    /// `a_i`: player `i` chooses bin 0 iff `x_i ≤ a_i`.
+    thresholds: Vec<Rational>,
+}
+
+impl SingleThresholdAlgorithm {
+    /// Constructs from the threshold vector `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if fewer than two players or any
+    /// threshold lies outside `[0, 1]`.
+    pub fn new(thresholds: Vec<Rational>) -> Result<SingleThresholdAlgorithm, ModelError> {
+        if thresholds.len() < 2 {
+            return Err(ModelError::TooFewPlayers {
+                n: thresholds.len(),
+            });
+        }
+        for (index, a) in thresholds.iter().enumerate() {
+            if a.is_negative() || a > &Rational::one() {
+                return Err(ModelError::ThresholdOutOfRange { index });
+            }
+        }
+        Ok(SingleThresholdAlgorithm { thresholds })
+    }
+
+    /// The symmetric algorithm where every player uses threshold `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on invalid `n` or `beta`.
+    pub fn symmetric(n: usize, beta: Rational) -> Result<SingleThresholdAlgorithm, ModelError> {
+        SingleThresholdAlgorithm::new(vec![beta; n])
+    }
+
+    /// The threshold vector `a`.
+    #[must_use]
+    pub fn thresholds(&self) -> &[Rational] {
+        &self.thresholds
+    }
+
+    /// Number of players.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Returns `true` iff all players use the same threshold.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        self.thresholds.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+impl LocalRule for SingleThresholdAlgorithm {
+    fn n(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    fn decide(&self, player: usize, input: f64, _coin: f64) -> Bin {
+        if input <= self.thresholds[player].to_f64() {
+            Bin::Zero
+        } else {
+            Bin::One
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn oblivious_validation() {
+        assert_eq!(
+            ObliviousAlgorithm::new(vec![r(1, 2)]),
+            Err(ModelError::TooFewPlayers { n: 1 })
+        );
+        assert_eq!(
+            ObliviousAlgorithm::new(vec![r(1, 2), r(3, 2)]),
+            Err(ModelError::ProbabilityOutOfRange { index: 1 })
+        );
+        assert!(ObliviousAlgorithm::new(vec![r(0, 1), r(1, 1)]).is_ok());
+    }
+
+    #[test]
+    fn threshold_validation() {
+        assert_eq!(
+            SingleThresholdAlgorithm::new(vec![r(1, 2), r(-1, 4)]),
+            Err(ModelError::ThresholdOutOfRange { index: 1 })
+        );
+        let a = SingleThresholdAlgorithm::new(vec![r(1, 2), r(1, 4), r(1, 2)]).unwrap();
+        assert!(!a.is_symmetric());
+        assert!(SingleThresholdAlgorithm::symmetric(5, r(1, 3))
+            .unwrap()
+            .is_symmetric());
+    }
+
+    #[test]
+    fn oblivious_rule_uses_coin_not_input() {
+        let a = ObliviousAlgorithm::new(vec![r(1, 2), r(1, 2)]).unwrap();
+        assert_eq!(a.decide(0, 0.99, 0.1), Bin::Zero);
+        assert_eq!(a.decide(0, 0.01, 0.9), Bin::One);
+    }
+
+    #[test]
+    fn threshold_rule_uses_input_not_coin() {
+        let a = SingleThresholdAlgorithm::symmetric(2, r(1, 2)).unwrap();
+        assert_eq!(a.decide(1, 0.4, 0.99), Bin::Zero);
+        assert_eq!(a.decide(1, 0.6, 0.01), Bin::One);
+    }
+
+    #[test]
+    fn bin_other_flips() {
+        assert_eq!(Bin::Zero.other(), Bin::One);
+        assert_eq!(Bin::One.other(), Bin::Zero);
+    }
+
+    #[test]
+    fn extreme_thresholds_are_degenerate_but_legal() {
+        let a = SingleThresholdAlgorithm::new(vec![r(0, 1), r(1, 1)]).unwrap();
+        assert_eq!(a.decide(0, 0.5, 0.0), Bin::One); // threshold 0: always bin 1
+        assert_eq!(a.decide(1, 0.5, 0.0), Bin::Zero); // threshold 1: always bin 0
+    }
+}

@@ -1,0 +1,103 @@
+//! The bin capacity `δ`.
+
+use crate::ModelError;
+use rational::Rational;
+use std::fmt;
+
+/// The common capacity `δ > 0` of the two bins (the parameter `t` of
+/// the paper's winning probability `P_A(t)`).
+///
+/// Papadimitriou & Yannakakis studied `δ = 1`; the paper lets
+/// `δ` grow with `n` "to compensate for the increase in the number of
+/// players" (e.g. `δ = 4/3` for `n = 4`).
+///
+/// # Examples
+///
+/// ```
+/// use decision::Capacity;
+/// use rational::Rational;
+///
+/// let unit = Capacity::unit();
+/// assert_eq!(unit.value(), &Rational::one());
+/// let scaled = Capacity::proportional(5, 3); // δ = n/3 for n = 5
+/// assert_eq!(scaled.value(), &Rational::ratio(5, 3));
+/// assert!(Capacity::new(Rational::zero()).is_err());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Capacity {
+    delta: Rational,
+}
+
+impl Capacity {
+    /// Constructs a capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonPositiveCapacity`] unless `δ > 0`.
+    pub fn new(delta: Rational) -> Result<Capacity, ModelError> {
+        if !delta.is_positive() {
+            return Err(ModelError::NonPositiveCapacity);
+        }
+        Ok(Capacity { delta })
+    }
+
+    /// The classical capacity `δ = 1`.
+    #[must_use]
+    pub fn unit() -> Capacity {
+        Capacity {
+            delta: Rational::one(),
+        }
+    }
+
+    /// The scaled capacity `δ = n / divisor`, the paper's rule for
+    /// keeping the problem comparable across system sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `divisor` is zero.
+    #[must_use]
+    pub fn proportional(n: usize, divisor: i64) -> Capacity {
+        assert!(n > 0 && divisor > 0, "capacity must be positive");
+        Capacity {
+            delta: Rational::ratio(n as i64, divisor),
+        }
+    }
+
+    /// The exact value of `δ`.
+    #[must_use]
+    pub fn value(&self) -> &Rational {
+        &self.delta
+    }
+
+    /// `δ` as `f64`.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.delta.to_f64()
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δ = {}", self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Capacity::unit().value(), &Rational::one());
+        assert_eq!(Capacity::proportional(4, 3).value(), &Rational::ratio(4, 3));
+        assert_eq!(
+            Capacity::new(Rational::ratio(-1, 2)),
+            Err(ModelError::NonPositiveCapacity)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Capacity::proportional(4, 3).to_string(), "δ = 4/3");
+    }
+}

@@ -1,0 +1,445 @@
+//! Theorem 5.2 in full generality: exact optimality conditions for
+//! *arbitrary* (asymmetric) single-threshold algorithms.
+//!
+//! For a fixed threshold vector, the winning probability viewed as a
+//! function of one coordinate `a_k` is a piecewise polynomial — the
+//! inclusion–exclusion indicators of Theorem 5.1 flip only where a
+//! subset sum crosses `δ` (bin 0) or where `|J| = m − δ + Σ_J a_l`
+//! (bin 1). This module constructs that piecewise polynomial exactly,
+//! which yields:
+//!
+//! * [`partial_piecewise`] — `P(a_k)` with the other coordinates
+//!   frozen, as an exact `PiecewisePolynomial`;
+//! * [`optimality_gradient`] — the exact gradient `∂P/∂a_k` at a
+//!   point, the paper's Theorem 5.2 conditions (an optimal interior
+//!   algorithm must zero it);
+//! * [`coordinate_optimal`] — the exact best response in one
+//!   coordinate, enabling certified coordinate ascent.
+
+use crate::{Capacity, ModelError, SingleThresholdAlgorithm};
+use polynomial::{PiecewisePolynomial, Polynomial};
+use rational::{factorial_rational, Rational};
+
+/// Largest player count for the symbolic `2^n`-subset construction.
+const MAX_SYMBOLIC_PLAYERS: usize = 12;
+
+/// The winning probability as an exact piecewise polynomial in the
+/// `k`-th threshold, all other thresholds frozen at their values in
+/// `algo`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if `n > 12`
+/// (the construction enumerates subsets of players).
+///
+/// # Examples
+///
+/// ```
+/// use decision::{conditions, Capacity, SingleThresholdAlgorithm};
+/// use rational::Rational;
+///
+/// let algo = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(1, 2)).unwrap();
+/// let curve = conditions::partial_piecewise(&algo, 0, &Capacity::unit()).unwrap();
+/// // Evaluating at x reproduces the direct winning probability with
+/// // a_0 = x.
+/// let x = Rational::ratio(3, 4);
+/// let direct = decision::winning_probability_threshold(
+///     &SingleThresholdAlgorithm::new(vec![
+///         x.clone(), Rational::ratio(1, 2), Rational::ratio(1, 2),
+///     ]).unwrap(),
+///     &Capacity::unit(),
+/// ).unwrap();
+/// assert_eq!(curve.eval(&x), Some(direct));
+/// ```
+pub fn partial_piecewise(
+    algo: &SingleThresholdAlgorithm,
+    k: usize,
+    capacity: &Capacity,
+) -> Result<PiecewisePolynomial<Rational>, ModelError> {
+    let n = algo.n();
+    assert!(k < n, "player index out of range");
+    if n > MAX_SYMBOLIC_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_SYMBOLIC_PLAYERS,
+        });
+    }
+    let delta = capacity.value();
+    let others: Vec<Rational> = algo
+        .thresholds()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != k)
+        .map(|(_, a)| a.clone())
+        .collect();
+
+    let breakpoints = breakpoints_in_x(&others, n, delta);
+    let mut pieces = Vec::with_capacity(breakpoints.len() - 1);
+    for window in breakpoints.windows(2) {
+        let probe = window[0].midpoint(&window[1]);
+        pieces.push(piece_in_x(&others, delta, &probe));
+    }
+    Ok(PiecewisePolynomial::new(breakpoints, pieces))
+}
+
+/// The exact gradient `(∂P/∂a_1, …, ∂P/∂a_n)` at the algorithm's
+/// threshold vector — Theorem 5.2's optimality conditions. At an
+/// interior optimum every entry is zero.
+///
+/// At a break-point of the piecewise structure the one-sided (left)
+/// derivative is reported, matching the `(lo, hi]` piece convention.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if `n > 12`.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{conditions, Capacity, SingleThresholdAlgorithm};
+/// use rational::Rational;
+///
+/// // At β = 1/2 < β* the symmetric gradient pushes every threshold up.
+/// let algo = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(1, 2)).unwrap();
+/// let grad = conditions::optimality_gradient(&algo, &Capacity::unit()).unwrap();
+/// assert!(grad.iter().all(Rational::is_positive));
+/// ```
+pub fn optimality_gradient(
+    algo: &SingleThresholdAlgorithm,
+    capacity: &Capacity,
+) -> Result<Vec<Rational>, ModelError> {
+    (0..algo.n())
+        .map(|k| {
+            let curve = partial_piecewise(algo, k, capacity)?;
+            let x = &algo.thresholds()[k];
+            let piece = curve.piece_index(x).expect("threshold in [0,1]");
+            Ok(curve.pieces()[piece].derivative().eval(x))
+        })
+        .collect()
+}
+
+/// The exact best response in coordinate `k`: the threshold value in
+/// `[0, 1]` maximizing `P` with all other coordinates frozen, found by
+/// exact maximization of the piecewise polynomial.
+///
+/// Returns `(argmax, value)`; the argmax is exact when rational and a
+/// `tol`-refined rational enclosure point otherwise.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if `n > 12`.
+pub fn coordinate_optimal(
+    algo: &SingleThresholdAlgorithm,
+    k: usize,
+    capacity: &Capacity,
+    tol: &Rational,
+) -> Result<(Rational, Rational), ModelError> {
+    let curve = partial_piecewise(algo, k, capacity)?;
+    let report = curve.maximize(tol);
+    Ok((report.argmax, report.value))
+}
+
+/// Candidate break-points of `P(x)` in `(0, 1)`, where `x` stands for
+/// the distinguished player's threshold:
+///
+/// * bin-0 indicators flip at `x = δ − Σ_S a_l` for subsets `S` of the
+///   other players;
+/// * bin-1 indicators flip at `x = j − m + δ − Σ_T a_l` where
+///   `T ⊆ others`, `j = |T| + 1` counts the subset including the
+///   distinguished player, and `m ∈ {j..n}` ranges over possible
+///   bin-1 sizes.
+fn breakpoints_in_x(others: &[Rational], n: usize, delta: &Rational) -> Vec<Rational> {
+    let zero = Rational::zero();
+    let one = Rational::one();
+    let mut points = vec![zero.clone(), one.clone()];
+    let w = others.len();
+    for mask in 0usize..(1 << w) {
+        let sum: Rational = (0..w)
+            .filter(|l| mask >> l & 1 == 1)
+            .map(|l| others[l].clone())
+            .sum();
+        let candidate = delta - &sum;
+        if candidate > zero && candidate < one {
+            points.push(candidate);
+        }
+        let j = mask.count_ones() as i64 + 1;
+        for m in j..=n as i64 {
+            let candidate = Rational::integer(j - m) + delta - &sum;
+            if candidate > zero && candidate < one {
+                points.push(candidate);
+            }
+        }
+    }
+    points.sort();
+    points.dedup();
+    points
+}
+
+/// Assembles the exact polynomial in `x` valid around `probe`:
+/// sum over decisions of the other players and the two placements of
+/// the distinguished player.
+fn piece_in_x(others: &[Rational], delta: &Rational, probe: &Rational) -> Polynomial<Rational> {
+    let w = others.len();
+    let mut total = Polynomial::zero();
+    for mask in 0usize..(1 << w) {
+        let bin0: Vec<Rational> = (0..w)
+            .filter(|l| mask >> l & 1 == 0)
+            .map(|l| others[l].clone())
+            .collect();
+        let bin1: Vec<Rational> = (0..w)
+            .filter(|l| mask >> l & 1 == 1)
+            .map(|l| others[l].clone())
+            .collect();
+        // Distinguished player in bin 0: A is symbolic, B constant.
+        let a_sym = lemma_2_4_product(&bin0, true, delta, probe);
+        let b_const = lemma_2_7_product(&bin1, false, delta, probe);
+        total = &total + &(&a_sym * &b_const);
+        // Distinguished player in bin 1: A constant, B symbolic.
+        let a_const = lemma_2_4_product(&bin0, false, delta, probe);
+        let b_sym = lemma_2_7_product(&bin1, true, delta, probe);
+        total = &total + &(&a_const * &b_sym);
+    }
+    total
+}
+
+/// `P(bin-0 choice) · P(Σ₀ ≤ δ | bin 0)` as a polynomial in `x`
+/// (Lemma 2.4 with the decision probability absorbed):
+/// `(1/m!) Σ_{I: Σ_I < δ at probe} (−1)^{|I|} (δ − Σ_I)^m`,
+/// where the group is `widths` plus, when `with_x`, the symbolic
+/// threshold `x`.
+fn lemma_2_4_product(
+    widths: &[Rational],
+    with_x: bool,
+    delta: &Rational,
+    probe: &Rational,
+) -> Polynomial<Rational> {
+    let m = widths.len() + usize::from(with_x);
+    if m == 0 {
+        return Polynomial::one();
+    }
+    let w = widths.len();
+    let mut acc = Polynomial::zero();
+    for mask in 0usize..(1 << w) {
+        let base: Rational = (0..w)
+            .filter(|l| mask >> l & 1 == 1)
+            .map(|l| widths[l].clone())
+            .sum();
+        let base_size = mask.count_ones() as usize;
+        for include_x in [false, true] {
+            if include_x && !with_x {
+                continue;
+            }
+            // Indicator Σ_I < δ evaluated with x = probe.
+            let at_probe = if include_x {
+                &base + probe
+            } else {
+                base.clone()
+            };
+            if &at_probe >= delta {
+                continue;
+            }
+            // (δ − base − [x]) ^ m as a polynomial in x.
+            let linear = Polynomial::new(vec![
+                delta - &base,
+                if include_x {
+                    -Rational::one()
+                } else {
+                    Rational::zero()
+                },
+            ]);
+            let term = linear.pow(m as u32);
+            if (base_size + usize::from(include_x)).is_multiple_of(2) {
+                acc = &acc + &term;
+            } else {
+                acc = &acc - &term;
+            }
+        }
+    }
+    acc.scale(&factorial_rational(m as u32).recip())
+}
+
+/// `P(bin-1 choice) · P(Σ₁ ≤ δ | bin 1)` as a polynomial in `x`
+/// (Lemma 2.7 with the decision probability absorbed):
+/// `Π (1−a_l) − (1/m!) Σ_{J: |J| < m−δ+Σ_J at probe}
+/// (−1)^{|J|} (m − δ − |J| + Σ_J)^m`.
+fn lemma_2_7_product(
+    thresholds: &[Rational],
+    with_x: bool,
+    delta: &Rational,
+    probe: &Rational,
+) -> Polynomial<Rational> {
+    let m = thresholds.len() + usize::from(with_x);
+    if m == 0 {
+        return Polynomial::one();
+    }
+    let m_rat = Rational::integer(m as i64);
+    // Leading product Π (1 − a_l), symbolic in x when included.
+    let mut lead = Polynomial::constant(
+        thresholds
+            .iter()
+            .map(|a| Rational::one() - a)
+            .product::<Rational>(),
+    );
+    if with_x {
+        lead = &lead * &Polynomial::new(vec![Rational::one(), -Rational::one()]);
+    }
+
+    let w = thresholds.len();
+    let mut acc = Polynomial::zero();
+    for mask in 0usize..(1 << w) {
+        let base: Rational = (0..w)
+            .filter(|l| mask >> l & 1 == 1)
+            .map(|l| thresholds[l].clone())
+            .sum();
+        let base_size = mask.count_ones() as i64;
+        for include_x in [false, true] {
+            if include_x && !with_x {
+                continue;
+            }
+            let j = base_size + i64::from(include_x);
+            // Indicator j < m − δ + Σ_J with x = probe.
+            let sum_at_probe = if include_x {
+                &base + probe
+            } else {
+                base.clone()
+            };
+            if Rational::integer(j) >= &m_rat - delta + &sum_at_probe {
+                continue;
+            }
+            // (m − δ − j + base + [x]) ^ m as a polynomial in x.
+            let constant = &m_rat - delta - Rational::integer(j) + &base;
+            let linear = Polynomial::new(vec![
+                constant,
+                if include_x {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                },
+            ]);
+            let term = linear.pow(m as u32);
+            if j % 2 == 0 {
+                acc = &acc + &term;
+            } else {
+                acc = &acc - &term;
+            }
+        }
+    }
+    &lead - &acc.scale(&factorial_rational(m as u32).recip())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::winning_probability_threshold;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    fn unit() -> Capacity {
+        Capacity::unit()
+    }
+
+    #[test]
+    fn partial_matches_direct_evaluation_asymmetric() {
+        let base = SingleThresholdAlgorithm::new(vec![r(1, 2), r(2, 3), r(1, 4)]).unwrap();
+        for k in 0..3 {
+            let curve = partial_piecewise(&base, k, &unit()).unwrap();
+            assert!(curve.is_continuous(), "k = {k}");
+            for num in 0..=10 {
+                let x = r(num, 10);
+                let mut thresholds = base.thresholds().to_vec();
+                thresholds[k] = x.clone();
+                let direct = winning_probability_threshold(
+                    &SingleThresholdAlgorithm::new(thresholds).unwrap(),
+                    &unit(),
+                )
+                .unwrap();
+                assert_eq!(curve.eval(&x).unwrap(), direct, "k={k}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_gradient_sums_to_total_derivative() {
+        // Chain rule along the diagonal: dP(β)/dβ = Σ_k ∂P/∂a_k.
+        for n in [3usize, 4] {
+            let cap = unit();
+            let pw = crate::symmetric::analyze(n, &cap).unwrap();
+            for (num, den) in [(2i64, 5i64), (1, 2), (7, 10)] {
+                let beta = r(num, den);
+                let algo = SingleThresholdAlgorithm::symmetric(n, beta.clone()).unwrap();
+                let grad = optimality_gradient(&algo, &cap).unwrap();
+                let total: Rational = grad.iter().sum();
+                let piece = pw.piece_index(&beta).unwrap();
+                let dbeta = pw.pieces()[piece].derivative().eval(&beta);
+                assert_eq!(total, dbeta, "n={n}, β={beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let algo =
+            SingleThresholdAlgorithm::new(vec![r(2, 5), r(3, 5), r(1, 2), r(7, 10)]).unwrap();
+        let cap = Capacity::new(r(4, 3)).unwrap();
+        let grad = optimality_gradient(&algo, &cap).unwrap();
+        let h = r(1, 1_000_000);
+        for k in 0..4 {
+            let mut up = algo.thresholds().to_vec();
+            up[k] = &up[k] + &h;
+            let mut down = algo.thresholds().to_vec();
+            down[k] = &down[k] - &h;
+            let p_up =
+                winning_probability_threshold(&SingleThresholdAlgorithm::new(up).unwrap(), &cap)
+                    .unwrap();
+            let p_down =
+                winning_probability_threshold(&SingleThresholdAlgorithm::new(down).unwrap(), &cap)
+                    .unwrap();
+            let numeric = (p_up - p_down) / (r(2, 1) * h.clone());
+            let diff = (&grad[k] - &numeric).abs();
+            assert!(
+                diff < r(1, 1000),
+                "k={k}: exact {} vs numeric {}",
+                grad[k],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_nearly_vanishes_at_the_known_optimum() {
+        // β* = 1 − √(1/7) is irrational; at a tight rational
+        // approximation every partial derivative must be tiny.
+        let beta = r(622_035_527, 1_000_000_000);
+        let algo = SingleThresholdAlgorithm::symmetric(3, beta).unwrap();
+        let grad = optimality_gradient(&algo, &unit()).unwrap();
+        for g in &grad {
+            assert!(g.abs() < r(1, 100_000_000), "residual {g}");
+        }
+    }
+
+    #[test]
+    fn coordinate_best_response_improves() {
+        let start = SingleThresholdAlgorithm::symmetric(3, r(1, 4)).unwrap();
+        let cap = unit();
+        let before = winning_probability_threshold(&start, &cap).unwrap();
+        let (argmax, value) = coordinate_optimal(&start, 0, &cap, &r(1, 1 << 30)).unwrap();
+        assert!(value >= before);
+        let mut improved = start.thresholds().to_vec();
+        improved[0] = argmax;
+        let direct =
+            winning_probability_threshold(&SingleThresholdAlgorithm::new(improved).unwrap(), &cap)
+                .unwrap();
+        assert_eq!(direct, value);
+    }
+
+    #[test]
+    fn rejects_oversized_systems() {
+        let algo = SingleThresholdAlgorithm::symmetric(13, r(1, 2)).unwrap();
+        assert!(matches!(
+            partial_piecewise(&algo, 0, &unit()),
+            Err(ModelError::TooManyPlayersForExact { .. })
+        ));
+    }
+}

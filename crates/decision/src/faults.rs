@@ -1,0 +1,266 @@
+//! Crash faults: exact winning probabilities when players may fail.
+//!
+//! A crashed player never places its input in either bin (its
+//! dispatcher drops the job). Crashes are independent with probability
+//! `p` per player. Conditioning on the surviving set `S` reduces to
+//! the fault-free problem on `|S|` players, so the exact winning
+//! probability is the binomial mixture
+//!
+//! ```text
+//! P = Σ_{S ⊆ [n]} p^{n−|S|} (1−p)^{|S|} · P_win(S)
+//! ```
+//!
+//! For *symmetric* algorithms `P_win(S)` depends only on `|S|`, giving
+//! an `O(n)`-term mixture. Because removing a player can only lower
+//! both bin loads, `P_win` is monotone in crash probability — a
+//! property the tests assert.
+
+use crate::{
+    winning_probability_oblivious, winning_probability_threshold, Capacity, ModelError,
+    ObliviousAlgorithm, SingleThresholdAlgorithm,
+};
+use rational::{binomial_rational, Rational};
+
+/// Exact winning probability of a single-threshold algorithm when each
+/// player independently crashes with probability `p_crash`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ProbabilityOutOfRange`] if `p_crash ∉ [0,1]`,
+/// and propagates size limits from the fault-free evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{faults, Capacity, SingleThresholdAlgorithm};
+/// use rational::Rational;
+///
+/// let algo = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(5, 8)).unwrap();
+/// let reliable = faults::threshold_with_crashes(
+///     &algo, &Capacity::unit(), &Rational::zero(),
+/// ).unwrap();
+/// let flaky = faults::threshold_with_crashes(
+///     &algo, &Capacity::unit(), &Rational::ratio(1, 4),
+/// ).unwrap();
+/// // Fewer surviving jobs can only help the packing.
+/// assert!(flaky > reliable);
+/// ```
+pub fn threshold_with_crashes(
+    algo: &SingleThresholdAlgorithm,
+    capacity: &Capacity,
+    p_crash: &Rational,
+) -> Result<Rational, ModelError> {
+    validate_probability(p_crash)?;
+    let n = algo.n();
+    if algo.is_symmetric() {
+        let beta = algo.thresholds()[0].clone();
+        return mixture_symmetric(n, capacity, p_crash, |k| {
+            survivors_threshold(&vec![beta.clone(); k], capacity)
+        });
+    }
+    mixture_subsets(n, p_crash, |mask| {
+        let kept: Vec<Rational> = (0..n)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| algo.thresholds()[i].clone())
+            .collect();
+        survivors_threshold(&kept, capacity)
+    })
+}
+
+/// Exact winning probability of an oblivious algorithm under
+/// independent crashes with probability `p_crash`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ProbabilityOutOfRange`] if `p_crash ∉ [0,1]`,
+/// and propagates size limits from the fault-free evaluation.
+pub fn oblivious_with_crashes(
+    algo: &ObliviousAlgorithm,
+    capacity: &Capacity,
+    p_crash: &Rational,
+) -> Result<Rational, ModelError> {
+    validate_probability(p_crash)?;
+    let n = algo.n();
+    if algo.is_symmetric() {
+        let alpha = algo.probabilities()[0].clone();
+        return mixture_symmetric(n, capacity, p_crash, |k| {
+            survivors_oblivious(&vec![alpha.clone(); k], capacity)
+        });
+    }
+    mixture_subsets(n, p_crash, |mask| {
+        let kept: Vec<Rational> = (0..n)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| algo.probabilities()[i].clone())
+            .collect();
+        survivors_oblivious(&kept, capacity)
+    })
+}
+
+fn validate_probability(p: &Rational) -> Result<(), ModelError> {
+    if p.is_negative() || p > &Rational::one() {
+        return Err(ModelError::ProbabilityOutOfRange { index: 0 });
+    }
+    Ok(())
+}
+
+/// Binomial mixture over the surviving count for symmetric algorithms.
+fn mixture_symmetric(
+    n: usize,
+    _capacity: &Capacity,
+    p_crash: &Rational,
+    mut win_with: impl FnMut(usize) -> Result<Rational, ModelError>,
+) -> Result<Rational, ModelError> {
+    let survive = Rational::one() - p_crash;
+    let mut total = Rational::zero();
+    for k in 0..=n {
+        let weight = binomial_rational(n as u32, k as u32)
+            * survive.pow(k as i32)
+            * p_crash.pow((n - k) as i32);
+        if weight.is_zero() {
+            continue;
+        }
+        total += weight * win_with(k)?;
+    }
+    Ok(total)
+}
+
+/// Explicit mixture over all survivor subsets for asymmetric
+/// algorithms.
+fn mixture_subsets(
+    n: usize,
+    p_crash: &Rational,
+    mut win_with: impl FnMut(u32) -> Result<Rational, ModelError>,
+) -> Result<Rational, ModelError> {
+    if n > 16 {
+        return Err(ModelError::TooManyPlayersForExact { n, max: 16 });
+    }
+    let survive = Rational::one() - p_crash;
+    let mut total = Rational::zero();
+    for mask in 0u32..(1u32 << n) {
+        let k = mask.count_ones() as i32;
+        let weight = survive.pow(k) * p_crash.pow(n as i32 - k);
+        if weight.is_zero() {
+            continue;
+        }
+        total += weight * win_with(mask)?;
+    }
+    Ok(total)
+}
+
+/// Fault-free winning probability of the surviving threshold players.
+fn survivors_threshold(
+    thresholds: &[Rational],
+    capacity: &Capacity,
+) -> Result<Rational, ModelError> {
+    match thresholds.len() {
+        0 => Ok(Rational::one()),
+        1 => Ok(single_player_value(capacity)),
+        _ => winning_probability_threshold(
+            &SingleThresholdAlgorithm::new(thresholds.to_vec())?,
+            capacity,
+        ),
+    }
+}
+
+/// Fault-free winning probability of the surviving oblivious players.
+fn survivors_oblivious(alphas: &[Rational], capacity: &Capacity) -> Result<Rational, ModelError> {
+    match alphas.len() {
+        0 => Ok(Rational::one()),
+        1 => Ok(single_player_value(capacity)),
+        _ => winning_probability_oblivious(&ObliviousAlgorithm::new(alphas.to_vec())?, capacity),
+    }
+}
+
+/// With a single surviving player the winner condition is `x ≤ δ`
+/// regardless of the chosen bin: probability `min(δ, 1)`.
+fn single_player_value(capacity: &Capacity) -> Rational {
+    capacity.value().clone().min(Rational::one())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn zero_crash_probability_recovers_base_case() {
+        let algo = SingleThresholdAlgorithm::symmetric(4, r(5, 8)).unwrap();
+        let cap = Capacity::new(r(4, 3)).unwrap();
+        let base = winning_probability_threshold(&algo, &cap).unwrap();
+        let with = threshold_with_crashes(&algo, &cap, &Rational::zero()).unwrap();
+        assert_eq!(base, with);
+    }
+
+    #[test]
+    fn certain_crash_wins_certainly() {
+        let algo = SingleThresholdAlgorithm::symmetric(3, r(1, 2)).unwrap();
+        let p = threshold_with_crashes(&algo, &Capacity::unit(), &Rational::one()).unwrap();
+        assert_eq!(p, Rational::one());
+    }
+
+    #[test]
+    fn monotone_in_crash_probability() {
+        let algo = SingleThresholdAlgorithm::symmetric(4, r(2, 3)).unwrap();
+        let cap = Capacity::unit();
+        let mut last = Rational::zero();
+        for k in 0..=10 {
+            let p = threshold_with_crashes(&algo, &cap, &r(k, 10)).unwrap();
+            assert!(p >= last, "not monotone at p = {k}/10");
+            last = p;
+        }
+        assert_eq!(last, Rational::one());
+    }
+
+    #[test]
+    fn symmetric_and_subset_paths_agree() {
+        // An asymmetric vector with equal entries exercises the subset
+        // path; it must match the binomial path of the symmetric case.
+        let beta = r(3, 5);
+        let sym = SingleThresholdAlgorithm::symmetric(4, beta.clone()).unwrap();
+        let cap = Capacity::unit();
+        let p_crash = r(1, 3);
+        let a = threshold_with_crashes(&sym, &cap, &p_crash).unwrap();
+        let b = mixture_subsets(4, &p_crash, |mask| {
+            let kept: Vec<Rational> = (0..4)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|_| beta.clone())
+                .collect();
+            survivors_threshold(&kept, &cap)
+        })
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oblivious_crashes_behave() {
+        let algo = ObliviousAlgorithm::fair(3);
+        let cap = Capacity::unit();
+        let base = oblivious_with_crashes(&algo, &cap, &Rational::zero()).unwrap();
+        assert_eq!(base, r(5, 12));
+        let flaky = oblivious_with_crashes(&algo, &cap, &r(1, 2)).unwrap();
+        assert!(flaky > base);
+        assert!(flaky < Rational::one());
+    }
+
+    #[test]
+    fn single_survivor_value_is_capped_delta() {
+        assert_eq!(
+            single_player_value(&Capacity::new(r(1, 2)).unwrap()),
+            r(1, 2)
+        );
+        assert_eq!(
+            single_player_value(&Capacity::new(r(7, 2)).unwrap()),
+            r(1, 1)
+        );
+    }
+
+    #[test]
+    fn invalid_crash_probability_rejected() {
+        let algo = SingleThresholdAlgorithm::symmetric(2, r(1, 2)).unwrap();
+        assert!(threshold_with_crashes(&algo, &Capacity::unit(), &r(3, 2)).is_err());
+        assert!(threshold_with_crashes(&algo, &Capacity::unit(), &r(-1, 2)).is_err());
+    }
+}

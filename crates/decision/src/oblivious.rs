@@ -1,0 +1,382 @@
+//! Section 4: oblivious algorithms — exact winning-probability
+//! polynomial, optimality conditions (Corollary 4.2), and the uniform
+//! optimum `α = 1/2` (Theorem 4.3).
+
+use crate::{Capacity, ModelError, ObliviousAlgorithm};
+use polynomial::Polynomial;
+use rational::{binomial_rational, Rational};
+use uniform_sums::irwin_hall_cdf;
+
+/// The exact oblivious optimum for a given system size and capacity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObliviousOptimum {
+    /// The winning probability as a polynomial in the common `α`.
+    pub polynomial: Polynomial<Rational>,
+    /// The optimal probability (always `1/2`, Theorem 4.3).
+    pub alpha: Rational,
+    /// The exact optimal winning probability `P(1/2)`.
+    pub value: Rational,
+}
+
+/// The symmetric winning probability as an exact polynomial in `α`
+/// (the common probability of choosing bin 0):
+///
+/// ```text
+/// P(α) = Σ_{k=0}^n C(n,k) F_k(δ) F_{n−k}(δ) α^k (1−α)^{n−k}
+/// ```
+///
+/// where `F_m` is the Irwin–Hall CDF. Theorem 4.3 shows the optimum
+/// over *all* (even asymmetric) oblivious algorithms is attained on
+/// this symmetric family.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{oblivious, Capacity};
+/// use rational::Rational;
+///
+/// let p = oblivious::polynomial_in_alpha(2, &Capacity::unit()).unwrap();
+/// // P(α) = 1/2·(1-α)^2 + 2α(1-α) + 1/2·α^2 = 1/2 + α - α².
+/// assert_eq!(p.eval(&Rational::ratio(1, 2)), Rational::ratio(3, 4));
+/// assert_eq!(p.degree(), Some(2));
+/// ```
+pub fn polynomial_in_alpha(
+    n: usize,
+    capacity: &Capacity,
+) -> Result<Polynomial<Rational>, ModelError> {
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    let delta = capacity.value();
+    let alpha = Polynomial::<Rational>::x();
+    let one_minus = Polynomial::new(vec![Rational::one(), -Rational::one()]);
+    let mut total = Polynomial::zero();
+    for k in 0..=n {
+        let phi = irwin_hall_cdf(k as u32, delta) * irwin_hall_cdf((n - k) as u32, delta);
+        if phi.is_zero() {
+            continue;
+        }
+        let coeff = binomial_rational(n as u32, k as u32) * phi;
+        let term = alpha.pow(k as u32) * one_minus.pow((n - k) as u32);
+        total = &total + &term.scale(&coeff);
+    }
+    Ok(total)
+}
+
+/// Computes the exact *symmetric* oblivious optimum (Theorem 4.3):
+/// `α = 1/2` with value `P(1/2)`, together with the polynomial `P(α)`.
+///
+/// The construction *verifies* the theorem rather than assuming it:
+/// the derivative is required to vanish at `1/2`, and `P(1/2)` is
+/// required to dominate every other critical point and both endpoints
+/// of the symmetric family.
+///
+/// Scope note: Theorem 4.3's vanishing-gradient argument characterizes
+/// interior stationary points. On the *boundary* of the cube the
+/// deterministic partition of [`best_deterministic_split`] can achieve
+/// a strictly larger winning probability (e.g. `n = 2, δ = 1` wins
+/// with certainty by splitting); see EXPERIMENTS.md for measurements.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Panics
+///
+/// Panics if Theorem 4.3 were violated (this would indicate a bug in
+/// the formula pipeline, so it is asserted rather than propagated).
+///
+/// # Examples
+///
+/// ```
+/// use decision::{oblivious, Capacity};
+/// use rational::Rational;
+///
+/// let opt = oblivious::optimal(3, &Capacity::unit()).unwrap();
+/// assert_eq!(opt.alpha, Rational::ratio(1, 2));
+/// assert_eq!(opt.value, Rational::ratio(5, 12));
+/// ```
+pub fn optimal(n: usize, capacity: &Capacity) -> Result<ObliviousOptimum, ModelError> {
+    let polynomial = polynomial_in_alpha(n, capacity)?;
+    let half = Rational::ratio(1, 2);
+    let value = polynomial.eval(&half);
+    let derivative = polynomial.derivative();
+    assert!(
+        derivative.eval(&half).is_zero(),
+        "Theorem 4.3 violated: P'(1/2) != 0 for n={n}, {capacity}"
+    );
+    // Dominance over the other candidates (endpoints + critical points).
+    let zero = Rational::zero();
+    let one = Rational::one();
+    assert!(polynomial.eval(&zero) <= value && polynomial.eval(&one) <= value);
+    if !derivative.is_zero() {
+        let tol = Rational::ratio(1, 1 << 30);
+        for iv in derivative.isolate_roots_closed(&zero, &one) {
+            let x = derivative.refine_root(&iv, &tol);
+            assert!(
+                polynomial.eval(&x) <= value,
+                "Theorem 4.3 violated: critical point beats 1/2"
+            );
+        }
+    }
+    Ok(ObliviousOptimum {
+        polynomial,
+        alpha: half,
+        value,
+    })
+}
+
+/// The exact optimality-condition gradient of Corollary 4.2: the
+/// vector of partial derivatives `∂P_A/∂α_k` at the given (possibly
+/// asymmetric) probability vector. An optimal algorithm must zero
+/// every entry.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] for `n > 22`.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{oblivious, Capacity, ObliviousAlgorithm};
+///
+/// let grad = oblivious::optimality_gradient(
+///     &ObliviousAlgorithm::fair(4),
+///     &Capacity::unit(),
+/// ).unwrap();
+/// assert!(grad.iter().all(rational::Rational::is_zero));
+/// ```
+pub fn optimality_gradient(
+    algo: &ObliviousAlgorithm,
+    capacity: &Capacity,
+) -> Result<Vec<Rational>, ModelError> {
+    let n = algo.n();
+    if n > 22 {
+        return Err(ModelError::TooManyPlayersForExact { n, max: 22 });
+    }
+    let delta = capacity.value();
+    let ih: Vec<Rational> = (0..=n).map(|m| irwin_hall_cdf(m as u32, delta)).collect();
+    let alpha = algo.probabilities();
+    let mut grad = vec![Rational::zero(); n];
+    for mask in 0u32..(1u32 << n) {
+        let ones = mask.count_ones() as usize;
+        let phi = &ih[n - ones] * &ih[ones];
+        if phi.is_zero() {
+            continue;
+        }
+        for (k, grad_k) in grad.iter_mut().enumerate() {
+            // d/dα_k of the probability of this decision vector:
+            // +Π_{i≠k} factors if player k is in bin 0, − otherwise.
+            let mut partial = Rational::one();
+            for (i, a) in alpha.iter().enumerate() {
+                if i == k {
+                    continue;
+                }
+                partial *= if mask >> i & 1 == 1 {
+                    Rational::one() - a
+                } else {
+                    a.clone()
+                };
+            }
+            if mask >> k & 1 == 1 {
+                *grad_k -= partial * &phi;
+            } else {
+                *grad_k += partial * &phi;
+            }
+        }
+    }
+    Ok(grad)
+}
+
+/// Convenience: the exact optimal winning probability of the uniform
+/// `α = 1/2` algorithm, `P(1/2) = 2^{-n} Σ_k C(n,k) F_k(δ) F_{n−k}(δ)`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// ```
+/// use decision::{oblivious, Capacity};
+/// use rational::Rational;
+/// assert_eq!(
+///     oblivious::optimal_value(2, &Capacity::unit()).unwrap(),
+///     Rational::ratio(3, 4),
+/// );
+/// ```
+pub fn optimal_value(n: usize, capacity: &Capacity) -> Result<Rational, ModelError> {
+    Ok(optimal(n, capacity)?.value)
+}
+
+/// The best *deterministic* oblivious algorithm: preassign `k` players
+/// to bin 0 and `n − k` to bin 1, choosing `k` to maximize
+/// `F_k(δ) · F_{n−k}(δ)`.
+///
+/// This is a corner of the probability cube — a boundary point the
+/// vanishing-gradient conditions of Corollary 4.2 do not cover — and
+/// for many `(n, δ)` it strictly beats the uniform `α = 1/2`
+/// stationary point of Theorem 4.3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeterministicSplit {
+    /// Number of players preassigned to bin 0.
+    pub bin0_size: usize,
+    /// The exact winning probability `F_k(δ) F_{n−k}(δ)`.
+    pub value: Rational,
+}
+
+/// Computes the optimal deterministic partition of the players.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{oblivious, Capacity};
+/// use rational::Rational;
+///
+/// // n = 2, δ = 1: one player per bin never overflows.
+/// let split = oblivious::best_deterministic_split(2, &Capacity::unit()).unwrap();
+/// assert_eq!(split.bin0_size, 1);
+/// assert_eq!(split.value, Rational::one());
+/// ```
+pub fn best_deterministic_split(
+    n: usize,
+    capacity: &Capacity,
+) -> Result<DeterministicSplit, ModelError> {
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    let delta = capacity.value();
+    let ih: Vec<Rational> = (0..=n).map(|m| irwin_hall_cdf(m as u32, delta)).collect();
+    let (bin0_size, value) = (0..=n)
+        .map(|k| (k, &ih[k] * &ih[n - k]))
+        .max_by(|(_, a), (_, b)| a.cmp(b))
+        .expect("n + 1 candidates");
+    Ok(DeterministicSplit { bin0_size, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::winning_probability_oblivious;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn polynomial_matches_direct_evaluation() {
+        for n in 2..=6usize {
+            let cap = Capacity::unit();
+            let p = polynomial_in_alpha(n, &cap).unwrap();
+            for (num, den) in [(0i64, 1i64), (1, 4), (1, 2), (2, 3), (1, 1)] {
+                let alpha = r(num, den);
+                let algo = ObliviousAlgorithm::symmetric(n, alpha.clone()).unwrap();
+                let direct = winning_probability_oblivious(&algo, &cap).unwrap();
+                assert_eq!(p.eval(&alpha), direct, "n={n}, α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_is_half_for_many_sizes_and_capacities() {
+        for n in 2..=8usize {
+            for cap in [
+                Capacity::unit(),
+                Capacity::proportional(n, 3),
+                Capacity::new(r(4, 3)).unwrap(),
+            ] {
+                let opt = optimal(n, &cap).unwrap();
+                assert_eq!(opt.alpha, r(1, 2), "n={n}, {cap}");
+                // The optimum dominates a sweep of other α values.
+                for k in 0..=10 {
+                    let alpha = r(k, 10);
+                    assert!(
+                        opt.polynomial.eval(&alpha) <= opt.value,
+                        "n={n}, {cap}, α={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n3_delta1_known_value() {
+        // P(1/2) = (1/8)[2*F_3(1)*F_0(1) + 6*F_1(1)*F_2(1)]
+        //        = (1/8)[2*(1/6) + 6*(1/2)] = (1/8)(10/3) = 5/12.
+        let opt = optimal(3, &Capacity::unit()).unwrap();
+        assert_eq!(opt.value, r(5, 12));
+    }
+
+    #[test]
+    fn gradient_zero_exactly_at_uniform_half() {
+        for n in 2..=5usize {
+            let grad =
+                optimality_gradient(&ObliviousAlgorithm::fair(n), &Capacity::unit()).unwrap();
+            assert!(grad.iter().all(Rational::is_zero), "n={n}");
+        }
+    }
+
+    #[test]
+    fn gradient_nonzero_away_from_optimum() {
+        let algo = ObliviousAlgorithm::symmetric(3, r(1, 4)).unwrap();
+        let grad = optimality_gradient(&algo, &Capacity::unit()).unwrap();
+        assert!(grad.iter().any(|g| !g.is_zero()));
+        // Moving toward 1/2 should increase P: gradient entries positive.
+        assert!(grad.iter().all(Rational::is_positive));
+    }
+
+    #[test]
+    fn gradient_matches_polynomial_derivative_on_diagonal() {
+        // Along the symmetric diagonal α_i = α, chain rule gives
+        // dP/dα = Σ_k ∂P/∂α_k.
+        let n = 4;
+        let cap = Capacity::unit();
+        let poly = polynomial_in_alpha(n, &cap).unwrap();
+        let dpoly = poly.derivative();
+        for (num, den) in [(1i64, 3i64), (1, 2), (3, 5)] {
+            let alpha = r(num, den);
+            let algo = ObliviousAlgorithm::symmetric(n, alpha.clone()).unwrap();
+            let grad = optimality_gradient(&algo, &cap).unwrap();
+            let total: Rational = grad.iter().sum();
+            assert_eq!(total, dpoly.eval(&alpha), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn deterministic_split_balances() {
+        // δ = 1: the split must balance (k = n/2 up to rounding).
+        for n in 2..=8usize {
+            let split = best_deterministic_split(n, &Capacity::unit()).unwrap();
+            assert!(
+                split.bin0_size == n / 2 || split.bin0_size == n - n / 2,
+                "n={n}: split {}",
+                split.bin0_size
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_split_beats_uniform_half_for_small_delta() {
+        // The boundary corner dominates the interior stationary point
+        // at δ = 1 for every small n — the scope caveat of Theorem 4.3.
+        for n in 2..=6usize {
+            let corner = best_deterministic_split(n, &Capacity::unit()).unwrap();
+            let interior = optimal_value(n, &Capacity::unit()).unwrap();
+            assert!(corner.value > interior, "n={n}");
+        }
+    }
+
+    #[test]
+    fn too_few_players_rejected() {
+        assert_eq!(
+            polynomial_in_alpha(1, &Capacity::unit()).unwrap_err(),
+            ModelError::TooFewPlayers { n: 1 }
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Randomized single-threshold algorithms: each player draws its
+//! threshold from a private finite distribution before seeing its
+//! input.
+//!
+//! Because the players randomize independently, the winning
+//! probability is *multilinear* in the per-player mixing weights:
+//!
+//! ```text
+//! P = Σ_{choice vector c} Π_i w_i(c_i) · P_threshold(a(c))
+//! ```
+//!
+//! Multilinearity means the maximum over mixed strategies is attained
+//! at a vertex — a deterministic threshold vector — so randomization
+//! can never strictly help in the no-communication game. The tests
+//! verify both the mixture identity and this vertex-dominance
+//! property, complementing the paper's focus on deterministic
+//! single-threshold algorithms.
+
+use crate::{winning_probability_threshold, Capacity, ModelError, SingleThresholdAlgorithm};
+use rational::Rational;
+
+/// A randomized single-threshold algorithm: player `i` uses threshold
+/// `options[i][k].1` with probability `options[i][k].0`.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{Capacity, RandomizedThresholds};
+/// use rational::Rational;
+///
+/// // Both players mix fifty-fifty between thresholds 1/4 and 3/4.
+/// let mix = vec![
+///     (Rational::ratio(1, 2), Rational::ratio(1, 4)),
+///     (Rational::ratio(1, 2), Rational::ratio(3, 4)),
+/// ];
+/// let algo = RandomizedThresholds::new(vec![mix.clone(), mix]).unwrap();
+/// let p = algo.winning_probability(&Capacity::unit()).unwrap();
+/// assert!(p.is_positive() && p < Rational::one());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RandomizedThresholds {
+    options: Vec<Vec<(Rational, Rational)>>,
+}
+
+impl RandomizedThresholds {
+    /// Builds the algorithm from per-player `(weight, threshold)`
+    /// lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if fewer than two players, any weight is
+    /// negative, any player's weights do not sum to one, or any
+    /// threshold lies outside `[0, 1]`.
+    pub fn new(
+        options: Vec<Vec<(Rational, Rational)>>,
+    ) -> Result<RandomizedThresholds, ModelError> {
+        if options.len() < 2 {
+            return Err(ModelError::TooFewPlayers { n: options.len() });
+        }
+        for (index, opts) in options.iter().enumerate() {
+            if opts.is_empty() {
+                return Err(ModelError::ProbabilityOutOfRange { index });
+            }
+            let total: Rational = opts.iter().map(|(w, _)| w.clone()).sum();
+            if !total.is_one() || opts.iter().any(|(w, _)| w.is_negative()) {
+                return Err(ModelError::ProbabilityOutOfRange { index });
+            }
+            for (_, a) in opts {
+                if a.is_negative() || a > &Rational::one() {
+                    return Err(ModelError::ThresholdOutOfRange { index });
+                }
+            }
+        }
+        Ok(RandomizedThresholds { options })
+    }
+
+    /// A deterministic algorithm viewed as a (point-mass) randomized
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from validation (never fails for a
+    /// valid deterministic algorithm).
+    pub fn degenerate(algo: &SingleThresholdAlgorithm) -> Result<RandomizedThresholds, ModelError> {
+        RandomizedThresholds::new(
+            algo.thresholds()
+                .iter()
+                .map(|a| vec![(Rational::one(), a.clone())])
+                .collect(),
+        )
+    }
+
+    /// Number of players.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Exact winning probability: the weighted mixture over every
+    /// joint realization of the players' threshold draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TooManyPlayersForExact`] if the joint
+    /// support exceeds 2²⁰ combinations, and propagates limits from
+    /// the per-realization evaluation.
+    pub fn winning_probability(&self, capacity: &Capacity) -> Result<Rational, ModelError> {
+        let combos: u64 = self
+            .options
+            .iter()
+            .map(|o| o.len() as u64)
+            .try_fold(1u64, u64::checked_mul)
+            .unwrap_or(u64::MAX);
+        if combos > 1 << 20 {
+            return Err(ModelError::TooManyPlayersForExact {
+                n: self.n(),
+                max: 20,
+            });
+        }
+        let mut total = Rational::zero();
+        let mut choice = vec![0usize; self.n()];
+        loop {
+            let mut weight = Rational::one();
+            let mut thresholds = Vec::with_capacity(self.n());
+            for (opts, &c) in self.options.iter().zip(&choice) {
+                let (w, a) = &opts[c];
+                weight *= w;
+                thresholds.push(a.clone());
+            }
+            if !weight.is_zero() {
+                let det = SingleThresholdAlgorithm::new(thresholds)?;
+                total += weight * winning_probability_threshold(&det, capacity)?;
+            }
+            // Odometer over the joint support.
+            let mut i = 0;
+            loop {
+                if i == self.n() {
+                    return Ok(total);
+                }
+                choice[i] += 1;
+                if choice[i] < self.options[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// The best deterministic algorithm in the joint support and its
+    /// value — by multilinearity, an upper bound for the mixture.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`RandomizedThresholds::winning_probability`].
+    pub fn best_support_vertex(
+        &self,
+        capacity: &Capacity,
+    ) -> Result<(SingleThresholdAlgorithm, Rational), ModelError> {
+        let mut best: Option<(SingleThresholdAlgorithm, Rational)> = None;
+        let mut choice = vec![0usize; self.n()];
+        loop {
+            let thresholds: Vec<Rational> = self
+                .options
+                .iter()
+                .zip(&choice)
+                .map(|(opts, &c)| opts[c].1.clone())
+                .collect();
+            let det = SingleThresholdAlgorithm::new(thresholds)?;
+            let value = winning_probability_threshold(&det, capacity)?;
+            if best.as_ref().is_none_or(|(_, b)| value > *b) {
+                best = Some((det, value));
+            }
+            let mut i = 0;
+            loop {
+                if i == self.n() {
+                    return Ok(best.expect("non-empty support"));
+                }
+                choice[i] += 1;
+                if choice[i] < self.options[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn degenerate_matches_deterministic() {
+        let det = SingleThresholdAlgorithm::new(vec![r(1, 3), r(5, 8), r(1, 2)]).unwrap();
+        let rand = RandomizedThresholds::degenerate(&det).unwrap();
+        let cap = Capacity::unit();
+        assert_eq!(
+            rand.winning_probability(&cap).unwrap(),
+            winning_probability_threshold(&det, &cap).unwrap()
+        );
+    }
+
+    #[test]
+    fn mixture_is_convex_combination() {
+        // One mixing player: P(mix) = w1 P(a) + w2 P(b) exactly.
+        let cap = Capacity::unit();
+        let lo = SingleThresholdAlgorithm::new(vec![r(1, 4), r(1, 2)]).unwrap();
+        let hi = SingleThresholdAlgorithm::new(vec![r(3, 4), r(1, 2)]).unwrap();
+        let mix = RandomizedThresholds::new(vec![
+            vec![(r(1, 3), r(1, 4)), (r(2, 3), r(3, 4))],
+            vec![(Rational::one(), r(1, 2))],
+        ])
+        .unwrap();
+        let expected = r(1, 3) * winning_probability_threshold(&lo, &cap).unwrap()
+            + r(2, 3) * winning_probability_threshold(&hi, &cap).unwrap();
+        assert_eq!(mix.winning_probability(&cap).unwrap(), expected);
+    }
+
+    #[test]
+    fn randomization_never_beats_the_best_vertex() {
+        let cap = Capacity::unit();
+        let mix = RandomizedThresholds::new(vec![
+            vec![(r(1, 2), r(2, 5)), (r(1, 2), r(4, 5))],
+            vec![(r(1, 4), r(1, 5)), (r(3, 4), r(3, 5))],
+            vec![(r(1, 3), r(1, 2)), (r(2, 3), r(7, 10))],
+        ])
+        .unwrap();
+        let mixed = mix.winning_probability(&cap).unwrap();
+        let (_, vertex) = mix.best_support_vertex(&cap).unwrap();
+        assert!(mixed <= vertex, "mixture {mixed} beats vertex {vertex}");
+    }
+
+    #[test]
+    fn validation_rules() {
+        // Weights must sum to one.
+        assert!(RandomizedThresholds::new(vec![
+            vec![(r(1, 2), r(1, 2))],
+            vec![(Rational::one(), r(1, 2))],
+        ])
+        .is_err());
+        // No negative weights.
+        assert!(RandomizedThresholds::new(vec![
+            vec![(r(3, 2), r(1, 2)), (r(-1, 2), r(1, 4))],
+            vec![(Rational::one(), r(1, 2))],
+        ])
+        .is_err());
+        // Thresholds in range.
+        assert!(RandomizedThresholds::new(vec![
+            vec![(Rational::one(), r(3, 2))],
+            vec![(Rational::one(), r(1, 2))],
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn zero_weight_options_are_ignored() {
+        let cap = Capacity::unit();
+        let with_dead_option = RandomizedThresholds::new(vec![
+            vec![(Rational::one(), r(1, 2)), (Rational::zero(), r(9, 10))],
+            vec![(Rational::one(), r(1, 2))],
+        ])
+        .unwrap();
+        let det = SingleThresholdAlgorithm::symmetric(2, r(1, 2)).unwrap();
+        assert_eq!(
+            with_dead_option.winning_probability(&cap).unwrap(),
+            winning_probability_threshold(&det, &cap).unwrap()
+        );
+    }
+}

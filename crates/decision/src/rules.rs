@@ -1,0 +1,462 @@
+//! General no-communication decision rules: player `i` chooses bin 0
+//! iff its input lies in an arbitrary finite union of intervals.
+//!
+//! The paper's framework explicitly "allows for the consideration of
+//! general decision protocols by which each agent decides by using any
+//! (computable) function of the inputs it sees"; in the
+//! no-communication case a deterministic such function is exactly a
+//! measurable subset of `[0,1]`, which we model as a finite union of
+//! intervals. Single-threshold algorithms are the special case of a
+//! single prefix interval `[0, a_i]`.
+//!
+//! The exact winning probability generalizes Theorem 5.1 by
+//! conditioning on the *segment* (maximal interval of constant
+//! decision) each input falls into; conditional on the segments, each
+//! input is uniform on its segment and Lemma 2.4's machinery applies.
+//! Unequal bin capacities `(δ₀, δ₁)` come for free.
+
+use crate::{Bin, Capacity, LocalRule, ModelError, SingleThresholdAlgorithm};
+use rational::Rational;
+use uniform_sums::UniformSum;
+
+/// The bin-0 decision region of one player: a union of disjoint
+/// intervals inside `[0, 1]`, kept sorted and canonical (touching
+/// intervals merged, empty intervals dropped).
+///
+/// # Examples
+///
+/// ```
+/// use decision::rules::BinZeroSet;
+/// use rational::Rational;
+///
+/// // Choose bin 0 on [0, 1/4] ∪ [3/4, 1] — a "middle-out" rule.
+/// let set = BinZeroSet::new(vec![
+///     (Rational::zero(), Rational::ratio(1, 4)),
+///     (Rational::ratio(3, 4), Rational::one()),
+/// ]).unwrap();
+/// assert_eq!(set.measure(), Rational::ratio(1, 2));
+/// assert!(set.contains(&Rational::ratio(7, 8)));
+/// assert!(!set.contains(&Rational::ratio(1, 2)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinZeroSet {
+    intervals: Vec<(Rational, Rational)>,
+}
+
+impl BinZeroSet {
+    /// Builds a canonical union of intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ThresholdOutOfRange`] if any endpoint
+    /// lies outside `[0, 1]` or an interval is reversed.
+    pub fn new(mut intervals: Vec<(Rational, Rational)>) -> Result<BinZeroSet, ModelError> {
+        for (index, (lo, hi)) in intervals.iter().enumerate() {
+            let bad = lo.is_negative() || hi > &Rational::one() || lo > hi;
+            if bad {
+                return Err(ModelError::ThresholdOutOfRange { index });
+            }
+        }
+        intervals.retain(|(lo, hi)| lo < hi);
+        intervals.sort();
+        // Merge overlapping or touching intervals.
+        let mut merged: Vec<(Rational, Rational)> = Vec::with_capacity(intervals.len());
+        for (lo, hi) in intervals {
+            match merged.last_mut() {
+                Some((_, last_hi)) if lo <= *last_hi => {
+                    if hi > *last_hi {
+                        *last_hi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        Ok(BinZeroSet { intervals: merged })
+    }
+
+    /// The empty set: always choose bin 1.
+    #[must_use]
+    pub fn empty() -> BinZeroSet {
+        BinZeroSet {
+            intervals: Vec::new(),
+        }
+    }
+
+    /// The full interval: always choose bin 0.
+    #[must_use]
+    pub fn full() -> BinZeroSet {
+        BinZeroSet {
+            intervals: vec![(Rational::zero(), Rational::one())],
+        }
+    }
+
+    /// The prefix set `[0, a]` of a single-threshold rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ThresholdOutOfRange`] unless `a ∈ [0,1]`.
+    pub fn prefix(a: Rational) -> Result<BinZeroSet, ModelError> {
+        BinZeroSet::new(vec![(Rational::zero(), a)])
+    }
+
+    /// The canonical interval list.
+    #[must_use]
+    pub fn intervals(&self) -> &[(Rational, Rational)] {
+        &self.intervals
+    }
+
+    /// Total length (Lebesgue measure) of the set — the probability of
+    /// choosing bin 0.
+    #[must_use]
+    pub fn measure(&self) -> Rational {
+        self.intervals.iter().map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// Membership test (closed intervals).
+    #[must_use]
+    pub fn contains(&self, x: &Rational) -> bool {
+        self.intervals.iter().any(|(lo, hi)| lo <= x && x <= hi)
+    }
+
+    /// The complementary intervals within `[0, 1]` (the bin-1 region).
+    #[must_use]
+    pub fn complement(&self) -> Vec<(Rational, Rational)> {
+        let mut out = Vec::with_capacity(self.intervals.len() + 1);
+        let mut cursor = Rational::zero();
+        for (lo, hi) in &self.intervals {
+            if &cursor < lo {
+                out.push((cursor.clone(), lo.clone()));
+            }
+            cursor = hi.clone();
+        }
+        if cursor < Rational::one() {
+            out.push((cursor, Rational::one()));
+        }
+        out
+    }
+
+    /// Segments of constant decision: every maximal interval, tagged
+    /// with the bin it maps to.
+    fn segments(&self) -> Vec<(Rational, Rational, Bin)> {
+        let mut segs: Vec<(Rational, Rational, Bin)> = self
+            .intervals
+            .iter()
+            .map(|(lo, hi)| (lo.clone(), hi.clone(), Bin::Zero))
+            .chain(
+                self.complement()
+                    .into_iter()
+                    .map(|(lo, hi)| (lo, hi, Bin::One)),
+            )
+            .collect();
+        segs.sort_by(|a, b| a.0.cmp(&b.0));
+        segs
+    }
+}
+
+/// A general deterministic no-communication algorithm: one
+/// [`BinZeroSet`] per player.
+///
+/// # Examples
+///
+/// ```
+/// use decision::rules::{BinZeroSet, GeneralRule};
+/// use decision::Capacity;
+/// use rational::Rational;
+///
+/// // Two players, both using the prefix rule [0, 1/2] — identical to
+/// // the single-threshold algorithm with β = 1/2.
+/// let rule = GeneralRule::new(vec![
+///     BinZeroSet::prefix(Rational::ratio(1, 2)).unwrap(),
+///     BinZeroSet::prefix(Rational::ratio(1, 2)).unwrap(),
+/// ]).unwrap();
+/// let p = rule.winning_probability(&Capacity::unit()).unwrap();
+/// assert_eq!(p, Rational::ratio(3, 4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneralRule {
+    sets: Vec<BinZeroSet>,
+}
+
+impl GeneralRule {
+    /// Builds a rule from per-player bin-0 sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TooFewPlayers`] for fewer than two
+    /// players.
+    pub fn new(sets: Vec<BinZeroSet>) -> Result<GeneralRule, ModelError> {
+        if sets.len() < 2 {
+            return Err(ModelError::TooFewPlayers { n: sets.len() });
+        }
+        Ok(GeneralRule { sets })
+    }
+
+    /// Number of players.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The per-player bin-0 sets.
+    #[must_use]
+    pub fn sets(&self) -> &[BinZeroSet] {
+        &self.sets
+    }
+
+    /// Swaps the roles of the two bins (every player's set becomes its
+    /// complement).
+    #[must_use]
+    pub fn swapped(&self) -> GeneralRule {
+        GeneralRule {
+            sets: self
+                .sets
+                .iter()
+                .map(|s| BinZeroSet::new(s.complement()).expect("complement is canonical"))
+                .collect(),
+        }
+    }
+
+    /// Exact winning probability with equal capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TooManyPlayersForExact`] if the segment
+    /// product exceeds 2²² combinations.
+    pub fn winning_probability(&self, capacity: &Capacity) -> Result<Rational, ModelError> {
+        self.winning_probability_with(capacity, capacity)
+    }
+
+    /// Exact winning probability with *unequal* capacities:
+    /// `P(Σ₀ ≤ δ₀ ∧ Σ₁ ≤ δ₁)` — the natural generalization the
+    /// paper's Section 6 anticipates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TooManyPlayersForExact`] if the segment
+    /// product exceeds 2²² combinations.
+    pub fn winning_probability_with(
+        &self,
+        capacity0: &Capacity,
+        capacity1: &Capacity,
+    ) -> Result<Rational, ModelError> {
+        let segments: Vec<Vec<(Rational, Rational, Bin)>> =
+            self.sets.iter().map(BinZeroSet::segments).collect();
+        let combinations: u64 = segments
+            .iter()
+            .map(|s| s.len().max(1) as u64)
+            .try_fold(1u64, u64::checked_mul)
+            .unwrap_or(u64::MAX);
+        if combinations > 1 << 22 {
+            return Err(ModelError::TooManyPlayersForExact {
+                n: self.n(),
+                max: 22,
+            });
+        }
+        let mut total = Rational::zero();
+        let mut choice = vec![0usize; self.n()];
+        loop {
+            total += self.combination_term(&segments, &choice, capacity0, capacity1);
+            // Odometer increment over segment choices.
+            let mut i = 0;
+            loop {
+                if i == self.n() {
+                    return Ok(total);
+                }
+                choice[i] += 1;
+                if choice[i] < segments[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// One term of the segment expansion: the probability that each
+    /// input falls in its chosen segment, times the conditional
+    /// no-overflow probabilities of the two bins.
+    fn combination_term(
+        &self,
+        segments: &[Vec<(Rational, Rational, Bin)>],
+        choice: &[usize],
+        capacity0: &Capacity,
+        capacity1: &Capacity,
+    ) -> Rational {
+        let mut prob = Rational::one();
+        let mut bin0: Vec<(Rational, Rational)> = Vec::new();
+        let mut bin1: Vec<(Rational, Rational)> = Vec::new();
+        for (segs, &c) in segments.iter().zip(choice) {
+            let (lo, hi, bin) = &segs[c];
+            prob *= hi - lo;
+            match bin {
+                Bin::Zero => bin0.push((lo.clone(), hi.clone())),
+                Bin::One => bin1.push((lo.clone(), hi.clone())),
+            }
+        }
+        if prob.is_zero() {
+            return Rational::zero();
+        }
+        let f0 = conditional_cdf(&bin0, capacity0.value());
+        if f0.is_zero() {
+            return Rational::zero();
+        }
+        let f1 = conditional_cdf(&bin1, capacity1.value());
+        prob * f0 * f1
+    }
+}
+
+/// `P(Σ of uniforms on the given intervals ≤ δ)`, empty product = 1.
+fn conditional_cdf(intervals: &[(Rational, Rational)], delta: &Rational) -> Rational {
+    if intervals.is_empty() {
+        return Rational::one();
+    }
+    UniformSum::new(intervals.to_vec())
+        .expect("segments are non-degenerate")
+        .cdf(delta)
+}
+
+impl From<&SingleThresholdAlgorithm> for GeneralRule {
+    fn from(algo: &SingleThresholdAlgorithm) -> GeneralRule {
+        GeneralRule {
+            sets: algo
+                .thresholds()
+                .iter()
+                .map(|a| BinZeroSet::prefix(a.clone()).expect("threshold in [0,1]"))
+                .collect(),
+        }
+    }
+}
+
+impl LocalRule for GeneralRule {
+    fn n(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn decide(&self, player: usize, input: f64, _coin: f64) -> Bin {
+        let inside = self.sets[player]
+            .intervals
+            .iter()
+            .any(|(lo, hi)| lo.to_f64() <= input && input <= hi.to_f64());
+        if inside {
+            Bin::Zero
+        } else {
+            Bin::One
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::winning_probability_threshold;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn canonicalization_merges_and_drops() {
+        let set = BinZeroSet::new(vec![
+            (r(1, 2), r(3, 4)),
+            (r(0, 1), r(1, 4)),
+            (r(1, 4), r(1, 2)),   // touching: merge into one block
+            (r(9, 10), r(9, 10)), // empty: dropped
+        ])
+        .unwrap();
+        assert_eq!(set.intervals(), &[(r(0, 1), r(3, 4))]);
+        assert_eq!(set.measure(), r(3, 4));
+    }
+
+    #[test]
+    fn complement_partitions_unit_interval() {
+        let set = BinZeroSet::new(vec![(r(1, 4), r(1, 2)), (r(3, 4), r(7, 8))]).unwrap();
+        let comp = set.complement();
+        assert_eq!(
+            comp,
+            vec![(r(0, 1), r(1, 4)), (r(1, 2), r(3, 4)), (r(7, 8), r(1, 1))]
+        );
+        let total: Rational = set.measure() + comp.iter().map(|(lo, hi)| hi - lo).sum::<Rational>();
+        assert_eq!(total, Rational::one());
+    }
+
+    #[test]
+    fn invalid_intervals_rejected() {
+        assert!(BinZeroSet::new(vec![(r(-1, 4), r(1, 2))]).is_err());
+        assert!(BinZeroSet::new(vec![(r(1, 2), r(5, 4))]).is_err());
+        assert!(BinZeroSet::new(vec![(r(3, 4), r(1, 4))]).is_err());
+    }
+
+    #[test]
+    fn prefix_rule_matches_threshold_algorithm() {
+        for n in 2..=4usize {
+            for (num, den) in [(1i64, 3i64), (1, 2), (5, 8)] {
+                let beta = r(num, den);
+                let threshold = SingleThresholdAlgorithm::symmetric(n, beta.clone()).unwrap();
+                let rule = GeneralRule::from(&threshold);
+                let cap = Capacity::unit();
+                assert_eq!(
+                    rule.winning_probability(&cap).unwrap(),
+                    winning_probability_threshold(&threshold, &cap).unwrap(),
+                    "n={n}, β={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swapping_bins_preserves_probability_at_equal_capacity() {
+        let rule = GeneralRule::new(vec![
+            BinZeroSet::new(vec![(r(0, 1), r(1, 4)), (r(1, 2), r(3, 4))]).unwrap(),
+            BinZeroSet::prefix(r(2, 3)).unwrap(),
+            BinZeroSet::new(vec![(r(1, 8), r(7, 8))]).unwrap(),
+        ])
+        .unwrap();
+        let cap = Capacity::unit();
+        assert_eq!(
+            rule.winning_probability(&cap).unwrap(),
+            rule.swapped().winning_probability(&cap).unwrap()
+        );
+    }
+
+    #[test]
+    fn unequal_capacities_order_matters() {
+        // All mass lands in bin 0 under the full rule, so only δ₀
+        // matters.
+        let rule = GeneralRule::new(vec![BinZeroSet::full(), BinZeroSet::full()]).unwrap();
+        let small = Capacity::new(r(1, 2)).unwrap();
+        let large = Capacity::new(r(2, 1)).unwrap();
+        let p_small0 = rule.winning_probability_with(&small, &large).unwrap();
+        let p_large0 = rule.winning_probability_with(&large, &small).unwrap();
+        assert_eq!(p_small0, r(1, 8)); // F_2(1/2)
+        assert_eq!(p_large0, Rational::one()); // F_2(2)
+    }
+
+    #[test]
+    fn middle_out_rule_exact_value_vs_simulation_shape() {
+        // A genuinely non-threshold rule: bin 0 for extreme inputs.
+        let set = BinZeroSet::new(vec![(r(0, 1), r(1, 4)), (r(3, 4), r(1, 1))]).unwrap();
+        let rule = GeneralRule::new(vec![set.clone(), set]).unwrap();
+        let p = rule.winning_probability(&Capacity::unit()).unwrap();
+        assert!(p > r(1, 2) && p < Rational::one(), "p = {p}");
+    }
+
+    #[test]
+    fn local_rule_decisions_match_membership() {
+        let set = BinZeroSet::new(vec![(r(1, 4), r(1, 2))]).unwrap();
+        let rule = GeneralRule::new(vec![set.clone(), set]).unwrap();
+        assert_eq!(rule.decide(0, 0.3, 0.0), Bin::Zero);
+        assert_eq!(rule.decide(0, 0.1, 0.0), Bin::One);
+        assert_eq!(rule.decide(1, 0.6, 0.0), Bin::One);
+    }
+
+    #[test]
+    fn empty_and_full_sets_are_deterministic_partition() {
+        // Player 0 always bin 0, player 1 always bin 1: with δ = 1
+        // nothing can overflow.
+        let rule = GeneralRule::new(vec![BinZeroSet::full(), BinZeroSet::empty()]).unwrap();
+        assert_eq!(
+            rule.winning_probability(&Capacity::unit()).unwrap(),
+            Rational::one()
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! Exact winning probabilities: Theorem 4.1 (oblivious) and
+//! Theorem 5.1 (single-threshold).
+
+use crate::{Capacity, ModelError, ObliviousAlgorithm, SingleThresholdAlgorithm};
+use rational::Rational;
+use uniform_sums::{irwin_hall_cdf, irwin_hall_cdf_f64, BoxSum, UniformSum};
+
+/// Largest player count for which the `2^n` enumeration over decision
+/// vectors is attempted.
+const MAX_EXACT_PLAYERS: usize = 22;
+
+/// Exact winning probability of an oblivious algorithm (Theorem 4.1):
+///
+/// ```text
+/// P_A(δ) = Σ_{b ∈ {0,1}^n} F_{|b₀|}(δ) · F_{|b₁|}(δ) · Π_i α_i^(b_i)
+/// ```
+///
+/// where `F_m` is the Irwin–Hall CDF of `m` standard uniforms and
+/// `|b₀|`, `|b₁|` count the players in each bin. The symmetric case
+/// collapses to a sum over bin sizes; the asymmetric case enumerates
+/// all `2^n` decision vectors.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if an asymmetric
+/// algorithm has more than 22 players.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{winning_probability_oblivious, Capacity, ObliviousAlgorithm};
+/// use rational::Rational;
+///
+/// // Two players, fair coins, δ = 1.
+/// let p = winning_probability_oblivious(
+///     &ObliviousAlgorithm::fair(2),
+///     &Capacity::unit(),
+/// ).unwrap();
+/// assert_eq!(p, Rational::ratio(3, 4));
+/// ```
+pub fn winning_probability_oblivious(
+    algo: &ObliviousAlgorithm,
+    capacity: &Capacity,
+) -> Result<Rational, ModelError> {
+    let n = algo.n();
+    let delta = capacity.value();
+    // Irwin-Hall CDF per possible bin size.
+    let ih: Vec<Rational> = (0..=n).map(|m| irwin_hall_cdf(m as u32, delta)).collect();
+
+    if algo.is_symmetric() {
+        let alpha = &algo.probabilities()[0];
+        let beta = Rational::one() - alpha;
+        // Sum over k = number of players in bin 0.
+        let mut total = Rational::zero();
+        for k in 0..=n {
+            let ways = rational::binomial_rational(n as u32, k as u32);
+            let prob = alpha.pow(k as i32) * beta.pow((n - k) as i32);
+            total += ways * prob * &ih[k] * &ih[n - k];
+        }
+        return Ok(total);
+    }
+
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    let alpha = algo.probabilities();
+    let mut total = Rational::zero();
+    for mask in 0u32..(1u32 << n) {
+        // Bit i set means player i chooses bin 1.
+        let mut prob = Rational::one();
+        for (i, a) in alpha.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                prob *= Rational::one() - a;
+            } else {
+                prob *= a;
+            }
+        }
+        if prob.is_zero() {
+            continue;
+        }
+        let ones = mask.count_ones() as usize;
+        total += prob * &ih[n - ones] * &ih[ones];
+    }
+    Ok(total)
+}
+
+/// Fast `f64` version of [`winning_probability_oblivious`].
+///
+/// # Errors
+///
+/// Same conditions as the exact version.
+pub fn winning_probability_oblivious_f64(alpha: &[f64], delta: f64) -> Result<f64, ModelError> {
+    let n = alpha.len();
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    let ih: Vec<f64> = (0..=n)
+        .map(|m| irwin_hall_cdf_f64(m as u32, delta))
+        .collect();
+    let mut total = 0.0;
+    for mask in 0u32..(1u32 << n) {
+        let mut prob = 1.0;
+        for (i, a) in alpha.iter().enumerate() {
+            prob *= if mask >> i & 1 == 1 { 1.0 - a } else { *a };
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        let ones = mask.count_ones() as usize;
+        total += prob * ih[n - ones] * ih[ones];
+    }
+    Ok(total)
+}
+
+/// Exact winning probability of a single-threshold algorithm
+/// (Theorem 5.1). For each decision vector `b`, the inputs of the
+/// players in bin 0 are conditionally `U[0, a_i]` and those in bin 1
+/// are `U[a_i, 1]`, so
+///
+/// ```text
+/// P_A(δ) = Σ_b P(y = b) · F_{Σ U[0,a_i], i∈b₀}(δ) · F_{Σ U[a_i,1], i∈b₁}(δ)
+/// ```
+///
+/// with `P(y = b) = Π_{i∈b₀} a_i · Π_{i∈b₁} (1 − a_i)` and the two
+/// conditional CDFs given by Lemmas 2.4 and 2.7.
+///
+/// The symmetric case collapses to a sum over bin sizes (`n + 1`
+/// terms); the asymmetric case enumerates all `2^n` decision vectors.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if an asymmetric
+/// algorithm has more than 22 players.
+///
+/// # Examples
+///
+/// ```
+/// use decision::{winning_probability_threshold, Capacity, SingleThresholdAlgorithm};
+/// use rational::Rational;
+///
+/// // n = 3, δ = 1, β = 1/2 lies on the paper's curve 1/6 + 3β²/2 − β³/2.
+/// let a = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(1, 2)).unwrap();
+/// let p = winning_probability_threshold(&a, &Capacity::unit()).unwrap();
+/// assert_eq!(p, Rational::ratio(23, 48));
+/// ```
+pub fn winning_probability_threshold(
+    algo: &SingleThresholdAlgorithm,
+    capacity: &Capacity,
+) -> Result<Rational, ModelError> {
+    let n = algo.n();
+    let delta = capacity.value();
+    if algo.is_symmetric() {
+        let beta = &algo.thresholds()[0];
+        let mut total = Rational::zero();
+        for k in 0..=n {
+            // k players in bin 0, n-k in bin 1.
+            let ways = rational::binomial_rational(n as u32, k as u32);
+            let term = joint_term(&vec![beta.clone(); k], &vec![beta.clone(); n - k], delta);
+            total += ways * term;
+        }
+        return Ok(total);
+    }
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    let a = algo.thresholds();
+    let mut total = Rational::zero();
+    for mask in 0u32..(1u32 << n) {
+        let bin0: Vec<Rational> = (0..n)
+            .filter(|i| mask >> i & 1 == 0)
+            .map(|i| a[i].clone())
+            .collect();
+        let bin1: Vec<Rational> = (0..n)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| a[i].clone())
+            .collect();
+        total += joint_term(&bin0, &bin1, delta);
+    }
+    Ok(total)
+}
+
+/// One decision-vector term of Theorem 5.1:
+/// `P(y=b) · P(Σ₀ ≤ δ | b) · P(Σ₁ ≤ δ | b)`.
+fn joint_term(bin0: &[Rational], bin1: &[Rational], delta: &Rational) -> Rational {
+    // P(y = b): players in bin 0 had x_i <= a_i, players in bin 1 had x_i > a_i.
+    let mut prob = Rational::one();
+    for a in bin0 {
+        prob *= a;
+    }
+    for a in bin1 {
+        prob *= Rational::one() - a;
+    }
+    if prob.is_zero() {
+        return Rational::zero();
+    }
+    // Conditional overflow-free probabilities. Non-zero `prob`
+    // guarantees a_i > 0 in bin 0 and a_i < 1 in bin 1, so the
+    // distribution constructors cannot fail.
+    let f0 = if bin0.is_empty() {
+        Rational::one()
+    } else {
+        BoxSum::new(bin0.to_vec())
+            .expect("positive widths")
+            .cdf(delta)
+    };
+    if f0.is_zero() {
+        return Rational::zero();
+    }
+    let f1 = if bin1.is_empty() {
+        Rational::one()
+    } else {
+        UniformSum::above_thresholds(bin1.to_vec())
+            .expect("thresholds below one")
+            .cdf(delta)
+    };
+    prob * f0 * f1
+}
+
+/// Fast `f64` version of [`winning_probability_threshold`].
+///
+/// # Errors
+///
+/// Returns [`ModelError`] on fewer than 2 or more than 22 players.
+pub fn winning_probability_threshold_f64(
+    thresholds: &[f64],
+    delta: f64,
+) -> Result<f64, ModelError> {
+    let n = thresholds.len();
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    let mut total = 0.0;
+    let mut bin0 = Vec::with_capacity(n);
+    let mut bin1 = Vec::with_capacity(n);
+    for mask in 0u32..(1u32 << n) {
+        bin0.clear();
+        bin1.clear();
+        let mut prob = 1.0;
+        for (i, &a) in thresholds.iter().enumerate() {
+            if mask >> i & 1 == 0 {
+                prob *= a;
+                bin0.push(a);
+            } else {
+                prob *= 1.0 - a;
+                bin1.push(a);
+            }
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        let f0 = cdf_scaled_sum_f64(&bin0, delta);
+        if f0 == 0.0 {
+            continue;
+        }
+        let f1 = cdf_above_sum_f64(&bin1, delta);
+        total += prob * f0 * f1;
+    }
+    Ok(total)
+}
+
+/// `P(Σ U[0, a_i] ≤ δ)` in `f64`, with an empty product treated as 1.
+fn cdf_scaled_sum_f64(widths: &[f64], delta: f64) -> f64 {
+    if widths.is_empty() {
+        return 1.0;
+    }
+    // Direct inclusion-exclusion (Lemma 2.4) on f64.
+    let m = widths.len() as i32;
+    let total: f64 = widths.iter().sum();
+    if delta >= total {
+        return 1.0;
+    }
+    if delta <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    subset_sum_f64(widths, 0, 0.0, 1.0, delta, m, &mut acc);
+    let denom: f64 =
+        widths.iter().product::<f64>() * (1..=widths.len()).map(|k| k as f64).product::<f64>();
+    acc / denom
+}
+
+fn subset_sum_f64(w: &[f64], idx: usize, sum: f64, sign: f64, t: f64, m: i32, acc: &mut f64) {
+    if idx == w.len() {
+        *acc += sign * (t - sum).powi(m);
+        return;
+    }
+    subset_sum_f64(w, idx + 1, sum, sign, t, m, acc);
+    let with = sum + w[idx];
+    if with < t {
+        subset_sum_f64(w, idx + 1, with, -sign, t, m, acc);
+    }
+}
+
+/// `P(Σ U[a_i, 1] ≤ δ)` in `f64` via the shift `x_i = a_i + U[0, 1−a_i]`.
+fn cdf_above_sum_f64(thresholds: &[f64], delta: f64) -> f64 {
+    if thresholds.is_empty() {
+        return 1.0;
+    }
+    let offset: f64 = thresholds.iter().sum();
+    let widths: Vec<f64> = thresholds.iter().map(|a| 1.0 - a).collect();
+    cdf_scaled_sum_f64(&widths, delta - offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    fn cap(n: i64, d: i64) -> Capacity {
+        Capacity::new(r(n, d)).unwrap()
+    }
+
+    #[test]
+    fn two_player_fair_oblivious_hand_computed() {
+        // b in {00, 01, 10, 11} each with prob 1/4.
+        // Same-bin vectors: F_2(1) = 1/2; split vectors: F_1(1)^2 = 1.
+        // P = 2*(1/4)*(1/2) + 2*(1/4)*1 = 3/4.
+        let p =
+            winning_probability_oblivious(&ObliviousAlgorithm::fair(2), &Capacity::unit()).unwrap();
+        assert_eq!(p, r(3, 4));
+    }
+
+    #[test]
+    fn oblivious_symmetric_and_enumerated_paths_agree() {
+        for n in 2..=5usize {
+            for (num, den) in [(1i64, 2i64), (1, 3), (2, 3)] {
+                let sym = ObliviousAlgorithm::symmetric(n, r(num, den)).unwrap();
+                // Force the asymmetric path with an equal but "manual" vector.
+                let manual =
+                    ObliviousAlgorithm::new((0..n).map(|_| r(num, den)).collect()).unwrap();
+                let delta = cap(1, 1);
+                let a = winning_probability_oblivious(&sym, &delta).unwrap();
+                let b = enumerate_oblivious(&manual, &delta);
+                assert_eq!(a, b, "n={n}, alpha={num}/{den}");
+            }
+        }
+    }
+
+    /// Bitmask enumeration regardless of symmetry, for cross-checking.
+    fn enumerate_oblivious(algo: &ObliviousAlgorithm, capacity: &Capacity) -> Rational {
+        let n = algo.n();
+        let ih: Vec<Rational> = (0..=n)
+            .map(|m| uniform_sums::irwin_hall_cdf(m as u32, capacity.value()))
+            .collect();
+        let mut total = Rational::zero();
+        for mask in 0u32..(1 << n) {
+            let mut prob = Rational::one();
+            for (i, a) in algo.probabilities().iter().enumerate() {
+                prob *= if mask >> i & 1 == 1 {
+                    Rational::one() - a
+                } else {
+                    a.clone()
+                };
+            }
+            let ones = mask.count_ones() as usize;
+            total += prob * &ih[n - ones] * &ih[ones];
+        }
+        total
+    }
+
+    #[test]
+    fn deterministic_oblivious_extremes() {
+        // All players always choose bin 0: P = F_n(δ).
+        for n in 2..=5usize {
+            let all_zero = ObliviousAlgorithm::symmetric(n, Rational::one()).unwrap();
+            let delta = cap(1, 1);
+            let p = winning_probability_oblivious(&all_zero, &delta).unwrap();
+            assert_eq!(p, uniform_sums::irwin_hall_cdf(n as u32, delta.value()));
+        }
+    }
+
+    #[test]
+    fn threshold_symmetric_matches_paper_cubic_n3() {
+        // Paper 5.2.1: for β ≤ 1/2, P(β) = 1/6 + 3β²/2 − β³/2.
+        for (num, den) in [(1i64, 4i64), (1, 3), (2, 5), (1, 2)] {
+            let beta = r(num, den);
+            let algo = SingleThresholdAlgorithm::symmetric(3, beta.clone()).unwrap();
+            let p = winning_probability_threshold(&algo, &Capacity::unit()).unwrap();
+            let expected = r(1, 6) + r(3, 2) * beta.pow(2) - r(1, 2) * beta.pow(3);
+            assert_eq!(p, expected, "beta = {beta}");
+        }
+    }
+
+    #[test]
+    fn threshold_symmetric_matches_paper_cubic_n3_upper() {
+        // Paper 5.2.1: for β > 1/2, P(β) = −11/6 + 9β − 21β²/2 + 7β³/2.
+        for (num, den) in [(5i64, 8i64), (3, 4), (9, 10), (1, 1)] {
+            let beta = r(num, den);
+            let algo = SingleThresholdAlgorithm::symmetric(3, beta.clone()).unwrap();
+            let p = winning_probability_threshold(&algo, &Capacity::unit()).unwrap();
+            let expected =
+                r(-11, 6) + r(9, 1) * beta.clone() - r(21, 2) * beta.pow(2) + r(7, 2) * beta.pow(3);
+            assert_eq!(p, expected, "beta = {beta}");
+        }
+    }
+
+    #[test]
+    fn threshold_asymmetric_agrees_with_symmetric_path() {
+        let beta = r(3, 5);
+        let sym = SingleThresholdAlgorithm::symmetric(4, beta.clone()).unwrap();
+        // Slightly perturb ordering: identical values but go through
+        // the bitmask path by constructing with new().
+        let manual =
+            SingleThresholdAlgorithm::new(vec![beta.clone(), beta.clone(), beta.clone(), beta])
+                .unwrap();
+        let delta = cap(4, 3);
+        let a = winning_probability_threshold(&sym, &delta).unwrap();
+        // manual is also symmetric, so force enumeration manually.
+        let b = {
+            let n = manual.n();
+            let mut total = Rational::zero();
+            for mask in 0u32..(1 << n) {
+                let bin0: Vec<Rational> = (0..n)
+                    .filter(|i| mask >> i & 1 == 0)
+                    .map(|i| manual.thresholds()[i].clone())
+                    .collect();
+                let bin1: Vec<Rational> = (0..n)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| manual.thresholds()[i].clone())
+                    .collect();
+                total += super::joint_term(&bin0, &bin1, delta.value());
+            }
+            total
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_thresholds_zero_and_one() {
+        // a = (0, 1): player 0 always bin 1, player 1 always bin 0.
+        // Each bin holds one U[0,1] input, δ=1 -> always wins.
+        let algo = SingleThresholdAlgorithm::new(vec![r(0, 1), r(1, 1)]).unwrap();
+        let p = winning_probability_threshold(&algo, &Capacity::unit()).unwrap();
+        assert_eq!(p, Rational::one());
+        // a = (1, 1): both always bin 0, so P = F_2(1) restricted to
+        // x_i <= 1 (always true) = 1/2.
+        let both = SingleThresholdAlgorithm::new(vec![r(1, 1), r(1, 1)]).unwrap();
+        let p2 = winning_probability_threshold(&both, &Capacity::unit()).unwrap();
+        assert_eq!(p2, r(1, 2));
+    }
+
+    #[test]
+    fn f64_paths_track_exact() {
+        let delta = cap(1, 1);
+        let algo = SingleThresholdAlgorithm::new(vec![r(1, 3), r(2, 3), r(1, 2), r(3, 5)]).unwrap();
+        let exact = winning_probability_threshold(&algo, &delta)
+            .unwrap()
+            .to_f64();
+        let fast =
+            winning_probability_threshold_f64(&[1.0 / 3.0, 2.0 / 3.0, 0.5, 0.6], 1.0).unwrap();
+        assert!((exact - fast).abs() < 1e-12, "{exact} vs {fast}");
+
+        let ob = ObliviousAlgorithm::new(vec![r(1, 4), r(1, 2), r(3, 4)]).unwrap();
+        let exact_ob = winning_probability_oblivious(&ob, &delta).unwrap().to_f64();
+        let fast_ob = winning_probability_oblivious_f64(&[0.25, 0.5, 0.75], 1.0).unwrap();
+        assert!((exact_ob - fast_ob).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_at_least_n_always_wins() {
+        // δ >= n means no overflow is possible.
+        for n in 2..=5usize {
+            let algo = SingleThresholdAlgorithm::symmetric(n, r(1, 3)).unwrap();
+            let p = winning_probability_threshold(&algo, &cap(n as i64, 1)).unwrap();
+            assert_eq!(p, Rational::one(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn threshold_beats_oblivious_n3_delta1_at_optimum() {
+        // Non-obliviousness helps: compare β = 0.622... region value
+        // against the oblivious optimum at the same δ.
+        let delta = Capacity::unit();
+        let ob = winning_probability_oblivious(&ObliviousAlgorithm::fair(3), &delta).unwrap();
+        let th = winning_probability_threshold(
+            &SingleThresholdAlgorithm::symmetric(3, r(622, 1000)).unwrap(),
+            &delta,
+        )
+        .unwrap();
+        assert!(th > ob, "threshold {th} should beat oblivious {ob}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Property tests for the decision core: probability axioms,
+//! symmetry, monotonicity in capacity, and agreement between the
+//! symbolic and direct pipelines.
+
+use decision::{
+    oblivious, symmetric, winning_probability_oblivious, winning_probability_oblivious_f64,
+    winning_probability_threshold, winning_probability_threshold_f64, Capacity, ObliviousAlgorithm,
+    SingleThresholdAlgorithm,
+};
+use proptest::prelude::*;
+use rational::Rational;
+
+fn unit_rational() -> impl Strategy<Value = Rational> {
+    (0i64..=12, 12i64..=12).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+fn capacity() -> impl Strategy<Value = Capacity> {
+    (1i64..9, 1i64..4).prop_map(|(n, d)| Capacity::new(Rational::ratio(n, d)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn oblivious_probability_in_unit_interval(
+        alpha in proptest::collection::vec(unit_rational(), 2..6),
+        cap in capacity(),
+    ) {
+        let algo = ObliviousAlgorithm::new(alpha).unwrap();
+        let p = winning_probability_oblivious(&algo, &cap).unwrap();
+        prop_assert!(!p.is_negative() && p <= Rational::one());
+    }
+
+    #[test]
+    fn threshold_probability_in_unit_interval(
+        a in proptest::collection::vec(unit_rational(), 2..6),
+        cap in capacity(),
+    ) {
+        let algo = SingleThresholdAlgorithm::new(a).unwrap();
+        let p = winning_probability_threshold(&algo, &cap).unwrap();
+        prop_assert!(!p.is_negative() && p <= Rational::one());
+    }
+
+    #[test]
+    fn winning_probability_monotone_in_capacity(
+        a in proptest::collection::vec(unit_rational(), 2..5),
+        cap in capacity(),
+    ) {
+        let algo = SingleThresholdAlgorithm::new(a).unwrap();
+        let bigger = Capacity::new(cap.value() + Rational::ratio(1, 3)).unwrap();
+        let p1 = winning_probability_threshold(&algo, &cap).unwrap();
+        let p2 = winning_probability_threshold(&algo, &bigger).unwrap();
+        prop_assert!(p2 >= p1);
+    }
+
+    #[test]
+    fn permuting_players_preserves_probability(
+        a in proptest::collection::vec(unit_rational(), 3..6),
+        cap in capacity(),
+    ) {
+        let algo = SingleThresholdAlgorithm::new(a.clone()).unwrap();
+        let mut rotated = a;
+        rotated.rotate_left(1);
+        let algo_rot = SingleThresholdAlgorithm::new(rotated).unwrap();
+        prop_assert_eq!(
+            winning_probability_threshold(&algo, &cap).unwrap(),
+            winning_probability_threshold(&algo_rot, &cap).unwrap()
+        );
+    }
+
+    #[test]
+    fn complementing_thresholds_preserves_probability(
+        a in proptest::collection::vec(unit_rational(), 2..5),
+        cap in capacity(),
+    ) {
+        // Swapping the roles of the two bins: a_i -> 1 - a_i changes
+        // which bin collects small inputs, but the bins are
+        // interchangeable... only when the decision regions mirror.
+        // For the oblivious family this is exact: α -> 1 - α.
+        let algo = ObliviousAlgorithm::new(a.clone()).unwrap();
+        let flipped = ObliviousAlgorithm::new(
+            a.iter().map(|x| Rational::one() - x).collect()
+        ).unwrap();
+        prop_assert_eq!(
+            winning_probability_oblivious(&algo, &cap).unwrap(),
+            winning_probability_oblivious(&flipped, &cap).unwrap()
+        );
+    }
+
+    #[test]
+    fn f64_paths_track_exact_everywhere(
+        a in proptest::collection::vec(unit_rational(), 2..5),
+        cap in capacity(),
+    ) {
+        let af: Vec<f64> = a.iter().map(Rational::to_f64).collect();
+        let algo_t = SingleThresholdAlgorithm::new(a.clone()).unwrap();
+        let exact_t = winning_probability_threshold(&algo_t, &cap).unwrap().to_f64();
+        let fast_t = winning_probability_threshold_f64(&af, cap.to_f64()).unwrap();
+        prop_assert!((exact_t - fast_t).abs() < 1e-9);
+
+        let algo_o = ObliviousAlgorithm::new(a).unwrap();
+        let exact_o = winning_probability_oblivious(&algo_o, &cap).unwrap().to_f64();
+        let fast_o = winning_probability_oblivious_f64(&af, cap.to_f64()).unwrap();
+        prop_assert!((exact_o - fast_o).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symbolic_piecewise_equals_direct_threshold(
+        n in 2usize..6,
+        beta in unit_rational(),
+        cap in capacity(),
+    ) {
+        let pw = symmetric::analyze(n, &cap).unwrap();
+        let algo = SingleThresholdAlgorithm::symmetric(n, beta.clone()).unwrap();
+        let direct = winning_probability_threshold(&algo, &cap).unwrap();
+        prop_assert_eq!(pw.eval(&beta).unwrap(), direct);
+    }
+
+    #[test]
+    fn symbolic_polynomial_equals_direct_oblivious(
+        n in 2usize..6,
+        alpha in unit_rational(),
+        cap in capacity(),
+    ) {
+        let poly = oblivious::polynomial_in_alpha(n, &cap).unwrap();
+        let algo = ObliviousAlgorithm::symmetric(n, alpha.clone()).unwrap();
+        let direct = winning_probability_oblivious(&algo, &cap).unwrap();
+        prop_assert_eq!(poly.eval(&alpha), direct);
+    }
+
+    #[test]
+    fn uniform_half_gradient_vanishes(n in 2usize..7, cap in capacity()) {
+        let grad = oblivious::optimality_gradient(
+            &ObliviousAlgorithm::fair(n),
+            &cap,
+        ).unwrap();
+        prop_assert!(grad.iter().all(Rational::is_zero));
+    }
+
+    #[test]
+    fn symmetric_piecewise_is_continuous(n in 2usize..7, cap in capacity()) {
+        prop_assert!(symmetric::analyze(n, &cap).unwrap().is_continuous());
+    }
+
+    #[test]
+    fn partial_piecewise_is_exact_section(
+        a in proptest::collection::vec(unit_rational(), 3..5),
+        k_seed in 0usize..8,
+        x in unit_rational(),
+        cap in capacity(),
+    ) {
+        let algo = SingleThresholdAlgorithm::new(a.clone()).unwrap();
+        let k = k_seed % a.len();
+        let curve = decision::conditions::partial_piecewise(&algo, k, &cap).unwrap();
+        prop_assert!(curve.is_continuous());
+        let mut moved = a;
+        moved[k] = x.clone();
+        let direct = winning_probability_threshold(
+            &SingleThresholdAlgorithm::new(moved).unwrap(),
+            &cap,
+        ).unwrap();
+        prop_assert_eq!(curve.eval(&x).unwrap(), direct);
+    }
+
+    #[test]
+    fn general_prefix_rules_equal_thresholds(
+        a in proptest::collection::vec(unit_rational(), 2..5),
+        cap in capacity(),
+    ) {
+        let algo = SingleThresholdAlgorithm::new(a).unwrap();
+        let rule = decision::rules::GeneralRule::from(&algo);
+        prop_assert_eq!(
+            rule.winning_probability(&cap).unwrap(),
+            winning_probability_threshold(&algo, &cap).unwrap()
+        );
+    }
+
+    #[test]
+    fn interval_rule_bin_swap_invariance(
+        cuts in proptest::collection::btree_set(1i64..12, 2..5),
+        cap in capacity(),
+    ) {
+        // Build an alternating rule from sorted cuts in (0,1).
+        let cuts: Vec<Rational> = cuts.into_iter().map(|c| Rational::ratio(c, 12)).collect();
+        let mut intervals = Vec::new();
+        let mut endpoints = vec![Rational::zero()];
+        endpoints.extend(cuts);
+        endpoints.push(Rational::one());
+        for (i, w) in endpoints.windows(2).enumerate() {
+            if i % 2 == 0 {
+                intervals.push((w[0].clone(), w[1].clone()));
+            }
+        }
+        let set = decision::rules::BinZeroSet::new(intervals).unwrap();
+        let rule = decision::rules::GeneralRule::new(vec![set.clone(), set]).unwrap();
+        prop_assert_eq!(
+            rule.winning_probability(&cap).unwrap(),
+            rule.swapped().winning_probability(&cap).unwrap()
+        );
+    }
+
+    #[test]
+    fn crash_mixture_is_monotone_and_bounded(
+        a in proptest::collection::vec(unit_rational(), 2..5),
+        p1 in 0i64..=10,
+        cap in capacity(),
+    ) {
+        let algo = SingleThresholdAlgorithm::new(a).unwrap();
+        let p_lo = Rational::ratio(p1, 10);
+        let p_hi = Rational::ratio((p1 + 2).min(10), 10);
+        let v_lo = decision::faults::threshold_with_crashes(&algo, &cap, &p_lo).unwrap();
+        let v_hi = decision::faults::threshold_with_crashes(&algo, &cap, &p_hi).unwrap();
+        prop_assert!(v_hi >= v_lo);
+        prop_assert!(v_lo <= Rational::one() && !v_lo.is_negative());
+    }
+
+    #[test]
+    fn hetero_reduces_to_homogeneous(
+        a in proptest::collection::vec(unit_rational(), 2..5),
+        cap in capacity(),
+    ) {
+        let hetero = decision::hetero::HeterogeneousThresholds::homogeneous(a.clone()).unwrap();
+        let standard = SingleThresholdAlgorithm::new(a).unwrap();
+        prop_assert_eq!(
+            hetero.winning_probability(&cap).unwrap(),
+            winning_probability_threshold(&standard, &cap).unwrap()
+        );
+    }
+
+    #[test]
+    fn hetero_scale_covariance(
+        a in proptest::collection::vec(unit_rational(), 2..4),
+        lam_num in 1i64..5,
+        cap in capacity(),
+    ) {
+        let lambda = Rational::ratio(lam_num, 2);
+        let base = decision::hetero::HeterogeneousThresholds::homogeneous(a).unwrap();
+        let scaled = base.scaled(&lambda);
+        let scaled_cap = Capacity::new(cap.value() * &lambda).unwrap();
+        prop_assert_eq!(
+            scaled.winning_probability(&scaled_cap).unwrap(),
+            base.winning_probability(&cap).unwrap()
+        );
+    }
+}

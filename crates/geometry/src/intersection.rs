@@ -1,0 +1,286 @@
+//! The intersection polytope `ΣΠ^(m)(σ, π)` and Proposition 2.2.
+
+use crate::{GeometryError, OrthoBox, Simplex};
+use rational::{factorial, Rational};
+
+/// The polytope `ΣΠ^(m)(σ,π) = Σ^(m)(σ) ∩ Π^(m)(π)`: the part of the
+/// box `[0,π_1]×…×[0,π_m]` under the simplex hyperplane
+/// `Σ x_l/σ_l ≤ 1`.
+///
+/// Its volume (Proposition 2.2) is computed by inclusion–exclusion
+/// over the subsets `I` of coordinates "clipped" by the box:
+///
+/// ```text
+/// Vol = (1/m!) Π σ_l · Σ_{I: Σ_{l∈I} π_l/σ_l < 1} (−1)^{|I|} (1 − Σ_{l∈I} π_l/σ_l)^m
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use geometry::SimplexBoxIntersection;
+/// use rational::Rational;
+///
+/// // CDF of x1+x2 <= 1/2 for uniforms on [0,1]^2 equals this volume.
+/// let p = SimplexBoxIntersection::new(
+///     vec![Rational::ratio(1, 2), Rational::ratio(1, 2)],
+///     vec![Rational::one(), Rational::one()],
+/// ).unwrap();
+/// assert_eq!(p.volume(), Rational::ratio(1, 8));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimplexBoxIntersection {
+    simplex: Simplex,
+    bounding_box: OrthoBox,
+}
+
+impl SimplexBoxIntersection {
+    /// Constructs `ΣΠ^(m)(σ, π)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the dimensions differ, are zero,
+    /// or any side is non-positive.
+    pub fn new(sigma: Vec<Rational>, pi: Vec<Rational>) -> Result<Self, GeometryError> {
+        if sigma.len() != pi.len() {
+            return Err(GeometryError::DimensionMismatch {
+                sigma: sigma.len(),
+                pi: pi.len(),
+            });
+        }
+        Ok(SimplexBoxIntersection {
+            simplex: Simplex::new(sigma)?,
+            bounding_box: OrthoBox::new(pi)?,
+        })
+    }
+
+    /// The dimension `m`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.simplex.dim()
+    }
+
+    /// The simplex factor `Σ^(m)(σ)`.
+    #[must_use]
+    pub fn simplex(&self) -> &Simplex {
+        &self.simplex
+    }
+
+    /// The box factor `Π^(m)(π)`.
+    #[must_use]
+    pub fn bounding_box(&self) -> &OrthoBox {
+        &self.bounding_box
+    }
+
+    /// Membership test: inside both the box and the simplex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    #[must_use]
+    pub fn contains(&self, point: &[Rational]) -> bool {
+        self.bounding_box.contains(point) && self.simplex.contains(point)
+    }
+
+    /// Exact volume by Proposition 2.2, enumerating subsets with a
+    /// branch-and-prune depth-first search (a subset whose ratio sum
+    /// already reaches `1` cannot contribute, and neither can any of
+    /// its supersets, because all ratios are positive).
+    #[must_use]
+    pub fn volume(&self) -> Rational {
+        let m = self.dim();
+        let ratios: Vec<Rational> = self
+            .bounding_box
+            .sides()
+            .iter()
+            .zip(self.simplex.sides())
+            .map(|(p, s)| p / s)
+            .collect();
+        let mut acc = Rational::zero();
+        dfs(&ratios, 0, &Rational::zero(), 1, m as i32, &mut acc);
+        let sigma_prod: Rational = self.simplex.sides().iter().product();
+        acc * sigma_prod / Rational::from(factorial(m as u32))
+    }
+
+    /// Exact volume by naive bitmask enumeration of all `2^m` subsets.
+    ///
+    /// Exists to cross-check [`SimplexBoxIntersection::volume`] in
+    /// tests and to ablate the pruned search in benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 24` (the enumeration would be prohibitive).
+    #[must_use]
+    pub fn volume_unpruned(&self) -> Rational {
+        let m = self.dim();
+        assert!(m <= 24, "bitmask enumeration limited to m <= 24");
+        let ratios: Vec<Rational> = self
+            .bounding_box
+            .sides()
+            .iter()
+            .zip(self.simplex.sides())
+            .map(|(p, s)| p / s)
+            .collect();
+        let mut acc = Rational::zero();
+        for mask in 0u32..(1u32 << m) {
+            let sum: Rational = (0..m)
+                .filter(|l| mask >> l & 1 == 1)
+                .map(|l| ratios[l].clone())
+                .sum();
+            if sum >= Rational::one() {
+                continue;
+            }
+            let term = (Rational::one() - sum).pow(m as i32);
+            if mask.count_ones() % 2 == 0 {
+                acc += term;
+            } else {
+                acc -= term;
+            }
+        }
+        let sigma_prod: Rational = self.simplex.sides().iter().product();
+        acc * sigma_prod / Rational::from(factorial(m as u32))
+    }
+
+    /// Fast `f64` volume via the same pruned inclusion–exclusion.
+    #[must_use]
+    pub fn volume_f64(&self) -> f64 {
+        let m = self.dim();
+        let ratios: Vec<f64> = self
+            .bounding_box
+            .sides()
+            .iter()
+            .zip(self.simplex.sides())
+            .map(|(p, s)| p.to_f64() / s.to_f64())
+            .collect();
+        let mut acc = 0.0;
+        dfs_f64(&ratios, 0, 0.0, 1.0, m as i32, &mut acc);
+        let sigma_prod: f64 = self.simplex.sides().iter().map(Rational::to_f64).product();
+        acc * sigma_prod / factorial(m as u32).to_f64()
+    }
+}
+
+/// Depth-first inclusion–exclusion: at each index either skips ratio
+/// `idx` or includes it (sign flip), pruning once the partial sum
+/// reaches one.
+fn dfs(ratios: &[Rational], idx: usize, sum: &Rational, sign: i32, m: i32, acc: &mut Rational) {
+    if idx == ratios.len() {
+        let term = (Rational::one() - sum).pow(m);
+        if sign > 0 {
+            *acc += term;
+        } else {
+            *acc -= term;
+        }
+        return;
+    }
+    dfs(ratios, idx + 1, sum, sign, m, acc);
+    let with = sum + &ratios[idx];
+    if with < Rational::one() {
+        dfs(ratios, idx + 1, &with, -sign, m, acc);
+    }
+}
+
+fn dfs_f64(ratios: &[f64], idx: usize, sum: f64, sign: f64, m: i32, acc: &mut f64) {
+    if idx == ratios.len() {
+        *acc += sign * (1.0 - sum).powi(m);
+        return;
+    }
+    dfs_f64(ratios, idx + 1, sum, sign, m, acc);
+    let with = sum + ratios[idx];
+    if with < 1.0 {
+        dfs_f64(ratios, idx + 1, with, -sign, m, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    fn sbi(sigma: &[(i64, i64)], pi: &[(i64, i64)]) -> SimplexBoxIntersection {
+        SimplexBoxIntersection::new(
+            sigma.iter().map(|&(n, d)| r(n, d)).collect(),
+            pi.iter().map(|&(n, d)| r(n, d)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn box_inside_simplex_gives_box_volume() {
+        // Sum of ratios <= 1: the whole box is under the hyperplane.
+        let p = sbi(&[(1, 1), (1, 1)], &[(1, 2), (1, 2)]);
+        assert_eq!(p.volume(), r(1, 4));
+    }
+
+    #[test]
+    fn simplex_inside_box_gives_simplex_volume() {
+        let p = sbi(&[(1, 1), (1, 1), (1, 1)], &[(2, 1), (2, 1), (2, 1)]);
+        assert_eq!(p.volume(), p.simplex().volume());
+    }
+
+    #[test]
+    fn two_dim_hand_computed() {
+        // Unit simplex with unit box clipped at 1/2 in both coords:
+        // area = 1/2 - 2 * (1/2 * (1/2)^2) = 1/4.
+        let p = sbi(&[(1, 1), (1, 1)], &[(1, 2), (1, 2)]);
+        assert_eq!(p.volume(), r(1, 4));
+        // Asymmetric clip.
+        let q = sbi(&[(1, 1), (1, 1)], &[(1, 2), (1, 1)]);
+        // Area = 1/2 - (1/2)*(1/2)^2 = 3/8.
+        assert_eq!(q.volume(), r(3, 8));
+    }
+
+    #[test]
+    fn pruned_matches_unpruned() {
+        let cases = [
+            sbi(&[(1, 1); 4], &[(1, 3), (2, 5), (1, 2), (3, 4)]),
+            sbi(&[(2, 1), (3, 2), (1, 1)], &[(1, 2), (1, 1), (2, 3)]),
+            sbi(&[(1, 2); 5], &[(1, 7), (1, 5), (1, 3), (1, 2), (1, 9)]),
+        ];
+        for p in &cases {
+            assert_eq!(p.volume(), p.volume_unpruned());
+        }
+    }
+
+    #[test]
+    fn f64_close_to_exact() {
+        let p = sbi(
+            &[(5, 3), (7, 4), (1, 1), (2, 1)],
+            &[(1, 2), (3, 5), (9, 10), (1, 3)],
+        );
+        assert!((p.volume_f64() - p.volume().to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_monotone_in_box_sides() {
+        let small = sbi(&[(1, 1), (1, 1)], &[(1, 3), (1, 3)]);
+        let large = sbi(&[(1, 1), (1, 1)], &[(2, 3), (2, 3)]);
+        assert!(small.volume() < large.volume());
+    }
+
+    #[test]
+    fn volume_never_exceeds_either_factor() {
+        let p = sbi(&[(4, 3), (4, 3), (4, 3)], &[(1, 1), (1, 1), (1, 1)]);
+        let v = p.volume();
+        assert!(v <= p.simplex().volume());
+        assert!(v <= p.bounding_box().volume());
+        assert!(v.is_positive());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert_eq!(
+            SimplexBoxIntersection::new(vec![r(1, 1)], vec![r(1, 1), r(1, 1)]),
+            Err(GeometryError::DimensionMismatch { sigma: 1, pi: 2 })
+        );
+    }
+
+    #[test]
+    fn membership_consistent_with_factors() {
+        let p = sbi(&[(1, 1), (1, 1)], &[(1, 2), (1, 1)]);
+        assert!(p.contains(&[r(1, 4), r(1, 4)]));
+        assert!(!p.contains(&[r(3, 4), r(0, 1)])); // outside box
+        assert!(!p.contains(&[r(1, 2), r(3, 4)])); // outside simplex
+    }
+}

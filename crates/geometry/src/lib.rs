@@ -1,0 +1,96 @@
+//! Polytope volumes for the paper's combinatorial framework
+//! (Section 2.1).
+//!
+//! Three polytopes matter:
+//!
+//! * the orthogonal simplex `Σ^(m)(σ) = {x ≥ 0 : Σ x_l/σ_l ≤ 1}`
+//!   ([`Simplex`]),
+//! * the orthogonal parallelepiped `Π^(m)(π) = [0,π_1]×…×[0,π_m]`
+//!   ([`OrthoBox`]),
+//! * and their intersection `ΣΠ^(m)(σ,π)` ([`SimplexBoxIntersection`]),
+//!   whose volume Proposition 2.2 expresses by inclusion–exclusion:
+//!
+//! ```text
+//! Vol(ΣΠ) = (1/m!) Π σ_l · Σ_{I ⊆ [m], Σ_{l∈I} π_l/σ_l < 1}
+//!              (−1)^{|I|} (1 − Σ_{l∈I} π_l/σ_l)^m
+//! ```
+//!
+//! Every probability in the paper reduces to a ratio of such volumes,
+//! so this crate carries both an exact rational implementation and a
+//! fast `f64` one, plus a Monte-Carlo estimator used in tests and
+//! benchmarks to validate the formula.
+//!
+//! # Examples
+//!
+//! ```
+//! use geometry::SimplexBoxIntersection;
+//! use rational::Rational;
+//!
+//! // Unit simplex ∩ cube [0, 1/2]^2: the simplex corner chopped at 1/2.
+//! let sigma = vec![Rational::one(), Rational::one()];
+//! let pi = vec![Rational::ratio(1, 2), Rational::ratio(1, 2)];
+//! let v = SimplexBoxIntersection::new(sigma, pi).unwrap().volume();
+//! assert_eq!(v, Rational::ratio(1, 4)); // 1/2 - 2*(1/2)*(1/4)
+//! ```
+
+mod intersection;
+mod montecarlo;
+mod orthobox;
+mod simplex;
+
+pub use intersection::SimplexBoxIntersection;
+pub use montecarlo::MonteCarloVolume;
+pub use orthobox::OrthoBox;
+pub use simplex::Simplex;
+
+use std::fmt;
+
+/// Error for invalid polytope parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A side length was zero or negative.
+    NonPositiveSide {
+        /// Index of the offending coordinate.
+        index: usize,
+    },
+    /// `σ` and `π` had different lengths.
+    DimensionMismatch {
+        /// Length of `σ`.
+        sigma: usize,
+        /// Length of `π`.
+        pi: usize,
+    },
+    /// The dimension was zero.
+    EmptyDimension,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NonPositiveSide { index } => {
+                write!(f, "side length at index {index} must be positive")
+            }
+            GeometryError::DimensionMismatch { sigma, pi } => {
+                write!(
+                    f,
+                    "dimension mismatch: sigma has {sigma} sides, pi has {pi}"
+                )
+            }
+            GeometryError::EmptyDimension => f.write_str("dimension must be at least one"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+pub(crate) fn check_sides(sides: &[rational::Rational]) -> Result<(), GeometryError> {
+    if sides.is_empty() {
+        return Err(GeometryError::EmptyDimension);
+    }
+    for (index, s) in sides.iter().enumerate() {
+        if !s.is_positive() {
+            return Err(GeometryError::NonPositiveSide { index });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Monte-Carlo volume estimation, used to validate Proposition 2.2.
+
+use crate::SimplexBoxIntersection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Monte-Carlo estimator for the volume of
+/// [`SimplexBoxIntersection`]: sample uniformly in the box and count
+/// the fraction of points under the simplex hyperplane.
+///
+/// # Examples
+///
+/// ```
+/// use geometry::{MonteCarloVolume, SimplexBoxIntersection};
+/// use rational::Rational;
+///
+/// let p = SimplexBoxIntersection::new(
+///     vec![Rational::one(), Rational::one()],
+///     vec![Rational::one(), Rational::one()],
+/// ).unwrap();
+/// let est = MonteCarloVolume::new(42).estimate(&p, 20_000);
+/// assert!((est.volume - 0.5).abs() < 3.0 * est.std_error);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MonteCarloVolume {
+    rng: StdRng,
+}
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VolumeEstimate {
+    /// Estimated volume.
+    pub volume: f64,
+    /// Standard error of the estimate (binomial).
+    pub std_error: f64,
+    /// Number of samples drawn.
+    pub samples: u64,
+}
+
+impl MonteCarloVolume {
+    /// Creates an estimator with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> MonteCarloVolume {
+        MonteCarloVolume {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Estimates the volume using `samples` uniform draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn estimate(&mut self, polytope: &SimplexBoxIntersection, samples: u64) -> VolumeEstimate {
+        assert!(samples > 0, "need at least one sample");
+        let sides: Vec<f64> = polytope
+            .bounding_box()
+            .sides()
+            .iter()
+            .map(rational::Rational::to_f64)
+            .collect();
+        let mut point = vec![0.0f64; sides.len()];
+        let mut hits = 0u64;
+        for _ in 0..samples {
+            for (x, s) in point.iter_mut().zip(&sides) {
+                *x = self.rng.gen_range(0.0..*s);
+            }
+            if polytope.simplex().contains_f64(&point) {
+                hits += 1;
+            }
+        }
+        let box_volume = polytope.bounding_box().volume_f64();
+        let p_hat = hits as f64 / samples as f64;
+        VolumeEstimate {
+            volume: p_hat * box_volume,
+            std_error: box_volume * (p_hat * (1.0 - p_hat) / samples as f64).sqrt(),
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn estimate_matches_exact_volume_3d() {
+        let p = SimplexBoxIntersection::new(
+            vec![r(1, 1), r(1, 1), r(1, 1)],
+            vec![r(1, 2), r(3, 4), r(1, 1)],
+        )
+        .unwrap();
+        let exact = p.volume().to_f64();
+        let est = MonteCarloVolume::new(7).estimate(&p, 200_000);
+        assert!(
+            (est.volume - exact).abs() < 4.0 * est.std_error + 1e-9,
+            "estimate {} vs exact {} (se {})",
+            est.volume,
+            exact,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p =
+            SimplexBoxIntersection::new(vec![r(1, 1), r(1, 1)], vec![r(1, 1), r(1, 1)]).unwrap();
+        let a = MonteCarloVolume::new(123).estimate(&p, 10_000);
+        let b = MonteCarloVolume::new(123).estimate(&p, 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_samples() {
+        let p =
+            SimplexBoxIntersection::new(vec![r(1, 1), r(1, 1)], vec![r(1, 1), r(1, 1)]).unwrap();
+        let small = MonteCarloVolume::new(1).estimate(&p, 1_000);
+        let large = MonteCarloVolume::new(1).estimate(&p, 100_000);
+        assert!(large.std_error < small.std_error);
+    }
+}

@@ -1,0 +1,121 @@
+//! The orthogonal parallelepiped `Π^(m)(π)`.
+
+use crate::GeometryError;
+use rational::Rational;
+
+/// The axis-aligned box `Π^(m)(π) = [0,π_1] × … × [0,π_m]`
+/// (Lemma 2.1(2): volume `Π π_l`).
+///
+/// # Examples
+///
+/// ```
+/// use geometry::OrthoBox;
+/// use rational::Rational;
+///
+/// let b = OrthoBox::new(vec![Rational::ratio(1, 2), Rational::integer(3)]).unwrap();
+/// assert_eq!(b.volume(), Rational::ratio(3, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrthoBox {
+    pi: Vec<Rational>,
+}
+
+impl OrthoBox {
+    /// Constructs the box with the given side lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if `pi` is empty or any side is not
+    /// strictly positive.
+    pub fn new(pi: Vec<Rational>) -> Result<OrthoBox, GeometryError> {
+        crate::check_sides(&pi)?;
+        Ok(OrthoBox { pi })
+    }
+
+    /// The unit cube `[0,1]^m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyDimension`] if `m == 0`.
+    pub fn unit(m: usize) -> Result<OrthoBox, GeometryError> {
+        OrthoBox::new(vec![Rational::one(); m])
+    }
+
+    /// The dimension `m`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// The side lengths `π`.
+    #[must_use]
+    pub fn sides(&self) -> &[Rational] {
+        &self.pi
+    }
+
+    /// Exact volume `Π π_l` (Lemma 2.1(2)).
+    #[must_use]
+    pub fn volume(&self) -> Rational {
+        self.pi.iter().product()
+    }
+
+    /// Volume as `f64`.
+    #[must_use]
+    pub fn volume_f64(&self) -> f64 {
+        self.volume().to_f64()
+    }
+
+    /// Tests membership of a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    #[must_use]
+    pub fn contains(&self, point: &[Rational]) -> bool {
+        assert_eq!(point.len(), self.dim(), "dimension mismatch");
+        point
+            .iter()
+            .zip(&self.pi)
+            .all(|(x, p)| !x.is_negative() && x <= p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn unit_cube_volume_one() {
+        for m in 1..6 {
+            assert_eq!(OrthoBox::unit(m).unwrap().volume(), Rational::one());
+        }
+        assert_eq!(OrthoBox::unit(0), Err(GeometryError::EmptyDimension));
+    }
+
+    #[test]
+    fn volume_is_product() {
+        let b = OrthoBox::new(vec![r(1, 2), r(2, 3), r(3, 4)]).unwrap();
+        assert_eq!(b.volume(), r(1, 4));
+        assert!((b.volume_f64() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn membership() {
+        let b = OrthoBox::new(vec![r(1, 2), r(2, 1)]).unwrap();
+        assert!(b.contains(&[r(1, 2), r(0, 1)]));
+        assert!(!b.contains(&[r(3, 4), r(1, 1)]));
+        assert!(!b.contains(&[r(1, 4), r(-1, 100)]));
+    }
+
+    #[test]
+    fn zero_side_rejected() {
+        assert_eq!(
+            OrthoBox::new(vec![r(1, 2), Rational::zero()]),
+            Err(GeometryError::NonPositiveSide { index: 1 })
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! The orthogonal simplex `Σ^(m)(σ)`.
+
+use crate::GeometryError;
+use rational::{factorial, Rational};
+
+/// The `m`-dimensional orthogonal simplex
+/// `Σ^(m)(σ) = {x ∈ ℝ₊^m : Σ_l x_l/σ_l ≤ 1}` with orthogonal sides
+/// `σ_1, …, σ_m` (Lemma 2.1(1): volume `(1/m!) Π σ_l`).
+///
+/// # Examples
+///
+/// ```
+/// use geometry::Simplex;
+/// use rational::Rational;
+///
+/// let s = Simplex::new(vec![Rational::integer(2), Rational::integer(3)]).unwrap();
+/// assert_eq!(s.volume(), Rational::integer(3)); // (1/2!)*2*3
+/// assert!(s.contains(&[Rational::one(), Rational::one()]));
+/// assert!(!s.contains(&[Rational::integer(2), Rational::integer(3)]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Simplex {
+    sigma: Vec<Rational>,
+}
+
+impl Simplex {
+    /// Constructs the simplex with the given side lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if `sigma` is empty or any side is
+    /// not strictly positive.
+    pub fn new(sigma: Vec<Rational>) -> Result<Simplex, GeometryError> {
+        crate::check_sides(&sigma)?;
+        Ok(Simplex { sigma })
+    }
+
+    /// The dimension `m`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// The side lengths `σ`.
+    #[must_use]
+    pub fn sides(&self) -> &[Rational] {
+        &self.sigma
+    }
+
+    /// Exact volume `(1/m!) Π σ_l` (Lemma 2.1(1)).
+    #[must_use]
+    pub fn volume(&self) -> Rational {
+        let prod: Rational = self.sigma.iter().product();
+        prod / Rational::from(factorial(self.dim() as u32))
+    }
+
+    /// Volume as `f64`.
+    #[must_use]
+    pub fn volume_f64(&self) -> f64 {
+        self.volume().to_f64()
+    }
+
+    /// Tests membership of a point (non-negative orthant and the
+    /// simplex inequality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    #[must_use]
+    pub fn contains(&self, point: &[Rational]) -> bool {
+        assert_eq!(point.len(), self.dim(), "dimension mismatch");
+        if point.iter().any(Rational::is_negative) {
+            return false;
+        }
+        let weighted: Rational = point.iter().zip(&self.sigma).map(|(x, s)| x / s).sum();
+        weighted <= Rational::one()
+    }
+
+    /// `f64` membership test used by the Monte-Carlo estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    #[must_use]
+    pub fn contains_f64(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dim(), "dimension mismatch");
+        if point.iter().any(|&x| x < 0.0) {
+            return false;
+        }
+        let weighted: f64 = point
+            .iter()
+            .zip(&self.sigma)
+            .map(|(x, s)| x / s.to_f64())
+            .sum();
+        weighted <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn unit_simplex_volume_is_inverse_factorial() {
+        for m in 1..8 {
+            let s = Simplex::new(vec![Rational::one(); m]).unwrap();
+            assert_eq!(s.volume(), Rational::new(1.into(), factorial(m as u32)));
+        }
+    }
+
+    #[test]
+    fn volume_scales_multilinearly() {
+        let s1 = Simplex::new(vec![r(1, 1), r(1, 1), r(1, 1)]).unwrap();
+        let s2 = Simplex::new(vec![r(2, 1), r(1, 1), r(1, 1)]).unwrap();
+        assert_eq!(s2.volume(), s1.volume() * r(2, 1));
+    }
+
+    #[test]
+    fn membership_boundary_inclusive() {
+        let s = Simplex::new(vec![r(1, 1), r(1, 1)]).unwrap();
+        assert!(s.contains(&[r(1, 2), r(1, 2)]));
+        assert!(s.contains(&[r(0, 1), r(1, 1)]));
+        assert!(!s.contains(&[r(1, 2), r(3, 4)]));
+        assert!(!s.contains(&[r(-1, 10), r(1, 10)]));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert_eq!(Simplex::new(vec![]), Err(GeometryError::EmptyDimension));
+        assert_eq!(
+            Simplex::new(vec![r(1, 1), r(0, 1)]),
+            Err(GeometryError::NonPositiveSide { index: 1 })
+        );
+        assert_eq!(
+            Simplex::new(vec![r(-1, 2)]),
+            Err(GeometryError::NonPositiveSide { index: 0 })
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for Proposition 2.2: the inclusion–exclusion volume
+//! agrees with naive enumeration, respects bounds and symmetry, and
+//! matches Monte-Carlo estimates.
+
+use geometry::{MonteCarloVolume, SimplexBoxIntersection};
+use proptest::prelude::*;
+use rational::Rational;
+
+fn side() -> impl Strategy<Value = Rational> {
+    (1i64..12, 1i64..12).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+fn polytope(max_dim: usize) -> impl Strategy<Value = SimplexBoxIntersection> {
+    (1..=max_dim).prop_flat_map(|m| {
+        (
+            proptest::collection::vec(side(), m),
+            proptest::collection::vec(side(), m),
+        )
+            .prop_map(|(sigma, pi)| SimplexBoxIntersection::new(sigma, pi).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pruned_equals_unpruned(p in polytope(6)) {
+        prop_assert_eq!(p.volume(), p.volume_unpruned());
+    }
+
+    #[test]
+    fn volume_bounded_by_factors(p in polytope(6)) {
+        let v = p.volume();
+        prop_assert!(!v.is_negative());
+        prop_assert!(v <= p.simplex().volume());
+        prop_assert!(v <= p.bounding_box().volume());
+    }
+
+    #[test]
+    fn volume_invariant_under_coordinate_permutation(p in polytope(5)) {
+        let mut sigma: Vec<Rational> = p.simplex().sides().to_vec();
+        let mut pi: Vec<Rational> = p.bounding_box().sides().to_vec();
+        // Rotate the coordinates; the volume must not change.
+        sigma.rotate_left(1);
+        pi.rotate_left(1);
+        let rotated = SimplexBoxIntersection::new(sigma, pi).unwrap();
+        prop_assert_eq!(p.volume(), rotated.volume());
+    }
+
+    #[test]
+    fn f64_path_tracks_exact(p in polytope(6)) {
+        let exact = p.volume().to_f64();
+        prop_assert!((p.volume_f64() - exact).abs() <= 1e-9 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn growing_the_box_grows_the_volume(p in polytope(5)) {
+        let sigma = p.simplex().sides().to_vec();
+        let bigger: Vec<Rational> = p
+            .bounding_box()
+            .sides()
+            .iter()
+            .map(|s| s * Rational::ratio(3, 2))
+            .collect();
+        let grown = SimplexBoxIntersection::new(sigma, bigger).unwrap();
+        prop_assert!(grown.volume() >= p.volume());
+    }
+
+    #[test]
+    fn monte_carlo_agrees(p in polytope(4), seed in any::<u64>()) {
+        let exact = p.volume().to_f64();
+        let est = MonteCarloVolume::new(seed).estimate(&p, 60_000);
+        // Five sigma plus an absolute cushion: flaky-free but tight
+        // enough to catch a wrong formula.
+        prop_assert!(
+            (est.volume - exact).abs() < 5.0 * est.std_error + 1e-3,
+            "estimate {} vs exact {}", est.volume, exact
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Polynomial arithmetic, calculus, and composition.
+
+use crate::field::Field;
+use crate::poly::Polynomial;
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl<F: Field> Add for &Polynomial<F> {
+    type Output = Polynomial<F>;
+    fn add(self, rhs: &Polynomial<F>) -> Polynomial<F> {
+        let n = self.coeffs().len().max(rhs.coeffs().len());
+        Polynomial::new((0..n).map(|i| self.coeff(i).add(&rhs.coeff(i))).collect())
+    }
+}
+
+impl<F: Field> Sub for &Polynomial<F> {
+    type Output = Polynomial<F>;
+    fn sub(self, rhs: &Polynomial<F>) -> Polynomial<F> {
+        let n = self.coeffs().len().max(rhs.coeffs().len());
+        Polynomial::new((0..n).map(|i| self.coeff(i).sub(&rhs.coeff(i))).collect())
+    }
+}
+
+impl<F: Field> Mul for &Polynomial<F> {
+    type Output = Polynomial<F>;
+    fn mul(self, rhs: &Polynomial<F>) -> Polynomial<F> {
+        if self.is_zero() || rhs.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![F::zero(); self.coeffs().len() + rhs.coeffs().len() - 1];
+        for (i, a) in self.coeffs().iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in rhs.coeffs().iter().enumerate() {
+                out[i + j] = out[i + j].add(&a.mul(b));
+            }
+        }
+        Polynomial::new(out)
+    }
+}
+
+impl<F: Field> Neg for &Polynomial<F> {
+    type Output = Polynomial<F>;
+    fn neg(self) -> Polynomial<F> {
+        Polynomial::new(self.coeffs().iter().map(Field::neg).collect())
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl<F: Field> $trait for Polynomial<F> {
+            type Output = Polynomial<F>;
+            fn $method(self, rhs: Polynomial<F>) -> Polynomial<F> {
+                (&self).$method(&rhs)
+            }
+        }
+        impl<F: Field> $trait<&Polynomial<F>> for Polynomial<F> {
+            type Output = Polynomial<F>;
+            fn $method(self, rhs: &Polynomial<F>) -> Polynomial<F> {
+                (&self).$method(rhs)
+            }
+        }
+        impl<F: Field> $trait<Polynomial<F>> for &Polynomial<F> {
+            type Output = Polynomial<F>;
+            fn $method(self, rhs: Polynomial<F>) -> Polynomial<F> {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+
+impl<F: Field> Neg for Polynomial<F> {
+    type Output = Polynomial<F>;
+    fn neg(self) -> Polynomial<F> {
+        -&self
+    }
+}
+
+impl<F: Field> Polynomial<F> {
+    /// Multiplies every coefficient by a scalar.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let p = Polynomial::new(vec![1.0, 2.0]).scale(&3.0);
+    /// assert_eq!(p.coeffs(), &[3.0, 6.0]);
+    /// ```
+    #[must_use]
+    pub fn scale(&self, scalar: &F) -> Polynomial<F> {
+        Polynomial::new(self.coeffs().iter().map(|c| c.mul(scalar)).collect())
+    }
+
+    /// Euclidean division: returns `(q, r)` with `self = q*d + r` and
+    /// `deg r < deg d`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let p = Polynomial::new(vec![-1.0, 0.0, 1.0]); // x^2 - 1
+    /// let d = Polynomial::new(vec![1.0, 1.0]);        // x + 1
+    /// let (q, r) = p.div_rem(&d);
+    /// assert_eq!(q.coeffs(), &[-1.0, 1.0]);           // x - 1
+    /// assert!(r.is_zero());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is the zero polynomial.
+    #[must_use]
+    pub fn div_rem(&self, d: &Polynomial<F>) -> (Polynomial<F>, Polynomial<F>) {
+        assert!(!d.is_zero(), "polynomial division by zero");
+        let dd = d.degree().expect("nonzero divisor");
+        let lead = d.leading().expect("nonzero divisor").clone();
+        let mut rem = self.coeffs().to_vec();
+        if rem.len() <= dd {
+            return (Polynomial::zero(), self.clone());
+        }
+        let mut quot = vec![F::zero(); rem.len() - dd];
+        for k in (dd..rem.len()).rev() {
+            let c = rem[k].div(&lead);
+            if c.is_zero() {
+                continue;
+            }
+            quot[k - dd] = c.clone();
+            for (i, di) in d.coeffs().iter().enumerate() {
+                rem[k - dd + i] = rem[k - dd + i].sub(&c.mul(di));
+            }
+        }
+        rem.truncate(dd);
+        (Polynomial::new(quot), Polynomial::new(rem))
+    }
+
+    /// Monic greatest common divisor (leading coefficient one), by the
+    /// Euclidean algorithm; `gcd(0, 0) = 0`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let a = Polynomial::from_roots(&[1.0, 2.0]);
+    /// let b = Polynomial::from_roots(&[2.0, 3.0]);
+    /// let g = a.gcd(&b);
+    /// assert_eq!(g.coeffs(), &[-2.0, 1.0]); // x - 2
+    /// ```
+    #[must_use]
+    pub fn gcd(&self, other: &Polynomial<F>) -> Polynomial<F> {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        match a.leading() {
+            None => a,
+            Some(lead) => {
+                let inv = F::one().div(lead);
+                a.scale(&inv)
+            }
+        }
+    }
+
+    /// The formal derivative.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x^2
+    /// assert_eq!(p.derivative().coeffs(), &[2.0, 6.0]);
+    /// ```
+    #[must_use]
+    pub fn derivative(&self) -> Polynomial<F> {
+        Polynomial::new(
+            self.coeffs()
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, c)| c.mul(&F::from_i64(i as i64)))
+                .collect(),
+        )
+    }
+
+    /// Substitutes another polynomial: returns `self(inner(x))`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// // p(x) = x^2, inner = x + 1 -> (x+1)^2
+    /// let p = Polynomial::monomial(1.0, 2);
+    /// let q = p.compose(&Polynomial::new(vec![1.0, 1.0]));
+    /// assert_eq!(q.coeffs(), &[1.0, 2.0, 1.0]);
+    /// ```
+    #[must_use]
+    pub fn compose(&self, inner: &Polynomial<F>) -> Polynomial<F> {
+        self.coeffs()
+            .iter()
+            .rev()
+            .fold(Polynomial::zero(), |acc, c| {
+                &(&acc * inner) + &Polynomial::constant(c.clone())
+            })
+    }
+
+    /// Shifts the argument: returns `p(x + c)`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let p = Polynomial::monomial(1.0, 2); // x^2
+    /// let q = p.shift(&-1.0);               // (x-1)^2
+    /// assert_eq!(q.eval(&1.0), 0.0);
+    /// ```
+    #[must_use]
+    pub fn shift(&self, c: &F) -> Polynomial<F> {
+        self.compose(&Polynomial::new(vec![c.clone(), F::one()]))
+    }
+
+    /// Raises to a non-negative integer power.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let p = Polynomial::new(vec![1.0, 1.0]).pow(3); // (1+x)^3
+    /// assert_eq!(p.coeffs(), &[1.0, 3.0, 3.0, 1.0]);
+    /// ```
+    #[must_use]
+    pub fn pow(&self, exp: u32) -> Polynomial<F> {
+        let mut result = Polynomial::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let p = Polynomial::new(vec![r(1, 2), r(3, 4), r(-5, 6)]);
+        let q = Polynomial::new(vec![r(2, 3), r(-1, 4)]);
+        assert_eq!(&(&p + &q) - &q, p);
+    }
+
+    #[test]
+    fn mul_degree_adds() {
+        let p = Polynomial::new(vec![r(1, 1), r(1, 1)]);
+        let q = Polynomial::new(vec![r(-1, 1), r(1, 1)]);
+        let prod = &p * &q; // (1+x)(x-1) = x^2 - 1
+        assert_eq!(prod, Polynomial::new(vec![r(-1, 1), r(0, 1), r(1, 1)]));
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let p = Polynomial::new(vec![r(3, 1), r(-2, 1), r(0, 1), r(5, 1), r(1, 1)]);
+        let d = Polynomial::new(vec![r(1, 2), r(1, 1), r(2, 1)]);
+        let (q, rem) = p.div_rem(&d);
+        assert_eq!(&(&q * &d) + &rem, p);
+        assert!(rem.degree() < d.degree());
+    }
+
+    #[test]
+    fn div_rem_smaller_degree_is_identity_remainder() {
+        let p = Polynomial::new(vec![r(1, 1), r(1, 1)]);
+        let d = Polynomial::new(vec![r(0, 1), r(0, 1), r(1, 1)]);
+        let (q, rem) = p.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(rem, p);
+    }
+
+    #[test]
+    fn gcd_of_products() {
+        let a = Polynomial::from_roots(&[r(1, 2), r(2, 1), r(3, 1)]);
+        let b = Polynomial::from_roots(&[r(2, 1), r(3, 1), r(7, 1)]);
+        let g = a.gcd(&b);
+        let expected = Polynomial::from_roots(&[r(2, 1), r(3, 1)]);
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn derivative_power_rule() {
+        let p = Polynomial::<Rational>::monomial(r(1, 1), 5);
+        let d = p.derivative();
+        assert_eq!(d, Polynomial::monomial(r(5, 1), 4));
+        assert!(Polynomial::<Rational>::constant(r(3, 1))
+            .derivative()
+            .is_zero());
+    }
+
+    #[test]
+    fn derivative_is_linear() {
+        let p = Polynomial::new(vec![r(1, 3), r(2, 5), r(-1, 2)]);
+        let q = Polynomial::new(vec![r(0, 1), r(4, 7), r(1, 9), r(2, 1)]);
+        assert_eq!((&p + &q).derivative(), &p.derivative() + &q.derivative());
+    }
+
+    #[test]
+    fn compose_evaluates_consistently() {
+        let p = Polynomial::new(vec![r(1, 1), r(-3, 2), r(1, 4)]);
+        let inner = Polynomial::new(vec![r(2, 1), r(1, 3)]);
+        let comp = p.compose(&inner);
+        for x in [r(0, 1), r(1, 2), r(-7, 3)] {
+            assert_eq!(comp.eval(&x), p.eval(&inner.eval(&x)));
+        }
+    }
+
+    #[test]
+    fn shift_then_unshift() {
+        let p = Polynomial::new(vec![r(2, 1), r(0, 1), r(1, 1), r(5, 3)]);
+        let c = r(4, 7);
+        assert_eq!(p.shift(&c).shift(&c.neg()), p);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let p = Polynomial::new(vec![r(1, 2), r(1, 1)]);
+        let mut expect = Polynomial::one();
+        for k in 0..6 {
+            assert_eq!(p.pow(k), expect, "exp {k}");
+            expect = &expect * &p;
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Antiderivatives, definite integrals, and interpolation.
+
+use crate::field::Field;
+use crate::poly::Polynomial;
+
+impl<F: Field> Polynomial<F> {
+    /// The antiderivative with zero constant term.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// // ∫ (1 + 2x) dx = x + x².
+    /// let p = Polynomial::new(vec![Rational::one(), Rational::integer(2)]);
+    /// assert_eq!(
+    ///     p.integral().coeffs(),
+    ///     &[Rational::zero(), Rational::one(), Rational::one()],
+    /// );
+    /// ```
+    #[must_use]
+    pub fn integral(&self) -> Polynomial<F> {
+        if self.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = Vec::with_capacity(self.coeffs().len() + 1);
+        coeffs.push(F::zero());
+        for (i, c) in self.coeffs().iter().enumerate() {
+            coeffs.push(c.div(&F::from_i64(i as i64 + 1)));
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// The definite integral over `[lo, hi]`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// // ∫₀¹ x² dx = 1/3.
+    /// let p = Polynomial::monomial(Rational::one(), 2);
+    /// let v = p.definite_integral(&Rational::zero(), &Rational::one());
+    /// assert_eq!(v, Rational::ratio(1, 3));
+    /// ```
+    #[must_use]
+    pub fn definite_integral(&self, lo: &F, hi: &F) -> F {
+        let anti = self.integral();
+        anti.eval(hi).sub(&anti.eval(lo))
+    }
+
+    /// Lagrange interpolation through distinct-abscissa points.
+    ///
+    /// Returns the unique polynomial of degree `< points.len()` passing
+    /// through all of them.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// let pts = [
+    ///     (Rational::zero(), Rational::one()),
+    ///     (Rational::one(), Rational::integer(2)),
+    ///     (Rational::integer(2), Rational::integer(5)),
+    /// ];
+    /// let p = Polynomial::interpolate(&pts); // 1 + x^2... through (0,1),(1,2),(2,5)
+    /// for (x, y) in &pts {
+    ///     assert_eq!(&p.eval(x), y);
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or two points share an abscissa.
+    #[must_use]
+    pub fn interpolate(points: &[(F, F)]) -> Polynomial<F> {
+        assert!(!points.is_empty(), "need at least one point");
+        let mut total = Polynomial::zero();
+        for (i, (xi, yi)) in points.iter().enumerate() {
+            // Basis polynomial L_i = Π_{j≠i} (x − x_j)/(x_i − x_j).
+            let mut basis = Polynomial::constant(yi.clone());
+            for (j, (xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let denom = xi.sub(xj);
+                assert!(!denom.is_zero(), "duplicate abscissa in interpolation");
+                let factor = Polynomial::new(vec![xj.neg().div(&denom), F::one().div(&denom)]);
+                basis = &basis * &factor;
+            }
+            total = &total + &basis;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn integral_inverts_derivative() {
+        let p = Polynomial::new(vec![r(1, 3), r(-2, 5), r(7, 2), r(1, 1)]);
+        assert_eq!(p.integral().derivative(), p);
+    }
+
+    #[test]
+    fn integral_of_zero_is_zero() {
+        assert!(Polynomial::<Rational>::zero().integral().is_zero());
+    }
+
+    #[test]
+    fn definite_integral_is_additive_over_intervals() {
+        let p = Polynomial::new(vec![r(1, 1), r(2, 1), r(-1, 2)]);
+        let (a, b, c) = (r(-1, 1), r(1, 3), r(2, 1));
+        let whole = p.definite_integral(&a, &c);
+        let parts = p.definite_integral(&a, &b) + p.definite_integral(&b, &c);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn definite_integral_reverses_sign() {
+        let p = Polynomial::new(vec![r(3, 1), r(1, 7)]);
+        let fwd = p.definite_integral(&r(0, 1), &r(2, 1));
+        let back = p.definite_integral(&r(2, 1), &r(0, 1));
+        assert_eq!(fwd, -back);
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let p = Polynomial::new(vec![r(1, 2), r(-3, 4), r(5, 6), r(1, 1)]);
+        let points: Vec<(Rational, Rational)> = (0..4)
+            .map(|k| {
+                let x = r(k, 1);
+                let y = p.eval(&x);
+                (x, y)
+            })
+            .collect();
+        assert_eq!(Polynomial::interpolate(&points), p);
+    }
+
+    #[test]
+    fn interpolation_single_point_is_constant() {
+        let p = Polynomial::interpolate(&[(r(5, 1), r(7, 3))]);
+        assert_eq!(p, Polynomial::constant(r(7, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate abscissa")]
+    fn duplicate_abscissa_rejected() {
+        let _ = Polynomial::interpolate(&[(r(1, 1), r(0, 1)), (r(1, 1), r(1, 1))]);
+    }
+}

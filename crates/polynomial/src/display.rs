@@ -1,0 +1,76 @@
+//! Human-readable formatting of polynomials.
+
+use crate::field::Field;
+use crate::poly::Polynomial;
+use std::fmt;
+
+impl<F: Field + fmt::Display> fmt::Display for Polynomial<F> {
+    /// Formats highest-degree term first, e.g. `7/2*x^3 - 2*x + 1/6`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs().iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            let formatted = c.to_string();
+            let (sign_str, mag) = match formatted.strip_prefix('-') {
+                Some(rest) => ("-", rest.to_owned()),
+                None => ("+", formatted),
+            };
+            if first {
+                if sign_str == "-" {
+                    f.write_str("-")?;
+                }
+                first = false;
+            } else {
+                write!(f, " {sign_str} ")?;
+            }
+            let is_unit_coeff = mag == "1" && i > 0;
+            match i {
+                0 => write!(f, "{mag}")?,
+                1 if is_unit_coeff => write!(f, "x")?,
+                1 => write!(f, "{mag}*x")?,
+                _ if is_unit_coeff => write!(f, "x^{i}")?,
+                _ => write!(f, "{mag}*x^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::poly::Polynomial;
+    use rational::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn formats_descending_with_signs() {
+        let p = Polynomial::new(vec![r(1, 6), r(0, 1), r(3, 2), r(-1, 2)]);
+        assert_eq!(p.to_string(), "-1/2*x^3 + 3/2*x^2 + 1/6");
+    }
+
+    #[test]
+    fn unit_coefficients_elided() {
+        let p = Polynomial::new(vec![r(-1, 1), r(1, 1), r(1, 1)]);
+        assert_eq!(p.to_string(), "x^2 + x - 1");
+    }
+
+    #[test]
+    fn leading_negative_and_zero() {
+        assert_eq!(Polynomial::<Rational>::zero().to_string(), "0");
+        let p = Polynomial::new(vec![r(0, 1), r(-1, 1)]);
+        assert_eq!(p.to_string(), "-x");
+    }
+
+    #[test]
+    fn constant_only() {
+        assert_eq!(Polynomial::constant(r(-7, 3)).to_string(), "-7/3");
+    }
+}

@@ -1,0 +1,194 @@
+//! The [`Field`] abstraction over which polynomials are defined.
+
+use rational::Rational;
+use std::fmt::Debug;
+
+/// A commutative field of coefficients.
+///
+/// Implemented for exact [`Rational`] arithmetic (used by every
+/// symbolic pipeline in the workspace) and for `f64` (used by the fast
+/// numeric evaluation paths benchmarked against the exact ones).
+///
+/// # Examples
+///
+/// ```
+/// use polynomial::Field;
+/// use rational::Rational;
+///
+/// fn double<F: Field>(x: &F) -> F {
+///     x.add(x)
+/// }
+/// assert_eq!(double(&Rational::ratio(1, 3)), Rational::ratio(2, 3));
+/// assert_eq!(double(&1.5f64), 3.0);
+/// ```
+pub trait Field: Clone + PartialEq + Debug {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Returns `self + other`.
+    #[must_use]
+    fn add(&self, other: &Self) -> Self;
+    /// Returns `self - other`.
+    #[must_use]
+    fn sub(&self, other: &Self) -> Self;
+    /// Returns `self * other`.
+    #[must_use]
+    fn mul(&self, other: &Self) -> Self;
+    /// Returns `self / other`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `other` is zero (exact fields do; `f64` yields
+    /// infinities/NaN instead).
+    #[must_use]
+    fn div(&self, other: &Self) -> Self;
+    /// Returns `-self`.
+    #[must_use]
+    fn neg(&self) -> Self;
+    /// Returns `true` iff `self` is the additive identity.
+    fn is_zero(&self) -> bool;
+    /// Embeds a machine integer.
+    fn from_i64(value: i64) -> Self;
+    /// Approximates as `f64` (used for reporting and plotting).
+    fn to_f64(&self) -> f64;
+}
+
+/// A field with a total order compatible with the field operations,
+/// enabling sign-based algorithms (Sturm sequences, bisection).
+pub trait OrderedField: Field + PartialOrd {
+    /// Returns `1`, `0` or `-1` according to the sign of `self`.
+    fn signum(&self) -> i32;
+}
+
+impl Field for Rational {
+    fn zero() -> Rational {
+        Rational::zero()
+    }
+    fn one() -> Rational {
+        Rational::one()
+    }
+    fn add(&self, other: &Rational) -> Rational {
+        self + other
+    }
+    fn sub(&self, other: &Rational) -> Rational {
+        self - other
+    }
+    fn mul(&self, other: &Rational) -> Rational {
+        self * other
+    }
+    fn div(&self, other: &Rational) -> Rational {
+        self / other
+    }
+    fn neg(&self) -> Rational {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn from_i64(value: i64) -> Rational {
+        Rational::integer(value)
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(self)
+    }
+}
+
+impl OrderedField for Rational {
+    fn signum(&self) -> i32 {
+        Rational::signum(self)
+    }
+}
+
+impl Field for f64 {
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(&self, other: &f64) -> f64 {
+        self + other
+    }
+    fn sub(&self, other: &f64) -> f64 {
+        self - other
+    }
+    fn mul(&self, other: &f64) -> f64 {
+        self * other
+    }
+    fn div(&self, other: &f64) -> f64 {
+        self / other
+    }
+    fn neg(&self) -> f64 {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn from_i64(value: i64) -> f64 {
+        value as f64
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl OrderedField for f64 {
+    fn signum(&self) -> i32 {
+        if *self > 0.0 {
+            1
+        } else if *self < 0.0 {
+            -1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_laws<F: Field>(a: F, b: F, c: F) {
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        assert_eq!(a.sub(&a), F::zero());
+        assert_eq!(a.add(&a.neg()), F::zero());
+        assert_eq!(a.mul(&F::one()), a);
+        if !b.is_zero() {
+            assert_eq!(a.mul(&b).div(&b), a);
+        }
+    }
+
+    #[test]
+    fn rational_field_laws() {
+        field_laws(
+            Rational::ratio(3, 5),
+            Rational::ratio(-7, 2),
+            Rational::integer(4),
+        );
+    }
+
+    #[test]
+    fn f64_field_laws_exact_dyadics() {
+        field_laws(0.5f64, -2.25, 8.0);
+    }
+
+    #[test]
+    fn signum_values() {
+        assert_eq!(Rational::ratio(-1, 9).signum(), -1);
+        assert_eq!(OrderedField::signum(&0.0f64), 0);
+        assert_eq!(OrderedField::signum(&3.5f64), 1);
+    }
+
+    #[test]
+    fn from_i64_embedding_is_additive() {
+        assert_eq!(
+            Rational::from_i64(7).add(&Rational::from_i64(-9)),
+            Rational::from_i64(-2)
+        );
+        assert_eq!(f64::from_i64(7).add(&f64::from_i64(-9)), -2.0);
+    }
+}

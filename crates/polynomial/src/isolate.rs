@@ -1,0 +1,276 @@
+//! Real-root isolation and refinement.
+
+use crate::field::OrderedField;
+use crate::poly::Polynomial;
+use crate::sturm::SturmChain;
+
+/// A half-open interval `(lo, hi]` isolating exactly one distinct real
+/// root of some polynomial.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval<F> {
+    /// Exclusive lower endpoint.
+    pub lo: F,
+    /// Inclusive upper endpoint.
+    pub hi: F,
+}
+
+impl<F: OrderedField> Interval<F> {
+    /// Width `hi - lo`.
+    #[must_use]
+    pub fn width(&self) -> F {
+        self.hi.sub(&self.lo)
+    }
+
+    /// Midpoint `(lo + hi) / 2`.
+    #[must_use]
+    pub fn midpoint(&self) -> F {
+        self.lo.add(&self.hi).div(&F::from_i64(2))
+    }
+}
+
+impl<F: OrderedField> Polynomial<F> {
+    /// Isolates the distinct real roots lying in `(lo, hi]`.
+    ///
+    /// Each returned [`Interval`] contains exactly one distinct root;
+    /// together they contain all of them. Repeated roots are reported
+    /// once.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// let p = Polynomial::from_roots(&[Rational::ratio(1, 3), Rational::ratio(2, 3)]);
+    /// let roots = p.isolate_roots(&Rational::zero(), &Rational::one());
+    /// assert_eq!(roots.len(), 2);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero or `lo > hi`.
+    #[must_use]
+    pub fn isolate_roots(&self, lo: &F, hi: &F) -> Vec<Interval<F>> {
+        let chain = SturmChain::new(self);
+        let mut out = Vec::new();
+        let mut stack = vec![(lo.clone(), hi.clone(), chain.count_roots(lo, hi))];
+        while let Some((a, b, count)) = stack.pop() {
+            match count {
+                0 => {}
+                1 => out.push(Interval { lo: a, hi: b }),
+                _ => {
+                    let mid = a.add(&b).div(&F::from_i64(2));
+                    let left = chain.count_roots(&a, &mid);
+                    stack.push((mid.clone(), b, count - left));
+                    stack.push(((a), mid, left));
+                }
+            }
+        }
+        out.sort_by(|x, y| x.lo.partial_cmp(&y.lo).expect("ordered field"));
+        out
+    }
+
+    /// Isolates the distinct real roots in the **closed** interval
+    /// `[lo, hi]` (a root exactly at `lo` is reported as the
+    /// degenerate interval `[lo, lo]`).
+    #[must_use]
+    pub fn isolate_roots_closed(&self, lo: &F, hi: &F) -> Vec<Interval<F>> {
+        let mut out = Vec::new();
+        if self.eval(lo).is_zero() {
+            out.push(Interval {
+                lo: lo.clone(),
+                hi: lo.clone(),
+            });
+        }
+        out.extend(self.isolate_roots(lo, hi));
+        out
+    }
+
+    /// Shrinks an isolating interval by bisection until its width is at
+    /// most `tol`, returning the final midpoint (or the exact root if
+    /// bisection lands on it).
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// // x^2 - 2: isolate and refine sqrt(2).
+    /// let p = Polynomial::new(vec![Rational::integer(-2), Rational::zero(), Rational::one()]);
+    /// let ivs = p.isolate_roots(&Rational::zero(), &Rational::integer(2));
+    /// let x = p.refine_root(&ivs[0], &Rational::ratio(1, 1 << 30));
+    /// assert!((x.to_f64() - 2f64.sqrt()).abs() < 1e-8);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not strictly positive.
+    #[must_use]
+    pub fn refine_root(&self, interval: &Interval<F>, tol: &F) -> F {
+        assert!(tol > &F::zero(), "tolerance must be positive");
+        if interval.lo == interval.hi {
+            return interval.lo.clone();
+        }
+        // Sturm-count bisection: robust even when the polynomial also
+        // vanishes at the open endpoint `lo` (a root belonging to the
+        // adjacent isolating interval), where sign-based bisection
+        // would see an ambiguous starting sign.
+        let chain = SturmChain::new(self);
+        let p = self.squarefree();
+        let mut lo = interval.lo.clone();
+        let mut hi = interval.hi.clone();
+        while hi.sub(&lo) > *tol {
+            let mid = lo.add(&hi).div(&F::from_i64(2));
+            if p.eval(&mid).is_zero() {
+                return mid;
+            }
+            if chain.count_roots(&lo, &mid) == 1 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo.add(&hi).div(&F::from_i64(2))
+    }
+
+    /// A Cauchy bound `B` such that every real root lies in `[-B, B]`:
+    /// `B = 1 + max_i |a_i / a_deg|`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// // x^2 - 4: roots ±2, bound 1 + 4 = 5.
+    /// let p = Polynomial::new(vec![Rational::integer(-4), Rational::zero(), Rational::one()]);
+    /// assert_eq!(p.cauchy_root_bound(), Rational::integer(5));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is the zero polynomial.
+    #[must_use]
+    pub fn cauchy_root_bound(&self) -> F {
+        let lead = self.leading().expect("nonzero polynomial").clone();
+        let mut max = F::zero();
+        for c in &self.coeffs()[..self.coeffs().len() - 1] {
+            let ratio = c.div(&lead);
+            let magnitude = if ratio < F::zero() {
+                ratio.neg()
+            } else {
+                ratio
+            };
+            if magnitude > max {
+                max = magnitude;
+            }
+        }
+        F::one().add(&max)
+    }
+
+    /// Isolates **all** distinct real roots, using the Cauchy bound to
+    /// pick the search interval.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// let p = Polynomial::from_roots(&[
+    ///     Rational::integer(-7),
+    ///     Rational::ratio(1, 3),
+    ///     Rational::integer(11),
+    /// ]);
+    /// assert_eq!(p.isolate_all_roots().len(), 3);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is the zero polynomial.
+    #[must_use]
+    pub fn isolate_all_roots(&self) -> Vec<Interval<F>> {
+        if self.degree() == Some(0) {
+            return Vec::new();
+        }
+        let bound = self.cauchy_root_bound();
+        self.isolate_roots_closed(&bound.neg(), &bound)
+    }
+
+    /// Convenience: all distinct real roots in `[lo, hi]` refined to
+    /// `f64` accuracy `tol_f64`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// let p = Polynomial::from_roots(&[Rational::ratio(1, 4), Rational::ratio(3, 4)]);
+    /// let roots = p.roots_f64(&Rational::zero(), &Rational::one(), 1e-12);
+    /// assert_eq!(roots.len(), 2);
+    /// assert!((roots[0] - 0.25).abs() < 1e-9 && (roots[1] - 0.75).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn roots_f64(&self, lo: &F, hi: &F, tol_f64: f64) -> Vec<f64> {
+        let mut tol = F::one();
+        let two = F::from_i64(2);
+        while tol.to_f64() > tol_f64 {
+            tol = tol.div(&two);
+        }
+        self.isolate_roots_closed(lo, hi)
+            .iter()
+            .map(|iv| self.refine_root(iv, &tol).to_f64())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn isolates_and_refines_quadratic() {
+        // beta^2 - 2 beta + 6/7 = 0, the paper's n=3 optimality condition.
+        let p = Polynomial::new(vec![r(6, 7), r(-2, 1), r(1, 1)]);
+        let all = p.isolate_roots(&r(-10, 1), &r(10, 1));
+        assert_eq!(all.len(), 2);
+        let in_unit = p.isolate_roots(&r(0, 1), &r(1, 1));
+        assert_eq!(in_unit.len(), 1);
+        let beta = p.refine_root(&in_unit[0], &r(1, 1_000_000_000)).to_f64();
+        assert!((beta - (1.0 - (1.0f64 / 7.0).sqrt())).abs() < 1e-8);
+    }
+
+    #[test]
+    fn root_at_closed_lower_endpoint() {
+        let p = Polynomial::from_roots(&[r(0, 1), r(1, 2)]);
+        let open = p.isolate_roots(&r(0, 1), &r(1, 1));
+        assert_eq!(open.len(), 1);
+        let closed = p.isolate_roots_closed(&r(0, 1), &r(1, 1));
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].lo, closed[0].hi);
+    }
+
+    #[test]
+    fn refine_exact_rational_root() {
+        let p = Polynomial::from_roots(&[r(3, 8)]);
+        let ivs = p.isolate_roots(&r(0, 1), &r(1, 1));
+        let x = p.refine_root(&ivs[0], &r(1, 1 << 20));
+        assert!((x.to_f64() - 0.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn close_roots_are_separated() {
+        let p = Polynomial::from_roots(&[r(500, 1000), r(501, 1000)]);
+        let ivs = p.isolate_roots(&r(0, 1), &r(1, 1));
+        assert_eq!(ivs.len(), 2);
+        assert!(ivs[0].hi <= ivs[1].lo);
+    }
+
+    #[test]
+    fn roots_f64_sorted_and_accurate() {
+        let p = Polynomial::from_roots(&[r(9, 10), r(1, 10), r(1, 2)]);
+        let roots = p.roots_f64(&r(0, 1), &r(1, 1), 1e-10);
+        assert_eq!(roots.len(), 3);
+        for (got, want) in roots.iter().zip([0.1, 0.5, 0.9]) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn no_roots_inside_returns_empty() {
+        let p = Polynomial::from_roots(&[r(2, 1)]);
+        assert!(p.isolate_roots(&r(0, 1), &r(1, 1)).is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense univariate polynomials over a generic field.
+//!
+//! This crate is the symbolic engine of the workspace. The paper's
+//! winning probabilities are piecewise polynomials in the common
+//! threshold `β` (or the oblivious probability `α`), and its
+//! optimality conditions are polynomial equations. We therefore need:
+//!
+//! * exact polynomial arithmetic over the rationals ([`Polynomial`]
+//!   with [`Rational`](rational::Rational) coefficients),
+//! * calculus (differentiation), composition and argument shifts,
+//! * **Sturm sequences** and real-root isolation, so optimality
+//!   conditions can be solved exactly to any precision,
+//! * [`PiecewisePolynomial`]s over a rational partition, with exact
+//!   global maximization — precisely the shape of `P_A(β)`.
+//!
+//! # Examples
+//!
+//! Solve the paper's `n = 3, δ = 1` optimality condition
+//! `β² − 2β + 6/7 = 0` on `(1/2, 1]`:
+//!
+//! ```
+//! use polynomial::Polynomial;
+//! use rational::Rational;
+//!
+//! let p = Polynomial::new(vec![
+//!     Rational::ratio(6, 7),
+//!     Rational::integer(-2),
+//!     Rational::one(),
+//! ]);
+//! let roots = p.isolate_roots(&Rational::ratio(1, 2), &Rational::integer(1));
+//! assert_eq!(roots.len(), 1);
+//! let beta = p.refine_root(&roots[0], &Rational::ratio(1, 1_000_000_000));
+//! assert!((beta.to_f64() - (1.0 - (1.0f64 / 7.0).sqrt())).abs() < 1e-8);
+//! ```
+
+mod arith;
+mod calculus;
+mod display;
+mod field;
+mod isolate;
+mod newton;
+mod piecewise;
+mod poly;
+mod sturm;
+
+pub use field::{Field, OrderedField};
+pub use isolate::Interval;
+pub use piecewise::{MaximumReport, PiecewisePolynomial};
+pub use poly::Polynomial;
+pub use sturm::SturmChain;

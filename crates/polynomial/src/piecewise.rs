@@ -1,0 +1,321 @@
+//! Piecewise polynomials over an interval partition, with exact
+//! global maximization.
+//!
+//! The paper's winning probability `P_A(β)` for a symmetric threshold
+//! algorithm is exactly such an object: a polynomial of degree `n` on
+//! each interval between consecutive break-points `δ/k`,
+//! `1 − (m−δ)/j`, …
+
+use crate::field::OrderedField;
+use crate::poly::Polynomial;
+
+/// A function on `[breakpoints[0], breakpoints[k]]` defined by a
+/// polynomial on each sub-interval; piece `i` covers
+/// `(breakpoints[i], breakpoints[i+1]]`, with piece `0` also covering
+/// the left endpoint.
+///
+/// # Examples
+///
+/// ```
+/// use polynomial::{PiecewisePolynomial, Polynomial};
+/// use rational::Rational;
+///
+/// let pw = PiecewisePolynomial::new(
+///     vec![Rational::zero(), Rational::ratio(1, 2), Rational::one()],
+///     vec![
+///         Polynomial::x(),                                       // x on [0, 1/2]
+///         Polynomial::new(vec![Rational::one(), -Rational::one()]), // 1 - x on (1/2, 1]
+///     ],
+/// );
+/// assert_eq!(pw.eval(&Rational::ratio(1, 4)), Some(Rational::ratio(1, 4)));
+/// assert_eq!(pw.eval(&Rational::ratio(3, 4)), Some(Rational::ratio(1, 4)));
+/// let max = pw.maximize(&Rational::ratio(1, 1024));
+/// assert_eq!(max.value, Rational::ratio(1, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PiecewisePolynomial<F> {
+    breakpoints: Vec<F>,
+    pieces: Vec<Polynomial<F>>,
+}
+
+/// Result of maximizing a piecewise polynomial.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaximumReport<F> {
+    /// A point at which the reported value is attained exactly.
+    ///
+    /// When the true maximizer is irrational (e.g. `1 − √(1/7)`), this
+    /// is a rational point within the refinement tolerance of it.
+    pub argmax: F,
+    /// The exact value of the function at [`MaximumReport::argmax`] —
+    /// a certified lower bound on the true supremum.
+    pub value: F,
+    /// Index of the piece containing the maximizer.
+    pub piece: usize,
+}
+
+impl<F: OrderedField> PiecewisePolynomial<F> {
+    /// Builds a piecewise polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `breakpoints.len() != pieces.len() + 1`, if fewer than
+    /// one piece is supplied, or if the breakpoints are not strictly
+    /// increasing.
+    #[must_use]
+    pub fn new(breakpoints: Vec<F>, pieces: Vec<Polynomial<F>>) -> PiecewisePolynomial<F> {
+        assert!(!pieces.is_empty(), "piecewise polynomial needs a piece");
+        assert_eq!(
+            breakpoints.len(),
+            pieces.len() + 1,
+            "need one more breakpoint than pieces"
+        );
+        assert!(
+            breakpoints.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        PiecewisePolynomial {
+            breakpoints,
+            pieces,
+        }
+    }
+
+    /// The domain endpoints `(lo, hi)`.
+    #[must_use]
+    pub fn domain(&self) -> (&F, &F) {
+        (
+            self.breakpoints.first().expect("nonempty"),
+            self.breakpoints.last().expect("nonempty"),
+        )
+    }
+
+    /// The break-points, ascending.
+    #[must_use]
+    pub fn breakpoints(&self) -> &[F] {
+        &self.breakpoints
+    }
+
+    /// The polynomial pieces, left to right.
+    #[must_use]
+    pub fn pieces(&self) -> &[Polynomial<F>] {
+        &self.pieces
+    }
+
+    /// Index of the piece whose interval contains `x`, or `None` if
+    /// `x` is outside the domain.
+    #[must_use]
+    pub fn piece_index(&self, x: &F) -> Option<usize> {
+        let (lo, hi) = self.domain();
+        if x < lo || x > hi {
+            return None;
+        }
+        // Piece i covers (b_i, b_{i+1}]; the left domain endpoint
+        // belongs to piece 0.
+        let idx = self
+            .breakpoints
+            .iter()
+            .skip(1)
+            .position(|b| x <= b)
+            .unwrap_or(self.pieces.len() - 1);
+        Some(idx)
+    }
+
+    /// Evaluates at `x`, or `None` outside the domain.
+    #[must_use]
+    pub fn eval(&self, x: &F) -> Option<F> {
+        self.piece_index(x).map(|i| self.pieces[i].eval(x))
+    }
+
+    /// Evaluates at an `f64` point (coefficients converted lazily);
+    /// `None` outside the domain.
+    #[must_use]
+    pub fn eval_f64(&self, x: f64) -> Option<f64> {
+        let (lo, hi) = self.domain();
+        if x < lo.to_f64() || x > hi.to_f64() {
+            return None;
+        }
+        let idx = self
+            .breakpoints
+            .iter()
+            .skip(1)
+            .position(|b| x <= b.to_f64())
+            .unwrap_or(self.pieces.len() - 1);
+        Some(self.pieces[idx].eval_f64(x))
+    }
+
+    /// Returns `true` iff adjacent pieces agree at the interior
+    /// break-points (the function is continuous).
+    ///
+    /// The paper's winning probabilities are continuous in the
+    /// threshold, so this is a strong self-check on derived pieces.
+    #[must_use]
+    pub fn is_continuous(&self) -> bool {
+        self.pieces
+            .windows(2)
+            .zip(&self.breakpoints[1..])
+            .all(|(pair, b)| pair[0].eval(b) == pair[1].eval(b))
+    }
+
+    /// The exact definite integral over the whole domain: the sum of
+    /// each piece's integral over its interval.
+    ///
+    /// ```
+    /// use polynomial::{PiecewisePolynomial, Polynomial};
+    /// use rational::Rational;
+    /// // The tent function integrates to 1/4.
+    /// let pw = PiecewisePolynomial::new(
+    ///     vec![Rational::zero(), Rational::ratio(1, 2), Rational::one()],
+    ///     vec![
+    ///         Polynomial::x(),
+    ///         Polynomial::new(vec![Rational::one(), -Rational::one()]),
+    ///     ],
+    /// );
+    /// assert_eq!(pw.integral_over_domain(), Rational::ratio(1, 4));
+    /// ```
+    #[must_use]
+    pub fn integral_over_domain(&self) -> F {
+        self.pieces
+            .iter()
+            .zip(self.breakpoints.windows(2))
+            .fold(F::zero(), |acc, (p, w)| {
+                acc.add(&p.definite_integral(&w[0], &w[1]))
+            })
+    }
+
+    /// The derivative, piece by piece (undefined at the break-points,
+    /// where the function may have kinks; the right-continuous
+    /// convention of piece indexing applies).
+    #[must_use]
+    pub fn derivative(&self) -> PiecewisePolynomial<F> {
+        PiecewisePolynomial {
+            breakpoints: self.breakpoints.clone(),
+            pieces: self.pieces.iter().map(Polynomial::derivative).collect(),
+        }
+    }
+
+    /// Globally maximizes over the domain.
+    ///
+    /// Candidates are every break-point plus every critical point
+    /// (derivative root) of every piece, the latter refined to width
+    /// `tol`. The reported value is evaluated **exactly** at the
+    /// chosen rational candidate, so it is a certified lower bound on
+    /// the supremum that converges to it as `tol → 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not strictly positive.
+    #[must_use]
+    pub fn maximize(&self, tol: &F) -> MaximumReport<F> {
+        let mut best: Option<MaximumReport<F>> = None;
+        let mut consider = |candidate: F, piece: usize, pieces: &[Polynomial<F>]| {
+            let value = pieces[piece].eval(&candidate);
+            if best.as_ref().is_none_or(|b| value > b.value) {
+                best = Some(MaximumReport {
+                    argmax: candidate,
+                    value,
+                    piece,
+                });
+            }
+        };
+        for (i, piece) in self.pieces.iter().enumerate() {
+            let lo = &self.breakpoints[i];
+            let hi = &self.breakpoints[i + 1];
+            consider(lo.clone(), i, &self.pieces);
+            consider(hi.clone(), i, &self.pieces);
+            let deriv = piece.derivative();
+            if deriv.is_zero() {
+                continue;
+            }
+            for iv in deriv.isolate_roots_closed(lo, hi) {
+                let x = deriv.refine_root(&iv, tol);
+                consider(x, i, &self.pieces);
+            }
+        }
+        best.expect("at least one piece")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    fn tent() -> PiecewisePolynomial<Rational> {
+        PiecewisePolynomial::new(
+            vec![r(0, 1), r(1, 2), r(1, 1)],
+            vec![Polynomial::x(), Polynomial::new(vec![r(1, 1), r(-1, 1)])],
+        )
+    }
+
+    #[test]
+    fn eval_respects_piece_boundaries() {
+        let pw = tent();
+        assert_eq!(pw.eval(&r(0, 1)), Some(r(0, 1)));
+        assert_eq!(pw.eval(&r(1, 2)), Some(r(1, 2)));
+        assert_eq!(pw.eval(&r(3, 4)), Some(r(1, 4)));
+        assert_eq!(pw.eval(&r(1, 1)), Some(r(0, 1)));
+        assert_eq!(pw.eval(&r(2, 1)), None);
+        assert_eq!(pw.eval(&r(-1, 1)), None);
+    }
+
+    #[test]
+    fn continuity_detects_jump() {
+        assert!(tent().is_continuous());
+        let broken = PiecewisePolynomial::new(
+            vec![r(0, 1), r(1, 2), r(1, 1)],
+            vec![Polynomial::x(), Polynomial::constant(r(9, 1))],
+        );
+        assert!(!broken.is_continuous());
+    }
+
+    #[test]
+    fn maximize_at_breakpoint() {
+        let max = tent().maximize(&r(1, 1024));
+        assert_eq!(max.value, r(1, 2));
+        assert_eq!(max.argmax, r(1, 2));
+    }
+
+    #[test]
+    fn maximize_interior_critical_point() {
+        // Single piece: x(1-x) on [0,1], maximum 1/4 at 1/2.
+        let pw = PiecewisePolynomial::new(
+            vec![r(0, 1), r(1, 1)],
+            vec![Polynomial::new(vec![r(0, 1), r(1, 1), r(-1, 1)])],
+        );
+        let max = pw.maximize(&r(1, 1 << 20));
+        assert_eq!(max.value, r(1, 4));
+        assert_eq!(max.argmax, r(1, 2));
+    }
+
+    #[test]
+    fn maximize_prefers_endpoint_when_monotone() {
+        let pw = PiecewisePolynomial::new(
+            vec![r(0, 1), r(1, 1)],
+            vec![Polynomial::new(vec![r(1, 1), r(3, 1)])],
+        );
+        let max = pw.maximize(&r(1, 1024));
+        assert_eq!(max.argmax, r(1, 1));
+        assert_eq!(max.value, r(4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_breakpoints_rejected() {
+        let _ =
+            PiecewisePolynomial::new(vec![r(0, 1), r(0, 1)], vec![Polynomial::<Rational>::one()]);
+    }
+
+    #[test]
+    fn eval_f64_matches_exact() {
+        let pw = tent();
+        for i in 0..=20 {
+            let x = r(i, 20);
+            let exact = pw.eval(&x).unwrap().to_f64();
+            let fast = pw.eval_f64(i as f64 / 20.0).unwrap();
+            assert!((exact - fast).abs() < 1e-12);
+        }
+    }
+}

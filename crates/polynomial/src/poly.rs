@@ -1,0 +1,235 @@
+//! The dense [`Polynomial`] representation and basic queries.
+
+use crate::field::Field;
+
+/// A dense univariate polynomial with coefficients in a [`Field`],
+/// stored lowest-degree first with no trailing zero coefficients.
+///
+/// The zero polynomial is the empty coefficient vector and has degree
+/// `None`.
+///
+/// # Examples
+///
+/// ```
+/// use polynomial::Polynomial;
+/// use rational::Rational;
+///
+/// // 1 - 2x + x^2  ==  (1 - x)^2
+/// let p = Polynomial::new(vec![
+///     Rational::one(),
+///     Rational::integer(-2),
+///     Rational::one(),
+/// ]);
+/// assert_eq!(p.degree(), Some(2));
+/// assert_eq!(p.eval(&Rational::ratio(1, 2)), Rational::ratio(1, 4));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial<F> {
+    coeffs: Vec<F>,
+}
+
+impl<F: Field> Polynomial<F> {
+    /// Builds a polynomial from coefficients (lowest degree first),
+    /// dropping trailing zeros.
+    #[must_use]
+    pub fn new(mut coeffs: Vec<F>) -> Polynomial<F> {
+        while coeffs.last().is_some_and(Field::is_zero) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Polynomial<F> {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    #[must_use]
+    pub fn one() -> Polynomial<F> {
+        Polynomial::constant(F::one())
+    }
+
+    /// A constant polynomial.
+    #[must_use]
+    pub fn constant(value: F) -> Polynomial<F> {
+        Polynomial::new(vec![value])
+    }
+
+    /// The identity polynomial `x`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let x = Polynomial::<f64>::x();
+    /// assert_eq!(x.eval(&3.5), 3.5);
+    /// ```
+    #[must_use]
+    pub fn x() -> Polynomial<F> {
+        Polynomial::new(vec![F::zero(), F::one()])
+    }
+
+    /// The monomial `coeff * x^degree`.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let m = Polynomial::monomial(2.0, 3);
+    /// assert_eq!(m.eval(&2.0), 16.0);
+    /// ```
+    #[must_use]
+    pub fn monomial(coeff: F, degree: usize) -> Polynomial<F> {
+        if coeff.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![F::zero(); degree + 1];
+        coeffs[degree] = coeff;
+        Polynomial { coeffs }
+    }
+
+    /// Builds `(x - r_1)(x - r_2)...` from its roots.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// let p = Polynomial::from_roots(&[1.0, 2.0]);
+    /// assert_eq!(p.eval(&1.0), 0.0);
+    /// assert_eq!(p.eval(&3.0), 2.0);
+    /// ```
+    #[must_use]
+    pub fn from_roots(roots: &[F]) -> Polynomial<F> {
+        roots.iter().fold(Polynomial::one(), |acc, r| {
+            &acc * &Polynomial::new(vec![r.neg(), F::one()])
+        })
+    }
+
+    /// Returns the degree, or `None` for the zero polynomial.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Returns `true` iff this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Returns the coefficient of `x^i` (zero beyond the degree).
+    #[must_use]
+    pub fn coeff(&self, i: usize) -> F {
+        self.coeffs.get(i).cloned().unwrap_or_else(F::zero)
+    }
+
+    /// Returns the leading coefficient, or `None` for zero.
+    #[must_use]
+    pub fn leading(&self) -> Option<&F> {
+        self.coeffs.last()
+    }
+
+    /// Returns the coefficient slice, lowest degree first.
+    #[must_use]
+    pub fn coeffs(&self) -> &[F] {
+        &self.coeffs
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    #[must_use]
+    pub fn eval(&self, x: &F) -> F {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(F::zero(), |acc, c| acc.mul(x).add(c))
+    }
+
+    /// Evaluates at an `f64` point, converting coefficients on the fly.
+    ///
+    /// For `Polynomial<Rational>` this is the fast lossy path used for
+    /// plotting; exact evaluation should use [`Polynomial::eval`].
+    #[must_use]
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0.0, |acc, c| acc * x + c.to_f64())
+    }
+
+    /// Maps the coefficients through `f`, producing a polynomial over
+    /// another field (e.g. exact rational → `f64`).
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// let p = Polynomial::new(vec![Rational::ratio(1, 2), Rational::integer(3)]);
+    /// let q: Polynomial<f64> = p.map_coeffs(|c| c.to_f64());
+    /// assert_eq!(q.eval(&1.0), 3.5);
+    /// ```
+    #[must_use]
+    pub fn map_coeffs<G: Field>(&self, f: impl Fn(&F) -> G) -> Polynomial<G> {
+        Polynomial::new(self.coeffs.iter().map(f).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    #[test]
+    fn normalization_drops_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(1));
+        let z = Polynomial::new(vec![0.0, 0.0]);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+    }
+
+    #[test]
+    fn eval_horner_known() {
+        // 2 + 3x + x^3 at x = 2 -> 2 + 6 + 8 = 16.
+        let p = Polynomial::new(vec![
+            Rational::integer(2),
+            Rational::integer(3),
+            Rational::zero(),
+            Rational::one(),
+        ]);
+        assert_eq!(p.eval(&Rational::integer(2)), Rational::integer(16));
+        assert_eq!(p.eval_f64(2.0), 16.0);
+    }
+
+    #[test]
+    fn monomial_and_x() {
+        let p = Polynomial::<Rational>::x();
+        assert_eq!(p, Polynomial::monomial(Rational::one(), 1));
+        assert!(Polynomial::monomial(Rational::zero(), 5).is_zero());
+    }
+
+    #[test]
+    fn from_roots_vanishes_at_roots() {
+        let roots = [
+            Rational::ratio(1, 3),
+            Rational::integer(-2),
+            Rational::ratio(5, 7),
+        ];
+        let p = Polynomial::from_roots(&roots);
+        assert_eq!(p.degree(), Some(3));
+        for r in &roots {
+            assert!(p.eval(r).is_zero(), "root {r}");
+        }
+        assert!(!p.eval(&Rational::zero()).is_zero());
+    }
+
+    #[test]
+    fn coeff_beyond_degree_is_zero() {
+        let p = Polynomial::new(vec![1.0, 2.0]);
+        assert_eq!(p.coeff(0), 1.0);
+        assert_eq!(p.coeff(5), 0.0);
+        assert_eq!(p.leading(), Some(&2.0));
+    }
+
+    #[test]
+    fn zero_polynomial_evaluates_to_zero() {
+        let z = Polynomial::<Rational>::zero();
+        assert!(z.eval(&Rational::ratio(9, 7)).is_zero());
+        assert_eq!(z.eval_f64(3.0), 0.0);
+        assert!(z.leading().is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! Sturm sequences and real-root counting.
+
+use crate::field::OrderedField;
+use crate::poly::Polynomial;
+
+/// A Sturm chain for a polynomial, supporting exact root counting on
+/// intervals.
+///
+/// # Examples
+///
+/// ```
+/// use polynomial::{Polynomial, SturmChain};
+/// use rational::Rational;
+///
+/// // (x - 1)(x - 2): two roots in (0, 3].
+/// let p = Polynomial::from_roots(&[Rational::integer(1), Rational::integer(2)]);
+/// let chain = SturmChain::new(&p);
+/// assert_eq!(chain.count_roots(&Rational::zero(), &Rational::integer(3)), 2);
+/// assert_eq!(chain.count_roots(&Rational::integer(1), &Rational::integer(3)), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SturmChain<F> {
+    chain: Vec<Polynomial<F>>,
+}
+
+impl<F: OrderedField> SturmChain<F> {
+    /// Builds the Sturm chain of the square-free part of `p`.
+    ///
+    /// Using the square-free part means repeated roots are counted
+    /// once, and the chain is valid even for non-square-free inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is the zero polynomial.
+    #[must_use]
+    pub fn new(p: &Polynomial<F>) -> SturmChain<F> {
+        assert!(!p.is_zero(), "Sturm chain of the zero polynomial");
+        let p = p.squarefree();
+        let mut chain = vec![p.clone()];
+        let d = p.derivative();
+        if !d.is_zero() {
+            chain.push(d);
+            loop {
+                let k = chain.len();
+                let rem = chain[k - 2].div_rem(&chain[k - 1]).1;
+                if rem.is_zero() {
+                    break;
+                }
+                chain.push(-&rem);
+            }
+        }
+        SturmChain { chain }
+    }
+
+    /// Number of sign variations of the chain evaluated at `x`.
+    fn variations_at(&self, x: &F) -> usize {
+        let signs = self.chain.iter().map(|p| p.eval(x).signum());
+        count_variations(signs)
+    }
+
+    /// Number of sign variations of the chain "at +∞" (signs of
+    /// leading coefficients) or "at −∞" (flipped for odd degrees).
+    fn variations_at_infinity(&self, positive: bool) -> usize {
+        let signs = self.chain.iter().map(|p| {
+            let d = p.degree().unwrap_or(0);
+            let lead = p.leading().map_or(0, OrderedField::signum);
+            if positive || d % 2 == 0 {
+                lead
+            } else {
+                -lead
+            }
+        });
+        count_variations(signs)
+    }
+
+    /// Counts distinct real roots in the half-open interval `(lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn count_roots(&self, lo: &F, hi: &F) -> usize {
+        assert!(lo <= hi, "empty interval");
+        self.variations_at(lo) - self.variations_at(hi)
+    }
+
+    /// Counts all distinct real roots.
+    ///
+    /// ```
+    /// use polynomial::{Polynomial, SturmChain};
+    /// use rational::Rational;
+    /// // x^2 + 1 has no real roots; x^3 - x has three.
+    /// let i = Polynomial::new(vec![Rational::one(), Rational::zero(), Rational::one()]);
+    /// assert_eq!(SturmChain::new(&i).count_all_roots(), 0);
+    /// let c = Polynomial::new(vec![
+    ///     Rational::zero(), Rational::integer(-1), Rational::zero(), Rational::one(),
+    /// ]);
+    /// assert_eq!(SturmChain::new(&c).count_all_roots(), 3);
+    /// ```
+    #[must_use]
+    pub fn count_all_roots(&self) -> usize {
+        self.variations_at_infinity(false) - self.variations_at_infinity(true)
+    }
+}
+
+/// Counts sign changes in a sequence, ignoring zeros.
+fn count_variations(signs: impl Iterator<Item = i32>) -> usize {
+    let mut last = 0i32;
+    let mut count = 0;
+    for s in signs {
+        if s == 0 {
+            continue;
+        }
+        if last != 0 && s != last {
+            count += 1;
+        }
+        last = s;
+    }
+    count
+}
+
+impl<F: OrderedField> Polynomial<F> {
+    /// Returns the square-free part `p / gcd(p, p')`, monic up to the
+    /// original leading sign.
+    ///
+    /// ```
+    /// use polynomial::Polynomial;
+    /// use rational::Rational;
+    /// let double = Polynomial::from_roots(&[Rational::one(), Rational::one()]);
+    /// let sf = double.squarefree();
+    /// assert_eq!(sf.degree(), Some(1));
+    /// assert!(sf.eval(&Rational::one()).is_zero());
+    /// ```
+    #[must_use]
+    pub fn squarefree(&self) -> Polynomial<F> {
+        let d = self.derivative();
+        if d.is_zero() {
+            return self.clone();
+        }
+        let g = self.gcd(&d);
+        if g.degree() == Some(0) {
+            return self.clone();
+        }
+        self.div_rem(&g).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    fn r(n: i64) -> Rational {
+        Rational::integer(n)
+    }
+
+    fn roots_poly(roots: &[i64]) -> Polynomial<Rational> {
+        Polynomial::from_roots(&roots.iter().map(|&x| r(x)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn counts_simple_roots() {
+        let p = roots_poly(&[1, 3, 5]);
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_roots(&r(0), &r(6)), 3);
+        assert_eq!(chain.count_roots(&r(2), &r(4)), 1);
+        assert_eq!(chain.count_roots(&r(6), &r(9)), 0);
+        assert_eq!(chain.count_all_roots(), 3);
+    }
+
+    #[test]
+    fn half_open_interval_convention() {
+        let p = roots_poly(&[2]);
+        let chain = SturmChain::new(&p);
+        // (lo, hi]: root at hi counts, root at lo does not.
+        assert_eq!(chain.count_roots(&r(0), &r(2)), 1);
+        assert_eq!(chain.count_roots(&r(2), &r(4)), 0);
+    }
+
+    #[test]
+    fn repeated_roots_counted_once() {
+        let p = &roots_poly(&[1, 1, 1]) * &roots_poly(&[4]);
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_roots(&r(0), &r(5)), 2);
+    }
+
+    #[test]
+    fn no_real_roots() {
+        // x^4 + x^2 + 7
+        let p = Polynomial::new(vec![r(7), r(0), r(1), r(0), r(1)]);
+        assert_eq!(SturmChain::new(&p).count_all_roots(), 0);
+    }
+
+    #[test]
+    fn wilkinson_like_dense_roots() {
+        let roots: Vec<i64> = (1..=8).collect();
+        let p = roots_poly(&roots);
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_all_roots(), 8);
+        for k in 1..=8 {
+            assert_eq!(
+                chain.count_roots(
+                    &Rational::ratio(2 * k - 1, 2),
+                    &Rational::ratio(2 * k + 1, 2)
+                ),
+                1,
+                "window around {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn squarefree_reduces_multiplicity() {
+        let p = &roots_poly(&[2, 2, 2]) * &roots_poly(&[3, 3]);
+        let sf = p.squarefree();
+        assert_eq!(sf.degree(), Some(2));
+        assert!(sf.eval(&r(2)).is_zero());
+        assert!(sf.eval(&r(3)).is_zero());
+    }
+
+    #[test]
+    fn constant_polynomial_has_no_roots() {
+        let p = Polynomial::constant(r(5));
+        assert_eq!(SturmChain::new(&p).count_all_roots(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for polynomials: ring laws, division
+//! invariants, calculus identities, and root-isolation soundness.
+
+use polynomial::{Polynomial, SturmChain};
+use proptest::prelude::*;
+use rational::Rational;
+
+fn any_rational() -> impl Strategy<Value = Rational> {
+    (-40i64..40, 1i64..8).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+fn any_poly() -> impl Strategy<Value = Polynomial<Rational>> {
+    proptest::collection::vec(any_rational(), 0..6).prop_map(Polynomial::new)
+}
+
+fn nonzero_poly() -> impl Strategy<Value = Polynomial<Rational>> {
+    any_poly().prop_filter("nonzero", |p| !p.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(p in any_poly(), q in any_poly()) {
+        prop_assert_eq!(&p + &q, &q + &p);
+    }
+
+    #[test]
+    fn mul_distributes(p in any_poly(), q in any_poly(), s in any_poly()) {
+        prop_assert_eq!(&p * &(&q + &s), &(&p * &q) + &(&p * &s));
+    }
+
+    #[test]
+    fn eval_is_ring_homomorphism(p in any_poly(), q in any_poly(), x in any_rational()) {
+        prop_assert_eq!((&p + &q).eval(&x), p.eval(&x) + q.eval(&x));
+        prop_assert_eq!((&p * &q).eval(&x), p.eval(&x) * q.eval(&x));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(p in any_poly(), d in nonzero_poly()) {
+        let (q, r) = p.div_rem(&d);
+        prop_assert_eq!(&(&q * &d) + &r, p);
+        prop_assert!(r.is_zero() || r.degree() < d.degree());
+    }
+
+    #[test]
+    fn gcd_divides_both(p in nonzero_poly(), q in nonzero_poly()) {
+        let g = p.gcd(&q);
+        prop_assert!(p.div_rem(&g).1.is_zero());
+        prop_assert!(q.div_rem(&g).1.is_zero());
+    }
+
+    #[test]
+    fn derivative_product_rule(p in any_poly(), q in any_poly()) {
+        let lhs = (&p * &q).derivative();
+        let rhs = &(&p.derivative() * &q) + &(&p * &q.derivative());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn derivative_chain_rule_for_shift(p in any_poly(), c in any_rational()) {
+        // d/dx p(x + c) = p'(x + c)
+        prop_assert_eq!(p.shift(&c).derivative(), p.derivative().shift(&c));
+    }
+
+    #[test]
+    fn compose_evaluates(p in any_poly(), q in any_poly(), x in any_rational()) {
+        prop_assert_eq!(p.compose(&q).eval(&x), p.eval(&q.eval(&x)));
+    }
+
+    #[test]
+    fn sturm_counts_known_roots(
+        roots in proptest::collection::btree_set(-11i64..12, 1..5),
+    ) {
+        let roots: Vec<Rational> = roots.into_iter().map(Rational::integer).collect();
+        let p = Polynomial::from_roots(&roots);
+        let chain = SturmChain::new(&p);
+        prop_assert_eq!(chain.count_all_roots(), roots.len());
+        // (lo, hi] is half-open: every root lies strictly above -12.
+        prop_assert_eq!(
+            chain.count_roots(&Rational::integer(-12), &Rational::integer(12)),
+            roots.len()
+        );
+    }
+
+    #[test]
+    fn isolation_brackets_true_roots(
+        roots in proptest::collection::btree_set(-9i64..9, 1..5),
+    ) {
+        let roots: Vec<Rational> = roots.into_iter().map(Rational::integer).collect();
+        let p = Polynomial::from_roots(&roots);
+        let lo = Rational::integer(-10);
+        let hi = Rational::integer(10);
+        let ivs = p.isolate_roots(&lo, &hi);
+        prop_assert_eq!(ivs.len(), roots.len());
+        for (iv, root) in ivs.iter().zip(&roots) {
+            prop_assert!(&iv.lo < root && root <= &iv.hi, "{:?} vs {}", iv, root);
+        }
+    }
+
+    #[test]
+    fn refined_roots_are_accurate(
+        roots in proptest::collection::btree_set(-9i64..9, 1..4),
+    ) {
+        let roots: Vec<Rational> = roots.into_iter().map(Rational::integer).collect();
+        let p = Polynomial::from_roots(&roots);
+        let got = p.roots_f64(&Rational::integer(-10), &Rational::integer(10), 1e-9);
+        prop_assert_eq!(got.len(), roots.len());
+        for (g, want) in got.iter().zip(&roots) {
+            prop_assert!((g - want.to_f64()).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn squarefree_keeps_distinct_roots(k in 1u32..4, root in -5i64..5) {
+        let base = Polynomial::from_roots(&[Rational::integer(root)]);
+        let p = base.pow(k);
+        let sf = p.squarefree();
+        prop_assert_eq!(sf.degree(), Some(1));
+        prop_assert!(sf.eval(&Rational::integer(root)).is_zero());
+    }
+
+    #[test]
+    fn eval_f64_tracks_exact(p in any_poly(), x in any_rational()) {
+        let exact = p.eval(&x).to_f64();
+        let fast = p.eval_f64(x.to_f64());
+        prop_assert!((exact - fast).abs() <= 1e-9 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn integral_then_derivative_is_identity(p in any_poly()) {
+        prop_assert_eq!(p.integral().derivative(), p);
+    }
+
+    #[test]
+    fn definite_integral_is_linear(p in any_poly(), q in any_poly(), a in any_rational(), b in any_rational()) {
+        let lhs = (&p + &q).definite_integral(&a, &b);
+        let rhs = p.definite_integral(&a, &b) + q.definite_integral(&a, &b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn interpolation_recovers(p in any_poly()) {
+        let degree = p.degree().unwrap_or(0);
+        let points: Vec<(Rational, Rational)> = (0..=degree as i64)
+            .map(|k| {
+                let x = Rational::integer(k);
+                let y = p.eval(&x);
+                (x, y)
+            })
+            .collect();
+        prop_assert_eq!(Polynomial::interpolate(&points), p);
+    }
+
+    #[test]
+    fn newton_and_bisection_agree(
+        roots in proptest::collection::btree_set(-9i64..9, 1..4),
+    ) {
+        let roots: Vec<Rational> = roots.into_iter().map(Rational::integer).collect();
+        let p = Polynomial::from_roots(&roots);
+        let tol = Rational::ratio(1, 1 << 40);
+        for iv in p.isolate_roots(&Rational::integer(-10), &Rational::integer(10)) {
+            let a = p.refine_root(&iv, &tol).to_f64();
+            let b = p.refine_root_newton(&iv, &tol).to_f64();
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cauchy_bound_contains_all_roots(
+        roots in proptest::collection::btree_set(-30i64..30, 1..5),
+    ) {
+        let roots: Vec<Rational> = roots.into_iter().map(Rational::integer).collect();
+        let p = Polynomial::from_roots(&roots);
+        let bound = p.cauchy_root_bound();
+        for root in &roots {
+            prop_assert!(root.abs() <= bound, "{root} outside {bound}");
+        }
+        prop_assert_eq!(p.isolate_all_roots().len(), roots.len());
+    }
+}

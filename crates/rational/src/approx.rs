@@ -1,0 +1,189 @@
+//! Rational approximation: continued fractions and exact `f64`
+//! conversion.
+
+use crate::ratio::Rational;
+use bigint::BigInt;
+
+impl Rational {
+    /// The exact rational value of a finite `f64` (every finite float
+    /// is a dyadic rational `m · 2^e`).
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert_eq!(Rational::from_f64_exact(0.375).unwrap(), Rational::ratio(3, 8));
+    /// assert_eq!(Rational::from_f64_exact(-2.0).unwrap(), Rational::integer(-2));
+    /// assert!(Rational::from_f64_exact(f64::NAN).is_none());
+    /// assert!(Rational::from_f64_exact(f64::INFINITY).is_none());
+    /// ```
+    #[must_use]
+    pub fn from_f64_exact(value: f64) -> Option<Rational> {
+        if !value.is_finite() {
+            return None;
+        }
+        if value == 0.0 {
+            return Some(Rational::zero());
+        }
+        let bits = value.to_bits();
+        let sign_negative = bits >> 63 == 1;
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let fraction = bits & ((1u64 << 52) - 1);
+        // Normal numbers carry an implicit leading one; subnormals do not.
+        let (mantissa, exp2) = if exponent == 0 {
+            (fraction, -1074i64)
+        } else {
+            (fraction | (1u64 << 52), exponent - 1075)
+        };
+        let mag = BigInt::from(mantissa);
+        let num = if sign_negative { -mag } else { mag };
+        let r = if exp2 >= 0 {
+            Rational::from(num * BigInt::from(2u32).pow(exp2 as u32))
+        } else {
+            Rational::new(num, BigInt::from(2u32).pow((-exp2) as u32))
+        };
+        Some(r)
+    }
+
+    /// The best rational approximation with denominator at most
+    /// `max_denominator`, by the continued-fraction (Stern–Brocot)
+    /// algorithm. "Best" means: no rational with denominator
+    /// `≤ max_denominator` lies strictly closer.
+    ///
+    /// Useful for rounding the huge exact rationals produced by
+    /// repeated root refinement back to compact form without leaving
+    /// a guaranteed distance bound.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// // π ≈ 355/113 is the classic best approximation with q ≤ 1000.
+    /// let pi = Rational::from_f64_exact(std::f64::consts::PI).unwrap();
+    /// assert_eq!(pi.limit_denominator(1000), Rational::ratio(355, 113));
+    /// // Values that already fit are returned unchanged.
+    /// assert_eq!(Rational::ratio(2, 3).limit_denominator(10), Rational::ratio(2, 3));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_denominator` is zero.
+    #[must_use]
+    pub fn limit_denominator(&self, max_denominator: u64) -> Rational {
+        assert!(max_denominator > 0, "denominator bound must be positive");
+        let bound = BigInt::from(max_denominator);
+        if self.denom() <= &bound {
+            return self.clone();
+        }
+        // Continued-fraction convergents p_k/q_k.
+        let (mut p0, mut q0) = (BigInt::from(0u32), BigInt::from(1u32));
+        let (mut p1, mut q1) = (BigInt::from(1u32), BigInt::from(0u32));
+        let mut num = self.numer().clone();
+        let mut den = self.denom().clone();
+        loop {
+            // Floor division (den is positive; BigInt::div_rem truncates).
+            let (mut a, mut r) = num.div_rem(&den);
+            if r.is_negative() {
+                a -= BigInt::one();
+                r += &den;
+            }
+            let q2 = &q0 + &(&a * &q1);
+            if q2 > bound {
+                // Final semiconvergent: largest k with q0 + k q1 <= bound.
+                let k = (&bound - &q0) / &q1;
+                let semi_p = &p0 + &(&k * &p1);
+                let semi_q = &q0 + &(&k * &q1);
+                let convergent = Rational::new(p1, q1);
+                let semiconvergent = Rational::new(semi_p, semi_q);
+                let d_conv = (&convergent - self).abs();
+                let d_semi = (&semiconvergent - self).abs();
+                return if d_semi < d_conv {
+                    semiconvergent
+                } else {
+                    convergent
+                };
+            }
+            let p2 = &p0 + &(&a * &p1);
+            (p0, q0) = (p1, q1);
+            (p1, q1) = (p2, q2);
+            num = den;
+            den = r;
+            if den.is_zero() {
+                return Rational::new(p1, q1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn from_f64_exact_dyadics() {
+        assert_eq!(Rational::from_f64_exact(0.5).unwrap(), r(1, 2));
+        assert_eq!(Rational::from_f64_exact(-0.75).unwrap(), r(-3, 4));
+        assert_eq!(Rational::from_f64_exact(3.0).unwrap(), r(3, 1));
+        assert_eq!(Rational::from_f64_exact(0.0).unwrap(), Rational::zero());
+    }
+
+    #[test]
+    fn from_f64_roundtrips_through_to_f64() {
+        for v in [0.1, -123.456, 1e-300, 1e300] {
+            let exact = Rational::from_f64_exact(v).unwrap();
+            assert_eq!(exact.to_f64(), v, "value {v}");
+        }
+        // Subnormals survive the roundtrip up to rounding in the final
+        // scaling steps. (Constructed via from_bits: powi would
+        // underflow computing 1/2^1060.)
+        let tiny_f = f64::from_bits(1u64 << 14); // 2^(14 - 1074)
+        let tiny = Rational::from_f64_exact(tiny_f).unwrap();
+        let back = tiny.to_f64();
+        assert!(back > 0.0 && (back / tiny_f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limit_denominator_golden_ratio_convergents() {
+        // φ's convergents are ratios of Fibonacci numbers.
+        let phi = Rational::from_f64_exact((1.0 + 5f64.sqrt()) / 2.0).unwrap();
+        assert_eq!(phi.limit_denominator(8), r(13, 8));
+        assert_eq!(phi.limit_denominator(55), r(89, 55));
+    }
+
+    #[test]
+    fn limit_denominator_is_best_within_bound() {
+        let target = r(127, 997);
+        let approx = target.limit_denominator(50);
+        let err = (&approx - &target).abs();
+        for q in 1i64..=50 {
+            // Nearest p/q to the target.
+            let p = (&target * &r(q, 1)).floor_int();
+            for candidate_p in [p.clone(), &p + &bigint::BigInt::one()] {
+                let candidate = Rational::new(candidate_p, bigint::BigInt::from(q));
+                assert!(
+                    (&candidate - &target).abs() >= err,
+                    "{candidate} beats {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_denominator_exact_when_possible() {
+        assert_eq!(r(7, 3).limit_denominator(3), r(7, 3));
+        assert_eq!(r(-22, 7).limit_denominator(100), r(-22, 7));
+        assert_eq!(Rational::zero().limit_denominator(1), Rational::zero());
+    }
+
+    #[test]
+    fn limit_denominator_negative_values() {
+        let pi = Rational::from_f64_exact(-std::f64::consts::PI).unwrap();
+        assert_eq!(pi.limit_denominator(113), r(-355, 113));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(Rational::from_f64_exact(f64::NEG_INFINITY).is_none());
+        assert!(Rational::from_f64_exact(-f64::NAN).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Exact combinatorial quantities used throughout the paper's
+//! inclusion–exclusion formulas.
+
+use crate::ratio::Rational;
+use bigint::BigInt;
+
+/// Computes `n!` exactly.
+///
+/// ```
+/// use bigint::BigInt;
+/// use rational::factorial;
+/// assert_eq!(factorial(0), BigInt::from(1));
+/// assert_eq!(factorial(10), BigInt::from(3628800));
+/// ```
+#[must_use]
+pub fn factorial(n: u32) -> BigInt {
+    let mut acc = BigInt::one();
+    for k in 2..=n.max(1) {
+        acc *= BigInt::from(k);
+    }
+    acc
+}
+
+/// Computes `n!` as a [`Rational`].
+#[must_use]
+pub fn factorial_rational(n: u32) -> Rational {
+    Rational::from(factorial(n))
+}
+
+/// Computes the binomial coefficient `C(n, k)` exactly, using the
+/// multiplicative formula (every intermediate value is an integer).
+///
+/// Returns zero when `k > n`.
+///
+/// ```
+/// use bigint::BigInt;
+/// use rational::binomial;
+/// assert_eq!(binomial(5, 2), BigInt::from(10));
+/// assert_eq!(binomial(52, 5), BigInt::from(2598960));
+/// assert_eq!(binomial(3, 7), BigInt::new());
+/// ```
+#[must_use]
+pub fn binomial(n: u32, k: u32) -> BigInt {
+    if k > n {
+        return BigInt::new();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigInt::one();
+    for i in 0..k {
+        acc = acc * BigInt::from(n - i) / BigInt::from(i + 1);
+    }
+    acc
+}
+
+/// Computes `C(n, k)` as a [`Rational`].
+#[must_use]
+pub fn binomial_rational(n: u32, k: u32) -> Rational {
+    Rational::from(binomial(n, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_table() {
+        let expected = [1u64, 1, 2, 6, 24, 120, 720, 5040];
+        for (n, &want) in expected.iter().enumerate() {
+            assert_eq!(factorial(n as u32), BigInt::from(want), "n={n}");
+        }
+    }
+
+    #[test]
+    fn factorial_20_matches_u64() {
+        assert_eq!(factorial(20), BigInt::from(2_432_902_008_176_640_000u64));
+    }
+
+    #[test]
+    fn binomial_pascal_identity() {
+        for n in 1u32..15 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1) + binomial(n - 1, k),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_symmetry_and_edges() {
+        for n in 0u32..12 {
+            assert_eq!(binomial(n, 0), BigInt::one());
+            assert_eq!(binomial(n, n), BigInt::one());
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two() {
+        for n in 0u32..16 {
+            let sum: BigInt = (0..=n).map(|k| binomial(n, k)).sum();
+            assert_eq!(sum, BigInt::from(2u32).pow(n));
+        }
+    }
+
+    #[test]
+    fn binomial_equals_factorial_ratio() {
+        for n in 0u32..12 {
+            for k in 0..=n {
+                let via_factorials = Rational::new(factorial(n), factorial(k) * factorial(n - k));
+                assert_eq!(binomial_rational(n, k), via_factorials);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Conversions, parsing, and formatting for [`Rational`].
+
+use crate::ratio::Rational;
+use bigint::BigInt;
+use std::fmt;
+use std::str::FromStr;
+
+impl From<i64> for Rational {
+    fn from(value: i64) -> Rational {
+        Rational::integer(value)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(value: i32) -> Rational {
+        Rational::integer(i64::from(value))
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(value: u32) -> Rational {
+        Rational::integer(i64::from(value))
+    }
+}
+
+impl From<usize> for Rational {
+    fn from(value: usize) -> Rational {
+        Rational::new(BigInt::from(value), BigInt::one())
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(value: BigInt) -> Rational {
+        Rational::new(value, BigInt::one())
+    }
+}
+
+impl From<&BigInt> for Rational {
+    fn from(value: &BigInt) -> Rational {
+        Rational::new(value.clone(), BigInt::one())
+    }
+}
+
+/// Error returned when parsing a [`Rational`] fails.
+///
+/// ```
+/// use rational::Rational;
+/// assert!("1/0".parse::<Rational>().is_err());
+/// assert!("a/2".parse::<Rational>().is_err());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRationalError {
+    message: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"p/q"`, a plain integer `"p"`, or a finite decimal
+    /// `"0.625"` (which becomes the exact rational `5/8`).
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert_eq!("3/4".parse::<Rational>().unwrap(), Rational::ratio(3, 4));
+    /// assert_eq!("-0.25".parse::<Rational>().unwrap(), Rational::ratio(-1, 4));
+    /// assert_eq!("7".parse::<Rational>().unwrap(), Rational::integer(7));
+    /// ```
+    fn from_str(s: &str) -> Result<Rational, ParseRationalError> {
+        let err = |message: &str| ParseRationalError {
+            message: message.to_owned(),
+        };
+        if let Some((num, den)) = s.split_once('/') {
+            let num: BigInt = num.trim().parse().map_err(|_| err("bad numerator"))?;
+            let den: BigInt = den.trim().parse().map_err(|_| err("bad denominator"))?;
+            if den.is_zero() {
+                return Err(err("zero denominator"));
+            }
+            return Ok(Rational::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let negative = int_part.trim_start().starts_with('-');
+            let int: BigInt = if int_part.trim() == "-" {
+                BigInt::new()
+            } else {
+                int_part
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("bad integer part"))?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(err("bad fractional part"));
+            }
+            let frac: BigInt = frac_part.parse().map_err(|_| err("bad fractional part"))?;
+            let scale = BigInt::from(10u32).pow(frac_part.len() as u32);
+            let frac = Rational::new(frac, scale);
+            let int = Rational::from(int.abs());
+            let magnitude = int + frac;
+            return Ok(if negative { -magnitude } else { magnitude });
+        }
+        let num: BigInt = s.trim().parse().map_err(|_| err("bad integer"))?;
+        Ok(Rational::from(num))
+    }
+}
+
+impl fmt::Display for Rational {
+    /// Formats as `p/q`, or just `p` for integers.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.numer())
+        } else {
+            write!(f, "{}/{}", self.numer(), self.denom())
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_fraction_and_integer() {
+        assert_eq!("22/7".parse::<Rational>().unwrap(), Rational::ratio(22, 7));
+        assert_eq!("-6/4".parse::<Rational>().unwrap(), Rational::ratio(-3, 2));
+        assert_eq!(" 5 ".parse::<Rational>().unwrap(), Rational::integer(5));
+    }
+
+    #[test]
+    fn parse_decimal_exact() {
+        assert_eq!("0.5".parse::<Rational>().unwrap(), Rational::ratio(1, 2));
+        assert_eq!("1.25".parse::<Rational>().unwrap(), Rational::ratio(5, 4));
+        assert_eq!(
+            "-0.125".parse::<Rational>().unwrap(),
+            Rational::ratio(-1, 8)
+        );
+        assert_eq!(
+            "0.333".parse::<Rational>().unwrap(),
+            Rational::ratio(333, 1000)
+        );
+    }
+
+    #[test]
+    fn parse_decimal_negative_less_than_one() {
+        // The "-0.x" case must not lose the sign on a zero integer part.
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), Rational::ratio(-1, 2));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "/", "1/", "/2", "1/0", "1.2.3", "1.", "1.x", "two"] {
+            assert!(bad.parse::<Rational>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rational::ratio(-3, 4).to_string(), "-3/4");
+        assert_eq!(Rational::integer(42).to_string(), "42");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for r in [
+            Rational::ratio(-3, 4),
+            Rational::zero(),
+            Rational::integer(9),
+            Rational::ratio(1000000007, 998244353),
+        ] {
+            assert_eq!(r.to_string().parse::<Rational>().unwrap(), r);
+        }
+    }
+}

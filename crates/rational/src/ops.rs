@@ -1,0 +1,205 @@
+//! Arithmetic operators for [`Rational`].
+
+use crate::ratio::Rational;
+use bigint::BigInt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            self.numer() * rhs.denom() + rhs.numer() * self.denom(),
+            self.denom() * rhs.denom(),
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            self.numer() * rhs.denom() - rhs.numer() * self.denom(),
+            self.denom() * rhs.denom(),
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(self.numer() * rhs.numer(), self.denom() * rhs.denom())
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        Rational::new(self.numer() * rhs.denom(), self.denom() * rhs.numer())
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational::new_unchecked_neg(self)
+    }
+}
+
+impl Rational {
+    /// Negation preserving canonical form without re-reducing.
+    fn new_unchecked_neg(value: &Rational) -> Rational {
+        Rational::raw(-value.numer().clone(), value.denom().clone())
+    }
+
+    /// Internal constructor for values already in canonical form.
+    pub(crate) fn raw(num: BigInt, den: BigInt) -> Rational {
+        debug_assert!(den.is_positive());
+        debug_assert!(num.gcd(&den).is_one() || num.is_zero());
+        debug_assert!(!num.is_zero() || den.is_one());
+        // Reuse `new` in debug builds to double-check; cheap path in release.
+        Rational::new(num, den)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -&self
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+
+macro_rules! forward_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Rational> for Rational {
+            fn $method(&mut self, rhs: &Rational) {
+                *self = &*self $op rhs;
+            }
+        }
+        impl $trait for Rational {
+            fn $method(&mut self, rhs: Rational) {
+                *self = &*self $op &rhs;
+            }
+        }
+    };
+}
+
+forward_assign!(AddAssign, add_assign, +);
+forward_assign!(SubAssign, sub_assign, -);
+forward_assign!(MulAssign, mul_assign, *);
+forward_assign!(DivAssign, div_assign, /);
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+impl Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::one(), |acc, x| acc * x)
+    }
+}
+
+impl<'a> Product<&'a Rational> for Rational {
+    fn product<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::one(), |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_identities() {
+        let x = Rational::ratio(3, 7);
+        assert_eq!(&x + &Rational::zero(), x);
+        assert_eq!(&x * &Rational::one(), x);
+        assert_eq!(&x - &x, Rational::zero());
+        assert_eq!(&x / &x, Rational::one());
+        assert_eq!(&x + &(-&x), Rational::zero());
+    }
+
+    #[test]
+    fn arithmetic_known_values() {
+        assert_eq!(
+            Rational::ratio(1, 2) + Rational::ratio(1, 3),
+            Rational::ratio(5, 6)
+        );
+        assert_eq!(
+            Rational::ratio(1, 2) - Rational::ratio(1, 3),
+            Rational::ratio(1, 6)
+        );
+        assert_eq!(
+            Rational::ratio(2, 3) * Rational::ratio(9, 4),
+            Rational::ratio(3, 2)
+        );
+        assert_eq!(
+            Rational::ratio(2, 3) / Rational::ratio(4, 9),
+            Rational::ratio(3, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Rational::one() / Rational::zero();
+    }
+
+    #[test]
+    fn assign_forms() {
+        let mut x = Rational::ratio(1, 2);
+        x += Rational::ratio(1, 6);
+        x -= Rational::ratio(1, 3);
+        x *= Rational::integer(9);
+        x /= Rational::integer(3);
+        assert_eq!(x, Rational::integer(1));
+    }
+
+    #[test]
+    fn sum_product_iterators() {
+        let harmonic: Rational = (1..=4).map(|k| Rational::ratio(1, k)).sum();
+        assert_eq!(harmonic, Rational::ratio(25, 12));
+        let prod: Rational = (1..=4).map(|k| Rational::ratio(k, k + 1)).product();
+        assert_eq!(prod, Rational::ratio(1, 5));
+    }
+}

@@ -1,0 +1,428 @@
+//! The canonical-form [`Rational`] type.
+
+use bigint::BigInt;
+use std::cmp::Ordering;
+
+/// An exact rational number in canonical form.
+///
+/// Invariants: the denominator is strictly positive, numerator and
+/// denominator are coprime, and zero is represented as `0/1`.
+///
+/// # Examples
+///
+/// ```
+/// use rational::Rational;
+///
+/// let x = Rational::ratio(6, -8);
+/// assert_eq!(x, Rational::ratio(-3, 4));
+/// assert_eq!(x.numer().to_string(), "-3");
+/// assert_eq!(x.denom().to_string(), "4");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// Constructs `num / den` in canonical form.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// use rational::Rational;
+    /// let half = Rational::new(BigInt::from(2), BigInt::from(4));
+    /// assert_eq!(half, Rational::ratio(1, 2));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigInt) -> Rational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.gcd(&den);
+        let (mut num, mut den) = (&num / &g, &den / &g);
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// Convenience constructor from machine integers.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert_eq!(Rational::ratio(4, 6), Rational::ratio(2, 3));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn ratio(num: i64, den: i64) -> Rational {
+        Rational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Constructs an integer rational.
+    #[must_use]
+    pub fn integer(value: i64) -> Rational {
+        Rational {
+            num: BigInt::from(value),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The additive identity `0`.
+    #[must_use]
+    pub fn zero() -> Rational {
+        Rational {
+            num: BigInt::new(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The multiplicative identity `1`.
+    #[must_use]
+    pub fn one() -> Rational {
+        Rational::integer(1)
+    }
+
+    /// Returns the (canonical) numerator.
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Returns the (canonical, positive) denominator.
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert!(Rational::ratio(8, 4).is_integer());
+    /// assert!(!Rational::ratio(1, 3).is_integer());
+    /// ```
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `1`, `0`, or `-1`.
+    #[must_use]
+    pub fn signum(&self) -> i32 {
+        self.num.sign().signum()
+    }
+
+    /// Returns the absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Returns the reciprocal.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert_eq!(Rational::ratio(-2, 3).recip(), Rational::ratio(-3, 2));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Raises to an integer power; negative exponents invert.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert_eq!(Rational::ratio(2, 3).pow(-2), Rational::ratio(9, 4));
+    /// assert_eq!(Rational::zero().pow(0), Rational::one());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero and `exp` is negative.
+    #[must_use]
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::one();
+        }
+        let base = if exp < 0 { self.recip() } else { self.clone() };
+        let e = exp.unsigned_abs();
+        // Canonical form is preserved by powering componentwise.
+        Rational {
+            num: base.num.pow(e),
+            den: base.den.pow(e),
+        }
+    }
+
+    /// Returns the largest integer `<= self`, as a [`BigInt`].
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// use rational::Rational;
+    /// assert_eq!(Rational::ratio(-7, 2).floor_int(), BigInt::from(-4));
+    /// assert_eq!(Rational::ratio(7, 2).floor_int(), BigInt::from(3));
+    /// ```
+    #[must_use]
+    pub fn floor_int(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Returns the smallest integer `>= self`, as a [`BigInt`].
+    #[must_use]
+    pub fn ceil_int(&self) -> BigInt {
+        -((-self).floor_int())
+    }
+
+    /// Rounds to the nearest integer, halves away from zero.
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// use rational::Rational;
+    /// assert_eq!(Rational::ratio(5, 2).round_int(), BigInt::from(3));
+    /// assert_eq!(Rational::ratio(-5, 2).round_int(), BigInt::from(-3));
+    /// assert_eq!(Rational::ratio(7, 3).round_int(), BigInt::from(2));
+    /// ```
+    #[must_use]
+    pub fn round_int(&self) -> BigInt {
+        let half = Rational::ratio(1, 2);
+        if self.is_negative() {
+            (self - half).ceil_int()
+        } else {
+            (self + half).floor_int()
+        }
+    }
+
+    /// Truncates toward zero, as a [`BigInt`].
+    ///
+    /// ```
+    /// use bigint::BigInt;
+    /// use rational::Rational;
+    /// assert_eq!(Rational::ratio(-7, 2).trunc_int(), BigInt::from(-3));
+    /// assert_eq!(Rational::ratio(7, 2).trunc_int(), BigInt::from(3));
+    /// ```
+    #[must_use]
+    pub fn trunc_int(&self) -> BigInt {
+        self.numer().div_rem(self.denom()).0
+    }
+
+    /// The fractional part `self − trunc(self)` (sign follows `self`).
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert_eq!(Rational::ratio(7, 2).fract(), Rational::ratio(1, 2));
+    /// assert_eq!(Rational::ratio(-7, 2).fract(), Rational::ratio(-1, 2));
+    /// ```
+    #[must_use]
+    pub fn fract(&self) -> Rational {
+        self - Rational::from(self.trunc_int())
+    }
+
+    /// Returns the midpoint of `self` and `other`.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// let m = Rational::ratio(1, 3).midpoint(&Rational::ratio(1, 2));
+    /// assert_eq!(m, Rational::ratio(5, 12));
+    /// ```
+    #[must_use]
+    pub fn midpoint(&self, other: &Rational) -> Rational {
+        (self + other) / Rational::integer(2)
+    }
+
+    /// Returns the smaller of `self` and `other` (by value).
+    #[must_use]
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other` (by value).
+    #[must_use]
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Converts to `f64` with a scaling that stays finite even when the
+    /// numerator and denominator separately overflow `f64`.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// assert!((Rational::ratio(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    /// ```
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let nbits = self.num.bits() as i64;
+        let dbits = self.den.bits() as i64;
+        // Shift each operand into comfortable f64 range separately and
+        // restore the net power of two afterwards, so very large *and*
+        // very small ratios stay accurate.
+        let shift_n = (nbits - 900).max(0);
+        let shift_d = (dbits - 900).max(0);
+        if shift_n == 0 && shift_d == 0 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        let n = &self.num / &BigInt::from(2u32).pow(shift_n as u32);
+        let d = &self.den / &BigInt::from(2u32).pow(shift_d as u32);
+        let base = n.to_f64() / d.to_f64();
+        // The net exponent may exceed f64's range in one step; split it.
+        let net = shift_n - shift_d;
+        let half = (net / 2) as i32;
+        base * (2f64).powi(half) * (2f64).powi((net - i64::from(half)) as i32)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Rational {
+        Rational::zero()
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization() {
+        assert_eq!(Rational::ratio(2, 4), Rational::ratio(1, 2));
+        assert_eq!(Rational::ratio(-2, -4), Rational::ratio(1, 2));
+        assert_eq!(Rational::ratio(2, -4), Rational::ratio(-1, 2));
+        assert_eq!(Rational::ratio(0, -5), Rational::zero());
+        assert!(Rational::ratio(0, 7).denom().is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::ratio(1, 0);
+    }
+
+    #[test]
+    fn ordering_cross_sign() {
+        let xs = [
+            Rational::ratio(-3, 2),
+            Rational::ratio(-1, 3),
+            Rational::zero(),
+            Rational::ratio(1, 4),
+            Rational::ratio(1, 3),
+            Rational::integer(2),
+        ];
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::ratio(7, 2).ceil_int(), BigInt::from(4));
+        assert_eq!(Rational::ratio(-7, 2).ceil_int(), BigInt::from(-3));
+        assert_eq!(Rational::integer(5).floor_int(), BigInt::from(5));
+        assert_eq!(Rational::integer(5).ceil_int(), BigInt::from(5));
+    }
+
+    #[test]
+    fn round_trunc_fract_family() {
+        assert_eq!(Rational::ratio(9, 4).round_int(), BigInt::from(2));
+        assert_eq!(Rational::ratio(-9, 4).round_int(), BigInt::from(-2));
+        assert_eq!(Rational::integer(3).round_int(), BigInt::from(3));
+        assert_eq!(Rational::zero().fract(), Rational::zero());
+        // trunc + fract reconstructs the value.
+        for (n, d) in [(7i64, 3i64), (-7, 3), (11, 4), (-11, 4)] {
+            let x = Rational::ratio(n, d);
+            assert_eq!(Rational::from(x.trunc_int()) + x.fract(), x, "{n}/{d}");
+        }
+    }
+
+    #[test]
+    fn pow_negative_exponent() {
+        assert_eq!(Rational::ratio(-2, 3).pow(-3), Rational::ratio(-27, 8));
+        assert_eq!(Rational::ratio(5, 7).pow(1), Rational::ratio(5, 7));
+    }
+
+    #[test]
+    fn to_f64_huge_values_stay_finite_ratio() {
+        let big = Rational::new(
+            BigInt::from(10u32).pow(400),
+            BigInt::from(10u32).pow(400) * BigInt::from(3),
+        );
+        assert!((big.to_f64() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_midpoint() {
+        let a = Rational::ratio(1, 3);
+        let b = Rational::ratio(1, 2);
+        assert_eq!(a.clone().min(b.clone()), a);
+        assert_eq!(a.clone().max(b.clone()), b);
+        let m = a.midpoint(&b);
+        assert!(a < m && m < b);
+    }
+}

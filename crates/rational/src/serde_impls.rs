@@ -1,0 +1,40 @@
+//! Serde support (behind the `serde` feature): rationals travel as
+//! their canonical `"p/q"` (or integer `"p"`) strings.
+
+use crate::ratio::Rational;
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for Rational {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Rational {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Rational, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        text.parse().map_err(DeError::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::de::value::{Error as ValueError, StrDeserializer};
+    use serde::de::IntoDeserializer;
+
+    #[test]
+    fn roundtrips_fraction_string() {
+        let de: StrDeserializer<'_, ValueError> = "-3/4".into_deserializer();
+        assert_eq!(Rational::deserialize(de).unwrap(), Rational::ratio(-3, 4));
+        let de: StrDeserializer<'_, ValueError> = "0.125".into_deserializer();
+        assert_eq!(Rational::deserialize(de).unwrap(), Rational::ratio(1, 8));
+    }
+
+    #[test]
+    fn rejects_zero_denominator() {
+        let de: StrDeserializer<'_, ValueError> = "1/0".into_deserializer();
+        assert!(Rational::deserialize(de).is_err());
+    }
+}

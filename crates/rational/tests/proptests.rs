@@ -1,0 +1,95 @@
+//! Property-based tests for `Rational`: field axioms, canonical form,
+//! order embedding into `f64`, and floor/ceil laws.
+
+use bigint::BigInt;
+use proptest::prelude::*;
+use rational::Rational;
+
+fn any_rational() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1i64..=1_000_000).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+proptest! {
+    #[test]
+    fn canonical_form_invariants(r in any_rational()) {
+        prop_assert!(r.denom().is_positive());
+        prop_assert!(r.numer().gcd(r.denom()).is_one() || r.is_zero());
+        if r.is_zero() {
+            prop_assert!(r.denom().is_one());
+        }
+    }
+
+    #[test]
+    fn addition_commutes(a in any_rational(), b in any_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in any_rational(), b in any_rational(), c in any_rational()) {
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in any_rational(), b in any_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(&(&a * &b) / &b, a);
+    }
+
+    #[test]
+    fn recip_is_involution(a in any_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().recip(), a);
+    }
+
+    #[test]
+    fn ordering_agrees_with_f64(a in any_rational(), b in any_rational()) {
+        // f64 comparison can only disagree on near-ties; skip those.
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        prop_assume!((fa - fb).abs() > 1e-9 * (fa.abs() + fb.abs() + 1.0));
+        prop_assert_eq!(a > b, fa > fb);
+    }
+
+    #[test]
+    fn floor_le_value_lt_floor_plus_one(a in any_rational()) {
+        let floor = Rational::from(a.floor_int());
+        prop_assert!(floor <= a);
+        prop_assert!(a < &floor + &Rational::one());
+    }
+
+    #[test]
+    fn ceil_is_neg_floor_neg(a in any_rational()) {
+        prop_assert_eq!(a.ceil_int(), -(-&a).floor_int());
+    }
+
+    #[test]
+    fn pow_multiplies(a in any_rational(), e1 in 0i32..5, e2 in 0i32..5) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn to_f64_accuracy(n in -1_000_000i64..1_000_000, d in 1i64..1_000_000) {
+        let r = Rational::ratio(n, d);
+        let expected = n as f64 / d as f64;
+        prop_assert!((r.to_f64() - expected).abs() <= 1e-12 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in any_rational()) {
+        prop_assert_eq!(a.to_string().parse::<Rational>().unwrap(), a);
+    }
+
+    #[test]
+    fn midpoint_between(a in any_rational(), b in any_rational()) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let m = lo.midpoint(&hi);
+        prop_assert!(lo < m && m < hi);
+    }
+
+    #[test]
+    fn integer_roundtrip(x in any::<i64>()) {
+        let r = Rational::integer(x);
+        prop_assert!(r.is_integer());
+        prop_assert_eq!(r.numer(), &BigInt::from(x));
+    }
+}

@@ -1,0 +1,140 @@
+//! Architecturally faithful simulation: one thread per player, each
+//! seeing only its own input.
+
+use crate::SimulationReport;
+use decision::{Bin, LocalRule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulation in which every player runs as its own thread and
+/// communicates with the environment over channels carrying **only**
+/// that player's private input — the no-communication constraint is
+/// enforced by the process structure, not merely by convention.
+///
+/// This is slower than [`crate::Simulation`] (it pays two channel
+/// hops per player per round); use it for structural validation and
+/// demos, and the batched engine for bulk estimation. The two must
+/// agree statistically — see the tests.
+///
+/// # Examples
+///
+/// ```
+/// use decision::ObliviousAlgorithm;
+/// use simulator::DistributedSimulation;
+///
+/// let rule = ObliviousAlgorithm::fair(2);
+/// let report = DistributedSimulation::new(4_000, 17).run(&rule, 1.0);
+/// assert!(report.agrees_with(0.75, 5.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistributedSimulation {
+    rounds: u64,
+    seed: u64,
+}
+
+impl DistributedSimulation {
+    /// Creates a distributed simulation of `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    #[must_use]
+    pub fn new(rounds: u64, seed: u64) -> DistributedSimulation {
+        assert!(rounds > 0, "need at least one round");
+        DistributedSimulation { rounds, seed }
+    }
+
+    /// Runs the protocol: per round, the environment draws each
+    /// player's private input and coin, sends them to that player's
+    /// thread alone, and collects the bin choices.
+    #[must_use]
+    pub fn run(&self, rule: &(dyn LocalRule + Sync), delta: f64) -> SimulationReport {
+        let n = rule.n();
+        let mut wins = 0u64;
+        crossbeam::scope(|scope| {
+            // Per-player channels: the environment sends (input, coin),
+            // the player answers with its decision. No player ever
+            // holds a handle to another player's data.
+            let mut input_txs = Vec::with_capacity(n);
+            let mut decision_rxs = Vec::with_capacity(n);
+            for player in 0..n {
+                let (input_tx, input_rx) = crossbeam::channel::bounded::<Option<(f64, f64)>>(1);
+                let (decision_tx, decision_rx) = crossbeam::channel::bounded::<Bin>(1);
+                input_txs.push(input_tx);
+                decision_rxs.push(decision_rx);
+                scope.spawn(move |_| {
+                    // The player loop: sees only its own (input, coin).
+                    while let Ok(Some((input, coin))) = input_rx.recv() {
+                        let bin = rule.decide(player, input, coin);
+                        if decision_tx.send(bin).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            for _ in 0..self.rounds {
+                let inputs: Vec<(f64, f64)> = (0..n)
+                    .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                    .collect();
+                for (tx, &payload) in input_txs.iter().zip(&inputs) {
+                    tx.send(Some(payload)).expect("player thread alive");
+                }
+                let mut sums = [0.0f64; 2];
+                for (rx, &(input, _)) in decision_rxs.iter().zip(&inputs) {
+                    match rx.recv().expect("player thread alive") {
+                        Bin::Zero => sums[0] += input,
+                        Bin::One => sums[1] += input,
+                    }
+                }
+                if sums[0] <= delta && sums[1] <= delta {
+                    wins += 1;
+                }
+            }
+            // Shut the players down.
+            for tx in &input_txs {
+                let _ = tx.send(None);
+            }
+        })
+        .expect("player thread panicked");
+        SimulationReport::from_counts(wins, self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use decision::{ObliviousAlgorithm, SingleThresholdAlgorithm};
+    use rational::Rational;
+
+    #[test]
+    fn agrees_with_batched_engine() {
+        let rule = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(5, 8)).unwrap();
+        let dist = DistributedSimulation::new(6_000, 21).run(&rule, 1.0);
+        let batched = Simulation::new(200_000, 22).run(&rule, 1.0);
+        // Both estimate the same probability; compare within combined error.
+        let combined = (dist.std_error.powi(2) + batched.std_error.powi(2)).sqrt();
+        assert!(
+            (dist.estimate - batched.estimate).abs() < 5.0 * combined,
+            "{dist} vs {batched}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rule = ObliviousAlgorithm::fair(3);
+        let a = DistributedSimulation::new(2_000, 9).run(&rule, 1.0);
+        let b = DistributedSimulation::new(2_000, 9).run(&rule, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_rounds_accounted_for() {
+        let rule = ObliviousAlgorithm::fair(2);
+        let r = DistributedSimulation::new(1_500, 1).run(&rule, 2.0);
+        assert_eq!(r.trials, 1_500);
+        assert_eq!(r.wins, 1_500); // δ = n means no overflow possible
+    }
+}

@@ -1,0 +1,268 @@
+//! The batched, multi-threaded Monte-Carlo engine.
+
+use crate::SimulationReport;
+use decision::{Bin, LocalRule};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, thread-parallel Monte-Carlo estimator of the
+/// winning probability `P_A(δ)` of any [`LocalRule`].
+///
+/// Trials are split into fixed batches; batch `i` always runs with the
+/// RNG stream derived from `(seed, i)`, so the estimate is bit-for-bit
+/// reproducible regardless of the number of worker threads or their
+/// scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use decision::SingleThresholdAlgorithm;
+/// use rational::Rational;
+/// use simulator::Simulation;
+///
+/// let rule = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(622, 1000)).unwrap();
+/// let report = Simulation::new(100_000, 7).run(&rule, 1.0);
+/// assert!(report.agrees_with(0.5446, 4.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    batch_size: u64,
+}
+
+impl Simulation {
+    /// Creates an engine running `trials` rounds with the given seed,
+    /// using all available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    #[must_use]
+    pub fn new(trials: u64, seed: u64) -> Simulation {
+        assert!(trials > 0, "need at least one trial");
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        Simulation {
+            trials,
+            seed,
+            threads,
+            batch_size: 16_384,
+        }
+    }
+
+    /// Overrides the number of worker threads (1 = sequential).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Simulation {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the batch size (smaller batches = finer work
+    /// stealing, more RNG setup overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: u64) -> Simulation {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Estimates `P_A(δ)` for the rule.
+    #[must_use]
+    pub fn run(&self, rule: &dyn LocalRule, delta: f64) -> SimulationReport {
+        self.run_with_crashes(rule, delta, 0.0)
+    }
+
+    /// Estimates `P_A(δ)` when each player independently crashes (and
+    /// drops its input) with probability `p_crash` per round.
+    ///
+    /// The fault coin is drawn even when `p_crash = 0`, so estimates
+    /// for different fault rates share the same input stream and are
+    /// directly comparable (common random numbers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_crash` is not in `[0, 1]`.
+    #[must_use]
+    pub fn run_with_crashes(
+        &self,
+        rule: &dyn LocalRule,
+        delta: f64,
+        p_crash: f64,
+    ) -> SimulationReport {
+        assert!((0.0..=1.0).contains(&p_crash), "crash probability range");
+        let batches = self.trials.div_ceil(self.batch_size);
+        let wins = if self.threads == 1 || batches == 1 {
+            (0..batches)
+                .map(|b| self.run_batch(rule, delta, p_crash, b))
+                .sum()
+        } else {
+            self.run_parallel(rule, delta, p_crash, batches)
+        };
+        SimulationReport::from_counts(wins, self.trials)
+    }
+
+    fn run_parallel(&self, rule: &dyn LocalRule, delta: f64, p_crash: f64, batches: u64) -> u64 {
+        let next_batch = Mutex::new(0u64);
+        let total_wins = Mutex::new(0u64);
+        crossbeam::scope(|scope| {
+            for _ in 0..self.threads.min(batches as usize) {
+                scope.spawn(|_| {
+                    let mut local_wins = 0u64;
+                    loop {
+                        let batch = {
+                            let mut guard = next_batch.lock();
+                            let b = *guard;
+                            if b >= batches {
+                                break;
+                            }
+                            *guard += 1;
+                            b
+                        };
+                        local_wins += self.run_batch(rule, delta, p_crash, batch);
+                    }
+                    *total_wins.lock() += local_wins;
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+        let wins = *total_wins.lock();
+        wins
+    }
+
+    /// Runs one deterministic batch: the RNG stream depends only on
+    /// `(seed, batch)`.
+    fn run_batch(&self, rule: &dyn LocalRule, delta: f64, p_crash: f64, batch: u64) -> u64 {
+        let start = batch * self.batch_size;
+        let count = self.batch_size.min(self.trials - start);
+        let mut rng = StdRng::seed_from_u64(splitmix(
+            self.seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
+        let n = rule.n();
+        let mut wins = 0u64;
+        for _ in 0..count {
+            let mut sums = [0.0f64; 2];
+            for player in 0..n {
+                let input: f64 = rng.gen_range(0.0..1.0);
+                let coin: f64 = rng.gen_range(0.0..1.0);
+                let fault: f64 = rng.gen_range(0.0..1.0);
+                if fault < p_crash {
+                    continue; // crashed: the input reaches neither bin
+                }
+                match rule.decide(player, input, coin) {
+                    Bin::Zero => sums[0] += input,
+                    Bin::One => sums[1] += input,
+                }
+            }
+            if sums[0] <= delta && sums[1] <= delta {
+                wins += 1;
+            }
+        }
+        wins
+    }
+}
+
+/// SplitMix64 finalizer, decorrelating per-batch seeds.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decision::{ObliviousAlgorithm, SingleThresholdAlgorithm};
+    use rational::Rational;
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let rule = ObliviousAlgorithm::fair(4);
+        let base = Simulation::new(100_000, 99).with_threads(1).run(&rule, 1.0);
+        for threads in [2usize, 4, 8] {
+            let r = Simulation::new(100_000, 99)
+                .with_threads(threads)
+                .run(&rule, 1.0);
+            assert_eq!(r, base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let rule = ObliviousAlgorithm::fair(3);
+        let a = Simulation::new(50_000, 1).run(&rule, 1.0);
+        let b = Simulation::new(50_000, 2).run(&rule, 1.0);
+        assert_ne!(a.wins, b.wins);
+    }
+
+    #[test]
+    fn estimates_known_oblivious_value() {
+        // n = 2, δ = 1, fair coins: exact 3/4.
+        let rule = ObliviousAlgorithm::fair(2);
+        let r = Simulation::new(400_000, 5).run(&rule, 1.0);
+        assert!(r.agrees_with(0.75, 4.0), "{r}");
+    }
+
+    #[test]
+    fn estimates_known_threshold_value() {
+        // n = 3, β = 1/2, δ = 1: exact 23/48.
+        let rule = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(1, 2)).unwrap();
+        let r = Simulation::new(400_000, 11).run(&rule, 1.0);
+        assert!(r.agrees_with(23.0 / 48.0, 4.0), "{r}");
+    }
+
+    #[test]
+    fn crash_estimates_match_exact_mixture() {
+        // Exact mixture value from decision::faults, n = 3, β = 5/8,
+        // δ = 1, crash probability 1/4.
+        let rule = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(5, 8)).unwrap();
+        let exact = decision::faults::threshold_with_crashes(
+            &rule,
+            &decision::Capacity::unit(),
+            &Rational::ratio(1, 4),
+        )
+        .unwrap()
+        .to_f64();
+        let r = Simulation::new(400_000, 23).run_with_crashes(&rule, 1.0, 0.25);
+        assert!(r.agrees_with(exact, 4.5), "exact {exact}, {r}");
+    }
+
+    #[test]
+    fn more_crashes_help_with_tight_capacity() {
+        let rule = ObliviousAlgorithm::fair(5);
+        let reliable = Simulation::new(150_000, 4).run_with_crashes(&rule, 1.0, 0.0);
+        let flaky = Simulation::new(150_000, 4).run_with_crashes(&rule, 1.0, 0.5);
+        assert!(flaky.estimate > reliable.estimate);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash probability range")]
+    fn crash_probability_validated() {
+        let rule = ObliviousAlgorithm::fair(2);
+        let _ = Simulation::new(10, 1).run_with_crashes(&rule, 1.0, 1.5);
+    }
+
+    #[test]
+    fn certain_win_when_capacity_huge() {
+        let rule = ObliviousAlgorithm::fair(4);
+        let r = Simulation::new(10_000, 3).run(&rule, 4.0);
+        assert_eq!(r.wins, r.trials);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_trial_count() {
+        let rule = ObliviousAlgorithm::fair(2);
+        for batch in [1_000u64, 7_777, 1 << 20] {
+            let r = Simulation::new(12_345, 8)
+                .with_batch_size(batch)
+                .run(&rule, 1.0);
+            assert_eq!(r.trials, 12_345);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Monte-Carlo simulation of no-communication distributed
+//! decision-making.
+//!
+//! The paper's agents are mathematical objects; this crate runs them
+//! as code, for two purposes:
+//!
+//! 1. **Validation** — every closed-form winning probability in the
+//!    `decision` crate is cross-checked against frequency estimates
+//!    from millions of simulated rounds ([`Simulation`]), batched
+//!    across threads with crossbeam and deterministic per-batch
+//!    seeding (same seed ⇒ same estimate, regardless of thread
+//!    count or scheduling).
+//! 2. **Structural fidelity** — [`DistributedSimulation`] runs each
+//!    player as its own thread that receives *only its own input* over
+//!    a channel and replies with a bin choice, so the
+//!    no-communication constraint is enforced by the architecture,
+//!    not just by convention.
+//!
+//! # Examples
+//!
+//! ```
+//! use decision::{ObliviousAlgorithm, LocalRule};
+//! use simulator::Simulation;
+//!
+//! let rule = ObliviousAlgorithm::fair(3);
+//! let report = Simulation::new(200_000, 42).run(&rule, 1.0);
+//! // Exact value is 5/12 ≈ 0.4167.
+//! assert!((report.estimate - 5.0 / 12.0).abs() < 4.0 * report.std_error);
+//! ```
+
+mod antithetic;
+mod distributed;
+mod engine;
+mod omniscient;
+mod report;
+mod stats;
+mod sweep;
+
+pub use antithetic::{run_antithetic, AntitheticReport};
+pub use distributed::DistributedSimulation;
+pub use engine::Simulation;
+pub use omniscient::full_information_win_rate;
+pub use report::SimulationReport;
+pub use stats::{load_stats, LoadStats};
+pub use sweep::{sweep_threshold, SweepPoint};

@@ -1,0 +1,160 @@
+//! The full-information benchmark: how often *could* the players win
+//! if a central coordinator saw every input?
+//!
+//! The paper motivates no-communication decision-making by the cost of
+//! information; this module quantifies the other endpoint of the
+//! trade-off. A round is winnable with full information iff some
+//! subset `S` of inputs satisfies `Σ_S ≤ δ` and `Σ_{S̄} ≤ δ`, i.e. iff
+//! some subset sum lands in `[total − δ, δ]`. The estimator checks
+//! that with a meet-in-the-middle search (`O(2^{n/2} log)` per round).
+//!
+//! The gap between this upper bound and the best no-communication
+//! algorithm is exactly the price of silence.
+
+use crate::SimulationReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Estimates the probability that an omniscient coordinator could
+/// split `n` uniform inputs between two bins of capacity `delta`
+/// without overflow.
+///
+/// Deterministic for a given seed.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `n > 30`, or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use simulator::full_information_win_rate;
+///
+/// // n = 2, δ = 1: both inputs are always ≤ 1, so splitting always
+/// // works — the coordinator never loses.
+/// let report = full_information_win_rate(2, 1.0, 10_000, 1);
+/// assert_eq!(report.wins, report.trials);
+/// ```
+#[must_use]
+pub fn full_information_win_rate(n: usize, delta: f64, trials: u64, seed: u64) -> SimulationReport {
+    assert!((2..=30).contains(&n), "n must be in 2..=30");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inputs = vec![0.0f64; n];
+    let mut wins = 0u64;
+    for _ in 0..trials {
+        for x in &mut inputs {
+            *x = rng.gen_range(0.0..1.0);
+        }
+        if splittable(&inputs, delta) {
+            wins += 1;
+        }
+    }
+    SimulationReport::from_counts(wins, trials)
+}
+
+/// Returns `true` iff some subset sum of `inputs` lies in
+/// `[total − delta, delta]`.
+fn splittable(inputs: &[f64], delta: f64) -> bool {
+    let total: f64 = inputs.iter().sum();
+    if total <= delta {
+        return true;
+    }
+    let lo = total - delta;
+    if lo > delta {
+        return false; // even a perfect split overflows
+    }
+    // Meet in the middle: subset sums of each half.
+    let (left, right) = inputs.split_at(inputs.len() / 2);
+    let left_sums = subset_sums(left);
+    let mut right_sums = subset_sums(right);
+    right_sums.sort_by(f64::total_cmp);
+    for a in &left_sums {
+        // Need b with lo - a <= b <= delta - a.
+        let min_b = lo - a;
+        let max_b = delta - a;
+        if max_b < 0.0 {
+            continue;
+        }
+        let idx = right_sums.partition_point(|&b| b < min_b);
+        if idx < right_sums.len() && right_sums[idx] <= max_b {
+            return true;
+        }
+    }
+    false
+}
+
+fn subset_sums(values: &[f64]) -> Vec<f64> {
+    let mut sums = Vec::with_capacity(1 << values.len());
+    sums.push(0.0);
+    for &v in values {
+        let len = sums.len();
+        for i in 0..len {
+            sums.push(sums[i] + v);
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splittable_agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            let n = rng.gen_range(2..=8);
+            let inputs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let delta = rng.gen_range(0.2..2.0);
+            let fast = splittable(&inputs, delta);
+            let brute = (0u32..(1 << n)).any(|mask| {
+                let s: f64 = (0..n)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| inputs[i])
+                    .sum();
+                let total: f64 = inputs.iter().sum();
+                s <= delta && total - s <= delta
+            });
+            assert_eq!(fast, brute, "inputs {inputs:?}, δ = {delta}");
+        }
+    }
+
+    #[test]
+    fn coordinator_never_loses_at_n2_delta1() {
+        let r = full_information_win_rate(2, 1.0, 20_000, 5);
+        assert_eq!(r.wins, r.trials);
+    }
+
+    #[test]
+    fn bound_dominates_best_no_communication_algorithm() {
+        // n = 3, δ = 1: best no-communication value is 0.54463.
+        let r = full_information_win_rate(3, 1.0, 200_000, 7);
+        assert!(r.estimate > 0.544, "estimate {}", r.estimate);
+        // And it cannot exceed the trivial bound P(total ≤ 2δ) = 1
+        // here, but must be noticeably below 1 (all-large inputs lose).
+        assert!(r.estimate < 1.0);
+    }
+
+    #[test]
+    fn monotone_in_delta() {
+        let small = full_information_win_rate(5, 0.9, 60_000, 11);
+        let large = full_information_win_rate(5, 1.4, 60_000, 11);
+        assert!(large.estimate > small.estimate);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = full_information_win_rate(4, 1.2, 10_000, 3);
+        let b = full_information_win_rate(4, 1.2, 10_000, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impossible_when_total_always_overflows() {
+        // δ so small that even one input typically overflows; with
+        // n = 2 and δ = 0.01, wins are rare but possible.
+        let r = full_information_win_rate(2, 0.01, 50_000, 13);
+        assert!(r.estimate < 0.01);
+    }
+}

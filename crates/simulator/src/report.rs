@@ -1,0 +1,105 @@
+//! Simulation result reporting.
+
+use std::fmt;
+
+/// Outcome of a Monte-Carlo run: a frequency estimate of the winning
+/// probability with its binomial standard error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimulationReport {
+    /// Number of winning rounds (no bin overflowed).
+    pub wins: u64,
+    /// Total number of simulated rounds.
+    pub trials: u64,
+    /// `wins / trials`.
+    pub estimate: f64,
+    /// Binomial standard error `sqrt(p(1-p)/trials)`.
+    pub std_error: f64,
+}
+
+impl SimulationReport {
+    /// Builds a report from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero or `wins > trials`.
+    #[must_use]
+    pub fn from_counts(wins: u64, trials: u64) -> SimulationReport {
+        assert!(trials > 0, "need at least one trial");
+        assert!(wins <= trials, "more wins than trials");
+        let estimate = wins as f64 / trials as f64;
+        SimulationReport {
+            wins,
+            trials,
+            estimate,
+            std_error: (estimate * (1.0 - estimate) / trials as f64).sqrt(),
+        }
+    }
+
+    /// Returns `true` iff `exact` lies within `z` standard errors of
+    /// the estimate (with a tiny absolute cushion for degenerate
+    /// endpoints where the binomial standard error collapses to zero).
+    ///
+    /// ```
+    /// use simulator::SimulationReport;
+    /// let r = SimulationReport::from_counts(500, 1000);
+    /// assert!(r.agrees_with(0.5, 3.0));
+    /// assert!(!r.agrees_with(0.9, 3.0));
+    /// ```
+    #[must_use]
+    pub fn agrees_with(&self, exact: f64, z: f64) -> bool {
+        (self.estimate - exact).abs() <= z * self.std_error + 1e-9
+    }
+
+    /// Half-width of the 95% normal-approximation confidence interval.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error
+    }
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6} ± {:.6} ({} / {} rounds)",
+            self.estimate,
+            self.ci95_half_width(),
+            self.wins,
+            self.trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_to_estimate() {
+        let r = SimulationReport::from_counts(250, 1000);
+        assert_eq!(r.estimate, 0.25);
+        assert!((r.std_error - (0.25f64 * 0.75 / 1000.0).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_endpoints_still_agree() {
+        let r = SimulationReport::from_counts(1000, 1000);
+        assert_eq!(r.std_error, 0.0);
+        assert!(r.agrees_with(1.0, 3.0));
+        assert!(!r.agrees_with(0.99, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more wins than trials")]
+    fn rejects_inconsistent_counts() {
+        let _ = SimulationReport::from_counts(2, 1);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let r = SimulationReport::from_counts(1, 4);
+        let s = r.to_string();
+        assert!(s.contains("1 / 4"));
+        assert!(s.contains("0.25"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Parameter sweeps: empirical winning-probability curves.
+//!
+//! Reproduces the paper's figures *empirically* (frequency estimates
+//! over a β grid) so the exact piecewise-polynomial curves can be
+//! validated shape-for-shape, not just point-for-point.
+
+use crate::{Simulation, SimulationReport};
+use decision::{ModelError, SingleThresholdAlgorithm};
+use rational::Rational;
+
+/// One grid point of an empirical sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (e.g. the common threshold β).
+    pub x: f64,
+    /// The Monte-Carlo estimate at `x`.
+    pub report: SimulationReport,
+}
+
+/// Sweeps the common threshold `β` over a uniform grid, estimating the
+/// winning probability at each point with `trials` rounds.
+///
+/// Uses a fixed seed per grid point derived from `seed`, so the whole
+/// sweep is reproducible.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Panics
+///
+/// Panics if `grid < 2` or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use simulator::sweep_threshold;
+///
+/// let points = sweep_threshold(3, 1.0, 10, 20_000, 7).unwrap();
+/// assert_eq!(points.len(), 11);
+/// // The empirical curve peaks somewhere in the interior.
+/// let peak = points.iter().max_by(|a, b| {
+///     a.report.estimate.total_cmp(&b.report.estimate)
+/// }).unwrap();
+/// assert!(peak.x > 0.0 && peak.x < 1.0);
+/// ```
+pub fn sweep_threshold(
+    n: usize,
+    delta: f64,
+    grid: usize,
+    trials: u64,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    assert!(grid >= 2, "need at least two grid points");
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    let mut out = Vec::with_capacity(grid + 1);
+    for k in 0..=grid {
+        let beta = Rational::ratio(k as i64, grid as i64);
+        let rule = SingleThresholdAlgorithm::symmetric(n, beta.clone())?;
+        let report =
+            Simulation::new(trials, seed ^ (k as u64).wrapping_mul(0x9e37)).run(&rule, delta);
+        out.push(SweepPoint {
+            x: beta.to_f64(),
+            report,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decision::{symmetric, Capacity};
+
+    #[test]
+    fn sweep_tracks_exact_curve() {
+        let n = 3;
+        let curve = symmetric::analyze(n, &Capacity::unit()).unwrap();
+        let points = sweep_threshold(n, 1.0, 8, 60_000, 11).unwrap();
+        for p in &points {
+            let exact = curve.eval_f64(p.x).unwrap();
+            assert!(
+                p.report.agrees_with(exact, 4.5),
+                "β = {}: exact {exact}, {}",
+                p.x,
+                p.report
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let a = sweep_threshold(2, 1.0, 4, 5_000, 3).unwrap();
+        let b = sweep_threshold(2, 1.0, 4, 5_000, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn endpoints_cover_unit_interval() {
+        let pts = sweep_threshold(2, 1.0, 5, 1_000, 1).unwrap();
+        assert_eq!(pts.first().unwrap().x, 0.0);
+        assert_eq!(pts.last().unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn tiny_systems_rejected() {
+        assert!(sweep_threshold(1, 1.0, 4, 100, 0).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Lemmas 2.4 and 2.5: sum of uniforms on `[0, π_i]`.
+
+use crate::DistributionError;
+use rational::{factorial, Rational};
+
+/// The distribution of `Σ_{i=1}^m x_i` where the `x_i` are independent
+/// and `x_i ~ U[0, π_i]`.
+///
+/// The CDF is Lemma 2.4:
+///
+/// ```text
+/// F(t) = 1/(m! Π π_l) · Σ_{I ⊆ [m], Σ_{l∈I} π_l < t} (−1)^{|I|} (t − Σ_{l∈I} π_l)^m
+/// ```
+///
+/// and the density is Lemma 2.5 (Rota's research problem):
+///
+/// ```text
+/// f(t) = 1/((m−1)! Π π_l) · Σ_{I: Σ π_l < t} (−1)^{|I|} (t − Σ_{l∈I} π_l)^{m−1}
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use rational::Rational;
+/// use uniform_sums::BoxSum;
+///
+/// let s = BoxSum::new(vec![Rational::ratio(1, 2), Rational::one()]).unwrap();
+/// assert_eq!(s.cdf(&Rational::ratio(3, 2)), Rational::one());
+/// assert_eq!(s.cdf(&Rational::ratio(1, 2)), Rational::ratio(1, 4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoxSum {
+    pi: Vec<Rational>,
+}
+
+impl BoxSum {
+    /// Constructs the distribution of a sum of uniforms on `[0, π_i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `pi` is empty or any side is
+    /// not strictly positive.
+    pub fn new(pi: Vec<Rational>) -> Result<BoxSum, DistributionError> {
+        if pi.is_empty() {
+            return Err(DistributionError::Empty);
+        }
+        for (index, p) in pi.iter().enumerate() {
+            if !p.is_positive() {
+                return Err(DistributionError::BadInterval { index });
+            }
+        }
+        Ok(BoxSum { pi })
+    }
+
+    /// Number of summands `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Returns `true` iff there are no summands (never, by
+    /// construction; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pi.is_empty()
+    }
+
+    /// The interval upper bounds `π`.
+    #[must_use]
+    pub fn sides(&self) -> &[Rational] {
+        &self.pi
+    }
+
+    /// The maximal possible value `Σ π_i` of the sum.
+    #[must_use]
+    pub fn support_max(&self) -> Rational {
+        self.pi.iter().sum()
+    }
+
+    /// Exact CDF `P(Σ x_i ≤ t)` by Lemma 2.4.
+    ///
+    /// Defined for all `t`: zero for `t ≤ 0` and one for
+    /// `t ≥ Σ π_i`.
+    #[must_use]
+    pub fn cdf(&self, t: &Rational) -> Rational {
+        if !t.is_positive() {
+            return Rational::zero();
+        }
+        if t >= &self.support_max() {
+            return Rational::one();
+        }
+        let m = self.len() as i32;
+        let mut acc = Rational::zero();
+        signed_power_sum(&self.pi, t, m, &mut acc);
+        let denom: Rational =
+            self.pi.iter().product::<Rational>() * Rational::from(factorial(self.len() as u32));
+        acc / denom
+    }
+
+    /// Exact density `f(t)` by Lemma 2.5 — "a nice formula for the
+    /// density of `n` independent, uniformly distributed random
+    /// variables" (Rota).
+    ///
+    /// Defined as zero outside the open support `(0, Σ π_i)`. At the
+    /// finitely many subset-sum points the density is taken
+    /// right-continuously.
+    #[must_use]
+    pub fn pdf(&self, t: &Rational) -> Rational {
+        if !t.is_positive() || t >= &self.support_max() {
+            return Rational::zero();
+        }
+        let m = self.len() as i32;
+        let mut acc = Rational::zero();
+        signed_power_sum(&self.pi, t, m - 1, &mut acc);
+        let denom: Rational =
+            self.pi.iter().product::<Rational>() * Rational::from(factorial(self.len() as u32 - 1));
+        acc / denom
+    }
+
+    /// Fast `f64` CDF.
+    #[must_use]
+    pub fn cdf_f64(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let sides: Vec<f64> = self.pi.iter().map(Rational::to_f64).collect();
+        let total: f64 = sides.iter().sum();
+        if t >= total {
+            return 1.0;
+        }
+        let m = self.len() as i32;
+        let mut acc = 0.0;
+        signed_power_sum_f64(&sides, t, m, 1.0, 0, 0.0, &mut acc);
+        let denom: f64 = sides.iter().product::<f64>() * factorial(self.len() as u32).to_f64();
+        acc / denom
+    }
+
+    /// Fast `f64` density.
+    #[must_use]
+    pub fn pdf_f64(&self, t: f64) -> f64 {
+        let sides: Vec<f64> = self.pi.iter().map(Rational::to_f64).collect();
+        let total: f64 = sides.iter().sum();
+        if t <= 0.0 || t >= total {
+            return 0.0;
+        }
+        let m = self.len() as i32;
+        let mut acc = 0.0;
+        signed_power_sum_f64(&sides, t, m - 1, 1.0, 0, 0.0, &mut acc);
+        let denom: f64 = sides.iter().product::<f64>() * factorial(self.len() as u32 - 1).to_f64();
+        acc / denom
+    }
+}
+
+/// Accumulates `Σ_{I: Σ_{l∈I} π_l < t} (−1)^{|I|} (t − Σ_{l∈I} π_l)^power`
+/// with subset pruning (all `π_l` are positive, so once a partial sum
+/// reaches `t` no superset contributes).
+fn signed_power_sum(pi: &[Rational], t: &Rational, power: i32, acc: &mut Rational) {
+    fn go(
+        pi: &[Rational],
+        idx: usize,
+        sum: &Rational,
+        sign: i32,
+        t: &Rational,
+        power: i32,
+        acc: &mut Rational,
+    ) {
+        if idx == pi.len() {
+            let term = (t - sum).pow(power);
+            if sign > 0 {
+                *acc += term;
+            } else {
+                *acc -= term;
+            }
+            return;
+        }
+        go(pi, idx + 1, sum, sign, t, power, acc);
+        let with = sum + &pi[idx];
+        if &with < t {
+            go(pi, idx + 1, &with, -sign, t, power, acc);
+        }
+    }
+    go(pi, 0, &Rational::zero(), 1, t, power, acc);
+}
+
+fn signed_power_sum_f64(
+    pi: &[f64],
+    t: f64,
+    power: i32,
+    sign: f64,
+    idx: usize,
+    sum: f64,
+    acc: &mut f64,
+) {
+    if idx == pi.len() {
+        *acc += sign * (t - sum).powi(power);
+        return;
+    }
+    signed_power_sum_f64(pi, t, power, sign, idx + 1, sum, acc);
+    let with = sum + pi[idx];
+    if with < t {
+        signed_power_sum_f64(pi, t, power, -sign, idx + 1, with, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::SimplexBoxIntersection;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    fn sum_of(sides: &[(i64, i64)]) -> BoxSum {
+        BoxSum::new(sides.iter().map(|&(n, d)| r(n, d)).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_uniform_is_linear() {
+        let s = sum_of(&[(1, 2)]);
+        assert_eq!(s.cdf(&r(1, 4)), r(1, 2));
+        assert_eq!(s.cdf(&r(1, 2)), Rational::one());
+        assert_eq!(s.pdf(&r(1, 4)), r(2, 1));
+    }
+
+    #[test]
+    fn cdf_equals_volume_ratio() {
+        // Lemma 2.4's proof: F(t) = Vol(ΣΠ(t·1, π)) / Vol(Π(π)).
+        type Case = (&'static [(i64, i64)], (i64, i64));
+        let cases: [Case; 3] = [
+            (&[(1, 1), (1, 2), (3, 4)], (5, 4)),
+            (&[(1, 3), (2, 3)], (1, 2)),
+            (&[(1, 1), (1, 1), (1, 1), (1, 1)], (7, 3)),
+        ];
+        for (sides, t) in cases {
+            let s = sum_of(sides);
+            let t = r(t.0, t.1);
+            let sigma = vec![t.clone(); sides.len()];
+            let pi = s.sides().to_vec();
+            let poly = SimplexBoxIntersection::new(sigma, pi).unwrap();
+            let expected = poly.volume() / s.sides().iter().product::<Rational>();
+            assert_eq!(s.cdf(&t), expected, "sides {sides:?}");
+        }
+    }
+
+    #[test]
+    fn cdf_boundaries() {
+        let s = sum_of(&[(1, 2), (1, 3)]);
+        assert_eq!(s.cdf(&Rational::zero()), Rational::zero());
+        assert_eq!(s.cdf(&r(-1, 5)), Rational::zero());
+        assert_eq!(s.cdf(&r(5, 6)), Rational::one());
+        assert_eq!(s.cdf(&r(7, 6)), Rational::one());
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let s = sum_of(&[(1, 1), (2, 3), (1, 2)]);
+        let mut last = Rational::zero();
+        for k in 0..=26 {
+            let t = r(k, 12);
+            let v = s.cdf(&t);
+            assert!(v >= last, "CDF must be nondecreasing at t={t}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn pdf_is_cdf_derivative_numerically() {
+        let s = sum_of(&[(1, 1), (1, 2), (2, 3)]);
+        let h = r(1, 100_000);
+        for k in 1..=12 {
+            let t = r(k, 6);
+            if t >= s.support_max() {
+                break;
+            }
+            let numeric = (s.cdf(&(&t + &h)) - s.cdf(&(&t - &h))) / (r(2, 1) * h.clone());
+            let exact = s.pdf(&t);
+            let diff = (numeric - exact.clone()).abs();
+            assert!(diff < r(1, 1000), "pdf mismatch at t={t}: exact {exact}");
+        }
+    }
+
+    #[test]
+    fn pdf_zero_outside_support() {
+        let s = sum_of(&[(1, 2), (1, 2)]);
+        assert_eq!(s.pdf(&r(-1, 1)), Rational::zero());
+        assert_eq!(s.pdf(&r(1, 1)), Rational::zero());
+        assert_eq!(s.pdf(&r(2, 1)), Rational::zero());
+    }
+
+    #[test]
+    fn f64_paths_track_exact() {
+        let s = sum_of(&[(1, 1), (1, 2), (3, 4), (1, 3)]);
+        for k in 0..=20 {
+            let t = r(k, 8);
+            assert!((s.cdf_f64(t.to_f64()) - s.cdf(&t).to_f64()).abs() < 1e-12);
+            assert!((s.pdf_f64(t.to_f64()) - s.pdf(&t).to_f64()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(BoxSum::new(vec![]), Err(DistributionError::Empty));
+        assert_eq!(
+            BoxSum::new(vec![r(1, 2), Rational::zero()]),
+            Err(DistributionError::BadInterval { index: 1 })
+        );
+    }
+}

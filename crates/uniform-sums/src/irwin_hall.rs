@@ -1,0 +1,219 @@
+//! Corollary 2.6: the Irwin–Hall distribution (sum of `m` standard
+//! uniforms).
+
+use rational::{binomial_rational, factorial, Rational};
+
+/// Exact Irwin–Hall CDF `P(Σ_{i=1}^m x_i ≤ t)` for `x_i ~ U[0,1]`
+/// (Corollary 2.6):
+///
+/// ```text
+/// F_m(t) = (1/m!) Σ_{0 ≤ i ≤ m, i < t} (−1)^i C(m,i) (t − i)^m
+/// ```
+///
+/// By convention `m = 0` is the empty sum, which is `0`, so
+/// `F_0(t) = 1` for `t ≥ 0` — exactly the factor Theorem 4.1 needs
+/// when all players choose the same bin.
+///
+/// # Examples
+///
+/// ```
+/// use rational::Rational;
+/// use uniform_sums::irwin_hall_cdf;
+///
+/// assert_eq!(irwin_hall_cdf(2, &Rational::one()), Rational::ratio(1, 2));
+/// assert_eq!(irwin_hall_cdf(3, &Rational::ratio(3, 2)), Rational::ratio(1, 2));
+/// assert_eq!(irwin_hall_cdf(0, &Rational::one()), Rational::one());
+/// ```
+#[must_use]
+pub fn irwin_hall_cdf(m: u32, t: &Rational) -> Rational {
+    if m == 0 {
+        return if t.is_negative() {
+            Rational::zero()
+        } else {
+            Rational::one()
+        };
+    }
+    if !t.is_positive() {
+        return Rational::zero();
+    }
+    if t >= &Rational::integer(i64::from(m)) {
+        return Rational::one();
+    }
+    let mut acc = Rational::zero();
+    for i in 0..=m {
+        let i_rat = Rational::integer(i64::from(i));
+        if &i_rat >= t {
+            break;
+        }
+        let term = binomial_rational(m, i) * (t - &i_rat).pow(m as i32);
+        if i % 2 == 0 {
+            acc += term;
+        } else {
+            acc -= term;
+        }
+    }
+    acc / Rational::from(factorial(m))
+}
+
+/// Exact Irwin–Hall density (the `π_i = 1` case of Lemma 2.5).
+///
+/// Zero outside `(0, m)`; right-continuous at the knots.
+///
+/// ```
+/// use rational::Rational;
+/// use uniform_sums::irwin_hall_pdf;
+///
+/// // Tent density of two uniforms peaks at 1 with value 1.
+/// assert_eq!(irwin_hall_pdf(2, &Rational::one()), Rational::one());
+/// assert_eq!(irwin_hall_pdf(2, &Rational::ratio(1, 2)), Rational::ratio(1, 2));
+/// ```
+#[must_use]
+pub fn irwin_hall_pdf(m: u32, t: &Rational) -> Rational {
+    if m == 0 || !t.is_positive() || t >= &Rational::integer(i64::from(m)) {
+        return Rational::zero();
+    }
+    let mut acc = Rational::zero();
+    for i in 0..=m {
+        let i_rat = Rational::integer(i64::from(i));
+        if &i_rat >= t {
+            break;
+        }
+        let term = binomial_rational(m, i) * (t - &i_rat).pow(m as i32 - 1);
+        if i % 2 == 0 {
+            acc += term;
+        } else {
+            acc -= term;
+        }
+    }
+    acc / Rational::from(factorial(m - 1))
+}
+
+/// Fast `f64` Irwin–Hall CDF.
+#[must_use]
+pub fn irwin_hall_cdf_f64(m: u32, t: f64) -> f64 {
+    if m == 0 {
+        return if t < 0.0 { 0.0 } else { 1.0 };
+    }
+    if t <= 0.0 {
+        return 0.0;
+    }
+    if t >= f64::from(m) {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    let mut binom = 1.0f64;
+    for i in 0..=m {
+        let fi = f64::from(i);
+        if fi >= t {
+            break;
+        }
+        let term = binom * (t - fi).powi(m as i32);
+        acc += if i % 2 == 0 { term } else { -term };
+        binom = binom * f64::from(m - i) / f64::from(i + 1);
+    }
+    let m_fact: f64 = (1..=m).map(f64::from).product();
+    acc / m_fact
+}
+
+/// Fast `f64` Irwin–Hall density.
+#[must_use]
+pub fn irwin_hall_pdf_f64(m: u32, t: f64) -> f64 {
+    if m == 0 || t <= 0.0 || t >= f64::from(m) {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let mut binom = 1.0f64;
+    for i in 0..=m {
+        let fi = f64::from(i);
+        if fi >= t {
+            break;
+        }
+        let term = binom * (t - fi).powi(m as i32 - 1);
+        acc += if i % 2 == 0 { term } else { -term };
+        binom = binom * f64::from(m - i) / f64::from(i + 1);
+    }
+    let m1_fact: f64 = (1..m).map(f64::from).product();
+    acc / m1_fact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoxSum;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn matches_box_sum_special_case() {
+        for m in 1..=6u32 {
+            let s = BoxSum::new(vec![Rational::one(); m as usize]).unwrap();
+            for k in 0..=(4 * m) {
+                let t = r(i64::from(k), 4);
+                assert_eq!(irwin_hall_cdf(m, &t), s.cdf(&t), "m={m}, t={t}");
+                assert_eq!(irwin_hall_pdf(m, &t), s.pdf(&t), "m={m}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // F_1 is the identity on [0,1].
+        assert_eq!(irwin_hall_cdf(1, &r(3, 10)), r(3, 10));
+        // F_2(t) = t^2/2 on [0,1].
+        assert_eq!(irwin_hall_cdf(2, &r(1, 2)), r(1, 8));
+        // F_2(t) = 1 - (2-t)^2/2 on [1,2].
+        assert_eq!(irwin_hall_cdf(2, &r(3, 2)), r(7, 8));
+        // F_3(3/2) = 1/2 by symmetry.
+        assert_eq!(irwin_hall_cdf(3, &r(3, 2)), r(1, 2));
+    }
+
+    #[test]
+    fn symmetry_about_half_m() {
+        for m in 1..=7u32 {
+            for k in 0..=8 {
+                let d = r(k, 5);
+                let mid = r(i64::from(m), 2);
+                let lo = irwin_hall_cdf(m, &(&mid - &d));
+                let hi = irwin_hall_cdf(m, &(&mid + &d));
+                assert_eq!(lo + hi, Rational::one(), "m={m}, d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_summands_edge_case() {
+        assert_eq!(irwin_hall_cdf(0, &Rational::zero()), Rational::one());
+        assert_eq!(irwin_hall_cdf(0, &r(-1, 2)), Rational::zero());
+        assert_eq!(irwin_hall_pdf(0, &r(1, 2)), Rational::zero());
+        assert_eq!(irwin_hall_cdf_f64(0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn f64_tracks_exact() {
+        for m in 1..=8u32 {
+            for k in 0..=(8 * m) {
+                let t = r(i64::from(k), 8);
+                let exact_cdf = irwin_hall_cdf(m, &t).to_f64();
+                let exact_pdf = irwin_hall_pdf(m, &t).to_f64();
+                assert!((irwin_hall_cdf_f64(m, t.to_f64()) - exact_cdf).abs() < 1e-10);
+                assert!((irwin_hall_pdf_f64(m, t.to_f64()) - exact_pdf).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_one_numerically() {
+        for m in 1..=5u32 {
+            let steps = 2_000;
+            let h = f64::from(m) / steps as f64;
+            let mut integral = 0.0;
+            for i in 0..steps {
+                let t = (i as f64 + 0.5) * h;
+                integral += irwin_hall_pdf_f64(m, t) * h;
+            }
+            assert!((integral - 1.0).abs() < 1e-3, "m={m}: {integral}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Distributions of sums of independent uniform random variables
+//! (the paper's Section 2.2).
+//!
+//! * [`BoxSum`] — `Σ x_i` with `x_i ~ U[0, π_i]`: exact CDF
+//!   (Lemma 2.4) and density (Lemma 2.5). The density formula answers
+//!   a research problem posed by G.-C. Rota.
+//! * [`UniformSum`] — `Σ x_i` with `x_i ~ U[a_i, b_i]` on arbitrary
+//!   intervals, by shifting a [`BoxSum`]; specializing to
+//!   `[π_i, 1]` gives Lemma 2.7.
+//! * [`irwin_hall_cdf`] / [`irwin_hall_pdf`] — the classical
+//!   Irwin–Hall special case `π_i = 1` (Corollary 2.6), which is what
+//!   the oblivious analysis (Theorem 4.1) consumes.
+//!
+//! All quantities are exact rationals; `*_f64` variants provide the
+//! fast lossy path. A symbolic layer materializes CDF/PDF as exact
+//! piecewise polynomials in `t` ([`BoxSum::cdf_piecewise`]), from
+//! which exact moments ([`BoxSum::mean`], [`BoxSum::variance`]) and
+//! certified quantiles ([`BoxSum::quantile`]) follow.
+//!
+//! # Examples
+//!
+//! ```
+//! use rational::Rational;
+//! use uniform_sums::BoxSum;
+//!
+//! // Two uniforms on [0,1]: P(x1 + x2 <= 1) = 1/2.
+//! let s = BoxSum::new(vec![Rational::one(), Rational::one()]).unwrap();
+//! assert_eq!(s.cdf(&Rational::one()), Rational::ratio(1, 2));
+//! ```
+
+mod box_sum;
+mod irwin_hall;
+mod symbolic;
+mod uniform_sum;
+
+pub use box_sum::BoxSum;
+pub use irwin_hall::{irwin_hall_cdf, irwin_hall_cdf_f64, irwin_hall_pdf, irwin_hall_pdf_f64};
+pub use uniform_sum::UniformSum;
+
+use std::fmt;
+
+/// Error for invalid distribution parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DistributionError {
+    /// No variables were supplied.
+    Empty,
+    /// An interval was empty or reversed.
+    BadInterval {
+        /// Index of the offending variable.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::Empty => f.write_str("need at least one random variable"),
+            DistributionError::BadInterval { index } => {
+                write!(f, "interval at index {index} is empty or reversed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistributionError {}

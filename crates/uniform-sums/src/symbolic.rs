@@ -1,0 +1,351 @@
+//! Symbolic form of Lemmas 2.4/2.5: the CDF and density of a sum of
+//! uniforms as exact piecewise polynomials *in the threshold* `t`.
+//!
+//! The inclusion–exclusion indicator `Σ_{l∈I} π_l < t` flips only at
+//! the finitely many subset sums of `π`, so between consecutive
+//! subset sums the CDF is a single polynomial of degree `m`. This
+//! module materializes that piecewise polynomial, which makes exact
+//! *global* statements possible — e.g. the density integrates to
+//! exactly 1, and its first two moments match `Σ π_i/2` and
+//! `Σ π_i²/12` as rational identities (a sharp end-to-end validation
+//! of Rota's density formula).
+
+use crate::BoxSum;
+use polynomial::{PiecewisePolynomial, Polynomial};
+use rational::{factorial_rational, Rational};
+
+/// Practical cap on the number of summands for the `2^m` subset-sum
+/// enumeration.
+const MAX_SYMBOLIC_SUMMANDS: usize = 16;
+
+impl BoxSum {
+    /// The CDF as an exact piecewise polynomial in `t` on
+    /// `[0, Σ π_i]`.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// use uniform_sums::BoxSum;
+    ///
+    /// let s = BoxSum::new(vec![Rational::one(), Rational::one()]).unwrap();
+    /// let cdf = s.cdf_piecewise();
+    /// assert_eq!(cdf.eval(&Rational::ratio(1, 2)), Some(Rational::ratio(1, 8)));
+    /// assert_eq!(cdf.eval(&Rational::integer(2)), Some(Rational::one()));
+    /// assert!(cdf.is_continuous());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 summands (the subset-sum
+    /// enumeration is `2^m`).
+    #[must_use]
+    pub fn cdf_piecewise(&self) -> PiecewisePolynomial<Rational> {
+        let m = self.len();
+        assert!(
+            m <= MAX_SYMBOLIC_SUMMANDS,
+            "symbolic form limited to {MAX_SYMBOLIC_SUMMANDS} summands"
+        );
+        let subset_sums = self.subset_sums();
+        let total = self.support_max();
+
+        // Breakpoints: distinct subset sums (0 and Σπ included).
+        let mut breakpoints = subset_sums.clone();
+        breakpoints.sort();
+        breakpoints.dedup();
+        debug_assert_eq!(breakpoints.first(), Some(&Rational::zero()));
+        debug_assert_eq!(breakpoints.last(), Some(&total));
+
+        let norm =
+            (self.sides().iter().product::<Rational>() * factorial_rational(m as u32)).recip();
+        let mut pieces = Vec::with_capacity(breakpoints.len() - 1);
+        for window in breakpoints.windows(2) {
+            let probe = window[0].midpoint(&window[1]);
+            // Σ over subsets with subset-sum < probe of ±(t − s)^m.
+            let mut acc = Polynomial::zero();
+            for (mask, s) in subset_sums.iter().enumerate() {
+                if s >= &probe {
+                    continue;
+                }
+                let linear = Polynomial::new(vec![-s.clone(), Rational::one()]);
+                let term = linear.pow(m as u32);
+                if (mask as u32).count_ones().is_multiple_of(2) {
+                    acc = &acc + &term;
+                } else {
+                    acc = &acc - &term;
+                }
+            }
+            pieces.push(acc.scale(&norm));
+        }
+        PiecewisePolynomial::new(breakpoints, pieces)
+    }
+
+    /// The density (Lemma 2.5, Rota's formula) as an exact piecewise
+    /// polynomial in `t` on `[0, Σ π_i]`.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// use uniform_sums::BoxSum;
+    ///
+    /// let s = BoxSum::new(vec![Rational::one(), Rational::ratio(1, 2)]).unwrap();
+    /// let pdf = s.pdf_piecewise();
+    /// // A density integrates to exactly one.
+    /// assert_eq!(pdf.integral_over_domain(), Rational::one());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 summands.
+    #[must_use]
+    pub fn pdf_piecewise(&self) -> PiecewisePolynomial<Rational> {
+        self.cdf_piecewise().derivative()
+    }
+
+    /// The exact mean of the sum, computed *from the density* as
+    /// `∫ t·f(t) dt` — not from the trivial identity `Σ π_i / 2`,
+    /// so it doubles as a validation of Lemma 2.5. (The identity is
+    /// asserted in debug builds.)
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// use uniform_sums::BoxSum;
+    /// let s = BoxSum::new(vec![Rational::one(), Rational::ratio(1, 3)]).unwrap();
+    /// assert_eq!(s.mean(), Rational::ratio(2, 3)); // (1 + 1/3) / 2
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 summands.
+    #[must_use]
+    pub fn mean(&self) -> Rational {
+        let mean = self.moment(1);
+        debug_assert_eq!(
+            mean,
+            self.sides().iter().sum::<Rational>() / Rational::integer(2)
+        );
+        mean
+    }
+
+    /// The exact variance of the sum, `∫ t²f(t) dt − mean²`.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// use uniform_sums::BoxSum;
+    /// let s = BoxSum::new(vec![Rational::one(), Rational::one()]).unwrap();
+    /// assert_eq!(s.variance(), Rational::ratio(1, 6)); // 2 * (1/12)
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 summands.
+    #[must_use]
+    pub fn variance(&self) -> Rational {
+        let mean = self.moment(1);
+        self.moment(2) - &mean * &mean
+    }
+
+    /// The exact raw moment `E[T^k] = ∫ t^k f(t) dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 summands.
+    #[must_use]
+    pub fn moment(&self, k: usize) -> Rational {
+        let pdf = self.pdf_piecewise();
+        let weight = Polynomial::monomial(Rational::one(), k);
+        let mut total = Rational::zero();
+        for (piece, window) in pdf.pieces().iter().zip(pdf.breakpoints().windows(2)) {
+            let integrand = piece * &weight;
+            total += integrand.definite_integral(&window[0], &window[1]);
+        }
+        total
+    }
+
+    /// The quantile `F⁻¹(q)`: the threshold `t` with `F(t) = q`,
+    /// refined to within `tol` by root isolation on the symbolic CDF.
+    ///
+    /// ```
+    /// use rational::Rational;
+    /// use uniform_sums::BoxSum;
+    ///
+    /// let s = BoxSum::new(vec![Rational::one(), Rational::one()]).unwrap();
+    /// // Median of two standard uniforms is exactly 1.
+    /// let median = s.quantile(&Rational::ratio(1, 2), &Rational::ratio(1, 1 << 30));
+    /// assert!((median.to_f64() - 1.0).abs() < 1e-8);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not strictly between 0 and 1, if `tol` is not
+    /// positive, or if there are more than 16 summands.
+    #[must_use]
+    pub fn quantile(&self, q: &Rational, tol: &Rational) -> Rational {
+        assert!(
+            q.is_positive() && q < &Rational::one(),
+            "quantile level must be in (0, 1)"
+        );
+        let cdf = self.cdf_piecewise();
+        // Find the piece whose value range brackets q (CDF is
+        // nondecreasing and continuous).
+        for (piece, window) in cdf.pieces().iter().zip(cdf.breakpoints().windows(2)) {
+            let hi_val = piece.eval(&window[1]);
+            if &hi_val < q {
+                continue;
+            }
+            let shifted = piece - &Polynomial::constant(q.clone());
+            let roots = shifted.isolate_roots_closed(&window[0], &window[1]);
+            let iv = roots.first().expect("bracketed root");
+            return shifted.refine_root(iv, tol);
+        }
+        unreachable!("CDF reaches 1 at the end of its domain");
+    }
+
+    /// All `2^m` subset sums, indexed by bitmask.
+    fn subset_sums(&self) -> Vec<Rational> {
+        let m = self.len();
+        let mut sums = vec![Rational::zero(); 1 << m];
+        for mask in 1usize..(1 << m) {
+            let low = mask.trailing_zeros() as usize;
+            sums[mask] = &sums[mask & (mask - 1)] + &self.sides()[low];
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    fn sum_of(sides: &[(i64, i64)]) -> BoxSum {
+        BoxSum::new(sides.iter().map(|&(n, d)| r(n, d)).collect()).unwrap()
+    }
+
+    #[test]
+    fn piecewise_cdf_matches_pointwise_cdf() {
+        let s = sum_of(&[(1, 1), (1, 2), (2, 3)]);
+        let pw = s.cdf_piecewise();
+        for k in 0..=26 {
+            let t = r(k, 12);
+            let direct = s.cdf(&t);
+            let symbolic = pw.eval(&t).unwrap_or_else(|| {
+                if t > s.support_max() {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                }
+            });
+            assert_eq!(symbolic, direct, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn piecewise_cdf_is_continuous_and_monotone_boundaries() {
+        let s = sum_of(&[(1, 2), (1, 3), (1, 5), (1, 7)]);
+        let pw = s.cdf_piecewise();
+        assert!(pw.is_continuous());
+        assert_eq!(pw.eval(&Rational::zero()), Some(Rational::zero()));
+        assert_eq!(pw.eval(&s.support_max()), Some(Rational::one()));
+    }
+
+    #[test]
+    fn density_integrates_to_exactly_one() {
+        for sides in [
+            vec![(1i64, 1i64)],
+            vec![(1, 1), (1, 1)],
+            vec![(1, 2), (2, 3), (3, 4)],
+            vec![(1, 1), (1, 2), (1, 3), (1, 4)],
+        ] {
+            let s = sum_of(&sides);
+            assert_eq!(
+                s.pdf_piecewise().integral_over_domain(),
+                Rational::one(),
+                "sides {sides:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_and_variance_match_closed_forms_exactly() {
+        for sides in [
+            vec![(1i64, 1i64), (1, 1), (1, 1)],
+            vec![(1, 2), (2, 3)],
+            vec![(5, 4), (1, 3), (7, 8)],
+        ] {
+            let s = sum_of(&sides);
+            let expected_mean: Rational = s.sides().iter().sum::<Rational>() / Rational::integer(2);
+            let expected_var: Rational = s
+                .sides()
+                .iter()
+                .map(|p| p * p / Rational::integer(12))
+                .sum();
+            assert_eq!(s.mean(), expected_mean, "sides {sides:?}");
+            assert_eq!(s.variance(), expected_var, "sides {sides:?}");
+        }
+    }
+
+    #[test]
+    fn irwin_hall_pieces_are_the_classic_splines() {
+        // m = 2: CDF is t²/2 on [0,1] and 1 − (2−t)²/2 on [1,2].
+        let s = sum_of(&[(1, 1), (1, 1)]);
+        let pw = s.cdf_piecewise();
+        assert_eq!(pw.breakpoints(), &[r(0, 1), r(1, 1), r(2, 1)]);
+        let lower = Polynomial::new(vec![r(0, 1), r(0, 1), r(1, 2)]);
+        let upper = Polynomial::new(vec![r(-1, 1), r(2, 1), r(-1, 2)]);
+        assert_eq!(pw.pieces(), &[lower, upper]);
+    }
+
+    #[test]
+    fn third_moment_of_single_uniform() {
+        // E[X^3] for U[0, c] is c^3/4.
+        let s = sum_of(&[(3, 2)]);
+        assert_eq!(s.moment(3), r(27, 32));
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let s = sum_of(&[(1, 1), (1, 2), (2, 3)]);
+        let tol = r(1, 1 << 40);
+        for (num, den) in [(1i64, 10i64), (1, 4), (1, 2), (3, 4), (9, 10)] {
+            let q = r(num, den);
+            let t = s.quantile(&q, &tol);
+            let back = s.cdf(&t);
+            assert!(
+                (back - q.clone()).abs() < r(1, 1 << 20),
+                "level {q}: t = {}",
+                t.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let s = sum_of(&[(1, 1), (1, 1), (1, 1)]);
+        let tol = r(1, 1 << 30);
+        let q25 = s.quantile(&r(1, 4), &tol);
+        let q50 = s.quantile(&r(1, 2), &tol);
+        let q75 = s.quantile(&r(3, 4), &tol);
+        assert!(q25 < q50 && q50 < q75);
+        // Irwin-Hall symmetry: median of 3 uniforms is exactly 3/2.
+        assert!((q50.to_f64() - 1.5).abs() < 1e-8);
+        // And the quartiles mirror around it.
+        assert!(((q25.to_f64() + q75.to_f64()) / 2.0 - 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn quantile_rejects_endpoint_levels() {
+        let s = sum_of(&[(1, 1)]);
+        let _ = s.quantile(&Rational::one(), &r(1, 1024));
+    }
+
+    #[test]
+    fn repeated_equal_sides_collapse_breakpoints() {
+        // Equal sides make many subset sums coincide; dedup must hold.
+        let s = sum_of(&[(1, 2), (1, 2), (1, 2)]);
+        let pw = s.cdf_piecewise();
+        assert_eq!(pw.breakpoints().len(), 4); // 0, 1/2, 1, 3/2
+        assert!(pw.is_continuous());
+    }
+}

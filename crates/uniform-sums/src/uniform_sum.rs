@@ -1,0 +1,317 @@
+//! Sums of uniforms on arbitrary intervals `[a_i, b_i]`
+//! (generalizing Lemma 2.7).
+
+use crate::{BoxSum, DistributionError};
+use rational::Rational;
+
+/// The distribution of `Σ x_i` with independent `x_i ~ U[a_i, b_i]`.
+///
+/// Implemented by shifting: `x_i = a_i + y_i` with `y_i ~ U[0, b_i − a_i]`,
+/// so `F_Σx(t) = F_Σy(t − Σ a_i)` with `F_Σy` given by Lemma 2.4.
+/// Specializing to intervals `[π_i, 1]` recovers the paper's
+/// Lemma 2.7 (which the paper proves by the complement substitution
+/// `x'_i = 1 − x_i`; the two derivations agree — see the tests).
+///
+/// # Examples
+///
+/// ```
+/// use rational::Rational;
+/// use uniform_sums::UniformSum;
+///
+/// // Two uniforms on [1/2, 1]: the sum is in [1, 2], symmetric at 3/2.
+/// let s = UniformSum::new(vec![
+///     (Rational::ratio(1, 2), Rational::one()),
+///     (Rational::ratio(1, 2), Rational::one()),
+/// ]).unwrap();
+/// assert_eq!(s.cdf(&Rational::ratio(3, 2)), Rational::ratio(1, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UniformSum {
+    offset: Rational,
+    inner: BoxSum,
+}
+
+impl UniformSum {
+    /// Constructs the distribution from `(a_i, b_i)` interval pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if no intervals are supplied or
+    /// any interval has `b_i ≤ a_i`.
+    pub fn new(intervals: Vec<(Rational, Rational)>) -> Result<UniformSum, DistributionError> {
+        if intervals.is_empty() {
+            return Err(DistributionError::Empty);
+        }
+        let mut widths = Vec::with_capacity(intervals.len());
+        let mut offset = Rational::zero();
+        for (index, (a, b)) in intervals.iter().enumerate() {
+            if b <= a {
+                return Err(DistributionError::BadInterval { index });
+            }
+            widths.push(b - a);
+            offset += a;
+        }
+        Ok(UniformSum {
+            offset,
+            inner: BoxSum::new(widths).expect("validated widths"),
+        })
+    }
+
+    /// The paper's Lemma 2.7 case: `x_i ~ U[π_i, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `pi` is empty or any
+    /// `π_i ≥ 1` (the variable would be degenerate).
+    pub fn above_thresholds(pi: Vec<Rational>) -> Result<UniformSum, DistributionError> {
+        UniformSum::new(pi.into_iter().map(|p| (p, Rational::one())).collect())
+    }
+
+    /// Number of summands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` iff there are no summands (never, by
+    /// construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Minimum of the support, `Σ a_i`.
+    #[must_use]
+    pub fn support_min(&self) -> Rational {
+        self.offset.clone()
+    }
+
+    /// Maximum of the support, `Σ b_i`.
+    #[must_use]
+    pub fn support_max(&self) -> Rational {
+        &self.offset + &self.inner.support_max()
+    }
+
+    /// Exact CDF `P(Σ x_i ≤ t)`.
+    #[must_use]
+    pub fn cdf(&self, t: &Rational) -> Rational {
+        self.inner.cdf(&(t - &self.offset))
+    }
+
+    /// Exact density.
+    #[must_use]
+    pub fn pdf(&self, t: &Rational) -> Rational {
+        self.inner.pdf(&(t - &self.offset))
+    }
+
+    /// The CDF as an exact piecewise polynomial in `t` on
+    /// `[Σ a_i, Σ b_i]`, obtained by shifting the underlying
+    /// [`BoxSum`]'s symbolic CDF.
+    ///
+    /// ```
+    /// use polynomial::PiecewisePolynomial;
+    /// use rational::Rational;
+    /// use uniform_sums::UniformSum;
+    ///
+    /// let s = UniformSum::new(vec![
+    ///     (Rational::ratio(1, 2), Rational::one()),
+    ///     (Rational::ratio(1, 2), Rational::one()),
+    /// ]).unwrap();
+    /// let cdf = s.cdf_piecewise();
+    /// assert_eq!(cdf.eval(&Rational::ratio(3, 2)), Some(Rational::ratio(1, 2)));
+    /// assert!(cdf.is_continuous());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 summands.
+    #[must_use]
+    pub fn cdf_piecewise(&self) -> polynomial::PiecewisePolynomial<Rational> {
+        let base = self.inner.cdf_piecewise();
+        // Substitute t -> t − offset and shift every breakpoint.
+        let breakpoints = base
+            .breakpoints()
+            .iter()
+            .map(|b| b + &self.offset)
+            .collect();
+        let pieces = base
+            .pieces()
+            .iter()
+            .map(|p| p.shift(&-self.offset.clone()))
+            .collect();
+        polynomial::PiecewisePolynomial::new(breakpoints, pieces)
+    }
+
+    /// The density as an exact piecewise polynomial in `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 summands.
+    #[must_use]
+    pub fn pdf_piecewise(&self) -> polynomial::PiecewisePolynomial<Rational> {
+        self.cdf_piecewise().derivative()
+    }
+
+    /// The exact mean `Σ (a_i + b_i) / 2`.
+    #[must_use]
+    pub fn mean(&self) -> Rational {
+        &self.offset + &self.inner.mean()
+    }
+
+    /// The exact variance `Σ (b_i − a_i)² / 12` (shift-invariant).
+    #[must_use]
+    pub fn variance(&self) -> Rational {
+        self.inner.variance()
+    }
+
+    /// Fast `f64` CDF.
+    #[must_use]
+    pub fn cdf_f64(&self, t: f64) -> f64 {
+        self.inner.cdf_f64(t - self.offset.to_f64())
+    }
+
+    /// Fast `f64` density.
+    #[must_use]
+    pub fn pdf_f64(&self, t: f64) -> f64 {
+        self.inner.pdf_f64(t - self.offset.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigint::BigInt;
+    use rational::factorial;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    /// Direct transcription of the paper's Lemma 2.7 statement, used to
+    /// cross-check the shift-based implementation.
+    fn lemma_2_7_cdf(pi: &[Rational], t: &Rational) -> Rational {
+        let m = pi.len();
+        let mut total = Rational::zero();
+        // Enumerate subsets by bitmask (test sizes are tiny).
+        for mask in 0u32..(1 << m) {
+            let i_size = mask.count_ones() as i64;
+            let pi_sum: Rational = (0..m)
+                .filter(|l| mask >> l & 1 == 1)
+                .map(|l| pi[l].clone())
+                .sum();
+            // Condition: |I| < m - t + Σ_{l∈I} π_l
+            let bound = Rational::integer(m as i64) - t + &pi_sum;
+            if Rational::integer(i_size) >= bound {
+                continue;
+            }
+            let base = Rational::integer(m as i64) - t - Rational::integer(i_size) + pi_sum;
+            let term = base.pow(m as i32);
+            if i_size % 2 == 0 {
+                total += term;
+            } else {
+                total -= term;
+            }
+        }
+        let denom: Rational = pi.iter().map(|p| Rational::one() - p).product::<Rational>()
+            * Rational::new(factorial(m as u32), BigInt::one());
+        Rational::one() - total / denom
+    }
+
+    #[test]
+    fn matches_paper_lemma_2_7_formula() {
+        let pi = [r(1, 3), r(1, 2), r(2, 3)];
+        let s = UniformSum::above_thresholds(pi.to_vec()).unwrap();
+        for k in 0..=12 {
+            let t = r(k, 4);
+            let direct = lemma_2_7_cdf(&pi, &t);
+            assert_eq!(s.cdf(&t), direct, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn support_and_boundaries() {
+        let s = UniformSum::new(vec![(r(1, 4), r(1, 2)), (r(1, 2), r(3, 2))]).unwrap();
+        assert_eq!(s.support_min(), r(3, 4));
+        assert_eq!(s.support_max(), r(2, 1));
+        assert_eq!(s.cdf(&r(3, 4)), Rational::zero());
+        assert_eq!(s.cdf(&r(2, 1)), Rational::one());
+        assert!(s.cdf(&r(11, 8)).is_positive());
+    }
+
+    #[test]
+    fn symmetric_intervals_give_symmetric_cdf() {
+        // Sum of uniforms is symmetric about the midpoint of its support.
+        let s = UniformSum::new(vec![
+            (r(1, 4), r(3, 4)),
+            (r(0, 1), r(1, 1)),
+            (r(1, 2), r(1, 1)),
+        ])
+        .unwrap();
+        let mid = s.support_min().midpoint(&s.support_max());
+        for k in 1..=8 {
+            let d = r(k, 16);
+            let left = s.cdf(&(&mid - &d));
+            let right = s.cdf(&(&mid + &d));
+            assert_eq!(left + right, Rational::one(), "offset {d}");
+        }
+    }
+
+    #[test]
+    fn degenerate_interval_rejected() {
+        assert_eq!(
+            UniformSum::above_thresholds(vec![r(1, 2), Rational::one()]),
+            Err(DistributionError::BadInterval { index: 1 })
+        );
+        assert_eq!(
+            UniformSum::new(vec![(r(1, 2), r(1, 2))]),
+            Err(DistributionError::BadInterval { index: 0 })
+        );
+        assert_eq!(UniformSum::new(vec![]), Err(DistributionError::Empty));
+    }
+
+    #[test]
+    fn pdf_matches_shifted_box() {
+        let s = UniformSum::new(vec![(r(1, 2), r(1, 1)), (r(1, 2), r(1, 1))]).unwrap();
+        // Density of sum of two U[1/2,1] at its mode 3/2 equals that of
+        // two U[0,1/2] at 1/2, which is 1/(width) * tent peak = 4*... use
+        // the box sum directly.
+        let b = BoxSum::new(vec![r(1, 2), r(1, 2)]).unwrap();
+        assert_eq!(s.pdf(&r(3, 2)), b.pdf(&r(1, 2)));
+        assert_eq!(s.pdf(&r(5, 4)), b.pdf(&r(1, 4)));
+    }
+
+    #[test]
+    fn piecewise_shift_matches_pointwise() {
+        let s = UniformSum::new(vec![(r(1, 4), r(3, 4)), (r(1, 2), r(3, 2))]).unwrap();
+        let pw = s.cdf_piecewise();
+        assert!(pw.is_continuous());
+        for k in 0..=18 {
+            let t = r(k, 8);
+            if t < s.support_min() || t > s.support_max() {
+                continue;
+            }
+            assert_eq!(pw.eval(&t).unwrap(), s.cdf(&t), "t = {t}");
+        }
+        assert_eq!(pw.eval(&s.support_min()), Some(Rational::zero()));
+        assert_eq!(pw.eval(&s.support_max()), Some(Rational::one()));
+    }
+
+    #[test]
+    fn shifted_moments() {
+        let s = UniformSum::new(vec![(r(1, 2), r(1, 1)), (r(1, 4), r(3, 4))]).unwrap();
+        // mean = (1/2+1)/2 + (1/4+3/4)/2 = 3/4 + 1/2 = 5/4.
+        assert_eq!(s.mean(), r(5, 4));
+        // var = (1/2)^2/12 * 2 = 1/24.
+        assert_eq!(s.variance(), r(1, 24));
+        assert_eq!(s.pdf_piecewise().integral_over_domain(), Rational::one());
+    }
+
+    #[test]
+    fn f64_path_tracks_exact() {
+        let s = UniformSum::above_thresholds(vec![r(1, 3), r(3, 5)]).unwrap();
+        for k in 0..=16 {
+            let t = r(k, 8);
+            assert!((s.cdf_f64(t.to_f64()) - s.cdf(&t).to_f64()).abs() < 1e-12);
+        }
+    }
+}

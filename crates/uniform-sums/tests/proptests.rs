@@ -1,0 +1,101 @@
+//! Property tests for uniform-sum distributions: CDF axioms, the
+//! Lemma 2.4 ↔ Proposition 2.2 volume identity, Monte-Carlo agreement,
+//! and the Lemma 2.7 complement identity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rational::Rational;
+use uniform_sums::{irwin_hall_cdf, BoxSum, UniformSum};
+
+fn side() -> impl Strategy<Value = Rational> {
+    (1i64..10, 1i64..10).prop_map(|(n, d)| Rational::ratio(n, d))
+}
+
+fn box_sum(max_m: usize) -> impl Strategy<Value = BoxSum> {
+    proptest::collection::vec(side(), 1..=max_m).prop_map(|pi| BoxSum::new(pi).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cdf_is_a_cdf(s in box_sum(5), num in 0i64..40, den in 1i64..8) {
+        let t = Rational::ratio(num, den);
+        let v = s.cdf(&t);
+        prop_assert!(!v.is_negative() && v <= Rational::one());
+        // Monotonicity against a nearby point.
+        let t2 = &t + &Rational::ratio(1, 7);
+        prop_assert!(s.cdf(&t2) >= v);
+    }
+
+    #[test]
+    fn cdf_hits_zero_and_one(s in box_sum(5)) {
+        prop_assert_eq!(s.cdf(&Rational::zero()), Rational::zero());
+        prop_assert_eq!(s.cdf(&s.support_max()), Rational::one());
+    }
+
+    #[test]
+    fn pdf_nonnegative_on_support(s in box_sum(4), k in 1i64..20) {
+        let t = s.support_max() * Rational::ratio(k, 20);
+        prop_assert!(!s.pdf(&t).is_negative(), "pdf({t}) = {}", s.pdf(&t));
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_cdf(s in box_sum(4), seed in any::<u64>()) {
+        let t = s.support_max() * Rational::ratio(2, 5);
+        let exact = s.cdf(&t).to_f64();
+        let sides: Vec<f64> = s.sides().iter().map(Rational::to_f64).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = 40_000;
+        let mut hits = 0u64;
+        for _ in 0..samples {
+            let total: f64 = sides.iter().map(|&w| rng.gen_range(0.0..w)).sum();
+            if total <= t.to_f64() {
+                hits += 1;
+            }
+        }
+        let p_hat = hits as f64 / samples as f64;
+        let se = (exact * (1.0 - exact) / samples as f64).sqrt();
+        prop_assert!((p_hat - exact).abs() < 5.0 * se + 1e-3,
+            "estimate {p_hat} vs exact {exact}");
+    }
+
+    #[test]
+    fn lemma_2_7_complement_identity(
+        pis in proptest::collection::vec((1i64..9, 10i64..20), 1..5),
+        num in 0i64..30,
+    ) {
+        // For x_i ~ U[π_i, 1]:  F_Σx(t) = 1 − F_Σ(1−x)(m − t).
+        let pi: Vec<Rational> = pis.iter().map(|&(n, d)| Rational::ratio(n, d)).collect();
+        let m = pi.len() as i64;
+        let t = Rational::ratio(num, 10);
+        let above = UniformSum::above_thresholds(pi.clone()).unwrap();
+        let complement_widths: Vec<Rational> =
+            pi.iter().map(|p| Rational::one() - p).collect();
+        let complement = BoxSum::new(complement_widths).unwrap();
+        let lhs = above.cdf(&t);
+        let rhs = Rational::one() - complement.cdf(&(Rational::integer(m) - &t));
+        // Equality can fail only on the measure-zero boundary lattice,
+        // where one side uses <= and the other <; both are valid CDFs
+        // of the same absolutely continuous distribution.
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn irwin_hall_matches_uniform_sum(m in 1u32..6, num in 0i64..30) {
+        let t = Rational::ratio(num, 5);
+        let s = UniformSum::new(vec![(Rational::zero(), Rational::one()); m as usize]).unwrap();
+        prop_assert_eq!(irwin_hall_cdf(m, &t), s.cdf(&t));
+    }
+
+    #[test]
+    fn scaling_all_sides_rescales_argument(s in box_sum(4), num in 1i64..20) {
+        // If every side doubles, F(2t) of the scaled equals F(t) of the original.
+        let t = s.support_max() * Rational::ratio(num, 20);
+        let doubled = BoxSum::new(
+            s.sides().iter().map(|p| p * Rational::integer(2)).collect()
+        ).unwrap();
+        prop_assert_eq!(doubled.cdf(&(&t * &Rational::integer(2))), s.cdf(&t));
+    }
+}

@@ -1,0 +1,86 @@
+//! Capacity planning: how big must the bins be to win with a target
+//! probability, and how much slack do crash faults buy back?
+//!
+//! Uses exact evaluation inside a bisection over δ, then a crash-fault
+//! sensitivity table computed from the exact binomial mixture.
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use nocomm::decision::{
+    faults, oblivious, winning_probability_threshold, Capacity, SingleThresholdAlgorithm,
+};
+use nocomm::rational::Rational;
+
+/// Smallest δ (within `tol`) for which `win(δ) >= target`.
+fn minimal_capacity(
+    win: impl Fn(&Capacity) -> Rational,
+    target: &Rational,
+    n: usize,
+    tol: &Rational,
+) -> Rational {
+    let mut lo = Rational::zero();
+    let mut hi = Rational::integer(n as i64); // δ = n always wins
+    while &(&hi - &lo) > tol {
+        let mid = lo.midpoint(&hi);
+        let cap = Capacity::new(mid.clone()).expect("positive mid");
+        if win(&cap) >= *target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+fn main() {
+    let n = 5;
+    let beta = Rational::ratio(5, 8);
+    let threshold = SingleThresholdAlgorithm::symmetric(n, beta.clone()).expect("valid threshold");
+    let tol = Rational::ratio(1, 1 << 20);
+
+    println!("capacity needed for n = {n} dispatchers (jobs ~ U[0,1])\n");
+    println!(
+        "{:>8} | {:>12} | {:>12}",
+        "target", "fair coin δ", "β=5/8 δ"
+    );
+    for pct in [50i64, 75, 90, 99] {
+        let target = Rational::ratio(pct, 100);
+        let coin_delta = minimal_capacity(
+            |cap| oblivious::optimal_value(n, cap).expect("n >= 2"),
+            &target,
+            n,
+            &tol,
+        );
+        let thr_delta = minimal_capacity(
+            |cap| winning_probability_threshold(&threshold, cap).expect("n <= 22"),
+            &target,
+            n,
+            &tol,
+        );
+        println!(
+            "{:>7}% | {:>12.4} | {:>12.4}",
+            pct,
+            coin_delta.to_f64(),
+            thr_delta.to_f64()
+        );
+    }
+
+    // Crash-fault sensitivity: with flaky dispatchers the same δ buys
+    // a higher winning probability (jobs get dropped).
+    println!("\ncrash-fault sensitivity at δ = 5/3, threshold β = 5/8 (exact):");
+    println!("{:>8} | {:>10}", "p_crash", "P(win)");
+    let cap = Capacity::proportional(n, 3);
+    for k in 0..=5 {
+        let p_crash = Rational::ratio(k, 10);
+        let p =
+            faults::threshold_with_crashes(&threshold, &cap, &p_crash).expect("valid probability");
+        println!("{:>8} | {:>10.6}", p_crash.to_string(), p.to_f64());
+    }
+
+    // Sanity: the fault-free entry matches the direct closed form.
+    let direct = winning_probability_threshold(&threshold, &cap).expect("n <= 22");
+    let mixture =
+        faults::threshold_with_crashes(&threshold, &cap, &Rational::zero()).expect("valid");
+    assert_eq!(direct, mixture);
+    println!("\nfault-free mixture equals the direct closed form exactly ✓");
+}

@@ -1,0 +1,62 @@
+//! The price of no communication: compare the best silent algorithms
+//! against the full-information (omniscient coordinator) upper bound.
+//!
+//! The paper's motivation is the economic value of information in a
+//! distributed system; this example measures it. For each system size
+//! (with the paper's δ = n/3 scaling) it reports the best oblivious,
+//! best symmetric-threshold, and best deterministic-partition winning
+//! probabilities — all exact — against a Monte-Carlo estimate of how
+//! often *any* assignment of the realized inputs could have won.
+//!
+//! Run with: `cargo run --release --example price_of_silence`
+
+use nocomm::decision::{oblivious, symmetric, Capacity};
+use nocomm::rational::Rational;
+use nocomm::simulator::full_information_win_rate;
+
+fn main() {
+    let tol = Rational::ratio(1, 1 << 40);
+    println!("two bins of capacity δ = n/3; inputs ~ U[0,1]\n");
+    println!(
+        "{:>3} | {:>10} {:>10} {:>10} | {:>12} | {:>8}",
+        "n", "oblivious", "threshold", "partition", "omniscient", "price"
+    );
+    println!("{}", "-".repeat(68));
+    for n in 2..=10usize {
+        let cap = Capacity::proportional(n, 3);
+        let coin = oblivious::optimal_value(n, &cap).expect("n >= 2").to_f64();
+        let threshold = symmetric::analyze(n, &cap)
+            .expect("n >= 2")
+            .maximize(&tol)
+            .value
+            .to_f64();
+        let partition = oblivious::best_deterministic_split(n, &cap)
+            .expect("n >= 2")
+            .value
+            .to_f64();
+        let omniscient = full_information_win_rate(n, cap.to_f64(), 300_000, 21 + n as u64);
+        let best_silent = coin.max(threshold).max(partition);
+        let price = omniscient.estimate - best_silent;
+        println!(
+            "{:>3} | {:>10.6} {:>10.6} {:>10.6} | {:>12} | {:>8.4}",
+            n,
+            coin,
+            threshold,
+            partition,
+            format!(
+                "{:.4}±{:.4}",
+                omniscient.estimate,
+                omniscient.ci95_half_width()
+            ),
+            price
+        );
+        assert!(
+            omniscient.estimate + 4.0 * omniscient.std_error >= best_silent,
+            "an algorithm cannot beat the omniscient bound"
+        );
+    }
+    println!("\n'price' = omniscient − best silent algorithm: what full");
+    println!("information would buy. At n = 2 the deterministic partition");
+    println!("is already optimal (price 0, up to Monte-Carlo noise); from");
+    println!("n = 3 on, silence genuinely costs winning probability.");
+}

@@ -1,0 +1,288 @@
+//! `nocomm` — command-line front-end for the library.
+//!
+//! ```text
+//! nocomm analyze --n 3 --delta 1            exact P(β) pieces + optimum
+//! nocomm oblivious --n 4 --delta 4/3        exact P(α) + optimum
+//! nocomm eval --delta 1 0.5 0.625 0.7       exact P for a threshold vector
+//! nocomm simulate --delta 1 --trials 1e6 --seed 7 0.622 0.622 0.622
+//! nocomm gradient --delta 1 0.5 0.625 0.7   exact Theorem 5.2 gradient
+//! nocomm price --n 5 --trials 3e5           price of no communication
+//! ```
+//!
+//! Thresholds/probabilities accept fractions (`5/8`), decimals
+//! (`0.625`), or integers.
+
+use nocomm::decision::{
+    conditions, oblivious, symmetric, winning_probability_threshold, Capacity,
+    SingleThresholdAlgorithm,
+};
+use nocomm::rational::Rational;
+use nocomm::simulator::{full_information_win_rate, Simulation};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  nocomm analyze   --n <players> [--delta <δ>]       exact P(β) + optimum
+  nocomm oblivious --n <players> [--delta <δ>]       exact P(α) + optimum
+  nocomm eval      [--delta <δ>] <a_1> <a_2> ...      exact P(thresholds)
+  nocomm gradient  [--delta <δ>] <a_1> <a_2> ...      exact ∂P/∂a_k vector
+  nocomm simulate  [--delta <δ>] [--trials <t>] [--seed <s>] <a_1> ...
+  nocomm price     --n <players> [--trials <t>] [--seed <s>]
+values accept fractions (5/8), decimals (0.625) or integers; δ defaults to 1";
+
+/// Parsed common options plus positional values.
+struct Parsed {
+    n: Option<usize>,
+    delta: Rational,
+    trials: u64,
+    seed: u64,
+    positional: Vec<Rational>,
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed {
+        n: None,
+        delta: Rational::one(),
+        trials: 1_000_000,
+        seed: 42,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n" => {
+                let v = it.next().ok_or("--n needs a value")?;
+                out.n = Some(v.parse().map_err(|_| format!("bad --n value {v:?}"))?);
+            }
+            "--delta" => {
+                let v = it.next().ok_or("--delta needs a value")?;
+                out.delta = parse_rational(v)?;
+            }
+            "--trials" => {
+                let v = it.next().ok_or("--trials needs a value")?;
+                out.trials = parse_count(v)?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                out.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            value => out.positional.push(parse_rational(value)?),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `"1e6"`, `"300000"`, or `"3e5"`-style counts.
+fn parse_count(text: &str) -> Result<u64, String> {
+    if let Some((mant, exp)) = text.split_once(['e', 'E']) {
+        let mant: f64 = mant.parse().map_err(|_| format!("bad count {text:?}"))?;
+        let exp: i32 = exp.parse().map_err(|_| format!("bad count {text:?}"))?;
+        let v = mant * 10f64.powi(exp);
+        if !(1.0..=1e12).contains(&v) {
+            return Err(format!("count {text:?} out of range"));
+        }
+        return Ok(v as u64);
+    }
+    text.parse().map_err(|_| format!("bad count {text:?}"))
+}
+
+fn parse_rational(text: &str) -> Result<Rational, String> {
+    text.parse::<Rational>()
+        .map_err(|e| format!("bad value {text:?}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_owned());
+    };
+    let parsed = parse(&args[1..])?;
+    let cap = Capacity::new(parsed.delta.clone()).map_err(|e| e.to_string())?;
+    match command.as_str() {
+        "analyze" => analyze(&parsed, &cap),
+        "oblivious" => oblivious_cmd(&parsed, &cap),
+        "eval" => eval(&parsed, &cap),
+        "gradient" => gradient(&parsed, &cap),
+        "simulate" => simulate(&parsed, &cap),
+        "price" => price(&parsed, &cap),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn require_n(parsed: &Parsed) -> Result<usize, String> {
+    parsed.n.ok_or_else(|| "--n is required".to_owned())
+}
+
+fn thresholds_of(parsed: &Parsed) -> Result<SingleThresholdAlgorithm, String> {
+    SingleThresholdAlgorithm::new(parsed.positional.clone()).map_err(|e| e.to_string())
+}
+
+fn analyze(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
+    let n = require_n(parsed)?;
+    let curve = symmetric::analyze(n, cap).map_err(|e| e.to_string())?;
+    println!("P(β) for n = {n}, {cap}:");
+    for (i, piece) in curve.pieces().iter().enumerate() {
+        println!(
+            "  on ({}, {}]: {piece}",
+            curve.breakpoints()[i],
+            curve.breakpoints()[i + 1]
+        );
+    }
+    let best = curve.maximize(&Rational::ratio(1, 1_000_000_000_000));
+    println!(
+        "optimum: β* ≈ {:.10}, P* ≈ {:.10}",
+        best.argmax.to_f64(),
+        best.value.to_f64()
+    );
+    Ok(())
+}
+
+fn oblivious_cmd(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
+    let n = require_n(parsed)?;
+    let opt = oblivious::optimal(n, cap).map_err(|e| e.to_string())?;
+    println!("P(α) for n = {n}, {cap}: {}", opt.polynomial);
+    println!(
+        "optimum (Theorem 4.3): α = {} with P = {} ≈ {:.10}",
+        opt.alpha,
+        opt.value,
+        opt.value.to_f64()
+    );
+    let split = oblivious::best_deterministic_split(n, cap).map_err(|e| e.to_string())?;
+    println!(
+        "best deterministic partition: {}/{} with P = {:.10}",
+        split.bin0_size,
+        n - split.bin0_size,
+        split.value.to_f64()
+    );
+    Ok(())
+}
+
+fn eval(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
+    let algo = thresholds_of(parsed)?;
+    let p = winning_probability_threshold(&algo, cap).map_err(|e| e.to_string())?;
+    println!("P = {} ≈ {:.10}", p, p.to_f64());
+    Ok(())
+}
+
+fn gradient(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
+    let algo = thresholds_of(parsed)?;
+    let grad = conditions::optimality_gradient(&algo, cap).map_err(|e| e.to_string())?;
+    for (k, g) in grad.iter().enumerate() {
+        println!("∂P/∂a_{} = {} ≈ {:+.10}", k + 1, g, g.to_f64());
+    }
+    Ok(())
+}
+
+fn simulate(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
+    let algo = thresholds_of(parsed)?;
+    let exact = winning_probability_threshold(&algo, cap).map_err(|e| e.to_string())?;
+    let report = Simulation::new(parsed.trials, parsed.seed).run(&algo, cap.to_f64());
+    println!("exact     {:.10}", exact.to_f64());
+    println!("simulated {report}");
+    println!(
+        "|z| = {:.2}",
+        (report.estimate - exact.to_f64()).abs() / report.std_error.max(1e-12)
+    );
+    Ok(())
+}
+
+fn price(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
+    let n = require_n(parsed)?;
+    let tol = Rational::ratio(1, 1 << 40);
+    let coin = oblivious::optimal_value(n, cap)
+        .map_err(|e| e.to_string())?
+        .to_f64();
+    let thr = symmetric::analyze(n, cap)
+        .map_err(|e| e.to_string())?
+        .maximize(&tol)
+        .value
+        .to_f64();
+    let split = oblivious::best_deterministic_split(n, cap)
+        .map_err(|e| e.to_string())?
+        .value
+        .to_f64();
+    let omni = full_information_win_rate(n, cap.to_f64(), parsed.trials, parsed.seed);
+    let best = coin.max(thr).max(split);
+    println!("n = {n}, {cap}");
+    println!("  oblivious 1/2:      {coin:.6}");
+    println!("  best threshold:     {thr:.6}");
+    println!("  best partition:     {split:.6}");
+    println!("  omniscient (MC):    {}", omni);
+    println!("  price of silence:   {:.6}", omni.estimate - best);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_options_and_positionals() {
+        let parsed = parse(&strings(&[
+            "--n", "3", "--delta", "4/3", "--trials", "1e5", "--seed", "9", "0.5", "5/8",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.n, Some(3));
+        assert_eq!(parsed.delta, Rational::ratio(4, 3));
+        assert_eq!(parsed.trials, 100_000);
+        assert_eq!(parsed.seed, 9);
+        assert_eq!(
+            parsed.positional,
+            vec![Rational::ratio(1, 2), Rational::ratio(5, 8)]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&strings(&["--frobnicate"])).is_err());
+        assert!(parse(&strings(&["--n"])).is_err());
+        assert!(parse(&strings(&["--delta", "x"])).is_err());
+        assert!(parse(&strings(&["--trials", "1e99"])).is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        run(&strings(&["analyze", "--n", "3"])).unwrap();
+        run(&strings(&["oblivious", "--n", "3"])).unwrap();
+        run(&strings(&["eval", "0.5", "0.625", "0.7"])).unwrap();
+        run(&strings(&["gradient", "0.5", "0.625"])).unwrap();
+        run(&strings(&[
+            "simulate", "--trials", "2e4", "0.622", "0.622", "0.622",
+        ]))
+        .unwrap();
+        run(&strings(&["price", "--n", "3", "--trials", "2e4"])).unwrap();
+    }
+
+    #[test]
+    fn missing_command_or_n_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&strings(&["analyze"])).is_err());
+        assert!(run(&strings(&["dance"])).is_err());
+    }
+
+    #[test]
+    fn count_parser_forms() {
+        assert_eq!(parse_count("1000").unwrap(), 1000);
+        assert_eq!(parse_count("1e6").unwrap(), 1_000_000);
+        assert_eq!(parse_count("2.5e3").unwrap(), 2_500);
+        assert!(parse_count("abc").is_err());
+    }
+}

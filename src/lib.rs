@@ -1,0 +1,36 @@
+//! `nocomm` — a faithful, exact reproduction of Georgiades,
+//! Mavronicolas & Spirakis, *"Optimal, Distributed Decision-Making:
+//! The Case of No Communication"* (FCT 1999).
+//!
+//! This facade crate re-exports the workspace's layers:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`bigint`] | arbitrary-precision integers (built from scratch) |
+//! | [`rational`] | exact rationals, factorials, binomials |
+//! | [`polynomial`] | polynomials, Sturm sequences, root isolation, piecewise polynomials |
+//! | [`geometry`] | simplex/box polytopes and the Proposition 2.2 volume formula |
+//! | [`uniform_sums`] | CDFs/densities of sums of uniforms (Lemmas 2.4/2.5/2.7, Irwin–Hall) |
+//! | [`decision`] | the paper's core: winning probabilities, optimality conditions, optimal algorithms |
+//! | [`simulator`] | multi-threaded Monte-Carlo validation of every closed form |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nocomm::decision::{symmetric, Capacity};
+//! use nocomm::rational::Rational;
+//!
+//! // Exact winning probability curve P(β) for n = 3, δ = 1, and its
+//! // optimum — the Papadimitriou-Yannakakis conjecture value.
+//! let curve = symmetric::analyze(3, &Capacity::unit()).unwrap();
+//! let best = curve.maximize(&Rational::ratio(1, 1_000_000_000));
+//! assert!((best.argmax.to_f64() - (1.0 - (1.0f64 / 7.0).sqrt())).abs() < 1e-8);
+//! ```
+
+pub use bigint;
+pub use decision;
+pub use geometry;
+pub use polynomial;
+pub use rational;
+pub use simulator;
+pub use uniform_sums;

@@ -1,0 +1,88 @@
+//! V3: every closed-form winning probability agrees with the
+//! multi-threaded Monte-Carlo simulator, for oblivious and threshold
+//! algorithms, symmetric and asymmetric, across capacities.
+
+use nocomm::decision::{
+    winning_probability_oblivious, winning_probability_threshold, Capacity, ObliviousAlgorithm,
+    SingleThresholdAlgorithm,
+};
+use nocomm::rational::Rational;
+use nocomm::simulator::{DistributedSimulation, Simulation};
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::ratio(n, d)
+}
+
+const TRIALS: u64 = 300_000;
+
+#[test]
+fn oblivious_symmetric_matches_simulation() {
+    for (n, alpha, delta) in [
+        (2usize, r(1, 2), r(1, 1)),
+        (3, r(1, 3), r(1, 1)),
+        (4, r(1, 2), r(4, 3)),
+        (5, r(2, 3), r(5, 3)),
+    ] {
+        let cap = Capacity::new(delta).unwrap();
+        let algo = ObliviousAlgorithm::symmetric(n, alpha).unwrap();
+        let exact = winning_probability_oblivious(&algo, &cap).unwrap().to_f64();
+        let sim = Simulation::new(TRIALS, 101 + n as u64).run(&algo, cap.to_f64());
+        assert!(sim.agrees_with(exact, 4.5), "n={n}: exact {exact}, {sim}");
+    }
+}
+
+#[test]
+fn oblivious_asymmetric_matches_simulation() {
+    let algo = ObliviousAlgorithm::new(vec![r(1, 5), r(9, 10), r(1, 2), r(2, 3)]).unwrap();
+    let cap = Capacity::unit();
+    let exact = winning_probability_oblivious(&algo, &cap).unwrap().to_f64();
+    let sim = Simulation::new(TRIALS, 77).run(&algo, 1.0);
+    assert!(sim.agrees_with(exact, 4.5), "exact {exact}, {sim}");
+}
+
+#[test]
+fn threshold_symmetric_matches_simulation() {
+    for (n, beta, delta) in [
+        (3usize, r(622, 1000), r(1, 1)),
+        (4, r(678, 1000), r(4, 3)),
+        (5, r(1, 2), r(5, 3)),
+        (6, r(2, 3), r(2, 1)),
+    ] {
+        let cap = Capacity::new(delta).unwrap();
+        let algo = SingleThresholdAlgorithm::symmetric(n, beta).unwrap();
+        let exact = winning_probability_threshold(&algo, &cap).unwrap().to_f64();
+        let sim = Simulation::new(TRIALS, 500 + n as u64).run(&algo, cap.to_f64());
+        assert!(sim.agrees_with(exact, 4.5), "n={n}: exact {exact}, {sim}");
+    }
+}
+
+#[test]
+fn threshold_asymmetric_matches_simulation() {
+    let algo = SingleThresholdAlgorithm::new(vec![r(1, 10), r(99, 100), r(1, 2), r(3, 4), r(1, 3)])
+        .unwrap();
+    let cap = Capacity::new(r(5, 3)).unwrap();
+    let exact = winning_probability_threshold(&algo, &cap).unwrap().to_f64();
+    let sim = Simulation::new(TRIALS, 31).run(&algo, cap.to_f64());
+    assert!(sim.agrees_with(exact, 4.5), "exact {exact}, {sim}");
+}
+
+#[test]
+fn thread_per_agent_architecture_matches_closed_form() {
+    let algo = SingleThresholdAlgorithm::symmetric(3, r(5, 8)).unwrap();
+    let cap = Capacity::unit();
+    let exact = winning_probability_threshold(&algo, &cap).unwrap().to_f64();
+    let sim = DistributedSimulation::new(8_000, 13).run(&algo, 1.0);
+    assert!(sim.agrees_with(exact, 5.0), "exact {exact}, {sim}");
+}
+
+#[test]
+fn extreme_capacities_behave() {
+    let algo = ObliviousAlgorithm::fair(4);
+    // Tiny capacity: winning is rare but possible (all inputs tiny).
+    let tiny = Capacity::new(r(1, 20)).unwrap();
+    let exact = winning_probability_oblivious(&algo, &tiny).unwrap();
+    assert!(exact.is_positive() && exact < r(1, 100));
+    // Huge capacity: certain win, and the simulator agrees exactly.
+    let sim = Simulation::new(50_000, 3).run(&algo, 4.0);
+    assert_eq!(sim.wins, sim.trials);
+}

@@ -1,0 +1,180 @@
+//! Integration tests for the framework extensions: general interval
+//! rules, exact Theorem 5.2 gradients, crash faults, symbolic
+//! distributions — all exercised through the facade API and
+//! cross-checked against each other and the simulator.
+
+use nocomm::decision::rules::{BinZeroSet, GeneralRule};
+use nocomm::decision::{
+    conditions, faults, symmetric, winning_probability_threshold, Capacity, ObliviousAlgorithm,
+    SingleThresholdAlgorithm,
+};
+use nocomm::rational::Rational;
+use nocomm::simulator::Simulation;
+use nocomm::uniform_sums::BoxSum;
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::ratio(n, d)
+}
+
+/// A general rule built from prefixes is *exactly* the threshold
+/// algorithm, end-to-end through both evaluation pipelines and the
+/// simulator.
+#[test]
+fn general_rules_subsume_thresholds() {
+    let thresholds = vec![r(1, 3), r(5, 8), r(1, 2), r(3, 4)];
+    let algo = SingleThresholdAlgorithm::new(thresholds).unwrap();
+    let rule = GeneralRule::from(&algo);
+    let cap = Capacity::new(r(4, 3)).unwrap();
+    let direct = winning_probability_threshold(&algo, &cap).unwrap();
+    assert_eq!(rule.winning_probability(&cap).unwrap(), direct);
+
+    let sim = Simulation::new(300_000, 3).run(&rule, cap.to_f64());
+    assert!(sim.agrees_with(direct.to_f64(), 4.5), "{sim}");
+}
+
+/// Non-threshold rules are evaluated exactly and validated by
+/// simulation.
+#[test]
+fn interval_rules_match_simulation() {
+    let set = BinZeroSet::new(vec![(r(1, 8), r(3, 8)), (r(5, 8), r(7, 8))]).unwrap();
+    let rule = GeneralRule::new(vec![set.clone(), set.clone(), set]).unwrap();
+    let cap = Capacity::unit();
+    let exact = rule.winning_probability(&cap).unwrap();
+    let sim = Simulation::new(300_000, 9).run(&rule, 1.0);
+    assert!(sim.agrees_with(exact.to_f64(), 4.5), "exact {exact}, {sim}");
+}
+
+/// Unequal capacities: swapping the bins must swap the capacities.
+#[test]
+fn unequal_capacities_swap_identity() {
+    let rule = GeneralRule::new(vec![
+        BinZeroSet::prefix(r(1, 3)).unwrap(),
+        BinZeroSet::prefix(r(2, 3)).unwrap(),
+        BinZeroSet::new(vec![(r(1, 4), r(3, 4))]).unwrap(),
+    ])
+    .unwrap();
+    let d0 = Capacity::new(r(1, 2)).unwrap();
+    let d1 = Capacity::new(r(3, 2)).unwrap();
+    let forward = rule.winning_probability_with(&d0, &d1).unwrap();
+    let swapped = rule.swapped().winning_probability_with(&d1, &d0).unwrap();
+    assert_eq!(forward, swapped);
+}
+
+/// Theorem 5.2 gradients: exact, and consistent with the symmetric
+/// pipeline's derivative along the diagonal.
+#[test]
+fn exact_gradients_vanish_only_near_the_optimum() {
+    let cap = Capacity::unit();
+    // Well below the optimum: all partials push up.
+    let low = SingleThresholdAlgorithm::symmetric(3, r(2, 5)).unwrap();
+    let grad_low = conditions::optimality_gradient(&low, &cap).unwrap();
+    assert!(grad_low.iter().all(Rational::is_positive));
+    // Well above: all partials push down.
+    let high = SingleThresholdAlgorithm::symmetric(3, r(9, 10)).unwrap();
+    let grad_high = conditions::optimality_gradient(&high, &cap).unwrap();
+    assert!(grad_high.iter().all(Rational::is_negative));
+    // Tight rational approximation of β*: residuals tiny.
+    let near = SingleThresholdAlgorithm::symmetric(3, r(622_035_527, 1_000_000_000)).unwrap();
+    let grad_near = conditions::optimality_gradient(&near, &cap).unwrap();
+    for g in &grad_near {
+        assert!(g.abs() < r(1, 10_000_000), "residual {g}");
+    }
+}
+
+/// Exact coordinate ascent using the Theorem 5.2 machinery converges
+/// to the paper's optimum from an asymmetric start.
+#[test]
+fn exact_coordinate_ascent_reaches_symmetric_optimum() {
+    let cap = Capacity::unit();
+    let tol = r(1, 1 << 24);
+    // Start inside the symmetric basin (a far-asymmetric start would
+    // legitimately climb to a partition-corner local optimum instead).
+    let mut thresholds = vec![r(2, 5), r(1, 2), r(3, 5)];
+    for _sweep in 0..8 {
+        for k in 0..3 {
+            let algo = SingleThresholdAlgorithm::new(thresholds.clone()).unwrap();
+            let (argmax, _) = conditions::coordinate_optimal(&algo, k, &cap, &tol).unwrap();
+            // Round to a modest denominator to keep the exact
+            // arithmetic compact across sweeps.
+            let rounded = Rational::new(
+                (argmax * r(1 << 24, 1)).floor_int(),
+                bigint::BigInt::from(1u64 << 24),
+            );
+            thresholds[k] = rounded.min(Rational::one()).max(Rational::zero());
+        }
+    }
+    let final_algo = SingleThresholdAlgorithm::new(thresholds.clone()).unwrap();
+    let value = winning_probability_threshold(&final_algo, &cap).unwrap();
+    assert!((value.to_f64() - 0.544_631).abs() < 1e-4, "value {value}");
+    for t in &thresholds {
+        assert!((t.to_f64() - 0.622_036).abs() < 5e-3, "threshold {t}");
+    }
+}
+
+/// Crash faults: the exact mixture interpolates between the fault-free
+/// value and certainty, and matches simulation at an interior point.
+#[test]
+fn crash_mixture_interpolates_and_matches_simulation() {
+    let algo = SingleThresholdAlgorithm::symmetric(4, r(5, 8)).unwrap();
+    let cap = Capacity::unit();
+    let base = winning_probability_threshold(&algo, &cap).unwrap();
+    assert_eq!(
+        faults::threshold_with_crashes(&algo, &cap, &Rational::zero()).unwrap(),
+        base
+    );
+    assert_eq!(
+        faults::threshold_with_crashes(&algo, &cap, &Rational::one()).unwrap(),
+        Rational::one()
+    );
+    let exact = faults::threshold_with_crashes(&algo, &cap, &r(3, 10))
+        .unwrap()
+        .to_f64();
+    let sim = Simulation::new(300_000, 17).run_with_crashes(&algo, 1.0, 0.3);
+    assert!(sim.agrees_with(exact, 4.5), "exact {exact}, {sim}");
+
+    let coin = ObliviousAlgorithm::fair(4);
+    let exact_coin = faults::oblivious_with_crashes(&coin, &cap, &r(3, 10))
+        .unwrap()
+        .to_f64();
+    let sim_coin = Simulation::new(300_000, 18).run_with_crashes(&coin, 1.0, 0.3);
+    assert!(sim_coin.agrees_with(exact_coin, 4.5));
+}
+
+/// The symbolic CDF/PDF layer: moments of the bin-0 conditional load
+/// agree with the winning-probability pipeline's building blocks.
+#[test]
+fn symbolic_distributions_power_the_decision_layer() {
+    // Bin-0 load for 3 players below threshold 5/8.
+    let widths = vec![r(5, 8); 3];
+    let load = BoxSum::new(widths).unwrap();
+    // Exact density integrates to one; mean is 3·(5/8)/2.
+    assert_eq!(load.pdf_piecewise().integral_over_domain(), Rational::one());
+    assert_eq!(load.mean(), r(15, 16));
+    // The CDF at δ = 1 matches the conditional factor in Theorem 5.1.
+    let cdf_at_delta = load.cdf(&Rational::one());
+    let piecewise = load.cdf_piecewise().eval(&Rational::one()).unwrap();
+    assert_eq!(cdf_at_delta, piecewise);
+}
+
+/// End-to-end: optimal symmetric threshold from the symbolic pipeline,
+/// re-checked by the exact gradient machinery (its total derivative
+/// changes sign across β*).
+#[test]
+fn symbolic_and_gradient_pipelines_agree_on_the_optimum() {
+    let cap = Capacity::new(r(4, 3)).unwrap();
+    let best = symmetric::analyze(4, &cap)
+        .unwrap()
+        .maximize(&r(1, 1 << 40));
+    let below = SingleThresholdAlgorithm::symmetric(4, &best.argmax - &r(1, 100)).unwrap();
+    let above = SingleThresholdAlgorithm::symmetric(4, &best.argmax + &r(1, 100)).unwrap();
+    let g_below: Rational = conditions::optimality_gradient(&below, &cap)
+        .unwrap()
+        .iter()
+        .sum();
+    let g_above: Rational = conditions::optimality_gradient(&above, &cap)
+        .unwrap()
+        .iter()
+        .sum();
+    assert!(g_below.is_positive(), "gradient below optimum: {g_below}");
+    assert!(g_above.is_negative(), "gradient above optimum: {g_above}");
+}

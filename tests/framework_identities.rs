@@ -1,0 +1,139 @@
+//! Cross-crate identities tying the framework together: probabilities
+//! are volume ratios (Section 2), decision corners coincide across
+//! algorithm families, and the symbolic pipelines agree with direct
+//! enumeration.
+
+use nocomm::decision::{
+    oblivious, symmetric, winning_probability_oblivious, winning_probability_threshold, Capacity,
+    ObliviousAlgorithm, SingleThresholdAlgorithm,
+};
+use nocomm::geometry::SimplexBoxIntersection;
+use nocomm::rational::Rational;
+use nocomm::uniform_sums::{irwin_hall_cdf, BoxSum};
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::ratio(n, d)
+}
+
+/// Lemma 2.4 is Proposition 2.2 normalized: CDF = Vol(ΣΠ)/Vol(Π).
+#[test]
+fn cdf_is_a_volume_ratio() {
+    let pi = vec![r(1, 2), r(2, 3), r(1, 1), r(3, 4)];
+    let sum = BoxSum::new(pi.clone()).unwrap();
+    for k in 1..=11 {
+        let t = r(k, 4);
+        let polytope = SimplexBoxIntersection::new(vec![t.clone(); pi.len()], pi.clone()).unwrap();
+        let ratio = polytope.volume() / polytope.bounding_box().volume();
+        assert_eq!(sum.cdf(&t), ratio, "t = {t}");
+    }
+}
+
+/// Corollary 2.6 specializes Lemma 2.4 to the unit cube, and the
+/// winning probability of the all-in-one-bin algorithm is exactly that
+/// Irwin–Hall value.
+#[test]
+fn all_in_one_bin_is_irwin_hall() {
+    for n in 2..=6usize {
+        for (num, den) in [(1i64, 1i64), (4, 3), (5, 2)] {
+            let cap = Capacity::new(r(num, den)).unwrap();
+            let all_zero = ObliviousAlgorithm::symmetric(n, Rational::one()).unwrap();
+            let p = winning_probability_oblivious(&all_zero, &cap).unwrap();
+            assert_eq!(p, irwin_hall_cdf(n as u32, cap.value()), "n={n}");
+        }
+    }
+}
+
+/// Deterministic corners coincide across families: an oblivious
+/// algorithm with α_i ∈ {0,1} and a threshold algorithm with
+/// a_i ∈ {0,1} make identical decisions, so their winning
+/// probabilities must match for every corner of the cube.
+#[test]
+fn deterministic_corners_agree_across_families() {
+    let n = 4;
+    let cap = Capacity::new(r(4, 3)).unwrap();
+    for mask in 0u32..(1 << n) {
+        let params: Vec<Rational> = (0..n)
+            .map(|i| {
+                if mask >> i & 1 == 1 {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                }
+            })
+            .collect();
+        let ob = ObliviousAlgorithm::new(params.clone()).unwrap();
+        let th = SingleThresholdAlgorithm::new(params).unwrap();
+        assert_eq!(
+            winning_probability_oblivious(&ob, &cap).unwrap(),
+            winning_probability_threshold(&th, &cap).unwrap(),
+            "corner {mask:b}"
+        );
+    }
+}
+
+/// The best deterministic split equals the max over corners of either
+/// family's winning probability.
+#[test]
+fn best_split_is_the_best_corner() {
+    let n = 5;
+    let cap = Capacity::proportional(n, 3);
+    let split = oblivious::best_deterministic_split(n, &cap).unwrap();
+    let best_corner = (0u32..(1 << n))
+        .map(|mask| {
+            let params: Vec<Rational> = (0..n)
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        Rational::one()
+                    } else {
+                        Rational::zero()
+                    }
+                })
+                .collect();
+            let ob = ObliviousAlgorithm::new(params).unwrap();
+            winning_probability_oblivious(&ob, &cap).unwrap()
+        })
+        .max()
+        .unwrap();
+    assert_eq!(split.value, best_corner);
+}
+
+/// The symmetric symbolic pipelines evaluate identically to direct
+/// enumeration at every rational sample point (exact equality).
+#[test]
+fn symbolic_pipelines_equal_enumeration_exactly() {
+    for n in 2..=5usize {
+        let cap = Capacity::proportional(n, 3);
+        let curve = symmetric::analyze(n, &cap).unwrap();
+        let poly = oblivious::polynomial_in_alpha(n, &cap).unwrap();
+        for k in 0..=16 {
+            let x = r(k, 16);
+            let th = SingleThresholdAlgorithm::symmetric(n, x.clone()).unwrap();
+            assert_eq!(
+                curve.eval(&x).unwrap(),
+                winning_probability_threshold(&th, &cap).unwrap(),
+                "threshold n={n}, x={x}"
+            );
+            let ob = ObliviousAlgorithm::symmetric(n, x.clone()).unwrap();
+            assert_eq!(
+                poly.eval(&x),
+                winning_probability_oblivious(&ob, &cap).unwrap(),
+                "oblivious n={n}, x={x}"
+            );
+        }
+    }
+}
+
+/// Threshold β = 1 and β = 0 collapse to the all-in-one-bin corner,
+/// and the winning probability is symmetric under β ↔ relabelling of
+/// bins only at the ends (the interior is *not* symmetric: thresholds
+/// sort small inputs into bin 0).
+#[test]
+fn threshold_endpoint_collapse() {
+    for n in 2..=5usize {
+        let cap = Capacity::unit();
+        let curve = symmetric::analyze(n, &cap).unwrap();
+        let f_n = irwin_hall_cdf(n as u32, cap.value());
+        assert_eq!(curve.eval(&Rational::zero()).unwrap(), f_n);
+        assert_eq!(curve.eval(&Rational::one()).unwrap(), f_n);
+    }
+}

@@ -1,0 +1,116 @@
+//! Scaling and consistency sweeps: the exact machinery at larger `n`,
+//! agreement between every evaluation path, and structural properties
+//! of the optimal-threshold sequence.
+
+use nocomm::decision::{
+    oblivious, symmetric, winning_probability_threshold, winning_probability_threshold_f64,
+    Capacity, SingleThresholdAlgorithm,
+};
+use nocomm::rational::Rational;
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::ratio(n, d)
+}
+
+/// The symbolic pipeline stays exact and consistent up to n = 10.
+#[test]
+fn symbolic_analysis_scales_to_n10() {
+    for n in [8usize, 10] {
+        let cap = Capacity::proportional(n, 3);
+        let curve = symmetric::analyze(n, &cap).unwrap();
+        assert!(curve.is_continuous(), "n = {n}");
+        // Degree of each piece is exactly n.
+        for piece in curve.pieces() {
+            assert!(piece.degree() <= Some(n));
+        }
+        // Spot-check against direct enumeration at two rational points.
+        for beta in [r(1, 2), r(2, 3)] {
+            let algo = SingleThresholdAlgorithm::symmetric(n, beta.clone()).unwrap();
+            assert_eq!(
+                curve.eval(&beta).unwrap(),
+                winning_probability_threshold(&algo, &cap).unwrap(),
+                "n = {n}, β = {beta}"
+            );
+        }
+    }
+}
+
+/// The f64 enumeration stays within floating tolerance of the exact
+/// values up to n = 14 (2^14 decision vectors).
+#[test]
+fn f64_enumeration_tracks_exact_at_n14() {
+    let n = 14;
+    let cap = Capacity::proportional(n, 3);
+    let beta = r(3, 5);
+    let algo = SingleThresholdAlgorithm::symmetric(n, beta.clone()).unwrap();
+    let exact = winning_probability_threshold(&algo, &cap).unwrap().to_f64();
+    let fast = winning_probability_threshold_f64(&vec![0.6; n], cap.to_f64()).unwrap();
+    assert!((exact - fast).abs() < 1e-8, "{exact} vs {fast}");
+}
+
+/// The oblivious optimum value is monotone in the capacity and
+/// converges toward 1 as δ grows.
+#[test]
+fn oblivious_value_monotone_in_capacity() {
+    let n = 6;
+    let mut last = Rational::zero();
+    for num in 1..=12i64 {
+        let cap = Capacity::new(r(num, 2)).unwrap();
+        let v = oblivious::optimal_value(n, &cap).unwrap();
+        assert!(v >= last, "δ = {num}/2");
+        last = v;
+    }
+    assert_eq!(last, Rational::one()); // δ = 6 = n always wins
+}
+
+/// The optimal threshold stays in the interior and its winning
+/// probability under δ = n/3 scaling never leaves (0, 1).
+#[test]
+fn optimal_threshold_sequence_is_interior() {
+    let tol = r(1, 1 << 30);
+    for n in 2..=9usize {
+        let cap = Capacity::proportional(n, 3);
+        let best = symmetric::analyze(n, &cap).unwrap().maximize(&tol);
+        assert!(
+            best.argmax > Rational::zero() && best.argmax < Rational::one(),
+            "n = {n}: β* = {}",
+            best.argmax
+        );
+        assert!(best.value.is_positive() && best.value < Rational::one());
+        // For n >= 3 the optimum sends more than half of the small
+        // inputs to bin 0 (n = 2, δ = 2/3 is the lone exception with
+        // β* = 4/9).
+        if n >= 3 {
+            assert!(best.argmax > r(1, 2), "n = {n}");
+        }
+    }
+}
+
+/// Denominator growth sanity: winning probabilities for modest
+/// rational thresholds stay exactly representable and round-trippable
+/// through their string form.
+#[test]
+fn exact_values_roundtrip_through_strings() {
+    let cap = Capacity::unit();
+    for n in 2..=6usize {
+        let algo = SingleThresholdAlgorithm::symmetric(n, r(5, 8)).unwrap();
+        let p = winning_probability_threshold(&algo, &cap).unwrap();
+        let reparsed: Rational = p.to_string().parse().unwrap();
+        assert_eq!(p, reparsed, "n = {n}");
+    }
+}
+
+/// `limit_denominator` compresses refined optima without losing the
+/// achieved winning probability beyond the guaranteed bound.
+#[test]
+fn compressed_optima_stay_near_optimal() {
+    let cap = Capacity::unit();
+    let curve = symmetric::analyze(3, &cap).unwrap();
+    let best = curve.maximize(&r(1, 1 << 48));
+    let compact = best.argmax.limit_denominator(10_000);
+    assert!(compact.denom() <= &bigint::BigInt::from(10_000));
+    let p_compact = curve.eval(&compact).unwrap();
+    // Quadratic behaviour near the optimum: a 1e-4 perturbation of β
+    // costs ~1e-8 in probability.
+    assert!((&best.value - &p_compact).abs() < r(1, 1_000_000));
+}
