@@ -28,16 +28,16 @@ fn bench_bigint(c: &mut Criterion) {
         let a = big(bits);
         let b = big(bits / 2 + 17);
         group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bench, _| {
-            bench.iter(|| &a * &b)
+            bench.iter(|| &a * &b);
         });
         group.bench_with_input(BenchmarkId::new("div_rem", bits), &bits, |bench, _| {
-            bench.iter(|| a.div_rem(&b))
+            bench.iter(|| a.div_rem(&b));
         });
         group.bench_with_input(BenchmarkId::new("gcd", bits), &bits, |bench, _| {
-            bench.iter(|| a.gcd(&b))
+            bench.iter(|| a.gcd(&b));
         });
         group.bench_with_input(BenchmarkId::new("to_string", bits), &bits, |bench, _| {
-            bench.iter(|| a.to_string())
+            bench.iter(|| a.to_string());
         });
     }
     group.finish();
@@ -50,10 +50,10 @@ fn bench_combinatorics(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for n in [20u32, 100, 400] {
         group.bench_with_input(BenchmarkId::new("factorial", n), &n, |b, &n| {
-            b.iter(|| factorial(n))
+            b.iter(|| factorial(n));
         });
         group.bench_with_input(BenchmarkId::new("binomial_half", n), &n, |b, &n| {
-            b.iter(|| binomial(n, n / 2))
+            b.iter(|| binomial(n, n / 2));
         });
     }
     // Rational reduction pressure: summing many unlike fractions.
@@ -62,7 +62,7 @@ fn bench_combinatorics(c: &mut Criterion) {
             (1i64..=200)
                 .map(|k| Rational::ratio(1, k))
                 .sum::<Rational>()
-        })
+        });
     });
     group.finish();
 }

@@ -16,12 +16,12 @@ fn bench_symbolic(c: &mut Criterion) {
     for n in [3usize, 5, 7] {
         let cap = Capacity::proportional(n, 3);
         group.bench_with_input(BenchmarkId::new("symbolic_analyze", n), &n, |b, &n| {
-            b.iter(|| symmetric::analyze(n, &cap))
+            b.iter(|| symmetric::analyze(n, &cap));
         });
         let curve = symmetric::analyze(n, &cap).expect("n >= 2");
         let tol = Rational::ratio(1, 1 << 30);
         group.bench_with_input(BenchmarkId::new("symbolic_maximize", n), &n, |b, _| {
-            b.iter(|| curve.maximize(&tol))
+            b.iter(|| curve.maximize(&tol));
         });
     }
     let quick = SearchOptions {
@@ -32,7 +32,7 @@ fn bench_symbolic(c: &mut Criterion) {
     };
     for n in [3usize, 5] {
         group.bench_with_input(BenchmarkId::new("numeric_multistart", n), &n, |b, &n| {
-            b.iter(|| maximize_threshold(n, n as f64 / 3.0, &quick))
+            b.iter(|| maximize_threshold(n, n as f64 / 3.0, &quick));
         });
     }
     group.finish();
@@ -49,12 +49,12 @@ fn bench_roots(c: &mut Criterion) {
             .collect();
         let p = Polynomial::from_roots(&roots);
         group.bench_with_input(BenchmarkId::new("isolate", degree), &p, |b, p| {
-            b.iter(|| p.isolate_roots(&Rational::zero(), &Rational::one()))
+            b.iter(|| p.isolate_roots(&Rational::zero(), &Rational::one()));
         });
         let ivs = p.isolate_roots(&Rational::zero(), &Rational::one());
         let tol = Rational::ratio(1, 1 << 30);
         group.bench_with_input(BenchmarkId::new("refine_first_root", degree), &p, |b, p| {
-            b.iter(|| p.refine_root(&ivs[0], &tol))
+            b.iter(|| p.refine_root(&ivs[0], &tol));
         });
     }
     group.finish();
@@ -75,10 +75,10 @@ fn bench_conditions(c: &mut Criterion) {
         .expect("valid thresholds");
         let cap = Capacity::proportional(n, 3);
         group.bench_with_input(BenchmarkId::new("partial_piecewise", n), &n, |b, _| {
-            b.iter(|| conditions::partial_piecewise(&algo, 0, &cap))
+            b.iter(|| conditions::partial_piecewise(&algo, 0, &cap));
         });
         group.bench_with_input(BenchmarkId::new("exact_gradient", n), &n, |b, _| {
-            b.iter(|| conditions::optimality_gradient(&algo, &cap))
+            b.iter(|| conditions::optimality_gradient(&algo, &cap));
         });
     }
     group.finish();
@@ -99,7 +99,7 @@ fn bench_general_rules(c: &mut Criterion) {
         let rule = GeneralRule::new(vec![set; n]).expect("n >= 2");
         let cap = Capacity::proportional(n, 3);
         group.bench_with_input(BenchmarkId::new("two_interval_exact", n), &n, |b, _| {
-            b.iter(|| rule.winning_probability(&cap))
+            b.iter(|| rule.winning_probability(&cap));
         });
     }
     group.finish();

@@ -24,23 +24,23 @@ fn bench_sums(c: &mut Criterion) {
         let t = s.support_max() * Rational::ratio(2, 5);
         let tf = t.to_f64();
         group.bench_with_input(BenchmarkId::new("cdf_exact", m), &s, |b, s| {
-            b.iter(|| s.cdf(&t))
+            b.iter(|| s.cdf(&t));
         });
         group.bench_with_input(BenchmarkId::new("cdf_f64", m), &s, |b, s| {
-            b.iter(|| s.cdf_f64(tf))
+            b.iter(|| s.cdf_f64(tf));
         });
         group.bench_with_input(BenchmarkId::new("pdf_exact", m), &s, |b, s| {
-            b.iter(|| s.pdf(&t))
+            b.iter(|| s.pdf(&t));
         });
     }
     for m in [8u32, 16, 24] {
         let t = Rational::ratio(i64::from(m) * 2, 5);
         let tf = t.to_f64();
         group.bench_with_input(BenchmarkId::new("irwin_hall_exact", m), &m, |b, &m| {
-            b.iter(|| irwin_hall_cdf(m, &t))
+            b.iter(|| irwin_hall_cdf(m, &t));
         });
         group.bench_with_input(BenchmarkId::new("irwin_hall_f64", m), &m, |b, &m| {
-            b.iter(|| irwin_hall_cdf_f64(m, tf))
+            b.iter(|| irwin_hall_cdf_f64(m, tf));
         });
     }
     group.finish();

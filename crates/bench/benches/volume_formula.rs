@@ -24,16 +24,16 @@ fn bench_volume(c: &mut Criterion) {
     for m in [4usize, 8, 12] {
         let p = polytope(m);
         group.bench_with_input(BenchmarkId::new("exact_pruned", m), &p, |b, p| {
-            b.iter(|| p.volume())
+            b.iter(|| p.volume());
         });
         group.bench_with_input(BenchmarkId::new("exact_bitmask", m), &p, |b, p| {
-            b.iter(|| p.volume_unpruned())
+            b.iter(|| p.volume_unpruned());
         });
         group.bench_with_input(BenchmarkId::new("f64", m), &p, |b, p| {
-            b.iter(|| p.volume_f64())
+            b.iter(|| p.volume_f64());
         });
         group.bench_with_input(BenchmarkId::new("monte_carlo_10k", m), &p, |b, p| {
-            b.iter(|| MonteCarloVolume::new(7).estimate(p, 10_000))
+            b.iter(|| MonteCarloVolume::new(7).estimate(p, 10_000));
         });
     }
     group.finish();

@@ -235,7 +235,8 @@ pub fn validation_table(trials: u64, seed: u64) -> Vec<ValidationRow> {
             label: format!("oblivious 1/2, n={n}, {cap}"),
             exact,
             simulated: report.estimate,
-            z_score: (report.estimate - exact).abs() / report.std_error.max(1e-12),
+            z_score: (report.estimate - exact).abs()
+                / report.std_error.max(contracts::tolerances::MIN_STD_ERROR),
         });
 
         let beta = Rational::ratio(5, 8);
@@ -248,7 +249,8 @@ pub fn validation_table(trials: u64, seed: u64) -> Vec<ValidationRow> {
             label: format!("threshold 5/8, n={n}, {cap}"),
             exact,
             simulated: report.estimate,
-            z_score: (report.estimate - exact).abs() / report.std_error.max(1e-12),
+            z_score: (report.estimate - exact).abs()
+                / report.std_error.max(contracts::tolerances::MIN_STD_ERROR),
         });
     }
     rows

@@ -15,6 +15,8 @@
 //! * **T4** — knowledge-vs-uniformity trade-off table.
 //! * **V1–V3** — formula-vs-Monte-Carlo validation experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod output;
 pub mod series;

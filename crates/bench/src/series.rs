@@ -1,9 +1,7 @@
 //! Data-series containers for figure regeneration.
 
-use serde::Serialize;
-
 /// One sample of a curve.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Point {
     /// Abscissa (e.g. the threshold `β`).
     pub x: f64,
@@ -12,7 +10,7 @@ pub struct Point {
 }
 
 /// A labelled curve, one per figure line.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     /// Legend label, e.g. `"n = 3"`.
     pub label: String,

@@ -121,11 +121,11 @@ impl BigInt {
     /// Panics if `radix` is outside `2..=36`.
     #[must_use]
     pub fn to_str_radix(&self, radix: u32) -> String {
+        const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
         assert!((2..=36).contains(&radix), "radix must be in 2..=36");
         if self.is_zero() {
             return "0".to_owned();
         }
-        const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
         let mut mag = self.mag.clone();
         let mut out = Vec::new();
         while !mag.is_empty() {
@@ -137,7 +137,7 @@ impl BigInt {
             out.push(b'-');
         }
         out.reverse();
-        String::from_utf8(out).expect("ascii digits")
+        String::from_utf8(out).expect("ascii digits") // xtask:allow(no-panic): buffer holds only ASCII digits and '-'
     }
 
     /// Number of trailing zero bits in the magnitude; `None` for zero.

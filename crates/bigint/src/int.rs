@@ -65,7 +65,10 @@ impl BigInt {
     pub fn from_limbs(sign: Sign, mut mag: Vec<u32>) -> BigInt {
         limbs::normalize(&mut mag);
         let sign = if mag.is_empty() { Sign::Zero } else { sign };
-        debug_assert!(sign != Sign::Zero || mag.is_empty());
+        contracts::ensures_normalized!(
+            mag.last() != Some(&0) && (sign != Sign::Zero || mag.is_empty()),
+            "limb vector must be canonical: no trailing zero limb, zero has the Zero sign"
+        );
         BigInt { sign, mag }
     }
 
@@ -294,7 +297,7 @@ mod tests {
     #[test]
     fn to_f64_zero_and_sign() {
         assert_eq!(BigInt::new().to_f64(), 0.0);
-        assert_eq!(BigInt::from(-123456789).to_f64(), -123456789.0);
+        assert_eq!(BigInt::from(-123_456_789).to_f64(), -123_456_789.0);
     }
 
     #[test]

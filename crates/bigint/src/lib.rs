@@ -25,14 +25,14 @@
 //! assert!(r.is_zero());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bits;
 mod convert;
 mod gcd;
 mod limbs;
 mod ops;
 pub(crate) mod parse;
-#[cfg(feature = "serde")]
-mod serde_impls;
 mod sign;
 
 mod int;

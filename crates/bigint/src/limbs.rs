@@ -227,7 +227,7 @@ pub(crate) fn div_rem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
     }
 
     // D1: normalize so the divisor's top limb has its high bit set.
-    let shift = b.last().unwrap().leading_zeros();
+    let shift = b.last().unwrap().leading_zeros(); // xtask:allow(no-panic): divisor has >= 2 limbs on this branch
     let u = {
         let mut u = shl_bits(a, shift);
         // Guarantee an extra high limb for the first iteration.
@@ -238,7 +238,7 @@ pub(crate) fn div_rem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
     };
     let v = shl_bits(b, shift);
     let n = v.len();
-    let m = u.len() - n - if u.last() == Some(&0) { 1 } else { 0 };
+    let m = u.len() - n - usize::from(u.last() == Some(&0));
     let mut u = u;
     if u.len() < n + m + 1 {
         u.resize(n + m + 1, 0);
@@ -257,7 +257,7 @@ pub(crate) fn div_rem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
             q_hat = u64::from(u32::MAX);
             r_hat = top - q_hat * v_hi;
         }
-        while r_hat <= u64::from(u32::MAX)
+        while u32::try_from(r_hat).is_ok()
             && q_hat * v_next > ((r_hat << BITS) | u64::from(u[j + n - 2]))
         {
             q_hat -= 1;

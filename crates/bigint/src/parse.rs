@@ -4,6 +4,7 @@ use crate::int::BigInt;
 use crate::limbs;
 use crate::sign::Sign;
 use std::fmt;
+use std::fmt::Write;
 use std::str::FromStr;
 
 /// Error returned when parsing a [`BigInt`] from a string fails.
@@ -124,9 +125,11 @@ impl fmt::Display for BigInt {
             chunks.push(r);
             mag = q;
         }
-        let mut digits = chunks.last().map_or_else(String::new, |c| c.to_string());
+        let mut digits = chunks
+            .last()
+            .map_or_else(String::new, std::string::ToString::to_string);
         for c in chunks.iter().rev().skip(1) {
-            digits.push_str(&format!("{c:09}"));
+            let _ = write!(digits, "{c:09}"); // writing to a String never fails
         }
         f.pad_integral(self.sign != Sign::Minus, "", &digits)
     }

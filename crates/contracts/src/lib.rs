@@ -1,0 +1,162 @@
+//! Runtime contracts for the paper's correctness claims.
+//!
+//! The reproduction's value is *exactness* — the optimal threshold
+//! `β* = 1 − √(1/7)` is claimed bit-for-bit — so the quantities that
+//! proof rests on are guarded at runtime: probabilities stay in
+//! `[0, 1]`, rationals stay normalized, big-integer limb vectors stay
+//! canonical, and simulator batches stay deterministic.
+//!
+//! Every macro compiles to [`debug_assert!`] by default (zero release
+//! overhead) and to a hard [`assert!`] when the `checked-invariants`
+//! feature is enabled anywhere in the dependency graph:
+//!
+//! ```text
+//! cargo test --features checked-invariants
+//! ```
+//!
+//! Each consumer crate forwards a feature of the same name to this
+//! crate, so the switch works from any package in the workspace.
+
+#![forbid(unsafe_code)]
+
+/// Named numeric tolerances shared across the workspace, so call
+/// sites never carry bare magic epsilons (enforced by the
+/// `float-tolerance` lint in `cargo xtask lint`).
+pub mod tolerances {
+    /// Slack allowed when an `f64` computation must land in `[0, 1]`:
+    /// inclusion–exclusion sums over ≤ 2²² terms keep well under nine
+    /// digits of cancellation error.
+    pub const PROB_EPS: f64 = 1e-9;
+
+    /// Floor for standard errors used as divisors, preventing
+    /// division by an exactly-zero sample deviation.
+    pub const MIN_STD_ERROR: f64 = 1e-12;
+}
+
+/// `true` when contracts are hard-enabled (the `checked-invariants`
+/// feature is active); exposed so callers can gate *expensive*
+/// diagnostics on the same switch.
+#[must_use]
+pub const fn checked() -> bool {
+    cfg!(feature = "checked-invariants")
+}
+
+/// Asserts a general invariant.
+///
+/// Debug-only by default; unconditional under `checked-invariants`.
+///
+/// ```
+/// let limbs = [1u32, 2, 3];
+/// contracts::invariant!(limbs.last() != Some(&0), "canonical limbs");
+/// ```
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr $(, $($arg:tt)+)?) => {
+        if $crate::checked() {
+            assert!($cond $(, $($arg)+)?);
+        } else {
+            debug_assert!($cond $(, $($arg)+)?);
+        }
+    };
+}
+
+/// Asserts that a floating-point value is a probability: finite and
+/// inside `[0, 1]`, widened by `eps` on both sides when given.
+///
+/// ```
+/// contracts::ensures_prob!(0.5446);
+/// contracts::ensures_prob!(1.0 + 1e-12, eps = 1e-9);
+/// ```
+#[macro_export]
+macro_rules! ensures_prob {
+    ($value:expr) => {
+        $crate::ensures_prob!($value, eps = 0.0)
+    };
+    ($value:expr, eps = $eps:expr) => {{
+        let value: f64 = $value;
+        let eps: f64 = $eps;
+        $crate::invariant!(
+            value.is_finite() && value >= -eps && value <= 1.0 + eps,
+            "probability out of range: {} = {value} (eps {eps})",
+            stringify!($value),
+        );
+    }};
+}
+
+/// Asserts that an exact value is a probability: `0 ≤ value ≤ 1`,
+/// for ordered types with `zero`/`one` expressions supplied by the
+/// caller (e.g. `Rational::zero()`, `Rational::one()`).
+///
+/// ```
+/// contracts::ensures_prob_exact!(1i32, 0i32, 2i32);
+/// ```
+#[macro_export]
+macro_rules! ensures_prob_exact {
+    ($value:expr, $zero:expr, $one:expr) => {{
+        let value = &$value;
+        $crate::invariant!(
+            *value >= $zero && *value <= $one,
+            "exact probability out of [0, 1]: {} = {value:?}",
+            stringify!($value),
+        );
+    }};
+}
+
+/// Asserts that a value is in normalized (canonical) form, as judged
+/// by the caller-supplied predicate expression.
+///
+/// The separate name (vs. [`invariant!`]) lets `cargo xtask lint`
+/// and human readers distinguish *canonical-form* postconditions from
+/// generic assertions.
+///
+/// ```
+/// let (numer, denom) = (3i64, 4i64);
+/// contracts::ensures_normalized!(denom > 0, "denominator must be positive");
+/// # let _ = numer;
+/// ```
+#[macro_export]
+macro_rules! ensures_normalized {
+    ($cond:expr $(, $($arg:tt)+)?) => {
+        $crate::invariant!($cond $(, $($arg)+)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_contracts_are_silent() {
+        invariant!(1 + 1 == 2);
+        ensures_prob!(0.0);
+        ensures_prob!(1.0);
+        ensures_prob!(0.5446, eps = 1e-9);
+        ensures_prob!(-1e-12, eps = 1e-9);
+        ensures_prob_exact!(1i32, 0i32, 2i32);
+        ensures_normalized!(true, "always canonical");
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "checked-invariants"))]
+    fn failing_invariant_panics_when_checked() {
+        let result = std::panic::catch_unwind(|| invariant!(false, "must fire"));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "checked-invariants"))]
+    fn out_of_range_probability_panics_when_checked() {
+        assert!(std::panic::catch_unwind(|| ensures_prob!(1.5)).is_err());
+        assert!(std::panic::catch_unwind(|| ensures_prob!(f64::NAN)).is_err());
+        assert!(std::panic::catch_unwind(|| ensures_prob!(-0.1, eps = 1e-9)).is_err());
+    }
+
+    #[test]
+    fn eps_widens_both_ends() {
+        ensures_prob!(1.0 + 5e-10, eps = 1e-9);
+        ensures_prob!(-5e-10, eps = 1e-9);
+    }
+
+    #[test]
+    fn checked_flag_matches_feature() {
+        assert_eq!(crate::checked(), cfg!(feature = "checked-invariants"));
+    }
+}

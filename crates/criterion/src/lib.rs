@@ -1,0 +1,345 @@
+//! A local, dependency-free micro-benchmark harness.
+//!
+//! This workspace must build and test in air-gapped environments, so
+//! it cannot depend on the upstream `criterion` crate. This crate
+//! re-implements the API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: after a warm-up phase, each sample calls the
+//! routine in a tight loop sized to fill its share of the measurement
+//! time, and the **median** per-iteration time across samples is
+//! reported (the median is robust to scheduler noise). No plots, no
+//! statistics files — one line per benchmark on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    defaults: Settings,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            defaults: Settings {
+                sample_size: 20,
+                measurement_time: Duration::from_secs(2),
+                warm_up_time: Duration::from_millis(500),
+                throughput: None,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.defaults,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.defaults;
+        run_benchmark(name, settings, routine);
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        self.settings.sample_size = samples;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.warm_up_time = time;
+        self
+    }
+
+    /// Declares how much work one iteration performs, adding a
+    /// throughput column to the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.settings, routine);
+    }
+
+    /// Benchmarks `routine(b, input)` under `self.name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.settings, |b| routine(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is
+    /// per-benchmark and already done).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A label consisting of the parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a routine; handed to the closure of every `bench_*` call.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` in a timed loop; the result is passed through
+    /// [`black_box`] so the optimizer cannot delete the work.
+    // Named `iter` for drop-in criterion API compatibility.
+    #[allow(clippy::iter_not_returning_iterator)]
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(label: &str, settings: Settings, mut routine: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also calibrates how many iterations fill one sample.
+    let mut iterations = 1u64;
+    let warm_up_start = Instant::now();
+    let per_iteration = loop {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if warm_up_start.elapsed() >= settings.warm_up_time {
+            break bencher.elapsed.max(Duration::from_nanos(1))
+                / u32::try_from(iterations).unwrap_or(u32::MAX);
+        }
+        iterations = iterations.saturating_mul(2).min(1 << 30);
+    };
+
+    let budget = settings.measurement_time.as_nanos() / settings.sample_size.max(1) as u128;
+    let per_sample = (budget / per_iteration.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut bencher = Bencher {
+            iterations: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        samples.push(bencher.elapsed.as_nanos() as f64 / per_sample as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+
+    // `median` is ns per iteration and a throughput declaration
+    // describes one iteration's work, so rate = work · 1e9 / median.
+    let throughput = match settings.throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("   {:>12.0} elem/s", n as f64 * 1e9 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("   {:>12.0} B/s", n as f64 * 1e9 / median)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<50} {:>14}/iter{throughput}", format_nanos(median));
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_settings() -> Settings {
+        Settings {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+            throughput: None,
+        }
+    }
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut bencher = Bencher {
+            iterations: 1_000,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(bencher.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn run_benchmark_completes_quickly_for_cheap_routines() {
+        let mut calls = 0u64;
+        run_benchmark("test/cheap", fast_settings(), |b| {
+            b.iter(|| 1 + 1);
+            calls += 1;
+        });
+        // Warm-up calls plus exactly sample_size measured calls.
+        assert!(calls > 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("mul", 256).to_string(), "mul/256");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn group_api_is_chainable_and_runs() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(2));
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("x", 1), &41u64, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn nanosecond_formatting_picks_sane_units() {
+        assert_eq!(format_nanos(12.34), "12.3 ns");
+        assert_eq!(format_nanos(12_340.0), "12.34 µs");
+        assert_eq!(format_nanos(12_340_000.0), "12.34 ms");
+        assert_eq!(format_nanos(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -92,6 +92,7 @@ impl ObliviousAlgorithm {
     /// Panics if `n < 2`.
     #[must_use]
     pub fn fair(n: usize) -> ObliviousAlgorithm {
+        // xtask:allow(no-panic): n >= 2 is part of the documented contract
         ObliviousAlgorithm::symmetric(n, Rational::ratio(1, 2)).expect("n >= 2")
     }
 

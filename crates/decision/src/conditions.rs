@@ -32,6 +32,11 @@ const MAX_SYMBOLIC_PLAYERS: usize = 12;
 /// Returns [`ModelError::TooManyPlayersForExact`] if `n > 12`
 /// (the construction enumerates subsets of players).
 ///
+/// # Panics
+///
+/// Panics if `k >= n` — the player index must name one of the
+/// algorithm's thresholds.
+///
 /// # Examples
 ///
 /// ```
@@ -112,7 +117,7 @@ pub fn optimality_gradient(
         .map(|k| {
             let curve = partial_piecewise(algo, k, capacity)?;
             let x = &algo.thresholds()[k];
-            let piece = curve.piece_index(x).expect("threshold in [0,1]");
+            let piece = curve.piece_index(x).expect("threshold in [0,1]"); // xtask:allow(no-panic): constructor keeps thresholds inside the curve domain
             Ok(curve.pieces()[piece].derivative().eval(x))
         })
         .collect()

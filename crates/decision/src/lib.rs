@@ -55,6 +55,8 @@
 //! assert!((best.value.to_f64() - 0.545).abs() < 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod algorithms;
 mod capacity;
 pub mod conditions;

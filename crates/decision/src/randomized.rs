@@ -175,7 +175,7 @@ impl RandomizedThresholds {
             let mut i = 0;
             loop {
                 if i == self.n() {
-                    return Ok(best.expect("non-empty support"));
+                    return Ok(best.expect("non-empty support")); // xtask:allow(no-panic): every option list is validated nonempty
                 }
                 choice[i] += 1;
                 if choice[i] < self.options[i].len() {

@@ -211,7 +211,7 @@ impl GeneralRule {
             sets: self
                 .sets
                 .iter()
-                .map(|s| BinZeroSet::new(s.complement()).expect("complement is canonical"))
+                .map(|s| BinZeroSet::new(s.complement()).expect("complement is canonical")) // xtask:allow(no-panic): complement of a canonical set is canonical
                 .collect(),
         }
     }
@@ -255,7 +255,7 @@ impl GeneralRule {
         let mut total = Rational::zero();
         let mut choice = vec![0usize; self.n()];
         loop {
-            total += self.combination_term(&segments, &choice, capacity0, capacity1);
+            total += Self::combination_term(&segments, &choice, capacity0, capacity1);
             // Odometer increment over segment choices.
             let mut i = 0;
             loop {
@@ -276,7 +276,6 @@ impl GeneralRule {
     /// input falls in its chosen segment, times the conditional
     /// no-overflow probabilities of the two bins.
     fn combination_term(
-        &self,
         segments: &[Vec<(Rational, Rational, Bin)>],
         choice: &[usize],
         capacity0: &Capacity,
@@ -311,7 +310,7 @@ fn conditional_cdf(intervals: &[(Rational, Rational)], delta: &Rational) -> Rati
         return Rational::one();
     }
     UniformSum::new(intervals.to_vec())
-        .expect("segments are non-degenerate")
+        .expect("segments are non-degenerate") // xtask:allow(no-panic): segments come from a validated rule
         .cdf(delta)
 }
 
@@ -321,7 +320,7 @@ impl From<&SingleThresholdAlgorithm> for GeneralRule {
             sets: algo
                 .thresholds()
                 .iter()
-                .map(|a| BinZeroSet::prefix(a.clone()).expect("threshold in [0,1]"))
+                .map(|a| BinZeroSet::prefix(a.clone()).expect("threshold in [0,1]")) // xtask:allow(no-panic): thresholds are validated to lie in [0,1]
                 .collect(),
         }
     }

@@ -57,6 +57,7 @@ pub fn winning_probability_oblivious(
             let prob = alpha.pow(k as i32) * beta.pow((n - k) as i32);
             total += ways * prob * &ih[k] * &ih[n - k];
         }
+        contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
         return Ok(total);
     }
 
@@ -84,6 +85,7 @@ pub fn winning_probability_oblivious(
         let ones = mask.count_ones() as usize;
         total += prob * &ih[n - ones] * &ih[ones];
     }
+    contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
     Ok(total)
 }
 
@@ -118,6 +120,7 @@ pub fn winning_probability_oblivious_f64(alpha: &[f64], delta: f64) -> Result<f6
         let ones = mask.count_ones() as usize;
         total += prob * ih[n - ones] * ih[ones];
     }
+    contracts::ensures_prob!(total, eps = contracts::tolerances::PROB_EPS);
     Ok(total)
 }
 
@@ -167,6 +170,7 @@ pub fn winning_probability_threshold(
             let term = joint_term(&vec![beta.clone(); k], &vec![beta.clone(); n - k], delta);
             total += ways * term;
         }
+        contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
         return Ok(total);
     }
     if n > MAX_EXACT_PLAYERS {
@@ -188,6 +192,7 @@ pub fn winning_probability_threshold(
             .collect();
         total += joint_term(&bin0, &bin1, delta);
     }
+    contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
     Ok(total)
 }
 
@@ -212,7 +217,7 @@ fn joint_term(bin0: &[Rational], bin1: &[Rational], delta: &Rational) -> Rationa
         Rational::one()
     } else {
         BoxSum::new(bin0.to_vec())
-            .expect("positive widths")
+            .expect("positive widths") // xtask:allow(no-panic): bin-0 widths are strictly positive here
             .cdf(delta)
     };
     if f0.is_zero() {
@@ -222,7 +227,7 @@ fn joint_term(bin0: &[Rational], bin1: &[Rational], delta: &Rational) -> Rationa
         Rational::one()
     } else {
         UniformSum::above_thresholds(bin1.to_vec())
-            .expect("thresholds below one")
+            .expect("thresholds below one") // xtask:allow(no-panic): bin-1 thresholds are strictly below one here
             .cdf(delta)
     };
     prob * f0 * f1
@@ -273,6 +278,7 @@ pub fn winning_probability_threshold_f64(
         let f1 = cdf_above_sum_f64(&bin1, delta);
         total += prob * f0 * f1;
     }
+    contracts::ensures_prob!(total, eps = contracts::tolerances::PROB_EPS);
     Ok(total)
 }
 

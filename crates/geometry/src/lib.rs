@@ -33,6 +33,8 @@
 //! assert_eq!(v, Rational::ratio(1, 4)); // 1/2 - 2*(1/2)*(1/4)
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod intersection;
 mod montecarlo;
 mod orthobox;

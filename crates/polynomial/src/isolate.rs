@@ -63,7 +63,7 @@ impl<F: OrderedField> Polynomial<F> {
                 }
             }
         }
-        out.sort_by(|x, y| x.lo.partial_cmp(&y.lo).expect("ordered field"));
+        out.sort_by(|x, y| x.lo.partial_cmp(&y.lo).expect("ordered field")); // xtask:allow(no-panic): ordered-field comparisons are total
         out
     }
 
@@ -144,7 +144,7 @@ impl<F: OrderedField> Polynomial<F> {
     /// Panics if `self` is the zero polynomial.
     #[must_use]
     pub fn cauchy_root_bound(&self) -> F {
-        let lead = self.leading().expect("nonzero polynomial").clone();
+        let lead = self.leading().expect("nonzero polynomial").clone(); // xtask:allow(no-panic): zero polynomial excluded by the documented contract
         let mut max = F::zero();
         for c in &self.coeffs()[..self.coeffs().len() - 1] {
             let ratio = c.div(&lead);

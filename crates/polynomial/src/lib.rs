@@ -33,6 +33,8 @@
 //! assert!((beta.to_f64() - (1.0 - (1.0f64 / 7.0).sqrt())).abs() < 1e-8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod arith;
 mod calculus;
 mod display;

@@ -53,24 +53,7 @@ impl<F: OrderedField> Polynomial<F> {
         let mut hi = interval.hi.clone();
         let mut x = lo.add(&hi).div(&two);
         while hi.sub(&lo) > *tol {
-            // Try a Newton step from the current iterate.
-            let fx = p.eval(&x);
-            if fx.is_zero() {
-                return x;
-            }
-            let dfx = dp.eval(&x);
-            let newton_ok = if dfx.is_zero() {
-                false
-            } else {
-                let next = x.sub(&fx.div(&dfx));
-                if next > lo && next < hi {
-                    x = next;
-                    true
-                } else {
-                    false
-                }
-            };
-            // Always shrink the certified enclosure by one bisection.
+            // Shrink the certified enclosure by one bisection.
             let mid = lo.add(&hi).div(&two);
             if p.eval(&mid).is_zero() {
                 return mid;
@@ -80,9 +63,27 @@ impl<F: OrderedField> Polynomial<F> {
             } else {
                 lo = mid;
             }
-            if !newton_ok || x <= lo || x >= hi {
-                x = lo.add(&hi).div(&two);
+            // One Newton step, restarted from the fresh (dyadic, hence
+            // small) midpoint every round rather than iterated: exact
+            // Newton iterates double their digit count per step, so
+            // feeding them back makes the arithmetic exponentially
+            // expensive while bisection already paces the loop.
+            let mid = lo.add(&hi).div(&two);
+            let fx = p.eval(&mid);
+            if fx.is_zero() {
+                return mid;
             }
+            let dfx = dp.eval(&mid);
+            x = if dfx.is_zero() {
+                mid
+            } else {
+                let next = mid.sub(&fx.div(&dfx));
+                if next > lo && next < hi {
+                    next
+                } else {
+                    mid
+                }
+            };
         }
         x
     }

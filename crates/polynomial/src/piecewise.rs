@@ -83,8 +83,8 @@ impl<F: OrderedField> PiecewisePolynomial<F> {
     #[must_use]
     pub fn domain(&self) -> (&F, &F) {
         (
-            self.breakpoints.first().expect("nonempty"),
-            self.breakpoints.last().expect("nonempty"),
+            self.breakpoints.first().expect("nonempty"), // xtask:allow(no-panic): breakpoints are nonempty by construction
+            self.breakpoints.last().expect("nonempty"), // xtask:allow(no-panic): breakpoints are nonempty by construction
         )
     }
 
@@ -230,7 +230,7 @@ impl<F: OrderedField> PiecewisePolynomial<F> {
                 consider(x, i, &self.pieces);
             }
         }
-        best.expect("at least one piece")
+        best.expect("at least one piece") // xtask:allow(no-panic): there is at least one piece by construction
     }
 }
 

@@ -1,0 +1,280 @@
+//! A local, dependency-free, deterministic stand-in for the `rand`
+//! crate.
+//!
+//! This workspace must build and test in air-gapped environments, so
+//! it vendors no third-party code. This crate re-implements the small
+//! API subset the workspace actually uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] — on top of
+//! a xoshiro256++ generator seeded through SplitMix64.
+//!
+//! Two properties are load-bearing for the reproduction:
+//!
+//! 1. **Determinism.** The generator is pure integer arithmetic, so a
+//!    given seed yields the same stream on every platform. All
+//!    simulator determinism guarantees inherit from this.
+//! 2. **No ambient entropy.** There is deliberately no `thread_rng`,
+//!    `from_entropy`, or `OsRng`: every generator in the workspace
+//!    must be constructed from an explicit seed. `cargo xtask lint`
+//!    enforces the same rule at the source level.
+//!
+//! The streams differ from the upstream `rand` crate's `StdRng`
+//! (ChaCha12); all in-repo consumers assert statistical tolerances or
+//! same-seed reproducibility, never specific draws.
+
+#![forbid(unsafe_code)]
+
+/// Pre-seeded generator types.
+pub mod rngs {
+    pub use crate::xoshiro::StdRng;
+}
+
+mod xoshiro {
+    use crate::{RngCore, SeedableRng};
+
+    /// The workspace's standard pseudo-random generator:
+    /// xoshiro256++ (Blackman–Vigna), seeded via SplitMix64.
+    ///
+    /// Passes BigCrush in its published form; period `2^256 − 1`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    /// SplitMix64 step, used to expand a 64-bit seed into the full
+    /// 256-bit xoshiro state (the seeding procedure its authors
+    /// recommend).
+    fn splitmix64(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut s = seed;
+            let state = [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ];
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            self.state = [s0, s1, s2, s3.rotate_left(45)];
+            result
+        }
+    }
+}
+
+/// Generators constructible from an explicit seed.
+///
+/// Unlike upstream `rand`, this is the **only** way to construct a
+/// generator — there is no entropy-based constructor by design.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw generator interface: a stream of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self` using `rng`.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Converts 53 random bits into a uniform `f64` in `[0, 1)`.
+fn unit_f64<G: RngCore>(rng: &mut G) -> f64 {
+    // 2^-53; the standard bit-shift construction.
+    (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let width = self.end - self.start;
+        let x = self.start + width * unit_f64(rng);
+        // Guard the open upper bound against floating-point rounding.
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Samples an integer uniformly from `[0, span)`.
+///
+/// Uses 64-bit modulo reduction: the bias is at most `span / 2^64`,
+/// immeasurable for every span this workspace uses.
+fn below<G: RngCore>(rng: &mut G, span: u64) -> u64 {
+    rng.next_u64() % span
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $unsigned).wrapping_sub(self.start as $unsigned);
+                self.start.wrapping_add(below(rng, span as u64) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $unsigned).wrapping_sub(start as $unsigned) as u64;
+                if span == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    i32 => u32,
+    i64 => u64,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_floats_lie_in_half_open_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100_000 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn unit_floats_have_uniform_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut below_tenth = 0u32;
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            sum += x;
+            if x < 0.1 {
+                below_tenth += 1;
+            }
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        let frac = f64::from(below_tenth) / f64::from(n);
+        assert!((frac - 0.1).abs() < 0.005, "P(x < 0.1) ~ {frac}");
+    }
+
+    #[test]
+    fn scaled_float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.25..2.5);
+            assert!((0.25..2.5).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let k: usize = rng.gen_range(2..=8);
+            assert!((2..=8).contains(&k));
+            seen[k - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn half_open_integer_range_excludes_end() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let k: i64 = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&k));
+        }
+    }
+
+    #[test]
+    fn negative_integer_spans_work() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut any_negative = false;
+        for _ in 0..1_000 {
+            let k: i32 = rng.gen_range(-10i32..=-1);
+            assert!((-10..=-1).contains(&k));
+            any_negative |= k < 0;
+        }
+        assert!(any_negative);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: i64 = rng.gen_range(5i64..5);
+    }
+}

@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn limit_denominator_golden_ratio_convergents() {
         // φ's convergents are ratios of Fibonacci numbers.
-        let phi = Rational::from_f64_exact((1.0 + 5f64.sqrt()) / 2.0).unwrap();
+        let phi = Rational::from_f64_exact(f64::midpoint(1.0, 5f64.sqrt())).unwrap();
         assert_eq!(phi.limit_denominator(8), r(13, 8));
         assert_eq!(phi.limit_denominator(55), r(89, 55));
     }

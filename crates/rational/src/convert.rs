@@ -178,7 +178,7 @@ mod tests {
             Rational::ratio(-3, 4),
             Rational::zero(),
             Rational::integer(9),
-            Rational::ratio(1000000007, 998244353),
+            Rational::ratio(1_000_000_007, 998_244_353),
         ] {
             assert_eq!(r.to_string().parse::<Rational>().unwrap(), r);
         }

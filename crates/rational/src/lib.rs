@@ -17,13 +17,13 @@
 //! assert_eq!(p.to_string(), "13/24");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod approx;
 mod combinatorics;
 mod convert;
 mod ops;
 mod ratio;
-#[cfg(feature = "serde")]
-mod serde_impls;
 
 pub use combinatorics::{binomial, binomial_rational, factorial, factorial_rational};
 pub use convert::ParseRationalError;

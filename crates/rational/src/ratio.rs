@@ -49,6 +49,10 @@ impl Rational {
             num = -num;
             den = -den;
         }
+        contracts::ensures_normalized!(
+            den.is_positive() && num.gcd(&den).is_one(),
+            "rational must be in lowest terms with a positive denominator"
+        );
         Rational { num, den }
     }
 

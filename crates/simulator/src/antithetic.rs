@@ -62,12 +62,7 @@ impl AntitheticReport {
 /// assert!(result.report.agrees_with(0.5376, 5.0) || result.report.estimate > 0.0);
 /// ```
 #[must_use]
-pub fn run_antithetic(
-    rule: &dyn LocalRule,
-    delta: f64,
-    pairs: u64,
-    seed: u64,
-) -> AntitheticReport {
+pub fn run_antithetic(rule: &dyn LocalRule, delta: f64, pairs: u64, seed: u64) -> AntitheticReport {
     assert!(pairs > 0, "need at least one pair");
     let n = rule.n();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -84,7 +79,7 @@ pub fn run_antithetic(
         let first = wins_round(rule, delta, &inputs, &coins, false);
         let second = wins_round(rule, delta, &inputs, &coins, true);
         wins += u64::from(first) + u64::from(second);
-        let pair_mean = (f64::from(u8::from(first)) + f64::from(u8::from(second))) / 2.0;
+        let pair_mean = f64::midpoint(f64::from(u8::from(first)), f64::from(u8::from(second)));
         sum_pair += pair_mean;
         sum_pair_sq += pair_mean * pair_mean;
     }

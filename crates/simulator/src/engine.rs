@@ -1,10 +1,10 @@
 //! The batched, multi-threaded Monte-Carlo engine.
 
-use crate::SimulationReport;
+use crate::{SimulationError, SimulationReport};
 use decision::{Bin, LocalRule};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A deterministic, thread-parallel Monte-Carlo estimator of the
 /// winning probability `P_A(δ)` of any [`LocalRule`].
@@ -39,17 +39,33 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `trials` is zero.
+    /// Panics if `trials` is zero; [`Simulation::try_new`] is the
+    /// non-panicking equivalent.
     #[must_use]
     pub fn new(trials: u64, seed: u64) -> Simulation {
-        assert!(trials > 0, "need at least one trial");
+        match Simulation::try_new(trials, seed) {
+            Ok(simulation) => simulation,
+            Err(error) => panic!("{error}"), // xtask:allow(no-panic): documented constructor contract
+        }
+    }
+
+    /// Creates an engine running `trials` rounds with the given seed,
+    /// using all available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::ZeroTrials`] if `trials` is zero.
+    pub fn try_new(trials: u64, seed: u64) -> Result<Simulation, SimulationError> {
+        if trials == 0 {
+            return Err(SimulationError::ZeroTrials);
+        }
         let threads = std::thread::available_parallelism().map_or(1, usize::from);
-        Simulation {
+        Ok(Simulation {
             trials,
             seed,
             threads,
             batch_size: 16_384,
-        }
+        })
     }
 
     /// Overrides the number of worker threads (1 = sequential).
@@ -67,7 +83,7 @@ impl Simulation {
     /// Panics if `batch_size` is zero.
     #[must_use]
     pub fn with_batch_size(mut self, batch_size: u64) -> Simulation {
-        assert!(batch_size > 0, "batch size must be positive");
+        assert!(batch_size > 0, "batch size must be positive"); // xtask:allow(no-panic): documented precondition
         self.batch_size = batch_size;
         self
     }
@@ -95,7 +111,7 @@ impl Simulation {
         delta: f64,
         p_crash: f64,
     ) -> SimulationReport {
-        assert!((0.0..=1.0).contains(&p_crash), "crash probability range");
+        assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
         let batches = self.trials.div_ceil(self.batch_size);
         let wins = if self.threads == 1 || batches == 1 {
             (0..batches)
@@ -104,40 +120,48 @@ impl Simulation {
         } else {
             self.run_parallel(rule, delta, p_crash, batches)
         };
+        // Postcondition: the counter is a frequency over exactly the
+        // requested trials, whatever the thread interleaving was.
+        contracts::invariant!(wins <= self.trials, "wins {wins} > trials {}", self.trials);
         SimulationReport::from_counts(wins, self.trials)
     }
 
+    /// Work-steals batches across scoped threads. Determinism does not
+    /// depend on scheduling: batch `i`'s RNG stream is a pure function
+    /// of `(seed, i)`, and the win counts are summed commutatively.
     fn run_parallel(&self, rule: &dyn LocalRule, delta: f64, p_crash: f64, batches: u64) -> u64 {
-        let next_batch = Mutex::new(0u64);
-        let total_wins = Mutex::new(0u64);
-        crossbeam::scope(|scope| {
-            for _ in 0..self.threads.min(batches as usize) {
-                scope.spawn(|_| {
+        let next_batch = AtomicU64::new(0);
+        let total_wins = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self
+                .threads
+                .min(usize::try_from(batches).unwrap_or(usize::MAX))
+            {
+                scope.spawn(|| {
                     let mut local_wins = 0u64;
                     loop {
-                        let batch = {
-                            let mut guard = next_batch.lock();
-                            let b = *guard;
-                            if b >= batches {
-                                break;
-                            }
-                            *guard += 1;
-                            b
-                        };
+                        let batch = next_batch.fetch_add(1, Ordering::Relaxed);
+                        if batch >= batches {
+                            break;
+                        }
                         local_wins += self.run_batch(rule, delta, p_crash, batch);
                     }
-                    *total_wins.lock() += local_wins;
+                    total_wins.fetch_add(local_wins, Ordering::Relaxed);
                 });
             }
-        })
-        .expect("simulation worker panicked");
-        let wins = *total_wins.lock();
-        wins
+            // Leaving the scope joins every worker; a worker panic
+            // propagates to this thread.
+        });
+        total_wins.load(Ordering::Relaxed)
     }
 
     /// Runs one deterministic batch: the RNG stream depends only on
     /// `(seed, batch)`.
     fn run_batch(&self, rule: &dyn LocalRule, delta: f64, p_crash: f64, batch: u64) -> u64 {
+        // Precondition for determinism: the batch index must address a
+        // real slice of the trial range; the RNG stream below is a
+        // pure function of `(self.seed, batch)` and nothing else.
+        contracts::invariant!(batch * self.batch_size < self.trials, "batch out of range");
         let start = batch * self.batch_size;
         let count = self.batch_size.min(self.trials - start);
         let mut rng = StdRng::seed_from_u64(splitmix(
@@ -163,6 +187,7 @@ impl Simulation {
                 wins += 1;
             }
         }
+        contracts::invariant!(wins <= count, "batch wins exceed batch size");
         wins
     }
 }
@@ -180,6 +205,21 @@ mod tests {
     use super::*;
     use decision::{ObliviousAlgorithm, SingleThresholdAlgorithm};
     use rational::Rational;
+
+    #[test]
+    fn try_new_rejects_zero_trials() {
+        assert!(matches!(
+            Simulation::try_new(0, 1),
+            Err(crate::SimulationError::ZeroTrials)
+        ));
+        assert!(Simulation::try_new(1, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn new_panics_on_zero_trials() {
+        let _ = Simulation::new(0, 1);
+    }
 
     #[test]
     fn deterministic_across_thread_counts() {

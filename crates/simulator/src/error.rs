@@ -1,0 +1,34 @@
+//! Simulator-side configuration errors.
+
+use std::fmt;
+
+/// Why a simulation could not be configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimulationError {
+    /// A simulation must run at least one trial.
+    ZeroTrials,
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::ZeroTrials => write!(f, "need at least one trial"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_constraint() {
+        assert_eq!(
+            SimulationError::ZeroTrials.to_string(),
+            "need at least one trial"
+        );
+    }
+}

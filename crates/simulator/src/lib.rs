@@ -7,9 +7,9 @@
 //! 1. **Validation** — every closed-form winning probability in the
 //!    `decision` crate is cross-checked against frequency estimates
 //!    from millions of simulated rounds ([`Simulation`]), batched
-//!    across threads with crossbeam and deterministic per-batch
-//!    seeding (same seed ⇒ same estimate, regardless of thread
-//!    count or scheduling).
+//!    across scoped `std::thread` workers with deterministic
+//!    per-batch seeding (same seed ⇒ same estimate, regardless of
+//!    thread count or scheduling).
 //! 2. **Structural fidelity** — [`DistributedSimulation`] runs each
 //!    player as its own thread that receives *only its own input* over
 //!    a channel and replies with a bin choice, so the
@@ -28,9 +28,12 @@
 //! assert!((report.estimate - 5.0 / 12.0).abs() < 4.0 * report.std_error);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod antithetic;
 mod distributed;
 mod engine;
+mod error;
 mod omniscient;
 mod report;
 mod stats;
@@ -39,6 +42,7 @@ mod sweep;
 pub use antithetic::{run_antithetic, AntitheticReport};
 pub use distributed::DistributedSimulation;
 pub use engine::Simulation;
+pub use error::SimulationError;
 pub use omniscient::full_information_win_rate;
 pub use report::SimulationReport;
 pub use stats::{load_stats, LoadStats};

@@ -47,7 +47,7 @@ impl SimulationReport {
     /// ```
     #[must_use]
     pub fn agrees_with(&self, exact: f64, z: f64) -> bool {
-        (self.estimate - exact).abs() <= z * self.std_error + 1e-9
+        (self.estimate - exact).abs() <= z * self.std_error + contracts::tolerances::PROB_EPS
     }
 
     /// Half-width of the 95% normal-approximation confidence interval.

@@ -94,7 +94,9 @@ impl BoxSum {
         signed_power_sum(&self.pi, t, m, &mut acc);
         let denom: Rational =
             self.pi.iter().product::<Rational>() * Rational::from(factorial(self.len() as u32));
-        acc / denom
+        let value = acc / denom;
+        contracts::ensures_prob_exact!(value, Rational::zero(), Rational::one());
+        value
     }
 
     /// Exact density `f(t)` by Lemma 2.5 — "a nice formula for the
@@ -114,7 +116,9 @@ impl BoxSum {
         signed_power_sum(&self.pi, t, m - 1, &mut acc);
         let denom: Rational =
             self.pi.iter().product::<Rational>() * Rational::from(factorial(self.len() as u32 - 1));
-        acc / denom
+        let value = acc / denom;
+        contracts::invariant!(!value.is_negative(), "density must be nonnegative");
+        value
     }
 
     /// Fast `f64` CDF.
@@ -132,7 +136,9 @@ impl BoxSum {
         let mut acc = 0.0;
         signed_power_sum_f64(&sides, t, m, 1.0, 0, 0.0, &mut acc);
         let denom: f64 = sides.iter().product::<f64>() * factorial(self.len() as u32).to_f64();
-        acc / denom
+        let value = acc / denom;
+        contracts::ensures_prob!(value, eps = contracts::tolerances::PROB_EPS);
+        value
     }
 
     /// Fast `f64` density.

@@ -52,7 +52,9 @@ pub fn irwin_hall_cdf(m: u32, t: &Rational) -> Rational {
             acc -= term;
         }
     }
-    acc / Rational::from(factorial(m))
+    let value = acc / Rational::from(factorial(m));
+    contracts::ensures_prob_exact!(value, Rational::zero(), Rational::one());
+    value
 }
 
 /// Exact Irwin–Hall density (the `π_i = 1` case of Lemma 2.5).
@@ -112,7 +114,9 @@ pub fn irwin_hall_cdf_f64(m: u32, t: f64) -> f64 {
         binom = binom * f64::from(m - i) / f64::from(i + 1);
     }
     let m_fact: f64 = (1..=m).map(f64::from).product();
-    acc / m_fact
+    let value = acc / m_fact;
+    contracts::ensures_prob!(value, eps = contracts::tolerances::PROB_EPS);
+    value
 }
 
 /// Fast `f64` Irwin–Hall density.

@@ -28,6 +28,8 @@
 //! assert_eq!(s.cdf(&Rational::one()), Rational::ratio(1, 2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod box_sum;
 mod irwin_hall;
 mod symbolic;

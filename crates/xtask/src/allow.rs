@@ -1,0 +1,119 @@
+//! The allowlist file: checked-in, reviewed waivers.
+//!
+//! Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! <lint-id> <path-substring> <reason...>
+//! ```
+//!
+//! An entry silences `<lint-id>` in every file whose repo-relative
+//! path contains `<path-substring>`. The reason is mandatory; entries
+//! without one are rejected at parse time so waivers cannot rot
+//! silently.
+
+use crate::lints::{Violation, LINTS};
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The lint being waived.
+    pub lint: String,
+    /// Substring of the repo-relative path the waiver applies to.
+    pub path_fragment: String,
+    /// Why the waiver exists.
+    pub reason: String,
+}
+
+/// A parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// The entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line: missing
+    /// fields, a missing reason, or an unknown lint id.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let lint = parts.next().unwrap_or_default().to_owned();
+            let path_fragment = parts.next().unwrap_or_default().to_owned();
+            let reason = parts.next().unwrap_or_default().trim().to_owned();
+            if path_fragment.is_empty() || reason.is_empty() {
+                return Err(format!(
+                    "allowlist line {}: expected `<lint-id> <path> <reason>`, got `{line}`",
+                    idx + 1
+                ));
+            }
+            if !LINTS.iter().any(|l| l.id == lint) {
+                return Err(format!("allowlist line {}: unknown lint `{lint}`", idx + 1));
+            }
+            entries.push(AllowEntry {
+                lint,
+                path_fragment,
+                reason,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// `true` when `violation` is covered by an entry.
+    #[must_use]
+    pub fn covers(&self, violation: &Violation) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.lint == violation.lint && violation.path.contains(&e.path_fragment))
+    }
+
+    /// Filters a violation set down to the uncovered ones.
+    #[must_use]
+    pub fn filter(&self, violations: Vec<Violation>) -> Vec<Violation> {
+        violations.into_iter().filter(|v| !self.covers(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(lint: &'static str, path: &str) -> Violation {
+        Violation {
+            lint,
+            path: path.to_owned(),
+            line: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let list = Allowlist::parse(
+            "# comment\nno-print crates/criterion/ benchmark reporter writes to stdout\n",
+        )
+        .unwrap();
+        assert_eq!(list.entries.len(), 1);
+        assert!(list.covers(&violation("no-print", "crates/criterion/src/lib.rs")));
+        assert!(!list.covers(&violation("no-panic", "crates/criterion/src/lib.rs")));
+        assert!(!list.covers(&violation("no-print", "crates/decision/src/lib.rs")));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        assert!(Allowlist::parse("no-print crates/criterion/\n").is_err());
+    }
+
+    #[test]
+    fn unknown_lint_is_rejected() {
+        assert!(Allowlist::parse("no-such-lint crates/x/ some reason\n").is_err());
+    }
+}

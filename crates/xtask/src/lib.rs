@@ -1,0 +1,102 @@
+//! `xtask` — the workspace's dependency-free static-analysis and CI
+//! driver, invoked as `cargo xtask <command>` (see `.cargo/config.toml`).
+//!
+//! The lints here encode *repo-specific* rules that `rustc` and
+//! `clippy` cannot express — no panicking constructs in library code,
+//! no ambient-entropy RNG anywhere, documented panic contracts,
+//! named tolerance constants — over a scrubbed, line-oriented view of
+//! the source (see [`scrub`]). Waivers are explicit and reviewed:
+//! either an inline `// xtask:allow(<lint>): <reason>` comment or an
+//! entry in the repo-root `xtask.allow` file; both require a reason.
+//!
+//! | command | effect |
+//! |---|---|
+//! | `cargo xtask lint` | run every lint over the workspace |
+//! | `cargo xtask lint --list` | print the lint table |
+//! | `cargo xtask ci` | fmt-check + lints + tier-1 tests |
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lints;
+pub mod scrub;
+pub mod source;
+pub mod walk;
+
+use allow::Allowlist;
+use lints::Violation;
+use source::{classify, SourceFile};
+use std::fmt::Write;
+use std::fs;
+use std::path::Path;
+
+/// Name of the repo-root allowlist file.
+pub const ALLOWLIST_FILE: &str = "xtask.allow";
+
+/// Lints every Rust source under `repo_root`, returning the
+/// violations not covered by the allowlist.
+///
+/// # Errors
+///
+/// Returns a message on IO failure or a malformed allowlist.
+pub fn lint_workspace(repo_root: &Path) -> Result<Vec<Violation>, String> {
+    let allowlist = load_allowlist(repo_root)?;
+    let mut violations = Vec::new();
+    for (rel, abs) in walk::rust_sources(repo_root)? {
+        let text = fs::read_to_string(&abs).map_err(|e| format!("read {rel}: {e}"))?;
+        let file = SourceFile::parse(&rel, classify(Path::new(&rel)), &text);
+        violations.extend(lints::check_file(&file));
+    }
+    Ok(allowlist.filter(violations))
+}
+
+/// Loads and parses the repo-root allowlist; absent file = empty list.
+///
+/// # Errors
+///
+/// Returns a message when the file exists but is malformed.
+pub fn load_allowlist(repo_root: &Path) -> Result<Allowlist, String> {
+    match fs::read_to_string(repo_root.join(ALLOWLIST_FILE)) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Ok(Allowlist::default()),
+    }
+}
+
+/// Renders violations in `path:line: [lint] message` form, one per
+/// line, ready for terminal output.
+#[must_use]
+pub fn render(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        let _ = writeln!(out, "{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
+    }
+    out
+}
+
+/// The repo root, derived from this crate's manifest location.
+#[must_use]
+pub fn repo_root() -> &'static Path {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    root.parent().and_then(Path::parent).unwrap_or(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_root_contains_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn render_is_one_line_per_violation() {
+        let v = vec![Violation {
+            lint: "no-panic",
+            path: "a.rs".to_owned(),
+            line: 3,
+            message: "msg".to_owned(),
+        }];
+        assert_eq!(render(&v), "a.rs:3: [no-panic] msg\n");
+    }
+}

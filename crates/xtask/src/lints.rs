@@ -1,0 +1,439 @@
+//! The lint rules.
+//!
+//! Every rule is a pure function from a [`SourceFile`] to a list of
+//! [`Violation`]s; the driver composes them over the workspace and
+//! subtracts the allowlist. Rules are line-oriented over *scrubbed*
+//! text (comments and string contents blanked), which keeps them
+//! dependency-free while immune to prose false-positives.
+
+use crate::source::{FileKind, SourceFile};
+
+/// One finding: a rule, a place, and what was seen there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable lint identifier (e.g. `no-panic`).
+    pub lint: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-oriented description of the finding.
+    pub message: String,
+}
+
+/// Descriptor for one rule, used by `--list` and the tests.
+pub struct Lint {
+    /// Stable identifier, as used in allowlists.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// The rule itself.
+    pub check: fn(&SourceFile) -> Vec<Violation>,
+}
+
+/// Every rule the driver knows, in reporting order.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        id: "no-panic",
+        summary: "forbid unwrap/expect/panic! and friends in library code",
+        check: no_panic,
+    },
+    Lint {
+        id: "no-unseeded-rng",
+        summary: "forbid ambient-entropy RNG constructors everywhere",
+        check: no_unseeded_rng,
+    },
+    Lint {
+        id: "no-print",
+        summary: "forbid println!/eprintln!/dbg! in library code",
+        check: no_print,
+    },
+    Lint {
+        id: "panics-doc",
+        summary: "require a # Panics doc section on pub fns that can panic",
+        check: panics_doc,
+    },
+    Lint {
+        id: "float-tolerance",
+        summary: "flag bare float tolerance literals outside named constants",
+        check: float_tolerance,
+    },
+    Lint {
+        id: "unsafe-header",
+        summary: "require #![forbid(unsafe_code)] at every crate root",
+        check: unsafe_header,
+    },
+];
+
+/// Runs every rule over one file.
+#[must_use]
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for lint in LINTS {
+        out.extend((lint.check)(file));
+    }
+    out
+}
+
+/// Tokens that abort the process (or can), forbidden in library code.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn no_panic(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    scan_tokens(file, "no-panic", PANIC_TOKENS, true)
+}
+
+/// Entropy-seeded constructors: banned in *all* code, tests included —
+/// reproducibility is a workspace-wide guarantee.
+const RNG_TOKENS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
+
+fn no_unseeded_rng(file: &SourceFile) -> Vec<Violation> {
+    scan_tokens(file, "no-unseeded-rng", RNG_TOKENS, false)
+}
+
+const PRINT_TOKENS: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!(", "dbg!("];
+
+fn no_print(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    scan_tokens(file, "no-print", PRINT_TOKENS, true)
+}
+
+/// Flags occurrences of any of `tokens`; test regions are skipped when
+/// `skip_tests` is set.
+fn scan_tokens(
+    file: &SourceFile,
+    lint: &'static str,
+    tokens: &[&str],
+    skip_tests: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if (skip_tests && file.is_test_line(lineno)) || file.allowed(lint, lineno) {
+            continue;
+        }
+        for token in tokens {
+            if contains_token(line, token) {
+                out.push(Violation {
+                    lint,
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!("`{}` is forbidden here", token.trim_end_matches('(')),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `true` when `line` contains `token` at an identifier boundary, so
+/// `eprintln!(` does not count as `println!(` and `debug_assert!(`
+/// does not count as `assert!(`.
+fn contains_token(line: &str, token: &str) -> bool {
+    let needs_boundary = token
+        .as_bytes()
+        .first()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+    let mut haystack = line;
+    let mut offset = 0usize;
+    while let Some(pos) = haystack.find(token) {
+        let abs = offset + pos;
+        let boundary = !needs_boundary || abs == 0 || {
+            let prev = line.as_bytes()[abs - 1];
+            !(prev.is_ascii_alphanumeric() || prev == b'_')
+        };
+        if boundary {
+            return true;
+        }
+        offset = abs + 1;
+        haystack = &line[offset..];
+    }
+    false
+}
+
+/// Tokens that make a function able to panic; `debug_assert!` and the
+/// contracts macros are deliberately absent (debug-only by default).
+const BODY_PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+];
+
+fn panics_doc(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim_start();
+        let is_pub_fn = trimmed.starts_with("pub fn ")
+            || trimmed.starts_with("pub const fn ")
+            || trimmed.starts_with("pub async fn ");
+        if !is_pub_fn || file.is_test_line(lineno) || file.allowed("panics-doc", lineno) {
+            continue;
+        }
+        let Some((body_start, body_end)) = body_extent(&file.lines, idx) else {
+            continue; // trait method declaration or parse oddity
+        };
+        let can_panic = (body_start..body_end).any(|b| {
+            let l = &file.lines[b];
+            BODY_PANIC_TOKENS.iter().any(|t| contains_token(l, t))
+                && !file.allowed("no-panic", b + 1)
+        });
+        if can_panic && !doc_has_panics_section(file, idx) {
+            out.push(Violation {
+                lint: "panics-doc",
+                path: file.path.clone(),
+                line: lineno,
+                message: "pub fn can panic but its docs have no `# Panics` section".to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// Finds the `{`-to-`}` extent (0-based line range, exclusive end) of
+/// the fn whose signature starts at line `sig`; `None` for braceless
+/// declarations.
+fn body_extent(lines: &[String], sig: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i64;
+    let mut started = false;
+    for (idx, line) in lines.iter().enumerate().skip(sig) {
+        for b in line.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    started = true;
+                }
+                b'}' => depth -= 1,
+                b';' if !started && depth == 0 => return None,
+                _ => {}
+            }
+        }
+        if started && depth <= 0 {
+            return Some((sig, idx + 1));
+        }
+        if idx > sig + 400 {
+            break; // runaway guard: unbalanced braces
+        }
+    }
+    None
+}
+
+/// `true` when the doc block directly above line `sig` (0-based)
+/// contains a `# Panics` heading.
+fn doc_has_panics_section(file: &SourceFile, sig: usize) -> bool {
+    let mut idx = sig;
+    while idx > 0 {
+        idx -= 1;
+        let comment = &file.scrubbed.comments[idx];
+        let code = file.lines[idx].trim();
+        // The attached doc block: pure comment lines and attributes.
+        // Blank lines, code lines, and module docs (`//!`) end it.
+        let crossable = (code.is_empty() && !comment.is_empty() && !comment.starts_with("//!"))
+            || code.starts_with("#[");
+        if !crossable {
+            return false;
+        }
+        if comment.contains("# Panics") {
+            return true;
+        }
+    }
+    false
+}
+
+fn float_tolerance(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno)
+            || file.in_tolerances[idx]
+            || file.allowed("float-tolerance", lineno)
+            || file.path.ends_with("tolerances.rs")
+        {
+            continue;
+        }
+        // A `const` definition *is* a named tolerance.
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("const ") || trimmed.starts_with("pub const ") {
+            continue;
+        }
+        if let Some(col) = find_negative_exponent_literal(line) {
+            out.push(Violation {
+                lint: "float-tolerance",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!(
+                    "bare tolerance literal `{}` — name it in a `mod tolerances` or `const`",
+                    literal_at(line, col)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Finds a float literal with a negative exponent (`1e-9`, `5.0E-4`)
+/// and returns the column of its mantissa start.
+fn find_negative_exponent_literal(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    for i in 0..bytes.len() {
+        if (bytes[i] == b'e' || bytes[i] == b'E')
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && bytes.get(i + 1) == Some(&b'-')
+            && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
+        {
+            let mut start = i - 1;
+            while start > 0 && (bytes[start - 1].is_ascii_digit() || bytes[start - 1] == b'.') {
+                start -= 1;
+            }
+            return Some(start);
+        }
+    }
+    None
+}
+
+/// Extracts the literal starting at `col` for the report message.
+fn literal_at(line: &str, col: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut end = col;
+    while end < bytes.len()
+        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'.' || bytes[end] == b'-')
+    {
+        end += 1;
+    }
+    &line[col..end]
+}
+
+fn unsafe_header(file: &SourceFile) -> Vec<Violation> {
+    if !file.path.ends_with("src/lib.rs") {
+        return Vec::new();
+    }
+    let has_header = file
+        .lines
+        .iter()
+        .any(|l| l.trim() == "#![forbid(unsafe_code)]");
+    if has_header || file.allowed("unsafe-header", 1) {
+        return Vec::new();
+    }
+    vec![Violation {
+        lint: "unsafe-header",
+        path: file.path.clone(),
+        line: 1,
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_owned(),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lib(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", FileKind::Lib, src)
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_fires() {
+        let f = lib("#![forbid(unsafe_code)]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        let v = no_panic(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+        );
+        assert!(no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_silences_no_panic() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\nfn f() { g().expect(\"x\"); // xtask:allow(no-panic): invariant upheld by caller\n}\n",
+        );
+        assert!(no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn rng_lint_applies_even_in_tests() {
+        let f = SourceFile::parse(
+            "crates/x/tests/t.rs",
+            FileKind::TestLike,
+            "fn t() { let mut r = rand::thread_rng(); }\n",
+        );
+        assert_eq!(no_unseeded_rng(&f).len(), 1);
+    }
+
+    #[test]
+    fn print_in_bin_is_exempt() {
+        let f = SourceFile::parse(
+            "src/bin/cli.rs",
+            FileKind::Bin,
+            "fn main() { println!(\"hi\"); }\n",
+        );
+        assert!(no_print(&f).is_empty());
+    }
+
+    #[test]
+    fn undocumented_panicking_pub_fn_fires() {
+        let f = lib("#![forbid(unsafe_code)]\n/// Does things.\npub fn f(x: u8) {\n    assert!(x > 0);\n}\n");
+        assert_eq!(panics_doc(&f).len(), 1);
+    }
+
+    #[test]
+    fn documented_panicking_pub_fn_is_clean() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\n/// Does things.\n///\n/// # Panics\n///\n/// Panics if `x` is zero.\npub fn f(x: u8) {\n    assert!(x > 0);\n}\n",
+        );
+        assert!(panics_doc(&f).is_empty());
+    }
+
+    #[test]
+    fn bare_exponent_literal_fires_and_const_is_exempt() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\nconst EPS: f64 = 1e-9;\nfn f(x: f64) -> bool { x < 1e-9 }\n",
+        );
+        let v = float_tolerance(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn missing_unsafe_header_fires_only_for_lib_rs() {
+        let f = lib("fn f() {}\n");
+        assert_eq!(unsafe_header(&f).len(), 1);
+        let g = SourceFile::parse("crates/x/src/other.rs", FileKind::Lib, "fn f() {}\n");
+        assert!(unsafe_header(&g).is_empty());
+    }
+
+    #[test]
+    fn panic_token_inside_string_is_invisible() {
+        let f = lib("#![forbid(unsafe_code)]\nfn f() -> &'static str { \"do not panic!(now)\" }\n");
+        assert!(no_panic(&f).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! CLI entry point: `cargo xtask <command>`.
+
+#![forbid(unsafe_code)]
+
+use std::process::{Command, ExitCode};
+use xtask::{lint_workspace, lints::LINTS, render, repo_root};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") if args.iter().any(|a| a == "--list") => {
+            for lint in LINTS {
+                println!("{:<16} {}", lint.id, lint.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("lint") => run_lints(),
+        Some("ci") => run_ci(),
+        _ => {
+            eprintln!("usage: cargo xtask <lint [--list] | ci>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the static analysis; nonzero exit on any violation.
+fn run_lints() -> ExitCode {
+    match lint_workspace(repo_root()) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("xtask lint: clean ({} rules)", LINTS.len());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            print!("{}", render(&violations));
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("xtask lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The local CI pipeline: fmt-check, lints, then the tier-1 tests.
+fn run_ci() -> ExitCode {
+    let steps: &[(&str, &[&str])] = &[
+        ("cargo fmt --check", &["fmt", "--check"]),
+        ("cargo test -q", &["test", "-q"]),
+        ("cargo test -q --workspace", &["test", "-q", "--workspace"]),
+    ];
+    let (fmt, tests) = steps.split_first().expect("steps are nonempty"); // xtask:allow(no-panic): static slice above
+    if !run_cargo(fmt.0, fmt.1) {
+        return ExitCode::FAILURE;
+    }
+    if run_lints() == ExitCode::FAILURE {
+        return ExitCode::FAILURE;
+    }
+    for (label, argv) in tests {
+        if !run_cargo(label, argv) {
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask ci: all steps passed");
+    ExitCode::SUCCESS
+}
+
+/// Runs one `cargo` step from the repo root, echoing its label.
+fn run_cargo(label: &str, argv: &[&str]) -> bool {
+    eprintln!("xtask ci: {label}");
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(argv)
+        .current_dir(repo_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("xtask ci: `{label}` failed with {s}");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask ci: could not spawn `{label}`: {e}");
+            false
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Lexical scrubbing: blanking comments and string literals so the
+//! line-based lints never fire on prose.
+//!
+//! The scrubber is a small hand-rolled scanner, not a parser: it
+//! tracks just enough Rust lexical structure — line comments, nested
+//! block comments, string/char/raw-string literals — to replace their
+//! *contents* with spaces while preserving line and column positions,
+//! so every downstream lint can report accurate locations against the
+//! original text.
+
+/// Result of scrubbing one source file.
+#[derive(Clone, Debug)]
+pub struct Scrubbed {
+    /// The source with comment and string contents blanked to spaces;
+    /// newlines are preserved, so line/column offsets match the
+    /// original.
+    pub code: String,
+    /// For each (1-based) line, the comment text found on it (with
+    /// the `//` markers removed), used for inline-allow parsing.
+    pub comments: Vec<String>,
+}
+
+/// Scrubs `source`, blanking comments and literal contents.
+///
+/// Doc comments are treated like any other comment: their text is
+/// collected per line (for `# Panics` detection and inline allows)
+/// and blanked in the code stream.
+#[must_use]
+// The `keep!` macro pushes a fresh per-line comment buffer on every
+// newline; clippy's same-item-push heuristic misreads that as a
+// repeated-element push.
+#[allow(clippy::too_many_lines, clippy::same_item_push)]
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes = source.as_bytes();
+    let mut code: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Appends a byte to the scrubbed stream, tracking line breaks.
+    macro_rules! keep {
+        ($b:expr) => {{
+            let b: u8 = $b;
+            code.push(b);
+            if b == b'\n' {
+                line += 1;
+                comments.push(String::new());
+            }
+        }};
+    }
+    // Blanks a byte: newlines survive, everything else becomes space.
+    macro_rules! blank {
+        ($b:expr) => {{
+            let b: u8 = $b;
+            if b == b'\n' {
+                keep!(b'\n');
+            } else {
+                code.push(b' ');
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match b {
+            b'/' if next == Some(b'/') => {
+                // Line comment (incl. doc comments): record its text.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                // Keep the `//`/`///` markers: a blank doc line is
+                // still a (non-empty) comment, unlike a blank line.
+                comments[line].push_str(&source[start..i]);
+            }
+            b'/' if next == Some(b'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        blank!(b'/');
+                        blank!(b'*');
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        blank!(b'*');
+                        blank!(b'/');
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        blank!(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // Ordinary string literal: keep the quotes, blank the
+                // contents, honour escapes.
+                keep!(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            blank!(b'\\');
+                            if i + 1 < bytes.len() {
+                                blank!(bytes[i + 1]);
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            keep!(b'"');
+                            i += 1;
+                            break;
+                        }
+                        other => {
+                            blank!(other);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' if matches!(next, Some(b'"' | b'#')) && !prev_is_ident(bytes, i) => {
+                // Raw string literal r"..." / r#"..."#.
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    keep!(b'r');
+                    for _ in 0..hashes {
+                        keep!(b'#');
+                    }
+                    keep!(b'"');
+                    j += 1;
+                    'raw: while j < bytes.len() {
+                        if bytes[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                keep!(b'"');
+                                for _ in 0..hashes {
+                                    keep!(b'#');
+                                }
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        blank!(bytes[j]);
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    // `r` not starting a raw string (e.g. `r#ident`).
+                    keep!(bytes[start]);
+                    i = start + 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime has no closing
+                // quote right after its identifier.
+                if let Some(end) = char_literal_end(bytes, i) {
+                    keep!(b'\'');
+                    for &inner in &bytes[i + 1..end] {
+                        blank!(inner);
+                    }
+                    keep!(b'\'');
+                    i = end + 1;
+                } else {
+                    keep!(b'\'');
+                    i += 1;
+                }
+            }
+            other => {
+                keep!(other);
+                i += 1;
+            }
+        }
+    }
+
+    Scrubbed {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments,
+    }
+}
+
+/// `true` when the byte before `i` can end an identifier, meaning an
+/// `r` at `i` is part of a name like `for` rather than a raw-string
+/// prefix.
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// If a char literal starts at `i` (a `'`), returns the index of its
+/// closing quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        // Escaped char: skip the backslash and the escape head, then
+        // scan to the closing quote (covers \u{...} forms).
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j);
+    }
+    // Unescaped: at most one char (possibly multibyte) then a quote.
+    let mut k = j;
+    while k < bytes.len() && k - j < 4 {
+        if bytes[k] == b'\'' {
+            return (k > j).then_some(k);
+        }
+        if bytes[k] == b'\n' {
+            return None;
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_collected() {
+        let s = scrub("let x = 1; // trailing note\n");
+        assert_eq!(s.code.lines().next().unwrap().trim_end(), "let x = 1;");
+        assert!(s.comments[0].contains("trailing note"));
+    }
+
+    #[test]
+    fn doc_comments_are_collected() {
+        let s = scrub("/// # Panics\n///\n/// Panics always.\nfn f() {}\n");
+        assert!(s.comments[0].contains("# Panics"));
+        assert!(s.code.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let s = scrub("let m = \"panic! inside string\";\n");
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("let m = \""));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scrub("let m = r#\"unwrap() here\"#;\n");
+        assert!(!s.code.contains("unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let s = scrub("/* outer /* inner */ still */ let y = 2;\n");
+        assert!(s.code.contains("let y = 2;"));
+        assert!(!s.code.contains("outer"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scrub("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(s.code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let s = scrub("let c = '\"'; let d = '\\n'; let e = 'x';\n");
+        assert!(!s.code.contains('x') || s.code.contains("let e = '"));
+        assert!(s.code.matches('\'').count() >= 6);
+    }
+
+    #[test]
+    fn line_count_is_preserved() {
+        let src = "a\n/* b\nc */\nd \"e\nf\"\n";
+        assert_eq!(scrub(src).code.lines().count(), src.lines().count());
+    }
+}

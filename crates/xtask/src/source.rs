@@ -1,0 +1,290 @@
+//! Per-file source model shared by every lint: the scrubbed text,
+//! the file's role in the workspace, which lines belong to test-only
+//! regions, and any inline `xtask:allow` waivers.
+
+use crate::scrub::{scrub, Scrubbed};
+use std::path::Path;
+
+/// What role a file plays, which decides which lints apply to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: the default, and the strictest tier.
+    Lib,
+    /// A binary target (`src/main.rs`, `src/bin/*`): terminal output
+    /// is its job, so the print lint does not apply.
+    Bin,
+    /// Tests, benches and examples: panic-style assertions and prints
+    /// are idiomatic there, so only the RNG lint applies.
+    TestLike,
+}
+
+/// One parsed source file, ready for linting.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the repo root, with `/` separators.
+    pub path: String,
+    /// The file's lint tier.
+    pub kind: FileKind,
+    /// Scrubbed code and per-line comment text.
+    pub scrubbed: Scrubbed,
+    /// `lines[i]` is the scrubbed text of 1-based line `i + 1`.
+    pub lines: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// `true` for lines inside a `mod tolerances { .. }` block (the
+    /// named-constants convention recognised by the float lint).
+    pub in_tolerances: Vec<bool>,
+    /// Inline waivers: `allows[i]` holds the lint ids allowed on
+    /// 1-based line `i + 1`.
+    pub allows: Vec<Vec<String>>,
+}
+
+impl SourceFile {
+    /// Builds the model for one file.
+    #[must_use]
+    pub fn parse(repo_relative_path: &str, kind: FileKind, source: &str) -> SourceFile {
+        let scrubbed = scrub(source);
+        let lines: Vec<String> = scrubbed.code.lines().map(str::to_owned).collect();
+        let in_test = attribute_regions(&lines, "#[cfg(test)");
+        let in_tolerances = mod_regions(&lines, "mod tolerances");
+        let allows = inline_allows(&scrubbed.comments, &lines);
+        SourceFile {
+            path: repo_relative_path.to_owned(),
+            kind,
+            scrubbed,
+            lines,
+            in_test,
+            in_tolerances,
+            allows,
+        }
+    }
+
+    /// `true` when 1-based `line` carries an inline allow for `lint`.
+    #[must_use]
+    pub fn allowed(&self, lint: &str, line: usize) -> bool {
+        self.allows
+            .get(line - 1)
+            .is_some_and(|ids| ids.iter().any(|id| id == lint))
+    }
+
+    /// `true` when 1-based `line` is inside test-only code.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Classifies a repo-relative path into a [`FileKind`].
+#[must_use]
+pub fn classify(path: &Path) -> FileKind {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let test_like = ["/tests/", "/benches/", "/examples/"]
+        .iter()
+        .any(|d| p.contains(d))
+        || p.starts_with("tests/")
+        || p.starts_with("benches/")
+        || p.starts_with("examples/");
+    if test_like {
+        return FileKind::TestLike;
+    }
+    if p.ends_with("/main.rs") || p.contains("/bin/") || p == "build.rs" || p.ends_with("/build.rs")
+    {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+/// Marks the lines covered by any item annotated with an attribute
+/// starting with `marker` (e.g. `#[cfg(test)`), by brace-matching the
+/// first block that follows the attribute.
+fn attribute_regions(lines: &[String], marker: &str) -> Vec<bool> {
+    let mut region = vec![false; lines.len()];
+    let mut armed = false;
+    let mut depth = 0i64;
+    for (idx, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if depth > 0 {
+            region[idx] = true;
+            depth += brace_delta(line);
+            if depth <= 0 {
+                depth = 0;
+            }
+            continue;
+        }
+        if trimmed.starts_with(marker) {
+            region[idx] = true;
+            let delta = brace_delta(line);
+            if delta > 0 {
+                depth = delta; // attribute and item share the line
+            } else {
+                armed = true;
+            }
+            continue;
+        }
+        if armed {
+            region[idx] = true;
+            // Attribute / doc lines between the marker and the item
+            // keep the arm; the first braced item consumes it.
+            let delta = brace_delta(line);
+            if delta > 0 {
+                armed = false;
+                depth = delta;
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") && trimmed.ends_with(';') {
+                // A braceless item (e.g. `#[cfg(test)] use x;`).
+                armed = false;
+            }
+        }
+    }
+    region
+}
+
+/// Marks the lines of every `mod <name> { .. }` block whose header
+/// starts with `header` (after optional `pub `).
+fn mod_regions(lines: &[String], header: &str) -> Vec<bool> {
+    let mut region = vec![false; lines.len()];
+    let mut depth = 0i64;
+    for (idx, line) in lines.iter().enumerate() {
+        let trimmed = line.trim().trim_start_matches("pub ");
+        if depth > 0 {
+            region[idx] = true;
+            depth += brace_delta(line);
+            if depth <= 0 {
+                depth = 0;
+            }
+            continue;
+        }
+        if trimmed.starts_with(header) {
+            region[idx] = true;
+            depth = brace_delta(line).max(1);
+        }
+    }
+    region
+}
+
+/// Net `{`/`}` balance of a (scrubbed) line.
+fn brace_delta(line: &str) -> i64 {
+    let mut delta = 0i64;
+    for b in line.bytes() {
+        match b {
+            b'{' => delta += 1,
+            b'}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Parses inline waivers of the form `xtask:allow(<lint-id>): reason`
+/// out of the per-line comment text. The reason is mandatory — a
+/// waiver without one is ignored, so it will still be reported.
+///
+/// A waiver on a pure-comment line (no code) also covers the next
+/// code line, so long reasons can sit above the statement they waive
+/// instead of fighting rustfmt's line width as a trailing comment.
+fn inline_allows(comments: &[String], code_lines: &[String]) -> Vec<Vec<String>> {
+    let line_count = code_lines.len();
+    let mut allows = vec![Vec::new(); line_count];
+    for (idx, comment) in comments.iter().enumerate().take(line_count) {
+        let mut rest = comment.as_str();
+        while let Some(pos) = rest.find("xtask:allow(") {
+            rest = &rest[pos + "xtask:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let id = rest[..close].trim().to_owned();
+            let after = &rest[close + 1..];
+            let has_reason = after
+                .strip_prefix(':')
+                .is_some_and(|r| !r.trim().is_empty());
+            if has_reason && !id.is_empty() {
+                allows[idx].push(id);
+            }
+            rest = after;
+        }
+    }
+    for idx in 0..line_count {
+        if allows[idx].is_empty() || !code_lines[idx].trim().is_empty() {
+            continue;
+        }
+        let mut next = idx + 1;
+        while next < line_count && code_lines[next].trim().is_empty() {
+            next += 1;
+        }
+        if next < line_count {
+            let carried = allows[idx].clone();
+            allows[next].extend(carried);
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn classify_tiers() {
+        assert_eq!(
+            classify(Path::new("crates/decision/src/lib.rs")),
+            FileKind::Lib
+        );
+        assert_eq!(classify(Path::new("src/bin/nocomm.rs")), FileKind::Bin);
+        assert_eq!(
+            classify(Path::new("crates/bench/benches/b.rs")),
+            FileKind::TestLike
+        );
+        assert_eq!(
+            classify(Path::new("examples/quickstart.rs")),
+            FileKind::TestLike
+        );
+        assert_eq!(
+            classify(Path::new("tests/paper_results.rs")),
+            FileKind::TestLike
+        );
+    }
+
+    #[test]
+    fn test_module_region_is_tracked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", FileKind::Lib, src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_single_item_region() {
+        let src = "#[cfg(test)]\nfn helper() {\n    1\n}\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", FileKind::Lib, src);
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn tolerances_module_region() {
+        let src = "mod tolerances {\n    pub const EPS: f64 = 1e-9;\n}\nconst OTHER: f64 = 0.5;\n";
+        let f = SourceFile::parse("x.rs", FileKind::Lib, src);
+        assert!(f.in_tolerances[1]);
+        assert!(!f.in_tolerances[3]);
+    }
+
+    #[test]
+    fn inline_allow_requires_reason() {
+        let src =
+            "a(); // xtask:allow(no-panic): documented contract\nb(); // xtask:allow(no-panic)\n";
+        let f = SourceFile::parse("x.rs", FileKind::Lib, src);
+        assert!(f.allowed("no-panic", 1));
+        assert!(!f.allowed("no-panic", 2));
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src =
+            "// xtask:allow(no-panic): infallible by construction\n\nx.unwrap();\ny.unwrap();\n";
+        let f = SourceFile::parse("x.rs", FileKind::Lib, src);
+        assert!(f.allowed("no-panic", 1));
+        assert!(f.allowed("no-panic", 3));
+        assert!(!f.allowed("no-panic", 4));
+    }
+}

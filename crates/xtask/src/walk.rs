@@ -1,0 +1,67 @@
+//! Workspace discovery: which `.rs` files get linted.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories (repo-relative prefixes) that are never linted.
+/// `tests/fixtures` holds deliberate violations for the lint tests.
+const SKIP_FRAGMENTS: &[&str] = &["target/", "tests/fixtures/", ".git/"];
+
+/// Collects every Rust source file under the repo root, sorted, as
+/// `(repo-relative path with / separators, absolute path)`.
+///
+/// # Errors
+///
+/// Returns an IO error message if a directory cannot be read.
+pub fn rust_sources(repo_root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut found = Vec::new();
+    let mut stack = vec![repo_root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let rel = relative(repo_root, &path);
+            if SKIP_FRAGMENTS.iter().any(|s| rel.contains(s)) || rel.starts_with('.') {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if std::path::Path::new(&rel).extension() == Some(std::ffi::OsStr::new("rs")) {
+                found.push((rel, path));
+            }
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Repo-relative path with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let files = rust_sources(&root).unwrap();
+        assert!(files
+            .iter()
+            .any(|(rel, _)| rel == "crates/xtask/src/walk.rs"));
+        assert!(files
+            .iter()
+            .all(|(rel, _)| !rel.contains("tests/fixtures/")));
+        assert!(files.iter().all(|(rel, _)| !rel.starts_with("target/")));
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` header;
+//! fires `unsafe-header` when parsed as a `src/lib.rs`.
+
+pub fn fine() {}

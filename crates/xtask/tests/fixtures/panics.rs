@@ -1,0 +1,37 @@
+//! Fixture: panicking constructs in library code. Every marked line
+//! must fire `no-panic`; the test-module and inline-allowed ones must
+//! not.
+
+pub fn uses_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // FIRE no-panic
+}
+
+pub fn uses_expect(x: Option<u8>) -> u8 {
+    x.expect("present") // FIRE no-panic
+}
+
+fn uses_panic() {
+    panic!("boom"); // FIRE no-panic
+}
+
+fn uses_unreachable() {
+    unreachable!(); // FIRE no-panic
+}
+
+/// Documented contract with a reviewed waiver.
+///
+/// # Panics
+///
+/// Panics when empty.
+pub fn waived(x: Option<u8>) -> u8 {
+    x.unwrap() // xtask:allow(no-panic): documented constructor contract
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1u8).unwrap();
+        assert!(true);
+    }
+}

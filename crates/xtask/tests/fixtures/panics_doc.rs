@@ -1,0 +1,24 @@
+//! Fixture: `# Panics` documentation contract.
+
+/// Undocumented panic: must fire `panics-doc` at the signature.
+/// (`assert!` alone does not fire `no-panic` — preconditions are
+/// fine, undocumented ones are not.)
+pub fn undocumented(x: u8) -> u8 {
+    assert!(x > 0, "positive");
+    x
+}
+
+/// Documented panic: must not fire.
+///
+/// # Panics
+///
+/// Panics if `x` is zero.
+pub fn documented(x: u8) -> u8 {
+    assert!(x > 0, "positive");
+    x
+}
+
+/// Cannot panic: must not fire.
+pub fn total(x: u8) -> u8 {
+    x.saturating_add(1)
+}

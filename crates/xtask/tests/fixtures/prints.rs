@@ -1,0 +1,19 @@
+//! Fixture: terminal output in library code; the live lines fire
+//! `no-print`, the string literal and test module do not.
+
+fn chatty() {
+    println!("progress: {}", 1); // FIRE no-print
+    eprintln!("warning"); // FIRE no-print
+}
+
+fn about_printing() -> &'static str {
+    "call println!(..) to print" // string content: must NOT fire
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

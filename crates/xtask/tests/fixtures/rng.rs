@@ -1,0 +1,18 @@
+//! Fixture: ambient-entropy RNG constructors; all must fire
+//! `no-unseeded-rng`, even inside the test module.
+
+fn entropy_a() {
+    let _r = rand::thread_rng(); // FIRE no-unseeded-rng
+}
+
+fn entropy_b() {
+    let _r = StdRng::from_entropy(); // FIRE no-unseeded-rng
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_not_exempt() {
+        let _x: u64 = rand::random(); // FIRE no-unseeded-rng
+    }
+}

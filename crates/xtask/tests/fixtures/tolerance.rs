@@ -1,0 +1,24 @@
+//! Fixture: bare float tolerances.
+
+mod tolerances {
+    /// Named, reviewed tolerance: must NOT fire.
+    pub const PROB_EPS: f64 = 1e-9;
+}
+
+const LOCAL_EPS: f64 = 1e-12; // const definition: must NOT fire
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 // FIRE float-tolerance
+}
+
+fn also_close(a: f64, b: f64) -> bool {
+    (a - b).abs() < tolerances::PROB_EPS + LOCAL_EPS // named: must NOT fire
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_bare_tolerances() {
+        assert!((0.1f64 + 0.2 - 0.3).abs() < 1e-12);
+    }
+}

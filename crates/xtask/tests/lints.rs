@@ -1,0 +1,137 @@
+//! Integration tests: each lint fires on its fixture, waived paths
+//! stay silent, and the real workspace is clean.
+
+use std::path::Path;
+use xtask::allow::Allowlist;
+use xtask::lints::{check_file, Violation, LINTS};
+use xtask::source::{FileKind, SourceFile};
+
+/// Parses a fixture under the given virtual repo path.
+fn fixture(name: &str, virtual_path: &str, kind: FileKind) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()));
+    SourceFile::parse(virtual_path, kind, &text)
+}
+
+fn by_lint<'a>(violations: &'a [Violation], lint: &str) -> Vec<&'a Violation> {
+    violations.iter().filter(|v| v.lint == lint).collect()
+}
+
+#[test]
+fn no_panic_fires_on_fixture_and_respects_waivers() {
+    let f = fixture("panics.rs", "crates/demo/src/panics.rs", FileKind::Lib);
+    let v = check_file(&f);
+    let hits = by_lint(&v, "no-panic");
+    // unwrap, expect, panic!, unreachable! — the waived unwrap and the
+    // test-module unwrap stay silent.
+    assert_eq!(hits.len(), 4, "{v:?}");
+}
+
+#[test]
+fn no_panic_ignores_test_files_entirely() {
+    let f = fixture(
+        "panics.rs",
+        "crates/demo/tests/panics.rs",
+        FileKind::TestLike,
+    );
+    assert!(by_lint(&check_file(&f), "no-panic").is_empty());
+}
+
+#[test]
+fn unseeded_rng_fires_everywhere_including_tests() {
+    let f = fixture("rng.rs", "crates/demo/src/rng.rs", FileKind::Lib);
+    assert_eq!(by_lint(&check_file(&f), "no-unseeded-rng").len(), 3);
+    let t = fixture("rng.rs", "crates/demo/tests/rng.rs", FileKind::TestLike);
+    assert_eq!(by_lint(&check_file(&t), "no-unseeded-rng").len(), 3);
+}
+
+#[test]
+fn no_print_fires_in_lib_but_not_in_bin() {
+    let f = fixture("prints.rs", "crates/demo/src/prints.rs", FileKind::Lib);
+    assert_eq!(by_lint(&check_file(&f), "no-print").len(), 2);
+    let b = fixture("prints.rs", "crates/demo/src/bin/prints.rs", FileKind::Bin);
+    assert!(by_lint(&check_file(&b), "no-print").is_empty());
+}
+
+#[test]
+fn panics_doc_fires_only_on_the_undocumented_fn() {
+    let f = fixture(
+        "panics_doc.rs",
+        "crates/demo/src/panics_doc.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    let hits = by_lint(&v, "panics-doc");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("# Panics"));
+}
+
+#[test]
+fn float_tolerance_fires_once_on_the_bare_literal() {
+    let f = fixture(
+        "tolerance.rs",
+        "crates/demo/src/tolerance.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    let hits = by_lint(&v, "float-tolerance");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("1e-9"));
+}
+
+#[test]
+fn unsafe_header_fires_only_when_parsed_as_crate_root() {
+    let f = fixture("no_header.rs", "crates/demo/src/lib.rs", FileKind::Lib);
+    assert_eq!(by_lint(&check_file(&f), "unsafe-header").len(), 1);
+    let g = fixture("no_header.rs", "crates/demo/src/other.rs", FileKind::Lib);
+    assert!(by_lint(&check_file(&g), "unsafe-header").is_empty());
+}
+
+#[test]
+fn allowlist_entries_silence_matching_paths_only() {
+    let f = fixture("prints.rs", "crates/demo/src/prints.rs", FileKind::Lib);
+    let v = check_file(&f);
+    let list =
+        Allowlist::parse("no-print crates/demo/ reporter writes to the terminal by design\n")
+            .expect("valid allowlist");
+    assert!(by_lint(&list.filter(v.clone()), "no-print").is_empty());
+    let other = Allowlist::parse("no-print crates/elsewhere/ different crate\n").expect("valid");
+    assert_eq!(by_lint(&other.filter(v), "no-print").len(), 2);
+}
+
+#[test]
+fn every_lint_has_a_firing_fixture() {
+    // Guards the lint table against silently unexercised rules.
+    let fixtures = [
+        ("panics.rs", "crates/demo/src/panics.rs"),
+        ("rng.rs", "crates/demo/src/rng.rs"),
+        ("prints.rs", "crates/demo/src/prints.rs"),
+        ("panics_doc.rs", "crates/demo/src/panics_doc.rs"),
+        ("tolerance.rs", "crates/demo/src/tolerance.rs"),
+        ("no_header.rs", "crates/demo/src/lib.rs"),
+    ];
+    let mut all = Vec::new();
+    for (name, vpath) in fixtures {
+        all.extend(check_file(&fixture(name, vpath, FileKind::Lib)));
+    }
+    for lint in LINTS {
+        assert!(
+            all.iter().any(|v| v.lint == lint.id),
+            "lint `{}` never fired on any fixture",
+            lint.id
+        );
+    }
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let violations = xtask::lint_workspace(xtask::repo_root()).expect("lint run");
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        xtask::render(&violations)
+    );
+}

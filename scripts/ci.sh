@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# The full local gate, identical to .github/workflows/ci.yml:
+#   fmt -> repo lints -> tests -> tests with hard invariants.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo xtask lint"
+cargo run --package xtask --quiet -- lint
+
+echo "==> cargo test (workspace)"
+cargo test --quiet --workspace
+
+echo "==> cargo test (checked invariants)"
+cargo test --quiet --workspace --features checked-invariants
+
+echo "ci: all gates passed"

@@ -190,7 +190,9 @@ fn gradient(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
 fn simulate(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
     let algo = thresholds_of(parsed)?;
     let exact = winning_probability_threshold(&algo, cap).map_err(|e| e.to_string())?;
-    let report = Simulation::new(parsed.trials, parsed.seed).run(&algo, cap.to_f64());
+    let report = Simulation::try_new(parsed.trials, parsed.seed)
+        .map_err(|e| e.to_string())?
+        .run(&algo, cap.to_f64());
     println!("exact     {:.10}", exact.to_f64());
     println!("simulated {report}");
     println!(
@@ -202,6 +204,9 @@ fn simulate(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
 
 fn price(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
     let n = require_n(parsed)?;
+    if parsed.trials == 0 {
+        return Err("need at least one trial".to_owned());
+    }
     let tol = Rational::ratio(1, 1 << 40);
     let coin = oblivious::optimal_value(n, cap)
         .map_err(|e| e.to_string())?
@@ -221,7 +226,7 @@ fn price(parsed: &Parsed, cap: &Capacity) -> Result<(), String> {
     println!("  oblivious 1/2:      {coin:.6}");
     println!("  best threshold:     {thr:.6}");
     println!("  best partition:     {split:.6}");
-    println!("  omniscient (MC):    {}", omni);
+    println!("  omniscient (MC):    {omni}");
     println!("  price of silence:   {:.6}", omni.estimate - best);
     Ok(())
 }

@@ -27,6 +27,8 @@
 //! assert!((best.argmax.to_f64() - (1.0 - (1.0f64 / 7.0).sqrt())).abs() < 1e-8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use bigint;
 pub use decision;
 pub use geometry;
