@@ -1,0 +1,96 @@
+//! Memoization payoff of the generic analytic core: sweeping the
+//! symmetric oblivious winning probability over an α grid with a
+//! shared [`EvalContext`] (Irwin–Hall tables built once per `(n, δ)`)
+//! versus a cold context per evaluation.
+//!
+//! Besides the usual per-benchmark report lines, this bench writes
+//! `results/BENCH_generic_core.json` with the paired cold/memoized
+//! medians and their speedups.
+
+use bench::{write_bench_json, PairedTiming};
+use criterion::black_box;
+use decision::{winning_probability_oblivious_in, EvalContext};
+use std::path::Path;
+use std::time::Instant;
+
+const DELTA: f64 = 1.0;
+const GRID: usize = 64;
+const SAMPLES: usize = 31;
+
+/// One full α sweep with a fresh context per evaluation: every grid
+/// point rebuilds the inclusion–exclusion tables from scratch.
+fn sweep_cold(n: usize) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..=GRID {
+        let alpha = k as f64 / GRID as f64;
+        let mut ctx = EvalContext::new();
+        acc += winning_probability_oblivious_in(&mut ctx, &vec![alpha; n], &DELTA)
+            .expect("valid symmetric system");
+    }
+    acc
+}
+
+/// One full α sweep through a shared context: after the first grid
+/// point the `(n, δ)` tables are warm and every later evaluation is a
+/// cache hit.
+fn sweep_memoized(n: usize, ctx: &mut EvalContext<f64>) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..=GRID {
+        let alpha = k as f64 / GRID as f64;
+        acc += winning_probability_oblivious_in(ctx, &vec![alpha; n], &DELTA)
+            .expect("valid symmetric system");
+    }
+    acc
+}
+
+/// Median wall-clock nanoseconds of `routine` over [`SAMPLES`] runs.
+fn median_ns(mut routine: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut timings = Vec::new();
+    println!(
+        "generic_core: α-grid sweep ({} points), δ = {DELTA}",
+        GRID + 1
+    );
+    for n in 3usize..=8 {
+        // Memoization must be invisible: both paths agree bit-for-bit.
+        let mut shared = EvalContext::new();
+        assert_eq!(sweep_cold(n), sweep_memoized(n, &mut shared));
+
+        let cold_ns = median_ns(|| sweep_cold(n));
+        let memoized_ns = median_ns(|| sweep_memoized(n, &mut shared));
+        let t = PairedTiming {
+            label: format!("n = {n}"),
+            cold_ns,
+            memoized_ns,
+        };
+        println!(
+            "generic_core/{:<8} cold {:>10.1} ns/sweep   memoized {:>10.1} ns/sweep   speedup {:.2}x",
+            t.label,
+            t.cold_ns,
+            t.memoized_ns,
+            t.speedup()
+        );
+        timings.push(t);
+    }
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_generic_core.json");
+    write_bench_json(&path, "generic_core", &timings).expect("write bench JSON");
+    println!("written: {}", path.display());
+
+    let at_n8 = timings.last().expect("n = 8 measured").speedup();
+    assert!(
+        at_n8 >= 2.0,
+        "memoized sweep must be at least 2x over the cold path at n = 8, got {at_n8:.2}x"
+    );
+}

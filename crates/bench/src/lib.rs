@@ -22,5 +22,5 @@ pub mod output;
 pub mod series;
 
 pub use experiments::*;
-pub use output::{render_markdown_table, write_csv};
+pub use output::{render_markdown_table, write_bench_json, write_csv, PairedTiming};
 pub use series::{Point, Series};

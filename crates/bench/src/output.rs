@@ -23,6 +23,57 @@ pub fn write_csv(path: &Path, series: &[Series]) -> io::Result<()> {
     Ok(())
 }
 
+/// One paired timing measurement: the same workload through a cold
+/// path and a memoized path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairedTiming {
+    /// What was measured (e.g. `"n = 8"`).
+    pub label: String,
+    /// Median time of the cold path, in nanoseconds.
+    pub cold_ns: f64,
+    /// Median time of the memoized path, in nanoseconds.
+    pub memoized_ns: f64,
+}
+
+impl PairedTiming {
+    /// Cold time over memoized time (`> 1` means memoization pays).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.cold_ns / self.memoized_ns
+    }
+}
+
+/// Writes paired cold/memoized timings as a small JSON document
+/// (`{"bench": ..., "results": [{"label", "cold_ns", "memoized_ns",
+/// "speedup"}, ...]}`), creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_bench_json(path: &Path, bench: &str, timings: &[PairedTiming]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{{")?;
+    writeln!(file, "  \"bench\": \"{bench}\",")?;
+    writeln!(file, "  \"results\": [")?;
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        writeln!(
+            file,
+            "    {{\"label\": \"{}\", \"cold_ns\": {:.1}, \"memoized_ns\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            t.label,
+            t.cold_ns,
+            t.memoized_ns,
+            t.speedup()
+        )?;
+    }
+    writeln!(file, "  ]")?;
+    writeln!(file, "}}")?;
+    Ok(())
+}
+
 /// Renders rows as a GitHub-flavoured markdown table.
 ///
 /// # Panics
@@ -60,6 +111,33 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "series,x,y\nn = 3,0,0.1\nn = 3,1,0.2\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let dir = std::env::temp_dir().join("nocomm-bench-json-test");
+        let path = dir.join("BENCH_test.json");
+        let timings = vec![PairedTiming {
+            label: "n = 8".into(),
+            cold_ns: 1000.0,
+            memoized_ns: 250.0,
+        }];
+        write_bench_json(&path, "generic_core", &timings).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"generic_core\""));
+        assert!(text.contains("\"label\": \"n = 8\""));
+        assert!(text.contains("\"speedup\": 4.000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn speedup_is_cold_over_memoized() {
+        let t = PairedTiming {
+            label: "x".into(),
+            cold_ns: 300.0,
+            memoized_ns: 100.0,
+        };
+        assert!((t.speedup() - 3.0).abs() < 1e-12);
     }
 
     #[test]

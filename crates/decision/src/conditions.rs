@@ -18,7 +18,8 @@
 
 use crate::{Capacity, ModelError, SingleThresholdAlgorithm};
 use polynomial::{PiecewisePolynomial, Polynomial};
-use rational::{factorial_rational, Rational};
+use rational::Rational;
+use uniform_sums::EvalContext;
 
 /// Largest player count for the symbolic `2^n`-subset construction.
 const MAX_SYMBOLIC_PLAYERS: usize = 12;
@@ -61,6 +62,28 @@ pub fn partial_piecewise(
     k: usize,
     capacity: &Capacity,
 ) -> Result<PiecewisePolynomial<Rational>, ModelError> {
+    let mut ctx = EvalContext::new();
+    partial_piecewise_with(&mut ctx, algo, k, capacity)
+}
+
+/// [`partial_piecewise`] with a caller-supplied [`EvalContext`]: the
+/// factorial normalizers of the Lemma 2.4/2.7 products come from the
+/// context's cached tables, so repeated curve constructions (e.g. a
+/// full gradient, or certified coordinate ascent) share them.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if `n > 12`.
+///
+/// # Panics
+///
+/// Panics if `k >= n`.
+pub fn partial_piecewise_with(
+    ctx: &mut EvalContext<Rational>,
+    algo: &SingleThresholdAlgorithm,
+    k: usize,
+    capacity: &Capacity,
+) -> Result<PiecewisePolynomial<Rational>, ModelError> {
     let n = algo.n();
     assert!(k < n, "player index out of range");
     if n > MAX_SYMBOLIC_PLAYERS {
@@ -82,7 +105,7 @@ pub fn partial_piecewise(
     let mut pieces = Vec::with_capacity(breakpoints.len() - 1);
     for window in breakpoints.windows(2) {
         let probe = window[0].midpoint(&window[1]);
-        pieces.push(piece_in_x(&others, delta, &probe));
+        pieces.push(piece_in_x(ctx, &others, delta, &probe));
     }
     Ok(PiecewisePolynomial::new(breakpoints, pieces))
 }
@@ -113,9 +136,24 @@ pub fn optimality_gradient(
     algo: &SingleThresholdAlgorithm,
     capacity: &Capacity,
 ) -> Result<Vec<Rational>, ModelError> {
+    let mut ctx = EvalContext::new();
+    optimality_gradient_with(&mut ctx, algo, capacity)
+}
+
+/// [`optimality_gradient`] with a caller-supplied [`EvalContext`]
+/// shared across the `n` per-coordinate curve constructions.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if `n > 12`.
+pub fn optimality_gradient_with(
+    ctx: &mut EvalContext<Rational>,
+    algo: &SingleThresholdAlgorithm,
+    capacity: &Capacity,
+) -> Result<Vec<Rational>, ModelError> {
     (0..algo.n())
         .map(|k| {
-            let curve = partial_piecewise(algo, k, capacity)?;
+            let curve = partial_piecewise_with(ctx, algo, k, capacity)?;
             let x = &algo.thresholds()[k];
             let piece = curve.piece_index(x).expect("threshold in [0,1]"); // xtask:allow(no-panic): constructor keeps thresholds inside the curve domain
             Ok(curve.pieces()[piece].derivative().eval(x))
@@ -139,7 +177,24 @@ pub fn coordinate_optimal(
     capacity: &Capacity,
     tol: &Rational,
 ) -> Result<(Rational, Rational), ModelError> {
-    let curve = partial_piecewise(algo, k, capacity)?;
+    let mut ctx = EvalContext::new();
+    coordinate_optimal_with(&mut ctx, algo, k, capacity, tol)
+}
+
+/// [`coordinate_optimal`] with a caller-supplied [`EvalContext`], for
+/// ascent loops that solve many best-response subproblems in a row.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] if `n > 12`.
+pub fn coordinate_optimal_with(
+    ctx: &mut EvalContext<Rational>,
+    algo: &SingleThresholdAlgorithm,
+    k: usize,
+    capacity: &Capacity,
+    tol: &Rational,
+) -> Result<(Rational, Rational), ModelError> {
+    let curve = partial_piecewise_with(ctx, algo, k, capacity)?;
     let report = curve.maximize(tol);
     Ok((report.argmax, report.value))
 }
@@ -183,7 +238,12 @@ fn breakpoints_in_x(others: &[Rational], n: usize, delta: &Rational) -> Vec<Rati
 /// Assembles the exact polynomial in `x` valid around `probe`:
 /// sum over decisions of the other players and the two placements of
 /// the distinguished player.
-fn piece_in_x(others: &[Rational], delta: &Rational, probe: &Rational) -> Polynomial<Rational> {
+fn piece_in_x(
+    ctx: &mut EvalContext<Rational>,
+    others: &[Rational],
+    delta: &Rational,
+    probe: &Rational,
+) -> Polynomial<Rational> {
     let w = others.len();
     let mut total = Polynomial::zero();
     for mask in 0usize..(1 << w) {
@@ -196,12 +256,12 @@ fn piece_in_x(others: &[Rational], delta: &Rational, probe: &Rational) -> Polyno
             .map(|l| others[l].clone())
             .collect();
         // Distinguished player in bin 0: A is symbolic, B constant.
-        let a_sym = lemma_2_4_product(&bin0, true, delta, probe);
-        let b_const = lemma_2_7_product(&bin1, false, delta, probe);
+        let a_sym = lemma_2_4_product(ctx, &bin0, true, delta, probe);
+        let b_const = lemma_2_7_product(ctx, &bin1, false, delta, probe);
         total = &total + &(&a_sym * &b_const);
         // Distinguished player in bin 1: A constant, B symbolic.
-        let a_const = lemma_2_4_product(&bin0, false, delta, probe);
-        let b_sym = lemma_2_7_product(&bin1, true, delta, probe);
+        let a_const = lemma_2_4_product(ctx, &bin0, false, delta, probe);
+        let b_sym = lemma_2_7_product(ctx, &bin1, true, delta, probe);
         total = &total + &(&a_const * &b_sym);
     }
     total
@@ -213,6 +273,7 @@ fn piece_in_x(others: &[Rational], delta: &Rational, probe: &Rational) -> Polyno
 /// where the group is `widths` plus, when `with_x`, the symbolic
 /// threshold `x`.
 fn lemma_2_4_product(
+    ctx: &mut EvalContext<Rational>,
     widths: &[Rational],
     with_x: bool,
     delta: &Rational,
@@ -260,7 +321,7 @@ fn lemma_2_4_product(
             }
         }
     }
-    acc.scale(&factorial_rational(m as u32).recip())
+    acc.scale(&ctx.factorial(m as u32).recip())
 }
 
 /// `P(bin-1 choice) · P(Σ₁ ≤ δ | bin 1)` as a polynomial in `x`
@@ -268,6 +329,7 @@ fn lemma_2_4_product(
 /// `Π (1−a_l) − (1/m!) Σ_{J: |J| < m−δ+Σ_J at probe}
 /// (−1)^{|J|} (m − δ − |J| + Σ_J)^m`.
 fn lemma_2_7_product(
+    ctx: &mut EvalContext<Rational>,
     thresholds: &[Rational],
     with_x: bool,
     delta: &Rational,
@@ -329,7 +391,7 @@ fn lemma_2_7_product(
             }
         }
     }
-    &lead - &acc.scale(&factorial_rational(m as u32).recip())
+    &lead - &acc.scale(&ctx.factorial(m as u32).recip())
 }
 
 #[cfg(test)]

@@ -14,15 +14,61 @@
 //! an `O(n)`-term mixture. Because removing a player can only lower
 //! both bin loads, `P_win` is monotone in crash probability — a
 //! property the tests assert.
+//!
+//! The mixtures are implemented once, generically over [`Scalar`]
+//! ([`threshold_with_crashes_in`], [`oblivious_with_crashes_in`]); the
+//! exact API and the `*_f64` fast paths are instantiations.
 
 use crate::{
-    winning_probability_oblivious, winning_probability_threshold, Capacity, ModelError,
+    winning_probability_oblivious_in, winning_probability_threshold_in, Capacity, ModelError,
     ObliviousAlgorithm, SingleThresholdAlgorithm,
 };
-use rational::{binomial_rational, Rational};
+use rational::{Rational, Scalar};
+use uniform_sums::EvalContext;
 
-/// Exact winning probability of a single-threshold algorithm when each
-/// player independently crashes with probability `p_crash`.
+/// Largest player count for the `2^n` mixture over survivor subsets
+/// (each subset triggers a full fault-free evaluation).
+const MAX_MIXTURE_PLAYERS: usize = 16;
+
+/// Winning probability of a single-threshold algorithm when each
+/// player independently crashes with probability `p_crash`, in any
+/// [`Scalar`] instantiation.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ProbabilityOutOfRange`] if `p_crash ∉ [0,1]`,
+/// [`ModelError::TooManyPlayersForExact`] if an asymmetric vector has
+/// more than 16 players, and propagates size limits from the
+/// fault-free evaluation.
+pub fn threshold_with_crashes_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
+    thresholds: &[S],
+    delta: &S,
+    p_crash: &S,
+) -> Result<S, ModelError> {
+    validate_probability_in(p_crash)?;
+    let n = thresholds.len();
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    if thresholds.windows(2).all(|w| w[0] == w[1]) {
+        let beta = thresholds[0].clone();
+        return mixture_symmetric_in(ctx, n, p_crash, |ctx, k| {
+            survivors_threshold_in(ctx, &vec![beta.clone(); k], delta)
+        });
+    }
+    mixture_subsets_in(ctx, n, p_crash, |ctx, mask| {
+        let kept: Vec<S> = (0..n)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| thresholds[i].clone())
+            .collect();
+        survivors_threshold_in(ctx, &kept, delta)
+    })
+}
+
+/// Exact winning probability of a single-threshold algorithm under
+/// independent crashes: the [`Rational`] instantiation of
+/// [`threshold_with_crashes_in`].
 ///
 /// # Errors
 ///
@@ -50,25 +96,65 @@ pub fn threshold_with_crashes(
     capacity: &Capacity,
     p_crash: &Rational,
 ) -> Result<Rational, ModelError> {
-    validate_probability(p_crash)?;
-    let n = algo.n();
-    if algo.is_symmetric() {
-        let beta = algo.thresholds()[0].clone();
-        return mixture_symmetric(n, capacity, p_crash, |k| {
-            survivors_threshold(&vec![beta.clone(); k], capacity)
+    let mut ctx = EvalContext::new();
+    threshold_with_crashes_in(&mut ctx, algo.thresholds(), capacity.value(), p_crash)
+}
+
+/// Fast `f64` version of [`threshold_with_crashes`]: the float
+/// instantiation of [`threshold_with_crashes_in`].
+///
+/// # Errors
+///
+/// Same conditions as the generic core.
+// xtask:allow(no-twin-f64): instantiation wrapper over the generic core
+pub fn threshold_with_crashes_f64(
+    thresholds: &[f64],
+    delta: f64,
+    p_crash: f64,
+) -> Result<f64, ModelError> {
+    let mut ctx = EvalContext::new();
+    threshold_with_crashes_in(&mut ctx, thresholds, &delta, &p_crash)
+}
+
+/// Winning probability of an oblivious algorithm under independent
+/// crashes with probability `p_crash`, in any [`Scalar`]
+/// instantiation.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ProbabilityOutOfRange`] if `p_crash ∉ [0,1]`,
+/// [`ModelError::TooManyPlayersForExact`] if an asymmetric vector has
+/// more than 16 players, and propagates size limits from the
+/// fault-free evaluation.
+pub fn oblivious_with_crashes_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
+    alpha: &[S],
+    delta: &S,
+    p_crash: &S,
+) -> Result<S, ModelError> {
+    validate_probability_in(p_crash)?;
+    let n = alpha.len();
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    if alpha.windows(2).all(|w| w[0] == w[1]) {
+        let a = alpha[0].clone();
+        return mixture_symmetric_in(ctx, n, p_crash, |ctx, k| {
+            survivors_oblivious_in(ctx, &vec![a.clone(); k], delta)
         });
     }
-    mixture_subsets(n, p_crash, |mask| {
-        let kept: Vec<Rational> = (0..n)
+    mixture_subsets_in(ctx, n, p_crash, |ctx, mask| {
+        let kept: Vec<S> = (0..n)
             .filter(|i| mask >> i & 1 == 1)
-            .map(|i| algo.thresholds()[i].clone())
+            .map(|i| alpha[i].clone())
             .collect();
-        survivors_threshold(&kept, capacity)
+        survivors_oblivious_in(ctx, &kept, delta)
     })
 }
 
 /// Exact winning probability of an oblivious algorithm under
-/// independent crashes with probability `p_crash`.
+/// independent crashes: the [`Rational`] instantiation of
+/// [`oblivious_with_crashes_in`].
 ///
 /// # Errors
 ///
@@ -79,107 +165,122 @@ pub fn oblivious_with_crashes(
     capacity: &Capacity,
     p_crash: &Rational,
 ) -> Result<Rational, ModelError> {
-    validate_probability(p_crash)?;
-    let n = algo.n();
-    if algo.is_symmetric() {
-        let alpha = algo.probabilities()[0].clone();
-        return mixture_symmetric(n, capacity, p_crash, |k| {
-            survivors_oblivious(&vec![alpha.clone(); k], capacity)
-        });
-    }
-    mixture_subsets(n, p_crash, |mask| {
-        let kept: Vec<Rational> = (0..n)
-            .filter(|i| mask >> i & 1 == 1)
-            .map(|i| algo.probabilities()[i].clone())
-            .collect();
-        survivors_oblivious(&kept, capacity)
-    })
+    let mut ctx = EvalContext::new();
+    oblivious_with_crashes_in(&mut ctx, algo.probabilities(), capacity.value(), p_crash)
 }
 
-fn validate_probability(p: &Rational) -> Result<(), ModelError> {
-    if p.is_negative() || p > &Rational::one() {
+/// Fast `f64` version of [`oblivious_with_crashes`]: the float
+/// instantiation of [`oblivious_with_crashes_in`].
+///
+/// # Errors
+///
+/// Same conditions as the generic core.
+// xtask:allow(no-twin-f64): instantiation wrapper over the generic core
+pub fn oblivious_with_crashes_f64(
+    alpha: &[f64],
+    delta: f64,
+    p_crash: f64,
+) -> Result<f64, ModelError> {
+    let mut ctx = EvalContext::new();
+    oblivious_with_crashes_in(&mut ctx, alpha, &delta, &p_crash)
+}
+
+fn validate_probability_in<S: Scalar>(p: &S) -> Result<(), ModelError> {
+    if p.is_negative() || *p > S::one() {
         return Err(ModelError::ProbabilityOutOfRange { index: 0 });
     }
     Ok(())
 }
 
 /// Binomial mixture over the surviving count for symmetric algorithms.
-fn mixture_symmetric(
+/// The binomial weights come from the context's cached Pascal rows.
+fn mixture_symmetric_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
     n: usize,
-    _capacity: &Capacity,
-    p_crash: &Rational,
-    mut win_with: impl FnMut(usize) -> Result<Rational, ModelError>,
-) -> Result<Rational, ModelError> {
-    let survive = Rational::one() - p_crash;
-    let mut total = Rational::zero();
+    p_crash: &S,
+    mut win_with: impl FnMut(&mut EvalContext<S>, usize) -> Result<S, ModelError>,
+) -> Result<S, ModelError> {
+    let survive = S::one() - p_crash.clone();
+    let mut total = S::zero();
     for k in 0..=n {
-        let weight = binomial_rational(n as u32, k as u32)
-            * survive.pow(k as i32)
-            * p_crash.pow((n - k) as i32);
+        let weight = ctx.binomial(n as u32, k as u32)
+            * survive.powi(k as u32)
+            * p_crash.powi((n - k) as u32);
         if weight.is_zero() {
             continue;
         }
-        total += weight * win_with(k)?;
+        total = total + weight * win_with(ctx, k)?;
     }
     Ok(total)
 }
 
 /// Explicit mixture over all survivor subsets for asymmetric
 /// algorithms.
-fn mixture_subsets(
+fn mixture_subsets_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
     n: usize,
-    p_crash: &Rational,
-    mut win_with: impl FnMut(u32) -> Result<Rational, ModelError>,
-) -> Result<Rational, ModelError> {
-    if n > 16 {
-        return Err(ModelError::TooManyPlayersForExact { n, max: 16 });
+    p_crash: &S,
+    mut win_with: impl FnMut(&mut EvalContext<S>, u32) -> Result<S, ModelError>,
+) -> Result<S, ModelError> {
+    if n > MAX_MIXTURE_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_MIXTURE_PLAYERS,
+        });
     }
-    let survive = Rational::one() - p_crash;
-    let mut total = Rational::zero();
+    let survive = S::one() - p_crash.clone();
+    let mut total = S::zero();
     for mask in 0u32..(1u32 << n) {
-        let k = mask.count_ones() as i32;
-        let weight = survive.pow(k) * p_crash.pow(n as i32 - k);
+        let k = mask.count_ones();
+        let weight = survive.powi(k) * p_crash.powi(n as u32 - k);
         if weight.is_zero() {
             continue;
         }
-        total += weight * win_with(mask)?;
+        total = total + weight * win_with(ctx, mask)?;
     }
     Ok(total)
 }
 
 /// Fault-free winning probability of the surviving threshold players.
-fn survivors_threshold(
-    thresholds: &[Rational],
-    capacity: &Capacity,
-) -> Result<Rational, ModelError> {
+fn survivors_threshold_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
+    thresholds: &[S],
+    delta: &S,
+) -> Result<S, ModelError> {
     match thresholds.len() {
-        0 => Ok(Rational::one()),
-        1 => Ok(single_player_value(capacity)),
-        _ => winning_probability_threshold(
-            &SingleThresholdAlgorithm::new(thresholds.to_vec())?,
-            capacity,
-        ),
+        0 => Ok(S::one()),
+        1 => Ok(single_player_value_in(delta)),
+        _ => winning_probability_threshold_in(ctx, thresholds, delta),
     }
 }
 
 /// Fault-free winning probability of the surviving oblivious players.
-fn survivors_oblivious(alphas: &[Rational], capacity: &Capacity) -> Result<Rational, ModelError> {
+fn survivors_oblivious_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
+    alphas: &[S],
+    delta: &S,
+) -> Result<S, ModelError> {
     match alphas.len() {
-        0 => Ok(Rational::one()),
-        1 => Ok(single_player_value(capacity)),
-        _ => winning_probability_oblivious(&ObliviousAlgorithm::new(alphas.to_vec())?, capacity),
+        0 => Ok(S::one()),
+        1 => Ok(single_player_value_in(delta)),
+        _ => winning_probability_oblivious_in(ctx, alphas, delta),
     }
 }
 
 /// With a single surviving player the winner condition is `x ≤ δ`
 /// regardless of the chosen bin: probability `min(δ, 1)`.
-fn single_player_value(capacity: &Capacity) -> Rational {
-    capacity.value().clone().min(Rational::one())
+fn single_player_value_in<S: Scalar>(delta: &S) -> S {
+    if *delta < S::one() {
+        delta.clone()
+    } else {
+        S::one()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::winning_probability_threshold;
 
     fn r(n: i64, d: i64) -> Rational {
         Rational::ratio(n, d)
@@ -223,12 +324,13 @@ mod tests {
         let cap = Capacity::unit();
         let p_crash = r(1, 3);
         let a = threshold_with_crashes(&sym, &cap, &p_crash).unwrap();
-        let b = mixture_subsets(4, &p_crash, |mask| {
+        let mut ctx = EvalContext::new();
+        let b = mixture_subsets_in(&mut ctx, 4, &p_crash, |ctx, mask| {
             let kept: Vec<Rational> = (0..4)
                 .filter(|i| mask >> i & 1 == 1)
                 .map(|_| beta.clone())
                 .collect();
-            survivors_threshold(&kept, &cap)
+            survivors_threshold_in(ctx, &kept, cap.value())
         })
         .unwrap();
         assert_eq!(a, b);
@@ -246,15 +348,31 @@ mod tests {
     }
 
     #[test]
+    fn float_paths_track_exact() {
+        let algo = SingleThresholdAlgorithm::new(vec![r(1, 3), r(2, 3), r(1, 2)]).unwrap();
+        let cap = Capacity::unit();
+        let p_crash = r(1, 4);
+        let exact = threshold_with_crashes(&algo, &cap, &p_crash)
+            .unwrap()
+            .to_f64();
+        let fast = threshold_with_crashes_f64(&[1.0 / 3.0, 2.0 / 3.0, 0.5], 1.0, 0.25).unwrap();
+        assert!((exact - fast).abs() < 1e-12, "{exact} vs {fast}");
+
+        let ob = ObliviousAlgorithm::new(vec![r(1, 4), r(1, 2), r(3, 4)]).unwrap();
+        let exact_ob = oblivious_with_crashes(&ob, &cap, &p_crash)
+            .unwrap()
+            .to_f64();
+        let fast_ob = oblivious_with_crashes_f64(&[0.25, 0.5, 0.75], 1.0, 0.25).unwrap();
+        assert!(
+            (exact_ob - fast_ob).abs() < 1e-12,
+            "{exact_ob} vs {fast_ob}"
+        );
+    }
+
+    #[test]
     fn single_survivor_value_is_capped_delta() {
-        assert_eq!(
-            single_player_value(&Capacity::new(r(1, 2)).unwrap()),
-            r(1, 2)
-        );
-        assert_eq!(
-            single_player_value(&Capacity::new(r(7, 2)).unwrap()),
-            r(1, 1)
-        );
+        assert_eq!(single_player_value_in(&r(1, 2)), r(1, 2));
+        assert_eq!(single_player_value_in(&r(7, 2)), r(1, 1));
     }
 
     #[test]

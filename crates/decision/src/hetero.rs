@@ -10,9 +10,10 @@
 //! multiplying every `c_i`, `a_i`, and `δ` by `λ` leaves the winning
 //! probability unchanged (asserted in the tests).
 
+use crate::winning::MAX_EXACT_PLAYERS;
 use crate::{Capacity, ModelError};
-use rational::Rational;
-use uniform_sums::UniformSum;
+use rational::{Rational, Scalar};
+use uniform_sums::{box_sum_cdf_in, shifted_box_sum_cdf_in};
 
 /// A heterogeneous-input threshold system: per-player input scales
 /// `c_i > 0` and thresholds `a_i ∈ [0, c_i]` (player `i` picks bin 0
@@ -108,58 +109,89 @@ impl HeterogeneousThresholds {
         }
     }
 
-    /// Exact winning probability `P(Σ₀ ≤ δ ∧ Σ₁ ≤ δ)`.
+    /// Exact winning probability `P(Σ₀ ≤ δ ∧ Σ₁ ≤ δ)`: the
+    /// [`Rational`] instantiation of [`Self::winning_probability_in`].
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::TooManyPlayersForExact`] if `n > 22`.
     pub fn winning_probability(&self, capacity: &Capacity) -> Result<Rational, ModelError> {
+        self.winning_probability_in(capacity.value())
+    }
+
+    /// Fast `f64` winning probability: the float instantiation of
+    /// [`Self::winning_probability_in`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TooManyPlayersForExact`] if `n > 22`.
+    pub fn winning_probability_f64(&self, delta: f64) -> Result<f64, ModelError> {
+        self.winning_probability_in(&delta)
+    }
+
+    /// Winning probability in any [`Scalar`] instantiation. Conditional
+    /// on the decision vector, bin-0 inputs are `U[0, a_i]` and bin-1
+    /// inputs `U[a_i, c_i]`, so Lemma 2.4 ([`box_sum_cdf_in`]) and its
+    /// shifted form ([`shifted_box_sum_cdf_in`]) give the two
+    /// conditional CDFs; the `2^n` decision vectors are enumerated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TooManyPlayersForExact`] if `n > 22`.
+    pub fn winning_probability_in<S: Scalar>(&self, delta: &S) -> Result<S, ModelError> {
         let n = self.n();
-        if n > 22 {
-            return Err(ModelError::TooManyPlayersForExact { n, max: 22 });
+        if n > MAX_EXACT_PLAYERS {
+            return Err(ModelError::TooManyPlayersForExact {
+                n,
+                max: MAX_EXACT_PLAYERS,
+            });
         }
-        let delta = capacity.value();
-        let mut total = Rational::zero();
+        let scales: Vec<S> = self.scales.iter().map(S::from_rational).collect();
+        let thresholds: Vec<S> = self.thresholds.iter().map(S::from_rational).collect();
+        let mut total = S::zero();
         for mask in 0u32..(1u32 << n) {
             // Bit i set: player i in bin 1 (x_i > a_i).
-            let mut prob = Rational::one();
-            let mut bin0: Vec<(Rational, Rational)> = Vec::new();
-            let mut bin1: Vec<(Rational, Rational)> = Vec::new();
+            let mut prob = S::one();
+            // Bin 0: widths a_i. Bin 1: U[a_i, c_i] = a_i + U[0, c_i − a_i].
+            let mut bin0: Vec<S> = Vec::new();
+            let mut bin1_widths: Vec<S> = Vec::new();
+            let mut bin1_offset = S::zero();
             for i in 0..n {
-                let (c, a) = (&self.scales[i], &self.thresholds[i]);
+                let (c, a) = (&scales[i], &thresholds[i]);
                 if mask >> i & 1 == 0 {
-                    prob *= a / c;
+                    prob = prob * (a.clone() / c.clone());
                     if a.is_positive() {
-                        bin0.push((Rational::zero(), a.clone()));
+                        bin0.push(a.clone());
                     }
                 } else {
-                    prob *= (c - a) / c;
+                    prob = prob * ((c.clone() - a.clone()) / c.clone());
                     if a < c {
-                        bin1.push((a.clone(), c.clone()));
+                        bin1_widths.push(c.clone() - a.clone());
+                        bin1_offset = bin1_offset + a.clone();
                     }
                 }
             }
             if prob.is_zero() {
                 continue;
             }
-            let f0 = conditional_cdf(&bin0, delta);
+            let f0 = if bin0.is_empty() {
+                S::one()
+            } else {
+                box_sum_cdf_in(&bin0, delta)
+            };
             if f0.is_zero() {
                 continue;
             }
-            let f1 = conditional_cdf(&bin1, delta);
-            total += prob * f0 * f1;
+            let f1 = if bin1_widths.is_empty() {
+                S::one()
+            } else {
+                shifted_box_sum_cdf_in(&bin1_widths, &bin1_offset, delta)
+            };
+            total = total + prob * f0 * f1;
         }
+        S::ensure_probability(&total);
         Ok(total)
     }
-}
-
-fn conditional_cdf(intervals: &[(Rational, Rational)], delta: &Rational) -> Rational {
-    if intervals.is_empty() {
-        return Rational::one();
-    }
-    UniformSum::new(intervals.to_vec())
-        .expect("validated intervals") // xtask:allow(no-panic): intervals validated non-degenerate by the caller
-        .cdf(delta)
 }
 
 #[cfg(test)]
@@ -239,6 +271,24 @@ mod tests {
             .winning_probability(&Capacity::new(r(1, 2)).unwrap())
             .unwrap();
         assert_eq!(p, Rational::one());
+    }
+
+    #[test]
+    fn float_instantiation_tracks_exact() {
+        let system = HeterogeneousThresholds::new(
+            vec![r(3, 2), r(1, 1), r(1, 2)],
+            vec![r(3, 4), r(1, 2), r(1, 4)],
+        )
+        .unwrap();
+        for (num, den) in [(1i64, 2i64), (1, 1), (5, 4), (3, 1)] {
+            let delta = r(num, den);
+            let exact = system
+                .winning_probability(&Capacity::new(delta.clone()).unwrap())
+                .unwrap()
+                .to_f64();
+            let fast = system.winning_probability_f64(delta.to_f64()).unwrap();
+            assert!((exact - fast).abs() < 1e-12, "δ={delta}: {exact} vs {fast}");
+        }
     }
 
     #[test]

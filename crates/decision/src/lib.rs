@@ -17,10 +17,15 @@
 //!   players ignore their inputs) and [`SingleThresholdAlgorithm`]
 //!   (player `i` picks bin 0 iff `x_i ≤ a_i`), both implementing the
 //!   [`LocalRule`] interface consumed by the `simulator` crate;
-//! * **exact winning probabilities**: Theorem 4.1 for oblivious
-//!   algorithms ([`winning_probability_oblivious`]) and Theorem 5.1
-//!   for single-threshold algorithms
-//!   ([`winning_probability_threshold`]), plus fast `f64` paths;
+//! * **winning probabilities implemented once, generically** over
+//!   [`rational::Scalar`]: Theorem 4.1 for oblivious algorithms
+//!   ([`winning_probability_oblivious_in`]) and Theorem 5.1 for
+//!   single-threshold algorithms
+//!   ([`winning_probability_threshold_in`]), each taking a memoized
+//!   [`EvalContext`]; the exact rational API
+//!   ([`winning_probability_oblivious`],
+//!   [`winning_probability_threshold`]) and the `*_f64` fast paths
+//!   are thin instantiation wrappers;
 //! * **optimality conditions**: the exact gradient of Corollary 4.2
 //!   ([`oblivious::optimality_gradient`]) and numeric gradients for
 //!   thresholds;
@@ -76,5 +81,9 @@ pub use error::ModelError;
 pub use randomized::RandomizedThresholds;
 pub use winning::{
     winning_probability_oblivious, winning_probability_oblivious_f64,
-    winning_probability_threshold, winning_probability_threshold_f64,
+    winning_probability_oblivious_in, winning_probability_threshold,
+    winning_probability_threshold_f64, winning_probability_threshold_in,
 };
+
+pub use rational::Scalar;
+pub use uniform_sums::EvalContext;

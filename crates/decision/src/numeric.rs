@@ -7,8 +7,14 @@
 //! `n`-dimensional cube `[0,1]^n` numerically (multi-start cyclic
 //! coordinate ascent with golden-section line searches) so the
 //! symmetry of the optimum can be *confirmed* rather than assumed.
+//!
+//! The objectives are the float instantiations of the generic winning
+//! cores, threaded through one shared [`EvalContext`] per search: the
+//! per-`(n, δ)` Irwin–Hall table is computed on the first evaluation
+//! and served from cache for the rest of the run.
 
-use crate::{winning_probability_oblivious_f64, winning_probability_threshold_f64, ModelError};
+use crate::{winning_probability_oblivious_in, winning_probability_threshold_in, ModelError};
+use uniform_sums::EvalContext;
 
 /// Result of a numeric maximization over `[0,1]^n`.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,8 +97,10 @@ pub fn maximize_threshold(
     delta: f64,
     options: &SearchOptions,
 ) -> Result<NumericOptimum, ModelError> {
-    maximize(n, options, &|params| {
-        winning_probability_threshold_f64(params, delta).expect("validated n") // xtask:allow(no-panic): n is range-checked before any objective call
+    let mut ctx = EvalContext::new();
+    maximize(n, options, &mut |params| {
+        // xtask:allow(no-panic): n is range-checked before any objective call
+        winning_probability_threshold_in(&mut ctx, params, &delta).expect("validated n")
     })
 }
 
@@ -118,15 +126,17 @@ pub fn maximize_oblivious(
     delta: f64,
     options: &SearchOptions,
 ) -> Result<NumericOptimum, ModelError> {
-    maximize(n, options, &|params| {
-        winning_probability_oblivious_f64(params, delta).expect("validated n") // xtask:allow(no-panic): n is range-checked before any objective call
+    let mut ctx = EvalContext::new();
+    maximize(n, options, &mut |params| {
+        // xtask:allow(no-panic): n is range-checked before any objective call
+        winning_probability_oblivious_in(&mut ctx, params, &delta).expect("validated n")
     })
 }
 
 fn maximize(
     n: usize,
     options: &SearchOptions,
-    objective: &dyn Fn(&[f64]) -> f64,
+    objective: &mut dyn FnMut(&[f64]) -> f64,
 ) -> Result<NumericOptimum, ModelError> {
     if n < 2 {
         return Err(ModelError::TooFewPlayers { n });
@@ -166,7 +176,7 @@ fn maximize(
 /// coordinate in turn until a sweep no longer improves.
 fn coordinate_ascent(
     mut params: Vec<f64>,
-    objective: &dyn Fn(&[f64]) -> f64,
+    objective: &mut dyn FnMut(&[f64]) -> f64,
     options: &SearchOptions,
     evaluations: &mut u64,
 ) -> (Vec<f64>, f64) {
@@ -201,7 +211,7 @@ fn coordinate_ascent(
 /// Golden-section search for the maximum of a unimodal-ish `f` on
 /// `[lo, hi]`.
 fn golden_section(
-    f: impl Fn(f64) -> f64,
+    mut f: impl FnMut(f64) -> f64,
     mut lo: f64,
     mut hi: f64,
     tol: f64,

@@ -2,10 +2,11 @@
 //! polynomial, optimality conditions (Corollary 4.2), and the uniform
 //! optimum `α = 1/2` (Theorem 4.3).
 
+use crate::winning::MAX_EXACT_PLAYERS;
 use crate::{Capacity, ModelError, ObliviousAlgorithm};
 use polynomial::Polynomial;
-use rational::{binomial_rational, Rational};
-use uniform_sums::irwin_hall_cdf;
+use rational::{binomial_rational, Rational, Scalar};
+use uniform_sums::{irwin_hall_cdf, EvalContext};
 
 /// The exact oblivious optimum for a given system size and capacity.
 #[derive(Clone, Debug, PartialEq)]
@@ -130,10 +131,64 @@ pub fn optimal(n: usize, capacity: &Capacity) -> Result<ObliviousOptimum, ModelE
     })
 }
 
+/// The optimality-condition gradient of Corollary 4.2, in any
+/// [`Scalar`] instantiation: the vector of partial derivatives
+/// `∂P_A/∂α_k` at the given (possibly asymmetric) probability vector.
+/// An optimal algorithm must zero every entry. The Irwin–Hall table
+/// comes from `ctx`, so gradient sweeps at fixed `δ` pay for it once.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooManyPlayersForExact`] for `n > 22`.
+pub fn optimality_gradient_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
+    alpha: &[S],
+    delta: &S,
+) -> Result<Vec<S>, ModelError> {
+    let n = alpha.len();
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    let ih = ctx.irwin_hall_cdf_table(n as u32, delta);
+    let mut grad = vec![S::zero(); n];
+    for mask in 0u32..(1u32 << n) {
+        let ones = mask.count_ones() as usize;
+        let phi = ih[n - ones].clone() * ih[ones].clone();
+        if phi.is_zero() {
+            continue;
+        }
+        for (k, grad_k) in grad.iter_mut().enumerate() {
+            // d/dα_k of the probability of this decision vector:
+            // +Π_{i≠k} factors if player k is in bin 0, − otherwise.
+            let mut partial = S::one();
+            for (i, a) in alpha.iter().enumerate() {
+                if i == k {
+                    continue;
+                }
+                partial = partial
+                    * if mask >> i & 1 == 1 {
+                        S::one() - a.clone()
+                    } else {
+                        a.clone()
+                    };
+            }
+            let term = partial * phi.clone();
+            *grad_k = if mask >> k & 1 == 1 {
+                grad_k.clone() - term
+            } else {
+                grad_k.clone() + term
+            };
+        }
+    }
+    Ok(grad)
+}
+
 /// The exact optimality-condition gradient of Corollary 4.2: the
-/// vector of partial derivatives `∂P_A/∂α_k` at the given (possibly
-/// asymmetric) probability vector. An optimal algorithm must zero
-/// every entry.
+/// [`Rational`] instantiation of [`optimality_gradient_in`] with a
+/// throwaway context.
 ///
 /// # Errors
 ///
@@ -154,42 +209,8 @@ pub fn optimality_gradient(
     algo: &ObliviousAlgorithm,
     capacity: &Capacity,
 ) -> Result<Vec<Rational>, ModelError> {
-    let n = algo.n();
-    if n > 22 {
-        return Err(ModelError::TooManyPlayersForExact { n, max: 22 });
-    }
-    let delta = capacity.value();
-    let ih: Vec<Rational> = (0..=n).map(|m| irwin_hall_cdf(m as u32, delta)).collect();
-    let alpha = algo.probabilities();
-    let mut grad = vec![Rational::zero(); n];
-    for mask in 0u32..(1u32 << n) {
-        let ones = mask.count_ones() as usize;
-        let phi = &ih[n - ones] * &ih[ones];
-        if phi.is_zero() {
-            continue;
-        }
-        for (k, grad_k) in grad.iter_mut().enumerate() {
-            // d/dα_k of the probability of this decision vector:
-            // +Π_{i≠k} factors if player k is in bin 0, − otherwise.
-            let mut partial = Rational::one();
-            for (i, a) in alpha.iter().enumerate() {
-                if i == k {
-                    continue;
-                }
-                partial *= if mask >> i & 1 == 1 {
-                    Rational::one() - a
-                } else {
-                    a.clone()
-                };
-            }
-            if mask >> k & 1 == 1 {
-                *grad_k -= partial * &phi;
-            } else {
-                *grad_k += partial * &phi;
-            }
-        }
-    }
-    Ok(grad)
+    let mut ctx = EvalContext::new();
+    optimality_gradient_in(&mut ctx, algo.probabilities(), capacity.value())
 }
 
 /// Convenience: the exact optimal winning probability of the uniform
@@ -345,6 +366,18 @@ mod tests {
             let grad = optimality_gradient(&algo, &cap).unwrap();
             let total: Rational = grad.iter().sum();
             assert_eq!(total, dpoly.eval(&alpha), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn float_gradient_tracks_exact() {
+        let algo = ObliviousAlgorithm::new(vec![r(1, 4), r(1, 2), r(3, 4)]).unwrap();
+        let exact = optimality_gradient(&algo, &Capacity::unit()).unwrap();
+        let alpha: Vec<f64> = algo.probabilities().iter().map(Rational::to_f64).collect();
+        let mut ctx = EvalContext::<f64>::new();
+        let float = optimality_gradient_in(&mut ctx, &alpha, &1.0).unwrap();
+        for (e, f) in exact.iter().zip(&float) {
+            assert!((e.to_f64() - f).abs() < 1e-12, "{e} vs {f}");
         }
     }
 

@@ -18,6 +18,13 @@
 //! break-points `β = δ/i` and `β = 1 − (m−δ)/j`, so between
 //! break-points `P(β)` is a polynomial of degree `n` with rational
 //! coefficients — which this module constructs exactly.
+//!
+//! This module is deliberately *not* generic over
+//! [`rational::Scalar`]: its output is a symbolic
+//! [`PiecewisePolynomial`](polynomial::PiecewisePolynomial) in `β`,
+//! which only makes sense exactly. Point evaluations of the same
+//! quantity in either field go through the generic
+//! [`crate::winning_probability_threshold_in`].
 
 use crate::{Capacity, ModelError};
 use polynomial::{PiecewisePolynomial, Polynomial};

@@ -1,24 +1,99 @@
-//! Exact winning probabilities: Theorem 4.1 (oblivious) and
-//! Theorem 5.1 (single-threshold).
+//! Winning probabilities: Theorem 4.1 (oblivious) and Theorem 5.1
+//! (single-threshold).
+//!
+//! Each theorem is implemented exactly once, generically over
+//! [`Scalar`] ([`winning_probability_oblivious_in`],
+//! [`winning_probability_threshold_in`]); the exact [`Rational`] API
+//! and the `*_f64` fast path are thin instantiation wrappers. The
+//! generic cores take a [`EvalContext`] so sweeps and optimizers can
+//! reuse the per-`(n, δ)` Irwin–Hall tables and binomial rows across
+//! evaluations.
 
 use crate::{Capacity, ModelError, ObliviousAlgorithm, SingleThresholdAlgorithm};
-use rational::Rational;
-use uniform_sums::{irwin_hall_cdf, irwin_hall_cdf_f64, BoxSum, UniformSum};
+use rational::{Rational, Scalar};
+use uniform_sums::{box_sum_cdf_in, shifted_box_sum_cdf_in, EvalContext};
 
 /// Largest player count for which the `2^n` enumeration over decision
 /// vectors is attempted.
-const MAX_EXACT_PLAYERS: usize = 22;
+pub(crate) const MAX_EXACT_PLAYERS: usize = 22;
 
-/// Exact winning probability of an oblivious algorithm (Theorem 4.1):
+/// Winning probability of an oblivious algorithm (Theorem 4.1), in
+/// any [`Scalar`] instantiation:
 ///
 /// ```text
 /// P_A(δ) = Σ_{b ∈ {0,1}^n} F_{|b₀|}(δ) · F_{|b₁|}(δ) · Π_i α_i^(b_i)
 /// ```
 ///
 /// where `F_m` is the Irwin–Hall CDF of `m` standard uniforms and
-/// `|b₀|`, `|b₁|` count the players in each bin. The symmetric case
-/// collapses to a sum over bin sizes; the asymmetric case enumerates
-/// all `2^n` decision vectors.
+/// `|b₀|`, `|b₁|` count the players in each bin. The symmetric
+/// (all-equal `α`) case collapses to a sum over bin sizes; the
+/// asymmetric case enumerates all `2^n` decision vectors. The
+/// Irwin–Hall table `F_0(δ), …, F_n(δ)` comes from `ctx`, so a sweep
+/// at fixed `δ` computes it once.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] for fewer than 2 players and
+/// [`ModelError::TooManyPlayersForExact`] if an asymmetric vector has
+/// more than 22 players.
+pub fn winning_probability_oblivious_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
+    alpha: &[S],
+    delta: &S,
+) -> Result<S, ModelError> {
+    let n = alpha.len();
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    let symmetric = alpha.windows(2).all(|w| w[0] == w[1]);
+    if !symmetric && n > MAX_EXACT_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    // Irwin-Hall CDF per possible bin size, served by the context.
+    let ih = ctx.irwin_hall_cdf_table(n as u32, delta);
+
+    if symmetric {
+        let a = &alpha[0];
+        let beta = S::one() - a.clone();
+        // Sum over k = number of players in bin 0.
+        let mut total = S::zero();
+        for k in 0..=n {
+            let ways = ctx.binomial(n as u32, k as u32);
+            let prob = a.powi(k as u32) * beta.powi((n - k) as u32);
+            total = total + ways * prob * ih[k].clone() * ih[n - k].clone();
+        }
+        S::ensure_probability(&total);
+        return Ok(total);
+    }
+
+    let mut total = S::zero();
+    for mask in 0u32..(1u32 << n) {
+        // Bit i set means player i chooses bin 1.
+        let mut prob = S::one();
+        for (i, a) in alpha.iter().enumerate() {
+            prob = prob
+                * if mask >> i & 1 == 1 {
+                    S::one() - a.clone()
+                } else {
+                    a.clone()
+                };
+        }
+        if prob.is_zero() {
+            continue;
+        }
+        let ones = mask.count_ones() as usize;
+        total = total + prob * ih[n - ones].clone() * ih[ones].clone();
+    }
+    S::ensure_probability(&total);
+    Ok(total)
+}
+
+/// Exact winning probability of an oblivious algorithm: the
+/// [`Rational`] instantiation of [`winning_probability_oblivious_in`]
+/// with a throwaway context.
 ///
 /// # Errors
 ///
@@ -42,102 +117,101 @@ pub fn winning_probability_oblivious(
     algo: &ObliviousAlgorithm,
     capacity: &Capacity,
 ) -> Result<Rational, ModelError> {
-    let n = algo.n();
-    let delta = capacity.value();
-    // Irwin-Hall CDF per possible bin size.
-    let ih: Vec<Rational> = (0..=n).map(|m| irwin_hall_cdf(m as u32, delta)).collect();
-
-    if algo.is_symmetric() {
-        let alpha = &algo.probabilities()[0];
-        let beta = Rational::one() - alpha;
-        // Sum over k = number of players in bin 0.
-        let mut total = Rational::zero();
-        for k in 0..=n {
-            let ways = rational::binomial_rational(n as u32, k as u32);
-            let prob = alpha.pow(k as i32) * beta.pow((n - k) as i32);
-            total += ways * prob * &ih[k] * &ih[n - k];
-        }
-        contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
-        return Ok(total);
-    }
-
-    if n > MAX_EXACT_PLAYERS {
-        return Err(ModelError::TooManyPlayersForExact {
-            n,
-            max: MAX_EXACT_PLAYERS,
-        });
-    }
-    let alpha = algo.probabilities();
-    let mut total = Rational::zero();
-    for mask in 0u32..(1u32 << n) {
-        // Bit i set means player i chooses bin 1.
-        let mut prob = Rational::one();
-        for (i, a) in alpha.iter().enumerate() {
-            if mask >> i & 1 == 1 {
-                prob *= Rational::one() - a;
-            } else {
-                prob *= a;
-            }
-        }
-        if prob.is_zero() {
-            continue;
-        }
-        let ones = mask.count_ones() as usize;
-        total += prob * &ih[n - ones] * &ih[ones];
-    }
-    contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
-    Ok(total)
+    let mut ctx = EvalContext::new();
+    winning_probability_oblivious_in(&mut ctx, algo.probabilities(), capacity.value())
 }
 
-/// Fast `f64` version of [`winning_probability_oblivious`].
+/// Fast `f64` version of [`winning_probability_oblivious`]: the float
+/// instantiation of [`winning_probability_oblivious_in`].
 ///
 /// # Errors
 ///
-/// Same conditions as the exact version.
+/// Returns [`ModelError`] on fewer than 2 or more than 22 players.
+// xtask:allow(no-twin-f64): instantiation wrapper over the generic core
 pub fn winning_probability_oblivious_f64(alpha: &[f64], delta: f64) -> Result<f64, ModelError> {
     let n = alpha.len();
-    if n < 2 {
-        return Err(ModelError::TooFewPlayers { n });
-    }
     if n > MAX_EXACT_PLAYERS {
         return Err(ModelError::TooManyPlayersForExact {
             n,
             max: MAX_EXACT_PLAYERS,
         });
     }
-    let ih: Vec<f64> = (0..=n)
-        .map(|m| irwin_hall_cdf_f64(m as u32, delta))
-        .collect();
-    let mut total = 0.0;
-    for mask in 0u32..(1u32 << n) {
-        let mut prob = 1.0;
-        for (i, a) in alpha.iter().enumerate() {
-            prob *= if mask >> i & 1 == 1 { 1.0 - a } else { *a };
-        }
-        if prob == 0.0 {
-            continue;
-        }
-        let ones = mask.count_ones() as usize;
-        total += prob * ih[n - ones] * ih[ones];
-    }
-    contracts::ensures_prob!(total, eps = contracts::tolerances::PROB_EPS);
-    Ok(total)
+    let mut ctx = EvalContext::new();
+    winning_probability_oblivious_in(&mut ctx, alpha, &delta)
 }
 
-/// Exact winning probability of a single-threshold algorithm
-/// (Theorem 5.1). For each decision vector `b`, the inputs of the
-/// players in bin 0 are conditionally `U[0, a_i]` and those in bin 1
-/// are `U[a_i, 1]`, so
+/// Winning probability of a single-threshold algorithm
+/// (Theorem 5.1), in any [`Scalar`] instantiation. For each decision
+/// vector `b`, the inputs of the players in bin 0 are conditionally
+/// `U[0, a_i]` and those in bin 1 are `U[a_i, 1]`, so
 ///
 /// ```text
 /// P_A(δ) = Σ_b P(y = b) · F_{Σ U[0,a_i], i∈b₀}(δ) · F_{Σ U[a_i,1], i∈b₁}(δ)
 /// ```
 ///
 /// with `P(y = b) = Π_{i∈b₀} a_i · Π_{i∈b₁} (1 − a_i)` and the two
-/// conditional CDFs given by Lemmas 2.4 and 2.7.
+/// conditional CDFs given by Lemmas 2.4 and 2.7
+/// ([`box_sum_cdf_in`] and [`shifted_box_sum_cdf_in`]).
 ///
-/// The symmetric case collapses to a sum over bin sizes (`n + 1`
-/// terms); the asymmetric case enumerates all `2^n` decision vectors.
+/// The symmetric (all-equal) case collapses to a sum over bin sizes
+/// (`n + 1` terms); the asymmetric case enumerates all `2^n` decision
+/// vectors. Binomial weights are served by `ctx`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] for fewer than 2 players and
+/// [`ModelError::TooManyPlayersForExact`] if an asymmetric vector has
+/// more than 22 players.
+pub fn winning_probability_threshold_in<S: Scalar>(
+    ctx: &mut EvalContext<S>,
+    thresholds: &[S],
+    delta: &S,
+) -> Result<S, ModelError> {
+    let n = thresholds.len();
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    let symmetric = thresholds.windows(2).all(|w| w[0] == w[1]);
+    if symmetric {
+        let beta = &thresholds[0];
+        let mut total = S::zero();
+        for k in 0..=n {
+            // k players in bin 0, n-k in bin 1.
+            let ways = ctx.binomial(n as u32, k as u32);
+            let term = joint_term_in(&vec![beta.clone(); k], &vec![beta.clone(); n - k], delta);
+            total = total + ways * term;
+        }
+        S::ensure_probability(&total);
+        return Ok(total);
+    }
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ModelError::TooManyPlayersForExact {
+            n,
+            max: MAX_EXACT_PLAYERS,
+        });
+    }
+    let mut total = S::zero();
+    let mut bin0 = Vec::with_capacity(n);
+    let mut bin1 = Vec::with_capacity(n);
+    for mask in 0u32..(1u32 << n) {
+        bin0.clear();
+        bin1.clear();
+        for (i, a) in thresholds.iter().enumerate() {
+            if mask >> i & 1 == 0 {
+                bin0.push(a.clone());
+            } else {
+                bin1.push(a.clone());
+            }
+        }
+        total = total + joint_term_in(&bin0, &bin1, delta);
+    }
+    S::ensure_probability(&total);
+    Ok(total)
+}
+
+/// Exact winning probability of a single-threshold algorithm: the
+/// [`Rational`] instantiation of [`winning_probability_threshold_in`]
+/// with a throwaway context.
 ///
 /// # Errors
 ///
@@ -159,170 +233,70 @@ pub fn winning_probability_threshold(
     algo: &SingleThresholdAlgorithm,
     capacity: &Capacity,
 ) -> Result<Rational, ModelError> {
-    let n = algo.n();
-    let delta = capacity.value();
-    if algo.is_symmetric() {
-        let beta = &algo.thresholds()[0];
-        let mut total = Rational::zero();
-        for k in 0..=n {
-            // k players in bin 0, n-k in bin 1.
-            let ways = rational::binomial_rational(n as u32, k as u32);
-            let term = joint_term(&vec![beta.clone(); k], &vec![beta.clone(); n - k], delta);
-            total += ways * term;
-        }
-        contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
-        return Ok(total);
-    }
-    if n > MAX_EXACT_PLAYERS {
-        return Err(ModelError::TooManyPlayersForExact {
-            n,
-            max: MAX_EXACT_PLAYERS,
-        });
-    }
-    let a = algo.thresholds();
-    let mut total = Rational::zero();
-    for mask in 0u32..(1u32 << n) {
-        let bin0: Vec<Rational> = (0..n)
-            .filter(|i| mask >> i & 1 == 0)
-            .map(|i| a[i].clone())
-            .collect();
-        let bin1: Vec<Rational> = (0..n)
-            .filter(|i| mask >> i & 1 == 1)
-            .map(|i| a[i].clone())
-            .collect();
-        total += joint_term(&bin0, &bin1, delta);
-    }
-    contracts::ensures_prob_exact!(total, Rational::zero(), Rational::one());
-    Ok(total)
+    let mut ctx = EvalContext::new();
+    winning_probability_threshold_in(&mut ctx, algo.thresholds(), capacity.value())
 }
 
 /// One decision-vector term of Theorem 5.1:
 /// `P(y=b) · P(Σ₀ ≤ δ | b) · P(Σ₁ ≤ δ | b)`.
-fn joint_term(bin0: &[Rational], bin1: &[Rational], delta: &Rational) -> Rational {
+fn joint_term_in<S: Scalar>(bin0: &[S], bin1: &[S], delta: &S) -> S {
     // P(y = b): players in bin 0 had x_i <= a_i, players in bin 1 had x_i > a_i.
-    let mut prob = Rational::one();
+    let mut prob = S::one();
     for a in bin0 {
-        prob *= a;
+        prob = prob * a.clone();
     }
     for a in bin1 {
-        prob *= Rational::one() - a;
+        prob = prob * (S::one() - a.clone());
     }
     if prob.is_zero() {
-        return Rational::zero();
+        return S::zero();
     }
     // Conditional overflow-free probabilities. Non-zero `prob`
     // guarantees a_i > 0 in bin 0 and a_i < 1 in bin 1, so the
-    // distribution constructors cannot fail.
+    // bin widths below are strictly positive.
     let f0 = if bin0.is_empty() {
-        Rational::one()
+        S::one()
     } else {
-        BoxSum::new(bin0.to_vec())
-            .expect("positive widths") // xtask:allow(no-panic): bin-0 widths are strictly positive here
-            .cdf(delta)
+        box_sum_cdf_in(bin0, delta)
     };
     if f0.is_zero() {
-        return Rational::zero();
+        return S::zero();
     }
     let f1 = if bin1.is_empty() {
-        Rational::one()
+        S::one()
     } else {
-        UniformSum::above_thresholds(bin1.to_vec())
-            .expect("thresholds below one") // xtask:allow(no-panic): bin-1 thresholds are strictly below one here
-            .cdf(delta)
+        // Lemma 2.7: U[a_i, 1] = a_i + U[0, 1 − a_i].
+        let mut offset = S::zero();
+        let mut widths = Vec::with_capacity(bin1.len());
+        for a in bin1 {
+            offset = offset + a.clone();
+            widths.push(S::one() - a.clone());
+        }
+        shifted_box_sum_cdf_in(&widths, &offset, delta)
     };
     prob * f0 * f1
 }
 
-/// Fast `f64` version of [`winning_probability_threshold`].
+/// Fast `f64` version of [`winning_probability_threshold`]: the float
+/// instantiation of [`winning_probability_threshold_in`].
 ///
 /// # Errors
 ///
 /// Returns [`ModelError`] on fewer than 2 or more than 22 players.
+// xtask:allow(no-twin-f64): instantiation wrapper over the generic core
 pub fn winning_probability_threshold_f64(
     thresholds: &[f64],
     delta: f64,
 ) -> Result<f64, ModelError> {
     let n = thresholds.len();
-    if n < 2 {
-        return Err(ModelError::TooFewPlayers { n });
-    }
     if n > MAX_EXACT_PLAYERS {
         return Err(ModelError::TooManyPlayersForExact {
             n,
             max: MAX_EXACT_PLAYERS,
         });
     }
-    let mut total = 0.0;
-    let mut bin0 = Vec::with_capacity(n);
-    let mut bin1 = Vec::with_capacity(n);
-    for mask in 0u32..(1u32 << n) {
-        bin0.clear();
-        bin1.clear();
-        let mut prob = 1.0;
-        for (i, &a) in thresholds.iter().enumerate() {
-            if mask >> i & 1 == 0 {
-                prob *= a;
-                bin0.push(a);
-            } else {
-                prob *= 1.0 - a;
-                bin1.push(a);
-            }
-        }
-        if prob == 0.0 {
-            continue;
-        }
-        let f0 = cdf_scaled_sum_f64(&bin0, delta);
-        if f0 == 0.0 {
-            continue;
-        }
-        let f1 = cdf_above_sum_f64(&bin1, delta);
-        total += prob * f0 * f1;
-    }
-    contracts::ensures_prob!(total, eps = contracts::tolerances::PROB_EPS);
-    Ok(total)
-}
-
-/// `P(Σ U[0, a_i] ≤ δ)` in `f64`, with an empty product treated as 1.
-fn cdf_scaled_sum_f64(widths: &[f64], delta: f64) -> f64 {
-    if widths.is_empty() {
-        return 1.0;
-    }
-    // Direct inclusion-exclusion (Lemma 2.4) on f64.
-    let m = widths.len() as i32;
-    let total: f64 = widths.iter().sum();
-    if delta >= total {
-        return 1.0;
-    }
-    if delta <= 0.0 {
-        return 0.0;
-    }
-    let mut acc = 0.0;
-    subset_sum_f64(widths, 0, 0.0, 1.0, delta, m, &mut acc);
-    let denom: f64 =
-        widths.iter().product::<f64>() * (1..=widths.len()).map(|k| k as f64).product::<f64>();
-    acc / denom
-}
-
-fn subset_sum_f64(w: &[f64], idx: usize, sum: f64, sign: f64, t: f64, m: i32, acc: &mut f64) {
-    if idx == w.len() {
-        *acc += sign * (t - sum).powi(m);
-        return;
-    }
-    subset_sum_f64(w, idx + 1, sum, sign, t, m, acc);
-    let with = sum + w[idx];
-    if with < t {
-        subset_sum_f64(w, idx + 1, with, -sign, t, m, acc);
-    }
-}
-
-/// `P(Σ U[a_i, 1] ≤ δ)` in `f64` via the shift `x_i = a_i + U[0, 1−a_i]`.
-fn cdf_above_sum_f64(thresholds: &[f64], delta: f64) -> f64 {
-    if thresholds.is_empty() {
-        return 1.0;
-    }
-    let offset: f64 = thresholds.iter().sum();
-    let widths: Vec<f64> = thresholds.iter().map(|a| 1.0 - a).collect();
-    cdf_scaled_sum_f64(&widths, delta - offset)
+    let mut ctx = EvalContext::new();
+    winning_probability_threshold_in(&mut ctx, thresholds, &delta)
 }
 
 #[cfg(test)]
@@ -352,7 +326,6 @@ mod tests {
         for n in 2..=5usize {
             for (num, den) in [(1i64, 2i64), (1, 3), (2, 3)] {
                 let sym = ObliviousAlgorithm::symmetric(n, r(num, den)).unwrap();
-                // Force the asymmetric path with an equal but "manual" vector.
                 let manual =
                     ObliviousAlgorithm::new((0..n).map(|_| r(num, den)).collect()).unwrap();
                 let delta = cap(1, 1);
@@ -397,6 +370,21 @@ mod tests {
     }
 
     #[test]
+    fn shared_context_is_reused_across_a_sweep() {
+        // Eleven α values at fixed δ: one Irwin-Hall table, ten hits.
+        let mut ctx = EvalContext::<Rational>::new();
+        let delta = Rational::one();
+        for k in 0..=10i64 {
+            let alpha = vec![r(k, 10); 4];
+            let with_ctx = winning_probability_oblivious_in(&mut ctx, &alpha, &delta).unwrap();
+            let algo = ObliviousAlgorithm::new(alpha).unwrap();
+            let fresh = winning_probability_oblivious(&algo, &Capacity::unit()).unwrap();
+            assert_eq!(with_ctx, fresh, "alpha = {k}/10");
+        }
+        assert_eq!(ctx.hits(), 10);
+    }
+
+    #[test]
     fn threshold_symmetric_matches_paper_cubic_n3() {
         // Paper 5.2.1: for β ≤ 1/2, P(β) = 1/6 + 3β²/2 − β³/2.
         for (num, den) in [(1i64, 4i64), (1, 3), (2, 5), (1, 2)] {
@@ -425,8 +413,6 @@ mod tests {
     fn threshold_asymmetric_agrees_with_symmetric_path() {
         let beta = r(3, 5);
         let sym = SingleThresholdAlgorithm::symmetric(4, beta.clone()).unwrap();
-        // Slightly perturb ordering: identical values but go through
-        // the bitmask path by constructing with new().
         let manual =
             SingleThresholdAlgorithm::new(vec![beta.clone(), beta.clone(), beta.clone(), beta])
                 .unwrap();
@@ -445,7 +431,7 @@ mod tests {
                     .filter(|i| mask >> i & 1 == 1)
                     .map(|i| manual.thresholds()[i].clone())
                     .collect();
-                total += super::joint_term(&bin0, &bin1, delta.value());
+                total += super::joint_term_in(&bin0, &bin1, delta.value());
             }
             total
         };
@@ -464,23 +450,6 @@ mod tests {
         let both = SingleThresholdAlgorithm::new(vec![r(1, 1), r(1, 1)]).unwrap();
         let p2 = winning_probability_threshold(&both, &Capacity::unit()).unwrap();
         assert_eq!(p2, r(1, 2));
-    }
-
-    #[test]
-    fn f64_paths_track_exact() {
-        let delta = cap(1, 1);
-        let algo = SingleThresholdAlgorithm::new(vec![r(1, 3), r(2, 3), r(1, 2), r(3, 5)]).unwrap();
-        let exact = winning_probability_threshold(&algo, &delta)
-            .unwrap()
-            .to_f64();
-        let fast =
-            winning_probability_threshold_f64(&[1.0 / 3.0, 2.0 / 3.0, 0.5, 0.6], 1.0).unwrap();
-        assert!((exact - fast).abs() < 1e-12, "{exact} vs {fast}");
-
-        let ob = ObliviousAlgorithm::new(vec![r(1, 4), r(1, 2), r(3, 4)]).unwrap();
-        let exact_ob = winning_probability_oblivious(&ob, &delta).unwrap().to_f64();
-        let fast_ob = winning_probability_oblivious_f64(&[0.25, 0.5, 0.75], 1.0).unwrap();
-        assert!((exact_ob - fast_ob).abs() < 1e-12);
     }
 
     #[test]
@@ -505,5 +474,18 @@ mod tests {
         )
         .unwrap();
         assert!(th > ob, "threshold {th} should beat oblivious {ob}");
+    }
+
+    #[test]
+    fn undersized_systems_are_rejected() {
+        let mut ctx = EvalContext::<f64>::new();
+        assert!(matches!(
+            winning_probability_threshold_in(&mut ctx, &[0.5], &1.0),
+            Err(ModelError::TooFewPlayers { n: 1 })
+        ));
+        assert!(matches!(
+            winning_probability_oblivious_in(&mut ctx, &[0.5], &1.0),
+            Err(ModelError::TooFewPlayers { n: 1 })
+        ));
     }
 }

@@ -4,8 +4,9 @@
 
 use decision::{
     oblivious, symmetric, winning_probability_oblivious, winning_probability_oblivious_f64,
-    winning_probability_threshold, winning_probability_threshold_f64, Capacity, ObliviousAlgorithm,
-    SingleThresholdAlgorithm,
+    winning_probability_oblivious_in, winning_probability_threshold,
+    winning_probability_threshold_f64, winning_probability_threshold_in, Capacity, EvalContext,
+    ObliviousAlgorithm, SingleThresholdAlgorithm,
 };
 use proptest::prelude::*;
 use rational::Rational;
@@ -87,21 +88,53 @@ proptest! {
         );
     }
 
+    // The two instantiations of the generic core agree everywhere:
+    // for random systems of up to 8 players and random capacities,
+    // the exact-rational and f64 pipelines compute the same winning
+    // probability within the workspace float tolerance. This single
+    // property subsumes the per-module exact-vs-numeric spot checks.
     #[test]
     fn f64_paths_track_exact_everywhere(
-        a in proptest::collection::vec(unit_rational(), 2..5),
+        a in proptest::collection::vec(unit_rational(), 2..9),
         cap in capacity(),
     ) {
+        let eps = contracts::tolerances::PROB_EPS;
         let af: Vec<f64> = a.iter().map(Rational::to_f64).collect();
         let algo_t = SingleThresholdAlgorithm::new(a.clone()).unwrap();
         let exact_t = winning_probability_threshold(&algo_t, &cap).unwrap().to_f64();
         let fast_t = winning_probability_threshold_f64(&af, cap.to_f64()).unwrap();
-        prop_assert!((exact_t - fast_t).abs() < 1e-9);
+        prop_assert!((exact_t - fast_t).abs() < eps);
 
         let algo_o = ObliviousAlgorithm::new(a).unwrap();
         let exact_o = winning_probability_oblivious(&algo_o, &cap).unwrap().to_f64();
         let fast_o = winning_probability_oblivious_f64(&af, cap.to_f64()).unwrap();
-        prop_assert!((exact_o - fast_o).abs() < 1e-9);
+        prop_assert!((exact_o - fast_o).abs() < eps);
+    }
+
+    // Memoization is invisible: evaluating through one shared
+    // EvalContext (tables warm after the first call) gives
+    // bit-for-bit the same value as the fresh-context wrappers.
+    #[test]
+    fn shared_context_is_transparent(
+        systems in proptest::collection::vec(
+            proptest::collection::vec(unit_rational(), 2..8),
+            2..5,
+        ),
+        cap in capacity(),
+    ) {
+        let delta = cap.to_f64();
+        let mut ctx = EvalContext::new();
+        for a in systems {
+            let af: Vec<f64> = a.iter().map(Rational::to_f64).collect();
+            prop_assert_eq!(
+                winning_probability_threshold_in(&mut ctx, &af, &delta).unwrap(),
+                winning_probability_threshold_f64(&af, delta).unwrap()
+            );
+            prop_assert_eq!(
+                winning_probability_oblivious_in(&mut ctx, &af, &delta).unwrap(),
+                winning_probability_oblivious_f64(&af, delta).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! The one inclusion–exclusion kernel behind every closed form.
+//!
+//! Proposition 2.2 (simplex∩box volume), Lemma 2.4 (box-sum CDF) and
+//! Lemma 2.5 (Rota's density) all reduce to the same alternating sum
+//! over subsets of side lengths:
+//!
+//! ```text
+//! Σ_{I ⊆ [m], Σ_{l∈I} w_l < t} (−1)^{|I|} (t − Σ_{l∈I} w_l)^p
+//! ```
+//!
+//! with `t = 1` and ratios `w_l = π_l/σ_l` for the volume, `t` the
+//! CDF argument and `w_l = π_l` for the box sum (power `p = m` for
+//! CDFs, `p = m − 1` for densities). [`signed_power_sum`] implements
+//! it once, generically over [`Scalar`], with branch-and-prune subset
+//! enumeration: a subset whose width sum already reaches `t` cannot
+//! contribute, and (all widths being positive) neither can any of its
+//! supersets.
+
+use rational::Scalar;
+
+/// Computes the signed power sum
+/// `Σ_{I: Σ_{l∈I} w_l < t} (−1)^{|I|} (t − Σ_{l∈I} w_l)^power`
+/// over all subsets `I` of `widths`, by pruned depth-first search.
+///
+/// All `widths` must be positive for the pruning to be sound; the
+/// callers (volume and CDF code) validate this at construction time.
+#[must_use]
+pub fn signed_power_sum<S: Scalar>(widths: &[S], threshold: &S, power: u32) -> S {
+    let mut acc = S::zero();
+    subsets(widths, 0, &S::zero(), true, threshold, power, &mut acc);
+    acc
+}
+
+/// At each index either skips width `idx` or includes it (flipping
+/// the inclusion–exclusion sign), accumulating `±(t − sum)^power` at
+/// the leaves.
+fn subsets<S: Scalar>(
+    widths: &[S],
+    idx: usize,
+    sum: &S,
+    positive: bool,
+    threshold: &S,
+    power: u32,
+    acc: &mut S,
+) {
+    if idx == widths.len() {
+        let term = (threshold.clone() - sum.clone()).powi(power);
+        let prev = std::mem::replace(acc, S::zero());
+        *acc = if positive { prev + term } else { prev - term };
+        return;
+    }
+    subsets(widths, idx + 1, sum, positive, threshold, power, acc);
+    let with = sum.clone() + widths[idx].clone();
+    if with < *threshold {
+        subsets(widths, idx + 1, &with, !positive, threshold, power, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rational::Rational;
+
+    /// Reference: naive bitmask enumeration of all `2^m` subsets.
+    fn naive(widths: &[Rational], t: &Rational, power: u32) -> Rational {
+        let m = widths.len();
+        let mut acc = Rational::zero();
+        for mask in 0u32..(1u32 << m) {
+            let sum: Rational = (0..m)
+                .filter(|l| mask >> l & 1 == 1)
+                .map(|l| widths[l].clone())
+                .sum();
+            if sum >= *t {
+                continue;
+            }
+            let term = (t - &sum).pow(power as i32);
+            if mask.count_ones() % 2 == 0 {
+                acc += term;
+            } else {
+                acc -= term;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn pruned_matches_naive_enumeration() {
+        let widths: Vec<Rational> = [(1i64, 3i64), (2, 5), (1, 2), (3, 4), (1, 7)]
+            .iter()
+            .map(|&(n, d)| Rational::ratio(n, d))
+            .collect();
+        for t in [Rational::ratio(1, 2), Rational::one(), Rational::integer(2)] {
+            for power in [4u32, 5] {
+                assert_eq!(
+                    signed_power_sum(&widths, &t, power),
+                    naive(&widths, &t, power),
+                    "t={t}, power={power}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instantiations_agree() {
+        let exact: Vec<Rational> = vec![Rational::ratio(1, 3), Rational::ratio(2, 5)];
+        let float: Vec<f64> = exact.iter().map(Rational::to_f64).collect();
+        let e = signed_power_sum(&exact, &Rational::one(), 2);
+        let f = signed_power_sum(&float, &1.0, 2);
+        assert!((f - e.to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_widths_give_pure_power() {
+        assert_eq!(
+            signed_power_sum::<Rational>(&[], &Rational::integer(3), 2),
+            Rational::integer(9)
+        );
+    }
+}

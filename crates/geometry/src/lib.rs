@@ -36,11 +36,13 @@
 #![forbid(unsafe_code)]
 
 mod intersection;
+mod kernel;
 mod montecarlo;
 mod orthobox;
 mod simplex;
 
 pub use intersection::SimplexBoxIntersection;
+pub use kernel::signed_power_sum;
 pub use montecarlo::MonteCarloVolume;
 pub use orthobox::OrthoBox;
 pub use simplex::Simplex;

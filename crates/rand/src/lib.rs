@@ -120,6 +120,7 @@ pub trait SampleRange<T> {
 }
 
 /// Converts 53 random bits into a uniform `f64` in `[0, 1)`.
+// xtask:allow(no-twin-f64): bit-level RNG conversion, not a twin of an exact pipeline
 fn unit_f64<G: RngCore>(rng: &mut G) -> f64 {
     // 2^-53; the standard bit-shift construction.
     (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)

@@ -24,7 +24,9 @@ mod combinatorics;
 mod convert;
 mod ops;
 mod ratio;
+mod scalar;
 
 pub use combinatorics::{binomial, binomial_rational, factorial, factorial_rational};
 pub use convert::ParseRationalError;
 pub use ratio::Rational;
+pub use scalar::{binomial_in, factorial_in, Scalar};

@@ -94,6 +94,26 @@ impl Simulation {
         self.run_with_crashes(rule, delta, 0.0)
     }
 
+    /// The number of worker threads a run will actually spawn.
+    ///
+    /// The configured thread count is clamped to the number of
+    /// batches: a worker beyond the `batches`-th would find the queue
+    /// already drained and exit immediately, so asking for more
+    /// threads than batches must not spawn idle workers. A single
+    /// batch (or a single configured thread) runs on the caller's
+    /// thread with no spawning at all. The clamp never changes the
+    /// estimate — batch `i`'s RNG stream depends only on `(seed, i)`.
+    #[must_use]
+    pub fn planned_workers(&self) -> usize {
+        let batches = self.trials.div_ceil(self.batch_size);
+        if self.threads == 1 || batches == 1 {
+            1
+        } else {
+            self.threads
+                .min(usize::try_from(batches).unwrap_or(usize::MAX))
+        }
+    }
+
     /// Estimates `P_A(δ)` when each player independently crashes (and
     /// drops its input) with probability `p_crash` per round.
     ///
@@ -113,12 +133,13 @@ impl Simulation {
     ) -> SimulationReport {
         assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
         let batches = self.trials.div_ceil(self.batch_size);
-        let wins = if self.threads == 1 || batches == 1 {
+        let workers = self.planned_workers();
+        let wins = if workers == 1 {
             (0..batches)
                 .map(|b| self.run_batch(rule, delta, p_crash, b))
                 .sum()
         } else {
-            self.run_parallel(rule, delta, p_crash, batches)
+            self.run_parallel(rule, delta, p_crash, batches, workers)
         };
         // Postcondition: the counter is a frequency over exactly the
         // requested trials, whatever the thread interleaving was.
@@ -126,17 +147,27 @@ impl Simulation {
         SimulationReport::from_counts(wins, self.trials)
     }
 
-    /// Work-steals batches across scoped threads. Determinism does not
-    /// depend on scheduling: batch `i`'s RNG stream is a pure function
-    /// of `(seed, i)`, and the win counts are summed commutatively.
-    fn run_parallel(&self, rule: &dyn LocalRule, delta: f64, p_crash: f64, batches: u64) -> u64 {
+    /// Work-steals batches across `workers` scoped threads (already
+    /// clamped by [`Simulation::planned_workers`]). Determinism does
+    /// not depend on scheduling: batch `i`'s RNG stream is a pure
+    /// function of `(seed, i)`, and the win counts are summed
+    /// commutatively.
+    fn run_parallel(
+        &self,
+        rule: &dyn LocalRule,
+        delta: f64,
+        p_crash: f64,
+        batches: u64,
+        workers: usize,
+    ) -> u64 {
+        contracts::invariant!(
+            workers >= 2 && workers as u64 <= batches,
+            "worker count must be clamped to the batch count"
+        );
         let next_batch = AtomicU64::new(0);
         let total_wins = AtomicU64::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..self
-                .threads
-                .min(usize::try_from(batches).unwrap_or(usize::MAX))
-            {
+            for _ in 0..workers {
                 scope.spawn(|| {
                     let mut local_wins = 0u64;
                     loop {
@@ -231,6 +262,46 @@ mod tests {
                 .run(&rule, 1.0);
             assert_eq!(r, base, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_batches() {
+        // 3 batches of work: asking for 64 threads plans only 3 workers.
+        let sim = Simulation::new(3_000, 7)
+            .with_batch_size(1_000)
+            .with_threads(64);
+        assert_eq!(sim.planned_workers(), 3);
+        // A single batch runs sequentially, whatever was requested.
+        let sim = Simulation::new(500, 7)
+            .with_batch_size(1_000)
+            .with_threads(64);
+        assert_eq!(sim.planned_workers(), 1);
+        // Sequential mode is honoured even with many batches.
+        let sim = Simulation::new(3_000, 7)
+            .with_batch_size(100)
+            .with_threads(1);
+        assert_eq!(sim.planned_workers(), 1);
+        // With plenty of batches the configured count survives.
+        let sim = Simulation::new(100_000, 7)
+            .with_batch_size(100)
+            .with_threads(8);
+        assert_eq!(sim.planned_workers(), 8);
+    }
+
+    #[test]
+    fn oversubscribed_threads_keep_determinism() {
+        // More threads than batches: the clamp must not change the
+        // estimate relative to a sequential run.
+        let rule = ObliviousAlgorithm::fair(3);
+        let base = Simulation::new(30_000, 17)
+            .with_batch_size(10_000)
+            .with_threads(1)
+            .run(&rule, 1.0);
+        let clamped = Simulation::new(30_000, 17)
+            .with_batch_size(10_000)
+            .with_threads(64)
+            .run(&rule, 1.0);
+        assert_eq!(clamped, base);
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use error::SimulationError;
 pub use omniscient::full_information_win_rate;
 pub use report::SimulationReport;
 pub use stats::{load_stats, LoadStats};
-pub use sweep::{sweep_threshold, SweepPoint};
+pub use sweep::{sweep_threshold, sweep_threshold_analytic, AnalyticSweepPoint, SweepPoint};

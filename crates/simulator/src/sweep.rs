@@ -5,8 +5,9 @@
 //! validated shape-for-shape, not just point-for-point.
 
 use crate::{Simulation, SimulationReport};
-use decision::{ModelError, SingleThresholdAlgorithm};
+use decision::{winning_probability_threshold_in, ModelError, SingleThresholdAlgorithm};
 use rational::Rational;
+use uniform_sums::EvalContext;
 
 /// One grid point of an empirical sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +70,67 @@ pub fn sweep_threshold(
     Ok(out)
 }
 
+/// One grid point of an analytic (closed-form) sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalyticSweepPoint {
+    /// The swept threshold value β.
+    pub x: f64,
+    /// The closed-form winning probability `P(β, δ)`.
+    pub probability: f64,
+}
+
+/// Sweeps the common threshold `β` over a uniform grid, evaluating
+/// the *closed-form* winning probability (Theorem 5.1) at each point
+/// through the float instantiation of the generic core.
+///
+/// All grid points share one memoized [`EvalContext`], so the
+/// inclusion–exclusion tables behind the Irwin–Hall CDF are built
+/// once per `(n, δ)` and reused across the whole curve.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Panics
+///
+/// Panics if `grid < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use simulator::sweep_threshold_analytic;
+///
+/// let curve = sweep_threshold_analytic(3, 1.0, 100).unwrap();
+/// assert_eq!(curve.len(), 101);
+/// // β* = 1 - sqrt(1/7) for n = 3, δ = 1 (Theorem 6.2).
+/// let peak = curve.iter().max_by(|a, b| {
+///     a.probability.total_cmp(&b.probability)
+/// }).unwrap();
+/// assert!((peak.x - (1.0 - (1.0f64 / 7.0).sqrt())).abs() < 0.02);
+/// ```
+pub fn sweep_threshold_analytic(
+    n: usize,
+    delta: f64,
+    grid: usize,
+) -> Result<Vec<AnalyticSweepPoint>, ModelError> {
+    assert!(grid >= 2, "need at least two grid points");
+    if n < 2 {
+        return Err(ModelError::TooFewPlayers { n });
+    }
+    let mut ctx = EvalContext::new();
+    let mut out = Vec::with_capacity(grid + 1);
+    for k in 0..=grid {
+        let beta = k as f64 / grid as f64;
+        let thresholds = vec![beta; n];
+        let probability = winning_probability_threshold_in(&mut ctx, &thresholds, &delta)?;
+        out.push(AnalyticSweepPoint {
+            x: beta,
+            probability,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +169,37 @@ mod tests {
     #[test]
     fn tiny_systems_rejected() {
         assert!(sweep_threshold(1, 1.0, 4, 100, 0).is_err());
+        assert!(sweep_threshold_analytic(1, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn analytic_sweep_matches_symbolic_curve() {
+        let n = 4;
+        let curve = symmetric::analyze(n, &Capacity::unit()).unwrap();
+        for p in sweep_threshold_analytic(n, 1.0, 16).unwrap() {
+            let exact = curve.eval_f64(p.x).unwrap();
+            assert!(
+                (p.probability - exact).abs() < 1e-9,
+                "β = {}: analytic {}, symbolic {exact}",
+                p.x,
+                p.probability
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_sweep_tracks_analytic_curve() {
+        let analytic = sweep_threshold_analytic(3, 1.0, 6).unwrap();
+        let empirical = sweep_threshold(3, 1.0, 6, 60_000, 19).unwrap();
+        for (a, e) in analytic.iter().zip(&empirical) {
+            assert_eq!(a.x, e.x);
+            assert!(
+                e.report.agrees_with(a.probability, 4.5),
+                "β = {}: analytic {}, {}",
+                a.x,
+                a.probability,
+                e.report
+            );
+        }
     }
 }

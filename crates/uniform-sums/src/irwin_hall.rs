@@ -1,10 +1,10 @@
 //! Corollary 2.6: the Irwin–Hall distribution (sum of `m` standard
 //! uniforms).
 
-use rational::{binomial_rational, factorial, Rational};
+use rational::{factorial_in, Rational, Scalar};
 
-/// Exact Irwin–Hall CDF `P(Σ_{i=1}^m x_i ≤ t)` for `x_i ~ U[0,1]`
-/// (Corollary 2.6):
+/// Irwin–Hall CDF `P(Σ_{i=1}^m x_i ≤ t)` for `x_i ~ U[0,1]`
+/// (Corollary 2.6), in any [`Scalar`] instantiation:
 ///
 /// ```text
 /// F_m(t) = (1/m!) Σ_{0 ≤ i ≤ m, i < t} (−1)^i C(m,i) (t − i)^m
@@ -13,6 +13,60 @@ use rational::{binomial_rational, factorial, Rational};
 /// By convention `m = 0` is the empty sum, which is `0`, so
 /// `F_0(t) = 1` for `t ≥ 0` — exactly the factor Theorem 4.1 needs
 /// when all players choose the same bin.
+///
+/// This is the single implementation of the corollary;
+/// [`irwin_hall_cdf`] and [`irwin_hall_cdf_f64`] are its two
+/// instantiations, and [`crate::EvalContext`] adds memoization.
+#[must_use]
+pub fn irwin_hall_cdf_in<S: Scalar>(m: u32, t: &S) -> S {
+    if m == 0 {
+        return if t.is_negative() { S::zero() } else { S::one() };
+    }
+    if !t.is_positive() {
+        return S::zero();
+    }
+    if *t >= S::from_int(i64::from(m)) {
+        return S::one();
+    }
+    let value = signed_shift_sum(m, t, m) / factorial_in::<S>(m);
+    S::ensure_probability(&value);
+    value
+}
+
+/// Irwin–Hall density (the `π_i = 1` case of Lemma 2.5), in any
+/// [`Scalar`] instantiation. Zero outside `(0, m)`; right-continuous
+/// at the knots.
+#[must_use]
+pub fn irwin_hall_pdf_in<S: Scalar>(m: u32, t: &S) -> S {
+    if m == 0 || !t.is_positive() || *t >= S::from_int(i64::from(m)) {
+        return S::zero();
+    }
+    signed_shift_sum(m, t, m - 1) / factorial_in::<S>(m - 1)
+}
+
+/// The alternating sum `Σ_{0 ≤ i ≤ m, i < t} (−1)^i C(m,i) (t − i)^power`
+/// shared by the CDF (`power = m`) and the density (`power = m − 1`),
+/// with the binomial coefficient maintained by the running update
+/// `C(m, i+1) = C(m, i) · (m − i)/(i + 1)` (exact in every field).
+fn signed_shift_sum<S: Scalar>(m: u32, t: &S, power: u32) -> S {
+    let mut acc = S::zero();
+    let mut binom = S::one();
+    for i in 0..=m {
+        let shift = S::from_int(i64::from(i));
+        if shift >= *t {
+            break;
+        }
+        let term = binom.clone() * (t.clone() - shift).powi(power);
+        acc = if i % 2 == 0 { acc + term } else { acc - term };
+        if i < m {
+            binom = binom * S::from_ratio(i64::from(m - i), i64::from(i + 1));
+        }
+    }
+    acc
+}
+
+/// Exact Irwin–Hall CDF: the [`Rational`] instantiation of
+/// [`irwin_hall_cdf_in`].
 ///
 /// # Examples
 ///
@@ -26,40 +80,11 @@ use rational::{binomial_rational, factorial, Rational};
 /// ```
 #[must_use]
 pub fn irwin_hall_cdf(m: u32, t: &Rational) -> Rational {
-    if m == 0 {
-        return if t.is_negative() {
-            Rational::zero()
-        } else {
-            Rational::one()
-        };
-    }
-    if !t.is_positive() {
-        return Rational::zero();
-    }
-    if t >= &Rational::integer(i64::from(m)) {
-        return Rational::one();
-    }
-    let mut acc = Rational::zero();
-    for i in 0..=m {
-        let i_rat = Rational::integer(i64::from(i));
-        if &i_rat >= t {
-            break;
-        }
-        let term = binomial_rational(m, i) * (t - &i_rat).pow(m as i32);
-        if i % 2 == 0 {
-            acc += term;
-        } else {
-            acc -= term;
-        }
-    }
-    let value = acc / Rational::from(factorial(m));
-    contracts::ensures_prob_exact!(value, Rational::zero(), Rational::one());
-    value
+    irwin_hall_cdf_in(m, t)
 }
 
-/// Exact Irwin–Hall density (the `π_i = 1` case of Lemma 2.5).
-///
-/// Zero outside `(0, m)`; right-continuous at the knots.
+/// Exact Irwin–Hall density: the [`Rational`] instantiation of
+/// [`irwin_hall_pdf_in`].
 ///
 /// ```
 /// use rational::Rational;
@@ -71,73 +96,21 @@ pub fn irwin_hall_cdf(m: u32, t: &Rational) -> Rational {
 /// ```
 #[must_use]
 pub fn irwin_hall_pdf(m: u32, t: &Rational) -> Rational {
-    if m == 0 || !t.is_positive() || t >= &Rational::integer(i64::from(m)) {
-        return Rational::zero();
-    }
-    let mut acc = Rational::zero();
-    for i in 0..=m {
-        let i_rat = Rational::integer(i64::from(i));
-        if &i_rat >= t {
-            break;
-        }
-        let term = binomial_rational(m, i) * (t - &i_rat).pow(m as i32 - 1);
-        if i % 2 == 0 {
-            acc += term;
-        } else {
-            acc -= term;
-        }
-    }
-    acc / Rational::from(factorial(m - 1))
+    irwin_hall_pdf_in(m, t)
 }
 
-/// Fast `f64` Irwin–Hall CDF.
+/// Fast Irwin–Hall CDF: the `f64` instantiation of [`irwin_hall_cdf_in`].
 #[must_use]
+// xtask:allow(no-twin-f64): instantiation wrapper over the generic core
 pub fn irwin_hall_cdf_f64(m: u32, t: f64) -> f64 {
-    if m == 0 {
-        return if t < 0.0 { 0.0 } else { 1.0 };
-    }
-    if t <= 0.0 {
-        return 0.0;
-    }
-    if t >= f64::from(m) {
-        return 1.0;
-    }
-    let mut acc = 0.0;
-    let mut binom = 1.0f64;
-    for i in 0..=m {
-        let fi = f64::from(i);
-        if fi >= t {
-            break;
-        }
-        let term = binom * (t - fi).powi(m as i32);
-        acc += if i % 2 == 0 { term } else { -term };
-        binom = binom * f64::from(m - i) / f64::from(i + 1);
-    }
-    let m_fact: f64 = (1..=m).map(f64::from).product();
-    let value = acc / m_fact;
-    contracts::ensures_prob!(value, eps = contracts::tolerances::PROB_EPS);
-    value
+    irwin_hall_cdf_in(m, &t)
 }
 
-/// Fast `f64` Irwin–Hall density.
+/// Fast Irwin–Hall density: the `f64` instantiation of [`irwin_hall_pdf_in`].
 #[must_use]
+// xtask:allow(no-twin-f64): instantiation wrapper over the generic core
 pub fn irwin_hall_pdf_f64(m: u32, t: f64) -> f64 {
-    if m == 0 || t <= 0.0 || t >= f64::from(m) {
-        return 0.0;
-    }
-    let mut acc = 0.0;
-    let mut binom = 1.0f64;
-    for i in 0..=m {
-        let fi = f64::from(i);
-        if fi >= t {
-            break;
-        }
-        let term = binom * (t - fi).powi(m as i32 - 1);
-        acc += if i % 2 == 0 { term } else { -term };
-        binom = binom * f64::from(m - i) / f64::from(i + 1);
-    }
-    let m1_fact: f64 = (1..m).map(f64::from).product();
-    acc / m1_fact
+    irwin_hall_pdf_in(m, &t)
 }
 
 #[cfg(test)]
@@ -192,19 +165,6 @@ mod tests {
         assert_eq!(irwin_hall_cdf(0, &r(-1, 2)), Rational::zero());
         assert_eq!(irwin_hall_pdf(0, &r(1, 2)), Rational::zero());
         assert_eq!(irwin_hall_cdf_f64(0, 1.0), 1.0);
-    }
-
-    #[test]
-    fn f64_tracks_exact() {
-        for m in 1..=8u32 {
-            for k in 0..=(8 * m) {
-                let t = r(i64::from(k), 8);
-                let exact_cdf = irwin_hall_cdf(m, &t).to_f64();
-                let exact_pdf = irwin_hall_pdf(m, &t).to_f64();
-                assert!((irwin_hall_cdf_f64(m, t.to_f64()) - exact_cdf).abs() < 1e-10);
-                assert!((irwin_hall_pdf_f64(m, t.to_f64()) - exact_pdf).abs() < 1e-10);
-            }
-        }
     }
 
     #[test]

@@ -11,8 +11,12 @@
 //!   Irwin–Hall special case `π_i = 1` (Corollary 2.6), which is what
 //!   the oblivious analysis (Theorem 4.1) consumes.
 //!
-//! All quantities are exact rationals; `*_f64` variants provide the
-//! fast lossy path. A symbolic layer materializes CDF/PDF as exact
+//! Each formula is implemented once, generically over
+//! [`rational::Scalar`] ([`box_sum_cdf_in`], [`irwin_hall_cdf_in`],
+//! …); the exact rational API and the `*_f64` fast path are its two
+//! instantiations, and [`EvalContext`] memoizes the combinatorial
+//! sub-terms for sweep/optimizer hot loops. A symbolic layer
+//! materializes CDF/PDF as exact
 //! piecewise polynomials in `t` ([`BoxSum::cdf_piecewise`]), from
 //! which exact moments ([`BoxSum::mean`], [`BoxSum::variance`]) and
 //! certified quantiles ([`BoxSum::quantile`]) follow.
@@ -31,13 +35,18 @@
 #![forbid(unsafe_code)]
 
 mod box_sum;
+mod context;
 mod irwin_hall;
 mod symbolic;
 mod uniform_sum;
 
-pub use box_sum::BoxSum;
-pub use irwin_hall::{irwin_hall_cdf, irwin_hall_cdf_f64, irwin_hall_pdf, irwin_hall_pdf_f64};
-pub use uniform_sum::UniformSum;
+pub use box_sum::{box_sum_cdf_in, box_sum_pdf_in, BoxSum};
+pub use context::EvalContext;
+pub use irwin_hall::{
+    irwin_hall_cdf, irwin_hall_cdf_f64, irwin_hall_cdf_in, irwin_hall_pdf, irwin_hall_pdf_f64,
+    irwin_hall_pdf_in,
+};
+pub use uniform_sum::{shifted_box_sum_cdf_in, UniformSum};
 
 use std::fmt;
 

@@ -1,8 +1,9 @@
 //! Sums of uniforms on arbitrary intervals `[a_i, b_i]`
 //! (generalizing Lemma 2.7).
 
+use crate::box_sum::box_sum_cdf_in;
 use crate::{BoxSum, DistributionError};
-use rational::Rational;
+use rational::{Rational, Scalar};
 
 /// The distribution of `Σ x_i` with independent `x_i ~ U[a_i, b_i]`.
 ///
@@ -177,6 +178,17 @@ impl UniformSum {
     }
 }
 
+/// CDF of `Σ x_i`, `x_i ~ U[a_i, a_i + w_i]`, in any [`Scalar`]
+/// instantiation, given the positive widths `w_i` and the offset
+/// `Σ a_i`: the shift identity `F_Σx(t) = F_Σy(t − Σ a_i)` reduces it
+/// to [`box_sum_cdf_in`] (Lemma 2.4). Specializing to intervals
+/// `[π_i, 1]` — widths `1 − π_i`, offset `Σ π_i` — recovers the
+/// paper's Lemma 2.7, which is how the decision layer calls it.
+#[must_use]
+pub fn shifted_box_sum_cdf_in<S: Scalar>(widths: &[S], offset: &S, t: &S) -> S {
+    box_sum_cdf_in(widths, &(t.clone() - offset.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,11 +319,17 @@ mod tests {
     }
 
     #[test]
-    fn f64_path_tracks_exact() {
+    fn shifted_generic_cdf_matches_struct_path() {
         let s = UniformSum::above_thresholds(vec![r(1, 3), r(3, 5)]).unwrap();
+        let widths = [r(2, 3), r(2, 5)];
+        let offset = r(1, 3) + r(3, 5);
         for k in 0..=16 {
             let t = r(k, 8);
-            assert!((s.cdf_f64(t.to_f64()) - s.cdf(&t).to_f64()).abs() < 1e-12);
+            assert_eq!(
+                shifted_box_sum_cdf_in::<Rational>(&widths, &offset, &t),
+                s.cdf(&t),
+                "t = {t}"
+            );
         }
     }
 }

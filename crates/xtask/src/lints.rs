@@ -63,6 +63,11 @@ pub const LINTS: &[Lint] = &[
         summary: "require #![forbid(unsafe_code)] at every crate root",
         check: unsafe_header,
     },
+    Lint {
+        id: "no-twin-f64",
+        summary: "forbid new *_f64 free functions outside waived wrapper sites",
+        check: no_twin_float,
+    },
 ];
 
 /// Runs every rule over one file.
@@ -327,6 +332,50 @@ fn literal_at(line: &str, col: usize) -> &str {
     &line[col..end]
 }
 
+/// The analytic core is written once, generically over `Scalar`; a
+/// `*_f64` free function is almost always a hand-maintained twin of
+/// an exact implementation. Only thin instantiation wrappers over a
+/// generic `_in` core are legitimate, and each carries an explicit
+/// `xtask:allow(no-twin-f64)` waiver. Methods (indented inside an
+/// `impl`) such as `to_f64` conversions are not flagged.
+fn no_twin_float(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) || file.allowed("no-twin-f64", lineno) {
+            continue;
+        }
+        // Free functions only: a column-0 `fn` item. Methods live
+        // indented inside an `impl` block and are exempt.
+        let Some(rest) = line
+            .strip_prefix("pub fn ")
+            .or_else(|| line.strip_prefix("pub(crate) fn "))
+            .or_else(|| line.strip_prefix("fn "))
+        else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.ends_with("_f64") {
+            out.push(Violation {
+                lint: "no-twin-f64",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!(
+                    "free function `{name}` twins the float pipeline — implement the math \
+                     once in a generic `_in` core and keep only a waived thin wrapper"
+                ),
+            });
+        }
+    }
+    out
+}
+
 fn unsafe_header(file: &SourceFile) -> Vec<Violation> {
     if !file.path.ends_with("src/lib.rs") {
         return Vec::new();
@@ -429,6 +478,32 @@ mod tests {
         assert_eq!(unsafe_header(&f).len(), 1);
         let g = SourceFile::parse("crates/x/src/other.rs", FileKind::Lib, "fn f() {}\n");
         assert!(unsafe_header(&g).is_empty());
+    }
+
+    #[test]
+    fn unwaived_f64_free_function_fires() {
+        let f = lib("#![forbid(unsafe_code)]\npub fn cdf_f64(t: f64) -> f64 {\n    t\n}\n");
+        let v = no_twin_float(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn waived_f64_wrapper_is_clean() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\npub fn cdf_f64(t: f64) -> f64 { // xtask:allow(no-twin-f64): instantiation wrapper\n    cdf_in(&t)\n}\n",
+        );
+        assert!(no_twin_float(&f).is_empty());
+    }
+
+    #[test]
+    fn f64_methods_and_test_helpers_are_exempt() {
+        // A method is indented inside its impl block; a test helper
+        // sits in a #[cfg(test)] region. Neither is a twin pipeline.
+        let f = lib(
+            "#![forbid(unsafe_code)]\nimpl X {\n    pub fn to_f64(&self) -> f64 { 0.0 }\n}\n#[cfg(test)]\nmod tests {\n    fn probe_f64() -> f64 { 0.0 }\n}\n",
+        );
+        assert!(no_twin_float(&f).is_empty());
     }
 
     #[test]

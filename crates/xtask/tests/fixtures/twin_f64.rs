@@ -1,0 +1,37 @@
+//! Fixture for the `no-twin-f64` lint: one unwaived twin free
+//! function (fires), one waived wrapper, one method, one test helper.
+
+/// A hand-maintained float twin of an exact implementation: fires.
+pub fn volume_f64(t: f64) -> f64 {
+    t * t
+}
+
+/// A thin instantiation wrapper over the generic core: waived.
+pub fn cdf_f64(t: f64) -> f64 { // xtask:allow(no-twin-f64): instantiation wrapper over the generic core
+    cdf_in(&t)
+}
+
+fn cdf_in(t: &f64) -> f64 {
+    *t
+}
+
+struct Value(f64);
+
+impl Value {
+    /// A conversion method, indented inside the impl: exempt.
+    pub fn to_f64(&self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn probe_f64() -> f64 {
+        0.5
+    }
+
+    #[test]
+    fn t() {
+        assert!(probe_f64() > 0.0);
+    }
+}

@@ -91,6 +91,17 @@ fn unsafe_header_fires_only_when_parsed_as_crate_root() {
 }
 
 #[test]
+fn no_twin_f64_fires_once_and_respects_waivers() {
+    let f = fixture("twin_f64.rs", "crates/demo/src/twin_f64.rs", FileKind::Lib);
+    let v = check_file(&f);
+    let hits = by_lint(&v, "no-twin-f64");
+    // Only the unwaived free function fires; the waived wrapper, the
+    // method, and the test helper stay silent.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("volume_f64"));
+}
+
+#[test]
 fn allowlist_entries_silence_matching_paths_only() {
     let f = fixture("prints.rs", "crates/demo/src/prints.rs", FileKind::Lib);
     let v = check_file(&f);
@@ -112,6 +123,7 @@ fn every_lint_has_a_firing_fixture() {
         ("panics_doc.rs", "crates/demo/src/panics_doc.rs"),
         ("tolerance.rs", "crates/demo/src/tolerance.rs"),
         ("no_header.rs", "crates/demo/src/lib.rs"),
+        ("twin_f64.rs", "crates/demo/src/twin_f64.rs"),
     ];
     let mut all = Vec::new();
     for (name, vpath) in fixtures {

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # The full local gate, identical to .github/workflows/ci.yml:
-#   fmt -> repo lints -> tests -> tests with hard invariants.
+#   fmt -> repo lints -> examples build -> tests (incl. doc-tests)
+#   -> tests with hard invariants.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,8 +12,14 @@ cargo fmt --all --check
 echo "==> cargo xtask lint"
 cargo run --package xtask --quiet -- lint
 
+echo "==> cargo build (examples)"
+cargo build --workspace --examples
+
 echo "==> cargo test (workspace)"
 cargo test --quiet --workspace
+
+echo "==> cargo test (doc-tests)"
+cargo test --quiet --workspace --doc
 
 echo "==> cargo test (checked invariants)"
 cargo test --quiet --workspace --features checked-invariants
