@@ -1,0 +1,146 @@
+//! Dispatch-layer payoff of the Monte-Carlo engine: the same
+//! estimation workload through the fully-dynamic v1 loop
+//! ([`Simulation::run_dyn`]: one virtual call per decision, one
+//! scalar RNG call per uniform), through the generic fallback with
+//! buffered sampling (virtual decisions, chunked uniforms), and
+//! through the monomorphized kernel fast path
+//! ([`Simulation::run`]: decision inlined, chunked uniforms).
+//!
+//! All three paths are bit-identical by construction — asserted here
+//! before any timing — so every speedup below is pure dispatch and
+//! sampling overhead, not a change in the estimator.
+//!
+//! Besides the report lines (trials/sec per path), this bench writes
+//! `results/BENCH_simulator_throughput.json`: one paired row per
+//! `(family, n, path)` with the dyn baseline as `cold_ns` and the
+//! optimized path as `memoized_ns`, so `speedup` reads as "times
+//! faster than dyn dispatch".
+//!
+//! Run `--smoke` for a single short iteration (CI: exercises the
+//! bench code and the JSON emission without the full measurement).
+
+use bench::{write_bench_json, PairedTiming};
+use criterion::black_box;
+use decision::{Bin, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
+use rational::Rational;
+use simulator::{Simulation, SimulationReport};
+use std::path::Path;
+use std::time::Instant;
+
+const DELTA: f64 = 1.0;
+const SIZES: [usize; 3] = [3, 5, 8];
+
+/// Hides a rule's kernel hint, forcing the engine onto the generic
+/// per-decision path while keeping buffered sampling.
+struct Opaque<'a>(&'a dyn LocalRule);
+
+impl LocalRule for Opaque<'_> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn decide(&self, player: usize, input: f64, coin: f64) -> Bin {
+        self.0.decide(player, input, coin)
+    }
+}
+
+/// Median wall-clock nanoseconds of `routine` over `samples` runs.
+fn median_ns(samples: usize, mut routine: impl FnMut() -> SimulationReport) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn trials_per_sec(trials: u64, ns: f64) -> f64 {
+    trials as f64 / ns * 1e9
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (trials, samples) = if smoke { (20_000, 1) } else { (400_000, 15) };
+    // Single-threaded engine: the comparison isolates dispatch and
+    // sampling cost per core, independent of pool scheduling.
+    let sim = Simulation::new(trials, 42).with_threads(1);
+
+    println!(
+        "simulator_throughput: {trials} trials/run, δ = {DELTA}, single-threaded{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut timings = Vec::new();
+    for n in SIZES {
+        let threshold = SingleThresholdAlgorithm::symmetric(n, Rational::ratio(622, 1000))
+            .expect("valid symmetric thresholds");
+        let oblivious = ObliviousAlgorithm::fair(n);
+
+        // Transparency first: every path must report the same result.
+        let reference = sim.run(&threshold, DELTA);
+        assert_eq!(sim.run(&Opaque(&threshold), DELTA), reference);
+        assert_eq!(sim.run_dyn(&threshold, DELTA), reference);
+        assert_eq!(
+            sim.run(&Opaque(&oblivious), DELTA),
+            sim.run(&oblivious, DELTA)
+        );
+        assert_eq!(sim.run_dyn(&oblivious, DELTA), sim.run(&oblivious, DELTA));
+
+        let dyn_ns = median_ns(samples, || sim.run_dyn(&threshold, DELTA));
+        let buffered_ns = median_ns(samples, || sim.run(&Opaque(&threshold), DELTA));
+        let kernel_ns = median_ns(samples, || sim.run(&threshold, DELTA));
+        for (path, ns) in [("buffered", buffered_ns), ("kernel+buffered", kernel_ns)] {
+            timings.push(PairedTiming {
+                label: format!("threshold n = {n} · {path}"),
+                cold_ns: dyn_ns,
+                memoized_ns: ns,
+            });
+        }
+        println!(
+            "threshold n = {n}: dyn {:>12.0}/s   buffered {:>12.0}/s ({:.2}x)   kernel {:>12.0}/s ({:.2}x)",
+            trials_per_sec(trials, dyn_ns),
+            trials_per_sec(trials, buffered_ns),
+            dyn_ns / buffered_ns,
+            trials_per_sec(trials, kernel_ns),
+            dyn_ns / kernel_ns,
+        );
+
+        let dyn_ns = median_ns(samples, || sim.run_dyn(&oblivious, DELTA));
+        let kernel_ns = median_ns(samples, || sim.run(&oblivious, DELTA));
+        timings.push(PairedTiming {
+            label: format!("oblivious n = {n} · kernel+buffered"),
+            cold_ns: dyn_ns,
+            memoized_ns: kernel_ns,
+        });
+        println!(
+            "oblivious n = {n}: dyn {:>12.0}/s   kernel {:>12.0}/s ({:.2}x)",
+            trials_per_sec(trials, dyn_ns),
+            trials_per_sec(trials, kernel_ns),
+            dyn_ns / kernel_ns,
+        );
+    }
+
+    // Smoke runs still exercise the JSON emission, but against a
+    // scratch path so they never clobber the committed measurement.
+    let path = if smoke {
+        std::env::temp_dir().join("BENCH_simulator_throughput.smoke.json")
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_simulator_throughput.json")
+    };
+    write_bench_json(&path, "simulator_throughput", &timings).expect("write bench JSON");
+    println!("written: {}", path.display());
+
+    if !smoke {
+        let at_n8 = timings
+            .iter()
+            .find(|t| t.label == "threshold n = 8 · kernel+buffered")
+            .expect("n = 8 kernel row measured")
+            .speedup();
+        assert!(
+            at_n8 >= 2.0,
+            "monomorphized+buffered must be at least 2x over dyn dispatch at n = 8, got {at_n8:.2}x"
+        );
+    }
+}

@@ -23,6 +23,28 @@ impl Bin {
     }
 }
 
+/// A structured, kernel-friendly view of a rule's decision function,
+/// used by the simulator to select a monomorphized hot loop instead
+/// of one virtual [`LocalRule::decide`] call per player per trial.
+///
+/// A hint is a *contract*: it must describe exactly the same decision
+/// function as [`LocalRule::decide`] (after the per-player parameters
+/// are converted to `f64`). The simulator's kernel-equivalence tests
+/// enforce this bit-for-bit for the in-repo rule families.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum KernelHint {
+    /// `decide(i, x, _) = Zero iff x ≤ a_i`: the per-player
+    /// thresholds, already converted to `f64`.
+    Threshold(Vec<f64>),
+    /// `decide(i, _, c) = Zero iff c < α_i`: the per-player bin-0
+    /// probabilities, already converted to `f64`.
+    Oblivious(Vec<f64>),
+    /// No structure exposed: the simulator falls back to calling
+    /// [`LocalRule::decide`] per decision.
+    Opaque,
+}
+
 /// A local decision rule: what player `i` does given only its own
 /// input — the defining constraint of the no-communication case.
 ///
@@ -36,6 +58,15 @@ pub trait LocalRule: Send + Sync {
     /// The bin player `player` chooses on input `input`, given a
     /// private uniform `coin`.
     fn decide(&self, player: usize, input: f64, coin: f64) -> Bin;
+
+    /// A structured view of the decision function for monomorphized
+    /// simulation kernels; defaults to [`KernelHint::Opaque`].
+    ///
+    /// Implementors overriding this must return a hint that agrees
+    /// with [`LocalRule::decide`] on every `(player, input, coin)`.
+    fn kernel_hint(&self) -> KernelHint {
+        KernelHint::Opaque
+    }
 }
 
 /// An oblivious algorithm: each player ignores its input and picks
@@ -102,6 +133,13 @@ impl ObliviousAlgorithm {
         &self.alpha
     }
 
+    /// The probability vector `α` converted to `f64`, for hot loops
+    /// that cannot afford a [`Rational::to_f64`] per decision.
+    #[must_use]
+    pub fn probabilities_f64(&self) -> Vec<f64> {
+        self.alpha.iter().map(Rational::to_f64).collect()
+    }
+
     /// Number of players.
     #[must_use]
     pub fn n(&self) -> usize {
@@ -120,12 +158,17 @@ impl LocalRule for ObliviousAlgorithm {
         self.alpha.len()
     }
 
+    #[inline]
     fn decide(&self, player: usize, _input: f64, coin: f64) -> Bin {
         if coin < self.alpha[player].to_f64() {
             Bin::Zero
         } else {
             Bin::One
         }
+    }
+
+    fn kernel_hint(&self) -> KernelHint {
+        KernelHint::Oblivious(self.probabilities_f64())
     }
 }
 
@@ -184,6 +227,13 @@ impl SingleThresholdAlgorithm {
         &self.thresholds
     }
 
+    /// The threshold vector `a` converted to `f64`, for hot loops
+    /// that cannot afford a [`Rational::to_f64`] per decision.
+    #[must_use]
+    pub fn thresholds_f64(&self) -> Vec<f64> {
+        self.thresholds.iter().map(Rational::to_f64).collect()
+    }
+
     /// Number of players.
     #[must_use]
     pub fn n(&self) -> usize {
@@ -202,12 +252,17 @@ impl LocalRule for SingleThresholdAlgorithm {
         self.thresholds.len()
     }
 
+    #[inline]
     fn decide(&self, player: usize, input: f64, _coin: f64) -> Bin {
         if input <= self.thresholds[player].to_f64() {
             Bin::Zero
         } else {
             Bin::One
         }
+    }
+
+    fn kernel_hint(&self) -> KernelHint {
+        KernelHint::Threshold(self.thresholds_f64())
     }
 }
 
@@ -263,6 +318,36 @@ mod tests {
     fn bin_other_flips() {
         assert_eq!(Bin::Zero.other(), Bin::One);
         assert_eq!(Bin::One.other(), Bin::Zero);
+    }
+
+    #[test]
+    fn kernel_hints_expose_f64_parameters() {
+        let a = SingleThresholdAlgorithm::new(vec![r(1, 4), r(5, 8)]).unwrap();
+        assert_eq!(a.kernel_hint(), KernelHint::Threshold(vec![0.25, 0.625]));
+        assert_eq!(a.thresholds_f64(), vec![0.25, 0.625]);
+        let o = ObliviousAlgorithm::new(vec![r(1, 2), r(3, 4)]).unwrap();
+        assert_eq!(o.kernel_hint(), KernelHint::Oblivious(vec![0.5, 0.75]));
+        assert_eq!(o.probabilities_f64(), vec![0.5, 0.75]);
+    }
+
+    #[test]
+    fn kernel_hints_agree_with_decide() {
+        let a = SingleThresholdAlgorithm::new(vec![r(1, 3), r(2, 3)]).unwrap();
+        let KernelHint::Threshold(ts) = a.kernel_hint() else {
+            panic!("threshold rule must hint Threshold");
+        };
+        let o = ObliviousAlgorithm::new(vec![r(1, 3), r(2, 3)]).unwrap();
+        let KernelHint::Oblivious(al) = o.kernel_hint() else {
+            panic!("oblivious rule must hint Oblivious");
+        };
+        for player in 0..2usize {
+            for v in [0.0, 0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.9] {
+                let from_hint = if v <= ts[player] { Bin::Zero } else { Bin::One };
+                assert_eq!(a.decide(player, v, 0.5), from_hint);
+                let from_hint = if v < al[player] { Bin::Zero } else { Bin::One };
+                assert_eq!(o.decide(player, 0.5, v), from_hint);
+            }
+        }
     }
 
     #[test]

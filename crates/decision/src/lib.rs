@@ -75,7 +75,7 @@ pub mod rules;
 pub mod symmetric;
 mod winning;
 
-pub use algorithms::{Bin, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
+pub use algorithms::{Bin, KernelHint, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
 pub use capacity::Capacity;
 pub use error::ModelError;
 pub use randomized::RandomizedThresholds;

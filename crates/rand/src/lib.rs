@@ -120,8 +120,13 @@ pub trait SampleRange<T> {
 }
 
 /// Converts 53 random bits into a uniform `f64` in `[0, 1)`.
+///
+/// This is the canonical conversion behind every float sample in the
+/// workspace: [`Rng::gen_range`] over `0.0..1.0` returns exactly this
+/// value, so buffered prefetchers built directly on `unit_f64`
+/// observe the same stream as scalar `gen_range` callers.
 // xtask:allow(no-twin-f64): bit-level RNG conversion, not a twin of an exact pipeline
-fn unit_f64<G: RngCore>(rng: &mut G) -> f64 {
+pub fn unit_f64<G: RngCore>(rng: &mut G) -> f64 {
     // 2^-53; the standard bit-shift construction.
     (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
 }
@@ -228,6 +233,16 @@ mod tests {
         assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
         let frac = f64::from(below_tenth) / f64::from(n);
         assert!((frac - 0.1).abs() < 0.005, "P(x < 0.1) ~ {frac}");
+    }
+
+    #[test]
+    fn gen_range_unit_interval_equals_unit_f64() {
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        for _ in 0..10_000 {
+            let x: f64 = a.gen_range(0.0..1.0);
+            assert_eq!(x, super::unit_f64(&mut b));
+        }
     }
 
     #[test]

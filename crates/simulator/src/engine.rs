@@ -1,10 +1,73 @@
 //! The batched, multi-threaded Monte-Carlo engine.
+//!
+//! # Dispatch layers
+//!
+//! The hot loop is monomorphized: [`Simulation::run`] asks the rule
+//! for a [`KernelHint`] once per run and selects a compiled kernel —
+//! a threshold compare for [`decision::SingleThresholdAlgorithm`], a
+//! coin-flip compare for [`decision::ObliviousAlgorithm`] — so the
+//! per-player decision is inlined with no virtual call and no
+//! `Rational → f64` conversion inside the loop. Rules reporting
+//! [`KernelHint::Opaque`] fall back to calling
+//! [`LocalRule::decide`] per decision. The entry points are generic
+//! over `R: LocalRule + ?Sized`, so `&dyn LocalRule` callers keep
+//! working unchanged (one virtual `kernel_hint` call still routes
+//! them onto the fast path); [`Simulation::run_dyn`] pins the old
+//! fully-dynamic loop as a benchmark baseline.
+//!
+//! # RNG stream versioning
+//!
+//! Each batch draws from a stream that is a pure function of
+//! `(seed, batch)`. The *shape* of that stream — how many uniforms a
+//! trial consumes — is versioned by [`RNG_STREAM_VERSION`]:
+//!
+//! * **v1** (through PR 2): every player drew three uniforms per
+//!   trial — input, coin, and a fault coin even when `p_crash = 0`.
+//! * **v2** (current): under the default [`FaultStream::OnDemand`],
+//!   the fault draw is skipped entirely when `p_crash = 0`, so a
+//!   crash-free trial consumes two uniforms per player.
+//!   [`FaultStream::CommonRandomNumbers`] restores the v1 shape
+//!   (always draw the fault coin), which keeps the input stream
+//!   shared across different fault rates — use it to compare
+//!   `p_crash` settings variance-free. Runs with `p_crash > 0` are
+//!   bit-identical in both modes.
+//!
+//! Consequently, same-version estimates are bit-for-bit reproducible
+//! across thread counts, batch schedules, pool reuse, buffered vs
+//! scalar sampling, and dyn vs monomorphized dispatch — but a v2
+//! crash-free estimate differs from the v1 estimate for the same
+//! seed. The expectation tests below were re-pinned against v2
+//! deliberately.
 
+use crate::kernel::{
+    BufferedUniforms, GenericKernel, Kernel, ObliviousKernel, ScalarUniforms, ThresholdKernel,
+    UniformSource,
+};
+use crate::pool::WorkerPool;
 use crate::{SimulationError, SimulationReport};
-use decision::{Bin, LocalRule};
+use decision::{Bin, KernelHint, LocalRule};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+
+/// Version of the per-batch RNG stream shape (see the
+/// [module docs](self) for the history).
+pub const RNG_STREAM_VERSION: u32 = 2;
+
+/// How the per-player fault coin is drawn (see the
+/// [module docs](self) for the stream-shape consequences).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultStream {
+    /// Draw the fault coin only when `p_crash > 0` — the fast path
+    /// for crash-free estimation.
+    #[default]
+    OnDemand,
+    /// Always draw the fault coin, even at `p_crash = 0`, so
+    /// estimates at different fault rates share one input stream
+    /// (the v1 stream shape).
+    CommonRandomNumbers,
+}
 
 /// A deterministic, thread-parallel Monte-Carlo estimator of the
 /// winning probability `P_A(δ)` of any [`LocalRule`].
@@ -12,7 +75,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Trials are split into fixed batches; batch `i` always runs with the
 /// RNG stream derived from `(seed, i)`, so the estimate is bit-for-bit
 /// reproducible regardless of the number of worker threads or their
-/// scheduling.
+/// scheduling. Parallel runs execute on a persistent worker pool that
+/// is spawned lazily on the first run and reused by every later run
+/// of this engine (and of [`Simulation::reseeded`] copies — a sweep
+/// pays thread start-up once, not once per grid point).
 ///
 /// # Examples
 ///
@@ -31,6 +97,45 @@ pub struct Simulation {
     seed: u64,
     threads: usize,
     batch_size: u64,
+    fault_stream: FaultStream,
+    /// Lazily-spawned persistent workers, shared by clones (so
+    /// [`Simulation::reseeded`] engines reuse the same threads).
+    pool: Arc<OnceLock<WorkerPool>>,
+}
+
+/// Everything a batch needs besides the kernel, copied once per run.
+#[derive(Clone, Copy)]
+struct TrialParams {
+    seed: u64,
+    trials: u64,
+    batch_size: u64,
+    delta: f64,
+    p_crash: f64,
+    draw_fault: bool,
+}
+
+/// Shared state of one pooled run: workers and the submitting thread
+/// all drain batches from `next` and sum wins locally.
+struct PooledRun<K> {
+    kernel: K,
+    params: TrialParams,
+    batches: u64,
+    next: AtomicU64,
+}
+
+impl<K: Kernel> PooledRun<K> {
+    /// Claims and runs batches until the counter is exhausted,
+    /// returning the wins this thread accumulated.
+    fn drain(&self) -> u64 {
+        let mut wins = 0u64;
+        loop {
+            let batch = self.next.fetch_add(1, Ordering::Relaxed);
+            if batch >= self.batches {
+                return wins;
+            }
+            wins += run_batch::<K, BufferedUniforms>(&self.kernel, self.params, batch);
+        }
+    }
 }
 
 impl Simulation {
@@ -65,13 +170,20 @@ impl Simulation {
             seed,
             threads,
             batch_size: 16_384,
+            fault_stream: FaultStream::default(),
+            pool: Arc::new(OnceLock::new()),
         })
     }
 
     /// Overrides the number of worker threads (1 = sequential).
+    ///
+    /// Any already-spawned worker pool is released: the pool's size is
+    /// tied to the thread count, so the next parallel run spawns a
+    /// fresh pool of the new size.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Simulation {
         self.threads = threads.max(1);
+        self.pool = Arc::new(OnceLock::new());
         self
     }
 
@@ -80,29 +192,139 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `batch_size` is zero.
+    /// Panics if `batch_size` is zero;
+    /// [`Simulation::try_with_batch_size`] is the non-panicking
+    /// equivalent.
     #[must_use]
-    pub fn with_batch_size(mut self, batch_size: u64) -> Simulation {
-        assert!(batch_size > 0, "batch size must be positive"); // xtask:allow(no-panic): documented precondition
+    pub fn with_batch_size(self, batch_size: u64) -> Simulation {
+        match self.try_with_batch_size(batch_size) {
+            Ok(simulation) => simulation,
+            Err(error) => panic!("{error}"), // xtask:allow(no-panic): documented builder contract
+        }
+    }
+
+    /// Overrides the batch size (smaller batches = finer work
+    /// stealing, more RNG setup overhead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::ZeroBatchSize`] if `batch_size` is
+    /// zero.
+    pub fn try_with_batch_size(mut self, batch_size: u64) -> Result<Simulation, SimulationError> {
+        if batch_size == 0 {
+            return Err(SimulationError::ZeroBatchSize);
+        }
         self.batch_size = batch_size;
+        Ok(self)
+    }
+
+    /// Selects how the per-player fault coin is drawn; see
+    /// [`FaultStream`].
+    #[must_use]
+    pub fn with_fault_stream(mut self, fault_stream: FaultStream) -> Simulation {
+        self.fault_stream = fault_stream;
         self
+    }
+
+    /// A copy of this engine with a different seed, **sharing the
+    /// worker pool** — sweeps reuse one set of threads across grid
+    /// points while keeping per-point streams independent.
+    #[must_use]
+    pub fn reseeded(&self, seed: u64) -> Simulation {
+        let mut copy = self.clone();
+        copy.seed = seed;
+        copy
     }
 
     /// Estimates `P_A(δ)` for the rule.
     #[must_use]
-    pub fn run(&self, rule: &dyn LocalRule, delta: f64) -> SimulationReport {
+    pub fn run<R: LocalRule + ?Sized>(&self, rule: &R, delta: f64) -> SimulationReport {
         self.run_with_crashes(rule, delta, 0.0)
     }
 
-    /// The number of worker threads a run will actually spawn.
+    /// Estimates `P_A(δ)` when each player independently crashes (and
+    /// drops its input) with probability `p_crash` per round.
+    ///
+    /// Under the default [`FaultStream::OnDemand`] the fault coin is
+    /// only drawn when `p_crash > 0`; configure
+    /// [`FaultStream::CommonRandomNumbers`] (via
+    /// [`Simulation::with_fault_stream`]) to share the input stream
+    /// across fault rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_crash` is not in `[0, 1]`, or if a pooled worker
+    /// thread dies mid-run.
+    #[must_use]
+    pub fn run_with_crashes<R: LocalRule + ?Sized>(
+        &self,
+        rule: &R,
+        delta: f64,
+        p_crash: f64,
+    ) -> SimulationReport {
+        assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
+        let params = self.trial_params(delta, p_crash);
+        let wins = match rule.kernel_hint() {
+            KernelHint::Threshold(thresholds) => {
+                // The hint is the rule's contract with the kernel: it
+                // must describe exactly the rule's players.
+                contracts::invariant!(thresholds.len() == rule.n(), "kernel hint arity");
+                self.run_owned(ThresholdKernel::new(thresholds), params)
+            }
+            KernelHint::Oblivious(alpha) => {
+                contracts::invariant!(alpha.len() == rule.n(), "kernel hint arity");
+                self.run_owned(ObliviousKernel::new(alpha), params)
+            }
+            _ => self.run_borrowed::<_, BufferedUniforms>(&GenericKernel(rule), params),
+        };
+        // Postcondition: the counter is a frequency over exactly the
+        // requested trials, whatever the thread interleaving was.
+        contracts::invariant!(wins <= self.trials, "wins {wins} > trials {}", self.trials);
+        SimulationReport::from_counts(wins, self.trials)
+    }
+
+    /// Estimates `P_A(δ)` through the fully-dynamic v1 loop: one
+    /// virtual call per decision and one scalar RNG call per uniform.
+    ///
+    /// Bit-identical to [`Simulation::run`] — kernels and buffering
+    /// are transparent — but slower; it exists as the dispatch
+    /// baseline for the `simulator_throughput` bench and the
+    /// kernel-equivalence tests.
+    #[must_use]
+    pub fn run_dyn(&self, rule: &dyn LocalRule, delta: f64) -> SimulationReport {
+        self.run_dyn_with_crashes(rule, delta, 0.0)
+    }
+
+    /// [`Simulation::run_dyn`] with crash faults; the baseline twin
+    /// of [`Simulation::run_with_crashes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_crash` is not in `[0, 1]`.
+    #[must_use]
+    pub fn run_dyn_with_crashes(
+        &self,
+        rule: &dyn LocalRule,
+        delta: f64,
+        p_crash: f64,
+    ) -> SimulationReport {
+        assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
+        let params = self.trial_params(delta, p_crash);
+        let wins = self.run_borrowed::<_, ScalarUniforms>(&GenericKernel(rule), params);
+        contracts::invariant!(wins <= self.trials, "wins {wins} > trials {}", self.trials);
+        SimulationReport::from_counts(wins, self.trials)
+    }
+
+    /// The number of threads a parallel run will actually use
+    /// (including the calling thread).
     ///
     /// The configured thread count is clamped to the number of
     /// batches: a worker beyond the `batches`-th would find the queue
     /// already drained and exit immediately, so asking for more
-    /// threads than batches must not spawn idle workers. A single
+    /// threads than batches must not occupy idle workers. A single
     /// batch (or a single configured thread) runs on the caller's
-    /// thread with no spawning at all. The clamp never changes the
-    /// estimate — batch `i`'s RNG stream depends only on `(seed, i)`.
+    /// thread alone. The clamp never changes the estimate — batch
+    /// `i`'s RNG stream depends only on `(seed, i)`.
     #[must_use]
     pub fn planned_workers(&self) -> usize {
         let batches = self.trials.div_ceil(self.batch_size);
@@ -114,52 +336,95 @@ impl Simulation {
         }
     }
 
-    /// Estimates `P_A(δ)` when each player independently crashes (and
-    /// drops its input) with probability `p_crash` per round.
-    ///
-    /// The fault coin is drawn even when `p_crash = 0`, so estimates
-    /// for different fault rates share the same input stream and are
-    /// directly comparable (common random numbers).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p_crash` is not in `[0, 1]`.
-    #[must_use]
-    pub fn run_with_crashes(
-        &self,
-        rule: &dyn LocalRule,
-        delta: f64,
-        p_crash: f64,
-    ) -> SimulationReport {
-        assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
-        let batches = self.trials.div_ceil(self.batch_size);
-        let workers = self.planned_workers();
-        let wins = if workers == 1 {
-            (0..batches)
-                .map(|b| self.run_batch(rule, delta, p_crash, b))
-                .sum()
-        } else {
-            self.run_parallel(rule, delta, p_crash, batches, workers)
-        };
-        // Postcondition: the counter is a frequency over exactly the
-        // requested trials, whatever the thread interleaving was.
-        contracts::invariant!(wins <= self.trials, "wins {wins} > trials {}", self.trials);
-        SimulationReport::from_counts(wins, self.trials)
+    /// Bundles the per-run constants handed to every batch.
+    fn trial_params(&self, delta: f64, p_crash: f64) -> TrialParams {
+        TrialParams {
+            seed: self.seed,
+            trials: self.trials,
+            batch_size: self.batch_size,
+            delta,
+            p_crash,
+            draw_fault: p_crash > 0.0 || self.fault_stream == FaultStream::CommonRandomNumbers,
+        }
     }
 
-    /// Work-steals batches across `workers` scoped threads (already
-    /// clamped by [`Simulation::planned_workers`]). Determinism does
-    /// not depend on scheduling: batch `i`'s RNG stream is a pure
-    /// function of `(seed, i)`, and the win counts are summed
-    /// commutatively.
-    fn run_parallel(
+    /// Runs an owned (`'static`) kernel — sequentially, or on the
+    /// persistent pool when parallelism is planned.
+    fn run_owned<K: Kernel + Send + Sync + 'static>(&self, kernel: K, params: TrialParams) -> u64 {
+        let batches = params.trials.div_ceil(params.batch_size);
+        let workers = self.planned_workers();
+        if workers == 1 {
+            (0..batches)
+                .map(|batch| run_batch::<K, BufferedUniforms>(&kernel, params, batch))
+                .sum()
+        } else {
+            self.run_pooled(kernel, params, batches, workers)
+        }
+    }
+
+    /// Ships an owned kernel to the persistent pool: `workers - 1`
+    /// pool jobs plus the calling thread drain a shared batch
+    /// counter. Determinism does not depend on scheduling — batch
+    /// `i`'s RNG stream is a pure function of `(seed, i)` and the win
+    /// counts are summed commutatively.
+    fn run_pooled<K: Kernel + Send + Sync + 'static>(
         &self,
-        rule: &dyn LocalRule,
-        delta: f64,
-        p_crash: f64,
+        kernel: K,
+        params: TrialParams,
         batches: u64,
         workers: usize,
     ) -> u64 {
+        contracts::invariant!(
+            workers >= 2 && workers as u64 <= batches,
+            "worker count must be clamped to the batch count"
+        );
+        let pool = self
+            .pool
+            .get_or_init(|| WorkerPool::spawn(self.threads.saturating_sub(1)));
+        let run = Arc::new(PooledRun {
+            kernel,
+            params,
+            batches,
+            next: AtomicU64::new(0),
+        });
+        let (wins_out, wins_in) = mpsc::channel::<u64>();
+        let jobs = workers - 1;
+        for _ in 0..jobs {
+            let run = Arc::clone(&run);
+            let wins_out = wins_out.clone();
+            pool.submit(Box::new(move || {
+                let _ = wins_out.send(run.drain());
+            }));
+        }
+        drop(wins_out);
+        // The calling thread pulls its weight instead of blocking.
+        let mut total = run.drain();
+        for _ in 0..jobs {
+            // A worker that panicked dropped its sender without
+            // sending, which surfaces here as a closed channel.
+            total += wins_in
+                .recv()
+                // xtask:allow(no-panic): lost batches must not be reported as a valid estimate
+                .expect("simulator worker died mid-run; estimate would be incomplete");
+        }
+        total
+    }
+
+    /// Runs a borrowed kernel — sequentially, or on per-run scoped
+    /// threads. Borrowed kernels (the [`GenericKernel`] fallback)
+    /// cannot ride the persistent pool, whose jobs must be `'static`.
+    fn run_borrowed<K: Kernel + Sync, U: UniformSource>(
+        &self,
+        kernel: &K,
+        params: TrialParams,
+    ) -> u64 {
+        let batches = params.trials.div_ceil(params.batch_size);
+        let workers = self.planned_workers();
+        if workers == 1 {
+            return (0..batches)
+                .map(|batch| run_batch::<K, U>(kernel, params, batch))
+                .sum();
+        }
         contracts::invariant!(
             workers >= 2 && workers as u64 <= batches,
             "worker count must be clamped to the batch count"
@@ -175,7 +440,7 @@ impl Simulation {
                         if batch >= batches {
                             break;
                         }
-                        local_wins += self.run_batch(rule, delta, p_crash, batch);
+                        local_wins += run_batch::<K, U>(kernel, params, batch);
                     }
                     total_wins.fetch_add(local_wins, Ordering::Relaxed);
                 });
@@ -185,42 +450,50 @@ impl Simulation {
         });
         total_wins.load(Ordering::Relaxed)
     }
+}
 
-    /// Runs one deterministic batch: the RNG stream depends only on
-    /// `(seed, batch)`.
-    fn run_batch(&self, rule: &dyn LocalRule, delta: f64, p_crash: f64, batch: u64) -> u64 {
-        // Precondition for determinism: the batch index must address a
-        // real slice of the trial range; the RNG stream below is a
-        // pure function of `(self.seed, batch)` and nothing else.
-        contracts::invariant!(batch * self.batch_size < self.trials, "batch out of range");
-        let start = batch * self.batch_size;
-        let count = self.batch_size.min(self.trials - start);
-        let mut rng = StdRng::seed_from_u64(splitmix(
-            self.seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        ));
-        let n = rule.n();
-        let mut wins = 0u64;
-        for _ in 0..count {
-            let mut sums = [0.0f64; 2];
-            for player in 0..n {
-                let input: f64 = rng.gen_range(0.0..1.0);
-                let coin: f64 = rng.gen_range(0.0..1.0);
-                let fault: f64 = rng.gen_range(0.0..1.0);
-                if fault < p_crash {
+/// Runs one deterministic batch: the RNG stream depends only on
+/// `(params.seed, batch)`. Monomorphized over both the kernel and the
+/// uniform source, so the compiled loop has the decision and the
+/// sampling inlined.
+fn run_batch<K: Kernel, U: UniformSource>(kernel: &K, params: TrialParams, batch: u64) -> u64 {
+    // Precondition for determinism: the batch index must address a
+    // real slice of the trial range; the RNG stream below is a pure
+    // function of `(params.seed, batch)` and nothing else.
+    contracts::invariant!(
+        batch * params.batch_size < params.trials,
+        "batch out of range"
+    );
+    let start = batch * params.batch_size;
+    let count = params.batch_size.min(params.trials - start);
+    let rng = StdRng::seed_from_u64(splitmix(
+        params.seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    ));
+    let mut uniforms = U::from(rng);
+    let n = kernel.players();
+    let mut wins = 0u64;
+    for _ in 0..count {
+        let mut sums = [0.0f64; 2];
+        for player in 0..n {
+            let input = uniforms.next_unit();
+            let coin = uniforms.next_unit();
+            if params.draw_fault {
+                let fault = uniforms.next_unit();
+                if fault < params.p_crash {
                     continue; // crashed: the input reaches neither bin
                 }
-                match rule.decide(player, input, coin) {
-                    Bin::Zero => sums[0] += input,
-                    Bin::One => sums[1] += input,
-                }
             }
-            if sums[0] <= delta && sums[1] <= delta {
-                wins += 1;
+            match kernel.decide(player, input, coin) {
+                Bin::Zero => sums[0] += input,
+                Bin::One => sums[1] += input,
             }
         }
-        contracts::invariant!(wins <= count, "batch wins exceed batch size");
-        wins
+        if sums[0] <= params.delta && sums[1] <= params.delta {
+            wins += 1;
+        }
     }
+    contracts::invariant!(wins <= count, "batch wins exceed batch size");
+    wins
 }
 
 /// SplitMix64 finalizer, decorrelating per-batch seeds.
@@ -238,6 +511,13 @@ mod tests {
     use rational::Rational;
 
     #[test]
+    fn stream_version_is_pinned() {
+        // Bump deliberately (with the module-docs history updated)
+        // whenever the per-trial uniform consumption changes.
+        assert_eq!(RNG_STREAM_VERSION, 2);
+    }
+
+    #[test]
     fn try_new_rejects_zero_trials() {
         assert!(matches!(
             Simulation::try_new(0, 1),
@@ -253,6 +533,21 @@ mod tests {
     }
 
     #[test]
+    fn try_with_batch_size_rejects_zero() {
+        assert!(matches!(
+            Simulation::new(10, 1).try_with_batch_size(0),
+            Err(crate::SimulationError::ZeroBatchSize)
+        ));
+        assert!(Simulation::new(10, 1).try_with_batch_size(1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn with_batch_size_panics_on_zero() {
+        let _ = Simulation::new(10, 1).with_batch_size(0);
+    }
+
+    #[test]
     fn deterministic_across_thread_counts() {
         let rule = ObliviousAlgorithm::fair(4);
         let base = Simulation::new(100_000, 99).with_threads(1).run(&rule, 1.0);
@@ -262,6 +557,47 @@ mod tests {
                 .run(&rule, 1.0);
             assert_eq!(r, base, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn pool_reuse_keeps_determinism() {
+        // One engine, many runs: the pool is spawned once and every
+        // later run reuses it without changing any estimate.
+        let rule = ObliviousAlgorithm::fair(4);
+        let sim = Simulation::new(60_000, 99)
+            .with_threads(4)
+            .with_batch_size(4_000);
+        assert!(sim.pool.get().is_none(), "pool must be lazy");
+        let first = sim.run(&rule, 1.0);
+        assert!(sim.pool.get().is_some(), "parallel run must spawn the pool");
+        for _ in 0..3 {
+            assert_eq!(sim.run(&rule, 1.0), first);
+        }
+        let fresh = Simulation::new(60_000, 99)
+            .with_threads(4)
+            .with_batch_size(4_000)
+            .run(&rule, 1.0);
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn reseeded_shares_the_pool_and_with_threads_resets_it() {
+        let rule = ObliviousAlgorithm::fair(3);
+        let sim = Simulation::new(40_000, 5)
+            .with_threads(4)
+            .with_batch_size(2_000);
+        let _ = sim.run(&rule, 1.0);
+        let reseeded = sim.reseeded(6);
+        assert!(Arc::ptr_eq(&sim.pool, &reseeded.pool));
+        assert_eq!(reseeded.run(&rule, 1.0), {
+            let fresh = Simulation::new(40_000, 6)
+                .with_threads(4)
+                .with_batch_size(2_000);
+            fresh.run(&rule, 1.0)
+        });
+        let rethreaded = sim.clone().with_threads(2);
+        assert!(!Arc::ptr_eq(&sim.pool, &rethreaded.pool));
+        assert!(rethreaded.pool.get().is_none());
     }
 
     #[test]
@@ -312,6 +648,69 @@ mod tests {
         assert_ne!(a.wins, b.wins);
     }
 
+    /// Hides a rule's structure so the engine takes the
+    /// [`KernelHint::Opaque`] fallback path.
+    struct Opaque<'a>(&'a dyn decision::LocalRule);
+
+    impl decision::LocalRule for Opaque<'_> {
+        fn n(&self) -> usize {
+            self.0.n()
+        }
+        fn decide(&self, player: usize, input: f64, coin: f64) -> Bin {
+            self.0.decide(player, input, coin)
+        }
+    }
+
+    #[test]
+    fn dispatch_paths_are_bit_identical() {
+        // run (kernel + buffered), run over an opaque wrapper
+        // (virtual decide + buffered), and run_dyn (virtual decide +
+        // scalar draws) must agree exactly: kernels and buffering are
+        // transparent views of one logical stream.
+        let threshold = SingleThresholdAlgorithm::symmetric(4, Rational::ratio(5, 8)).unwrap();
+        let oblivious = ObliviousAlgorithm::fair(4);
+        for p_crash in [0.0, 0.3] {
+            let sim = Simulation::new(40_000, 31).with_batch_size(3_000);
+            let fast = sim.run_with_crashes(&threshold, 1.0, p_crash);
+            assert_eq!(
+                sim.run_with_crashes(&Opaque(&threshold), 1.0, p_crash),
+                fast
+            );
+            assert_eq!(sim.run_dyn_with_crashes(&threshold, 1.0, p_crash), fast);
+            let fast = sim.run_with_crashes(&oblivious, 1.0, p_crash);
+            assert_eq!(
+                sim.run_with_crashes(&Opaque(&oblivious), 1.0, p_crash),
+                fast
+            );
+            assert_eq!(sim.run_dyn_with_crashes(&oblivious, 1.0, p_crash), fast);
+        }
+    }
+
+    #[test]
+    fn fault_stream_modes_agree_when_crashes_possible() {
+        // At p_crash > 0 the fault coin is drawn in both modes, so
+        // the streams — and hence the reports — are identical.
+        let rule = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(1, 2)).unwrap();
+        let on_demand = Simulation::new(50_000, 13).run_with_crashes(&rule, 1.0, 0.3);
+        let common = Simulation::new(50_000, 13)
+            .with_fault_stream(FaultStream::CommonRandomNumbers)
+            .run_with_crashes(&rule, 1.0, 0.3);
+        assert_eq!(on_demand, common);
+    }
+
+    #[test]
+    fn fault_stream_modes_diverge_at_zero_crash() {
+        // At p_crash = 0 the default mode consumes two uniforms per
+        // player, the common-random-numbers mode three: different
+        // streams, different (equally valid) estimates.
+        let rule = ObliviousAlgorithm::fair(3);
+        let on_demand = Simulation::new(50_000, 13).run(&rule, 1.0);
+        let common = Simulation::new(50_000, 13)
+            .with_fault_stream(FaultStream::CommonRandomNumbers)
+            .run(&rule, 1.0);
+        assert_ne!(on_demand.wins, common.wins);
+    }
+
     #[test]
     fn estimates_known_oblivious_value() {
         // n = 2, δ = 1, fair coins: exact 3/4.
@@ -347,8 +746,11 @@ mod tests {
     #[test]
     fn more_crashes_help_with_tight_capacity() {
         let rule = ObliviousAlgorithm::fair(5);
-        let reliable = Simulation::new(150_000, 4).run_with_crashes(&rule, 1.0, 0.0);
-        let flaky = Simulation::new(150_000, 4).run_with_crashes(&rule, 1.0, 0.5);
+        // Common random numbers: both fault rates see the same inputs,
+        // isolating the effect of the crashes themselves.
+        let sim = Simulation::new(150_000, 4).with_fault_stream(FaultStream::CommonRandomNumbers);
+        let reliable = sim.run_with_crashes(&rule, 1.0, 0.0);
+        let flaky = sim.run_with_crashes(&rule, 1.0, 0.5);
         assert!(flaky.estimate > reliable.estimate);
     }
 
@@ -357,6 +759,13 @@ mod tests {
     fn crash_probability_validated() {
         let rule = ObliviousAlgorithm::fair(2);
         let _ = Simulation::new(10, 1).run_with_crashes(&rule, 1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash probability range")]
+    fn dyn_crash_probability_validated() {
+        let rule = ObliviousAlgorithm::fair(2);
+        let _ = Simulation::new(10, 1).run_dyn_with_crashes(&rule, 1.0, -0.5);
     }
 
     #[test]

@@ -8,12 +8,15 @@ use std::fmt;
 pub enum SimulationError {
     /// A simulation must run at least one trial.
     ZeroTrials,
+    /// Trials are processed in batches of at least one trial.
+    ZeroBatchSize,
 }
 
 impl fmt::Display for SimulationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimulationError::ZeroTrials => write!(f, "need at least one trial"),
+            SimulationError::ZeroBatchSize => write!(f, "batch size must be positive"),
         }
     }
 }
@@ -29,6 +32,10 @@ mod tests {
         assert_eq!(
             SimulationError::ZeroTrials.to_string(),
             "need at least one trial"
+        );
+        assert_eq!(
+            SimulationError::ZeroBatchSize.to_string(),
+            "batch size must be positive"
         );
     }
 }

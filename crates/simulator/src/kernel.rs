@@ -1,0 +1,239 @@
+//! Monomorphized decision kernels and uniform-sample sources: the
+//! building blocks of the engine's hot loop.
+//!
+//! A [`Kernel`] is the hot-loop view of a [`LocalRule`]: the batch
+//! runner is generic over it, so the compiler emits one specialized
+//! trial loop per kernel type with the decision inlined — no virtual
+//! call and no `Rational → f64` conversion per player per trial. The
+//! engine picks the kernel once per run from
+//! [`decision::KernelHint`]; rules without a hint fall back to
+//! [`GenericKernel`], which is still monomorphized over the concrete
+//! rule type when one is known and degrades to per-decision dynamic
+//! dispatch only for `dyn LocalRule`.
+//!
+//! A [`UniformSource`] abstracts how `[0, 1)` samples are drawn from
+//! the per-batch generator. [`ScalarUniforms`] draws one sample per
+//! call (the v1 engine's pattern, kept as the reference baseline);
+//! [`BufferedUniforms`] refills a fixed chunk per refill and hands
+//! samples out of the buffer. Both produce bit-identical streams —
+//! buffering is a pure prefetch of the same sequence — which the
+//! kernel-equivalence tests rely on.
+
+use decision::{Bin, LocalRule};
+use rand::rngs::StdRng;
+use rand::{unit_f64, Rng};
+
+/// The hot-loop view of a decision rule. Implementations must be
+/// pure: `decide` may depend only on its arguments and the kernel's
+/// construction-time parameters, never on mutable state.
+pub(crate) trait Kernel: Sync {
+    /// Number of players in the system.
+    fn players(&self) -> usize;
+
+    /// The bin player `player` chooses on `(input, coin)`.
+    fn decide(&self, player: usize, input: f64, coin: f64) -> Bin;
+}
+
+/// Fast path for [`decision::SingleThresholdAlgorithm`]-shaped rules:
+/// bin 0 iff `input ≤ thresholds[player]`, with the thresholds
+/// pre-converted to `f64` once per run.
+pub(crate) struct ThresholdKernel {
+    thresholds: Vec<f64>,
+}
+
+impl ThresholdKernel {
+    pub(crate) fn new(thresholds: Vec<f64>) -> ThresholdKernel {
+        ThresholdKernel { thresholds }
+    }
+}
+
+impl Kernel for ThresholdKernel {
+    fn players(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    #[inline]
+    fn decide(&self, player: usize, input: f64, _coin: f64) -> Bin {
+        if input <= self.thresholds[player] {
+            Bin::Zero
+        } else {
+            Bin::One
+        }
+    }
+}
+
+/// Fast path for [`decision::ObliviousAlgorithm`]-shaped rules: bin 0
+/// iff `coin < alpha[player]`, with the probabilities pre-converted
+/// to `f64` once per run.
+pub(crate) struct ObliviousKernel {
+    alpha: Vec<f64>,
+}
+
+impl ObliviousKernel {
+    pub(crate) fn new(alpha: Vec<f64>) -> ObliviousKernel {
+        ObliviousKernel { alpha }
+    }
+}
+
+impl Kernel for ObliviousKernel {
+    fn players(&self) -> usize {
+        self.alpha.len()
+    }
+
+    #[inline]
+    fn decide(&self, player: usize, _input: f64, coin: f64) -> Bin {
+        if coin < self.alpha[player] {
+            Bin::Zero
+        } else {
+            Bin::One
+        }
+    }
+}
+
+/// Fallback kernel: one [`LocalRule::decide`] call per decision.
+/// Monomorphized over `R` when the rule type is concrete; for
+/// `R = dyn LocalRule` every decision is a virtual call — the
+/// engine's dispatch baseline.
+pub(crate) struct GenericKernel<'a, R: LocalRule + ?Sized>(pub(crate) &'a R);
+
+impl<R: LocalRule + ?Sized> Kernel for GenericKernel<'_, R> {
+    fn players(&self) -> usize {
+        self.0.n()
+    }
+
+    #[inline]
+    fn decide(&self, player: usize, input: f64, coin: f64) -> Bin {
+        self.0.decide(player, input, coin)
+    }
+}
+
+/// A stream of uniform `[0, 1)` samples drawn from a seeded
+/// generator. Every implementation built from the same [`StdRng`]
+/// state must yield the same sequence.
+pub(crate) trait UniformSource: From<StdRng> {
+    /// The next uniform sample.
+    fn next_unit(&mut self) -> f64;
+}
+
+/// One `gen_range` call per sample — the v1 engine's draw pattern,
+/// kept as the reference baseline for benchmarks and differential
+/// tests.
+pub(crate) struct ScalarUniforms(StdRng);
+
+impl From<StdRng> for ScalarUniforms {
+    fn from(rng: StdRng) -> ScalarUniforms {
+        ScalarUniforms(rng)
+    }
+}
+
+impl UniformSource for ScalarUniforms {
+    #[inline]
+    fn next_unit(&mut self) -> f64 {
+        self.0.gen_range(0.0..1.0)
+    }
+}
+
+/// Number of uniforms produced per buffer refill.
+const CHUNK: usize = 256;
+
+/// Chunked sampling: a fixed `[f64; CHUNK]` buffer is refilled in one
+/// tight loop and samples are handed out of it, amortizing the
+/// per-draw call overhead. The sequence is identical to
+/// [`ScalarUniforms`] — buffering is a transparent prefetch.
+pub(crate) struct BufferedUniforms {
+    rng: StdRng,
+    buffer: [f64; CHUNK],
+    next: usize,
+}
+
+impl From<StdRng> for BufferedUniforms {
+    fn from(rng: StdRng) -> BufferedUniforms {
+        BufferedUniforms {
+            rng,
+            buffer: [0.0; CHUNK],
+            next: CHUNK,
+        }
+    }
+}
+
+impl BufferedUniforms {
+    #[cold]
+    fn refill(&mut self) {
+        for slot in &mut self.buffer {
+            *slot = unit_f64(&mut self.rng);
+        }
+        self.next = 0;
+    }
+}
+
+impl UniformSource for BufferedUniforms {
+    #[inline]
+    fn next_unit(&mut self) -> f64 {
+        if self.next == CHUNK {
+            self.refill();
+        }
+        let sample = self.buffer[self.next];
+        self.next += 1;
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decision::{ObliviousAlgorithm, SingleThresholdAlgorithm};
+    use rand::SeedableRng;
+    use rational::Rational;
+
+    #[test]
+    fn buffered_and_scalar_sources_share_one_stream() {
+        let mut scalar = ScalarUniforms::from(StdRng::seed_from_u64(33));
+        let mut buffered = BufferedUniforms::from(StdRng::seed_from_u64(33));
+        // Cross several refill boundaries.
+        for i in 0..(3 * CHUNK + 7) {
+            assert_eq!(scalar.next_unit(), buffered.next_unit(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn threshold_kernel_matches_rule_decisions() {
+        let rule = SingleThresholdAlgorithm::new(vec![
+            Rational::ratio(1, 4),
+            Rational::ratio(5, 8),
+            Rational::ratio(1, 1),
+        ])
+        .unwrap();
+        let kernel = ThresholdKernel::new(rule.thresholds_f64());
+        assert_eq!(kernel.players(), 3);
+        for player in 0..3 {
+            for x in [0.0, 0.2, 0.25, 0.26, 0.625, 0.99, 1.0] {
+                assert_eq!(kernel.decide(player, x, 0.5), rule.decide(player, x, 0.5));
+            }
+        }
+    }
+
+    #[test]
+    fn oblivious_kernel_matches_rule_decisions() {
+        let rule =
+            ObliviousAlgorithm::new(vec![Rational::ratio(1, 3), Rational::ratio(3, 4)]).unwrap();
+        let kernel = ObliviousKernel::new(rule.probabilities_f64());
+        assert_eq!(kernel.players(), 2);
+        for player in 0..2 {
+            for c in [0.0, 0.3, 1.0 / 3.0, 0.5, 0.75, 0.9] {
+                assert_eq!(kernel.decide(player, 0.5, c), rule.decide(player, 0.5, c));
+            }
+        }
+    }
+
+    #[test]
+    fn generic_kernel_forwards_to_the_rule() {
+        let rule = ObliviousAlgorithm::fair(4);
+        let kernel = GenericKernel(&rule);
+        assert_eq!(kernel.players(), 4);
+        assert_eq!(kernel.decide(0, 0.9, 0.1), rule.decide(0, 0.9, 0.1));
+        // And through a trait object, exercising the dyn instantiation.
+        let dynamic: &dyn decision::LocalRule = &rule;
+        let kernel = GenericKernel(dynamic);
+        assert_eq!(kernel.decide(1, 0.2, 0.8), rule.decide(1, 0.2, 0.8));
+    }
+}

@@ -7,9 +7,12 @@
 //! 1. **Validation** — every closed-form winning probability in the
 //!    `decision` crate is cross-checked against frequency estimates
 //!    from millions of simulated rounds ([`Simulation`]), batched
-//!    across scoped `std::thread` workers with deterministic
+//!    across a persistent pool of worker threads with deterministic
 //!    per-batch seeding (same seed ⇒ same estimate, regardless of
-//!    thread count or scheduling).
+//!    thread count, scheduling, or pool reuse). The hot loop is
+//!    monomorphized per rule family and fed by a buffered uniform
+//!    sampler; see the [`engine`](Simulation) docs for the dispatch
+//!    layers and the RNG stream-version history.
 //! 2. **Structural fidelity** — [`DistributedSimulation`] runs each
 //!    player as its own thread that receives *only its own input* over
 //!    a channel and replies with a bin choice, so the
@@ -34,14 +37,16 @@ mod antithetic;
 mod distributed;
 mod engine;
 mod error;
+mod kernel;
 mod omniscient;
+mod pool;
 mod report;
 mod stats;
 mod sweep;
 
 pub use antithetic::{run_antithetic, AntitheticReport};
 pub use distributed::DistributedSimulation;
-pub use engine::Simulation;
+pub use engine::{FaultStream, Simulation, RNG_STREAM_VERSION};
 pub use error::SimulationError;
 pub use omniscient::full_information_win_rate;
 pub use report::SimulationReport;

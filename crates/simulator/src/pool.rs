@@ -1,0 +1,186 @@
+//! A persistent worker pool owned by [`Simulation`](crate::Simulation).
+//!
+//! The v1 engine spawned fresh scoped threads for every `run` call,
+//! so a threshold sweep paid thread start-up once per grid point. The
+//! pool amortizes that cost: workers are spawned once (lazily, on the
+//! first parallel run) and reused for every subsequent run of the
+//! same engine — including all grid points of a sweep.
+//!
+//! Determinism is unaffected by pooling. Each batch's RNG stream is a
+//! pure function of `(seed, batch)` and win counts are summed
+//! commutatively, so *which* worker executes a batch — or whether the
+//! workers are freshly spawned or reused — cannot change the report.
+//!
+//! Jobs are plain `FnOnce() + Send + 'static` closures delivered over
+//! an [`mpsc`] channel; workers share the receiver behind a mutex.
+//! The pool never blocks on job completion itself — runs that need to
+//! wait carry their own completion channel.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work shipped to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size set of long-lived worker threads consuming jobs from
+/// a shared queue.
+pub(crate) struct WorkerPool {
+    /// Wrapped in `Option` so `Drop` can close the channel (by
+    /// dropping the sender) before joining the workers.
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads, each parked on the shared job queue.
+    pub(crate) fn spawn(workers: usize) -> WorkerPool {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("sim-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    // xtask:allow(no-panic): thread spawn failure is unrecoverable resource exhaustion
+                    .expect("failed to spawn simulator worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+        }
+    }
+
+    /// Number of worker threads owned by the pool.
+    pub(crate) fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job. If every worker has died (job panic storm) the
+    /// send fails silently; callers detect lost work through their own
+    /// completion channels.
+    pub(crate) fn submit(&self, job: Job) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(job);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's `recv` fail, which
+        // ends its loop.
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            // A worker that panicked in a job already surfaced the
+            // failure to the submitting run; nothing more to do here.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.size())
+            .finish()
+    }
+}
+
+/// Worker body: pull jobs until the channel closes.
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // The lock guard is dropped before the job runs, so a panic
+        // inside a job can never poison the queue for other workers.
+        let job = {
+            let Ok(guard) = receiver.lock() else { return };
+            guard.recv()
+        };
+        match job {
+            // The worker outlives a panicking job: the job's own
+            // completion channel (dropped during unwind) reports the
+            // failure to the run that submitted it, and the pool stays
+            // usable for later runs. Jobs only own their kernel, batch
+            // counter, and a sender, so crossing the unwind boundary
+            // cannot expose broken state.
+            Ok(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_all_submitted_jobs() {
+        let pool = WorkerPool::spawn(3);
+        assert_eq!(pool.size(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = mpsc::channel();
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            let done_tx = done_tx.clone();
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = done_tx.send(());
+            }));
+        }
+        drop(done_tx);
+        for _ in 0..50 {
+            done_rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_submission_rounds() {
+        let pool = WorkerPool::spawn(2);
+        for round in 0..4 {
+            let (done_tx, done_rx) = mpsc::channel();
+            for j in 0..8 {
+                let done_tx = done_tx.clone();
+                pool.submit(Box::new(move || {
+                    let _ = done_tx.send(round * 8 + j);
+                }));
+            }
+            drop(done_tx);
+            let mut got: Vec<usize> = done_rx.iter().collect();
+            got.sort_unstable();
+            let want: Vec<usize> = (round * 8..round * 8 + 8).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers_cleanly() {
+        let pool = WorkerPool::spawn(2);
+        let (done_tx, done_rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            let _ = done_tx.send(());
+        }));
+        done_rx.recv().unwrap();
+        drop(pool);
+    }
+
+    #[test]
+    fn job_panic_does_not_wedge_the_queue() {
+        let pool = WorkerPool::spawn(1);
+        pool.submit(Box::new(|| panic!("job failure")));
+        // The single worker must survive (the queue lock is released
+        // before the job body runs) and process the follow-up job.
+        let (done_tx, done_rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            let _ = done_tx.send(());
+        }));
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker should survive a panicking job");
+    }
+}

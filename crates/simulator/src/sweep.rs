@@ -21,8 +21,11 @@ pub struct SweepPoint {
 /// Sweeps the common threshold `β` over a uniform grid, estimating the
 /// winning probability at each point with `trials` rounds.
 ///
-/// Uses a fixed seed per grid point derived from `seed`, so the whole
-/// sweep is reproducible.
+/// Uses a fixed seed per grid point derived from `(seed, k)`, so the
+/// whole sweep is reproducible. One engine (and hence one worker
+/// pool) serves every grid point — thread start-up is paid once for
+/// the whole curve, while each point still runs on its own
+/// deterministic stream via [`Simulation::reseeded`].
 ///
 /// # Errors
 ///
@@ -56,12 +59,14 @@ pub fn sweep_threshold(
     if n < 2 {
         return Err(ModelError::TooFewPlayers { n });
     }
+    let engine = Simulation::new(trials, seed);
     let mut out = Vec::with_capacity(grid + 1);
     for k in 0..=grid {
         let beta = Rational::ratio(k as i64, grid as i64);
         let rule = SingleThresholdAlgorithm::symmetric(n, beta.clone())?;
-        let report =
-            Simulation::new(trials, seed ^ (k as u64).wrapping_mul(0x9e37)).run(&rule, delta);
+        let report = engine
+            .reseeded(seed ^ (k as u64).wrapping_mul(0x9e37))
+            .run(&rule, delta);
         out.push(SweepPoint {
             x: beta.to_f64(),
             report,

@@ -1,0 +1,116 @@
+//! Property tests pinning the engine's central transparency claim:
+//! monomorphized kernels, buffered sampling, and the persistent pool
+//! are *views* of one logical computation, so every dispatch path
+//! produces a bit-identical [`simulator::SimulationReport`] for the
+//! same `(rule, seed, trials, batch size, thread count)`.
+
+use decision::{Bin, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
+use proptest::prelude::*;
+use rational::Rational;
+use simulator::{FaultStream, Simulation};
+
+/// Hides a rule's [`decision::KernelHint`] so the engine takes the
+/// generic per-decision fallback while still using buffered sampling.
+struct Opaque<'a>(&'a dyn LocalRule);
+
+impl LocalRule for Opaque<'_> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn decide(&self, player: usize, input: f64, coin: f64) -> Bin {
+        self.0.decide(player, input, coin)
+    }
+}
+
+fn unit_rational() -> impl Strategy<Value = Rational> {
+    (0i64..=16, 16i64..=16).prop_map(|(num, den)| Rational::ratio(num, den))
+}
+
+fn oblivious_rule() -> impl Strategy<Value = ObliviousAlgorithm> {
+    proptest::collection::vec(unit_rational(), 2..6)
+        .prop_map(|alpha| ObliviousAlgorithm::new(alpha).unwrap())
+}
+
+fn threshold_rule() -> impl Strategy<Value = SingleThresholdAlgorithm> {
+    proptest::collection::vec(unit_rational(), 2..6)
+        .prop_map(|thresholds| SingleThresholdAlgorithm::new(thresholds).unwrap())
+}
+
+/// The three dispatch paths for one engine configuration must agree
+/// exactly: monomorphized kernel + buffered RNG, generic fallback +
+/// buffered RNG, and the fully-dynamic scalar-draw baseline.
+fn assert_paths_agree(rule: &dyn LocalRule, sim: &Simulation, delta: f64, p_crash: f64) {
+    let fast = sim.run_with_crashes(rule, delta, p_crash);
+    let opaque = sim.run_with_crashes(&Opaque(rule), delta, p_crash);
+    let baseline = sim.run_dyn_with_crashes(rule, delta, p_crash);
+    assert_eq!(fast, opaque, "kernel vs generic fallback");
+    assert_eq!(fast, baseline, "kernel vs dyn baseline");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn oblivious_dispatch_paths_agree(
+        rule in oblivious_rule(),
+        seed in 0u64..1 << 32,
+        threads in 1usize..5,
+        batch_size in 500u64..4_000,
+    ) {
+        let sim = Simulation::new(10_000, seed)
+            .with_threads(threads)
+            .with_batch_size(batch_size);
+        assert_paths_agree(&rule, &sim, 1.0, 0.0);
+    }
+
+    #[test]
+    fn threshold_dispatch_paths_agree(
+        rule in threshold_rule(),
+        seed in 0u64..1 << 32,
+        threads in 1usize..5,
+        batch_size in 500u64..4_000,
+    ) {
+        let sim = Simulation::new(10_000, seed)
+            .with_threads(threads)
+            .with_batch_size(batch_size);
+        assert_paths_agree(&rule, &sim, 1.0, 0.0);
+    }
+
+    #[test]
+    fn crash_fault_dispatch_paths_agree(
+        rule in threshold_rule(),
+        seed in 0u64..1 << 32,
+        threads in 1usize..5,
+        p_crash in 0.05f64..0.95,
+    ) {
+        // p_crash > 0 draws the fault coin in both fault-stream
+        // modes, so all paths must agree under either.
+        for fault_stream in [FaultStream::OnDemand, FaultStream::CommonRandomNumbers] {
+            let sim = Simulation::new(8_000, seed)
+                .with_threads(threads)
+                .with_batch_size(1_000)
+                .with_fault_stream(fault_stream);
+            assert_paths_agree(&rule, &sim, 1.0, p_crash);
+        }
+    }
+
+    #[test]
+    fn thread_counts_and_pool_reuse_never_change_reports(
+        rule in oblivious_rule(),
+        seed in 0u64..1 << 32,
+    ) {
+        let reference = Simulation::new(12_000, seed)
+            .with_threads(1)
+            .with_batch_size(1_500)
+            .run(&rule, 1.0);
+        for threads in [2usize, 4, 8] {
+            let sim = Simulation::new(12_000, seed)
+                .with_threads(threads)
+                .with_batch_size(1_500);
+            // Two runs on the same engine: the second reuses the
+            // pool spawned by the first.
+            prop_assert_eq!(sim.run(&rule, 1.0), reference.clone());
+            prop_assert_eq!(sim.run(&rule, 1.0), reference.clone());
+        }
+    }
+}

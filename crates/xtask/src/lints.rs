@@ -68,6 +68,11 @@ pub const LINTS: &[Lint] = &[
         summary: "forbid new *_f64 free functions outside waived wrapper sites",
         check: no_twin_float,
     },
+    Lint {
+        id: "no-dyn-hot-loop",
+        summary: "forbid dyn LocalRule dispatch inside batch/kernel hot-path fns",
+        check: no_dyn_hot_loop,
+    },
 ];
 
 /// Runs every rule over one file.
@@ -376,6 +381,70 @@ fn no_twin_float(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
+/// The simulator's trial loops are monomorphized so the per-player
+/// decision inlines; a `Box<dyn LocalRule>` or `&dyn LocalRule`
+/// inside a batch/kernel function reintroduces a virtual call per
+/// decision and silently undoes that. Hot-path functions are
+/// recognized by name (`batch` or `kernel` in the identifier — the
+/// engine's naming convention); a deliberate dynamic baseline carries
+/// an `xtask:allow(no-dyn-hot-loop)` waiver.
+fn no_dyn_hot_loop(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(name) = fn_item_name(line) else {
+            continue;
+        };
+        if !(name.contains("batch") || name.contains("kernel")) {
+            continue;
+        }
+        let Some((body_start, body_end)) = body_extent(&file.lines, idx) else {
+            continue; // trait method declaration or parse oddity
+        };
+        for body_idx in body_start..body_end {
+            let lineno = body_idx + 1;
+            if file.is_test_line(lineno) || file.allowed("no-dyn-hot-loop", lineno) {
+                continue;
+            }
+            if contains_token(&file.lines[body_idx], "dyn LocalRule") {
+                out.push(Violation {
+                    lint: "no-dyn-hot-loop",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`dyn LocalRule` inside hot-path fn `{name}` — monomorphize over \
+                         `R: LocalRule` (or waive a deliberate dynamic baseline)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The identifier of the fn item whose signature starts on `line`,
+/// if any (visibility and `const`/`async` qualifiers allowed).
+fn fn_item_name(line: &str) -> Option<String> {
+    let mut rest = line.trim_start();
+    for prefix in ["pub(crate) ", "pub(super) ", "pub ", "const ", "async "] {
+        if let Some(stripped) = rest.strip_prefix(prefix) {
+            rest = stripped;
+        }
+    }
+    let rest = rest.strip_prefix("fn ")?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
 fn unsafe_header(file: &SourceFile) -> Vec<Violation> {
     if !file.path.ends_with("src/lib.rs") {
         return Vec::new();
@@ -504,6 +573,29 @@ mod tests {
             "#![forbid(unsafe_code)]\nimpl X {\n    pub fn to_f64(&self) -> f64 { 0.0 }\n}\n#[cfg(test)]\nmod tests {\n    fn probe_f64() -> f64 { 0.0 }\n}\n",
         );
         assert!(no_twin_float(&f).is_empty());
+    }
+
+    #[test]
+    fn dyn_rule_in_batch_fn_fires() {
+        let f =
+            lib("#![forbid(unsafe_code)]\nfn run_batch(rule: &dyn LocalRule) -> u64 {\n    0\n}\n");
+        let v = no_dyn_hot_loop(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn dyn_rule_outside_hot_path_fns_is_exempt() {
+        let f = lib("#![forbid(unsafe_code)]\nfn run(rule: &dyn LocalRule) -> u64 {\n    0\n}\n");
+        assert!(no_dyn_hot_loop(&f).is_empty());
+    }
+
+    #[test]
+    fn waived_dyn_baseline_is_clean() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\nfn kernel_baseline(\n    rule: &dyn LocalRule, // xtask:allow(no-dyn-hot-loop): deliberate dispatch baseline\n) -> u64 {\n    0\n}\n",
+        );
+        assert!(no_dyn_hot_loop(&f).is_empty());
     }
 
     #[test]

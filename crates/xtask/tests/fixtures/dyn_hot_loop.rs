@@ -1,0 +1,29 @@
+//! Fixture for the `no-dyn-hot-loop` lint: one hot-path fn with
+//! dynamic dispatch (fires), one waived baseline, and one fn whose
+//! name marks it as outside the hot path.
+
+/// A batch runner taking a trait object: fires.
+fn run_batch(rule: &dyn LocalRule, count: u64) -> u64 {
+    let mut wins = 0;
+    for _ in 0..count {
+        wins += u64::from(rule.decide());
+    }
+    wins
+}
+
+/// A deliberate dispatch baseline for benchmarks: waived.
+fn kernel_baseline(
+    rule: &dyn LocalRule, // xtask:allow(no-dyn-hot-loop): deliberate dispatch baseline for the bench
+    count: u64,
+) -> u64 {
+    run_batch(rule, count)
+}
+
+/// Setup code outside any batch/kernel fn: exempt by name.
+fn configure(rule: Box<dyn LocalRule>) -> Box<dyn LocalRule> {
+    rule
+}
+
+trait LocalRule {
+    fn decide(&self) -> bool;
+}

@@ -102,6 +102,21 @@ fn no_twin_f64_fires_once_and_respects_waivers() {
 }
 
 #[test]
+fn no_dyn_hot_loop_fires_once_and_respects_waivers() {
+    let f = fixture(
+        "dyn_hot_loop.rs",
+        "crates/demo/src/dyn_hot_loop.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    let hits = by_lint(&v, "no-dyn-hot-loop");
+    // Only the unwaived `run_batch` fires; the waived baseline and
+    // the non-hot-path fn stay silent.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("run_batch"));
+}
+
+#[test]
 fn allowlist_entries_silence_matching_paths_only() {
     let f = fixture("prints.rs", "crates/demo/src/prints.rs", FileKind::Lib);
     let v = check_file(&f);
@@ -124,6 +139,7 @@ fn every_lint_has_a_firing_fixture() {
         ("tolerance.rs", "crates/demo/src/tolerance.rs"),
         ("no_header.rs", "crates/demo/src/lib.rs"),
         ("twin_f64.rs", "crates/demo/src/twin_f64.rs"),
+        ("dyn_hot_loop.rs", "crates/demo/src/dyn_hot_loop.rs"),
     ];
     let mut all = Vec::new();
     for (name, vpath) in fixtures {

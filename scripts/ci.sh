@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # The full local gate, identical to .github/workflows/ci.yml:
 #   fmt -> repo lints -> examples build -> tests (incl. doc-tests)
-#   -> tests with hard invariants.
+#   -> tests with hard invariants -> bench smoke.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,5 +23,10 @@ cargo test --quiet --workspace --doc
 
 echo "==> cargo test (checked invariants)"
 cargo test --quiet --workspace --features checked-invariants
+
+echo "==> bench smoke (simulator_throughput)"
+# One short iteration: keeps the bench code and its JSON emission
+# compiling and running without paying for a full measurement.
+cargo bench --package bench --bench simulator_throughput -- --smoke
 
 echo "ci: all gates passed"
