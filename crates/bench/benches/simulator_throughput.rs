@@ -23,8 +23,9 @@ use bench::{write_bench_json, PairedTiming};
 use criterion::black_box;
 use decision::{Bin, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
 use rational::Rational;
-use simulator::{Simulation, SimulationReport};
+use simulator::{EngineMetrics, Simulation, SimulationReport};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 const DELTA: f64 = 1.0;
@@ -45,15 +46,53 @@ impl LocalRule for Opaque<'_> {
 
 /// Median wall-clock nanoseconds of `routine` over `samples` runs.
 fn median_ns(samples: usize, mut routine: impl FnMut() -> SimulationReport) -> f64 {
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            black_box(routine());
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
+    let times = (0..samples).map(|_| time_once(&mut routine)).collect();
+    median(times)
+}
+
+/// One timed invocation.
+fn time_once(routine: &mut impl FnMut() -> SimulationReport) -> f64 {
+    let start = Instant::now();
+    black_box(routine());
+    start.elapsed().as_nanos() as f64
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(f64::total_cmp);
     times[times.len() / 2]
+}
+
+/// Paired measurement for overhead comparisons: times `a` and `b`
+/// back-to-back within each sample (order alternating), so slow clock
+/// drift and frequency scaling hit both sides equally instead of
+/// masquerading as overhead. Returns the median `a` time, the median
+/// `b` time, and the min-time ratio `min(b) / min(a)` — the
+/// least-noise overhead estimate for CPU-bound work, since the
+/// fastest sample of each side is the one least disturbed by
+/// scheduling and cache interference.
+fn paired_median_ns(
+    samples: usize,
+    mut a: impl FnMut() -> SimulationReport,
+    mut b: impl FnMut() -> SimulationReport,
+) -> (f64, f64, f64) {
+    let mut a_times = Vec::with_capacity(samples);
+    let mut b_times = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let (ta, tb) = if i % 2 == 0 {
+            let ta = time_once(&mut a);
+            let tb = time_once(&mut b);
+            (ta, tb)
+        } else {
+            let tb = time_once(&mut b);
+            let ta = time_once(&mut a);
+            (ta, tb)
+        };
+        a_times.push(ta);
+        b_times.push(tb);
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let ratio = min(&b_times) / min(&a_times);
+    (median(a_times), median(b_times), ratio)
 }
 
 fn trials_per_sec(trials: u64, ns: f64) -> f64 {
@@ -73,6 +112,7 @@ fn main() {
     );
 
     let mut timings = Vec::new();
+    let mut metrics_ratios: Vec<(usize, f64)> = Vec::new();
     for n in SIZES {
         let threshold = SingleThresholdAlgorithm::symmetric(n, Rational::ratio(622, 1000))
             .expect("valid symmetric thresholds");
@@ -90,7 +130,18 @@ fn main() {
 
         let dyn_ns = median_ns(samples, || sim.run_dyn(&threshold, DELTA));
         let buffered_ns = median_ns(samples, || sim.run(&Opaque(&threshold), DELTA));
-        let kernel_ns = median_ns(samples, || sim.run(&threshold, DELTA));
+        // The instrumented kernel path: same engine, a live
+        // EngineMetrics sink attached. Flushes are per batch, so this
+        // must stay within noise of the uninstrumented path — measured
+        // paired so the ratio is drift-free.
+        let metered_sim = sim.clone().with_metrics(Arc::new(EngineMetrics::new()));
+        assert_eq!(metered_sim.run(&threshold, DELTA), reference);
+        let (kernel_ns, metered_ns, metrics_ratio) = paired_median_ns(
+            samples,
+            || sim.run(&threshold, DELTA),
+            || metered_sim.run(&threshold, DELTA),
+        );
+        metrics_ratios.push((n, metrics_ratio));
         for (path, ns) in [("buffered", buffered_ns), ("kernel+buffered", kernel_ns)] {
             timings.push(PairedTiming {
                 label: format!("threshold n = {n} · {path}"),
@@ -98,13 +149,23 @@ fn main() {
                 memoized_ns: ns,
             });
         }
+        // Paired against the uninstrumented kernel path, so
+        // `speedup` reads directly as the metrics overhead factor
+        // (1.0 = free).
+        timings.push(PairedTiming {
+            label: format!("threshold n = {n} · kernel+metrics"),
+            cold_ns: kernel_ns,
+            memoized_ns: metered_ns,
+        });
         println!(
-            "threshold n = {n}: dyn {:>12.0}/s   buffered {:>12.0}/s ({:.2}x)   kernel {:>12.0}/s ({:.2}x)",
+            "threshold n = {n}: dyn {:>12.0}/s   buffered {:>12.0}/s ({:.2}x)   kernel {:>12.0}/s ({:.2}x)   metered {:>12.0}/s ({:.3}x of kernel)",
             trials_per_sec(trials, dyn_ns),
             trials_per_sec(trials, buffered_ns),
             dyn_ns / buffered_ns,
             trials_per_sec(trials, kernel_ns),
             dyn_ns / kernel_ns,
+            trials_per_sec(trials, metered_ns),
+            1.0 / metrics_ratio,
         );
 
         let dyn_ns = median_ns(samples, || sim.run_dyn(&oblivious, DELTA));
@@ -142,5 +203,15 @@ fn main() {
             at_n8 >= 2.0,
             "monomorphized+buffered must be at least 2x over dyn dispatch at n = 8, got {at_n8:.2}x"
         );
+        // Observability must be free: the metrics-enabled kernel path
+        // stays within 2% of the uninstrumented one at every size,
+        // judged on the drift-free paired ratio.
+        for (n, ratio) in &metrics_ratios {
+            assert!(
+                *ratio <= 1.02,
+                "threshold n = {n}: metrics overhead {:.1}% exceeds the 2% budget",
+                (ratio - 1.0) * 100.0
+            );
+        }
     }
 }

@@ -1,0 +1,85 @@
+//! A relaxed atomic monotonic counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic event counter.
+///
+/// All operations use relaxed ordering: counters are statistics, not
+/// synchronization. Wrapping on overflow inherits `u64` semantics
+/// (unreachable for any realistic workload — `2^64` events).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for Counter {
+    /// Clones the current value into a fresh counter (the clone does
+    /// not share updates with the original).
+    fn clone(&self) -> Counter {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_adds_and_increments() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.add(41);
+        c.incr();
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn clone_detaches_from_the_original() {
+        let c = Counter::new();
+        c.add(5);
+        let d = c.clone();
+        c.add(1);
+        assert_eq!(c.get(), 6);
+        assert_eq!(d.get(), 5);
+    }
+}

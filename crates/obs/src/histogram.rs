@@ -1,0 +1,182 @@
+//! Fixed power-of-two bucket histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64` sample
+/// (0 through 64).
+const BUCKETS: usize = 65;
+
+/// A lock-free histogram over `u64` samples with power-of-two
+/// buckets.
+///
+/// Bucket `i` holds samples whose bit length is `i`: bucket 0 is
+/// exactly `{0}`, bucket `i ≥ 1` covers `[2^(i-1), 2^i − 1]`. The
+/// geometry is fixed, so recording never allocates or locks — one
+/// relaxed `fetch_add` on the bucket plus two on the running
+/// count/sum. Suited to latency-in-nanoseconds and size-in-items
+/// distributions where ~2x resolution is plenty.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let index = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples recorded (wrapping on `u64` overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution, keeping only
+    /// occupied buckets.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                (count > 0).then_some(HistogramBucket {
+                    le: upper_bound(i),
+                    count,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Inclusive upper bound of bucket `index`.
+fn upper_bound(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// One occupied bucket of a [`HistogramSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket's sample range.
+    pub le: u64,
+    /// Number of samples that fell in the bucket.
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples recorded.
+    pub sum: u64,
+    /// Occupied buckets, in increasing `le` order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or zero for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_bit_length_buckets() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0, le 0
+        h.record(1); // bucket 1, le 1
+        h.record(2); // bucket 2, le 3
+        h.record(3); // bucket 2, le 3
+        h.record(1024); // bucket 11, le 2047
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1030);
+        assert_eq!(
+            snap.buckets,
+            vec![
+                HistogramBucket { le: 0, count: 1 },
+                HistogramBucket { le: 1, count: 1 },
+                HistogramBucket { le: 3, count: 2 },
+                HistogramBucket { le: 2047, count: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn extremes_are_representable() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), 1);
+        assert_eq!(snap.buckets[0].le, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_the_total() {
+        let h = Histogram::new();
+        for v in 0..1_000u64 {
+            h.record(v * v);
+        }
+        let snap = h.snapshot();
+        let bucketed: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucketed, snap.count);
+        assert_eq!(snap.count, 1_000);
+    }
+
+    #[test]
+    fn mean_matches_sum_over_count() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        assert!((h.snapshot().mean() - 15.0).abs() < f64::EPSILON);
+        assert!(Histogram::new().snapshot().mean().abs() < f64::EPSILON);
+    }
+}

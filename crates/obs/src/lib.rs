@@ -1,0 +1,67 @@
+//! Dependency-free observability primitives for the workspace's hot
+//! paths.
+//!
+//! Like the in-repo `rand`/`proptest`/`criterion` shims, this crate
+//! vendors no third-party code: it provides exactly the metric
+//! surface the Monte-Carlo engine needs and nothing more.
+//!
+//! # Architecture
+//!
+//! Instrumented layers talk to a [`MetricsSink`] — a small trait with
+//! two event kinds, monotonic counter increments ([`MetricsSink::add`])
+//! and histogram samples ([`MetricsSink::record`]), keyed by
+//! `&'static str`. Every method has a no-op default and [`NoopSink`]
+//! implements none of them, so an uninstrumented run pays nothing
+//! beyond a branch-free virtual call at *flush* granularity: the
+//! engine's hot loops accumulate plain local integers and flush once
+//! per batch of work, never per trial or per draw.
+//!
+//! Concrete sinks are built from the primitives here:
+//!
+//! * [`Counter`] — a relaxed atomic monotonic counter.
+//! * [`Histogram`] — fixed power-of-two buckets over `u64` samples
+//!   (65 buckets cover the full range; no allocation on record).
+//! * [`SpanTimer`] — a drop-guard that records a wall-clock span, in
+//!   nanoseconds, into a sink histogram key.
+//!
+//! All primitives are lock-free and `Sync`; snapshots are consistent
+//! enough for reporting (each cell is read atomically; cross-cell
+//! skew is bounded by in-flight flushes, which callers quiesce by
+//! snapshotting between runs).
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::{Counter, Histogram, MetricsSink, NoopSink};
+//!
+//! // A sink that only cares about one counter.
+//! #[derive(Default)]
+//! struct Trials(Counter);
+//! impl MetricsSink for Trials {
+//!     fn add(&self, key: &'static str, n: u64) {
+//!         if key == "engine.trials" {
+//!             self.0.add(n);
+//!         }
+//!     }
+//! }
+//!
+//! let sink = Trials::default();
+//! sink.add("engine.trials", 10_000);
+//! sink.add("engine.wins", 5_000); // routed nowhere, by choice
+//! assert_eq!(sink.0.get(), 10_000);
+//!
+//! // The no-op default: same call sites, zero state.
+//! NoopSink.add("engine.trials", 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod counter;
+mod histogram;
+mod sink;
+mod timer;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
+pub use sink::{MetricsSink, NoopSink};
+pub use timer::SpanTimer;

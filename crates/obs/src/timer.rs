@@ -1,0 +1,96 @@
+//! Wall-clock span timing into a sink.
+
+use crate::MetricsSink;
+use std::time::Instant;
+
+/// A drop-guard measuring one wall-clock span.
+///
+/// On drop, the elapsed time since [`SpanTimer::start`] is recorded —
+/// in nanoseconds — as a histogram sample under the span's key.
+/// Timers are for *coarse* spans (a sweep grid point, a pool job, a
+/// whole run); per-trial timing would dominate the measured work.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{NoopSink, SpanTimer};
+///
+/// {
+///     let _span = SpanTimer::start(&NoopSink, "sweep.point_ns");
+///     // ... the timed work ...
+/// } // recorded here
+/// ```
+pub struct SpanTimer<'a> {
+    sink: &'a dyn MetricsSink,
+    key: &'static str,
+    started: Instant,
+}
+
+impl std::fmt::Debug for SpanTimer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanTimer")
+            .field("key", &self.key)
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing a span that will be recorded under `key`.
+    #[must_use]
+    pub fn start(sink: &'a dyn MetricsSink, key: &'static str) -> SpanTimer<'a> {
+        SpanTimer {
+            sink,
+            key,
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the span started, saturating at
+    /// `u64::MAX` (584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.sink.record(self.key, self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, NoopSink};
+
+    #[derive(Default)]
+    struct SpanCatcher(Histogram);
+
+    impl MetricsSink for SpanCatcher {
+        fn record(&self, key: &'static str, value: u64) {
+            assert_eq!(key, "test.span_ns");
+            self.0.record(value);
+        }
+    }
+
+    #[test]
+    fn drop_records_one_sample() {
+        let sink = SpanCatcher::default();
+        {
+            let _span = SpanTimer::start(&sink, "test.span_ns");
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(sink.0.count(), 1);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let span = SpanTimer::start(&NoopSink, "test.span_ns");
+        let a = span.elapsed_ns();
+        std::hint::black_box([0u8; 64]);
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -119,6 +119,65 @@ pub trait SampleRange<T> {
     fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
 }
 
+/// A transparent [`RngCore`] adapter that counts the 64-bit words
+/// drawn from the wrapped generator.
+///
+/// The stream is untouched — `CountingRng::new(g)` yields exactly the
+/// words `g` would — so the count is a pure audit trail. The
+/// simulator's RNG-consumption metrics are validated against this
+/// adapter: every `[0, 1)` sample costs exactly one word, so word
+/// counts and draw counts must agree.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::{unit_f64, CountingRng, SeedableRng};
+///
+/// let mut counted = CountingRng::new(StdRng::seed_from_u64(7));
+/// let mut plain = StdRng::seed_from_u64(7);
+/// for _ in 0..10 {
+///     assert_eq!(unit_f64(&mut counted), unit_f64(&mut plain));
+/// }
+/// assert_eq!(counted.words(), 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountingRng<G> {
+    inner: G,
+    words: u64,
+}
+
+impl<G> CountingRng<G> {
+    /// Wraps `inner`, starting the word count at zero.
+    pub fn new(inner: G) -> CountingRng<G> {
+        CountingRng { inner, words: 0 }
+    }
+
+    /// Number of 64-bit words drawn through this adapter so far.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Unwraps the adapter, returning the generator in its current
+    /// stream position.
+    pub fn into_inner(self) -> G {
+        self.inner
+    }
+}
+
+impl<G: SeedableRng> SeedableRng for CountingRng<G> {
+    fn seed_from_u64(seed: u64) -> CountingRng<G> {
+        CountingRng::new(G::seed_from_u64(seed))
+    }
+}
+
+impl<G: RngCore> RngCore for CountingRng<G> {
+    fn next_u64(&mut self) -> u64 {
+        self.words += 1;
+        self.inner.next_u64()
+    }
+}
+
 /// Converts 53 random bits into a uniform `f64` in `[0, 1)`.
 ///
 /// This is the canonical conversion behind every float sample in the
@@ -292,5 +351,27 @@ mod tests {
     fn empty_range_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
         let _: i64 = rng.gen_range(5i64..5);
+    }
+
+    #[test]
+    fn counting_rng_is_stream_transparent_and_exact() {
+        let mut counted = super::CountingRng::<StdRng>::seed_from_u64(99);
+        let mut plain = StdRng::seed_from_u64(99);
+        assert_eq!(counted.words(), 0);
+        for i in 0..1_000u64 {
+            assert_eq!(counted.next_u64(), plain.next_u64(), "word {i}");
+            assert_eq!(counted.words(), i + 1);
+        }
+        // Float and integer sampling each cost exactly one word.
+        let before = counted.words();
+        let _: f64 = counted.gen_range(0.0..1.0);
+        let _: u64 = counted.gen_range(0u64..17);
+        assert_eq!(counted.words(), before + 2);
+        // into_inner hands back the generator mid-stream (advance the
+        // plain twin past the two sampling words first).
+        let _ = plain.next_u64();
+        let _ = plain.next_u64();
+        let mut inner = counted.into_inner();
+        assert_eq!(inner.next_u64(), plain.next_u64());
     }
 }

@@ -43,9 +43,11 @@ use crate::kernel::{
     BufferedUniforms, GenericKernel, Kernel, ObliviousKernel, ScalarUniforms, ThresholdKernel,
     UniformSource,
 };
+use crate::metrics::keys;
 use crate::pool::WorkerPool;
 use crate::{SimulationError, SimulationReport};
 use decision::{Bin, KernelHint, LocalRule};
+use obs::{MetricsSink, NoopSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +56,11 @@ use std::sync::{mpsc, Arc, OnceLock};
 /// Version of the per-batch RNG stream shape (see the
 /// [module docs](self) for the history).
 pub const RNG_STREAM_VERSION: u32 = 2;
+
+/// Default trials per batch; shared with the instrumented
+/// [`load_stats`](crate::load_stats) loop so its stream stays
+/// bit-identical to the engine's.
+pub(crate) const DEFAULT_BATCH_SIZE: u64 = 16_384;
 
 /// How the per-player fault coin is drawn (see the
 /// [module docs](self) for the stream-shape consequences).
@@ -91,7 +98,7 @@ pub enum FaultStream {
 /// let report = Simulation::new(100_000, 7).run(&rule, 1.0);
 /// assert!(report.agrees_with(0.5446, 4.0));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Simulation {
     trials: u64,
     seed: u64,
@@ -101,6 +108,47 @@ pub struct Simulation {
     /// Lazily-spawned persistent workers, shared by clones (so
     /// [`Simulation::reseeded`] engines reuse the same threads).
     pool: Arc<OnceLock<WorkerPool>>,
+    /// Where run/pool/RNG counters are flushed (per batch of work,
+    /// never per trial); a no-op by default.
+    sink: Arc<dyn MetricsSink>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("trials", &self.trials)
+            .field("seed", &self.seed)
+            .field("threads", &self.threads)
+            .field("batch_size", &self.batch_size)
+            .field("fault_stream", &self.fault_stream)
+            .field("pool", &self.pool)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-run totals accumulated across batches: the win count plus the
+/// RNG-consumption audit trail, merged commutatively so thread
+/// scheduling cannot change them.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct BatchTotals {
+    /// Winning trials.
+    pub(crate) wins: u64,
+    /// Uniform samples handed to the trial loop.
+    pub(crate) draws: u64,
+    /// Buffer refills performed by the uniform source.
+    pub(crate) refills: u64,
+    /// Batches executed.
+    pub(crate) batches: u64,
+}
+
+impl BatchTotals {
+    /// Adds another accumulator's counts into this one.
+    pub(crate) fn merge(&mut self, other: BatchTotals) {
+        self.wins += other.wins;
+        self.draws += other.draws;
+        self.refills += other.refills;
+        self.batches += other.batches;
+    }
 }
 
 /// Everything a batch needs besides the kernel, copied once per run.
@@ -121,19 +169,28 @@ struct PooledRun<K> {
     params: TrialParams,
     batches: u64,
     next: AtomicU64,
+    /// Receives one `pool.batches` flush per draining thread.
+    sink: Arc<dyn MetricsSink>,
 }
 
 impl<K: Kernel> PooledRun<K> {
     /// Claims and runs batches until the counter is exhausted,
-    /// returning the wins this thread accumulated.
-    fn drain(&self) -> u64 {
-        let mut wins = 0u64;
+    /// returning the totals this thread accumulated.
+    fn drain(&self) -> BatchTotals {
+        let mut totals = BatchTotals::default();
         loop {
             let batch = self.next.fetch_add(1, Ordering::Relaxed);
             if batch >= self.batches {
-                return wins;
+                if totals.batches > 0 {
+                    self.sink.add(keys::POOL_BATCHES, totals.batches);
+                }
+                return totals;
             }
-            wins += run_batch::<K, BufferedUniforms>(&self.kernel, self.params, batch);
+            totals.merge(run_batch::<K, BufferedUniforms>(
+                &self.kernel,
+                self.params,
+                batch,
+            ));
         }
     }
 }
@@ -169,9 +226,10 @@ impl Simulation {
             trials,
             seed,
             threads,
-            batch_size: 16_384,
+            batch_size: DEFAULT_BATCH_SIZE,
             fault_stream: FaultStream::default(),
             pool: Arc::new(OnceLock::new()),
+            sink: Arc::new(NoopSink),
         })
     }
 
@@ -226,6 +284,24 @@ impl Simulation {
         self
     }
 
+    /// Attaches a metrics sink — typically an
+    /// `Arc<`[`EngineMetrics`](crate::EngineMetrics)`>` — that
+    /// receives run, RNG, and pool counters (see
+    /// [`keys`](crate::keys)).
+    ///
+    /// Metrics observe the computation without touching it: the RNG
+    /// stream, and therefore every estimate, is bit-identical
+    /// whatever sink is attached, and flushes happen per batch of
+    /// work, never per trial. Any already-spawned worker pool is
+    /// released so the next parallel run spawns workers wired to the
+    /// new sink.
+    #[must_use]
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Simulation {
+        self.sink = sink;
+        self.pool = Arc::new(OnceLock::new());
+        self
+    }
+
     /// A copy of this engine with a different seed, **sharing the
     /// worker pool** — sweeps reuse one set of threads across grid
     /// points while keeping per-point streams independent.
@@ -264,23 +340,38 @@ impl Simulation {
     ) -> SimulationReport {
         assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
         let params = self.trial_params(delta, p_crash);
-        let wins = match rule.kernel_hint() {
+        let (totals, dispatch) = match rule.kernel_hint() {
             KernelHint::Threshold(thresholds) => {
                 // The hint is the rule's contract with the kernel: it
                 // must describe exactly the rule's players.
                 contracts::invariant!(thresholds.len() == rule.n(), "kernel hint arity");
-                self.run_owned(ThresholdKernel::new(thresholds), params)
+                (
+                    self.run_owned(ThresholdKernel::new(thresholds), params),
+                    keys::DISPATCH_THRESHOLD,
+                )
             }
             KernelHint::Oblivious(alpha) => {
                 contracts::invariant!(alpha.len() == rule.n(), "kernel hint arity");
-                self.run_owned(ObliviousKernel::new(alpha), params)
+                (
+                    self.run_owned(ObliviousKernel::new(alpha), params),
+                    keys::DISPATCH_OBLIVIOUS,
+                )
             }
-            _ => self.run_borrowed::<_, BufferedUniforms>(&GenericKernel(rule), params),
+            _ => (
+                self.run_borrowed::<_, BufferedUniforms>(&GenericKernel(rule), params),
+                keys::DISPATCH_OPAQUE,
+            ),
         };
+        self.flush_run(totals, dispatch);
         // Postcondition: the counter is a frequency over exactly the
         // requested trials, whatever the thread interleaving was.
-        contracts::invariant!(wins <= self.trials, "wins {wins} > trials {}", self.trials);
-        SimulationReport::from_counts(wins, self.trials)
+        contracts::invariant!(
+            totals.wins <= self.trials,
+            "wins {} > trials {}",
+            totals.wins,
+            self.trials
+        );
+        SimulationReport::from_counts(totals.wins, self.trials)
     }
 
     /// Estimates `P_A(δ)` through the fully-dynamic v1 loop: one
@@ -310,9 +401,15 @@ impl Simulation {
     ) -> SimulationReport {
         assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
         let params = self.trial_params(delta, p_crash);
-        let wins = self.run_borrowed::<_, ScalarUniforms>(&GenericKernel(rule), params);
-        contracts::invariant!(wins <= self.trials, "wins {wins} > trials {}", self.trials);
-        SimulationReport::from_counts(wins, self.trials)
+        let totals = self.run_borrowed::<_, ScalarUniforms>(&GenericKernel(rule), params);
+        self.flush_run(totals, keys::DISPATCH_DYN);
+        contracts::invariant!(
+            totals.wins <= self.trials,
+            "wins {} > trials {}",
+            totals.wins,
+            self.trials
+        );
+        SimulationReport::from_counts(totals.wins, self.trials)
     }
 
     /// The number of threads a parallel run will actually use
@@ -336,6 +433,19 @@ impl Simulation {
         }
     }
 
+    /// Flushes one completed run's counters to the sink (a handful of
+    /// virtual calls per run — nothing per trial).
+    fn flush_run(&self, totals: BatchTotals, dispatch: &'static str) {
+        let sink = &*self.sink;
+        sink.add(keys::RUNS, 1);
+        sink.add(dispatch, 1);
+        sink.add(keys::TRIALS, self.trials);
+        sink.add(keys::WINS, totals.wins);
+        sink.add(keys::BATCHES, totals.batches);
+        sink.add(keys::RNG_DRAWS, totals.draws);
+        sink.add(keys::RNG_REFILLS, totals.refills);
+    }
+
     /// Bundles the per-run constants handed to every batch.
     fn trial_params(&self, delta: f64, p_crash: f64) -> TrialParams {
         TrialParams {
@@ -350,13 +460,19 @@ impl Simulation {
 
     /// Runs an owned (`'static`) kernel — sequentially, or on the
     /// persistent pool when parallelism is planned.
-    fn run_owned<K: Kernel + Send + Sync + 'static>(&self, kernel: K, params: TrialParams) -> u64 {
+    fn run_owned<K: Kernel + Send + Sync + 'static>(
+        &self,
+        kernel: K,
+        params: TrialParams,
+    ) -> BatchTotals {
         let batches = params.trials.div_ceil(params.batch_size);
         let workers = self.planned_workers();
         if workers == 1 {
-            (0..batches)
-                .map(|batch| run_batch::<K, BufferedUniforms>(&kernel, params, batch))
-                .sum()
+            let mut totals = BatchTotals::default();
+            for batch in 0..batches {
+                totals.merge(run_batch::<K, BufferedUniforms>(&kernel, params, batch));
+            }
+            totals
         } else {
             self.run_pooled(kernel, params, batches, workers)
         }
@@ -373,41 +489,44 @@ impl Simulation {
         params: TrialParams,
         batches: u64,
         workers: usize,
-    ) -> u64 {
+    ) -> BatchTotals {
         contracts::invariant!(
             workers >= 2 && workers as u64 <= batches,
             "worker count must be clamped to the batch count"
         );
-        let pool = self
-            .pool
-            .get_or_init(|| WorkerPool::spawn(self.threads.saturating_sub(1)));
+        let pool = self.pool.get_or_init(|| {
+            WorkerPool::spawn(self.threads.saturating_sub(1), Arc::clone(&self.sink))
+        });
         let run = Arc::new(PooledRun {
             kernel,
             params,
             batches,
             next: AtomicU64::new(0),
+            sink: Arc::clone(&self.sink),
         });
-        let (wins_out, wins_in) = mpsc::channel::<u64>();
+        let (totals_out, totals_in) = mpsc::channel::<BatchTotals>();
         let jobs = workers - 1;
         for _ in 0..jobs {
             let run = Arc::clone(&run);
-            let wins_out = wins_out.clone();
+            let totals_out = totals_out.clone();
             pool.submit(Box::new(move || {
-                let _ = wins_out.send(run.drain());
+                let _ = totals_out.send(run.drain());
             }));
         }
-        drop(wins_out);
+        drop(totals_out);
         // The calling thread pulls its weight instead of blocking.
-        let mut total = run.drain();
+        let mut totals = run.drain();
         for _ in 0..jobs {
             // A worker that panicked dropped its sender without
             // sending, which surfaces here as a closed channel.
-            total += wins_in
-                .recv()
-                // xtask:allow(no-panic): lost batches must not be reported as a valid estimate
-                .expect("simulator worker died mid-run; estimate would be incomplete");
+            totals.merge(
+                totals_in
+                    .recv()
+                    // xtask:allow(no-panic): lost batches must not be reported as a valid estimate
+                    .expect("simulator worker died mid-run; estimate would be incomplete"),
+            );
         }
-        total
+        totals
     }
 
     /// Runs a borrowed kernel — sequentially, or on per-run scoped
@@ -417,46 +536,68 @@ impl Simulation {
         &self,
         kernel: &K,
         params: TrialParams,
-    ) -> u64 {
+    ) -> BatchTotals {
         let batches = params.trials.div_ceil(params.batch_size);
         let workers = self.planned_workers();
         if workers == 1 {
-            return (0..batches)
-                .map(|batch| run_batch::<K, U>(kernel, params, batch))
-                .sum();
+            let mut totals = BatchTotals::default();
+            for batch in 0..batches {
+                totals.merge(run_batch::<K, U>(kernel, params, batch));
+            }
+            return totals;
         }
         contracts::invariant!(
             workers >= 2 && workers as u64 <= batches,
             "worker count must be clamped to the batch count"
         );
         let next_batch = AtomicU64::new(0);
-        let total_wins = AtomicU64::new(0);
+        let totals = std::sync::Mutex::new(BatchTotals::default());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut local_wins = 0u64;
+                    let mut local = BatchTotals::default();
                     loop {
                         let batch = next_batch.fetch_add(1, Ordering::Relaxed);
                         if batch >= batches {
                             break;
                         }
-                        local_wins += run_batch::<K, U>(kernel, params, batch);
+                        local.merge(run_batch::<K, U>(kernel, params, batch));
                     }
-                    total_wins.fetch_add(local_wins, Ordering::Relaxed);
+                    // One uncontended lock per worker per run.
+                    totals
+                        .lock()
+                        // xtask:allow(no-panic): a poisoned lock means a sibling worker already panicked
+                        .expect("totals lock poisoned")
+                        .merge(local);
                 });
             }
             // Leaving the scope joins every worker; a worker panic
             // propagates to this thread.
         });
-        total_wins.load(Ordering::Relaxed)
+        totals
+            .into_inner()
+            // xtask:allow(no-panic): worker panics propagate out of the scope above first
+            .expect("totals lock poisoned")
     }
+}
+
+/// The generator for batch `batch` of a run seeded with `seed`: a
+/// pure function of `(seed, batch)`, shared with the instrumented
+/// [`load_stats`](crate::load_stats) loop so its draws are
+/// bit-identical to the engine's.
+pub(crate) fn batch_rng(seed: u64, batch: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix(seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
 }
 
 /// Runs one deterministic batch: the RNG stream depends only on
 /// `(params.seed, batch)`. Monomorphized over both the kernel and the
 /// uniform source, so the compiled loop has the decision and the
 /// sampling inlined.
-fn run_batch<K: Kernel, U: UniformSource>(kernel: &K, params: TrialParams, batch: u64) -> u64 {
+fn run_batch<K: Kernel, U: UniformSource>(
+    kernel: &K,
+    params: TrialParams,
+    batch: u64,
+) -> BatchTotals {
     // Precondition for determinism: the batch index must address a
     // real slice of the trial range; the RNG stream below is a pure
     // function of `(params.seed, batch)` and nothing else.
@@ -466,10 +607,7 @@ fn run_batch<K: Kernel, U: UniformSource>(kernel: &K, params: TrialParams, batch
     );
     let start = batch * params.batch_size;
     let count = params.batch_size.min(params.trials - start);
-    let rng = StdRng::seed_from_u64(splitmix(
-        params.seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-    ));
-    let mut uniforms = U::from(rng);
+    let mut uniforms = U::from(batch_rng(params.seed, batch));
     let n = kernel.players();
     let mut wins = 0u64;
     for _ in 0..count {
@@ -493,11 +631,17 @@ fn run_batch<K: Kernel, U: UniformSource>(kernel: &K, params: TrialParams, batch
         }
     }
     contracts::invariant!(wins <= count, "batch wins exceed batch size");
-    wins
+    BatchTotals {
+        wins,
+        draws: uniforms.draws(),
+        refills: uniforms.refills(),
+        batches: 1,
+    }
 }
 
-/// SplitMix64 finalizer, decorrelating per-batch seeds.
-fn splitmix(mut x: u64) -> u64 {
+/// SplitMix64 finalizer, decorrelating derived seeds (per-batch here,
+/// per-grid-point in [`crate::sweep_threshold`]).
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -110,26 +110,51 @@ impl<R: LocalRule + ?Sized> Kernel for GenericKernel<'_, R> {
 /// A stream of uniform `[0, 1)` samples drawn from a seeded
 /// generator. Every implementation built from the same [`StdRng`]
 /// state must yield the same sequence.
+///
+/// Sources also keep audit counts of their own consumption —
+/// [`UniformSource::draws`] and [`UniformSource::refills`] — which
+/// the engine flushes to its metrics sink at batch granularity. The
+/// counts are derived from state the source maintains anyway (or, for
+/// the scalar baseline, one local increment per draw), so the hot
+/// loop shape is unchanged.
 pub(crate) trait UniformSource: From<StdRng> {
     /// The next uniform sample.
     fn next_unit(&mut self) -> f64;
+
+    /// Samples handed out so far.
+    fn draws(&self) -> u64;
+
+    /// Buffer refills performed so far (zero for unbuffered sources).
+    fn refills(&self) -> u64;
 }
 
 /// One `gen_range` call per sample — the v1 engine's draw pattern,
 /// kept as the reference baseline for benchmarks and differential
 /// tests.
-pub(crate) struct ScalarUniforms(StdRng);
+pub(crate) struct ScalarUniforms {
+    rng: StdRng,
+    draws: u64,
+}
 
 impl From<StdRng> for ScalarUniforms {
     fn from(rng: StdRng) -> ScalarUniforms {
-        ScalarUniforms(rng)
+        ScalarUniforms { rng, draws: 0 }
     }
 }
 
 impl UniformSource for ScalarUniforms {
     #[inline]
     fn next_unit(&mut self) -> f64 {
-        self.0.gen_range(0.0..1.0)
+        self.draws += 1;
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    fn refills(&self) -> u64 {
+        0
     }
 }
 
@@ -144,6 +169,7 @@ pub(crate) struct BufferedUniforms {
     rng: StdRng,
     buffer: [f64; CHUNK],
     next: usize,
+    refills: u64,
 }
 
 impl From<StdRng> for BufferedUniforms {
@@ -152,6 +178,7 @@ impl From<StdRng> for BufferedUniforms {
             rng,
             buffer: [0.0; CHUNK],
             next: CHUNK,
+            refills: 0,
         }
     }
 }
@@ -163,6 +190,7 @@ impl BufferedUniforms {
             *slot = unit_f64(&mut self.rng);
         }
         self.next = 0;
+        self.refills += 1;
     }
 }
 
@@ -175,6 +203,21 @@ impl UniformSource for BufferedUniforms {
         let sample = self.buffer[self.next];
         self.next += 1;
         sample
+    }
+
+    /// Draws are derived from the refill count and the buffer cursor
+    /// — `refills · CHUNK` samples produced minus the part of the
+    /// last chunk not yet handed out — so counting them costs the hot
+    /// loop nothing.
+    fn draws(&self) -> u64 {
+        if self.refills == 0 {
+            return 0;
+        }
+        (self.refills - 1) * CHUNK as u64 + self.next as u64
+    }
+
+    fn refills(&self) -> u64 {
+        self.refills
     }
 }
 
@@ -193,6 +236,37 @@ mod tests {
         for i in 0..(3 * CHUNK + 7) {
             assert_eq!(scalar.next_unit(), buffered.next_unit(), "draw {i}");
         }
+    }
+
+    #[test]
+    fn sources_count_their_own_draws() {
+        let mut scalar = ScalarUniforms::from(StdRng::seed_from_u64(5));
+        let mut buffered = BufferedUniforms::from(StdRng::seed_from_u64(5));
+        assert_eq!(scalar.draws(), 0);
+        assert_eq!(buffered.draws(), 0);
+        // A count that is not a multiple of CHUNK, crossing refills.
+        let n = 2 * CHUNK as u64 + 17;
+        for _ in 0..n {
+            let _ = scalar.next_unit();
+            let _ = buffered.next_unit();
+        }
+        assert_eq!(scalar.draws(), n);
+        assert_eq!(buffered.draws(), n);
+        assert_eq!(scalar.refills(), 0);
+        assert_eq!(buffered.refills(), 3);
+    }
+
+    #[test]
+    fn buffered_draw_count_is_exact_at_chunk_boundaries() {
+        let mut buffered = BufferedUniforms::from(StdRng::seed_from_u64(8));
+        for _ in 0..CHUNK {
+            let _ = buffered.next_unit();
+        }
+        assert_eq!(buffered.draws(), CHUNK as u64);
+        assert_eq!(buffered.refills(), 1);
+        let _ = buffered.next_unit();
+        assert_eq!(buffered.draws(), CHUNK as u64 + 1);
+        assert_eq!(buffered.refills(), 2);
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod distributed;
 mod engine;
 mod error;
 mod kernel;
+mod metrics;
 mod omniscient;
 mod pool;
 mod report;
@@ -48,7 +49,11 @@ pub use antithetic::{run_antithetic, AntitheticReport};
 pub use distributed::DistributedSimulation;
 pub use engine::{FaultStream, Simulation, RNG_STREAM_VERSION};
 pub use error::SimulationError;
+pub use metrics::{keys, EngineMetrics, MetricsSnapshot};
 pub use omniscient::full_information_win_rate;
 pub use report::SimulationReport;
 pub use stats::{load_stats, LoadStats};
-pub use sweep::{sweep_threshold, sweep_threshold_analytic, AnalyticSweepPoint, SweepPoint};
+pub use sweep::{
+    sweep_threshold, sweep_threshold_analytic, sweep_threshold_analytic_with_metrics,
+    sweep_threshold_with_metrics, AnalyticSweepPoint, SweepPoint,
+};

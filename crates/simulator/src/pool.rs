@@ -15,7 +15,18 @@
 //! an [`mpsc`] channel; workers share the receiver behind a mutex.
 //! The pool never blocks on job completion itself — runs that need to
 //! wait carry their own completion channel.
+//!
+//! # Observability
+//!
+//! Workers account for themselves into the engine's
+//! [`MetricsSink`]: jobs executed, panics recovered, wall-clock busy
+//! and idle time (see [`keys`](crate::keys)). The accounting is per
+//! *job* — two `Instant` reads and a handful of counter adds around
+//! each closure, nothing inside the Monte-Carlo loop — so the hot
+//! path is unchanged.
 
+use crate::metrics::keys;
+use obs::{MetricsSink, SpanTimer};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -33,16 +44,18 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads, each parked on the shared job queue.
-    pub(crate) fn spawn(workers: usize) -> WorkerPool {
+    /// Spawns `workers` threads, each parked on the shared job queue
+    /// and reporting into `sink`.
+    pub(crate) fn spawn(workers: usize, sink: Arc<dyn MetricsSink>) -> WorkerPool {
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let handles = (0..workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let sink = Arc::clone(&sink);
                 std::thread::Builder::new()
                     .name(format!("sim-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(&receiver, &*sink))
                     // xtask:allow(no-panic): thread spawn failure is unrecoverable resource exhaustion
                     .expect("failed to spawn simulator worker thread")
             })
@@ -89,15 +102,19 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
-/// Worker body: pull jobs until the channel closes.
-fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+/// Worker body: pull jobs until the channel closes, accounting for
+/// busy/idle time and recovered panics as it goes.
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, sink: &dyn MetricsSink) {
     loop {
+        // Idle span: waiting on the queue (including lock contention).
+        let idle = SpanTimer::start(&obs::NoopSink, keys::POOL_IDLE_NS);
         // The lock guard is dropped before the job runs, so a panic
         // inside a job can never poison the queue for other workers.
         let job = {
             let Ok(guard) = receiver.lock() else { return };
             guard.recv()
         };
+        sink.add(keys::POOL_IDLE_NS, idle.elapsed_ns());
         match job {
             // The worker outlives a panicking job: the job's own
             // completion channel (dropped during unwind) reports the
@@ -106,7 +123,13 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
             // counter, and a sender, so crossing the unwind boundary
             // cannot expose broken state.
             Ok(job) => {
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let span = SpanTimer::start(sink, keys::POOL_JOB_SPAN_NS);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                sink.add(keys::POOL_BUSY_NS, span.elapsed_ns());
+                sink.add(keys::POOL_JOBS, 1);
+                if outcome.is_err() {
+                    sink.add(keys::POOL_PANICS, 1);
+                }
             }
             Err(_) => return,
         }
@@ -116,11 +139,16 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obs::NoopSink;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn noop() -> Arc<dyn MetricsSink> {
+        Arc::new(NoopSink)
+    }
 
     #[test]
     fn pool_runs_all_submitted_jobs() {
-        let pool = WorkerPool::spawn(3);
+        let pool = WorkerPool::spawn(3, noop());
         assert_eq!(pool.size(), 3);
         let counter = Arc::new(AtomicUsize::new(0));
         let (done_tx, done_rx) = mpsc::channel();
@@ -141,7 +169,7 @@ mod tests {
 
     #[test]
     fn pool_is_reusable_across_submission_rounds() {
-        let pool = WorkerPool::spawn(2);
+        let pool = WorkerPool::spawn(2, noop());
         for round in 0..4 {
             let (done_tx, done_rx) = mpsc::channel();
             for j in 0..8 {
@@ -160,7 +188,7 @@ mod tests {
 
     #[test]
     fn dropping_the_pool_joins_workers_cleanly() {
-        let pool = WorkerPool::spawn(2);
+        let pool = WorkerPool::spawn(2, noop());
         let (done_tx, done_rx) = mpsc::channel();
         pool.submit(Box::new(move || {
             let _ = done_tx.send(());
@@ -171,7 +199,7 @@ mod tests {
 
     #[test]
     fn job_panic_does_not_wedge_the_queue() {
-        let pool = WorkerPool::spawn(1);
+        let pool = WorkerPool::spawn(1, noop());
         pool.submit(Box::new(|| panic!("job failure")));
         // The single worker must survive (the queue lock is released
         // before the job body runs) and process the follow-up job.
@@ -182,5 +210,23 @@ mod tests {
         done_rx
             .recv_timeout(std::time::Duration::from_secs(10))
             .expect("worker should survive a panicking job");
+    }
+
+    #[test]
+    fn workers_account_jobs_and_panics_into_the_sink() {
+        let metrics = Arc::new(crate::EngineMetrics::new());
+        let pool = WorkerPool::spawn(1, metrics.clone());
+        pool.submit(Box::new(|| panic!("job failure")));
+        let (done_tx, done_rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            let _ = done_tx.send(());
+        }));
+        done_rx.recv().unwrap();
+        drop(pool); // joins the worker, so the counts below are final
+        let snap = metrics.snapshot();
+        assert_eq!(snap.pool_jobs, 2);
+        assert_eq!(snap.pool_panics, 1);
+        assert_eq!(snap.pool_job_ns.count, 2);
+        assert!(snap.pool_busy_ns > 0);
     }
 }

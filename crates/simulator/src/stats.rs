@@ -1,14 +1,26 @@
 //! Load observability: per-bin statistics beyond the win/lose bit.
+//!
+//! [`load_stats`] replays the engine's exact trial stream — same
+//! per-batch seeding, same buffered uniform source, same monomorphized
+//! kernels — while additionally accounting per-bin loads, occupancy,
+//! and overflow coincidences on the very same draws. Its headline
+//! `report` is therefore bit-identical to [`Simulation::run`] at the
+//! same `(rule, delta, trials, seed)`; earlier revisions drew a
+//! private scalar stream and disagreed with the engine (the regression
+//! test below pins the fix).
 
+use crate::engine::{batch_rng, DEFAULT_BATCH_SIZE};
+use crate::kernel::{
+    BufferedUniforms, GenericKernel, Kernel, ObliviousKernel, ThresholdKernel, UniformSource,
+};
 use crate::SimulationReport;
-use decision::{Bin, LocalRule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use decision::{Bin, KernelHint, LocalRule};
 
 /// Per-bin load statistics from an instrumented simulation run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LoadStats {
-    /// The headline win-rate estimate.
+    /// The headline win-rate estimate; bit-identical to
+    /// [`Simulation::run`] at the same `(rule, delta, trials, seed)`.
     pub report: SimulationReport,
     /// Mean load placed in each bin per round.
     pub mean_load: [f64; 2],
@@ -16,12 +28,33 @@ pub struct LoadStats {
     pub max_load: [f64; 2],
     /// Fraction of rounds in which each bin individually overflowed.
     pub overflow_rate: [f64; 2],
+    /// Fraction of rounds in which *both* bins overflowed at once —
+    /// the intersection term closing the inclusion–exclusion identity
+    /// `P(win) = 1 − P(over₀) − P(over₁) + P(both)`.
+    pub both_overflow_rate: f64,
     /// Mean number of players choosing each bin per round.
     pub mean_occupancy: [f64; 2],
 }
 
+/// Raw counts accumulated over the instrumented trial loop.
+#[derive(Default)]
+struct LoadAccumulator {
+    wins: u64,
+    sum_load: [f64; 2],
+    max_load: [f64; 2],
+    overflows: [u64; 2],
+    both_overflows: u64,
+    occupancy: [u64; 2],
+}
+
 /// Runs an instrumented (single-threaded, deterministic) simulation
 /// collecting per-bin load statistics.
+///
+/// The trial loop is the engine's: trials are split into
+/// fixed batches, batch `i` draws from the stream derived from
+/// `(seed, i)` through the same buffered source, and the rule is
+/// dispatched onto the same monomorphized kernels via
+/// [`decision::KernelHint`]. Only the accounting differs.
 ///
 /// # Panics
 ///
@@ -42,56 +75,85 @@ pub struct LoadStats {
 /// ```
 #[must_use]
 pub fn load_stats(rule: &dyn LocalRule, delta: f64, trials: u64, seed: u64) -> LoadStats {
-    assert!(trials > 0, "need at least one trial");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = rule.n();
-    let mut wins = 0u64;
-    let mut sum_load = [0.0f64; 2];
-    let mut max_load = [0.0f64; 2];
-    let mut overflows = [0u64; 2];
-    let mut occupancy = [0u64; 2];
-    for _ in 0..trials {
-        let mut loads = [0.0f64; 2];
-        for player in 0..n {
-            let input: f64 = rng.gen_range(0.0..1.0);
-            let coin: f64 = rng.gen_range(0.0..1.0);
-            match rule.decide(player, input, coin) {
-                Bin::Zero => {
-                    loads[0] += input;
-                    occupancy[0] += 1;
-                }
-                Bin::One => {
-                    loads[1] += input;
-                    occupancy[1] += 1;
-                }
-            }
+    assert!(trials > 0, "need at least one trial"); // xtask:allow(no-panic): documented precondition
+    let acc = match rule.kernel_hint() {
+        KernelHint::Threshold(thresholds) => {
+            contracts::invariant!(thresholds.len() == rule.n(), "kernel hint arity");
+            collect_loads(&ThresholdKernel::new(thresholds), delta, trials, seed)
         }
-        for b in 0..2 {
-            sum_load[b] += loads[b];
-            if loads[b] > max_load[b] {
-                max_load[b] = loads[b];
-            }
-            if loads[b] > delta {
-                overflows[b] += 1;
-            }
+        KernelHint::Oblivious(alpha) => {
+            contracts::invariant!(alpha.len() == rule.n(), "kernel hint arity");
+            collect_loads(&ObliviousKernel::new(alpha), delta, trials, seed)
         }
-        if loads[0] <= delta && loads[1] <= delta {
-            wins += 1;
-        }
-    }
+        _ => collect_loads(&GenericKernel(rule), delta, trials, seed),
+    };
     let t = trials as f64;
     LoadStats {
-        report: SimulationReport::from_counts(wins, trials),
-        mean_load: [sum_load[0] / t, sum_load[1] / t],
-        max_load,
-        overflow_rate: [overflows[0] as f64 / t, overflows[1] as f64 / t],
-        mean_occupancy: [occupancy[0] as f64 / t, occupancy[1] as f64 / t],
+        report: SimulationReport::from_counts(acc.wins, trials),
+        mean_load: [acc.sum_load[0] / t, acc.sum_load[1] / t],
+        max_load: acc.max_load,
+        overflow_rate: [acc.overflows[0] as f64 / t, acc.overflows[1] as f64 / t],
+        both_overflow_rate: acc.both_overflows as f64 / t,
+        mean_occupancy: [acc.occupancy[0] as f64 / t, acc.occupancy[1] as f64 / t],
     }
+}
+
+/// The engine's batched trial loop with load accounting bolted on:
+/// per-batch [`batch_rng`] streams through [`BufferedUniforms`], two
+/// uniforms per player (the crash-free v2 stream shape), and the
+/// win condition evaluated on the identically-accumulated bin sums.
+fn collect_loads<K: Kernel>(kernel: &K, delta: f64, trials: u64, seed: u64) -> LoadAccumulator {
+    let mut acc = LoadAccumulator::default();
+    let n = kernel.players();
+    let batches = trials.div_ceil(DEFAULT_BATCH_SIZE);
+    for batch in 0..batches {
+        let start = batch * DEFAULT_BATCH_SIZE;
+        let count = DEFAULT_BATCH_SIZE.min(trials - start);
+        let mut uniforms = BufferedUniforms::from(batch_rng(seed, batch));
+        for _ in 0..count {
+            let mut sums = [0.0f64; 2];
+            for player in 0..n {
+                let input = uniforms.next_unit();
+                let coin = uniforms.next_unit();
+                match kernel.decide(player, input, coin) {
+                    Bin::Zero => {
+                        sums[0] += input;
+                        acc.occupancy[0] += 1;
+                    }
+                    Bin::One => {
+                        sums[1] += input;
+                        acc.occupancy[1] += 1;
+                    }
+                }
+            }
+            for (b, &sum) in sums.iter().enumerate() {
+                acc.sum_load[b] += sum;
+                if sum > acc.max_load[b] {
+                    acc.max_load[b] = sum;
+                }
+                if sum > delta {
+                    acc.overflows[b] += 1;
+                }
+            }
+            if sums[0] > delta && sums[1] > delta {
+                acc.both_overflows += 1;
+            }
+            if sums[0] <= delta && sums[1] <= delta {
+                acc.wins += 1;
+            }
+        }
+    }
+    contracts::invariant!(
+        acc.wins + acc.overflows[0] + acc.overflows[1] == trials + acc.both_overflows,
+        "inclusion-exclusion must balance exactly in counts"
+    );
+    acc
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Simulation;
     use decision::{ObliviousAlgorithm, SingleThresholdAlgorithm};
     use rational::Rational;
 
@@ -118,17 +180,71 @@ mod tests {
         assert!((stats.mean_load[1] - 7.0 / 8.0).abs() < 0.02);
     }
 
+    /// Hides a rule's structure so `load_stats` takes the
+    /// [`KernelHint::Opaque`] fallback path.
+    struct Opaque<'a>(&'a dyn LocalRule);
+
+    impl LocalRule for Opaque<'_> {
+        fn n(&self) -> usize {
+            self.0.n()
+        }
+        fn decide(&self, player: usize, input: f64, coin: f64) -> Bin {
+            self.0.decide(player, input, coin)
+        }
+    }
+
+    #[test]
+    fn report_is_bit_identical_to_the_engine() {
+        // The headline regression: per dispatch path, the win estimate
+        // from the instrumented loop equals Simulation::run exactly —
+        // same seeds, same draws, same f64 accumulation order. Trial
+        // counts straddle batch boundaries on purpose.
+        let threshold = SingleThresholdAlgorithm::symmetric(3, Rational::ratio(5, 8)).unwrap();
+        let oblivious = ObliviousAlgorithm::fair(4);
+        for trials in [1u64, 1_000, 16_384, 50_000] {
+            for seed in [0u64, 7, 41] {
+                let sim = Simulation::new(trials, seed);
+                assert_eq!(
+                    load_stats(&threshold, 1.0, trials, seed).report,
+                    sim.run(&threshold, 1.0),
+                    "threshold: trials {trials}, seed {seed}"
+                );
+                assert_eq!(
+                    load_stats(&oblivious, 1.0, trials, seed).report,
+                    sim.run(&oblivious, 1.0),
+                    "oblivious: trials {trials}, seed {seed}"
+                );
+                assert_eq!(
+                    load_stats(&Opaque(&oblivious), 1.0, trials, seed).report,
+                    sim.run(&Opaque(&oblivious), 1.0),
+                    "opaque: trials {trials}, seed {seed}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn win_rate_consistent_with_overflow_rates() {
         let rule = ObliviousAlgorithm::fair(3);
         let stats = load_stats(&rule, 1.0, 80_000, 11);
-        // P(win) = 1 − P(bin0 over ∪ bin1 over) ≥ 1 − sum of rates,
-        // with equality iff overflows never coincide.
-        let lower = 1.0 - stats.overflow_rate[0] - stats.overflow_rate[1];
-        assert!(stats.report.estimate >= lower - 1e-9);
-        // And overflow of both bins at once is impossible at δ = 1
-        // with n = 3 (total load < 3 but both > 1 requires total > 2 —
-        // possible!), so only check the one-sided bound.
+        // Winning is exactly "neither bin overflows", so by
+        // inclusion–exclusion over the two overflow events
+        //     P(win) = 1 − P(over₀) − P(over₁) + P(both).
+        // The identity is exact in counts (asserted inside the
+        // collector); the rates re-derive it up to division rounding.
+        let identity =
+            1.0 - stats.overflow_rate[0] - stats.overflow_rate[1] + stats.both_overflow_rate;
+        assert!(
+            (stats.report.estimate - identity).abs() < 1e-12,
+            "estimate {} vs identity {identity}",
+            stats.report.estimate
+        );
+        // The intersection is contained in each overflow event.
+        assert!(stats.both_overflow_rate <= stats.overflow_rate[0]);
+        assert!(stats.both_overflow_rate <= stats.overflow_rate[1]);
+        // At δ = 1, n = 3 a joint overflow needs total load > 2 out of
+        // at most 3 — rare (loads are sums of uniforms) but possible,
+        // which is exactly why the identity needs the `+ P(both)` term.
         assert!(stats.report.estimate <= 1.0);
     }
 
@@ -139,6 +255,7 @@ mod tests {
         assert!(stats.max_load[0] <= 5.0);
         assert!(stats.max_load[1] <= 5.0);
         assert_eq!(stats.report.wins, stats.report.trials); // δ = n
+        assert!(stats.both_overflow_rate.abs() < f64::EPSILON); // nothing overflows at δ = n
     }
 
     #[test]

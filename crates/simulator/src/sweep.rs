@@ -3,10 +3,27 @@
 //! Reproduces the paper's figures *empirically* (frequency estimates
 //! over a β grid) so the exact piecewise-polynomial curves can be
 //! validated shape-for-shape, not just point-for-point.
+//!
+//! # Per-point seed derivation
+//!
+//! Grid point `k` runs the engine with the seed
+//! `splitmix64(seed + k · φ64)` — the `k`-th output of a SplitMix64
+//! generator seeded with the sweep seed. Earlier revisions used
+//! `seed ^ k · 0x9e37`, which reused the base seed verbatim at
+//! `k = 0` and only perturbed low bits across points; the regression
+//! tests below pin the fixed derivation (distinct per-point seeds,
+//! `k = 0` decorrelated from the base seed). The SplitMix64 stream is
+//! also structurally distinct from the engine's *batch* seed
+//! derivation (xor-then-finalize), so point streams and batch streams
+//! never coincide by construction.
 
+use crate::engine::splitmix;
+use crate::metrics::keys;
 use crate::{Simulation, SimulationReport};
 use decision::{winning_probability_threshold_in, ModelError, SingleThresholdAlgorithm};
+use obs::{MetricsSink, NoopSink, SpanTimer};
 use rational::Rational;
+use std::sync::Arc;
 use uniform_sums::EvalContext;
 
 /// One grid point of an empirical sweep.
@@ -18,14 +35,23 @@ pub struct SweepPoint {
     pub report: SimulationReport,
 }
 
+/// The engine seed for grid point `k` of a sweep seeded with `seed`:
+/// the `k`-th output of a SplitMix64 stream (the generator's state
+/// advances by the 64-bit golden ratio per output, then the finalizer
+/// decorrelates it).
+fn point_seed(seed: u64, k: u64) -> u64 {
+    splitmix(seed.wrapping_add(k.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
 /// Sweeps the common threshold `β` over a uniform grid, estimating the
 /// winning probability at each point with `trials` rounds.
 ///
-/// Uses a fixed seed per grid point derived from `(seed, k)`, so the
-/// whole sweep is reproducible. One engine (and hence one worker
-/// pool) serves every grid point — thread start-up is paid once for
-/// the whole curve, while each point still runs on its own
-/// deterministic stream via [`Simulation::reseeded`].
+/// Uses a fixed seed per grid point derived from `(seed, k)` (see the
+/// [module docs](self)), so the whole sweep is reproducible. One
+/// engine (and hence one worker pool) serves every grid point —
+/// thread start-up is paid once for the whole curve, while each point
+/// still runs on its own deterministic stream via
+/// [`Simulation::reseeded`].
 ///
 /// # Errors
 ///
@@ -55,18 +81,47 @@ pub fn sweep_threshold(
     trials: u64,
     seed: u64,
 ) -> Result<Vec<SweepPoint>, ModelError> {
-    assert!(grid >= 2, "need at least two grid points");
+    sweep_threshold_with_metrics(n, delta, grid, trials, seed, Arc::new(NoopSink))
+}
+
+/// [`sweep_threshold`] with a metrics sink attached: the engine's
+/// run/RNG/pool counters flow into `sink`, plus one
+/// [`keys::SWEEP_POINTS`] count and one [`keys::SWEEP_POINT_SPAN_NS`]
+/// wall-clock sample per grid point.
+///
+/// The instrumentation is observational only — the points returned
+/// are bit-identical to [`sweep_threshold`] at the same arguments.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Panics
+///
+/// Panics if `grid < 2` or `trials == 0`.
+pub fn sweep_threshold_with_metrics(
+    n: usize,
+    delta: f64,
+    grid: usize,
+    trials: u64,
+    seed: u64,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    assert!(grid >= 2, "need at least two grid points"); // xtask:allow(no-panic): documented precondition
     if n < 2 {
         return Err(ModelError::TooFewPlayers { n });
     }
-    let engine = Simulation::new(trials, seed);
+    let engine = Simulation::new(trials, seed).with_metrics(Arc::clone(&sink));
     let mut out = Vec::with_capacity(grid + 1);
     for k in 0..=grid {
+        let span = SpanTimer::start(&*sink, keys::SWEEP_POINT_SPAN_NS);
         let beta = Rational::ratio(k as i64, grid as i64);
         let rule = SingleThresholdAlgorithm::symmetric(n, beta.clone())?;
         let report = engine
-            .reseeded(seed ^ (k as u64).wrapping_mul(0x9e37))
+            .reseeded(point_seed(seed, k as u64))
             .run(&rule, delta);
+        drop(span);
+        sink.add(keys::SWEEP_POINTS, 1);
         out.push(SweepPoint {
             x: beta.to_f64(),
             report,
@@ -118,21 +173,50 @@ pub fn sweep_threshold_analytic(
     delta: f64,
     grid: usize,
 ) -> Result<Vec<AnalyticSweepPoint>, ModelError> {
-    assert!(grid >= 2, "need at least two grid points");
+    sweep_threshold_analytic_with_metrics(n, delta, grid, &NoopSink)
+}
+
+/// [`sweep_threshold_analytic`] with a metrics sink attached: one
+/// [`keys::SWEEP_POINTS`] count and one [`keys::SWEEP_POINT_SPAN_NS`]
+/// sample per grid point, plus the shared [`EvalContext`]'s final
+/// memo-cache totals as [`keys::MEMO_HITS`] / [`keys::MEMO_MISSES`].
+///
+/// The instrumentation is observational only — the curve returned is
+/// identical to [`sweep_threshold_analytic`] at the same arguments.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Panics
+///
+/// Panics if `grid < 2`.
+pub fn sweep_threshold_analytic_with_metrics(
+    n: usize,
+    delta: f64,
+    grid: usize,
+    sink: &dyn MetricsSink,
+) -> Result<Vec<AnalyticSweepPoint>, ModelError> {
+    assert!(grid >= 2, "need at least two grid points"); // xtask:allow(no-panic): documented precondition
     if n < 2 {
         return Err(ModelError::TooFewPlayers { n });
     }
     let mut ctx = EvalContext::new();
     let mut out = Vec::with_capacity(grid + 1);
     for k in 0..=grid {
+        let span = SpanTimer::start(sink, keys::SWEEP_POINT_SPAN_NS);
         let beta = k as f64 / grid as f64;
         let thresholds = vec![beta; n];
         let probability = winning_probability_threshold_in(&mut ctx, &thresholds, &delta)?;
+        drop(span);
+        sink.add(keys::SWEEP_POINTS, 1);
         out.push(AnalyticSweepPoint {
             x: beta,
             probability,
         });
     }
+    sink.add(keys::MEMO_HITS, ctx.hits());
+    sink.add(keys::MEMO_MISSES, ctx.misses());
     Ok(out)
 }
 
@@ -169,6 +253,76 @@ mod tests {
         let pts = sweep_threshold(2, 1.0, 5, 1_000, 1).unwrap();
         assert_eq!(pts.first().unwrap().x, 0.0);
         assert_eq!(pts.last().unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn point_seeds_are_distinct_and_decorrelated() {
+        // Regression for the pre-fix derivation `seed ^ k · 0x9e37`,
+        // which (a) reused the base seed verbatim at k = 0 and
+        // (b) only perturbed low bits, inviting collisions across
+        // nearby sweeps. The SplitMix64 stream must give every point
+        // of every realistic grid its own seed, distinct from the
+        // base seed.
+        for seed in [0u64, 1, 7, 0x9e37, u64::MAX] {
+            let mut seen = std::collections::BTreeSet::new();
+            for k in 0..=512u64 {
+                let s = point_seed(seed, k);
+                assert_ne!(s, seed, "seed {seed}: point {k} reused the base seed");
+                assert!(
+                    seen.insert(s),
+                    "seed {seed}: duplicate point seed at k = {k}"
+                );
+            }
+        }
+        // The old derivation's k = 0 failure mode, pinned explicitly.
+        assert_ne!(point_seed(42, 0), 42);
+    }
+
+    #[test]
+    fn metered_sweep_matches_plain_sweep_and_counts_points() {
+        let metrics = Arc::new(crate::EngineMetrics::new());
+        let plain = sweep_threshold(2, 1.0, 4, 5_000, 3).unwrap();
+        let metered = sweep_threshold_with_metrics(2, 1.0, 4, 5_000, 3, metrics.clone()).unwrap();
+        assert_eq!(plain, metered);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sweep_points, 5);
+        assert_eq!(snap.sweep_point_ns.count, 5);
+        assert_eq!(snap.runs, 5);
+        assert_eq!(snap.trials, 5 * 5_000);
+    }
+
+    #[test]
+    fn metered_analytic_sweep_counts_points_and_flushes_memo_totals() {
+        let metrics = crate::EngineMetrics::new();
+        let plain = sweep_threshold_analytic(3, 1.0, 16).unwrap();
+        let metered = sweep_threshold_analytic_with_metrics(3, 1.0, 16, &metrics).unwrap();
+        assert_eq!(plain, metered);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sweep_points, 17);
+        assert_eq!(snap.sweep_point_ns.count, 17);
+        // Theorem 5.1's threshold evaluation runs on the context's
+        // binomial cache alone — the Irwin–Hall table memo stays
+        // untouched, and the flushed totals must say so rather than
+        // invent traffic.
+        assert_eq!(snap.memo_hits, 0);
+        assert_eq!(snap.memo_misses, 0);
+    }
+
+    #[test]
+    fn memo_counters_flow_through_a_sink() {
+        // The memo traffic itself, observed through EngineMetrics: an
+        // oblivious-rule evaluation hits the Irwin–Hall table cache.
+        let metrics = crate::EngineMetrics::new();
+        let mut ctx = EvalContext::<f64>::new();
+        for _ in 0..3 {
+            let _ = decision::winning_probability_oblivious_in(&mut ctx, &[0.5, 0.5, 0.5], &1.0)
+                .unwrap();
+        }
+        metrics.add(keys::MEMO_HITS, ctx.hits());
+        metrics.add(keys::MEMO_MISSES, ctx.misses());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.memo_misses, 1);
+        assert_eq!(snap.memo_hits, 2);
     }
 
     #[test]

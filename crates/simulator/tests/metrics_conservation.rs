@@ -1,0 +1,182 @@
+//! Property tests for the observability layer's central claims:
+//!
+//! 1. **Conservation** — the metrics counters are exact, not sampled:
+//!    RNG draws equal `trials × players × draws-per-player` under both
+//!    [`FaultStream`] modes, refills equal the per-batch chunk count,
+//!    and every batch drained through the persistent pool is accounted
+//!    to `pool.batches`.
+//! 2. **Transparency** — attaching a sink changes nothing: estimates
+//!    are bit-identical with [`EngineMetrics`] attached vs the default
+//!    no-op sink.
+
+use decision::{Bin, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
+use proptest::prelude::*;
+use rational::Rational;
+use simulator::{EngineMetrics, FaultStream, Simulation};
+use std::sync::Arc;
+
+/// Uniforms prefetched per `BufferedUniforms` refill; pinned by the
+/// kernel-layer unit tests, restated here for the refill conservation
+/// law.
+const CHUNK: u64 = 256;
+
+/// Hides a rule's [`decision::KernelHint`] so the engine takes the
+/// generic per-decision fallback while still using buffered sampling.
+struct Opaque<'a>(&'a dyn LocalRule);
+
+impl LocalRule for Opaque<'_> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn decide(&self, player: usize, input: f64, coin: f64) -> Bin {
+        self.0.decide(player, input, coin)
+    }
+}
+
+fn unit_rational() -> impl Strategy<Value = Rational> {
+    (0i64..=16, 16i64..=16).prop_map(|(num, den)| Rational::ratio(num, den))
+}
+
+fn oblivious_rule() -> impl Strategy<Value = ObliviousAlgorithm> {
+    proptest::collection::vec(unit_rational(), 2..6)
+        .prop_map(|alpha| ObliviousAlgorithm::new(alpha).unwrap())
+}
+
+fn threshold_rule() -> impl Strategy<Value = SingleThresholdAlgorithm> {
+    proptest::collection::vec(unit_rational(), 2..6)
+        .prop_map(|thresholds| SingleThresholdAlgorithm::new(thresholds).unwrap())
+}
+
+/// The exact number of uniforms a run must consume, and the exact
+/// number of chunk refills the buffered source must perform: each
+/// batch of `c` trials draws `c · n · per_player` uniforms from its
+/// own fresh buffer, refilling `⌈draws / CHUNK⌉` times.
+fn expected_rng_traffic(trials: u64, batch_size: u64, n: u64, per_player: u64) -> (u64, u64) {
+    let mut draws = 0u64;
+    let mut refills = 0u64;
+    let batches = trials.div_ceil(batch_size);
+    for batch in 0..batches {
+        let count = batch_size.min(trials - batch * batch_size);
+        let batch_draws = count * n * per_player;
+        draws += batch_draws;
+        refills += batch_draws.div_ceil(CHUNK);
+    }
+    (draws, refills)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Draw/refill conservation under both fault-stream modes and
+    // both crash regimes, across every dispatch path.
+    #[test]
+    fn rng_draws_conserve_trials_times_per_player_draws(
+        rule in threshold_rule(),
+        seed in 0u64..1 << 32,
+        trials in 1u64..20_000,
+        batch_size in 500u64..4_000,
+        threads in 1usize..5,
+        crashes in any::<bool>(),
+        common_randomness in any::<bool>(),
+    ) {
+        let fault_stream = if common_randomness {
+            FaultStream::CommonRandomNumbers
+        } else {
+            FaultStream::OnDemand
+        };
+        let p_crash = if crashes { 0.25 } else { 0.0 };
+        // v2 stream shape: the fault coin is drawn iff crashes are
+        // possible or the common-random-numbers mode forces it.
+        let per_player: u64 = if crashes || common_randomness { 3 } else { 2 };
+        let n = rule.n() as u64;
+
+        let metrics = Arc::new(EngineMetrics::new());
+        let sim = Simulation::new(trials, seed)
+            .with_threads(threads)
+            .with_batch_size(batch_size)
+            .with_fault_stream(fault_stream)
+            .with_metrics(metrics.clone());
+        let report = sim.run_with_crashes(&rule, 1.0, p_crash);
+
+        let snap = metrics.snapshot();
+        let (draws, refills) = expected_rng_traffic(trials, batch_size, n, per_player);
+        prop_assert_eq!(snap.rng_draws, draws);
+        prop_assert_eq!(snap.rng_refills, refills);
+        prop_assert_eq!(snap.trials, trials);
+        prop_assert_eq!(snap.wins, report.wins);
+        prop_assert_eq!(snap.batches, trials.div_ceil(batch_size));
+        prop_assert_eq!(snap.runs, 1);
+        prop_assert_eq!(snap.dispatch_threshold, 1);
+    }
+
+    // Every batch a pooled run executes is accounted to
+    // `pool.batches`: the drains (workers plus the submitting
+    // thread) must sum to exactly the batches submitted.
+    #[test]
+    fn pool_batches_sum_to_batches_submitted(
+        rule in oblivious_rule(),
+        seed in 0u64..1 << 32,
+        threads in 2usize..5,
+        runs in 1usize..4,
+    ) {
+        let trials = 12_000u64;
+        let batch_size = 1_000u64; // 12 batches ≥ every thread count
+        let metrics = Arc::new(EngineMetrics::new());
+        let sim = Simulation::new(trials, seed)
+            .with_threads(threads)
+            .with_batch_size(batch_size)
+            .with_metrics(metrics.clone());
+        for _ in 0..runs {
+            let _ = sim.run(&rule, 1.0);
+        }
+        let snap = metrics.snapshot();
+        let batches = trials.div_ceil(batch_size) * runs as u64;
+        prop_assert_eq!(snap.batches, batches);
+        // The owned-kernel path drains everything through the pool's
+        // shared counter, whichever thread picked each batch up.
+        prop_assert_eq!(snap.pool_batches, batches);
+        prop_assert_eq!(snap.pool_panics, 0);
+    }
+
+    // Attaching a sink is observationally free: reports are
+    // bit-identical with metrics enabled vs the no-op default, on
+    // every dispatch path.
+    #[test]
+    fn estimates_bit_identical_with_metrics_attached(
+        rule in oblivious_rule(),
+        seed in 0u64..1 << 32,
+        threads in 1usize..5,
+        batch_size in 500u64..4_000,
+    ) {
+        let trials = 10_000u64;
+        let plain = Simulation::new(trials, seed)
+            .with_threads(threads)
+            .with_batch_size(batch_size);
+        let metered = plain.clone().with_metrics(Arc::new(EngineMetrics::new()));
+        prop_assert_eq!(metered.run(&rule, 1.0), plain.run(&rule, 1.0));
+        prop_assert_eq!(
+            metered.run_with_crashes(&Opaque(&rule), 1.0, 0.25),
+            plain.run_with_crashes(&Opaque(&rule), 1.0, 0.25)
+        );
+        prop_assert_eq!(metered.run_dyn(&rule, 1.0), plain.run_dyn(&rule, 1.0));
+    }
+
+    // `run_dyn`'s scalar baseline consumes the same logical stream:
+    // identical draw counts, zero refills (nothing is buffered).
+    #[test]
+    fn dyn_baseline_draws_match_with_zero_refills(
+        rule in oblivious_rule(),
+        seed in 0u64..1 << 32,
+        trials in 1u64..15_000,
+    ) {
+        let metrics = Arc::new(EngineMetrics::new());
+        let sim = Simulation::new(trials, seed)
+            .with_threads(1)
+            .with_metrics(metrics.clone());
+        let _ = sim.run_dyn(&rule, 1.0);
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.rng_draws, trials * rule.n() as u64 * 2);
+        prop_assert_eq!(snap.rng_refills, 0);
+        prop_assert_eq!(snap.dispatch_dyn, 1);
+    }
+}

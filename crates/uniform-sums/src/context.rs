@@ -57,6 +57,9 @@ pub struct EvalContext<S> {
     ih_tables: Vec<IhTable<S>>,
     /// Irwin–Hall table lookups answered from cache (diagnostics).
     hits: u64,
+    /// Irwin–Hall tables computed because no cached one applied
+    /// (diagnostics).
+    misses: u64,
 }
 
 impl<S: Scalar> EvalContext<S> {
@@ -68,6 +71,7 @@ impl<S: Scalar> EvalContext<S> {
             binomials: Vec::new(),
             ih_tables: Vec::new(),
             hits: 0,
+            misses: 0,
         }
     }
 
@@ -75,6 +79,13 @@ impl<S: Scalar> EvalContext<S> {
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Number of Irwin–Hall tables computed because no cached table
+    /// covered the request (the complement of [`EvalContext::hits`]).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// `n!`, from the cached prefix table.
@@ -148,6 +159,7 @@ impl<S: Scalar> EvalContext<S> {
             self.hits += 1;
             return table.row[..=n as usize].to_vec();
         }
+        self.misses += 1;
         let row: Vec<S> = (0..=n).map(|m| self.compute_ih_cdf(m, t)).collect();
         if self.ih_tables.len() >= IH_TABLE_CAP {
             self.ih_tables.remove(0);
@@ -236,6 +248,7 @@ mod tests {
         let full = ctx.irwin_hall_cdf_table(8, &2.5);
         let prefix = ctx.irwin_hall_cdf_table(3, &2.5);
         assert_eq!(ctx.hits(), 1);
+        assert_eq!(ctx.misses(), 1);
         assert_eq!(&full[..4], &prefix[..]);
     }
 

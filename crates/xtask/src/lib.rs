@@ -14,11 +14,13 @@
 //! | `cargo xtask lint` | run every lint over the workspace |
 //! | `cargo xtask lint --list` | print the lint table |
 //! | `cargo xtask ci` | fmt-check + lints + tier-1 tests |
+//! | `cargo xtask metrics-check <path>` | validate an `engine-metrics/v1` JSON export |
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
 pub mod lints;
+pub mod metrics;
 pub mod scrub;
 pub mod source;
 pub mod walk;

@@ -16,8 +16,38 @@ fn main() -> ExitCode {
         }
         Some("lint") => run_lints(),
         Some("ci") => run_ci(),
+        Some("metrics-check") => {
+            if let Some(path) = args.get(1) {
+                run_metrics_check(path)
+            } else {
+                eprintln!("usage: cargo xtask metrics-check <path/to/metrics.json>");
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint [--list] | ci>");
+            eprintln!("usage: cargo xtask <lint [--list] | ci | metrics-check <path>>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates an `engine-metrics/v1` JSON export; nonzero exit on a
+/// read failure or any structural problem.
+fn run_metrics_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask metrics-check: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::metrics::validate_metrics_document(&text) {
+        Ok(summary) => {
+            eprintln!("xtask metrics-check: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask metrics-check: {path}: {message}");
             ExitCode::FAILURE
         }
     }

@@ -24,6 +24,40 @@ fn configure(rule: Box<dyn LocalRule>) -> Box<dyn LocalRule> {
     rule
 }
 
+/// A boxed trait object smuggled into a kernel fn *body* (not the
+/// signature): fires.
+fn kernel_dispatch(count: u64) -> u64 {
+    let rule: Box<dyn LocalRule> = configure(make());
+    let mut wins = 0;
+    for _ in 0..count {
+        wins += u64::from(rule.decide());
+    }
+    wins
+}
+
+/// The monomorphized shape the lint pushes toward: silent.
+fn run_batch_mono<R: LocalRule>(rule: &R, count: u64) -> u64 {
+    let mut wins = 0;
+    for _ in 0..count {
+        wins += u64::from(rule.decide());
+    }
+    wins
+}
+
+fn make() -> Box<dyn LocalRule> {
+    unimplemented!()
+}
+
 trait LocalRule {
     fn decide(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test code may exercise hot-path names with dyn freely: silent.
+    fn check_batch(rule: &dyn LocalRule) -> u64 {
+        run_batch(rule, 10)
+    }
 }

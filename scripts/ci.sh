@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # The full local gate, identical to .github/workflows/ci.yml:
 #   fmt -> repo lints -> examples build -> tests (incl. doc-tests)
-#   -> tests with hard invariants -> bench smoke.
+#   -> tests with hard invariants -> bench smoke -> metrics smoke.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,5 +28,14 @@ echo "==> bench smoke (simulator_throughput)"
 # One short iteration: keeps the bench code and its JSON emission
 # compiling and running without paying for a full measurement.
 cargo bench --package bench --bench simulator_throughput -- --smoke
+
+echo "==> metrics smoke (engine_metrics + metrics-check)"
+# Exercises the observability path end to end: the example runs a
+# metered workload (its internal draw-conservation assert must hold),
+# then the exported JSON must satisfy the engine-metrics/v1 checker.
+metrics_out="${TMPDIR:-/tmp}/engine_metrics.ci.json"
+cargo run --release --quiet --example engine_metrics -- --out "$metrics_out"
+cargo run --package xtask --quiet -- metrics-check "$metrics_out"
+rm -f "$metrics_out"
 
 echo "ci: all gates passed"
