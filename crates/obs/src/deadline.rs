@@ -1,0 +1,99 @@
+//! A saturating wall-clock deadline for bounded waits.
+
+use std::time::{Duration, Instant};
+
+/// A fixed point in time that every blocking wait can be measured
+/// against.
+///
+/// The engine's fault-tolerance layer hands one `Deadline` to a whole
+/// unit of work (a pooled run, a supervised job) and derives every
+/// individual timeout from [`Deadline::remaining`], so no single wait
+/// — and no *sum* of waits — can outlive the budget. All arithmetic
+/// saturates: an expired deadline reports a remaining budget of zero
+/// rather than panicking or going negative.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Deadline;
+/// use std::time::Duration;
+///
+/// let deadline = Deadline::after(Duration::from_secs(60));
+/// assert!(!deadline.expired());
+/// assert!(deadline.remaining() <= Duration::from_secs(60));
+///
+/// let now = Deadline::after(Duration::ZERO);
+/// assert!(now.expired());
+/// assert_eq!(now.remaining(), Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    #[must_use]
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now().checked_add(budget).unwrap_or_else(|| {
+                // xtask:allow(no-panic): unreachable fallback — an
+                // Instant overflow needs a budget of centuries; fall
+                // back to "now" (immediately expired) instead.
+                Instant::now()
+            }),
+        }
+    }
+
+    /// The time budget left before the deadline, saturating at zero.
+    #[must_use]
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.remaining() == Duration::ZERO
+    }
+
+    /// The underlying instant, for APIs that carry an absolute time.
+    #[must_use]
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_budget() {
+        let d = Deadline::after(Duration::from_secs(30));
+        assert!(!d.expired());
+        let rem = d.remaining();
+        assert!(rem > Duration::from_secs(25) && rem <= Duration::from_secs(30));
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_expired() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn remaining_is_monotone_nonincreasing() {
+        let d = Deadline::after(Duration::from_millis(200));
+        let first = d.remaining();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.remaining() <= first);
+    }
+
+    #[test]
+    fn instant_round_trips() {
+        let d = Deadline::after(Duration::from_secs(1));
+        assert!(d.instant() > Instant::now());
+    }
+}

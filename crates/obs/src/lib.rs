@@ -23,6 +23,8 @@
 //!   (65 buckets cover the full range; no allocation on record).
 //! * [`SpanTimer`] — a drop-guard that records a wall-clock span, in
 //!   nanoseconds, into a sink histogram key.
+//! * [`Deadline`] — a saturating wall-clock deadline so every blocking
+//!   wait in a supervised pipeline can be bounded against one budget.
 //!
 //! All primitives are lock-free and `Sync`; snapshots are consistent
 //! enough for reporting (each cell is read atomically; cross-cell
@@ -57,11 +59,13 @@
 #![forbid(unsafe_code)]
 
 mod counter;
+mod deadline;
 mod histogram;
 mod sink;
 mod timer;
 
 pub use counter::Counter;
+pub use deadline::Deadline;
 pub use histogram::{Histogram, HistogramBucket, HistogramSnapshot};
 pub use sink::{MetricsSink, NoopSink};
 pub use timer::SpanTimer;

@@ -1,0 +1,577 @@
+//! `sweep-checkpoint/v1`: durable, resumable sweep state.
+//!
+//! A checkpointed sweep (see
+//! [`sweep_threshold_checkpointed`](crate::sweep_threshold_checkpointed))
+//! persists a [`SweepCheckpoint`] after **every** completed grid point
+//! with an atomic write-rename, so a killed process always leaves a
+//! well-formed file holding an exact prefix of the sweep — never a
+//! torn write. [`resume_sweep`](crate::resume_sweep) reloads the file,
+//! skips the completed prefix, and finishes the rest; because grid
+//! point `k`'s engine stream is a pure function of `(seed, k)`, the
+//! resumed vector is identical to an uninterrupted run.
+//!
+//! The document stores only what cannot be recomputed: the sweep
+//! parameters and the raw win count per completed point. Estimates and
+//! standard errors are rebuilt from counts, and the grid position `x`
+//! from `k/grid`, through the same code paths a live sweep uses, so
+//! round-tripping cannot drift. `delta` is serialized as its shortest
+//! `f64` debug representation (a JSON string), which round-trips
+//! bit-exactly.
+//!
+//! The parser is hand-rolled (like `xtask::metrics`; this workspace
+//! vendors no serde) and accepts exactly the subset of JSON the writer
+//! emits: one object of string fields, integer fields, and one array
+//! of `{"k": …, "wins": …}` objects.
+
+use crate::{SimulationReport, SweepError, SweepPoint};
+use rational::Rational;
+use std::path::{Path, PathBuf};
+
+/// The schema tag every checkpoint document carries.
+pub const SWEEP_CHECKPOINT_SCHEMA: &str = "sweep-checkpoint/v1";
+
+/// The persistent state of a (possibly incomplete) threshold sweep:
+/// its full parameter set plus the win counts of the completed prefix
+/// of grid points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCheckpoint {
+    /// RNG stream-shape version the counts were produced under.
+    pub rng_stream_version: u32,
+    /// Number of players.
+    pub n: usize,
+    /// Capacity δ.
+    pub delta: f64,
+    /// Grid divisions (the sweep has `grid + 1` points).
+    pub grid: usize,
+    /// Trials per grid point.
+    pub trials: u64,
+    /// Sweep seed (point `k` derives its engine seed from this).
+    pub seed: u64,
+    /// Win counts of completed points, in grid order `0..wins.len()`.
+    pub wins: Vec<u64>,
+}
+
+impl SweepCheckpoint {
+    /// A fresh (no points completed) checkpoint for the given sweep,
+    /// stamped with the current
+    /// [`RNG_STREAM_VERSION`](crate::RNG_STREAM_VERSION).
+    #[must_use]
+    pub fn new(n: usize, delta: f64, grid: usize, trials: u64, seed: u64) -> SweepCheckpoint {
+        SweepCheckpoint {
+            rng_stream_version: crate::RNG_STREAM_VERSION,
+            n,
+            delta,
+            grid,
+            trials,
+            seed,
+            wins: Vec::new(),
+        }
+    }
+
+    /// Whether every grid point has completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.wins.len() == self.grid + 1
+    }
+
+    /// Materializes the completed prefix as [`SweepPoint`]s — the
+    /// same `x` and report a live sweep would have produced.
+    #[must_use]
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.wins
+            .iter()
+            .enumerate()
+            .map(|(k, &wins)| SweepPoint {
+                x: Rational::ratio(k as i64, self.grid as i64).to_f64(),
+                report: SimulationReport::from_counts(wins, self.trials),
+            })
+            .collect()
+    }
+
+    /// Serializes the checkpoint as a `sweep-checkpoint/v1` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SWEEP_CHECKPOINT_SCHEMA}\",");
+        let _ = writeln!(
+            out,
+            "  \"rng_stream_version\": {},",
+            self.rng_stream_version
+        );
+        let _ = writeln!(out, "  \"n\": {},", self.n);
+        let _ = writeln!(out, "  \"delta\": \"{:?}\",", self.delta);
+        let _ = writeln!(out, "  \"grid\": {},", self.grid);
+        let _ = writeln!(out, "  \"trials\": {},", self.trials);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"points\": [\n");
+        for (k, wins) in self.wins.iter().enumerate() {
+            let comma = if k + 1 < self.wins.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{\"k\": {k}, \"wins\": {wins}}}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses and structurally validates a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Corrupt`] for malformed JSON, a wrong
+    /// schema tag, missing fields, out-of-range values (`wins` above
+    /// `trials`, more points than the grid holds), or non-contiguous
+    /// point indices.
+    pub fn parse(text: &str) -> Result<SweepCheckpoint, SweepError> {
+        let mut cursor = Cursor::new(text);
+        let doc = cursor.parse_document()?;
+        cursor.require_end()?;
+        doc.validate_structure()?;
+        Ok(doc)
+    }
+
+    /// Reads and parses the checkpoint at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] on read failure and
+    /// [`SweepError::Corrupt`] as for [`SweepCheckpoint::parse`].
+    pub fn load(path: &Path) -> Result<SweepCheckpoint, SweepError> {
+        let text = std::fs::read_to_string(path)?;
+        SweepCheckpoint::parse(&text)
+    }
+
+    /// Atomically persists the checkpoint: the document is written to
+    /// a sibling temporary file and renamed over `path`, so a crash at
+    /// any moment leaves either the previous checkpoint or this one —
+    /// never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`SweepError::Io`].
+    pub fn write_atomic(&self, path: &Path) -> Result<(), SweepError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp: PathBuf = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Checks that this (loaded) checkpoint describes the same sweep
+    /// a caller requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Mismatch`] naming the first disagreeing
+    /// field. `delta` is compared bit-exactly.
+    pub fn validate_matches(&self, requested: &SweepCheckpoint) -> Result<(), SweepError> {
+        let fields: [(&'static str, u64, u64); 6] = [
+            (
+                "rng_stream_version",
+                u64::from(self.rng_stream_version),
+                u64::from(requested.rng_stream_version),
+            ),
+            ("n", self.n as u64, requested.n as u64),
+            ("delta", self.delta.to_bits(), requested.delta.to_bits()),
+            ("grid", self.grid as u64, requested.grid as u64),
+            ("trials", self.trials, requested.trials),
+            ("seed", self.seed, requested.seed),
+        ];
+        for (field, found, expected) in fields {
+            if found != expected {
+                let (found, expected) = if field == "delta" {
+                    (
+                        format!("{:?}", self.delta),
+                        format!("{:?}", requested.delta),
+                    )
+                } else {
+                    (found.to_string(), expected.to_string())
+                };
+                return Err(SweepError::Mismatch {
+                    field,
+                    expected,
+                    found,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Range/consistency checks shared by [`SweepCheckpoint::parse`].
+    fn validate_structure(&self) -> Result<(), SweepError> {
+        if self.n < 2 {
+            return Err(corrupt("n must be at least 2"));
+        }
+        if self.grid < 2 {
+            return Err(corrupt("grid must be at least 2"));
+        }
+        if self.trials == 0 {
+            return Err(corrupt("trials must be positive"));
+        }
+        if !self.delta.is_finite() {
+            return Err(corrupt("delta must be finite"));
+        }
+        if self.wins.len() > self.grid + 1 {
+            return Err(corrupt("more points than the grid holds"));
+        }
+        if self.wins.iter().any(|&w| w > self.trials) {
+            return Err(corrupt("a point has more wins than trials"));
+        }
+        Ok(())
+    }
+}
+
+/// Shorthand for a [`SweepError::Corrupt`].
+fn corrupt(message: impl Into<String>) -> SweepError {
+    SweepError::Corrupt {
+        message: message.into(),
+    }
+}
+
+/// A byte cursor over the checkpoint grammar.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consumes `byte` if it is next (after whitespace).
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn require(&mut self, byte: u8) -> Result<(), SweepError> {
+        if self.eat(byte) {
+            Ok(())
+        } else {
+            Err(corrupt(format!(
+                "expected '{}' at byte {}",
+                char::from(byte),
+                self.pos
+            )))
+        }
+    }
+
+    fn require_end(&mut self) -> Result<(), SweepError> {
+        if self.peek().is_none() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing content after the document"))
+        }
+    }
+
+    /// A quoted string; escapes are rejected (the writer never emits
+    /// them).
+    fn parse_string(&mut self) -> Result<String, SweepError> {
+        self.require(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => break,
+                Some(b'\\') => return Err(corrupt("escape sequences are not supported")),
+                Some(_) => self.pos += 1,
+                None => return Err(corrupt("unterminated string")),
+            }
+        }
+        let raw = &self.bytes[start..self.pos];
+        self.pos += 1;
+        String::from_utf8(raw.to_vec()).map_err(|_| corrupt("non-UTF-8 string"))
+    }
+
+    /// A non-negative integer.
+    fn parse_u64(&mut self) -> Result<u64, SweepError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(corrupt(format!("expected a number at byte {start}")));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt("number out of range"))
+    }
+
+    /// The `[{"k": …, "wins": …}, …]` array, enforcing contiguous
+    /// ascending `k` from zero.
+    fn parse_points(&mut self) -> Result<Vec<u64>, SweepError> {
+        self.require(b'[')?;
+        let mut wins = Vec::new();
+        if self.eat(b']') {
+            return Ok(wins);
+        }
+        loop {
+            self.require(b'{')?;
+            let mut k = None;
+            let mut won = None;
+            loop {
+                match self.parse_string()?.as_str() {
+                    "k" => {
+                        self.require(b':')?;
+                        k = Some(self.parse_u64()?);
+                    }
+                    "wins" => {
+                        self.require(b':')?;
+                        won = Some(self.parse_u64()?);
+                    }
+                    other => return Err(corrupt(format!("unknown point field \"{other}\""))),
+                }
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.require(b'}')?;
+            let (Some(k), Some(won)) = (k, won) else {
+                return Err(corrupt("a point needs both \"k\" and \"wins\""));
+            };
+            if k != wins.len() as u64 {
+                return Err(corrupt(format!(
+                    "points must be a contiguous prefix: expected k = {}, found {k}",
+                    wins.len()
+                )));
+            }
+            wins.push(won);
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.require(b']')?;
+        Ok(wins)
+    }
+
+    /// The top-level checkpoint object.
+    fn parse_document(&mut self) -> Result<SweepCheckpoint, SweepError> {
+        self.require(b'{')?;
+        let mut schema = None;
+        let mut version = None;
+        let mut n = None;
+        let mut delta = None;
+        let mut grid = None;
+        let mut trials = None;
+        let mut seed = None;
+        let mut wins = None;
+        loop {
+            match self.parse_string()?.as_str() {
+                "schema" => {
+                    self.require(b':')?;
+                    schema = Some(self.parse_string()?);
+                }
+                "rng_stream_version" => {
+                    self.require(b':')?;
+                    version = Some(self.parse_u64()?);
+                }
+                "n" => {
+                    self.require(b':')?;
+                    n = Some(self.parse_u64()?);
+                }
+                "delta" => {
+                    self.require(b':')?;
+                    delta = Some(self.parse_string()?);
+                }
+                "grid" => {
+                    self.require(b':')?;
+                    grid = Some(self.parse_u64()?);
+                }
+                "trials" => {
+                    self.require(b':')?;
+                    trials = Some(self.parse_u64()?);
+                }
+                "seed" => {
+                    self.require(b':')?;
+                    seed = Some(self.parse_u64()?);
+                }
+                "points" => {
+                    self.require(b':')?;
+                    wins = Some(self.parse_points()?);
+                }
+                other => return Err(corrupt(format!("unknown field \"{other}\""))),
+            }
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.require(b'}')?;
+        match schema.as_deref() {
+            Some(SWEEP_CHECKPOINT_SCHEMA) => {}
+            Some(other) => return Err(corrupt(format!("unsupported schema \"{other}\""))),
+            None => return Err(corrupt("missing \"schema\"")),
+        }
+        let delta = delta
+            .as_deref()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| corrupt("missing or unparsable \"delta\""))?;
+        let field = |value: Option<u64>, name: &str| {
+            value.ok_or_else(|| corrupt(format!("missing \"{name}\"")))
+        };
+        let version = u32::try_from(field(version, "rng_stream_version")?)
+            .map_err(|_| corrupt("rng_stream_version out of range"))?;
+        let n = usize::try_from(field(n, "n")?).map_err(|_| corrupt("n out of range"))?;
+        let grid =
+            usize::try_from(field(grid, "grid")?).map_err(|_| corrupt("grid out of range"))?;
+        Ok(SweepCheckpoint {
+            rng_stream_version: version,
+            n,
+            delta,
+            grid,
+            trials: field(trials, "trials")?,
+            seed: field(seed, "seed")?,
+            wins: wins.ok_or_else(|| corrupt("missing \"points\""))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepCheckpoint {
+        let mut ckpt = SweepCheckpoint::new(3, 1.0, 8, 60_000, 11);
+        ckpt.wins = vec![31_578, 32_001, 29_970];
+        ckpt
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let ckpt = sample();
+        let parsed = SweepCheckpoint::parse(&ckpt.to_json()).unwrap();
+        assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn awkward_deltas_round_trip() {
+        for delta in [0.1, 1.0 / 3.0, 2.5e-7, 4.0, f64::MIN_POSITIVE] {
+            let ckpt = SweepCheckpoint::new(2, delta, 4, 100, 0);
+            let parsed = SweepCheckpoint::parse(&ckpt.to_json()).unwrap();
+            assert_eq!(parsed.delta.to_bits(), delta.to_bits(), "delta {delta:?}");
+        }
+    }
+
+    #[test]
+    fn empty_points_round_trip() {
+        let ckpt = SweepCheckpoint::new(2, 1.0, 4, 100, 0);
+        let parsed = SweepCheckpoint::parse(&ckpt.to_json()).unwrap();
+        assert_eq!(parsed, ckpt);
+        assert!(!parsed.is_complete());
+    }
+
+    #[test]
+    fn points_rebuild_reports_from_counts() {
+        let ckpt = sample();
+        let points = ckpt.points();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].x, 0.0);
+        assert_eq!(points[1].report.wins, 32_001);
+        assert_eq!(points[1].report.trials, 60_000);
+        assert_eq!(
+            points[2].report,
+            SimulationReport::from_counts(29_970, 60_000)
+        );
+    }
+
+    #[test]
+    fn corrupt_documents_are_rejected() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty"),
+            ("{}", "missing fields"),
+            ("not json", "not JSON"),
+            ("{\"schema\": \"other/v9\"}", "wrong schema"),
+        ];
+        for (text, label) in cases {
+            assert!(
+                matches!(
+                    SweepCheckpoint::parse(text),
+                    Err(SweepError::Corrupt { .. })
+                ),
+                "{label} must be rejected"
+            );
+        }
+        // Torn-prefix shapes a non-atomic writer could have produced.
+        let full = sample().to_json();
+        for cut in [full.len() / 4, full.len() / 2, full.len() - 2] {
+            assert!(
+                SweepCheckpoint::parse(&full[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let mut over = sample();
+        over.wins[1] = over.trials + 1;
+        assert!(SweepCheckpoint::parse(&over.to_json()).is_err());
+
+        let mut too_many = sample();
+        too_many.wins = vec![0; too_many.grid + 2];
+        assert!(SweepCheckpoint::parse(&too_many.to_json()).is_err());
+
+        let gap = sample().to_json().replace("{\"k\": 1,", "{\"k\": 5,");
+        assert!(SweepCheckpoint::parse(&gap).is_err(), "gapped k rejected");
+    }
+
+    #[test]
+    fn mismatches_name_the_field() {
+        let stored = sample();
+        let mut requested = SweepCheckpoint::new(3, 1.0, 8, 60_000, 11);
+        assert!(stored.validate_matches(&requested).is_ok());
+        requested.seed = 12;
+        let err = stored.validate_matches(&requested).unwrap_err();
+        assert!(matches!(err, SweepError::Mismatch { field: "seed", .. }));
+        let mut requested = SweepCheckpoint::new(3, 0.5, 8, 60_000, 11);
+        requested.wins.clear();
+        let err = stored.validate_matches(&requested).unwrap_err();
+        assert!(matches!(err, SweepError::Mismatch { field: "delta", .. }));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("nocomm-sweep-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut ckpt = sample();
+        ckpt.write_atomic(&path).unwrap();
+        assert_eq!(SweepCheckpoint::load(&path).unwrap(), ckpt);
+        ckpt.wins.push(30_000);
+        ckpt.write_atomic(&path).unwrap();
+        assert_eq!(SweepCheckpoint::load(&path).unwrap(), ckpt);
+        assert!(
+            !dir.join("ckpt.json.tmp").exists(),
+            "temporary file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

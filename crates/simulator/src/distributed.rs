@@ -6,6 +6,11 @@ use decision::{Bin, LocalRule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::mpsc;
+use std::time::Duration;
+
+/// How long the environment waits for a player's decision before
+/// treating the player as crashed.
+const DEFAULT_PLAYER_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// A simulation in which every player runs as its own thread and
 /// communicates with the environment over channels carrying **only**
@@ -16,6 +21,21 @@ use std::sync::mpsc;
 /// hops per player per round); use it for structural validation and
 /// demos, and the batched engine for bulk estimation. The two must
 /// agree statistically — see the tests.
+///
+/// # Fault tolerance
+///
+/// The environment never blocks unboundedly on a player. Each decision
+/// is awaited with a per-player timeout (default 2 s, tunable via
+/// [`DistributedSimulation::with_player_timeout`]), and a player whose
+/// rule panics is isolated inside its own thread. Either failure
+/// degrades that player to the paper's crash-fault semantics — the
+/// same treatment [`Simulation::run_with_crashes`] gives a crashed
+/// player: from that round on, its input reaches **neither** bin while
+/// the surviving players keep deciding on their unchanged private
+/// streams (inputs are drawn for every seat each round regardless of
+/// liveness, so survivors' inputs do not shift when a neighbour dies).
+///
+/// [`Simulation::run_with_crashes`]: crate::Simulation::run_with_crashes
 ///
 /// # Examples
 ///
@@ -31,6 +51,7 @@ use std::sync::mpsc;
 pub struct DistributedSimulation {
     rounds: u64,
     seed: u64,
+    player_timeout: Duration,
 }
 
 impl DistributedSimulation {
@@ -42,12 +63,28 @@ impl DistributedSimulation {
     #[must_use]
     pub fn new(rounds: u64, seed: u64) -> DistributedSimulation {
         assert!(rounds > 0, "need at least one round"); // xtask:allow(no-panic): documented precondition
-        DistributedSimulation { rounds, seed }
+        DistributedSimulation {
+            rounds,
+            seed,
+            player_timeout: DEFAULT_PLAYER_TIMEOUT,
+        }
+    }
+
+    /// Sets how long the environment waits on one player's decision
+    /// before declaring the player crashed (default 2 s). A timeout
+    /// only ever degrades the run to crash-fault semantics — it never
+    /// corrupts it: even `Duration::ZERO` yields a well-formed report,
+    /// with every player treated as crashed from round one.
+    #[must_use]
+    pub fn with_player_timeout(mut self, timeout: Duration) -> DistributedSimulation {
+        self.player_timeout = timeout;
+        self
     }
 
     /// Runs the protocol: per round, the environment draws each
     /// player's private input and coin, sends them to that player's
-    /// thread alone, and collects the bin choices.
+    /// thread alone, and collects the bin choices, waiting at most the
+    /// player timeout for each.
     #[must_use]
     pub fn run(&self, rule: &(dyn LocalRule + Sync), delta: f64) -> SimulationReport {
         let n = rule.n();
@@ -59,14 +96,22 @@ impl DistributedSimulation {
             let mut input_txs = Vec::with_capacity(n);
             let mut decision_rxs = Vec::with_capacity(n);
             for player in 0..n {
-                let (input_tx, input_rx) = mpsc::sync_channel::<Option<(f64, f64)>>(1);
+                let (input_tx, input_rx) = mpsc::sync_channel::<(f64, f64)>(1);
                 let (decision_tx, decision_rx) = mpsc::sync_channel::<Bin>(1);
                 input_txs.push(input_tx);
                 decision_rxs.push(decision_rx);
                 scope.spawn(move || {
                     // The player loop: sees only its own (input, coin).
-                    while let Ok(Some((input, coin))) = input_rx.recv() {
-                        let bin = rule.decide(player, input, coin);
+                    // A panicking rule is contained here — the thread
+                    // exits cleanly, its decision sender drops, and the
+                    // environment sees a crashed player instead of a
+                    // panic at scope join.
+                    while let Ok((input, coin)) = input_rx.recv() {
+                        let decision =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                rule.decide(player, input, coin)
+                            }));
+                        let Ok(bin) = decision else { break };
                         if decision_tx.send(bin).is_err() {
                             break;
                         }
@@ -74,31 +119,41 @@ impl DistributedSimulation {
                 });
             }
 
+            let mut alive = vec![true; n];
             let mut rng = StdRng::seed_from_u64(self.seed);
             for _ in 0..self.rounds {
+                // Inputs are drawn for every seat, dead or alive, so
+                // the stream each survivor sees is independent of who
+                // has crashed.
                 let inputs: Vec<(f64, f64)> = (0..n)
                     .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
                     .collect();
-                for (tx, &payload) in input_txs.iter().zip(&inputs) {
-                    tx.send(Some(payload)).expect("player thread alive"); // xtask:allow(no-panic): worker death is a bug
+                for (player, (tx, &payload)) in input_txs.iter().zip(&inputs).enumerate() {
+                    if alive[player] && tx.send(payload).is_err() {
+                        alive[player] = false;
+                    }
                 }
                 let mut sums = [0.0f64; 2];
-                for (rx, &(input, _)) in decision_rxs.iter().zip(&inputs) {
-                    // xtask:allow(no-panic): worker death is a bug
-                    match rx.recv().expect("player thread alive") {
-                        Bin::Zero => sums[0] += input,
-                        Bin::One => sums[1] += input,
+                for (player, (rx, &(input, _))) in decision_rxs.iter().zip(&inputs).enumerate() {
+                    if !alive[player] {
+                        continue; // crashed: the input reaches neither bin
+                    }
+                    match rx.recv_timeout(self.player_timeout) {
+                        Ok(Bin::Zero) => sums[0] += input,
+                        Ok(Bin::One) => sums[1] += input,
+                        // Timed out or hung up: crashed from here on.
+                        Err(_) => alive[player] = false,
                     }
                 }
                 if sums[0] <= delta && sums[1] <= delta {
                     wins += 1;
                 }
             }
-            // Shut the players down; leaving the scope joins them and
-            // propagates any player panic.
-            for tx in &input_txs {
-                let _ = tx.send(None);
-            }
+            // Dropping the input senders ends every player loop;
+            // leaving the scope then joins the threads. The join is
+            // bounded because a player blocks only on its (now closed)
+            // input channel or inside `rule.decide`, which terminates.
+            drop(input_txs);
         });
         contracts::invariant!(wins <= self.rounds, "wins exceed rounds");
         SimulationReport::from_counts(wins, self.rounds)
@@ -139,5 +194,91 @@ mod tests {
         let r = DistributedSimulation::new(1_500, 1).run(&rule, 2.0);
         assert_eq!(r.trials, 1_500);
         assert_eq!(r.wins, 1_500); // δ = n means no overflow possible
+    }
+
+    /// An n-player rule whose seat 0 misbehaves: panics or stalls on
+    /// its first decision, depending on the mode.
+    struct FaultySeatZero {
+        inner: ObliviousAlgorithm,
+        stall: Option<Duration>,
+    }
+
+    impl LocalRule for FaultySeatZero {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+
+        fn decide(&self, player: usize, input: f64, coin: f64) -> Bin {
+            if player == 0 {
+                match self.stall {
+                    Some(pause) => std::thread::sleep(pause),
+                    None => panic!("injected player fault"),
+                }
+            }
+            self.inner.decide(player, input, coin)
+        }
+    }
+
+    #[test]
+    fn panicking_player_degrades_to_crash_fault() {
+        let rule = FaultySeatZero {
+            inner: ObliviousAlgorithm::fair(3),
+            stall: None,
+        };
+        // The run must complete (no propagated panic, no deadlock)
+        // with every round reported; with δ = n even a fully counted
+        // round wins, so the report pins exact totals.
+        let r = DistributedSimulation::new(500, 5).run(&rule, 3.0);
+        assert_eq!(r.trials, 500);
+        assert_eq!(r.wins, 500);
+    }
+
+    #[test]
+    fn panicking_player_is_deterministic() {
+        let rule = FaultySeatZero {
+            inner: ObliviousAlgorithm::fair(2),
+            stall: None,
+        };
+        // δ = 0.5 so the survivor's lone input still decides rounds
+        // (a single uniform never overflows δ ≥ 1): roughly half its
+        // draws exceed the capacity of whichever bin it picks.
+        let a = DistributedSimulation::new(1_000, 3).run(&rule, 0.5);
+        let b = DistributedSimulation::new(1_000, 3).run(&rule, 0.5);
+        assert_eq!(a, b);
+        assert!(a.wins < a.trials);
+        assert!(a.wins > 0);
+    }
+
+    #[test]
+    fn slow_player_times_out_as_crashed() {
+        let rule = FaultySeatZero {
+            inner: ObliviousAlgorithm::fair(2),
+            stall: Some(Duration::from_millis(300)),
+        };
+        let sim = DistributedSimulation::new(200, 7).with_player_timeout(Duration::from_millis(25));
+        let started = std::time::Instant::now();
+        let r = sim.run(&rule, 2.0);
+        assert_eq!(r.trials, 200);
+        assert_eq!(r.wins, 200, "survivor alone cannot overflow δ = n");
+        // One timeout wait plus one straggler join — nowhere near
+        // 200 rounds × 300 ms of lockstep stalling.
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "timed-out player must not stall the whole run"
+        );
+    }
+
+    #[test]
+    fn zero_timeout_still_yields_a_well_formed_report() {
+        let rule = ObliviousAlgorithm::fair(2);
+        // With a zero budget each wait is a race the player usually
+        // loses, degrading it to a crash; either way the report stays
+        // well formed, and δ = n wins every round whether inputs were
+        // counted or dropped.
+        let r = DistributedSimulation::new(100, 1)
+            .with_player_timeout(Duration::ZERO)
+            .run(&rule, 2.0);
+        assert_eq!(r.trials, 100);
+        assert_eq!(r.wins, 100);
     }
 }

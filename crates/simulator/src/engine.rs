@@ -39,19 +39,21 @@
 //! seed. The expectation tests below were re-pinned against v2
 //! deliberately.
 
+use crate::chaos::{self, ChaosPlan, ChaosUnwind, FaultKind};
 use crate::kernel::{
     BufferedUniforms, GenericKernel, Kernel, ObliviousKernel, ScalarUniforms, ThresholdKernel,
     UniformSource,
 };
 use crate::metrics::keys;
-use crate::pool::WorkerPool;
+use crate::pool::{Job, PoolConfig, WorkerPool};
 use crate::{SimulationError, SimulationReport};
 use decision::{Bin, KernelHint, LocalRule};
-use obs::{MetricsSink, NoopSink};
+use obs::{Deadline, MetricsSink, NoopSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
+use std::time::Duration;
 
 /// Version of the per-batch RNG stream shape (see the
 /// [module docs](self) for the history).
@@ -61,6 +63,17 @@ pub const RNG_STREAM_VERSION: u32 = 2;
 /// [`load_stats`](crate::load_stats) loop so its stream stays
 /// bit-identical to the engine's.
 pub(crate) const DEFAULT_BATCH_SIZE: u64 = 16_384;
+
+/// Default bound on how long a pooled run waits for worker results
+/// before reclaiming the missing batches itself; override with
+/// [`Simulation::with_batch_deadline`]. Generous on purpose: healthy
+/// runs finish far inside it, and hitting it only costs duplicated
+/// work, never a wrong answer.
+pub(crate) const DEFAULT_BATCH_DEADLINE: Duration = Duration::from_secs(30);
+
+/// In-place retries allowed per batch before a panic is treated as a
+/// genuine bug and propagated.
+const MAX_BATCH_ATTEMPTS: u32 = 3;
 
 /// How the per-player fault coin is drawn (see the
 /// [module docs](self) for the stream-shape consequences).
@@ -111,6 +124,12 @@ pub struct Simulation {
     /// Where run/pool/RNG counters are flushed (per batch of work,
     /// never per trial); a no-op by default.
     sink: Arc<dyn MetricsSink>,
+    /// Injected engine faults (shared by [`Simulation::reseeded`]
+    /// clones); `None` for a fault-free engine.
+    chaos: Option<Arc<ChaosPlan>>,
+    /// Bound on how long a pooled run waits for worker results before
+    /// reclaiming missing batches itself.
+    batch_deadline: Duration,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -122,6 +141,8 @@ impl std::fmt::Debug for Simulation {
             .field("batch_size", &self.batch_size)
             .field("fault_stream", &self.fault_stream)
             .field("pool", &self.pool)
+            .field("chaos", &self.chaos)
+            .field("batch_deadline", &self.batch_deadline)
             .finish_non_exhaustive()
     }
 }
@@ -163,36 +184,161 @@ struct TrialParams {
 }
 
 /// Shared state of one pooled run: workers and the submitting thread
-/// all drain batches from `next` and sum wins locally.
+/// all drain batches from `next` and report per-batch totals to the
+/// coordinator.
 struct PooledRun<K> {
     kernel: K,
     params: TrialParams,
     batches: u64,
     next: AtomicU64,
-    /// Receives one `pool.batches` flush per draining thread.
+    /// Injected faults, if any; shared with the coordinator.
+    chaos: Option<Arc<ChaosPlan>>,
+    /// Receives chaos/recovery counters from executing batches.
     sink: Arc<dyn MetricsSink>,
 }
 
 impl<K: Kernel> PooledRun<K> {
     /// Claims and runs batches until the counter is exhausted,
-    /// returning the totals this thread accumulated.
-    fn drain(&self) -> BatchTotals {
-        let mut totals = BatchTotals::default();
+    /// reporting each completed batch to the coordinator. An injected
+    /// worker panic unwinds out of this loop (killing the drain job);
+    /// the batches it claimed but never reported are reclaimed by the
+    /// coordinator.
+    fn drain_worker(&self, done: &mpsc::Sender<(u64, BatchTotals)>) {
         loop {
             let batch = self.next.fetch_add(1, Ordering::Relaxed);
             if batch >= self.batches {
-                if totals.batches > 0 {
-                    self.sink.add(keys::POOL_BATCHES, totals.batches);
-                }
-                return totals;
+                return;
             }
-            totals.merge(run_batch::<K, BufferedUniforms>(
+            let totals = execute_batch::<K, BufferedUniforms>(
                 &self.kernel,
                 self.params,
                 batch,
-            ));
+                self.chaos.as_deref(),
+                &*self.sink,
+                Attempt::PoolWorker,
+            );
+            if done.send((batch, totals)).is_err() {
+                // The coordinator stopped listening (run deadline
+                // passed; it is reclaiming batches itself). Further
+                // claims would be unreportable duplicates.
+                return;
+            }
         }
     }
+}
+
+/// The coordinator's per-batch completion ledger: every batch merges
+/// exactly once, however many times slow or recovered duplicates
+/// report it.
+struct Completion {
+    done: Vec<bool>,
+    completed: u64,
+    totals: BatchTotals,
+}
+
+impl Completion {
+    fn new(batches: u64) -> Completion {
+        let len = usize::try_from(batches).unwrap_or(usize::MAX);
+        contracts::invariant!(len as u64 == batches, "batch count fits a usize");
+        Completion {
+            done: vec![false; len],
+            completed: 0,
+            totals: BatchTotals::default(),
+        }
+    }
+
+    /// Merges a batch's totals unless that batch already completed.
+    fn complete(&mut self, batch: u64, totals: BatchTotals) {
+        let index = usize::try_from(batch).unwrap_or(usize::MAX);
+        if self.done[index] {
+            return; // a late duplicate of an already-recovered batch
+        }
+        self.done[index] = true;
+        self.completed += 1;
+        self.totals.merge(totals);
+    }
+
+    fn is_done(&self, batch: u64) -> bool {
+        self.done[usize::try_from(batch).unwrap_or(usize::MAX)]
+    }
+}
+
+/// Who is executing a batch attempt, which decides how an injected
+/// panic is handled.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Attempt {
+    /// The thread that owns the run: every fault is absorbed by a
+    /// bounded in-place retry (there is nobody else to recover it).
+    Coordinator,
+    /// A pool worker: an injected worker panic must actually unwind —
+    /// killing the drain job so the coordinator's reclaim path is
+    /// exercised — while other faults retry in place.
+    PoolWorker,
+}
+
+/// Runs one batch with bounded fault recovery. A clean engine compiles
+/// down to a single `run_batch` call behind an untaken branch; under a
+/// [`ChaosPlan`] a panicking attempt is retried in place (counted as a
+/// recovered batch) up to [`MAX_BATCH_ATTEMPTS`], except that a pool
+/// worker lets an injected worker panic through so the coordinator's
+/// bounded-wait reclaim handles it.
+///
+/// Re-execution is bit-identical by construction: the batch stream is
+/// a pure function of `(seed, batch)` and a fault arms strictly before
+/// any trial runs, so no partial state survives an unwind.
+fn execute_batch<K: Kernel, U: UniformSource>(
+    kernel: &K,
+    params: TrialParams,
+    batch: u64,
+    chaos: Option<&ChaosPlan>,
+    sink: &dyn MetricsSink,
+    attempt: Attempt,
+) -> BatchTotals {
+    if chaos.is_none() {
+        return run_batch::<K, U>(kernel, params, batch);
+    }
+    let mut tries = 0u32;
+    loop {
+        tries += 1;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            attempt_batch::<K, U>(kernel, params, batch, chaos, sink)
+        }));
+        match outcome {
+            Ok(totals) => return totals,
+            Err(payload) => {
+                let lethal =
+                    attempt == Attempt::PoolWorker && chaos::is_worker_panic(payload.as_ref());
+                if lethal || tries >= MAX_BATCH_ATTEMPTS {
+                    std::panic::resume_unwind(payload);
+                }
+                sink.add(keys::RECOVERED_BATCHES, 1);
+            }
+        }
+    }
+}
+
+/// One execution attempt: arm the batch's planned fault (first attempt
+/// only), then run the pure batch.
+fn attempt_batch<K: Kernel, U: UniformSource>(
+    kernel: &K,
+    params: TrialParams,
+    batch: u64,
+    chaos: Option<&ChaosPlan>,
+    sink: &dyn MetricsSink,
+) -> BatchTotals {
+    if let Some(plan) = chaos {
+        if let Some(kind) = plan.arm(batch) {
+            sink.add(keys::CHAOS_FAULTS, 1);
+            match kind {
+                FaultKind::SlowJob { millis } => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                FaultKind::WorkerPanic => chaos::unwind(ChaosUnwind::WorkerPanic),
+                FaultKind::PoisonedRefill => chaos::unwind(ChaosUnwind::PoisonedRefill),
+            }
+        }
+    }
+    run_batch::<K, U>(kernel, params, batch)
 }
 
 impl Simulation {
@@ -230,6 +376,8 @@ impl Simulation {
             fault_stream: FaultStream::default(),
             pool: Arc::new(OnceLock::new()),
             sink: Arc::new(NoopSink),
+            chaos: None,
+            batch_deadline: DEFAULT_BATCH_DEADLINE,
         })
     }
 
@@ -302,6 +450,38 @@ impl Simulation {
         self
     }
 
+    /// Attaches a deterministic fault-injection plan (see
+    /// [`ChaosPlan`]): worker panics, slow jobs, poisoned refills, and
+    /// worker-thread deaths at the planned batch indices.
+    ///
+    /// Chaos never changes an estimate. Each batch's RNG stream is a
+    /// pure function of `(seed, batch)` and faults arm strictly before
+    /// any trial runs, so every lost or poisoned batch is re-executed
+    /// bit-identically and the resulting
+    /// [`SimulationReport`] is byte-equal to the fault-free run's.
+    /// Recoveries are counted through the attached metrics sink (see
+    /// [`keys`](crate::keys)).
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Simulation {
+        self.chaos = Some(Arc::new(plan));
+        self
+    }
+
+    /// Bounds how long a parallel run waits for pooled worker results
+    /// before reclaiming the missing batches on the calling thread.
+    ///
+    /// The default (30 s) is generous: healthy runs finish far
+    /// inside it. An expired deadline costs
+    /// duplicated work only — reclaimed batches are re-executed
+    /// bit-identically and late duplicates are discarded — so even
+    /// `Duration::ZERO` (everything reclaimed immediately) yields the
+    /// correct report.
+    #[must_use]
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> Simulation {
+        self.batch_deadline = deadline;
+        self
+    }
+
     /// A copy of this engine with a different seed, **sharing the
     /// worker pool** — sweeps reuse one set of threads across grid
     /// points while keeping per-point streams independent.
@@ -329,8 +509,9 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `p_crash` is not in `[0, 1]`, or if a pooled worker
-    /// thread dies mid-run.
+    /// Panics if `p_crash` is not in `[0, 1]`, or if a batch keeps
+    /// panicking after the bounded retry budget (a genuine bug in the
+    /// rule, not an injected fault — those are always recovered).
     #[must_use]
     pub fn run_with_crashes<R: LocalRule + ?Sized>(
         &self,
@@ -433,6 +614,17 @@ impl Simulation {
         }
     }
 
+    /// The base seed runs derive their batch streams from.
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The attached metrics sink (shared with sweeps driven by this
+    /// engine).
+    pub(crate) fn metrics_sink(&self) -> Arc<dyn MetricsSink> {
+        Arc::clone(&self.sink)
+    }
+
     /// Flushes one completed run's counters to the sink (a handful of
     /// virtual calls per run — nothing per trial).
     fn flush_run(&self, totals: BatchTotals, dispatch: &'static str) {
@@ -470,7 +662,14 @@ impl Simulation {
         if workers == 1 {
             let mut totals = BatchTotals::default();
             for batch in 0..batches {
-                totals.merge(run_batch::<K, BufferedUniforms>(&kernel, params, batch));
+                totals.merge(execute_batch::<K, BufferedUniforms>(
+                    &kernel,
+                    params,
+                    batch,
+                    self.chaos.as_deref(),
+                    &*self.sink,
+                    Attempt::Coordinator,
+                ));
             }
             totals
         } else {
@@ -480,9 +679,17 @@ impl Simulation {
 
     /// Ships an owned kernel to the persistent pool: `workers - 1`
     /// pool jobs plus the calling thread drain a shared batch
-    /// counter. Determinism does not depend on scheduling — batch
-    /// `i`'s RNG stream is a pure function of `(seed, i)` and the win
-    /// counts are summed commutatively.
+    /// counter, each completed batch reporting `(index, totals)` back
+    /// to this coordinating thread.
+    ///
+    /// The coordinator is the fault boundary. It waits for worker
+    /// results under the run deadline only (never unboundedly), keeps
+    /// a per-batch completion ledger so duplicates merge exactly once,
+    /// and re-executes any batch that never reported — a panicked
+    /// drain job, an expired straggler, or work a closed pool refused.
+    /// Determinism does not depend on any of this: batch `i`'s RNG
+    /// stream is a pure function of `(seed, i)` and the totals are
+    /// summed commutatively over exactly one completion per batch.
     fn run_pooled<K: Kernel + Send + Sync + 'static>(
         &self,
         kernel: K,
@@ -495,43 +702,129 @@ impl Simulation {
             "worker count must be clamped to the batch count"
         );
         let pool = self.pool.get_or_init(|| {
-            WorkerPool::spawn(self.threads.saturating_sub(1), Arc::clone(&self.sink))
+            WorkerPool::spawn(
+                PoolConfig::new(self.threads.saturating_sub(1)),
+                Arc::clone(&self.sink),
+            )
         });
+        self.inject_worker_exits(pool);
+        let deadline = Deadline::after(self.batch_deadline);
         let run = Arc::new(PooledRun {
             kernel,
             params,
             batches,
             next: AtomicU64::new(0),
+            chaos: self.chaos.clone(),
             sink: Arc::clone(&self.sink),
         });
-        let (totals_out, totals_in) = mpsc::channel::<BatchTotals>();
-        let jobs = workers - 1;
-        for _ in 0..jobs {
+        let (done_out, done_in) = mpsc::channel::<(u64, BatchTotals)>();
+        for job_id in 0..(workers - 1) as u64 {
             let run = Arc::clone(&run);
-            let totals_out = totals_out.clone();
-            pool.submit(Box::new(move || {
-                let _ = totals_out.send(run.drain());
-            }));
-        }
-        drop(totals_out);
-        // The calling thread pulls its weight instead of blocking.
-        let mut totals = run.drain();
-        for _ in 0..jobs {
-            // A worker that panicked dropped its sender without
-            // sending, which surfaces here as a closed channel.
-            totals.merge(
-                totals_in
-                    .recv()
-                    // xtask:allow(no-panic): lost batches must not be reported as a valid estimate
-                    .expect("simulator worker died mid-run; estimate would be incomplete"),
+            let done_out = done_out.clone();
+            let job = Job::new(
+                job_id,
+                deadline,
+                Box::new(move || run.drain_worker(&done_out)),
             );
+            if pool.submit(job).is_err() {
+                // A closed pool degrades to fewer (or zero) helpers:
+                // the shared claim counter below still covers every
+                // batch, on the calling thread if need be.
+                break;
+            }
         }
-        totals
+        drop(done_out);
+        // The calling thread pulls its weight instead of blocking.
+        let mut ledger = Completion::new(batches);
+        loop {
+            let batch = run.next.fetch_add(1, Ordering::Relaxed);
+            if batch >= batches {
+                break;
+            }
+            let totals = execute_batch::<K, BufferedUniforms>(
+                &run.kernel,
+                params,
+                batch,
+                self.chaos.as_deref(),
+                &*self.sink,
+                Attempt::Coordinator,
+            );
+            ledger.complete(batch, totals);
+        }
+        // Bounded collection: worker results are taken until all
+        // batches completed, every sender hung up (some drain possibly
+        // killed by an injected panic), or the run deadline expired.
+        while ledger.completed < batches {
+            match done_in.recv_timeout(deadline.remaining()) {
+                Ok((batch, totals)) => ledger.complete(batch, totals),
+                Err(_) => break,
+            }
+        }
+        // Recovery: re-execute every batch that never reported. The
+        // batch stream is a pure function of `(seed, batch)`, so the
+        // re-run is bit-identical to what the lost worker would have
+        // produced; a straggler completing late is discarded by the
+        // ledger.
+        for batch in 0..batches {
+            if !ledger.is_done(batch) {
+                self.sink.add(keys::RECOVERED_BATCHES, 1);
+                let totals = execute_batch::<K, BufferedUniforms>(
+                    &run.kernel,
+                    params,
+                    batch,
+                    self.chaos.as_deref(),
+                    &*self.sink,
+                    Attempt::Coordinator,
+                );
+                ledger.complete(batch, totals);
+            }
+        }
+        contracts::invariant!(
+            ledger.completed == batches,
+            "every batch must complete exactly once"
+        );
+        self.sink.add(keys::POOL_BATCHES, ledger.completed);
+        ledger.totals
+    }
+
+    /// Delivers the chaos plan's pending worker-exit injections to the
+    /// pool, then gives the supervisor a short bounded window to
+    /// observe the deaths and respawn replacements. Correctness does
+    /// not depend on the window: batches a dead worker never drains
+    /// are reclaimed by the coordinator either way.
+    fn inject_worker_exits(&self, pool: &WorkerPool) {
+        let Some(plan) = &self.chaos else { return };
+        let exits = plan.take_worker_exits();
+        if exits == 0 {
+            return;
+        }
+        let target = pool.respawn_count().saturating_add(exits);
+        for _ in 0..exits {
+            if pool.inject_worker_exit().is_err() {
+                return;
+            }
+        }
+        // The exit messages kill workers only once dequeued, so poll
+        // until the supervisor has respawned one replacement per exit
+        // (or the bounded grace window closes, e.g. on an exhausted
+        // respawn budget).
+        let grace = Deadline::after(Duration::from_millis(500));
+        while pool.respawn_count() < target && !grace.expired() {
+            std::thread::sleep(Duration::from_millis(1));
+            if pool.supervise().is_err() {
+                return;
+            }
+        }
     }
 
     /// Runs a borrowed kernel — sequentially, or on per-run scoped
     /// threads. Borrowed kernels (the [`GenericKernel`] fallback)
     /// cannot ride the persistent pool, whose jobs must be `'static`.
+    ///
+    /// Scoped workers recover injected faults in place (the
+    /// [`Attempt::Coordinator`] policy): scope joins are reliable and
+    /// stalls are finite, so there is no lost-batch reclaim to
+    /// exercise here and every wait stays bounded.
     fn run_borrowed<K: Kernel + Sync, U: UniformSource>(
         &self,
         kernel: &K,
@@ -539,10 +832,18 @@ impl Simulation {
     ) -> BatchTotals {
         let batches = params.trials.div_ceil(params.batch_size);
         let workers = self.planned_workers();
+        let chaos = self.chaos.as_deref();
         if workers == 1 {
             let mut totals = BatchTotals::default();
             for batch in 0..batches {
-                totals.merge(run_batch::<K, U>(kernel, params, batch));
+                totals.merge(execute_batch::<K, U>(
+                    kernel,
+                    params,
+                    batch,
+                    chaos,
+                    &*self.sink,
+                    Attempt::Coordinator,
+                ));
             }
             return totals;
         }
@@ -561,7 +862,14 @@ impl Simulation {
                         if batch >= batches {
                             break;
                         }
-                        local.merge(run_batch::<K, U>(kernel, params, batch));
+                        local.merge(execute_batch::<K, U>(
+                            kernel,
+                            params,
+                            batch,
+                            chaos,
+                            &*self.sink,
+                            Attempt::Coordinator,
+                        ));
                     }
                     // One uncontended lock per worker per run.
                     totals

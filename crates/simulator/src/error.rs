@@ -1,8 +1,9 @@
-//! Simulator-side configuration errors.
+//! Simulator-side configuration and runtime errors.
 
+use decision::ModelError;
 use std::fmt;
 
-/// Why a simulation could not be configured.
+/// Why a simulation could not be configured or executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimulationError {
@@ -10,6 +11,9 @@ pub enum SimulationError {
     ZeroTrials,
     /// Trials are processed in batches of at least one trial.
     ZeroBatchSize,
+    /// The worker pool has no live workers left and its respawn
+    /// budget is exhausted; submitted work would never execute.
+    PoolClosed,
 }
 
 impl fmt::Display for SimulationError {
@@ -17,11 +21,87 @@ impl fmt::Display for SimulationError {
         match self {
             SimulationError::ZeroTrials => write!(f, "need at least one trial"),
             SimulationError::ZeroBatchSize => write!(f, "batch size must be positive"),
+            SimulationError::PoolClosed => write!(
+                f,
+                "worker pool closed: no live workers and the respawn budget is exhausted"
+            ),
         }
     }
 }
 
 impl std::error::Error for SimulationError {}
+
+/// Why a checkpointed sweep could not run or resume.
+///
+/// Unlike [`SimulationError`] this carries I/O failures and checkpoint
+/// diagnostics, so it is neither `Copy` nor `PartialEq`; tests match on
+/// the variant instead.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The sweep parameters do not describe a valid decision model.
+    Model(ModelError),
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The checkpoint file exists but is not a well-formed
+    /// `sweep-checkpoint/v1` document.
+    Corrupt {
+        /// What the parser or validator objected to.
+        message: String,
+    },
+    /// The checkpoint file describes a different sweep than the one
+    /// requested (or a different RNG stream version).
+    Mismatch {
+        /// Which checkpoint field disagreed.
+        field: &'static str,
+        /// The value the caller asked for.
+        expected: String,
+        /// The value stored in the checkpoint.
+        found: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Model(e) => write!(f, "invalid sweep parameters: {e}"),
+            SweepError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            SweepError::Corrupt { message } => {
+                write!(f, "corrupt sweep checkpoint: {message}")
+            }
+            SweepError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "sweep checkpoint mismatch: {field} is {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Model(e) => Some(e),
+            SweepError::Io(e) => Some(e),
+            SweepError::Corrupt { .. } | SweepError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for SweepError {
+    fn from(e: ModelError) -> SweepError {
+        SweepError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> SweepError {
+        SweepError::Io(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -37,5 +117,28 @@ mod tests {
             SimulationError::ZeroBatchSize.to_string(),
             "batch size must be positive"
         );
+        assert_eq!(
+            SimulationError::PoolClosed.to_string(),
+            "worker pool closed: no live workers and the respawn budget is exhausted"
+        );
+    }
+
+    #[test]
+    fn sweep_error_display_covers_every_variant() {
+        let corrupt = SweepError::Corrupt {
+            message: "missing points".into(),
+        };
+        assert!(corrupt.to_string().contains("missing points"));
+
+        let mismatch = SweepError::Mismatch {
+            field: "seed",
+            expected: "7".into(),
+            found: "11".into(),
+        };
+        let text = mismatch.to_string();
+        assert!(text.contains("seed") && text.contains('7') && text.contains("11"));
+
+        let io = SweepError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
     }
 }

@@ -18,6 +18,15 @@
 //!    a channel and replies with a bin choice, so the
 //!    no-communication constraint is enforced by the architecture,
 //!    not just by convention.
+//! 3. **Fault tolerance** — a deterministic chaos layer ([`ChaosPlan`])
+//!    injects worker panics, stragglers, poisoned RNG refills, and
+//!    worker-thread deaths into the engine's own machinery. Because a
+//!    batch's RNG stream is a pure function of `(seed, batch)`, lost
+//!    work is re-executed bit-identically: reports under faults are
+//!    byte-equal to fault-free runs. Long sweeps persist
+//!    `sweep-checkpoint/v1` state after every grid point
+//!    ([`sweep_threshold_checkpointed`]) and restart where they left
+//!    off ([`resume_sweep`]).
 //!
 //! # Examples
 //!
@@ -34,6 +43,8 @@
 #![forbid(unsafe_code)]
 
 mod antithetic;
+mod chaos;
+mod checkpoint;
 mod distributed;
 mod engine;
 mod error;
@@ -46,14 +57,18 @@ mod stats;
 mod sweep;
 
 pub use antithetic::{run_antithetic, AntitheticReport};
+pub use chaos::{ChaosPlan, FaultKind};
+pub use checkpoint::{SweepCheckpoint, SWEEP_CHECKPOINT_SCHEMA};
 pub use distributed::DistributedSimulation;
 pub use engine::{FaultStream, Simulation, RNG_STREAM_VERSION};
-pub use error::SimulationError;
+pub use error::{SimulationError, SweepError};
 pub use metrics::{keys, EngineMetrics, MetricsSnapshot};
 pub use omniscient::full_information_win_rate;
 pub use report::SimulationReport;
 pub use stats::{load_stats, LoadStats};
 pub use sweep::{
-    sweep_threshold, sweep_threshold_analytic, sweep_threshold_analytic_with_metrics,
+    resume_sweep, resume_sweep_with_metrics, sweep_threshold, sweep_threshold_analytic,
+    sweep_threshold_analytic_with_metrics, sweep_threshold_checkpointed,
+    sweep_threshold_checkpointed_with_metrics, sweep_threshold_with_engine,
     sweep_threshold_with_metrics, AnalyticSweepPoint, SweepPoint,
 };

@@ -51,6 +51,14 @@ pub mod keys {
     pub const WINS: &str = "engine.wins";
     /// Batches executed across all runs, every path (counter).
     pub const BATCHES: &str = "engine.batches";
+    /// Batch re-executions performed by the fault-recovery layer —
+    /// in-place retries after an injected panic or poisoned refill,
+    /// plus coordinator reclaims of batches a lost worker never
+    /// reported (counter; zero on a fault-free run).
+    pub const RECOVERED_BATCHES: &str = "engine.recovered_batches";
+    /// Chaos faults armed by a `ChaosPlan` — each planned fault fires
+    /// at most once (counter).
+    pub const CHAOS_FAULTS: &str = "chaos.faults";
     /// Runs dispatched onto the monomorphized threshold kernel
     /// (counter).
     pub const DISPATCH_THRESHOLD: &str = "engine.dispatch.threshold";
@@ -69,11 +77,17 @@ pub mod keys {
     pub const RNG_REFILLS: &str = "rng.refills";
     /// Jobs executed by pool workers (counter).
     pub const POOL_JOBS: &str = "pool.jobs";
-    /// Batches drained through the persistent pool's shared counter,
-    /// by workers and the submitting thread together (counter).
+    /// Batches completed by pooled runs — first completions only,
+    /// whoever executed them (workers, the submitting thread, or its
+    /// recovery path); late duplicates are not counted (counter).
     pub const POOL_BATCHES: &str = "pool.batches";
     /// Job panics recovered by pool workers (counter).
     pub const POOL_PANICS: &str = "pool.panics";
+    /// Dead worker threads replaced by the pool supervisor (counter).
+    pub const POOL_RESPAWNS: &str = "pool.respawns";
+    /// Jobs discarded because their deadline passed before a worker
+    /// picked them up (counter).
+    pub const POOL_EXPIRED_JOBS: &str = "pool.expired_jobs";
     /// Total wall-clock nanoseconds pool workers spent running jobs
     /// (counter).
     pub const POOL_BUSY_NS: &str = "pool.busy_ns";
@@ -84,6 +98,12 @@ pub mod keys {
     pub const POOL_JOB_SPAN_NS: &str = "pool.job_ns";
     /// Grid points evaluated by `sweep_threshold*` (counter).
     pub const SWEEP_POINTS: &str = "sweep.points";
+    /// Checkpoint files written (atomic write-rename per completed
+    /// grid point) by checkpointed sweeps (counter).
+    pub const SWEEP_CHECKPOINT_WRITES: &str = "sweep.checkpoint_writes";
+    /// Grid points skipped on resume because a checkpoint already
+    /// held their results (counter).
+    pub const SWEEP_RESUMED_POINTS: &str = "sweep.resumed_points";
     /// Per-grid-point wall-clock nanoseconds (histogram).
     pub const SWEEP_POINT_SPAN_NS: &str = "sweep.point_ns";
     /// `EvalContext` Irwin–Hall table lookups served from cache
@@ -103,6 +123,8 @@ pub struct EngineMetrics {
     trials: Counter,
     wins: Counter,
     batches: Counter,
+    recovered_batches: Counter,
+    chaos_faults: Counter,
     dispatch_threshold: Counter,
     dispatch_oblivious: Counter,
     dispatch_opaque: Counter,
@@ -112,9 +134,13 @@ pub struct EngineMetrics {
     pool_jobs: Counter,
     pool_batches: Counter,
     pool_panics: Counter,
+    pool_respawns: Counter,
+    pool_expired_jobs: Counter,
     pool_busy_ns: Counter,
     pool_idle_ns: Counter,
     sweep_points: Counter,
+    sweep_checkpoint_writes: Counter,
+    sweep_resumed_points: Counter,
     memo_hits: Counter,
     memo_misses: Counter,
     pool_job_ns: Histogram,
@@ -139,6 +165,8 @@ impl EngineMetrics {
             trials: self.trials.get(),
             wins: self.wins.get(),
             batches: self.batches.get(),
+            recovered_batches: self.recovered_batches.get(),
+            chaos_faults: self.chaos_faults.get(),
             dispatch_threshold: self.dispatch_threshold.get(),
             dispatch_oblivious: self.dispatch_oblivious.get(),
             dispatch_opaque: self.dispatch_opaque.get(),
@@ -148,9 +176,13 @@ impl EngineMetrics {
             pool_jobs: self.pool_jobs.get(),
             pool_batches: self.pool_batches.get(),
             pool_panics: self.pool_panics.get(),
+            pool_respawns: self.pool_respawns.get(),
+            pool_expired_jobs: self.pool_expired_jobs.get(),
             pool_busy_ns: self.pool_busy_ns.get(),
             pool_idle_ns: self.pool_idle_ns.get(),
             sweep_points: self.sweep_points.get(),
+            sweep_checkpoint_writes: self.sweep_checkpoint_writes.get(),
+            sweep_resumed_points: self.sweep_resumed_points.get(),
             memo_hits: self.memo_hits.get(),
             memo_misses: self.memo_misses.get(),
             pool_job_ns: self.pool_job_ns.snapshot(),
@@ -165,6 +197,8 @@ impl EngineMetrics {
             keys::TRIALS => &self.trials,
             keys::WINS => &self.wins,
             keys::BATCHES => &self.batches,
+            keys::RECOVERED_BATCHES => &self.recovered_batches,
+            keys::CHAOS_FAULTS => &self.chaos_faults,
             keys::DISPATCH_THRESHOLD => &self.dispatch_threshold,
             keys::DISPATCH_OBLIVIOUS => &self.dispatch_oblivious,
             keys::DISPATCH_OPAQUE => &self.dispatch_opaque,
@@ -174,9 +208,13 @@ impl EngineMetrics {
             keys::POOL_JOBS => &self.pool_jobs,
             keys::POOL_BATCHES => &self.pool_batches,
             keys::POOL_PANICS => &self.pool_panics,
+            keys::POOL_RESPAWNS => &self.pool_respawns,
+            keys::POOL_EXPIRED_JOBS => &self.pool_expired_jobs,
             keys::POOL_BUSY_NS => &self.pool_busy_ns,
             keys::POOL_IDLE_NS => &self.pool_idle_ns,
             keys::SWEEP_POINTS => &self.sweep_points,
+            keys::SWEEP_CHECKPOINT_WRITES => &self.sweep_checkpoint_writes,
+            keys::SWEEP_RESUMED_POINTS => &self.sweep_resumed_points,
             keys::MEMO_HITS => &self.memo_hits,
             keys::MEMO_MISSES => &self.memo_misses,
             _ => return None,
@@ -211,6 +249,10 @@ pub struct MetricsSnapshot {
     pub wins: u64,
     /// Batches executed across all runs, every path.
     pub batches: u64,
+    /// Batch re-executions performed by the fault-recovery layer.
+    pub recovered_batches: u64,
+    /// Chaos faults armed by a `ChaosPlan`.
+    pub chaos_faults: u64,
     /// Runs dispatched onto the monomorphized threshold kernel.
     pub dispatch_threshold: u64,
     /// Runs dispatched onto the monomorphized oblivious kernel.
@@ -229,12 +271,20 @@ pub struct MetricsSnapshot {
     pub pool_batches: u64,
     /// Job panics recovered by pool workers.
     pub pool_panics: u64,
+    /// Dead worker threads replaced by the pool supervisor.
+    pub pool_respawns: u64,
+    /// Jobs discarded because their deadline passed before pickup.
+    pub pool_expired_jobs: u64,
     /// Total nanoseconds pool workers spent running jobs.
     pub pool_busy_ns: u64,
     /// Total nanoseconds pool workers spent parked on the job queue.
     pub pool_idle_ns: u64,
     /// Grid points evaluated by `sweep_threshold*`.
     pub sweep_points: u64,
+    /// Checkpoint files written by checkpointed sweeps.
+    pub sweep_checkpoint_writes: u64,
+    /// Grid points skipped on resume (already checkpointed).
+    pub sweep_resumed_points: u64,
     /// `EvalContext` Irwin–Hall lookups served from cache.
     pub memo_hits: u64,
     /// `EvalContext` Irwin–Hall tables computed on a miss.
@@ -254,6 +304,8 @@ impl MetricsSnapshot {
             (keys::TRIALS, self.trials),
             (keys::WINS, self.wins),
             (keys::BATCHES, self.batches),
+            (keys::RECOVERED_BATCHES, self.recovered_batches),
+            (keys::CHAOS_FAULTS, self.chaos_faults),
             (keys::DISPATCH_THRESHOLD, self.dispatch_threshold),
             (keys::DISPATCH_OBLIVIOUS, self.dispatch_oblivious),
             (keys::DISPATCH_OPAQUE, self.dispatch_opaque),
@@ -263,9 +315,13 @@ impl MetricsSnapshot {
             (keys::POOL_JOBS, self.pool_jobs),
             (keys::POOL_BATCHES, self.pool_batches),
             (keys::POOL_PANICS, self.pool_panics),
+            (keys::POOL_RESPAWNS, self.pool_respawns),
+            (keys::POOL_EXPIRED_JOBS, self.pool_expired_jobs),
             (keys::POOL_BUSY_NS, self.pool_busy_ns),
             (keys::POOL_IDLE_NS, self.pool_idle_ns),
             (keys::SWEEP_POINTS, self.sweep_points),
+            (keys::SWEEP_CHECKPOINT_WRITES, self.sweep_checkpoint_writes),
+            (keys::SWEEP_RESUMED_POINTS, self.sweep_resumed_points),
             (keys::MEMO_HITS, self.memo_hits),
             (keys::MEMO_MISSES, self.memo_misses),
         ]
@@ -383,7 +439,7 @@ mod tests {
         }
         // ...and the snapshot reflects each increment exactly once.
         assert!(m.snapshot().counters().iter().all(|(_, v)| *v == 1));
-        assert_eq!(listed.len(), 18);
+        assert_eq!(listed.len(), 24);
     }
 
     #[test]

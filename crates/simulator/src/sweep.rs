@@ -17,12 +17,14 @@
 //! derivation (xor-then-finalize), so point streams and batch streams
 //! never coincide by construction.
 
+use crate::checkpoint::SweepCheckpoint;
 use crate::engine::splitmix;
 use crate::metrics::keys;
-use crate::{Simulation, SimulationReport};
+use crate::{Simulation, SimulationReport, SweepError};
 use decision::{winning_probability_threshold_in, ModelError, SingleThresholdAlgorithm};
 use obs::{MetricsSink, NoopSink, SpanTimer};
 use rational::Rational;
+use std::path::Path;
 use std::sync::Arc;
 use uniform_sums::EvalContext;
 
@@ -107,11 +109,37 @@ pub fn sweep_threshold_with_metrics(
     seed: u64,
     sink: Arc<dyn MetricsSink>,
 ) -> Result<Vec<SweepPoint>, ModelError> {
+    let engine = Simulation::new(trials, seed).with_metrics(sink);
+    sweep_threshold_with_engine(&engine, n, delta, grid)
+}
+
+/// [`sweep_threshold`] over a caller-configured engine: the sweep
+/// inherits the engine's trials, seed, thread count, metrics sink, and
+/// any attached [`ChaosPlan`](crate::ChaosPlan) or batch deadline.
+/// Grid point `k` still runs on the stream derived from
+/// `(engine seed, k)`, so for any engine configuration the points are
+/// bit-identical to [`sweep_threshold`] at the same
+/// `(n, delta, grid, trials, seed)`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::TooFewPlayers`] if `n < 2`.
+///
+/// # Panics
+///
+/// Panics if `grid < 2`.
+pub fn sweep_threshold_with_engine(
+    engine: &Simulation,
+    n: usize,
+    delta: f64,
+    grid: usize,
+) -> Result<Vec<SweepPoint>, ModelError> {
     assert!(grid >= 2, "need at least two grid points"); // xtask:allow(no-panic): documented precondition
     if n < 2 {
         return Err(ModelError::TooFewPlayers { n });
     }
-    let engine = Simulation::new(trials, seed).with_metrics(Arc::clone(&sink));
+    let sink = engine.metrics_sink();
+    let seed = engine.seed();
     let mut out = Vec::with_capacity(grid + 1);
     for k in 0..=grid {
         let span = SpanTimer::start(&*sink, keys::SWEEP_POINT_SPAN_NS);
@@ -128,6 +156,166 @@ pub fn sweep_threshold_with_metrics(
         });
     }
     Ok(out)
+}
+
+/// [`sweep_threshold`] with `sweep-checkpoint/v1` durability: after
+/// every completed grid point the sweep state is atomically persisted
+/// to `path` (write to a sibling temp file, then rename), so a process
+/// killed mid-sweep can restart where it left off.
+///
+/// If `path` already holds a checkpoint for the **same** sweep
+/// parameters, its completed prefix is reused instead of recomputed —
+/// calling this again after a crash (or passing the file to
+/// [`resume_sweep`]) finishes the sweep and returns the same
+/// `Vec<SweepPoint>` an uninterrupted run produces, point for point.
+/// A checkpoint for *different* parameters is rejected with
+/// [`SweepError::Mismatch`] rather than silently overwritten.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Model`] for invalid sweep parameters,
+/// [`SweepError::Io`] if the checkpoint cannot be read or written, and
+/// [`SweepError::Corrupt`] / [`SweepError::Mismatch`] if an existing
+/// file is damaged or describes a different sweep.
+///
+/// # Panics
+///
+/// Panics if `grid < 2` or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use simulator::{resume_sweep, sweep_threshold, sweep_threshold_checkpointed};
+///
+/// let path = std::env::temp_dir().join("doc-sweep-ckpt.json");
+/// let swept = sweep_threshold_checkpointed(3, 1.0, 4, 5_000, 7, &path).unwrap();
+/// // Resuming a finished sweep replays the checkpoint without
+/// // touching the engine, and matches the plain sweep bit-for-bit.
+/// assert_eq!(resume_sweep(&path).unwrap(), swept);
+/// assert_eq!(sweep_threshold(3, 1.0, 4, 5_000, 7).unwrap(), swept);
+/// std::fs::remove_file(&path).unwrap();
+/// ```
+pub fn sweep_threshold_checkpointed(
+    n: usize,
+    delta: f64,
+    grid: usize,
+    trials: u64,
+    seed: u64,
+    path: &Path,
+) -> Result<Vec<SweepPoint>, SweepError> {
+    sweep_threshold_checkpointed_with_metrics(
+        n,
+        delta,
+        grid,
+        trials,
+        seed,
+        path,
+        Arc::new(NoopSink),
+    )
+}
+
+/// [`sweep_threshold_checkpointed`] with a metrics sink attached: the
+/// engine counters flow into `sink` as usual, plus one
+/// [`keys::SWEEP_CHECKPOINT_WRITES`] count per persisted point and a
+/// [`keys::SWEEP_RESUMED_POINTS`] count for grid points replayed from
+/// the checkpoint instead of recomputed.
+///
+/// # Errors
+///
+/// As [`sweep_threshold_checkpointed`].
+///
+/// # Panics
+///
+/// Panics if `grid < 2` or `trials == 0`.
+pub fn sweep_threshold_checkpointed_with_metrics(
+    n: usize,
+    delta: f64,
+    grid: usize,
+    trials: u64,
+    seed: u64,
+    path: &Path,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<Vec<SweepPoint>, SweepError> {
+    assert!(grid >= 2, "need at least two grid points"); // xtask:allow(no-panic): documented precondition
+    let requested = SweepCheckpoint::new(n, delta, grid, trials, seed);
+    let ckpt = if path.exists() {
+        let found = SweepCheckpoint::load(path)?;
+        found.validate_matches(&requested)?;
+        found
+    } else {
+        requested
+    };
+    let engine = Simulation::new(trials, seed).with_metrics(Arc::clone(&sink));
+    continue_sweep(&engine, ckpt, path, &sink)
+}
+
+/// Resumes (or replays) the sweep checkpointed at `path`: the sweep
+/// parameters are read back from the file, completed points are
+/// reused, and the remaining grid points are computed and checkpointed
+/// exactly as [`sweep_threshold_checkpointed`] would have. The result
+/// is bit-identical to the uninterrupted sweep.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Io`] if the checkpoint cannot be read,
+/// [`SweepError::Corrupt`] if it is damaged, and
+/// [`SweepError::Mismatch`] if it was produced under a different RNG
+/// stream version (its counts could not be reproduced for the
+/// remaining points).
+pub fn resume_sweep(path: &Path) -> Result<Vec<SweepPoint>, SweepError> {
+    resume_sweep_with_metrics(path, Arc::new(NoopSink))
+}
+
+/// [`resume_sweep`] with a metrics sink attached; instruments exactly
+/// as [`sweep_threshold_checkpointed_with_metrics`].
+///
+/// # Errors
+///
+/// As [`resume_sweep`].
+pub fn resume_sweep_with_metrics(
+    path: &Path,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<Vec<SweepPoint>, SweepError> {
+    let ckpt = SweepCheckpoint::load(path)?;
+    if ckpt.rng_stream_version != crate::RNG_STREAM_VERSION {
+        return Err(SweepError::Mismatch {
+            field: "rng_stream_version",
+            expected: crate::RNG_STREAM_VERSION.to_string(),
+            found: ckpt.rng_stream_version.to_string(),
+        });
+    }
+    let engine = Simulation::new(ckpt.trials, ckpt.seed).with_metrics(Arc::clone(&sink));
+    continue_sweep(&engine, ckpt, path, &sink)
+}
+
+/// Runs the grid points a checkpoint is still missing, persisting
+/// after each, then materializes the full vector from the (now
+/// complete) checkpoint.
+fn continue_sweep(
+    engine: &Simulation,
+    mut ckpt: SweepCheckpoint,
+    path: &Path,
+    sink: &Arc<dyn MetricsSink>,
+) -> Result<Vec<SweepPoint>, SweepError> {
+    let seed = ckpt.seed;
+    let start = ckpt.wins.len();
+    if start > 0 {
+        sink.add(keys::SWEEP_RESUMED_POINTS, start as u64);
+    }
+    for k in start..=ckpt.grid {
+        let span = SpanTimer::start(&**sink, keys::SWEEP_POINT_SPAN_NS);
+        let beta = Rational::ratio(k as i64, ckpt.grid as i64);
+        let rule = SingleThresholdAlgorithm::symmetric(ckpt.n, beta)?;
+        let report = engine
+            .reseeded(point_seed(seed, k as u64))
+            .run(&rule, ckpt.delta);
+        drop(span);
+        sink.add(keys::SWEEP_POINTS, 1);
+        ckpt.wins.push(report.wins);
+        ckpt.write_atomic(path)?;
+        sink.add(keys::SWEEP_CHECKPOINT_WRITES, 1);
+    }
+    Ok(ckpt.points())
 }
 
 /// One grid point of an analytic (closed-form) sweep.
@@ -344,6 +532,159 @@ mod tests {
                 p.probability
             );
         }
+    }
+
+    /// A per-test scratch path that cleans up after itself.
+    struct ScratchFile(std::path::PathBuf);
+
+    impl ScratchFile {
+        fn new(name: &str) -> ScratchFile {
+            let dir = std::env::temp_dir().join("nocomm-sweep-resume-tests");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(name);
+            std::fs::remove_file(&path).ok();
+            ScratchFile(path)
+        }
+    }
+
+    impl Drop for ScratchFile {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn engine_driven_sweep_matches_plain_sweep() {
+        let plain = sweep_threshold(3, 1.0, 4, 5_000, 3).unwrap();
+        let engine = Simulation::new(5_000, 3);
+        let driven = sweep_threshold_with_engine(&engine, 3, 1.0, 4).unwrap();
+        assert_eq!(plain, driven);
+    }
+
+    #[test]
+    fn checkpointed_sweep_matches_plain_sweep() {
+        let scratch = ScratchFile::new("fresh.json");
+        let plain = sweep_threshold(2, 1.0, 4, 5_000, 3).unwrap();
+        let ckpt = sweep_threshold_checkpointed(2, 1.0, 4, 5_000, 3, &scratch.0).unwrap();
+        assert_eq!(plain, ckpt);
+        // The file is left complete and loadable.
+        let stored = SweepCheckpoint::load(&scratch.0).unwrap();
+        assert!(stored.is_complete());
+        assert_eq!(stored.points(), plain);
+    }
+
+    #[test]
+    fn killed_sweep_resumes_to_the_identical_vector() {
+        // The atomic write-rename after every point guarantees a killed
+        // process leaves a well-formed checkpoint holding an exact
+        // prefix of the sweep. Simulate every possible kill site by
+        // truncating a complete checkpoint to each prefix length and
+        // resuming from it.
+        let scratch = ScratchFile::new("killed.json");
+        let full = sweep_threshold_checkpointed(3, 1.0, 4, 5_000, 11, &scratch.0).unwrap();
+        let complete = SweepCheckpoint::load(&scratch.0).unwrap();
+        for survived in 0..complete.wins.len() {
+            let mut prefix = complete.clone();
+            prefix.wins.truncate(survived);
+            prefix.write_atomic(&scratch.0).unwrap();
+            let resumed = resume_sweep(&scratch.0).unwrap();
+            assert_eq!(resumed, full, "kill after {survived} points");
+        }
+    }
+
+    #[test]
+    fn resuming_a_complete_checkpoint_replays_without_running() {
+        let scratch = ScratchFile::new("complete.json");
+        let full = sweep_threshold_checkpointed(2, 1.0, 4, 5_000, 7, &scratch.0).unwrap();
+        let metrics = Arc::new(crate::EngineMetrics::new());
+        let replayed = resume_sweep_with_metrics(&scratch.0, metrics.clone()).unwrap();
+        assert_eq!(replayed, full);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sweep_resumed_points, 5, "all points replayed");
+        assert_eq!(snap.runs, 0, "no engine work on a complete file");
+        assert_eq!(snap.sweep_checkpoint_writes, 0);
+        // Re-requesting the same sweep reuses the file the same way.
+        let again = sweep_threshold_checkpointed(2, 1.0, 4, 5_000, 7, &scratch.0).unwrap();
+        assert_eq!(again, full);
+    }
+
+    #[test]
+    fn checkpoint_writes_and_resumed_points_are_counted() {
+        let scratch = ScratchFile::new("counted.json");
+        let metrics = Arc::new(crate::EngineMetrics::new());
+        let full = sweep_threshold_checkpointed_with_metrics(
+            2,
+            1.0,
+            4,
+            5_000,
+            3,
+            &scratch.0,
+            metrics.clone(),
+        )
+        .unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.sweep_checkpoint_writes, 5,
+            "one atomic write per point"
+        );
+        assert_eq!(snap.sweep_resumed_points, 0, "fresh sweep resumes nothing");
+        assert_eq!(snap.sweep_points, 5);
+
+        // Kill after two points; the resumed run computes exactly the
+        // remaining three.
+        let mut prefix = SweepCheckpoint::load(&scratch.0).unwrap();
+        prefix.wins.truncate(2);
+        prefix.write_atomic(&scratch.0).unwrap();
+        let metrics = Arc::new(crate::EngineMetrics::new());
+        let resumed = resume_sweep_with_metrics(&scratch.0, metrics.clone()).unwrap();
+        assert_eq!(resumed, full);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sweep_resumed_points, 2);
+        assert_eq!(snap.sweep_points, 3);
+        assert_eq!(snap.sweep_checkpoint_writes, 3);
+        assert_eq!(snap.runs, 3);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected_not_overwritten() {
+        let scratch = ScratchFile::new("mismatch.json");
+        sweep_threshold_checkpointed(2, 1.0, 4, 5_000, 3, &scratch.0).unwrap();
+        let before = std::fs::read_to_string(&scratch.0).unwrap();
+        let err = sweep_threshold_checkpointed(2, 1.0, 4, 5_000, 4, &scratch.0).unwrap_err();
+        assert!(matches!(err, SweepError::Mismatch { field: "seed", .. }));
+        let err = sweep_threshold_checkpointed(3, 1.0, 4, 5_000, 3, &scratch.0).unwrap_err();
+        assert!(matches!(err, SweepError::Mismatch { field: "n", .. }));
+        assert_eq!(
+            std::fs::read_to_string(&scratch.0).unwrap(),
+            before,
+            "a rejected request must not touch the file"
+        );
+    }
+
+    #[test]
+    fn stale_stream_version_is_rejected_on_resume() {
+        let scratch = ScratchFile::new("stale.json");
+        sweep_threshold_checkpointed(2, 1.0, 4, 5_000, 3, &scratch.0).unwrap();
+        let mut ckpt = SweepCheckpoint::load(&scratch.0).unwrap();
+        ckpt.rng_stream_version = crate::RNG_STREAM_VERSION - 1;
+        ckpt.write_atomic(&scratch.0).unwrap();
+        let err = resume_sweep(&scratch.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::Mismatch {
+                field: "rng_stream_version",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn missing_checkpoint_file_surfaces_as_io_error() {
+        let path = std::env::temp_dir().join("nocomm-no-such-checkpoint.json");
+        assert!(matches!(
+            resume_sweep(&path).unwrap_err(),
+            SweepError::Io(_)
+        ));
     }
 
     #[test]

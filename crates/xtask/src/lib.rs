@@ -15,10 +15,12 @@
 //! | `cargo xtask lint --list` | print the lint table |
 //! | `cargo xtask ci` | fmt-check + lints + tier-1 tests |
 //! | `cargo xtask metrics-check <path>` | validate an `engine-metrics/v1` JSON export |
+//! | `cargo xtask chaos-check <path>` | validate a `chaos-smoke/v1` fault-recovery artifact |
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod chaos;
 pub mod lints;
 pub mod metrics;
 pub mod scrub;

@@ -73,6 +73,11 @@ pub const LINTS: &[Lint] = &[
         summary: "forbid dyn LocalRule dispatch inside batch/kernel hot-path fns",
         check: no_dyn_hot_loop,
     },
+    Lint {
+        id: "no-silent-send",
+        summary: "forbid discarding channel send results with `let _ =` in library code",
+        check: no_silent_send,
+    },
 ];
 
 /// Runs every rule over one file.
@@ -445,6 +450,39 @@ fn fn_item_name(line: &str) -> Option<String> {
     }
 }
 
+/// `let _ = tx.send(…)` discards delivery failure: if the receiver is
+/// gone the payload is silently lost, turning a dead worker or a
+/// shutdown race into unexplained data loss. Library code must either
+/// propagate the `SendError` (as the pool's `submit` does with
+/// `SimulationError::PoolClosed`), branch on it, or shut a channel
+/// down by *dropping* the sender — never by throwing the result away.
+/// `try_send` is not matched (its result carries a would-block case
+/// that some callers legitimately drop); a deliberate drop carries an
+/// `xtask:allow(no-silent-send)` waiver.
+fn no_silent_send(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) || file.allowed("no-silent-send", lineno) {
+            continue;
+        }
+        if line.trim_start().starts_with("let _ =") && contains_token(line, "send(") {
+            out.push(Violation {
+                lint: "no-silent-send",
+                path: file.path.clone(),
+                line: lineno,
+                message: "`let _ = …send(…)` silently drops a failed delivery — propagate \
+                          or branch on the `SendError` (or drop the sender to close)"
+                    .to_owned(),
+            });
+        }
+    }
+    out
+}
+
 fn unsafe_header(file: &SourceFile) -> Vec<Violation> {
     if !file.path.ends_with("src/lib.rs") {
         return Vec::new();
@@ -596,6 +634,30 @@ mod tests {
             "#![forbid(unsafe_code)]\nfn kernel_baseline(\n    rule: &dyn LocalRule, // xtask:allow(no-dyn-hot-loop): deliberate dispatch baseline\n) -> u64 {\n    0\n}\n",
         );
         assert!(no_dyn_hot_loop(&f).is_empty());
+    }
+
+    #[test]
+    fn silent_send_fires_in_lib_code() {
+        let f = lib("#![forbid(unsafe_code)]\nfn f(tx: Tx) {\n    let _ = tx.send(1);\n}\n");
+        let v = no_silent_send(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn handled_sends_and_try_send_are_clean() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\nfn f(tx: Tx) {\n    if tx.send(1).is_err() {\n        return;\n    }\n    let _ = tx.try_send(2);\n}\n",
+        );
+        assert!(no_silent_send(&f).is_empty());
+    }
+
+    #[test]
+    fn silent_send_in_tests_and_waived_sites_is_exempt() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\nfn f(tx: Tx) {\n    let _ = tx.send(1); // xtask:allow(no-silent-send): receiver outlives us by construction\n}\n#[cfg(test)]\nmod tests {\n    fn t(tx: Tx) { let _ = tx.send(1); }\n}\n",
+        );
+        assert!(no_silent_send(&f).is_empty());
     }
 
     #[test]

@@ -24,8 +24,42 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("chaos-check") => {
+            if let Some(path) = args.get(1) {
+                run_chaos_check(path)
+            } else {
+                eprintln!("usage: cargo xtask chaos-check <path/to/chaos_smoke.json>");
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint [--list] | ci | metrics-check <path>>");
+            eprintln!(
+                "usage: cargo xtask <lint [--list] | ci | metrics-check <path> | chaos-check <path>>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates a `chaos-smoke/v1` fault-recovery artifact; nonzero exit
+/// on a read failure, a structural problem, a chaotic report that is
+/// not bit-equal to the fault-free one, or recovery counters showing
+/// the plan never engaged.
+fn run_chaos_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask chaos-check: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::chaos::validate_chaos_document(&text) {
+        Ok(summary) => {
+            eprintln!("xtask chaos-check: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask chaos-check: {path}: {message}");
             ExitCode::FAILURE
         }
     }

@@ -18,6 +18,8 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "engine.trials",
     "engine.wins",
     "engine.batches",
+    "engine.recovered_batches",
+    "chaos.faults",
     "engine.dispatch.threshold",
     "engine.dispatch.oblivious",
     "engine.dispatch.opaque",
@@ -27,9 +29,13 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "pool.jobs",
     "pool.batches",
     "pool.panics",
+    "pool.respawns",
+    "pool.expired_jobs",
     "pool.busy_ns",
     "pool.idle_ns",
     "sweep.points",
+    "sweep.checkpoint_writes",
+    "sweep.resumed_points",
     "analytic.memo_hits",
     "analytic.memo_misses",
 ];
@@ -160,7 +166,7 @@ pub enum Json {
 }
 
 impl Json {
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             Json::Null => "null",
             Json::Bool(_) => "bool",
@@ -171,7 +177,7 @@ impl Json {
         }
     }
 
-    fn as_object(&self, what: &str) -> Result<&Vec<(String, Json)>, String> {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&Vec<(String, Json)>, String> {
         match self {
             Json::Object(fields) => Ok(fields),
             other => Err(format!(
@@ -181,7 +187,7 @@ impl Json {
         }
     }
 
-    fn as_array(&self, what: &str) -> Result<&Vec<Json>, String> {
+    pub(crate) fn as_array(&self, what: &str) -> Result<&Vec<Json>, String> {
         match self {
             Json::Array(items) => Ok(items),
             other => Err(format!(
@@ -191,7 +197,7 @@ impl Json {
         }
     }
 
-    fn as_string(&self, what: &str) -> Result<&str, String> {
+    pub(crate) fn as_string(&self, what: &str) -> Result<&str, String> {
         match self {
             Json::String(s) => Ok(s),
             other => Err(format!(
@@ -201,7 +207,7 @@ impl Json {
         }
     }
 
-    fn as_u64(&self, what: &str) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
         match self {
             Json::Number(raw) => raw.parse::<u64>().map_err(|_| {
                 format!("{what} must be a non-negative integer within u64 range, found {raw}")
@@ -215,12 +221,16 @@ impl Json {
 }
 
 /// Looks up a required top-level field.
-fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+pub(crate) fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     get_in(fields, key, "document root")
 }
 
 /// Looks up a required field inside a named object.
-fn get_in<'a>(fields: &'a [(String, Json)], key: &str, within: &str) -> Result<&'a Json, String> {
+pub(crate) fn get_in<'a>(
+    fields: &'a [(String, Json)],
+    key: &str,
+    within: &str,
+) -> Result<&'a Json, String> {
     fields
         .iter()
         .find(|(k, _)| k == key)
@@ -443,7 +453,7 @@ mod tests {
                 samples: 3,
             }
         );
-        assert!(summary.to_string().contains("18 counters"));
+        assert!(summary.to_string().contains("24 counters"));
     }
 
     #[test]

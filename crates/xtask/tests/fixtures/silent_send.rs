@@ -1,0 +1,31 @@
+//! Fixture for `no-silent-send`: one discarded delivery fires; the
+//! handled, waived, try_send, and test-module sites stay silent.
+
+use std::sync::mpsc::{Sender, SyncSender};
+
+fn drops_failure(tx: &Sender<u8>) {
+    let _ = tx.send(1);
+}
+
+fn handles_failure(tx: &Sender<u8>) {
+    if tx.send(2).is_err() {
+        return;
+    }
+}
+
+fn nonblocking_is_different(tx: &SyncSender<u8>) {
+    let _ = tx.try_send(3);
+}
+
+fn waived(tx: &Sender<u8>) {
+    let _ = tx.send(4); // xtask:allow(no-silent-send): receiver outlives this call by construction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_helper(tx: &Sender<u8>) {
+        let _ = tx.send(5);
+    }
+}

@@ -120,6 +120,21 @@ fn no_dyn_hot_loop_fires_once_and_respects_waivers() {
 }
 
 #[test]
+fn no_silent_send_fires_once_and_respects_waivers() {
+    let f = fixture(
+        "silent_send.rs",
+        "crates/demo/src/silent_send.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    let hits = by_lint(&v, "no-silent-send");
+    // Only the discarded `send` fires; the handled send, `try_send`,
+    // the waived site, and the test-module helper stay silent.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 7);
+}
+
+#[test]
 fn allowlist_entries_silence_matching_paths_only() {
     let f = fixture("prints.rs", "crates/demo/src/prints.rs", FileKind::Lib);
     let v = check_file(&f);
@@ -143,6 +158,7 @@ fn every_lint_has_a_firing_fixture() {
         ("no_header.rs", "crates/demo/src/lib.rs"),
         ("twin_f64.rs", "crates/demo/src/twin_f64.rs"),
         ("dyn_hot_loop.rs", "crates/demo/src/dyn_hot_loop.rs"),
+        ("silent_send.rs", "crates/demo/src/silent_send.rs"),
     ];
     let mut all = Vec::new();
     for (name, vpath) in fixtures {
