@@ -193,6 +193,10 @@ pub(crate) fn shr_bits(a: &[u32], bits: u32) -> Vec<u32> {
 }
 
 /// Divides by a single limb; returns `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if `d` is zero.
 pub(crate) fn div_rem_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
     assert!(d != 0, "division by zero limb");
     let mut q = vec![0u32; a.len()];

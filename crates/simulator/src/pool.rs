@@ -266,8 +266,12 @@ impl Drop for WorkerPool {
         // Closing the channel makes every worker's `recv` fail, which
         // ends its loop.
         drop(self.sender.take());
-        let mut sup = self.lock_supervisor();
-        for handle in sup.handles.drain(..) {
+        // Take the handles out under the lock but join with it
+        // released: anything still holding a `&WorkerPool` (a
+        // concurrent `respawn_count` probe, a metrics reader) must not
+        // be blocked behind the shutdown joins.
+        let handles: Vec<JoinHandle<()>> = self.lock_supervisor().handles.drain(..).collect();
+        for handle in handles {
             // A worker that panicked in a job already surfaced the
             // failure to the submitting run; nothing more to do here.
             let _ = handle.join();
@@ -307,6 +311,7 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Message>>>, sink: &dyn MetricsSink)
         // inside a job can never poison the queue for other workers.
         let message = {
             let Ok(guard) = receiver.lock() else { return };
+            // xtask:allow(lock-discipline): shared-Receiver handoff — exactly one worker may sit in recv, and the queue lock is what elects it
             guard.recv()
         };
         sink.add(keys::POOL_IDLE_NS, idle.elapsed_ns());

@@ -11,7 +11,21 @@
 //! without one are rejected at parse time so waivers cannot rot
 //! silently.
 
+use crate::analyses::ANALYSES;
+use crate::fingerprint;
 use crate::lints::{Violation, LINTS};
+
+/// Every check id an allowlist entry may waive: the nine lints, the
+/// three per-file analyses, and the stream-fingerprint gate.
+#[must_use]
+pub fn known_ids() -> Vec<&'static str> {
+    LINTS
+        .iter()
+        .chain(ANALYSES.iter())
+        .map(|l| l.id)
+        .chain(std::iter::once(fingerprint::CHECK_ID))
+        .collect()
+}
 
 /// One parsed allowlist entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,7 +69,7 @@ impl Allowlist {
                     idx + 1
                 ));
             }
-            if !LINTS.iter().any(|l| l.id == lint) {
+            if !known_ids().contains(&lint.as_str()) {
                 return Err(format!("allowlist line {}: unknown lint `{lint}`", idx + 1));
             }
             entries.push(AllowEntry {
@@ -79,6 +93,24 @@ impl Allowlist {
     #[must_use]
     pub fn filter(&self, violations: Vec<Violation>) -> Vec<Violation> {
         violations.into_iter().filter(|v| !self.covers(v)).collect()
+    }
+
+    /// Entries that waive nothing: their check id is in `scope` (the
+    /// set of checks that actually ran) but they cover none of the
+    /// pre-filter violations `raw`. Stale waivers are an error — the
+    /// allowlist may only shrink — so the driver reports these and
+    /// `--prune` removes them.
+    #[must_use]
+    pub fn stale_entries(&self, raw: &[Violation], scope: &[&str]) -> Vec<&AllowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                scope.contains(&e.lint.as_str())
+                    && !raw
+                        .iter()
+                        .any(|v| e.lint == v.lint && v.path.contains(&e.path_fragment))
+            })
+            .collect()
     }
 }
 
@@ -115,5 +147,30 @@ mod tests {
     #[test]
     fn unknown_lint_is_rejected() {
         assert!(Allowlist::parse("no-such-lint crates/x/ some reason\n").is_err());
+    }
+
+    #[test]
+    fn analysis_ids_are_valid_entries() {
+        let list = Allowlist::parse(
+            "lock-discipline crates/simulator/src/pool.rs queue handoff design\nstream-fingerprint results/ attested\n",
+        )
+        .unwrap();
+        assert_eq!(list.entries.len(), 2);
+    }
+
+    #[test]
+    fn stale_entries_respect_the_check_scope() {
+        let list = Allowlist::parse(
+            "no-panic crates/bench/ fixture\nlock-discipline crates/simulator/ handoff\n",
+        )
+        .unwrap();
+        let raw = vec![violation("no-panic", "crates/bench/src/lib.rs")];
+        // Under lint scope the lock-discipline entry is out of scope,
+        // so only a genuinely uncovered lint entry would be stale.
+        assert!(list.stale_entries(&raw, &["no-panic"]).is_empty());
+        // Under the full scope the unmatched analysis entry is stale.
+        let stale = list.stale_entries(&raw, &["no-panic", "lock-discipline"]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].lint, "lock-discipline");
     }
 }

@@ -1,30 +1,43 @@
 //! `xtask` — the workspace's dependency-free static-analysis and CI
 //! driver, invoked as `cargo xtask <command>` (see `.cargo/config.toml`).
 //!
-//! The lints here encode *repo-specific* rules that `rustc` and
+//! The checks here encode *repo-specific* rules that `rustc` and
 //! `clippy` cannot express — no panicking constructs in library code,
-//! no ambient-entropy RNG anywhere, documented panic contracts,
-//! named tolerance constants — over a scrubbed, line-oriented view of
-//! the source (see [`scrub`]). Waivers are explicit and reviewed:
-//! either an inline `// xtask:allow(<lint>): <reason>` comment or an
-//! entry in the repo-root `xtask.allow` file; both require a reason.
+//! no ambient-entropy RNG anywhere, documented panic contracts, named
+//! tolerance constants, seed provenance for every RNG, lock/blocking
+//! discipline, allocation-free hot paths, and a token-hash gate on
+//! the RNG-stream-critical functions — over a lexed token stream and
+//! item tree (see [`lexer`] and [`tree`]). Waivers are explicit and
+//! reviewed: either an inline `// xtask:allow(<check>): <reason>`
+//! comment or an entry in the repo-root `xtask.allow` file; both
+//! require a reason, and entries that no longer waive anything are
+//! themselves an error (prune with `cargo xtask lint --prune`).
 //!
 //! | command | effect |
 //! |---|---|
-//! | `cargo xtask lint` | run every lint over the workspace |
+//! | `cargo xtask lint` | run the nine lints over the workspace |
 //! | `cargo xtask lint --list` | print the lint table |
-//! | `cargo xtask ci` | fmt-check + lints + tier-1 tests |
+//! | `cargo xtask lint --prune` | drop stale allowlist entries |
+//! | `cargo xtask analyze` | lints + scope-aware analyses + fingerprint gate |
+//! | `cargo xtask analyze --list` | print all thirteen checks |
+//! | `cargo xtask analyze --json` | machine-readable checks + violations |
+//! | `cargo xtask analyze --update-fingerprint` | re-attest `results/stream_fingerprint.json` |
+//! | `cargo xtask ci` | fmt-check + analyze + tier-1 tests |
 //! | `cargo xtask metrics-check <path>` | validate an `engine-metrics/v1` JSON export |
 //! | `cargo xtask chaos-check <path>` | validate a `chaos-smoke/v1` fault-recovery artifact |
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod analyses;
 pub mod chaos;
+pub mod fingerprint;
+pub mod lexer;
 pub mod lints;
 pub mod metrics;
 pub mod scrub;
 pub mod source;
+pub mod tree;
 pub mod walk;
 
 use allow::Allowlist;
@@ -37,21 +50,150 @@ use std::path::Path;
 /// Name of the repo-root allowlist file.
 pub const ALLOWLIST_FILE: &str = "xtask.allow";
 
-/// Lints every Rust source under `repo_root`, returning the
-/// violations not covered by the allowlist.
+/// Outcome of a workspace check run: what survived the allowlist, and
+/// which allowlist entries waived nothing that the executed checks
+/// produced.
+pub struct CheckReport {
+    /// Violations not covered by any waiver.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries (within the executed checks' scope) that
+    /// covered no violation.
+    pub stale: Vec<allow::AllowEntry>,
+}
+
+/// Parses every Rust source under `repo_root` into [`SourceFile`]s.
+///
+/// # Errors
+///
+/// Returns a message on IO failure.
+pub fn parse_workspace(repo_root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    for (rel, abs) in walk::rust_sources(repo_root)? {
+        let text = fs::read_to_string(&abs).map_err(|e| format!("read {rel}: {e}"))?;
+        files.push(SourceFile::parse(&rel, classify(Path::new(&rel)), &text));
+    }
+    Ok(files)
+}
+
+/// Lints every Rust source under `repo_root`: the nine lint rules
+/// only, staleness judged against lint-id entries only.
 ///
 /// # Errors
 ///
 /// Returns a message on IO failure or a malformed allowlist.
-pub fn lint_workspace(repo_root: &Path) -> Result<Vec<Violation>, String> {
+pub fn lint_workspace(repo_root: &Path) -> Result<CheckReport, String> {
     let allowlist = load_allowlist(repo_root)?;
-    let mut violations = Vec::new();
-    for (rel, abs) in walk::rust_sources(repo_root)? {
-        let text = fs::read_to_string(&abs).map_err(|e| format!("read {rel}: {e}"))?;
-        let file = SourceFile::parse(&rel, classify(Path::new(&rel)), &text);
-        violations.extend(lints::check_file(&file));
+    let mut raw = Vec::new();
+    for file in parse_workspace(repo_root)? {
+        raw.extend(lints::check_file(&file));
     }
-    Ok(allowlist.filter(violations))
+    let scope: Vec<&str> = lints::LINTS.iter().map(|l| l.id).collect();
+    let stale = allowlist
+        .stale_entries(&raw, &scope)
+        .into_iter()
+        .cloned()
+        .collect();
+    Ok(CheckReport {
+        violations: allowlist.filter(raw),
+        stale,
+    })
+}
+
+/// Runs the full analyzer: the nine lints, the three scope-aware
+/// analyses, and the stream-fingerprint gate; staleness judged
+/// against all thirteen check ids.
+///
+/// # Errors
+///
+/// Returns a message on IO failure or a malformed allowlist.
+pub fn analyze_workspace(repo_root: &Path) -> Result<CheckReport, String> {
+    let allowlist = load_allowlist(repo_root)?;
+    let files = parse_workspace(repo_root)?;
+    let mut raw = Vec::new();
+    for file in &files {
+        raw.extend(lints::check_file(file));
+        raw.extend(analyses::check_file(file));
+    }
+    let committed = fs::read_to_string(repo_root.join(fingerprint::FINGERPRINT_FILE)).ok();
+    raw.extend(fingerprint::check(
+        fingerprint::CRITICAL_FNS,
+        &files,
+        committed.as_deref(),
+    ));
+    let stale = allowlist
+        .stale_entries(&raw, &allow::known_ids())
+        .into_iter()
+        .cloned()
+        .collect();
+    Ok(CheckReport {
+        violations: allowlist.filter(raw),
+        stale,
+    })
+}
+
+/// Regenerates `results/stream_fingerprint.json` from the current
+/// sources, returning its repo-relative path.
+///
+/// # Errors
+///
+/// Returns a message on IO failure or when a critical fn is missing
+/// (an incomplete attestation must not be written).
+pub fn update_fingerprint(repo_root: &Path) -> Result<String, String> {
+    let files = parse_workspace(repo_root)?;
+    let (fp, violations) = fingerprint::compute(fingerprint::CRITICAL_FNS, &files);
+    if !violations.is_empty() {
+        return Err(format!(
+            "cannot attest an incomplete fingerprint:\n{}",
+            render(&violations)
+        ));
+    }
+    let path = repo_root.join(fingerprint::FINGERPRINT_FILE);
+    fs::write(&path, fp.render()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(fingerprint::FINGERPRINT_FILE.to_owned())
+}
+
+/// Rewrites `xtask.allow` without its stale entries (matched by check
+/// id and path fragment), preserving comments and blank lines.
+/// Returns how many entries were dropped.
+///
+/// # Errors
+///
+/// Returns a message on IO failure.
+pub fn prune_allowlist(repo_root: &Path, stale: &[allow::AllowEntry]) -> Result<usize, String> {
+    let path = repo_root.join(ALLOWLIST_FILE);
+    let text = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut kept = String::new();
+    let mut dropped = 0usize;
+    for raw in text.lines() {
+        let line = raw.trim();
+        let is_stale = stale.iter().any(|e| {
+            let mut parts = line.splitn(3, char::is_whitespace);
+            parts.next() == Some(e.lint.as_str()) && parts.next() == Some(e.path_fragment.as_str())
+        });
+        if is_stale && !line.is_empty() && !line.starts_with('#') {
+            dropped += 1;
+        } else {
+            kept.push_str(raw);
+            kept.push('\n');
+        }
+    }
+    fs::write(&path, kept).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(dropped)
+}
+
+/// Renders stale allowlist entries as error lines with the prune hint.
+#[must_use]
+pub fn render_stale(stale: &[allow::AllowEntry]) -> String {
+    let mut out = String::new();
+    for e in stale {
+        let _ = writeln!(
+            out,
+            "{}: stale waiver: `{} {}` no longer matches any violation \
+             (run `cargo xtask lint --prune` to remove)",
+            ALLOWLIST_FILE, e.lint, e.path_fragment
+        );
+    }
+    out
 }
 
 /// Loads and parses the repo-root allowlist; absent file = empty list.

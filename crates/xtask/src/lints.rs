@@ -1,17 +1,21 @@
-//! The lint rules.
+//! The nine lint rules, migrated from the line-regex scanner onto the
+//! token stream and item tree.
 //!
 //! Every rule is a pure function from a [`SourceFile`] to a list of
 //! [`Violation`]s; the driver composes them over the workspace and
-//! subtracts the allowlist. Rules are line-oriented over *scrubbed*
-//! text (comments and string contents blanked), which keeps them
-//! dependency-free while immune to prose false-positives.
+//! subtracts the allowlist. Rules walk the non-comment token stream
+//! (so string and comment contents are invisible by construction) and
+//! consult the item tree for scope — which fn a token is in, whether
+//! an item is `#[cfg(test)]`-only, whether a fn is free or a method —
+//! instead of guessing from indentation.
 
 use crate::source::{FileKind, SourceFile};
+use crate::tree::ItemKind;
 
-/// One finding: a rule, a place, and what was seen there.
+/// One finding: a check, a place, and what was seen there.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
-    /// Stable lint identifier (e.g. `no-panic`).
+    /// Stable check identifier (e.g. `no-panic`).
     pub lint: &'static str,
     /// Repo-relative path.
     pub path: String,
@@ -31,7 +35,8 @@ pub struct Lint {
     pub check: fn(&SourceFile) -> Vec<Violation>,
 }
 
-/// Every rule the driver knows, in reporting order.
+/// Every lint rule the driver knows, in reporting order. The four
+/// scope-aware analyses live in [`crate::analyses::ANALYSES`].
 pub const LINTS: &[Lint] = &[
     Lint {
         id: "no-panic",
@@ -80,7 +85,7 @@ pub const LINTS: &[Lint] = &[
     },
 ];
 
-/// Runs every rule over one file.
+/// Runs every lint rule over one file.
 #[must_use]
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -90,134 +95,170 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
-/// Tokens that abort the process (or can), forbidden in library code.
-const PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
+/// Method names that abort the process when called after a `.`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
+/// Macro names that abort the process.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// `true` when code token `k` (an index into `file.code`) is a
+/// `.name(` method call with `name` in `names`.
+pub(crate) fn is_panic_method(file: &SourceFile, k: usize, names: &[&str]) -> bool {
+    let code = &file.code;
+    let i = code[k];
+    if !names.contains(&file.tok(i)) {
+        return false;
+    }
+    let prev_dot = k > 0 && file.tokens[code[k - 1]].is_punct(b'.');
+    let next_paren = code
+        .get(k + 1)
+        .is_some_and(|&j| file.tokens[j].is_punct(b'('));
+    prev_dot && next_paren
+}
+
+/// `true` when code token `k` is a `name!` macro invocation with
+/// `name` in `names`.
+pub(crate) fn is_macro_call(file: &SourceFile, k: usize, names: &[&str]) -> bool {
+    let code = &file.code;
+    let i = code[k];
+    names.contains(&file.tok(i))
+        && code
+            .get(k + 1)
+            .is_some_and(|&j| file.tokens[j].is_punct(b'!'))
+}
+
+/// Scans the whole code stream for panic-style calls, subject to the
+/// usual skip rules.
 fn no_panic(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();
     }
-    scan_tokens(file, "no-panic", PANIC_TOKENS, true)
-}
-
-/// Entropy-seeded constructors: banned in *all* code, tests included —
-/// reproducibility is a workspace-wide guarantee.
-const RNG_TOKENS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "rand::random"];
-
-fn no_unseeded_rng(file: &SourceFile) -> Vec<Violation> {
-    scan_tokens(file, "no-unseeded-rng", RNG_TOKENS, false)
-}
-
-const PRINT_TOKENS: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!(", "dbg!("];
-
-fn no_print(file: &SourceFile) -> Vec<Violation> {
-    if file.kind != FileKind::Lib {
-        return Vec::new();
-    }
-    scan_tokens(file, "no-print", PRINT_TOKENS, true)
-}
-
-/// Flags occurrences of any of `tokens`; test regions are skipped when
-/// `skip_tests` is set.
-fn scan_tokens(
-    file: &SourceFile,
-    lint: &'static str,
-    tokens: &[&str],
-    skip_tests: bool,
-) -> Vec<Violation> {
     let mut out = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if (skip_tests && file.is_test_line(lineno)) || file.allowed(lint, lineno) {
+    for k in 0..file.code.len() {
+        let line = file.tokens[file.code[k]].line;
+        if file.is_test_line(line) || file.allowed("no-panic", line) {
             continue;
         }
-        for token in tokens {
-            if contains_token(line, token) {
-                out.push(Violation {
-                    lint,
-                    path: file.path.clone(),
-                    line: lineno,
-                    message: format!("`{}` is forbidden here", token.trim_end_matches('(')),
-                });
-            }
+        let name = file.tok(file.code[k]);
+        if is_panic_method(file, k, PANIC_METHODS) {
+            out.push(Violation {
+                lint: "no-panic",
+                path: file.path.clone(),
+                line,
+                message: format!("`.{name}()` is forbidden here"),
+            });
+        } else if is_macro_call(file, k, PANIC_MACROS) {
+            out.push(Violation {
+                lint: "no-panic",
+                path: file.path.clone(),
+                line,
+                message: format!("`{name}!` is forbidden here"),
+            });
         }
     }
     out
 }
 
-/// `true` when `line` contains `token` at an identifier boundary, so
-/// `eprintln!(` does not count as `println!(` and `debug_assert!(`
-/// does not count as `assert!(`.
-fn contains_token(line: &str, token: &str) -> bool {
-    let needs_boundary = token
-        .as_bytes()
-        .first()
-        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
-    let mut haystack = line;
-    let mut offset = 0usize;
-    while let Some(pos) = haystack.find(token) {
-        let abs = offset + pos;
-        let boundary = !needs_boundary || abs == 0 || {
-            let prev = line.as_bytes()[abs - 1];
-            !(prev.is_ascii_alphanumeric() || prev == b'_')
-        };
-        if boundary {
-            return true;
+/// Entropy-seeded constructors: banned in *all* code, tests included —
+/// reproducibility is a workspace-wide guarantee.
+const RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+
+fn no_unseeded_rng(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for k in 0..file.code.len() {
+        let i = file.code[k];
+        let line = file.tokens[i].line;
+        if file.allowed("no-unseeded-rng", line) {
+            continue;
         }
-        offset = abs + 1;
-        haystack = &line[offset..];
+        let text = file.tok(i);
+        let ambient = RNG_IDENTS.contains(&text)
+            || (text == "rand"
+                && file
+                    .code
+                    .get(k + 1)
+                    .zip(file.code.get(k + 2))
+                    .zip(file.code.get(k + 3))
+                    .is_some_and(|((&c1, &c2), &c3)| {
+                        file.tokens[c1].is_punct(b':')
+                            && file.tokens[c2].is_punct(b':')
+                            && file.tok(c3) == "random"
+                    }));
+        if ambient {
+            out.push(Violation {
+                lint: "no-unseeded-rng",
+                path: file.path.clone(),
+                line,
+                message: format!("`{text}` is forbidden here"),
+            });
+        }
     }
-    false
+    out
 }
 
-/// Tokens that make a function able to panic; `debug_assert!` and the
-/// contracts macros are deliberately absent (debug-only by default).
-const BODY_PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-    "assert!(",
-    "assert_eq!(",
-    "assert_ne!(",
-];
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+fn no_print(file: &SourceFile) -> Vec<Violation> {
+    if file.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for k in 0..file.code.len() {
+        let line = file.tokens[file.code[k]].line;
+        if file.is_test_line(line) || file.allowed("no-print", line) {
+            continue;
+        }
+        if is_macro_call(file, k, PRINT_MACROS) {
+            out.push(Violation {
+                lint: "no-print",
+                path: file.path.clone(),
+                line,
+                message: format!("`{}!` is forbidden here", file.tok(file.code[k])),
+            });
+        }
+    }
+    out
+}
+
+/// Macro names that make a function able to panic on top of the
+/// always-banned set; `debug_assert!` and the contracts macros are
+/// deliberately absent (debug-only by default).
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 
 fn panics_doc(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let trimmed = line.trim_start();
-        let is_pub_fn = trimmed.starts_with("pub fn ")
-            || trimmed.starts_with("pub const fn ")
-            || trimmed.starts_with("pub async fn ");
-        if !is_pub_fn || file.is_test_line(lineno) || file.allowed("panics-doc", lineno) {
+    for f in file.tree.functions() {
+        let item = f.item;
+        if !item.vis_pub
+            || item.test
+            || file.is_test_line(item.line)
+            || file.allowed("panics-doc", item.line)
+        {
             continue;
         }
-        let Some((body_start, body_end)) = body_extent(&file.lines, idx) else {
-            continue; // trait method declaration or parse oddity
+        let Some((body_start, body_end)) = item.body else {
+            continue; // trait method declaration
         };
-        let can_panic = (body_start..body_end).any(|b| {
-            let l = &file.lines[b];
-            BODY_PANIC_TOKENS.iter().any(|t| contains_token(l, t))
-                && !file.allowed("no-panic", b + 1)
-        });
-        if can_panic && !doc_has_panics_section(file, idx) {
+        let can_panic = file
+            .code
+            .iter()
+            .enumerate()
+            .filter(|&(_, &i)| i >= body_start && i < body_end)
+            .any(|(k, &i)| {
+                let line = file.tokens[i].line;
+                (is_panic_method(file, k, PANIC_METHODS)
+                    || is_macro_call(file, k, PANIC_MACROS)
+                    || is_macro_call(file, k, ASSERT_MACROS))
+                    && !file.allowed("no-panic", line)
+            });
+        if can_panic && !item.doc.contains("# Panics") {
             out.push(Violation {
                 lint: "panics-doc",
                 path: file.path.clone(),
-                line: lineno,
+                line: item.line,
                 message: "pub fn can panic but its docs have no `# Panics` section".to_owned(),
             });
         }
@@ -225,163 +266,99 @@ fn panics_doc(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
-/// Finds the `{`-to-`}` extent (0-based line range, exclusive end) of
-/// the fn whose signature starts at line `sig`; `None` for braceless
-/// declarations.
-fn body_extent(lines: &[String], sig: usize) -> Option<(usize, usize)> {
-    let mut depth = 0i64;
-    let mut started = false;
-    for (idx, line) in lines.iter().enumerate().skip(sig) {
-        for b in line.bytes() {
-            match b {
-                b'{' => {
-                    depth += 1;
-                    started = true;
-                }
-                b'}' => depth -= 1,
-                b';' if !started && depth == 0 => return None,
-                _ => {}
-            }
-        }
-        if started && depth <= 0 {
-            return Some((sig, idx + 1));
-        }
-        if idx > sig + 400 {
-            break; // runaway guard: unbalanced braces
-        }
-    }
-    None
-}
-
-/// `true` when the doc block directly above line `sig` (0-based)
-/// contains a `# Panics` heading.
-fn doc_has_panics_section(file: &SourceFile, sig: usize) -> bool {
-    let mut idx = sig;
-    while idx > 0 {
-        idx -= 1;
-        let comment = &file.scrubbed.comments[idx];
-        let code = file.lines[idx].trim();
-        // The attached doc block: pure comment lines and attributes.
-        // Blank lines, code lines, and module docs (`//!`) end it.
-        let crossable = (code.is_empty() && !comment.is_empty() && !comment.starts_with("//!"))
-            || code.starts_with("#[");
-        if !crossable {
-            return false;
-        }
-        if comment.contains("# Panics") {
-            return true;
-        }
-    }
-    false
-}
-
 fn float_tolerance(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if file.is_test_line(lineno)
-            || file.in_tolerances[idx]
-            || file.allowed("float-tolerance", lineno)
+    for &i in &file.code {
+        let t = &file.tokens[i];
+        if t.kind != crate::lexer::TokenKind::Float {
+            continue;
+        }
+        let text = t.text(&file.text);
+        if !(text.contains("e-") || text.contains("E-")) {
+            continue;
+        }
+        let line = t.line;
+        if file.is_test_line(line)
+            || file.in_tolerances.get(line - 1).copied().unwrap_or(false)
+            || file.allowed("float-tolerance", line)
             || file.path.ends_with("tolerances.rs")
         {
             continue;
         }
         // A `const` definition *is* a named tolerance.
-        let trimmed = line.trim_start();
+        let trimmed = file.lines[line - 1].trim_start();
         if trimmed.starts_with("const ") || trimmed.starts_with("pub const ") {
             continue;
         }
-        if let Some(col) = find_negative_exponent_literal(line) {
-            out.push(Violation {
-                lint: "float-tolerance",
-                path: file.path.clone(),
-                line: lineno,
-                message: format!(
-                    "bare tolerance literal `{}` — name it in a `mod tolerances` or `const`",
-                    literal_at(line, col)
-                ),
-            });
-        }
+        out.push(Violation {
+            lint: "float-tolerance",
+            path: file.path.clone(),
+            line,
+            message: format!(
+                "bare tolerance literal `{text}` — name it in a `mod tolerances` or `const`"
+            ),
+        });
     }
     out
 }
 
-/// Finds a float literal with a negative exponent (`1e-9`, `5.0E-4`)
-/// and returns the column of its mantissa start.
-fn find_negative_exponent_literal(line: &str) -> Option<usize> {
-    let bytes = line.as_bytes();
-    for i in 0..bytes.len() {
-        if (bytes[i] == b'e' || bytes[i] == b'E')
-            && i > 0
-            && bytes[i - 1].is_ascii_digit()
-            && bytes.get(i + 1) == Some(&b'-')
-            && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
-        {
-            let mut start = i - 1;
-            while start > 0 && (bytes[start - 1].is_ascii_digit() || bytes[start - 1] == b'.') {
-                start -= 1;
-            }
-            return Some(start);
-        }
+fn unsafe_header(file: &SourceFile) -> Vec<Violation> {
+    if !file.path.ends_with("src/lib.rs") {
+        return Vec::new();
     }
-    None
-}
-
-/// Extracts the literal starting at `col` for the report message.
-fn literal_at(line: &str, col: usize) -> &str {
-    let bytes = line.as_bytes();
-    let mut end = col;
-    while end < bytes.len()
-        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'.' || bytes[end] == b'-')
-    {
-        end += 1;
+    // `#` `!` `[` `forbid` `(` `unsafe_code` `)` `]` in the code
+    // stream.
+    let want: &[&str] = &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let has_header = file.code.windows(want.len()).any(|w| {
+        w.iter()
+            .zip(want.iter())
+            .all(|(&i, &expect)| file.tok(i) == expect)
+    });
+    if has_header || file.allowed("unsafe-header", 1) {
+        return Vec::new();
     }
-    &line[col..end]
+    vec![Violation {
+        lint: "unsafe-header",
+        path: file.path.clone(),
+        line: 1,
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_owned(),
+    }]
 }
 
 /// The analytic core is written once, generically over `Scalar`; a
 /// `*_f64` free function is almost always a hand-maintained twin of
 /// an exact implementation. Only thin instantiation wrappers over a
 /// generic `_in` core are legitimate, and each carries an explicit
-/// `xtask:allow(no-twin-f64)` waiver. Methods (indented inside an
-/// `impl`) such as `to_f64` conversions are not flagged.
+/// `xtask:allow(no-twin-f64)` waiver. Methods (inside an `impl`) such
+/// as `to_f64` conversions are not flagged.
 fn no_twin_float(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if file.is_test_line(lineno) || file.allowed("no-twin-f64", lineno) {
+    for f in file.tree.functions() {
+        let item = f.item;
+        if !f.is_free
+            || item.test
+            || !item.name.ends_with("_f64")
+            || file.is_test_line(item.line)
+            || file.allowed("no-twin-f64", item.line)
+        {
             continue;
         }
-        // Free functions only: a column-0 `fn` item. Methods live
-        // indented inside an `impl` block and are exempt.
-        let Some(rest) = line
-            .strip_prefix("pub fn ")
-            .or_else(|| line.strip_prefix("pub(crate) fn "))
-            .or_else(|| line.strip_prefix("fn "))
-        else {
-            continue;
-        };
-        let name: String = rest
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if name.ends_with("_f64") {
-            out.push(Violation {
-                lint: "no-twin-f64",
-                path: file.path.clone(),
-                line: lineno,
-                message: format!(
-                    "free function `{name}` twins the float pipeline — implement the math \
-                     once in a generic `_in` core and keep only a waived thin wrapper"
-                ),
-            });
-        }
+        out.push(Violation {
+            lint: "no-twin-f64",
+            path: file.path.clone(),
+            line: item.line,
+            message: format!(
+                "free function `{}` twins the float pipeline — implement the math \
+                 once in a generic `_in` core and keep only a waived thin wrapper",
+                item.name
+            ),
+        });
     }
     out
 }
@@ -398,56 +375,39 @@ fn no_dyn_hot_loop(file: &SourceFile) -> Vec<Violation> {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        let Some(name) = fn_item_name(line) else {
-            continue;
-        };
-        if !(name.contains("batch") || name.contains("kernel")) {
+    for f in file.tree.functions() {
+        let item = f.item;
+        if !(item.name.contains("batch") || item.name.contains("kernel")) || item.test {
             continue;
         }
-        let Some((body_start, body_end)) = body_extent(&file.lines, idx) else {
-            continue; // trait method declaration or parse oddity
-        };
-        for body_idx in body_start..body_end {
-            let lineno = body_idx + 1;
-            if file.is_test_line(lineno) || file.allowed("no-dyn-hot-loop", lineno) {
-                continue;
-            }
-            if contains_token(&file.lines[body_idx], "dyn LocalRule") {
+        let (start, end) = item.extent;
+        let mut k = file.code.partition_point(|&i| i < start);
+        while k < file.code.len() && file.code[k] < end {
+            let i = file.code[k];
+            let line = file.tokens[i].line;
+            if file.tok(i) == "dyn"
+                && file
+                    .code
+                    .get(k + 1)
+                    .is_some_and(|&j| file.tok(j) == "LocalRule")
+                && !file.is_test_line(line)
+                && !file.allowed("no-dyn-hot-loop", line)
+            {
                 out.push(Violation {
                     lint: "no-dyn-hot-loop",
                     path: file.path.clone(),
-                    line: lineno,
+                    line,
                     message: format!(
-                        "`dyn LocalRule` inside hot-path fn `{name}` — monomorphize over \
-                         `R: LocalRule` (or waive a deliberate dynamic baseline)"
+                        "`dyn LocalRule` inside hot-path fn `{}` — monomorphize over \
+                         `R: LocalRule` (or waive a deliberate dynamic baseline)",
+                        item.name
                     ),
                 });
             }
+            k += 1;
         }
     }
     out
-}
-
-/// The identifier of the fn item whose signature starts on `line`,
-/// if any (visibility and `const`/`async` qualifiers allowed).
-fn fn_item_name(line: &str) -> Option<String> {
-    let mut rest = line.trim_start();
-    for prefix in ["pub(crate) ", "pub(super) ", "pub ", "const ", "async "] {
-        if let Some(stripped) = rest.strip_prefix(prefix) {
-            rest = stripped;
-        }
-    }
-    let rest = rest.strip_prefix("fn ")?;
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() {
-        None
-    } else {
-        Some(name)
-    }
 }
 
 /// `let _ = tx.send(…)` discards delivery failure: if the receiver is
@@ -456,50 +416,82 @@ fn fn_item_name(line: &str) -> Option<String> {
 /// propagate the `SendError` (as the pool's `submit` does with
 /// `SimulationError::PoolClosed`), branch on it, or shut a channel
 /// down by *dropping* the sender — never by throwing the result away.
-/// `try_send` is not matched (its result carries a would-block case
-/// that some callers legitimately drop); a deliberate drop carries an
-/// `xtask:allow(no-silent-send)` waiver.
+/// `try_send` is a different identifier token, so it is never matched;
+/// a deliberate drop carries an `xtask:allow(no-silent-send)` waiver.
 fn no_silent_send(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if file.is_test_line(lineno) || file.allowed("no-silent-send", lineno) {
+    let code = &file.code;
+    let mut k = 0usize;
+    while k < code.len() {
+        if file.tok(code[k]) != "let"
+            || code.get(k + 1).is_none_or(|&j| file.tok(j) != "_")
+            || code
+                .get(k + 2)
+                .is_none_or(|&j| !file.tokens[j].is_punct(b'='))
+        {
+            k += 1;
             continue;
         }
-        if line.trim_start().starts_with("let _ =") && contains_token(line, "send(") {
-            out.push(Violation {
-                lint: "no-silent-send",
-                path: file.path.clone(),
-                line: lineno,
-                message: "`let _ = …send(…)` silently drops a failed delivery — propagate \
-                          or branch on the `SendError` (or drop the sender to close)"
-                    .to_owned(),
-            });
+        let let_line = file.tokens[code[k]].line;
+        // Scan the statement: to the `;` at bracket depth 0.
+        let mut depth = 0i64;
+        let mut m = k + 3;
+        let mut send_line = None;
+        while m < code.len() {
+            let t = &file.tokens[code[m]];
+            if t.is_punct(b'(') || t.is_punct(b'[') || t.is_punct(b'{') {
+                depth += 1;
+            } else if t.is_punct(b')') || t.is_punct(b']') || t.is_punct(b'}') {
+                depth -= 1;
+            } else if t.is_punct(b';') && depth <= 0 {
+                break;
+            } else if file.tok(code[m]) == "send"
+                && code
+                    .get(m + 1)
+                    .is_some_and(|&j| file.tokens[j].is_punct(b'('))
+            {
+                send_line.get_or_insert(t.line);
+            }
+            m += 1;
         }
+        if let Some(send_line) = send_line {
+            let waived = file.allowed("no-silent-send", let_line)
+                || file.allowed("no-silent-send", send_line);
+            if !file.is_test_line(let_line) && !waived {
+                out.push(Violation {
+                    lint: "no-silent-send",
+                    path: file.path.clone(),
+                    line: let_line,
+                    message: "`let _ = …send(…)` silently drops a failed delivery — propagate \
+                              or branch on the `SendError` (or drop the sender to close)"
+                        .to_owned(),
+                });
+            }
+        }
+        k = m;
     }
     out
 }
 
-fn unsafe_header(file: &SourceFile) -> Vec<Violation> {
-    if !file.path.ends_with("src/lib.rs") {
-        return Vec::new();
+/// `true` when `line` (1-based) lies inside a `const`/`static` item
+/// per the tree — used by passes that exempt named constants.
+#[must_use]
+pub fn in_const_item(file: &SourceFile, line: usize) -> bool {
+    fn walk(items: &[crate::tree::Item], tokens: &[crate::lexer::Token], line: usize) -> bool {
+        items.iter().any(|item| {
+            let (s, e) = item.extent;
+            if s >= e || e > tokens.len() {
+                return false;
+            }
+            let covers = tokens[s].line <= line && line <= tokens[e - 1].line;
+            (covers && item.kind == ItemKind::Other && !item.name.is_empty())
+                || walk(&item.children, tokens, line)
+        })
     }
-    let has_header = file
-        .lines
-        .iter()
-        .any(|l| l.trim() == "#![forbid(unsafe_code)]");
-    if has_header || file.allowed("unsafe-header", 1) {
-        return Vec::new();
-    }
-    vec![Violation {
-        lint: "unsafe-header",
-        path: file.path.clone(),
-        line: 1,
-        message: "crate root lacks `#![forbid(unsafe_code)]`".to_owned(),
-    }]
+    walk(&file.tree.items, &file.tokens, line)
 }
 
 #[cfg(test)]
@@ -536,12 +528,32 @@ mod tests {
     }
 
     #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let f =
+            lib("#![forbid(unsafe_code)]\nfn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }\n");
+        assert!(no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_path_is_not_a_panic_macro() {
+        let f =
+            lib("#![forbid(unsafe_code)]\nfn f() { let _x = std::panic::catch_unwind(|| 1); }\n");
+        assert!(no_panic(&f).is_empty());
+    }
+
+    #[test]
     fn rng_lint_applies_even_in_tests() {
         let f = SourceFile::parse(
             "crates/x/tests/t.rs",
             FileKind::TestLike,
             "fn t() { let mut r = rand::thread_rng(); }\n",
         );
+        assert_eq!(no_unseeded_rng(&f).len(), 1);
+    }
+
+    #[test]
+    fn rand_random_path_fires() {
+        let f = lib("#![forbid(unsafe_code)]\nfn f() -> f64 { rand::random() }\n");
         assert_eq!(no_unseeded_rng(&f).len(), 1);
     }
 
@@ -570,6 +582,14 @@ mod tests {
     }
 
     #[test]
+    fn attribute_between_doc_and_fn_keeps_the_doc_attached() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\n/// Does.\n///\n/// # Panics\n///\n/// When.\n#[inline]\npub fn f(x: u8) {\n    assert!(x > 0);\n}\n",
+        );
+        assert!(panics_doc(&f).is_empty());
+    }
+
+    #[test]
     fn bare_exponent_literal_fires_and_const_is_exempt() {
         let f = lib(
             "#![forbid(unsafe_code)]\nconst EPS: f64 = 1e-9;\nfn f(x: f64) -> bool { x < 1e-9 }\n",
@@ -585,6 +605,12 @@ mod tests {
         assert_eq!(unsafe_header(&f).len(), 1);
         let g = SourceFile::parse("crates/x/src/other.rs", FileKind::Lib, "fn f() {}\n");
         assert!(unsafe_header(&g).is_empty());
+    }
+
+    #[test]
+    fn unsafe_header_tolerates_comments_between_tokens() {
+        let f = lib("#![forbid(unsafe_code)] // the wall\nfn f() {}\n");
+        assert!(unsafe_header(&f).is_empty());
     }
 
     #[test]
@@ -605,12 +631,22 @@ mod tests {
 
     #[test]
     fn f64_methods_and_test_helpers_are_exempt() {
-        // A method is indented inside its impl block; a test helper
-        // sits in a #[cfg(test)] region. Neither is a twin pipeline.
+        // A method lives inside its impl block; a test helper sits in
+        // a #[cfg(test)] region. Neither is a twin pipeline.
         let f = lib(
             "#![forbid(unsafe_code)]\nimpl X {\n    pub fn to_f64(&self) -> f64 { 0.0 }\n}\n#[cfg(test)]\nmod tests {\n    fn probe_f64() -> f64 { 0.0 }\n}\n",
         );
         assert!(no_twin_float(&f).is_empty());
+    }
+
+    #[test]
+    fn indented_free_fn_in_module_still_fires() {
+        // The old column-0 heuristic missed free fns inside `mod`
+        // blocks; the tree sees them.
+        let f = lib(
+            "#![forbid(unsafe_code)]\nmod inner {\n    pub fn cdf_f64(t: f64) -> f64 { t }\n}\n",
+        );
+        assert_eq!(no_twin_float(&f).len(), 1);
     }
 
     #[test]
@@ -645,6 +681,16 @@ mod tests {
     }
 
     #[test]
+    fn multiline_silent_send_fires_at_the_let() {
+        // The old line-oriented rule only saw single-line statements.
+        let f =
+            lib("#![forbid(unsafe_code)]\nfn f(tx: Tx) {\n    let _ =\n        tx.send(1);\n}\n");
+        let v = no_silent_send(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
     fn handled_sends_and_try_send_are_clean() {
         let f = lib(
             "#![forbid(unsafe_code)]\nfn f(tx: Tx) {\n    if tx.send(1).is_err() {\n        return;\n    }\n    let _ = tx.try_send(2);\n}\n",
@@ -663,6 +709,14 @@ mod tests {
     #[test]
     fn panic_token_inside_string_is_invisible() {
         let f = lib("#![forbid(unsafe_code)]\nfn f() -> &'static str { \"do not panic!(now)\" }\n");
+        assert!(no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn panic_token_inside_raw_byte_string_is_invisible() {
+        // The legacy scrubber mis-handled `br#"…"#`; the lexer lexes
+        // it as one opaque token.
+        let f = lib("#![forbid(unsafe_code)]\nfn f() -> &'static [u8] { br#\"x.unwrap()\"# }\n");
         assert!(no_panic(&f).is_empty());
     }
 }

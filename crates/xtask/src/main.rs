@@ -2,19 +2,37 @@
 
 #![forbid(unsafe_code)]
 
+use std::fmt::Write as _;
 use std::process::{Command, ExitCode};
-use xtask::{lint_workspace, lints::LINTS, render, repo_root};
+use xtask::{
+    analyses::ANALYSES, analyze_workspace, fingerprint, lint_workspace, lints::LINTS,
+    prune_allowlist, render, render_stale, repo_root, update_fingerprint, CheckReport,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
     match args.first().map(String::as_str) {
-        Some("lint") if args.iter().any(|a| a == "--list") => {
-            for lint in LINTS {
-                println!("{:<16} {}", lint.id, lint.summary);
-            }
+        Some("lint") if flag("--list") => {
+            print_checks(false);
             ExitCode::SUCCESS
         }
-        Some("lint") => run_lints(),
+        Some("lint") => run_lints(flag("--prune")),
+        Some("analyze") if flag("--list") => {
+            print_checks(true);
+            ExitCode::SUCCESS
+        }
+        Some("analyze") if flag("--update-fingerprint") => match update_fingerprint(repo_root()) {
+            Ok(path) => {
+                eprintln!("xtask analyze: wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("xtask analyze: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("analyze") => run_analyze(flag("--json")),
         Some("ci") => run_ci(),
         Some("metrics-check") => {
             if let Some(path) = args.get(1) {
@@ -34,10 +52,29 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--list] | ci | metrics-check <path> | chaos-check <path>>"
+                "usage: cargo xtask <lint [--list|--prune] | analyze [--list|--json|--update-fingerprint] | ci | metrics-check <path> | chaos-check <path>>"
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Every check as `(id, summary)` rows: the nine lints and, when
+/// `full`, the three analyses plus the fingerprint gate.
+fn check_rows(full: bool) -> Vec<(&'static str, &'static str)> {
+    let mut rows: Vec<(&'static str, &'static str)> =
+        LINTS.iter().map(|l| (l.id, l.summary)).collect();
+    if full {
+        rows.extend(ANALYSES.iter().map(|a| (a.id, a.summary)));
+        rows.push((fingerprint::CHECK_ID, fingerprint::SUMMARY));
+    }
+    rows
+}
+
+/// Prints the check table for `--list`.
+fn print_checks(full: bool) {
+    for (id, summary) in check_rows(full) {
+        println!("{id:<18} {summary}");
     }
 }
 
@@ -87,18 +124,45 @@ fn run_metrics_check(path: &str) -> ExitCode {
     }
 }
 
-/// Runs the static analysis; nonzero exit on any violation.
-fn run_lints() -> ExitCode {
+/// Reports one check run: violations, then stale waivers (pruning
+/// them first if asked). Returns the exit code.
+fn report(label: &str, report: &CheckReport, total_checks: usize, prune: bool) -> ExitCode {
+    let mut failed = false;
+    if !report.violations.is_empty() {
+        print!("{}", render(&report.violations));
+        failed = true;
+    }
+    if !report.stale.is_empty() {
+        if prune {
+            match prune_allowlist(repo_root(), &report.stale) {
+                Ok(dropped) => eprintln!("xtask {label}: pruned {dropped} stale waiver(s)"),
+                Err(message) => {
+                    eprintln!("xtask {label}: {message}");
+                    failed = true;
+                }
+            }
+        } else {
+            print!("{}", render_stale(&report.stale));
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "xtask {label}: {} violation(s), {} stale waiver(s)",
+            report.violations.len(),
+            report.stale.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask {label}: clean ({total_checks} checks)");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs the nine lints; nonzero exit on any violation or stale waiver.
+fn run_lints(prune: bool) -> ExitCode {
     match lint_workspace(repo_root()) {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("xtask lint: clean ({} rules)", LINTS.len());
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            print!("{}", render(&violations));
-            eprintln!("xtask lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
+        Ok(outcome) => report("lint", &outcome, LINTS.len(), prune),
         Err(message) => {
             eprintln!("xtask lint: {message}");
             ExitCode::FAILURE
@@ -106,7 +170,92 @@ fn run_lints() -> ExitCode {
     }
 }
 
-/// The local CI pipeline: fmt-check, lints, then the tier-1 tests.
+/// Runs the full analyzer (lints + analyses + fingerprint gate).
+fn run_analyze(json: bool) -> ExitCode {
+    match analyze_workspace(repo_root()) {
+        Ok(outcome) if json => {
+            print!("{}", render_json(&outcome));
+            if outcome.violations.is_empty() && outcome.stale.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Ok(outcome) => report("analyze", &outcome, check_rows(true).len(), false),
+        Err(message) => {
+            eprintln!("xtask analyze: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders an `analyze/v1` JSON document for editor/tooling
+/// integration: the check table plus every violation and stale
+/// waiver.
+fn render_json(outcome: &CheckReport) -> String {
+    let mut out = String::from("{\n  \"schema\": \"analyze/v1\",\n  \"checks\": [\n");
+    let rows = check_rows(true);
+    for (idx, (id, summary)) in rows.iter().enumerate() {
+        let comma = if idx + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{id}\", \"summary\": \"{}\"}}{comma}",
+            json_escape(summary)
+        );
+    }
+    out.push_str("  ],\n  \"violations\": [\n");
+    for (idx, v) in outcome.violations.iter().enumerate() {
+        let comma = if idx + 1 == outcome.violations.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"check\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{comma}",
+            v.lint,
+            json_escape(&v.path),
+            v.line,
+            json_escape(&v.message)
+        );
+    }
+    out.push_str("  ],\n  \"stale_waivers\": [\n");
+    for (idx, e) in outcome.stale.iter().enumerate() {
+        let comma = if idx + 1 == outcome.stale.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"check\": \"{}\", \"path\": \"{}\"}}{comma}",
+            e.lint,
+            json_escape(&e.path_fragment)
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping for the fields we emit.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The local CI pipeline: fmt-check, the full analyzer, then the
+/// tier-1 tests.
 fn run_ci() -> ExitCode {
     let steps: &[(&str, &[&str])] = &[
         ("cargo fmt --check", &["fmt", "--check"]),
@@ -117,7 +266,7 @@ fn run_ci() -> ExitCode {
     if !run_cargo(fmt.0, fmt.1) {
         return ExitCode::FAILURE;
     }
-    if run_lints() == ExitCode::FAILURE {
+    if run_analyze(false) == ExitCode::FAILURE {
         return ExitCode::FAILURE;
     }
     for (label, argv) in tests {

@@ -124,21 +124,30 @@ pub fn scrub(source: &str) -> Scrubbed {
                     }
                 }
             }
-            b'r' if matches!(next, Some(b'"' | b'#')) && !prev_is_ident(bytes, i) => {
-                // Raw string literal r"..." / r#"..."#.
+            b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                // Raw (r"…", r#"…"#) and byte-prefixed (b"…", br#"…"#)
+                // string literals. The byte prefix matters: `br#"…"#`
+                // contents are *raw* — handing them to the escape-aware
+                // ordinary-string scan below would let a trailing `\`
+                // swallow the closing quote and blank real code.
                 let start = i;
-                let mut j = i + 1;
+                let mut j = i;
+                if bytes[j] == b'b' {
+                    j += 1;
+                }
+                let is_raw = bytes.get(j) == Some(&b'r');
+                if is_raw {
+                    j += 1;
+                }
                 let mut hashes = 0usize;
                 while bytes.get(j) == Some(&b'#') {
                     hashes += 1;
                     j += 1;
                 }
-                if bytes.get(j) == Some(&b'"') {
-                    keep!(b'r');
-                    for _ in 0..hashes {
-                        keep!(b'#');
+                if is_raw && bytes.get(j) == Some(&b'"') {
+                    for &p in &bytes[start..=j] {
+                        keep!(p);
                     }
-                    keep!(b'"');
                     j += 1;
                     'raw: while j < bytes.len() {
                         if bytes[j] == b'"' {
@@ -160,7 +169,11 @@ pub fn scrub(source: &str) -> Scrubbed {
                     }
                     i = j;
                 } else {
-                    // `r` not starting a raw string (e.g. `r#ident`).
+                    // Not a raw string: `r#ident`, a plain identifier
+                    // starting with `r`/`b`, or a `b"…"`/`b'…'` prefix
+                    // whose literal the next iteration scans normally
+                    // (byte-string escapes follow ordinary-string
+                    // rules, so the `"` arm is exactly right for them).
                     keep!(bytes[start]);
                     i = start + 1;
                 }
@@ -213,18 +226,26 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
         }
         return (bytes.get(j) == Some(&b'\'')).then_some(j);
     }
-    // Unescaped: at most one char (possibly multibyte) then a quote.
-    let mut k = j;
-    while k < bytes.len() && k - j < 4 {
-        if bytes[k] == b'\'' {
-            return (k > j).then_some(k);
-        }
-        if bytes[k] == b'\n' {
-            return None;
-        }
-        k += 1;
+    // Unescaped: exactly one char (1–4 bytes, length from the UTF-8
+    // leading byte) then the closing quote. Scanning for "a quote
+    // within 4 bytes" instead would misread `<'a, 'b>` — a quote at
+    // distance 3 — as the char literal `'a, '`.
+    let first = *bytes.get(j)?;
+    if first == b'\'' || first == b'\n' {
+        return None;
     }
-    None
+    let k = j + utf8_len(first);
+    (bytes.get(k) == Some(&b'\'')).then_some(k)
+}
+
+/// Byte length of a UTF-8 scalar from its leading byte.
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0xf0..=0xf7 => 4,
+        0xe0..=0xef => 3,
+        0xc0..=0xdf => 2,
+        _ => 1,
+    }
 }
 
 #[cfg(test)]
@@ -282,5 +303,89 @@ mod tests {
     fn line_count_is_preserved() {
         let src = "a\n/* b\nc */\nd \"e\nf\"\n";
         assert_eq!(scrub(src).code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_byte_strings_are_raw_not_escaped() {
+        // Regression: `br#"…"#` used to fall into the escape-aware
+        // ordinary-string scan, so a trailing backslash swallowed the
+        // closing quote and the scrubber blanked the following code.
+        let s = scrub("let m = br#\"trailing slash \\\"#; let live = 1;\n");
+        assert!(
+            s.code.contains("let live = 1;"),
+            "code after the literal survives"
+        );
+        assert!(!s.code.contains("trailing"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_blanked() {
+        let s = scrub("let m = b\"panic! bytes\"; let c = b'x';\n");
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("let m = b\""));
+        assert!(s.code.contains("let c = b'"));
+    }
+
+    #[test]
+    fn identifiers_starting_with_b_or_r_survive() {
+        let s = scrub("let b = 1; let r = b + before(r);\n");
+        assert_eq!(s.code.trim_end(), "let b = 1; let r = b + before(r);");
+    }
+
+    #[test]
+    fn adjacent_lifetimes_are_not_a_char_literal() {
+        // Regression: the quote of `'b` sits 3 bytes after `'a`, which
+        // the old ≤4-byte scan misread as the char literal `'a, '`.
+        let s = scrub("fn f<'a, 'b>(x: &'a str, y: &'b str) {}\n");
+        assert!(s.code.contains("<'a, 'b>"));
+    }
+
+    #[test]
+    fn four_byte_char_literals_are_blanked() {
+        // Regression: a 4-byte scalar puts the closing quote at offset
+        // 4, one past the old scan bound, so `'😀'` leaked through as
+        // a "lifetime".
+        let s = scrub("let c = '😀'; let d = 1;\n");
+        assert!(!s.code.contains('😀'));
+        assert!(s.code.contains("let d = 1;"));
+    }
+
+    #[test]
+    fn scrub_and_lexer_agree_on_what_is_comment_or_literal() {
+        // Differential oracle: bytes the scrubber keeps verbatim must
+        // lie outside the lexer's comment/string/char tokens, and
+        // blanked bytes inside them — the two scanners implement the
+        // same lexical grammar independently.
+        let src = "fn f<'a>(x: &'a str) -> u8 { /* s /* t */ u */ \"q\\\"p\" ; b'\\n' ; r#\"w \" w\"# ; br\"v\" ; '\u{1F600}' ; 0x2e }\n";
+        let s = scrub(src);
+        let tokens = crate::lexer::lex(src);
+        let mut opaque = vec![false; src.len()];
+        for t in &tokens {
+            use crate::lexer::TokenKind;
+            if matches!(
+                t.kind,
+                TokenKind::LineComment(_)
+                    | TokenKind::BlockComment(_)
+                    | TokenKind::Str
+                    | TokenKind::RawStr
+                    | TokenKind::Char
+            ) {
+                for slot in &mut opaque[t.start..t.end] {
+                    *slot = true;
+                }
+            }
+        }
+        for (idx, (orig, kept)) in src.bytes().zip(s.code.bytes()).enumerate() {
+            if orig == b'\n' || orig == b' ' {
+                continue;
+            }
+            if !opaque[idx] {
+                assert_eq!(
+                    kept, orig,
+                    "byte {idx} ({:?}) outside literals must survive",
+                    orig as char
+                );
+            }
+        }
     }
 }

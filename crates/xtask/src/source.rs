@@ -1,11 +1,12 @@
-//! Per-file source model shared by every lint: the scrubbed text,
-//! the file's role in the workspace, which lines belong to test-only
-//! regions, and any inline `xtask:allow` waivers.
+//! Per-file source model shared by every pass: the token stream, the
+//! item tree, the file's role in the workspace, which lines belong to
+//! test-only regions, and any inline `xtask:allow` waivers.
 
-use crate::scrub::{scrub, Scrubbed};
+use crate::lexer::{lex, Token};
+use crate::tree::ItemTree;
 use std::path::Path;
 
-/// What role a file plays, which decides which lints apply to it.
+/// What role a file plays, which decides which passes apply to it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FileKind {
     /// Library code: the default, and the strictest tier.
@@ -14,27 +15,34 @@ pub enum FileKind {
     /// is its job, so the print lint does not apply.
     Bin,
     /// Tests, benches and examples: panic-style assertions and prints
-    /// are idiomatic there, so only the RNG lint applies.
+    /// are idiomatic there, so only the RNG passes apply.
     TestLike,
 }
 
-/// One parsed source file, ready for linting.
+/// One parsed source file, ready for analysis.
 #[derive(Clone, Debug)]
 pub struct SourceFile {
     /// Path relative to the repo root, with `/` separators.
     pub path: String,
-    /// The file's lint tier.
+    /// The file's analysis tier.
     pub kind: FileKind,
-    /// Scrubbed code and per-line comment text.
-    pub scrubbed: Scrubbed,
-    /// `lines[i]` is the scrubbed text of 1-based line `i + 1`.
+    /// The raw source text.
+    pub text: String,
+    /// The complete token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Indices into [`SourceFile::tokens`] of the non-comment tokens,
+    /// in order — the stream the code-level passes walk.
+    pub code: Vec<usize>,
+    /// The item tree (scope structure).
+    pub tree: ItemTree,
+    /// The raw source lines (`lines[i]` is 1-based line `i + 1`).
     pub lines: Vec<String>,
-    /// `true` for lines inside a `#[cfg(test)]` item.
+    /// `true` for lines inside a `#[cfg(test)]` / `#[test]` item.
     pub in_test: Vec<bool>,
     /// `true` for lines inside a `mod tolerances { .. }` block (the
     /// named-constants convention recognised by the float lint).
     pub in_tolerances: Vec<bool>,
-    /// Inline waivers: `allows[i]` holds the lint ids allowed on
+    /// Inline waivers: `allows[i]` holds the check ids allowed on
     /// 1-based line `i + 1`.
     pub allows: Vec<Vec<String>>,
 }
@@ -43,15 +51,23 @@ impl SourceFile {
     /// Builds the model for one file.
     #[must_use]
     pub fn parse(repo_relative_path: &str, kind: FileKind, source: &str) -> SourceFile {
-        let scrubbed = scrub(source);
-        let lines: Vec<String> = scrubbed.code.lines().map(str::to_owned).collect();
-        let in_test = attribute_regions(&lines, "#[cfg(test)");
-        let in_tolerances = mod_regions(&lines, "mod tolerances");
-        let allows = inline_allows(&scrubbed.comments, &lines);
+        let tokens = lex(source);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let tree = ItemTree::parse(&tokens, source);
+        let lines: Vec<String> = source.lines().map(str::to_owned).collect();
+        let line_count = lines.len();
+        let in_test = tree.test_lines(&tokens, line_count);
+        let in_tolerances = tree.mod_lines("tolerances", &tokens, line_count);
+        let allows = inline_allows(&tokens, source, line_count);
         SourceFile {
             path: repo_relative_path.to_owned(),
             kind,
-            scrubbed,
+            text: source.to_owned(),
+            tokens,
+            code,
+            tree,
             lines,
             in_test,
             in_tolerances,
@@ -59,12 +75,18 @@ impl SourceFile {
         }
     }
 
-    /// `true` when 1-based `line` carries an inline allow for `lint`.
+    /// The text of token `i` (an index into [`SourceFile::tokens`]).
     #[must_use]
-    pub fn allowed(&self, lint: &str, line: usize) -> bool {
+    pub fn tok(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// `true` when 1-based `line` carries an inline allow for `check`.
+    #[must_use]
+    pub fn allowed(&self, check: &str, line: usize) -> bool {
         self.allows
             .get(line - 1)
-            .is_some_and(|ids| ids.iter().any(|id| id == lint))
+            .is_some_and(|ids| ids.iter().any(|id| id == check))
     }
 
     /// `true` when 1-based `line` is inside test-only code.
@@ -94,118 +116,30 @@ pub fn classify(path: &Path) -> FileKind {
     FileKind::Lib
 }
 
-/// Marks the lines covered by any item annotated with an attribute
-/// starting with `marker` (e.g. `#[cfg(test)`), by brace-matching the
-/// first block that follows the attribute.
-fn attribute_regions(lines: &[String], marker: &str) -> Vec<bool> {
-    let mut region = vec![false; lines.len()];
-    let mut armed = false;
-    let mut depth = 0i64;
-    for (idx, line) in lines.iter().enumerate() {
-        let trimmed = line.trim();
-        if depth > 0 {
-            region[idx] = true;
-            depth += brace_delta(line);
-            if depth <= 0 {
-                depth = 0;
-            }
-            continue;
-        }
-        if trimmed.starts_with(marker) {
-            region[idx] = true;
-            let delta = brace_delta(line);
-            if delta > 0 {
-                depth = delta; // attribute and item share the line
-            } else {
-                armed = true;
-            }
-            continue;
-        }
-        if armed {
-            region[idx] = true;
-            // Attribute / doc lines between the marker and the item
-            // keep the arm; the first braced item consumes it.
-            let delta = brace_delta(line);
-            if delta > 0 {
-                armed = false;
-                depth = delta;
-            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") && trimmed.ends_with(';') {
-                // A braceless item (e.g. `#[cfg(test)] use x;`).
-                armed = false;
-            }
-        }
-    }
-    region
-}
-
-/// Marks the lines of every `mod <name> { .. }` block whose header
-/// starts with `header` (after optional `pub `).
-fn mod_regions(lines: &[String], header: &str) -> Vec<bool> {
-    let mut region = vec![false; lines.len()];
-    let mut depth = 0i64;
-    for (idx, line) in lines.iter().enumerate() {
-        let trimmed = line.trim().trim_start_matches("pub ");
-        if depth > 0 {
-            region[idx] = true;
-            depth += brace_delta(line);
-            if depth <= 0 {
-                depth = 0;
-            }
-            continue;
-        }
-        if trimmed.starts_with(header) {
-            region[idx] = true;
-            depth = brace_delta(line).max(1);
-        }
-    }
-    region
-}
-
-/// Net `{`/`}` balance of a (scrubbed) line.
-fn brace_delta(line: &str) -> i64 {
-    let mut delta = 0i64;
-    for b in line.bytes() {
-        match b {
-            b'{' => delta += 1,
-            b'}' => delta -= 1,
-            _ => {}
-        }
-    }
-    delta
-}
-
-/// Parses inline waivers of the form `xtask:allow(<lint-id>): reason`
-/// out of the per-line comment text. The reason is mandatory — a
-/// waiver without one is ignored, so it will still be reported.
+/// Parses inline waivers of the form `xtask:allow(<check-id>): reason`
+/// out of the comment tokens. The reason is mandatory — a waiver
+/// without one is ignored, so it will still be reported.
 ///
-/// A waiver on a pure-comment line (no code) also covers the next
-/// code line, so long reasons can sit above the statement they waive
-/// instead of fighting rustfmt's line width as a trailing comment.
-fn inline_allows(comments: &[String], code_lines: &[String]) -> Vec<Vec<String>> {
-    let line_count = code_lines.len();
+/// A waiver on a pure-comment line (no code tokens starting on it)
+/// also covers the next code line, so long reasons can sit above the
+/// statement they waive instead of fighting rustfmt's line width as a
+/// trailing comment.
+fn inline_allows(tokens: &[Token], source: &str, line_count: usize) -> Vec<Vec<String>> {
     let mut allows = vec![Vec::new(); line_count];
-    for (idx, comment) in comments.iter().enumerate().take(line_count) {
-        let mut rest = comment.as_str();
-        while let Some(pos) = rest.find("xtask:allow(") {
-            rest = &rest[pos + "xtask:allow(".len()..];
-            let Some(close) = rest.find(')') else { break };
-            let id = rest[..close].trim().to_owned();
-            let after = &rest[close + 1..];
-            let has_reason = after
-                .strip_prefix(':')
-                .is_some_and(|r| !r.trim().is_empty());
-            if has_reason && !id.is_empty() {
-                allows[idx].push(id);
-            }
-            rest = after;
+    let mut has_code = vec![false; line_count];
+    for t in tokens {
+        if t.is_comment() {
+            parse_allow_ids(t.text(source), &mut allows, t.line);
+        } else if t.line <= line_count {
+            has_code[t.line - 1] = true;
         }
     }
     for idx in 0..line_count {
-        if allows[idx].is_empty() || !code_lines[idx].trim().is_empty() {
+        if allows[idx].is_empty() || has_code[idx] {
             continue;
         }
         let mut next = idx + 1;
-        while next < line_count && code_lines[next].trim().is_empty() {
+        while next < line_count && !has_code[next] {
             next += 1;
         }
         if next < line_count {
@@ -214,6 +148,28 @@ fn inline_allows(comments: &[String], code_lines: &[String]) -> Vec<Vec<String>>
         }
     }
     allows
+}
+
+/// Extracts every reasoned `xtask:allow(id): reason` from one comment
+/// text into `allows[line - 1]`.
+fn parse_allow_ids(comment: &str, allows: &mut [Vec<String>], line: usize) {
+    let Some(slot) = allows.get_mut(line - 1) else {
+        return;
+    };
+    let mut rest = comment;
+    while let Some(pos) = rest.find("xtask:allow(") {
+        rest = &rest[pos + "xtask:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let id = rest[..close].trim().to_owned();
+        let after = &rest[close + 1..];
+        let has_reason = after
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if has_reason && !id.is_empty() {
+            slot.push(id);
+        }
+        rest = after;
+    }
 }
 
 #[cfg(test)]
@@ -286,5 +242,15 @@ mod tests {
         assert!(f.allowed("no-panic", 1));
         assert!(f.allowed("no-panic", 3));
         assert!(!f.allowed("no-panic", 4));
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_ignored() {
+        // The old line scrubber blanked string contents before the
+        // allow scan; the token model skips non-comment tokens, so a
+        // waiver "quoted" in code never silences anything.
+        let src = "let s = \"xtask:allow(no-panic): nope\"; s.unwrap();\n";
+        let f = SourceFile::parse("x.rs", FileKind::Lib, src);
+        assert!(!f.allowed("no-panic", 1));
     }
 }

@@ -1,0 +1,922 @@
+//! The brace/item tree: scope structure recovered from the token
+//! stream, giving every analysis pass per-function token ranges with
+//! `cfg(test)` / `#[test]` / doc-attribute awareness.
+//!
+//! This is deliberately *not* a full parser. It recognizes item
+//! boundaries (`fn`, `mod`, `impl`, `trait`, `struct`, …), attaches
+//! attributes and doc comments, brace-matches bodies, and records
+//! token-index ranges into the [`crate::lexer`] stream. Function
+//! bodies stay flat token ranges — passes walk them with their own
+//! small automata — but *containment* (which impl a method lives in,
+//! whether an item is test-only, where a module ends) is resolved
+//! here once, so no pass ever re-derives scope from indentation or
+//! line regexes again.
+
+use crate::lexer::{Doc, Token, TokenKind};
+
+/// What kind of item a tree node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function or method.
+    Fn,
+    /// A `mod` with or without a body.
+    Mod,
+    /// An `impl` block (the name is the self-type's last path
+    /// segment).
+    Impl,
+    /// A `trait` definition.
+    Trait,
+    /// Any other item (`struct`, `enum`, `const`, `use`, macro
+    /// invocation, …), kept for extent tracking.
+    Other,
+}
+
+/// One parsed parameter of a function item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Binding names in the pattern (`x`; both of `(a, b)`).
+    pub names: Vec<String>,
+    /// The declared type, as source text with single spaces between
+    /// tokens (empty for `self` receivers).
+    pub ty: String,
+}
+
+/// Function-specific signature details.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FnSig {
+    /// The parameters, in order (excluding `self` receivers).
+    pub params: Vec<Param>,
+    /// `true` when the function takes a `self` receiver (a method).
+    pub has_self: bool,
+    /// The declared return type, token texts joined with spaces
+    /// (empty when omitted).
+    pub ret: String,
+}
+
+/// One item node.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// The item's kind.
+    pub kind: ItemKind,
+    /// The item's name (empty for unnamed items; the self type for
+    /// impls).
+    pub name: String,
+    /// Raw text of each attached attribute (e.g. `#[cfg(test)]`).
+    pub attrs: Vec<String>,
+    /// Attached outer doc text, lines joined with `\n`.
+    pub doc: String,
+    /// `true` for `pub` / `pub(...)` items.
+    pub vis_pub: bool,
+    /// 1-based line of the item keyword.
+    pub line: usize,
+    /// Token-index extent of the whole item, attributes included
+    /// (half-open).
+    pub extent: (usize, usize),
+    /// Token-index range of the body *inside* the braces (half-open);
+    /// `None` for braceless items.
+    pub body: Option<(usize, usize)>,
+    /// Signature details, for `Fn` items.
+    pub sig: FnSig,
+    /// Child items (for `Mod` / `Impl` / `Trait` bodies).
+    pub children: Vec<Item>,
+    /// `true` when the item or an ancestor is `#[cfg(test)]` /
+    /// `#[test]`-marked.
+    pub test: bool,
+}
+
+/// A flattened view of one function with its containment context.
+#[derive(Clone, Debug)]
+pub struct FnView<'t> {
+    /// The function item.
+    pub item: &'t Item,
+    /// `Container::name` when the fn lives in an impl/trait/mod with
+    /// a name, else just `name`.
+    pub qualified: String,
+    /// `true` when the fn is a free function (not inside an impl or
+    /// trait).
+    pub is_free: bool,
+}
+
+/// The parsed item tree of one file.
+#[derive(Clone, Debug, Default)]
+pub struct ItemTree {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl ItemTree {
+    /// Parses the item structure of a lexed file.
+    #[must_use]
+    pub fn parse(tokens: &[Token], source: &str) -> ItemTree {
+        let mut parser = Parser { tokens, source };
+        ItemTree {
+            items: parser.items(0, tokens.len(), false),
+        }
+    }
+
+    /// Every function in the tree, depth first, with its container
+    /// qualification.
+    #[must_use]
+    pub fn functions(&self) -> Vec<FnView<'_>> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            collect_fns(item, None, true, &mut out);
+        }
+        out
+    }
+
+    /// Per-line map (index `i` = 1-based line `i + 1`) of lines
+    /// covered by test-only items.
+    #[must_use]
+    pub fn test_lines(&self, tokens: &[Token], line_count: usize) -> Vec<bool> {
+        let mut map = vec![false; line_count];
+        for item in &self.items {
+            mark_test_lines(item, tokens, &mut map);
+        }
+        map
+    }
+
+    /// Per-line map of lines inside any `mod <name> { … }` body.
+    #[must_use]
+    pub fn mod_lines(&self, name: &str, tokens: &[Token], line_count: usize) -> Vec<bool> {
+        let mut map = vec![false; line_count];
+        for item in &self.items {
+            if item.kind == ItemKind::Mod && item.name == name {
+                mark_lines(item, tokens, &mut map);
+            }
+            for child in &item.children {
+                if child.kind == ItemKind::Mod && child.name == name {
+                    mark_lines(child, tokens, &mut map);
+                }
+            }
+        }
+        map
+    }
+}
+
+fn collect_fns<'t>(item: &'t Item, container: Option<&str>, free: bool, out: &mut Vec<FnView<'t>>) {
+    if item.kind == ItemKind::Fn {
+        let qualified = match container {
+            Some(c) if !c.is_empty() => format!("{c}::{}", item.name),
+            _ => item.name.clone(),
+        };
+        out.push(FnView {
+            item,
+            qualified,
+            is_free: free,
+        });
+    }
+    let (child_container, child_free) = match item.kind {
+        ItemKind::Impl | ItemKind::Trait => (Some(item.name.as_str()), false),
+        ItemKind::Mod => (None, true),
+        _ => (container, free),
+    };
+    for child in &item.children {
+        collect_fns(child, child_container, child_free, out);
+    }
+}
+
+fn mark_test_lines(item: &Item, tokens: &[Token], map: &mut Vec<bool>) {
+    if item.test {
+        mark_lines(item, tokens, map);
+        return;
+    }
+    for child in &item.children {
+        mark_test_lines(child, tokens, map);
+    }
+}
+
+fn mark_lines(item: &Item, tokens: &[Token], map: &mut [bool]) {
+    let (start, end) = item.extent;
+    if start >= end || end > tokens.len() {
+        return;
+    }
+    let first = tokens[start].line;
+    let last = tokens[end - 1].line;
+    for line in first..=last {
+        if let Some(slot) = map.get_mut(line - 1) {
+            *slot = true;
+        }
+    }
+}
+
+/// Item qualifiers that may precede the defining keyword.
+const QUALIFIERS: &[&str] = &["const", "async", "unsafe", "extern", "default", "auto"];
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    source: &'a str,
+}
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.tokens[i].text(self.source)
+    }
+
+    /// Index of the next non-comment token at or after `i` within
+    /// `end`.
+    fn skip_comments(&self, mut i: usize, end: usize) -> usize {
+        while i < end && self.tokens[i].is_comment() {
+            i += 1;
+        }
+        i
+    }
+
+    /// Parses the items in token range `[start, end)`.
+    #[allow(clippy::too_many_lines)] // one block per item shape; the flow reads top to bottom
+    fn items(&mut self, start: usize, end: usize, inherited_test: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < end {
+            let tok = &self.tokens[i];
+            // Leading doc comments and attributes attach to the item.
+            let item_start = i;
+            let mut doc_lines: Vec<String> = Vec::new();
+            let mut attrs: Vec<String> = Vec::new();
+            loop {
+                if i >= end {
+                    break;
+                }
+                let t = &self.tokens[i];
+                match t.kind {
+                    TokenKind::LineComment(Doc::Outer) | TokenKind::BlockComment(Doc::Outer) => {
+                        doc_lines.push(t.text(self.source).to_owned());
+                        i += 1;
+                    }
+                    TokenKind::LineComment(_) | TokenKind::BlockComment(_) => {
+                        i += 1;
+                    }
+                    TokenKind::Punct(b'#') => {
+                        // `#[…]` outer attribute; `#![…]` inner ones
+                        // are consumed but not attached.
+                        let j = self.skip_comments(i + 1, end);
+                        let (j, inner) = if j < end && self.tokens[j].is_punct(b'!') {
+                            (self.skip_comments(j + 1, end), true)
+                        } else {
+                            (j, false)
+                        };
+                        if j < end && self.tokens[j].is_punct(b'[') {
+                            let close = self.match_delim(j, end, b'[', b']');
+                            let text = self.span_text(i, close + 1);
+                            if !inner {
+                                attrs.push(text);
+                            }
+                            i = close + 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if i >= end {
+                break;
+            }
+            let _ = tok;
+
+            // Visibility and qualifiers.
+            let mut vis_pub = false;
+            let kw_probe = i;
+            let mut k = i;
+            while k < end {
+                let t = &self.tokens[k];
+                if t.kind == TokenKind::Ident && self.text(k) == "pub" {
+                    vis_pub = true;
+                    k = self.skip_comments(k + 1, end);
+                    if k < end && self.tokens[k].is_punct(b'(') {
+                        k = self.skip_comments(self.match_delim(k, end, b'(', b')') + 1, end);
+                    }
+                } else if t.kind == TokenKind::Ident
+                    && QUALIFIERS.contains(&self.text(k))
+                    && self.next_starts_item(k + 1, end)
+                {
+                    k = self.skip_comments(k + 1, end);
+                    // `extern "C"` carries a literal.
+                    if k < end && self.tokens[k].kind == TokenKind::Str {
+                        k = self.skip_comments(k + 1, end);
+                    }
+                } else {
+                    break;
+                }
+            }
+            i = k;
+            if i >= end {
+                break;
+            }
+
+            let test = inherited_test || attrs.iter().any(|a| attr_is_test(a));
+            let keyword = if self.tokens[i].kind == TokenKind::Ident {
+                self.text(i).to_owned()
+            } else {
+                String::new()
+            };
+            let doc = doc_lines.join("\n");
+            let item = match keyword.as_str() {
+                "fn" => self.parse_fn(item_start, i, end, attrs, doc, vis_pub, test),
+                "mod" => self.parse_block_item(
+                    ItemKind::Mod,
+                    item_start,
+                    i,
+                    end,
+                    attrs,
+                    doc,
+                    vis_pub,
+                    test,
+                ),
+                "trait" => self.parse_block_item(
+                    ItemKind::Trait,
+                    item_start,
+                    i,
+                    end,
+                    attrs,
+                    doc,
+                    vis_pub,
+                    test,
+                ),
+                "impl" => self.parse_block_item(
+                    ItemKind::Impl,
+                    item_start,
+                    i,
+                    end,
+                    attrs,
+                    doc,
+                    vis_pub,
+                    test,
+                ),
+                _ => self.parse_other(item_start, i, end, attrs, doc, vis_pub, test),
+            };
+            i = item.extent.1.max(kw_probe + 1);
+            out.push(item);
+        }
+        out
+    }
+
+    /// `true` when, skipping comments, an item keyword follows — used
+    /// to tell the qualifier `const` in `const fn` from a `const`
+    /// item.
+    fn next_starts_item(&self, i: usize, end: usize) -> bool {
+        let j = self.skip_comments(i, end);
+        j < end
+            && self.tokens[j].kind == TokenKind::Ident
+            && matches!(self.text(j), "fn" | "trait" | "impl" | "unsafe" | "extern")
+    }
+
+    /// Finds the matching closer for the opener at `open`; returns
+    /// the closer's index (or `end - 1` when unbalanced).
+    fn match_delim(&self, open: usize, end: usize, o: u8, c: u8) -> usize {
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < end {
+            let t = &self.tokens[i];
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Source-order token texts joined with single spaces.
+    fn span_text(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        for i in start..end.min(self.tokens.len()) {
+            if self.tokens[i].is_comment() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.text(i));
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)] // item-shape parser; the fields land in one struct
+    fn parse_fn(
+        &mut self,
+        item_start: usize,
+        kw: usize,
+        end: usize,
+        attrs: Vec<String>,
+        doc: String,
+        vis_pub: bool,
+        test: bool,
+    ) -> Item {
+        let line = self.tokens[kw].line;
+        let mut i = self.skip_comments(kw + 1, end);
+        let name = if i < end && self.tokens[i].kind == TokenKind::Ident {
+            let n = self.text(i).to_owned();
+            i += 1;
+            n
+        } else {
+            String::new()
+        };
+        // Generics: angle-matched, ignoring the `>` of `->`.
+        i = self.skip_comments(i, end);
+        if i < end && self.tokens[i].is_punct(b'<') {
+            i = self.skip_angles(i, end);
+        }
+        // Parameters.
+        i = self.skip_comments(i, end);
+        let mut sig = FnSig::default();
+        if i < end && self.tokens[i].is_punct(b'(') {
+            let close = self.match_delim(i, end, b'(', b')');
+            sig = self.parse_params(i + 1, close);
+            i = close + 1;
+        }
+        // Return type: up to `{`, `;`, or `where`.
+        i = self.skip_comments(i, end);
+        let mut ret_tokens: Vec<usize> = Vec::new();
+        if i + 1 < end && self.tokens[i].is_punct(b'-') && self.tokens[i + 1].is_punct(b'>') {
+            i += 2;
+            let mut angle = 0i64;
+            while i < end {
+                let t = &self.tokens[i];
+                if t.is_comment() {
+                    i += 1;
+                    continue;
+                }
+                if angle == 0
+                    && (t.is_punct(b'{')
+                        || t.is_punct(b';')
+                        || (t.kind == TokenKind::Ident && self.text(i) == "where"))
+                {
+                    break;
+                }
+                if t.is_punct(b'<') {
+                    angle += 1;
+                } else if t.is_punct(b'>') && !self.tokens[i - 1].is_punct(b'-') {
+                    angle -= 1;
+                }
+                ret_tokens.push(i);
+                i += 1;
+            }
+        }
+        sig.ret = {
+            let mut out = String::new();
+            for &t in &ret_tokens {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(self.text(t));
+            }
+            out
+        };
+        // Where clause / body.
+        while i < end && !self.tokens[i].is_punct(b'{') && !self.tokens[i].is_punct(b';') {
+            i += 1;
+        }
+        let (body, extent_end) = if i < end && self.tokens[i].is_punct(b'{') {
+            let close = self.match_delim(i, end, b'{', b'}');
+            (Some((i + 1, close)), close + 1)
+        } else {
+            (None, (i + 1).min(end))
+        };
+        Item {
+            kind: ItemKind::Fn,
+            name,
+            attrs,
+            doc,
+            vis_pub,
+            line,
+            extent: (item_start, extent_end),
+            body,
+            sig,
+            children: Vec::new(),
+            test,
+        }
+    }
+
+    /// Skips a `<…>` group starting at `open`, tolerant of `->` and
+    /// `=>` inside (their `>` is not a closer).
+    fn skip_angles(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < end {
+            let t = &self.tokens[i];
+            if t.is_punct(b'<') {
+                depth += 1;
+            } else if t.is_punct(b'>')
+                && !(i > 0
+                    && (self.tokens[i - 1].is_punct(b'-') || self.tokens[i - 1].is_punct(b'=')))
+            {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parses a parameter list in `[start, end)` (inside the parens).
+    fn parse_params(&self, start: usize, end: usize) -> FnSig {
+        let mut sig = FnSig::default();
+        let mut depth = 0i64;
+        let mut piece_start = start;
+        let mut pieces: Vec<(usize, usize)> = Vec::new();
+        for i in start..end {
+            let t = &self.tokens[i];
+            if t.is_punct(b'(') || t.is_punct(b'[') || t.is_punct(b'<') {
+                depth += 1;
+            } else if t.is_punct(b')')
+                || t.is_punct(b']')
+                || (t.is_punct(b'>') && !self.tokens[i - 1].is_punct(b'-'))
+            {
+                depth -= 1;
+            } else if t.is_punct(b',') && depth == 0 {
+                pieces.push((piece_start, i));
+                piece_start = i + 1;
+            }
+        }
+        if piece_start < end {
+            pieces.push((piece_start, end));
+        }
+        for (ps, pe) in pieces {
+            // A `self` receiver: any piece whose idents are within
+            // {self, mut} plus `&`/lifetime sugar.
+            let idents: Vec<&str> = (ps..pe)
+                .filter(|&i| self.tokens[i].kind == TokenKind::Ident)
+                .map(|i| self.text(i))
+                .collect();
+            if idents.contains(&"self") {
+                sig.has_self = true;
+                continue;
+            }
+            // Split at the first top-level `:` (not `::`).
+            let mut colon = None;
+            let mut d = 0i64;
+            for i in ps..pe {
+                let t = &self.tokens[i];
+                if t.is_punct(b'(') || t.is_punct(b'[') || t.is_punct(b'<') {
+                    d += 1;
+                } else if t.is_punct(b')') || t.is_punct(b']') || t.is_punct(b'>') {
+                    d -= 1;
+                } else if t.is_punct(b':')
+                    && d == 0
+                    && !(i + 1 < pe && self.tokens[i + 1].is_punct(b':'))
+                    && !(i > ps && self.tokens[i - 1].is_punct(b':'))
+                {
+                    colon = Some(i);
+                    break;
+                }
+            }
+            let Some(colon) = colon else { continue };
+            let names = (ps..colon)
+                .filter(|&i| self.tokens[i].kind == TokenKind::Ident)
+                .map(|i| self.text(i).to_owned())
+                .filter(|n| n != "mut" && n != "ref")
+                .collect();
+            sig.params.push(Param {
+                names,
+                ty: self.span_text(colon + 1, pe),
+            });
+        }
+        sig
+    }
+
+    /// Parses a `mod` / `trait` / `impl` item, recursing into its
+    /// body.
+    #[allow(clippy::too_many_arguments)] // item-shape parser; the fields land in one struct
+    fn parse_block_item(
+        &mut self,
+        kind: ItemKind,
+        item_start: usize,
+        kw: usize,
+        end: usize,
+        attrs: Vec<String>,
+        doc: String,
+        vis_pub: bool,
+        test: bool,
+    ) -> Item {
+        let line = self.tokens[kw].line;
+        let mut i = self.skip_comments(kw + 1, end);
+        let name = if kind == ItemKind::Impl {
+            self.impl_self_type(&mut i, end)
+        } else if i < end && self.tokens[i].kind == TokenKind::Ident {
+            let n = self.text(i).to_owned();
+            i += 1;
+            n
+        } else {
+            String::new()
+        };
+        while i < end && !self.tokens[i].is_punct(b'{') && !self.tokens[i].is_punct(b';') {
+            i += 1;
+        }
+        let (body, children, extent_end) = if i < end && self.tokens[i].is_punct(b'{') {
+            let close = self.match_delim(i, end, b'{', b'}');
+            let children = self.items(i + 1, close, test);
+            (Some((i + 1, close)), children, close + 1)
+        } else {
+            (None, Vec::new(), (i + 1).min(end))
+        };
+        Item {
+            kind,
+            name,
+            attrs,
+            doc,
+            vis_pub,
+            line,
+            extent: (item_start, extent_end),
+            body,
+            sig: FnSig::default(),
+            children,
+            test,
+        }
+    }
+
+    /// Extracts the self-type name from an impl header: the last
+    /// angle-depth-0 ident after `for` (trait impls) or after the
+    /// generics (inherent impls). Leaves `i` after the header scan.
+    fn impl_self_type(&self, i: &mut usize, end: usize) -> String {
+        let mut j = self.skip_comments(*i, end);
+        if j < end && self.tokens[j].is_punct(b'<') {
+            j = self.skip_angles(j, end);
+        }
+        let mut name = String::new();
+        let mut angle = 0i64;
+        while j < end && !self.tokens[j].is_punct(b'{') {
+            let t = &self.tokens[j];
+            if t.is_punct(b'<') {
+                angle += 1;
+            } else if t.is_punct(b'>') && !(j > 0 && self.tokens[j - 1].is_punct(b'-')) {
+                angle -= 1;
+            } else if angle == 0 && t.kind == TokenKind::Ident {
+                let text = self.text(j);
+                if text == "for" {
+                    // `impl Trait for Type`: the self type restarts here.
+                    name.clear();
+                } else if text == "where" {
+                    break;
+                } else {
+                    // `a::b::Type`: later segments overwrite.
+                    text.clone_into(&mut name);
+                }
+            }
+            j += 1;
+        }
+        *i = j;
+        name
+    }
+
+    /// Any other item: consumed to its `;` or balanced `{ … }`
+    /// (whichever comes first at depth 0), without recursing.
+    #[allow(clippy::too_many_arguments)] // item-shape parser; the fields land in one struct
+    fn parse_other(
+        &mut self,
+        item_start: usize,
+        kw: usize,
+        end: usize,
+        attrs: Vec<String>,
+        doc: String,
+        vis_pub: bool,
+        test: bool,
+    ) -> Item {
+        let line = self.tokens[kw].line;
+        let keyword = if self.tokens[kw].kind == TokenKind::Ident {
+            self.text(kw).to_owned()
+        } else {
+            String::new()
+        };
+        // The name, when the shape has one (`struct X`, `const X`,
+        // `macro_rules! x`).
+        let mut name = String::new();
+        let probe = self.skip_comments(kw + 1, end);
+        if probe < end && self.tokens[probe].kind == TokenKind::Ident {
+            self.text(probe).clone_into(&mut name);
+        } else if probe + 1 < end
+            && self.tokens[probe].is_punct(b'!')
+            && self.tokens[probe + 1].kind == TokenKind::Ident
+        {
+            self.text(probe + 1).clone_into(&mut name);
+        }
+        let mut i = kw;
+        let mut extent_end = end;
+        while i < end {
+            let t = &self.tokens[i];
+            if t.is_punct(b';') {
+                extent_end = i + 1;
+                break;
+            }
+            if t.is_punct(b'{') || t.is_punct(b'[') {
+                // `const X: T = { … };` continues past the block;
+                // `struct X { … }` and macro bodies end at it.
+                let (o, c) = if t.is_punct(b'{') {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                let close = self.match_delim(i, end, o, c);
+                if keyword == "const" || keyword == "static" || keyword == "type" {
+                    i = close + 1;
+                    continue;
+                }
+                extent_end = close + 1;
+                break;
+            }
+            if t.is_punct(b'(') {
+                i = self.match_delim(i, end, b'(', b')') + 1;
+                continue;
+            }
+            i += 1;
+        }
+        if i >= end {
+            extent_end = end;
+        }
+        Item {
+            kind: ItemKind::Other,
+            name,
+            attrs,
+            doc,
+            vis_pub,
+            line,
+            extent: (item_start, extent_end),
+            body: None,
+            sig: FnSig::default(),
+            children: Vec::new(),
+            test,
+        }
+    }
+}
+
+/// `true` for attributes that mark an item test-only.
+fn attr_is_test(attr: &str) -> bool {
+    let squeezed: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    squeezed == "#[test]"
+        || squeezed.starts_with("#[cfg(test")
+        || squeezed.starts_with("#[cfg(any(test")
+        || squeezed.starts_with("#[cfg(all(test")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Vec<Token>, ItemTree) {
+        let toks = lex(src);
+        let tree = ItemTree::parse(&toks, src);
+        (toks, tree)
+    }
+
+    #[test]
+    fn free_fn_and_method_are_qualified() {
+        let src = "fn free() {}\nimpl Widget {\n    pub fn method(&self) -> u64 { 0 }\n}\n";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].qualified, "free");
+        assert!(fns[0].is_free);
+        assert_eq!(fns[1].qualified, "Widget::method");
+        assert!(!fns[1].is_free);
+        assert!(fns[1].item.vis_pub);
+        assert!(fns[1].item.sig.has_self);
+        assert_eq!(fns[1].item.sig.ret, "u64");
+    }
+
+    #[test]
+    fn trait_impl_self_type_wins_over_trait_name() {
+        let src = "impl Kernel for ThresholdKernel { fn decide(&self) {} }\n\
+                   impl<R: LocalRule + ?Sized> Kernel for GenericKernel<'_, R> { fn go(&self) {} }\n\
+                   impl SampleRange<f64> for core::ops::Range<f64> { fn sample(self) {} }\n";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        let names: Vec<&str> = fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ThresholdKernel::decide",
+                "GenericKernel::go",
+                "Range::sample"
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_children_and_lines() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\nfn after() {}\n";
+        let (toks, t) = tree(src);
+        let fns = t.functions();
+        assert!(
+            !fns.iter()
+                .find(|f| f.qualified == "live")
+                .unwrap()
+                .item
+                .test
+        );
+        assert!(fns.iter().find(|f| f.qualified == "t").unwrap().item.test);
+        assert!(
+            !fns.iter()
+                .find(|f| f.qualified == "after")
+                .unwrap()
+                .item
+                .test
+        );
+        let lines = t.test_lines(&toks, 7);
+        assert!(!lines[0]);
+        assert!(lines[2] && lines[3] && lines[4]);
+        assert!(!lines[6]);
+    }
+
+    #[test]
+    fn cfg_test_single_fn_is_test() {
+        let src = "#[cfg(test)]\nfn helper() { 1 }\nfn live() {}\n";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        assert!(fns[0].item.test);
+        assert!(!fns[1].item.test);
+    }
+
+    #[test]
+    fn params_and_types_are_captured() {
+        let src = "fn f(seed: u64, mut xs: Vec<f64>, (a, b): (u8, u8)) -> Option<StdRng> {}";
+        let (_, t) = tree(src);
+        let sig = &t.functions()[0].item.sig;
+        assert_eq!(sig.params.len(), 3);
+        assert_eq!(sig.params[0].names, vec!["seed"]);
+        assert_eq!(sig.params[0].ty, "u64");
+        assert_eq!(sig.params[1].names, vec!["xs"]);
+        assert_eq!(sig.params[1].ty, "Vec < f64 >");
+        assert_eq!(sig.params[2].names, vec!["a", "b"]);
+        assert_eq!(sig.ret, "Option < StdRng >");
+    }
+
+    #[test]
+    fn fn_with_generics_and_where_clause() {
+        let src = "pub fn run<K: Kernel, F: Fn() -> u64>(k: &K, f: F) -> u64 where K: Sync { f() }";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        assert_eq!(fns[0].qualified, "run");
+        assert_eq!(fns[0].item.sig.params.len(), 2);
+        assert_eq!(fns[0].item.sig.ret, "u64");
+        assert!(fns[0].item.body.is_some());
+    }
+
+    #[test]
+    fn doc_text_attaches_to_the_item() {
+        let src =
+            "/// Does things.\n///\n/// # Panics\n///\n/// Always.\npub fn f() { panic!(\"x\") }\n";
+        let (_, t) = tree(src);
+        let f = &t.functions()[0];
+        assert!(f.item.doc.contains("# Panics"));
+    }
+
+    #[test]
+    fn tolerances_mod_lines_are_mapped() {
+        let src = "mod tolerances {\n    pub const EPS: f64 = 1e-9;\n}\nconst OTHER: f64 = 0.5;\n";
+        let (toks, t) = tree(src);
+        let lines = t.mod_lines("tolerances", &toks, 4);
+        assert!(lines[0] && lines[1] && lines[2]);
+        assert!(!lines[3]);
+    }
+
+    #[test]
+    fn const_item_with_block_initializer_ends_at_semicolon() {
+        let src = "const X: [u8; 2] = { let a = 1; [a, a] };\nfn after() {}\n";
+        let (_, t) = tree(src);
+        assert_eq!(t.items.len(), 2);
+        assert_eq!(t.items[1].name, "after");
+    }
+
+    #[test]
+    fn macro_invocations_and_macro_rules_are_consumed() {
+        let src = "int_sample_range!(\n    i32 => u32,\n);\nmacro_rules! keep { ($b:expr) => {{ }}; }\nfn after() {}\n";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].qualified, "after");
+    }
+
+    #[test]
+    fn trait_decl_methods_have_no_body() {
+        let src = "trait K: Sync { fn players(&self) -> usize;\n fn go(&self) { } }";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].item.body.is_none());
+        assert!(fns[1].item.body.is_some());
+        assert_eq!(fns[0].qualified, "K::players");
+    }
+
+    #[test]
+    fn nested_mods_qualify_and_inherit() {
+        let src = "pub mod rngs { pub fn helper() {} }\n#[cfg(test)]\nmod outer { mod inner { fn deep() {} } }\n";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        assert_eq!(fns[0].qualified, "helper");
+        assert!(fns[0].is_free);
+        assert!(
+            fns.iter()
+                .find(|f| f.qualified == "deep")
+                .unwrap()
+                .item
+                .test
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Fixture for the determinism-flow analysis: seed provenance.
+
+/// BAD: launders an arbitrary value into a generator — the caller
+/// could pass wall-clock time and nothing would notice.
+fn launder(x: u64) -> StdRng {
+    StdRng::seed_from_u64(x)
+}
+
+/// BAD: the binding chain never touches anything seed-flavored.
+fn chained(x: u64) -> StdRng {
+    let mixed = x ^ 0xabcd;
+    StdRng::seed_from_u64(mixed)
+}
+
+/// GOOD: the parameter name carries the provenance.
+fn from_seed_param(seed: u64, batch: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix(seed ^ batch.wrapping_mul(0x9e37)))
+}
+
+/// GOOD: a let-bound local inherits provenance from its initializer.
+fn via_local(seed: u64) -> StdRng {
+    let derived = splitmix(seed);
+    StdRng::seed_from_u64(derived)
+}
+
+/// GOOD: fixed literals and named constants are deterministic origins.
+const SALT: u64 = 17;
+fn fixed() -> (StdRng, StdRng) {
+    (StdRng::seed_from_u64(42), StdRng::seed_from_u64(SALT))
+}
+
+/// GOOD: a struct field named seed is a trusted origin.
+impl Runner {
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Waived: an explicitly justified exception stays silent.
+fn waived(x: u64) -> StdRng {
+    // xtask:allow(determinism-flow): x is a replay cursor, provenance documented at the call sites
+    StdRng::seed_from_u64(x)
+}
+
+/// BAD: let-binding the generator does not hide the call site.
+fn bound(x: u64) -> StdRng {
+    let rng = StdRng::seed_from_u64(x);
+    rng
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may seed from whatever it likes.
+    fn probe(x: u64) -> StdRng {
+        StdRng::seed_from_u64(x)
+    }
+}

@@ -1,0 +1,53 @@
+//! Fixture for the hot-path-alloc analysis: allocation in the
+//! monomorphized kernel/refill path.
+
+/// BAD: collect inside the batch runner.
+fn run_batch<K: Kernel>(kernel: &K, count: u64) -> Vec<u64> {
+    (0..count).map(|i| kernel.score(i)).collect()
+}
+
+impl BufferedUniforms {
+    /// BAD: clone and a vec! literal in the refill path.
+    fn refill(&mut self) {
+        let staged = self.buffer.clone();
+        let scratch = vec![0.0f64; 4];
+        let _ = (staged, scratch);
+    }
+
+    /// GOOD: the straight buffer walk allocates nothing.
+    fn next_unit(&mut self) -> f64 {
+        let sample = self.buffer[self.next];
+        self.next += 1;
+        sample
+    }
+}
+
+impl ThresholdKernel {
+    /// BAD: Vec::new inside a decision method.
+    fn decide(&self, player: usize, input: f64) -> Bin {
+        let mut trace: Vec<f64> = Vec::new();
+        trace.push(input);
+        Bin::Zero
+    }
+
+    /// GOOD: construction happens once per run, off the hot path.
+    fn build(thresholds: &[Rational]) -> ThresholdKernel {
+        let converted: Vec<f64> = thresholds.iter().map(Rational::to_f64).collect();
+        ThresholdKernel { thresholds: converted }
+    }
+}
+
+/// GOOD: cold helpers may allocate freely.
+fn summarize(totals: &[u64]) -> Vec<u64> {
+    totals.to_vec()
+}
+
+impl ScalarUniforms {
+    /// Waived: a justified exception inside the hot path stays silent.
+    fn next_unit(&mut self) -> f64 {
+        // xtask:allow(hot-path-alloc): fixture waiver — audit probe clones a 2-element array
+        let probe = self.audit.clone();
+        let _ = probe;
+        self.rng.gen_range(0.0..1.0)
+    }
+}

@@ -1,0 +1,60 @@
+//! Fixture for the lock-discipline analysis: guards across blocking
+//! calls.
+
+/// BAD: recv while holding the queue lock.
+fn recv_under_lock(queue: &Mutex<Receiver<u64>>) -> Option<u64> {
+    let guard = queue.lock().unwrap();
+    guard.recv().ok()
+}
+
+/// BAD: join while a helper-acquired guard is live.
+fn join_under_helper(pool: &Pool) {
+    let sup = pool.lock_supervisor();
+    for handle in sup.handles.iter() {
+        let _ = handle.join();
+    }
+}
+
+/// BAD: a let-else bound read guard across a send.
+fn send_under_read(state: &RwLock<u8>, tx: &Sender<u8>) {
+    let Ok(snapshot) = state.read() else { return };
+    let _r = tx.send(*snapshot);
+}
+
+/// GOOD: the guard's block ends before the blocking call.
+fn scoped(queue: &Mutex<Receiver<u64>>, done: &Receiver<()>) {
+    let pending = {
+        let guard = queue.lock().unwrap();
+        guard.try_recv().ok()
+    };
+    let _ = done.recv();
+    let _ = pending;
+}
+
+/// GOOD: explicit drop releases the guard first.
+fn dropped(m: &Mutex<u8>, handle: JoinHandle<()>) {
+    let guard = m.lock().unwrap();
+    drop(guard);
+    let _r = handle.join();
+}
+
+/// GOOD: extracting owned data in one statement binds no guard.
+fn extracted(pool: &Pool) {
+    let handles: Vec<JoinHandle<()>> = pool.lock_supervisor().handles.drain(..).collect();
+    for handle in handles {
+        let _r = handle.join();
+    }
+}
+
+/// GOOD: an io read with a buffer argument is not a lock.
+fn io_read(src: &mut File, rx: &Receiver<u8>, buf: &mut [u8]) {
+    let _n = src.read(buf).unwrap();
+    let _m = rx.recv();
+}
+
+/// Waived: the deliberate handoff pattern, with its justification.
+fn handoff(queue: &Mutex<Receiver<u64>>) -> Option<u64> {
+    let guard = queue.lock().unwrap();
+    // xtask:allow(lock-discipline): handoff fixture — exactly one consumer may block in recv
+    guard.recv().ok()
+}

@@ -1,0 +1,126 @@
+//! Property tests for the analyzer's lexer: on arbitrary generated
+//! source — well-formed fragment soup and outright garbage alike —
+//! the token stream must tile the input exactly, with byte offsets
+//! and line numbers that round-trip to the original text. Every
+//! downstream pass reports locations straight out of these tokens, so
+//! offset drift here would misplace violations everywhere.
+
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use xtask::lexer::{lex, Token};
+
+/// Renders one generated fragment: `selector` picks the lexical
+/// shape, `payload` varies its content deterministically.
+fn fragment(selector: u32, payload: u64) -> String {
+    let p = payload as usize;
+    match selector {
+        0 => format!("ident{p}"),
+        1 => format!("{payload}"),
+        2 => format!("{payload}.5e-{}", p % 9),
+        3 => format!("\"s{}\\\"q\\\\{}\"", p % 7, p % 3),
+        4 => {
+            let hashes = "#".repeat(p % 3);
+            format!("r{hashes}\"raw {} \" inner\"{hashes}", p % 5)
+        }
+        5 => ["'x'", "'\\n'", "'\\u{1F600}'", "'😀'", "b'q'"][p % 5].to_owned(),
+        6 => format!("'life{p}"),
+        7 => format!("// line note {p}\n"),
+        8 => format!("/* block /* nested {p} */ note */"),
+        9 => [
+            "+", "-", "::", "->", "=>", ";", ",", ".", "(", ")", "{", "}", "<", ">", "#", "!",
+        ][p % 16]
+            .to_owned(),
+        10 => [" ", "\n", "\t", "\n\n", "  "][p % 5].to_owned(),
+        11 => format!("b\"bytes{}\"", p % 4),
+        _ => format!("br\"rb{}\"", p % 4),
+    }
+}
+
+/// Asserts the round-trip invariants of a lexed `source`.
+fn assert_round_trip(source: &str) -> Result<(), TestCaseError> {
+    let tokens: Vec<Token> = lex(source);
+    let mut cursor = 0usize;
+    for (idx, t) in tokens.iter().enumerate() {
+        prop_assert!(
+            t.start >= cursor,
+            "token {idx} starts at {} before cursor {cursor} in {source:?}",
+            t.start
+        );
+        prop_assert!(
+            t.end > t.start && t.end <= source.len(),
+            "token {idx} has bad extent {}..{} in {source:?}",
+            t.start,
+            t.end
+        );
+        // Gaps between tokens hold only whitespace: every non-space
+        // byte of the input is inside exactly one token.
+        let gap = &source[cursor..t.start];
+        prop_assert!(
+            gap.chars().all(char::is_whitespace),
+            "non-whitespace gap {gap:?} before token {idx} in {source:?}"
+        );
+        // The recorded line is derivable from the offset alone.
+        let expect_line = 1 + source[..t.start].bytes().filter(|&b| b == b'\n').count();
+        prop_assert_eq!(
+            t.line,
+            expect_line,
+            "token {} line {} != {} in {:?}",
+            idx,
+            t.line,
+            expect_line,
+            source
+        );
+        // Offsets slice on char boundaries (text() must not panic).
+        let _ = t.text(source);
+        cursor = t.end;
+    }
+    let tail = &source[cursor..];
+    prop_assert!(
+        tail.chars().all(char::is_whitespace),
+        "non-whitespace tail {tail:?} in {source:?}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fragment_soup_round_trips(
+        frags in collection::vec((0u32..13, 0u64..10_000), 0..40),
+    ) {
+        let mut source = String::new();
+        for (selector, payload) in frags {
+            source.push_str(&fragment(selector, payload));
+            source.push(' ');
+        }
+        assert_round_trip(&source)?;
+    }
+
+    #[test]
+    fn ascii_garbage_round_trips(
+        bytes in collection::vec(0x20u32..0x7f, 0..60),
+        newlines in collection::vec(0usize..60, 0..6),
+    ) {
+        let mut bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        for (offset, position) in newlines.into_iter().enumerate() {
+            let at = (position + offset).min(bytes.len());
+            bytes.insert(at, b'\n');
+        }
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        assert_round_trip(&source)?;
+    }
+
+    #[test]
+    fn multibyte_text_round_trips(
+        words in collection::vec(0usize..6, 0..20),
+    ) {
+        let mut source = String::new();
+        for w in words {
+            source.push_str(["α", "βeta", "'😀'", "\"π≈3\"", "// δoc\n", "日本"][w]);
+            source.push(' ');
+        }
+        assert_round_trip(&source)?;
+    }
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # The full local gate, identical to .github/workflows/ci.yml:
-#   fmt -> repo lints -> examples build -> tests (incl. doc-tests)
-#   -> tests with hard invariants -> bench smoke -> metrics smoke.
+#   fmt -> static analyzer -> examples build -> tests (incl. doc-tests)
+#   -> tests with hard invariants -> bench smoke -> metrics smoke
+#   -> analyze smoke (runtime budget).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,8 +10,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo xtask lint"
-cargo run --package xtask --quiet -- lint
+echo "==> cargo xtask analyze"
+cargo run --package xtask --quiet -- analyze
 
 echo "==> cargo build (examples)"
 cargo build --workspace --examples
@@ -37,5 +38,17 @@ metrics_out="${TMPDIR:-/tmp}/engine_metrics.ci.json"
 cargo run --release --quiet --example engine_metrics -- --out "$metrics_out"
 cargo run --package xtask --quiet -- metrics-check "$metrics_out"
 rm -f "$metrics_out"
+
+echo "==> analyze smoke (runtime budget)"
+# The analyzer must stay cheap enough to run on every push: a second
+# invocation (binary already built above) has to finish within 5s.
+start=$(date +%s)
+cargo run --package xtask --quiet -- analyze
+elapsed=$(( $(date +%s) - start ))
+echo "analyze smoke: ${elapsed}s"
+if [ "$elapsed" -ge 5 ]; then
+    echo "analyze smoke: exceeded the 5s runtime budget" >&2
+    exit 1
+fi
 
 echo "ci: all gates passed"
