@@ -116,6 +116,22 @@ impl ObliviousAlgorithm {
         ObliviousAlgorithm::new(vec![alpha; n])
     }
 
+    /// Constructs from an `f64` probability vector, converting each
+    /// coordinate **exactly** (every finite `f64` is a dyadic
+    /// rational), so wire formats that carry floats lose nothing:
+    /// [`ObliviousAlgorithm::probabilities_f64`] round-trips
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if fewer than two players or any
+    /// coordinate is non-finite or outside `[0, 1]`.
+    pub fn from_f64(alpha: &[f64]) -> Result<ObliviousAlgorithm, ModelError> {
+        ObliviousAlgorithm::new(exact_unit_vector(alpha, |index| {
+            ModelError::ProbabilityOutOfRange { index }
+        })?)
+    }
+
     /// The optimal uniform algorithm `α = 1/2` (Theorem 4.3).
     ///
     /// # Panics
@@ -221,6 +237,22 @@ impl SingleThresholdAlgorithm {
         SingleThresholdAlgorithm::new(vec![beta; n])
     }
 
+    /// Constructs from an `f64` threshold vector, converting each
+    /// coordinate **exactly** (every finite `f64` is a dyadic
+    /// rational), so wire formats that carry floats lose nothing:
+    /// [`SingleThresholdAlgorithm::thresholds_f64`] round-trips
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if fewer than two players or any
+    /// coordinate is non-finite or outside `[0, 1]`.
+    pub fn from_f64(thresholds: &[f64]) -> Result<SingleThresholdAlgorithm, ModelError> {
+        SingleThresholdAlgorithm::new(exact_unit_vector(thresholds, |index| {
+            ModelError::ThresholdOutOfRange { index }
+        })?)
+    }
+
     /// The threshold vector `a`.
     #[must_use]
     pub fn thresholds(&self) -> &[Rational] {
@@ -266,12 +298,47 @@ impl LocalRule for SingleThresholdAlgorithm {
     }
 }
 
+/// Exactly converts a float vector into rationals, mapping any
+/// non-finite coordinate to the caller's out-of-range error (range
+/// itself is re-checked by the rational constructors).
+fn exact_unit_vector(
+    values: &[f64],
+    out_of_range: impl Fn(usize) -> ModelError,
+) -> Result<Vec<Rational>, ModelError> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(index, &v)| Rational::from_f64_exact(v).ok_or_else(|| out_of_range(index)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn r(n: i64, d: i64) -> Rational {
         Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn from_f64_is_exact_and_validated() {
+        let a = SingleThresholdAlgorithm::from_f64(&[0.375, 0.622]).unwrap();
+        assert_eq!(a.thresholds()[0], r(3, 8));
+        assert_eq!(a.thresholds_f64(), vec![0.375, 0.622]);
+        assert_eq!(
+            SingleThresholdAlgorithm::from_f64(&[0.5, f64::NAN]),
+            Err(ModelError::ThresholdOutOfRange { index: 1 })
+        );
+        assert_eq!(
+            SingleThresholdAlgorithm::from_f64(&[0.5, 1.5]),
+            Err(ModelError::ThresholdOutOfRange { index: 1 })
+        );
+        let o = ObliviousAlgorithm::from_f64(&[0.5, 0.25]).unwrap();
+        assert_eq!(o.probabilities()[1], r(1, 4));
+        assert_eq!(
+            ObliviousAlgorithm::from_f64(&[f64::INFINITY, 0.5]),
+            Err(ModelError::ProbabilityOutOfRange { index: 0 })
+        );
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! A minimal blocking client for the daemon's line protocol.
+//!
+//! One [`Client`] wraps one connection and pairs requests with
+//! responses by correlation id. It exists for the smoke mode, the
+//! integration tests, and the load generator; it is deliberately
+//! synchronous — concurrency comes from running many clients.
+
+use crate::query::{Envelope, Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect (or stream-clone) error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors as-is; a malformed response line or a
+    /// mismatched correlation id surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn roundtrip(&mut self, request: Request) -> io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = Envelope { id, request };
+        let mut payload = envelope.to_json();
+        payload.push('\n');
+        self.writer.write_all(payload.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before answering",
+            ));
+        }
+        let response = Response::parse(&line)
+            .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))?;
+        if response.id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {} does not match request id {id}", response.id),
+            ));
+        }
+        Ok(response)
+    }
+}

@@ -1,0 +1,386 @@
+//! The TCP daemon: newline-delimited JSON queries over long-lived
+//! connections.
+//!
+//! One acceptor thread plus one thread per connection. Analytic
+//! queries are answered through the shared [`AnalyticCache`];
+//! Monte-Carlo queries are retargeted onto **one** persistent worker
+//! pool (`Simulation::retargeted` shares the pool across every
+//! request), so concurrent simulation requests batch onto the same
+//! workers instead of spawning per-request thread sets. Every pooled
+//! batch carries the engine's default job deadline, so a stuck batch
+//! expires instead of wedging the daemon.
+//!
+//! Shutdown is graceful and can be triggered remotely (a `shutdown`
+//! request) or locally ([`Service::shutdown`]): the accept loop stops
+//! (subsequent connects are refused at the OS level once the listener
+//! drops), connection threads finish the request they are serving,
+//! notice the flag at the next poll tick, and drain; dropping the
+//! engine last closes the worker pool — late submissions would get
+//! [`SimulationError::PoolClosed`](simulator::SimulationError), never
+//! a hang.
+
+use crate::cache::AnalyticCache;
+use crate::metrics::ServiceMetrics;
+use crate::query::{CacheStatus, Envelope, MetricsFrame, Outcome, Request, Response};
+use decision::LocalRule;
+use simulator::Simulation;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning for a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Engine worker threads for pooled Monte-Carlo runs.
+    pub engine_threads: usize,
+    /// Trials per engine batch — the request-batching granularity.
+    pub batch_size: u64,
+    /// Largest accepted `trials` per simulate request; bigger asks
+    /// are query errors, keeping one client from wedging the pool.
+    pub max_trials: u64,
+    /// Largest accepted sweep `grid`.
+    pub max_grid: usize,
+    /// How often a blocked connection read wakes up to check the
+    /// shutdown flag (the drain latency bound for idle connections).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            engine_threads: 2,
+            batch_size: 16_384,
+            max_trials: 50_000_000,
+            max_grid: 65_536,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Everything connection threads share.
+struct Shared {
+    cache: AnalyticCache,
+    metrics: ServiceMetrics,
+    engine: Simulation,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    config: ServiceConfig,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and wakes the acceptor with a
+    /// throwaway connection so it can notice without a poll loop.
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            drop(TcpStream::connect(self.addr));
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Answers one parsed request. Query-level failures (bad
+    /// parameters, unsupported sizes) become `ok: false` responses;
+    /// only transport failures tear the connection down.
+    fn answer(&self, envelope: &Envelope) -> Response {
+        let guard = self.metrics.begin_request();
+        let started = Instant::now();
+        let outcome = self.outcome(&envelope.request);
+        let response = Response {
+            id: envelope.id,
+            outcome,
+            metrics: self.metrics.frame(),
+        };
+        self.metrics
+            .record_request_ns(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        drop(guard);
+        response
+    }
+
+    fn outcome(&self, request: &Request) -> Result<Outcome, String> {
+        match request {
+            Request::PWin { delta, rule } => {
+                let (value, cache) = self.cache.pwin(rule, *delta).map_err(|e| e.to_string())?;
+                self.metrics.record_cache(cache == CacheStatus::Hit);
+                Ok(Outcome::PWin { value, cache })
+            }
+            Request::Optimal { family, n, delta } => {
+                let (opt, cache) = self
+                    .cache
+                    .optimal(*family, *n, *delta)
+                    .map_err(|e| e.to_string())?;
+                self.metrics.record_cache(cache == CacheStatus::Hit);
+                Ok(Outcome::Optimal {
+                    params: opt.params,
+                    value: opt.value,
+                    evaluations: opt.evaluations,
+                    cache,
+                })
+            }
+            Request::Sweep { n, delta, grid } => {
+                if *grid < 2 {
+                    return Err(format!("grid must be at least 2, found {grid}"));
+                }
+                if *grid > self.config.max_grid {
+                    return Err(format!(
+                        "grid {grid} exceeds this daemon's limit of {}",
+                        self.config.max_grid
+                    ));
+                }
+                let (points, cache) = self
+                    .cache
+                    .sweep(*n, *delta, *grid)
+                    .map_err(|e| e.to_string())?;
+                self.metrics.record_cache(cache == CacheStatus::Hit);
+                Ok(Outcome::Sweep {
+                    points: points.iter().map(|p| (p.x, p.probability)).collect(),
+                    cache,
+                })
+            }
+            Request::Simulate {
+                delta,
+                trials,
+                seed,
+                rule,
+            } => {
+                if *trials == 0 || *trials > self.config.max_trials {
+                    return Err(format!(
+                        "trials must be in 1..={}, found {trials}",
+                        self.config.max_trials
+                    ));
+                }
+                let rule: Box<dyn LocalRule + Send + Sync> =
+                    rule.build().map_err(|e| e.to_string())?;
+                let run = self
+                    .engine
+                    .retargeted(*trials, *seed)
+                    .map_err(|e| e.to_string())?;
+                let report = run.run(&*rule, *delta);
+                Ok(Outcome::Simulate {
+                    wins: report.wins,
+                    trials: report.trials,
+                })
+            }
+            Request::Shutdown => {
+                self.trigger_shutdown();
+                Ok(Outcome::ShuttingDown)
+            }
+        }
+    }
+}
+
+/// A running daemon: the handle owns the acceptor and every
+/// connection thread.
+pub struct Service {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("addr", &self.shared.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Binds and starts serving in background threads; returns as
+    /// soon as the listener is live.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, or an invalid-config error for a zero
+    /// batch size.
+    pub fn start(config: ServiceConfig) -> io::Result<Service> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = ServiceMetrics::new(config.batch_size);
+        let engine = Simulation::try_new(config.batch_size.max(1), 0)
+            .and_then(|sim| sim.try_with_batch_size(config.batch_size))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+            .with_threads(config.engine_threads)
+            .with_metrics(metrics.engine());
+        let shared = Arc::new(Shared {
+            cache: AnalyticCache::new(),
+            metrics,
+            engine,
+            shutdown: AtomicBool::new(false),
+            addr,
+            config,
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = shared.clone();
+            let connections = connections.clone();
+            thread::Builder::new()
+                .name("nocomm-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, &connections))?
+        };
+        Ok(Service {
+            shared,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live service counters (the same registry responses frame).
+    #[must_use]
+    pub fn metrics_frame(&self) -> MetricsFrame {
+        self.shared.metrics.frame()
+    }
+
+    /// The shared service registry, for benchmark documents.
+    #[must_use]
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.shared.metrics
+    }
+
+    /// Whether a shutdown (local or remote) has been triggered.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Triggers a graceful shutdown and waits for every thread to
+    /// drain: in-flight requests finish, new connections are refused,
+    /// and the worker pool closes when the engine drops with the last
+    /// handle.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_shutdown();
+        self.join_threads();
+    }
+
+    /// Waits until the daemon shuts down (e.g. by a remote `shutdown`
+    /// request), then drains every thread.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            drop(acceptor.join());
+        }
+        // Take the handles out under the lock, join outside it: a
+        // draining connection thread must never contend with a held
+        // guard.
+        let handles = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for handle in handles {
+            drop(handle.join());
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shared.trigger_shutdown();
+        self.join_threads();
+    }
+}
+
+/// Accepts until shutdown. Connections arriving in the shutdown
+/// window are dropped unanswered; once the loop returns and the
+/// listener drops, connects are refused by the OS.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let accepted = listener.accept();
+        if shared.shutting_down() {
+            return;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            continue;
+        };
+        let worker = {
+            let shared = shared.clone();
+            thread::Builder::new()
+                .name("nocomm-conn".to_owned())
+                .spawn(move || serve_connection(stream, &shared))
+        };
+        let Ok(handle) = worker else {
+            continue; // spawn failure: the dropped stream closes the connection
+        };
+        connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+    }
+}
+
+/// Serves one connection: one JSON request per line, one JSON
+/// response per line, until EOF, a transport error, or shutdown.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // The poll timeout bounds how long an *idle* connection can delay
+    // a drain; a request already being served always completes.
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let response = match Envelope::parse(&line) {
+                    Ok(envelope) => shared.answer(&envelope),
+                    Err(message) => Response {
+                        id: 0,
+                        outcome: Err(message),
+                        metrics: shared.metrics.frame(),
+                    },
+                };
+                line.clear();
+                let mut payload = response.to_json();
+                payload.push('\n');
+                if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+                    return; // client went away mid-response
+                }
+                if matches!(response.outcome, Ok(Outcome::ShuttingDown)) {
+                    return;
+                }
+            }
+            // Poll tick: partial bytes (if any) stay accumulated in
+            // `line`; re-enter the read unless we are draining.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

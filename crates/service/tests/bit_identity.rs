@@ -1,0 +1,134 @@
+//! The daemon's determinism contract, property-tested over real TCP:
+//!
+//! * cache-served analytic queries are bit-identical to a cold,
+//!   single-threaded `EvalContext` evaluation of the same query;
+//! * daemon-served Monte-Carlo runs are bit-identical to a direct
+//!   `Simulation::run` with the same `(trials, seed, batch_size)` —
+//!   even though the daemon runs pooled on two workers and the direct
+//!   run is sequential, because batch RNG streams are pure functions
+//!   of `(seed, batch)`.
+//!
+//! One daemon serves every generated case: each case opens a fresh
+//! connection, so the cache is *warm* for repeated shapes — exactly
+//! the regime the identity must hold in.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use service::{Client, Outcome, Request, RuleSpec, Service, ServiceConfig};
+use simulator::Simulation;
+use std::sync::OnceLock;
+use uniform_sums::EvalContext;
+
+/// The shared daemon (never shut down: it lives for the test
+/// process). Its config pins the batch size the direct runs use.
+fn daemon() -> &'static Service {
+    static DAEMON: OnceLock<Service> = OnceLock::new();
+    DAEMON.get_or_init(|| Service::start(ServiceConfig::default()).expect("daemon start"))
+}
+
+fn connect() -> Client {
+    Client::connect(daemon().local_addr()).expect("connect to test daemon")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn served_threshold_pwin_is_bit_identical_to_cold_eval(
+        params in proptest::collection::vec(0.0..1.0f64, 2..6),
+        delta in 0.05..2.0f64,
+    ) {
+        let response = connect()
+            .roundtrip(Request::PWin {
+                delta,
+                rule: RuleSpec::threshold(params.clone()),
+            })
+            .expect("round trip");
+        let Ok(Outcome::PWin { value, .. }) = response.outcome else {
+            return Err(TestCaseError::fail("expected a pwin answer"));
+        };
+        let mut cold = EvalContext::new();
+        let direct =
+            decision::winning_probability_threshold_in(&mut cold, &params, &delta).unwrap();
+        prop_assert_eq!(value.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn served_oblivious_pwin_is_bit_identical_to_cold_eval(
+        params in proptest::collection::vec(0.0..1.0f64, 2..6),
+        delta in 0.05..2.0f64,
+    ) {
+        let response = connect()
+            .roundtrip(Request::PWin {
+                delta,
+                rule: RuleSpec::oblivious(params.clone()),
+            })
+            .expect("round trip");
+        let Ok(Outcome::PWin { value, .. }) = response.outcome else {
+            return Err(TestCaseError::fail("expected a pwin answer"));
+        };
+        let mut cold = EvalContext::new();
+        let direct =
+            decision::winning_probability_oblivious_in(&mut cold, &params, &delta).unwrap();
+        prop_assert_eq!(value.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn served_sweep_is_bit_identical_to_library_curve(
+        n in 2usize..6,
+        grid in 2usize..40,
+        delta in 0.1..2.0f64,
+    ) {
+        let response = connect()
+            .roundtrip(Request::Sweep { n, delta, grid })
+            .expect("round trip");
+        let Ok(Outcome::Sweep { points, .. }) = response.outcome else {
+            return Err(TestCaseError::fail("expected a sweep answer"));
+        };
+        let library = simulator::sweep_threshold_analytic(n, delta, grid).unwrap();
+        prop_assert_eq!(points.len(), library.len());
+        for ((x, p), l) in points.iter().zip(&library) {
+            prop_assert_eq!(x.to_bits(), l.x.to_bits());
+            prop_assert_eq!(p.to_bits(), l.probability.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn served_monte_carlo_is_bit_identical_to_direct_run(
+        seed in any::<u64>(),
+        trials in 1u64..60_000,
+        beta in 0.0..1.0f64,
+    ) {
+        let response = connect()
+            .roundtrip(Request::Simulate {
+                delta: 1.0,
+                trials,
+                seed,
+                rule: RuleSpec::threshold(vec![beta, beta, beta]),
+            })
+            .expect("round trip");
+        let Ok(Outcome::Simulate { wins, trials: served }) = response.outcome else {
+            return Err(TestCaseError::fail("expected a simulate answer"));
+        };
+        // Direct run: same (trials, seed, batch_size) but sequential,
+        // while the daemon pools onto two workers — the counts must
+        // match regardless, batch streams being functions of
+        // (seed, batch) only.
+        let rule = decision::SingleThresholdAlgorithm::from_f64(&[beta, beta, beta]).unwrap();
+        let direct = Simulation::new(trials, seed)
+            .try_with_batch_size(ServiceConfig::default().batch_size)
+            .unwrap()
+            .with_threads(1)
+            .run(&rule, 1.0);
+        prop_assert_eq!(wins, direct.wins);
+        prop_assert_eq!(served, direct.trials);
+        // And the client-side report rebuild goes through the same
+        // constructor a direct run uses.
+        let report = Outcome::Simulate { wins, trials: served }.report().unwrap();
+        prop_assert_eq!(report.estimate.to_bits(), direct.estimate.to_bits());
+    }
+}

@@ -492,6 +492,29 @@ impl Simulation {
         copy
     }
 
+    /// A copy of this engine with a different trial budget *and* seed,
+    /// still **sharing the worker pool** — a server answering
+    /// per-request Monte-Carlo queries batches every request's jobs
+    /// onto one persistent set of worker threads.
+    ///
+    /// Like [`Simulation::reseeded`], retargeting never changes an
+    /// estimate: batch `i`'s RNG stream is a pure function of
+    /// `(seed, i)`, so a retargeted run is bit-identical to a fresh
+    /// `Simulation::new(trials, seed)` run with the same batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::ZeroTrials`] if `trials` is zero.
+    pub fn retargeted(&self, trials: u64, seed: u64) -> Result<Simulation, SimulationError> {
+        if trials == 0 {
+            return Err(SimulationError::ZeroTrials);
+        }
+        let mut copy = self.clone();
+        copy.trials = trials;
+        copy.seed = seed;
+        Ok(copy)
+    }
+
     /// Estimates `P_A(δ)` for the rule.
     #[must_use]
     pub fn run<R: LocalRule + ?Sized>(&self, rule: &R, delta: f64) -> SimulationReport {

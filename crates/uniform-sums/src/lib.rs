@@ -37,6 +37,7 @@
 mod box_sum;
 mod context;
 mod irwin_hall;
+mod shared;
 mod symbolic;
 mod uniform_sum;
 
@@ -46,6 +47,7 @@ pub use irwin_hall::{
     irwin_hall_cdf, irwin_hall_cdf_f64, irwin_hall_cdf_in, irwin_hall_pdf, irwin_hall_pdf_f64,
     irwin_hall_pdf_in,
 };
+pub use shared::SharedContext;
 pub use uniform_sum::{shifted_box_sum_cdf_in, UniformSum};
 
 use std::fmt;

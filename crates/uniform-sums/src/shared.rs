@@ -1,0 +1,122 @@
+//! A `Sync` handle around an [`EvalContext`] for concurrent callers.
+//!
+//! [`EvalContext`] fills caches through `&mut self`, which is the
+//! right shape for a single optimizer loop but not for a server that
+//! answers analytic queries from many connection threads at once.
+//! [`SharedContext`] wraps one context in a mutex so any thread can
+//! evaluate against the *same* memoized factorial/binomial/Irwin–Hall
+//! tables; because every cached value is a pure function of its key,
+//! serving a term from a warm shared context is bit-identical to
+//! recomputing it in a cold private one.
+//!
+//! # Examples
+//!
+//! ```
+//! use uniform_sums::SharedContext;
+//!
+//! let shared = SharedContext::<f64>::new();
+//! let warm = shared.with(|ctx| ctx.irwin_hall_cdf(3, &1.5));
+//! let mut cold = uniform_sums::EvalContext::<f64>::new();
+//! assert_eq!(warm.to_bits(), cold.irwin_hall_cdf(3, &1.5).to_bits());
+//! assert!(shared.misses() > 0);
+//! ```
+
+use crate::EvalContext;
+use rational::Scalar;
+use std::sync::Mutex;
+
+/// A thread-shareable, lock-guarded [`EvalContext`].
+///
+/// Cloning the handle is not supported on purpose: callers that want
+/// several independent contexts should create several handles; a
+/// shared handle exists to *pool* memoization across threads.
+#[derive(Debug, Default)]
+pub struct SharedContext<S: Scalar> {
+    inner: Mutex<EvalContext<S>>,
+}
+
+impl<S: Scalar> SharedContext<S> {
+    /// A handle around a fresh, empty context.
+    #[must_use]
+    pub fn new() -> SharedContext<S> {
+        SharedContext {
+            inner: Mutex::new(EvalContext::new()),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the underlying context.
+    ///
+    /// The closure must not call back into the same handle (that
+    /// would deadlock on the inner mutex); evaluations are expected
+    /// to be short and CPU-bound. A poisoned lock (a panic inside an
+    /// earlier closure) is recovered rather than propagated: the
+    /// context only holds memoized pure values, so it can never be
+    /// observed in a torn state.
+    pub fn with<R>(&self, f: impl FnOnce(&mut EvalContext<S>) -> R) -> R {
+        let mut guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Total cache hits recorded by the underlying context.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.with(|ctx| ctx.hits())
+    }
+
+    /// Total cache misses recorded by the underlying context.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.with(|ctx| ctx.misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_evaluations_match_cold_context_bitwise() {
+        let shared = SharedContext::<f64>::new();
+        for _ in 0..3 {
+            let warm = shared.with(|ctx| ctx.irwin_hall_cdf(4, &2.5));
+            let mut cold = EvalContext::<f64>::new();
+            assert_eq!(warm.to_bits(), cold.irwin_hall_cdf(4, &2.5).to_bits());
+        }
+        assert!(shared.hits() >= 2, "later calls must be served from cache");
+    }
+
+    #[test]
+    fn handle_is_usable_across_threads() {
+        let shared = Arc::new(SharedContext::<f64>::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                shared.with(|ctx| ctx.irwin_hall_cdf(5, &2.0))
+            }));
+        }
+        let mut cold = EvalContext::<f64>::new();
+        let expected = cold.irwin_hall_cdf(5, &2.0);
+        for handle in handles {
+            assert_eq!(handle.join().unwrap().to_bits(), expected.to_bits());
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let shared = Arc::new(SharedContext::<f64>::new());
+        let clone = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            clone.with(|_| panic!("poison the lock"));
+        })
+        .join();
+        // The handle still serves values after the panic.
+        let mut cold = EvalContext::<f64>::new();
+        let got = shared.with(|ctx| ctx.irwin_hall_cdf(3, &1.0));
+        assert_eq!(got.to_bits(), cold.irwin_hall_cdf(3, &1.0).to_bits());
+    }
+}

@@ -238,7 +238,10 @@ fn argument_span(file: &SourceFile, code: &[usize], open_k: usize) -> Vec<usize>
     out
 }
 
-/// Calls that block the current thread on another thread or a channel.
+/// Calls that block the current thread on another thread, a channel,
+/// or a socket peer (the service daemon's accept/read/write path: a
+/// connection thread stalled by a slow client must never be holding a
+/// shared lock).
 const BLOCKING_CALLS: &[&str] = &[
     "send",
     "recv",
@@ -247,6 +250,10 @@ const BLOCKING_CALLS: &[&str] = &[
     "wait",
     "wait_timeout",
     "wait_while",
+    "accept",
+    "read_line",
+    "write_all",
+    "flush",
 ];
 
 /// Result adapters that pass a lock guard through unchanged, so

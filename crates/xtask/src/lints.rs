@@ -410,14 +410,23 @@ fn no_dyn_hot_loop(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
-/// `let _ = tx.send(…)` discards delivery failure: if the receiver is
-/// gone the payload is silently lost, turning a dead worker or a
-/// shutdown race into unexplained data loss. Library code must either
-/// propagate the `SendError` (as the pool's `submit` does with
-/// `SimulationError::PoolClosed`), branch on it, or shut a channel
-/// down by *dropping* the sender — never by throwing the result away.
-/// `try_send` is a different identifier token, so it is never matched;
-/// a deliberate drop carries an `xtask:allow(no-silent-send)` waiver.
+/// Calls that deliver a payload to another party — a channel receiver
+/// (`send`) or a socket peer (`write_all`, `flush`, `shutdown`). A
+/// discarded `Result` from any of them silently loses the payload or
+/// leaves the peer half-notified.
+const DELIVERY_CALLS: &[&str] = &["send", "write_all", "flush", "shutdown"];
+
+/// `let _ = tx.send(…)` (and its socket-side siblings `write_all`,
+/// `flush`, `shutdown`) discards delivery failure: if the receiver is
+/// gone the payload is silently lost, turning a dead worker, a
+/// vanished client, or a shutdown race into unexplained data loss.
+/// Library code must either propagate the error (as the pool's
+/// `submit` does with `SimulationError::PoolClosed`), branch on it
+/// (as the service's connection loop does on `write_all`), or shut a
+/// channel down by *dropping* the sender — never by throwing the
+/// result away. `try_send` is a different identifier token, so it is
+/// never matched; a deliberate drop carries an
+/// `xtask:allow(no-silent-send)` waiver.
 fn no_silent_send(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();
@@ -439,7 +448,7 @@ fn no_silent_send(file: &SourceFile) -> Vec<Violation> {
         // Scan the statement: to the `;` at bracket depth 0.
         let mut depth = 0i64;
         let mut m = k + 3;
-        let mut send_line = None;
+        let mut delivery: Option<(usize, &str)> = None;
         while m < code.len() {
             let t = &file.tokens[code[m]];
             if t.is_punct(b'(') || t.is_punct(b'[') || t.is_punct(b'{') {
@@ -448,26 +457,28 @@ fn no_silent_send(file: &SourceFile) -> Vec<Violation> {
                 depth -= 1;
             } else if t.is_punct(b';') && depth <= 0 {
                 break;
-            } else if file.tok(code[m]) == "send"
+            } else if delivery.is_none()
+                && DELIVERY_CALLS.contains(&file.tok(code[m]))
                 && code
                     .get(m + 1)
                     .is_some_and(|&j| file.tokens[j].is_punct(b'('))
             {
-                send_line.get_or_insert(t.line);
+                delivery = Some((t.line, file.tok(code[m])));
             }
             m += 1;
         }
-        if let Some(send_line) = send_line {
+        if let Some((call_line, call)) = delivery {
             let waived = file.allowed("no-silent-send", let_line)
-                || file.allowed("no-silent-send", send_line);
+                || file.allowed("no-silent-send", call_line);
             if !file.is_test_line(let_line) && !waived {
                 out.push(Violation {
                     lint: "no-silent-send",
                     path: file.path.clone(),
                     line: let_line,
-                    message: "`let _ = …send(…)` silently drops a failed delivery — propagate \
-                              or branch on the `SendError` (or drop the sender to close)"
-                        .to_owned(),
+                    message: format!(
+                        "`let _ = …{call}(…)` silently drops a failed delivery — propagate \
+                         or branch on the error (or drop the sender to close)"
+                    ),
                 });
             }
         }

@@ -56,6 +56,20 @@ fn lock_discipline_fires_on_held_guards_only() {
 }
 
 #[test]
+fn lock_discipline_covers_socket_calls() {
+    let f = fixture(
+        "service_io.rs",
+        "crates/demo/src/service_io.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    // write_all under the registry lock, accept under the list lock,
+    // read_line under a read guard; the extracted, scoped, dropped,
+    // and waived sites stay silent.
+    assert_eq!(lines(&v, "lock-discipline"), vec![30, 36, 44], "{v:?}");
+}
+
+#[test]
 fn hot_path_alloc_fires_inside_hot_fns_only() {
     let f = fixture(
         "hot_path_alloc.rs",
@@ -75,6 +89,7 @@ fn analyses_do_not_fire_on_test_files() {
         "determinism_flow.rs",
         "lock_discipline.rs",
         "hot_path_alloc.rs",
+        "service_io.rs",
     ] {
         let f = fixture(name, "crates/demo/tests/t.rs", FileKind::TestLike);
         assert!(check_file(&f).is_empty(), "{name} fired in a test file");

@@ -1,0 +1,88 @@
+//! Fixture for the service-io widening of two rules: discarded
+//! socket deliveries (`no-silent-send` over `write_all`/`flush`/
+//! `shutdown`) and lock guards held across socket calls
+//! (`lock-discipline` over `accept`/`read_line`/`write_all`/`flush`).
+
+/// BAD: a discarded `write_all` silently loses the payload.
+fn drops_write(stream: &mut TcpStream, payload: &[u8]) {
+    let _ = stream.write_all(payload);
+}
+
+/// BAD: a discarded `flush` can leave the peer with a torn frame.
+fn drops_flush(stream: &mut TcpStream) {
+    let _ = stream.flush();
+}
+
+/// GOOD: branching on the delivery result.
+fn handles_write(stream: &mut TcpStream, payload: &[u8]) -> bool {
+    stream.write_all(payload).is_ok()
+}
+
+/// Waived: half-closing a connection that already failed.
+fn waived_shutdown(stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Both); // xtask:allow(no-silent-send): connection is already dead; the close is best-effort
+}
+
+/// BAD: writing to a client while holding the registry lock — one
+/// slow peer stalls every thread that needs the registry.
+fn write_under_lock(registry: &Mutex<Registry>, stream: &mut TcpStream) {
+    let guard = registry.lock().unwrap();
+    let _ok = stream.write_all(&guard.greeting).is_ok();
+}
+
+/// BAD: accepting while holding the connection-list lock.
+fn accept_under_lock(listener: &TcpListener, connections: &Mutex<Vec<TcpStream>>) {
+    let mut list = connections.lock().unwrap();
+    if let Ok((stream, _addr)) = listener.accept() {
+        list.push(stream);
+    }
+}
+
+/// BAD: a `read_line` poll while a state read guard is live.
+fn read_under_guard(state: &RwLock<u8>, reader: &mut BufReader<TcpStream>, line: &mut String) {
+    let Ok(snapshot) = state.read() else { return };
+    let _n = reader.read_line(line);
+    let _s = *snapshot;
+}
+
+/// GOOD: extracting owned data in one statement binds no guard.
+fn extracted(registry: &Mutex<Registry>, stream: &mut TcpStream) -> bool {
+    let greeting: Vec<u8> = registry.lock().unwrap().greeting.clone();
+    stream.write_all(&greeting).is_ok() && stream.flush().is_ok()
+}
+
+/// GOOD: the guard's block ends before the socket call.
+fn scoped(registry: &Mutex<Registry>, stream: &mut TcpStream) -> bool {
+    let greeting = {
+        let guard = registry.lock().unwrap();
+        guard.greeting.clone()
+    };
+    stream.write_all(&greeting).is_ok()
+}
+
+/// GOOD: explicit drop releases the guard before the accept poll.
+fn dropped(listener: &TcpListener, connections: &Mutex<Vec<TcpStream>>) {
+    let guard = connections.lock().unwrap();
+    let backlog = guard.len();
+    drop(guard);
+    if backlog < 64 {
+        let _conn = listener.accept();
+    }
+}
+
+/// Waived: the single-writer handoff — flushing under the writer
+/// lock is the lock's whole purpose.
+fn handoff(writer: &Mutex<TcpStream>) -> bool {
+    let mut guard = writer.lock().unwrap();
+    // xtask:allow(lock-discipline): service_io fixture — single-writer socket; the lock serializes exactly this flush
+    guard.flush().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_helper(stream: &mut TcpStream) {
+        let _ = stream.flush();
+    }
+}

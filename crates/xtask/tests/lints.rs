@@ -135,6 +135,24 @@ fn no_silent_send_fires_once_and_respects_waivers() {
 }
 
 #[test]
+fn no_silent_send_covers_socket_deliveries() {
+    let f = fixture(
+        "service_io.rs",
+        "crates/demo/src/service_io.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    let hits = by_lint(&v, "no-silent-send");
+    // The discarded `write_all` and `flush` fire; the handled write,
+    // the waived shutdown, and the test-module helper stay silent.
+    assert_eq!(hits.len(), 2, "{v:?}");
+    assert_eq!(hits[0].line, 8);
+    assert!(hits[0].message.contains("write_all"));
+    assert_eq!(hits[1].line, 13);
+    assert!(hits[1].message.contains("flush"));
+}
+
+#[test]
 fn allowlist_entries_silence_matching_paths_only() {
     let f = fixture("prints.rs", "crates/demo/src/prints.rs", FileKind::Lib);
     let v = check_file(&f);

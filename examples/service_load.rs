@@ -1,0 +1,269 @@
+//! Load-generate against an in-process `nocomm-service` daemon and
+//! record sustained throughput into `results/BENCH_service.json`.
+//!
+//! The box this runs on has one CPU and a bounded fd budget, so raw
+//! concurrent sockets cannot reach the target scale — instead the
+//! generator uses a **virtual-client** model: 10k+ simulated clients
+//! (each with its own id space and deterministic workload) are
+//! multiplexed onto a few dozen physical connections, each driven by
+//! one thread. Both numbers land in the benchmark document.
+//!
+//! The workload is cache-realistic: the virtual clients hammer a
+//! small family of analytic queries (hits after first touch per
+//! shape), a minority sweep the β curve, and a sprinkling run
+//! pooled Monte-Carlo jobs. The document records sustained qps,
+//! client-observed p50/p99 latency (derived from an `obs::Histogram`
+//! in power-of-two resolution), the daemon's cache counters, and the
+//! cache-hit-vs-cold-evaluation speedup at n = 8 that justifies the
+//! read-through cache.
+//!
+//! Run with: `cargo run --release --example service_load
+//! [-- --out PATH --virtual N --connections C --requests R]`
+
+use nocomm::decision::winning_probability_threshold_in;
+use nocomm::obs::{Histogram, HistogramSnapshot};
+use nocomm::service::{
+    AnalyticCache, CacheStatus, Client, Outcome, Request, RuleFamily, RuleSpec, Service,
+    ServiceConfig,
+};
+use nocomm::uniform_sums::EvalContext;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Symmetric β values the analytic traffic cycles through (per n, so
+/// distinct n share nothing but the protocol path).
+const BETAS: [f64; 4] = [0.5, 0.622, 0.375, 0.7];
+
+struct Options {
+    out: PathBuf,
+    virtual_clients: usize,
+    connections: usize,
+    requests_per_client: usize,
+}
+
+fn options() -> Options {
+    let mut out = Options {
+        out: PathBuf::from("results/BENCH_service.json"),
+        virtual_clients: 10_240,
+        connections: 32,
+        requests_per_client: 4,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let v = it.next().expect("option needs a value");
+        match arg.as_str() {
+            "--out" => out.out = PathBuf::from(v),
+            "--virtual" => out.virtual_clients = v.parse().expect("bad --virtual"),
+            "--connections" => out.connections = v.parse().expect("bad --connections"),
+            "--requests" => out.requests_per_client = v.parse().expect("bad --requests"),
+            other => panic!("unknown option {other:?}"),
+        }
+    }
+    out
+}
+
+/// The deterministic request mix of virtual client `client`, request
+/// number `r`.
+fn request_for(client: usize, r: usize) -> Request {
+    if client.is_multiple_of(64) && r == 0 {
+        // A sprinkling of pooled Monte-Carlo work: 40k trials spans
+        // three 16,384-trial batches, so these requests really do
+        // fan out onto the daemon's shared worker pool.
+        return Request::Simulate {
+            delta: 1.0,
+            trials: 40_000,
+            seed: client as u64,
+            rule: RuleSpec::threshold(vec![0.622; 3]),
+        };
+    }
+    if client.is_multiple_of(16) && r == 1 {
+        return Request::Sweep {
+            n: 3,
+            delta: 1.0,
+            grid: 64,
+        };
+    }
+    if client == 1 && r == 0 {
+        return Request::Optimal {
+            family: RuleFamily::Oblivious,
+            n: 3,
+            delta: 1.0,
+        };
+    }
+    // The bulk: analytic P_win over a small shape family, n = 3..=8.
+    let n = 3 + (client + r) % 6;
+    let beta = BETAS[(client / 6 + r) % BETAS.len()];
+    Request::PWin {
+        delta: 1.0,
+        rule: RuleSpec::threshold(vec![beta; n]),
+    }
+}
+
+/// Drives one physical connection through the workloads of its
+/// assigned virtual clients; returns (requests, cache_hits) observed.
+fn drive(
+    addr: std::net::SocketAddr,
+    clients: std::ops::Range<usize>,
+    requests_per_client: usize,
+    latency: &Histogram,
+) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("load generator cannot connect");
+    let mut sent = 0u64;
+    let mut hits = 0u64;
+    for vc in clients {
+        for r in 0..requests_per_client {
+            let request = request_for(vc, r);
+            let started = Instant::now();
+            let response = client.roundtrip(request).expect("round trip failed");
+            latency.record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            sent += 1;
+            let outcome = response.outcome.expect("query failed");
+            match outcome {
+                Outcome::PWin { cache, .. }
+                | Outcome::Optimal { cache, .. }
+                | Outcome::Sweep { cache, .. } => {
+                    if cache == CacheStatus::Hit {
+                        hits += 1;
+                    }
+                }
+                Outcome::Simulate { trials, .. } => assert_eq!(trials, 40_000),
+                _ => unreachable!("nobody asks for shutdown here"),
+            }
+        }
+    }
+    (sent, hits)
+}
+
+/// The smallest occupied bucket bound covering quantile `q`.
+fn quantile_le(snapshot: &HistogramSnapshot, q: f64) -> u64 {
+    let target = (q * snapshot.count as f64).ceil() as u64;
+    let mut seen = 0;
+    for bucket in &snapshot.buckets {
+        seen += bucket.count;
+        if seen >= target {
+            return bucket.le;
+        }
+    }
+    snapshot.buckets.last().map_or(0, |b| b.le)
+}
+
+/// Cache-hit vs cold-evaluation speedup for the asymmetric n = 8
+/// analytic query (256 decision vectors per cold evaluation).
+fn n8_speedup() -> (f64, f64) {
+    let thresholds: Vec<f64> = (0..8).map(|i| 0.45 + 0.03 * i as f64).collect();
+    let rule = RuleSpec::threshold(thresholds.clone());
+
+    let cold_runs = 5;
+    let started = Instant::now();
+    for _ in 0..cold_runs {
+        let mut ctx = EvalContext::new();
+        winning_probability_threshold_in(&mut ctx, &thresholds, &1.0).expect("valid rule");
+    }
+    let cold_ns = started.elapsed().as_nanos() as f64 / f64::from(cold_runs);
+
+    let cache = AnalyticCache::new();
+    let (_, status) = cache.pwin(&rule, 1.0).expect("valid rule");
+    assert_eq!(status, CacheStatus::Miss);
+    let hit_runs = 10_000u32;
+    let started = Instant::now();
+    for _ in 0..hit_runs {
+        let (_, status) = cache.pwin(&rule, 1.0).expect("valid rule");
+        assert_eq!(status, CacheStatus::Hit);
+    }
+    let hit_ns = started.elapsed().as_nanos() as f64 / f64::from(hit_runs);
+    (cold_ns, hit_ns)
+}
+
+fn main() {
+    let opts = options();
+    let daemon = Service::start(ServiceConfig::default()).expect("daemon start");
+    let addr = daemon.local_addr();
+    println!(
+        "service_load: {} virtual clients over {} connections, {} requests each, daemon at {addr}",
+        opts.virtual_clients, opts.connections, opts.requests_per_client
+    );
+
+    let latency = Arc::new(Histogram::new());
+    let per_connection = opts.virtual_clients.div_ceil(opts.connections);
+    let started = Instant::now();
+    let drivers: Vec<_> = (0..opts.connections)
+        .map(|c| {
+            let latency = latency.clone();
+            let lo = c * per_connection;
+            let hi = ((c + 1) * per_connection).min(opts.virtual_clients);
+            let requests_per_client = opts.requests_per_client;
+            std::thread::spawn(move || drive(addr, lo..hi, requests_per_client, &latency))
+        })
+        .collect();
+    let mut requests = 0u64;
+    let mut observed_hits = 0u64;
+    for driver in drivers {
+        let (sent, hits) = driver.join().expect("driver thread panicked");
+        requests += sent;
+        observed_hits += hits;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let qps = requests as f64 / elapsed;
+
+    let snapshot = latency.snapshot();
+    let p50 = quantile_le(&snapshot, 0.50);
+    let p99 = quantile_le(&snapshot, 0.99);
+    let frame = daemon.metrics_frame();
+    let engine = daemon.metrics().engine_snapshot();
+    let (cold_ns, hit_ns) = n8_speedup();
+    daemon.shutdown();
+
+    println!("  {requests} requests in {elapsed:.2}s = {qps:.0} qps sustained");
+    println!(
+        "  latency p50 ≤ {}µs, p99 ≤ {}µs, mean {:.0}µs (client-observed)",
+        p50 / 1_000,
+        p99 / 1_000,
+        snapshot.mean() / 1_000.0
+    );
+    println!(
+        "  daemon cache: {} hits / {} misses; engine: {} runs, {} batches",
+        frame.cache_hits, frame.cache_misses, frame.sim_runs, frame.sim_batches
+    );
+    println!(
+        "  n = 8 analytic: cold {:.0}ns vs cache hit {:.0}ns = {:.0}x",
+        cold_ns,
+        hit_ns,
+        cold_ns / hit_ns
+    );
+
+    let mut doc = String::from("{\n");
+    let _ = writeln!(doc, "  \"bench\": \"service_load\",");
+    let _ = writeln!(doc, "  \"virtual_clients\": {},", opts.virtual_clients);
+    let _ = writeln!(doc, "  \"physical_connections\": {},", opts.connections);
+    let _ = writeln!(doc, "  \"requests\": {requests},");
+    let _ = writeln!(doc, "  \"duration_s\": {elapsed:?},");
+    let _ = writeln!(doc, "  \"qps\": {:?},", (qps * 10.0).round() / 10.0);
+    let _ = writeln!(
+        doc,
+        "  \"latency_ns\": {{\"p50_le\": {p50}, \"p99_le\": {p99}, \"mean\": {:?}}},",
+        snapshot.mean().round()
+    );
+    let _ = writeln!(
+        doc,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"observed_hit_responses\": {observed_hits}}},",
+        frame.cache_hits, frame.cache_misses
+    );
+    let _ = writeln!(
+        doc,
+        "  \"engine\": {{\"runs\": {}, \"batches\": {}, \"trials\": {}, \"pool_jobs\": {}}},",
+        engine.runs, engine.batches, engine.trials, engine.pool_jobs
+    );
+    let _ = writeln!(
+        doc,
+        "  \"n8_analytic\": {{\"cold_ns\": {:?}, \"cache_hit_ns\": {:?}, \"speedup\": {:?}}}",
+        cold_ns.round(),
+        hit_ns.round(),
+        (cold_ns / hit_ns).round()
+    );
+    doc.push_str("}\n");
+    std::fs::write(&opts.out, doc).expect("write benchmark document");
+    println!("  wrote {}", opts.out.display());
+}

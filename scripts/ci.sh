@@ -2,7 +2,7 @@
 # The full local gate, identical to .github/workflows/ci.yml:
 #   fmt -> static analyzer -> examples build -> tests (incl. doc-tests)
 #   -> tests with hard invariants -> bench smoke -> metrics smoke
-#   -> analyze smoke (runtime budget).
+#   -> service smoke -> analyze smoke (runtime budget).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,6 +38,21 @@ metrics_out="${TMPDIR:-/tmp}/engine_metrics.ci.json"
 cargo run --release --quiet --example engine_metrics -- --out "$metrics_out"
 cargo run --package xtask --quiet -- metrics-check "$metrics_out"
 rm -f "$metrics_out"
+
+echo "==> service smoke (daemon round trip)"
+# Starts the query daemon on an ephemeral port and round-trips one
+# query of each kind (pwin, optimal, sweep, simulate, shutdown),
+# checking answers against direct library calls. The build is paid
+# untimed; the smoke itself must finish within 5s.
+cargo build --release --quiet --bin nocomm-service
+start=$(date +%s)
+cargo run --release --quiet --bin nocomm-service -- --smoke
+elapsed=$(( $(date +%s) - start ))
+echo "service smoke: ${elapsed}s"
+if [ "$elapsed" -ge 5 ]; then
+    echo "service smoke: exceeded the 5s runtime budget" >&2
+    exit 1
+fi
 
 echo "==> analyze smoke (runtime budget)"
 # The analyzer must stay cheap enough to run on every push: a second

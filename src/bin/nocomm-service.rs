@@ -1,0 +1,202 @@
+//! `nocomm-service` — the long-running query daemon.
+//!
+//! ```text
+//! nocomm-service serve [--addr 127.0.0.1:7199] [--threads 2]
+//!                      [--batch-size 16384] [--max-trials 50000000]
+//! nocomm-service --smoke
+//! ```
+//!
+//! `serve` binds, prints the listening address on stdout (one line,
+//! so scripts can scrape it when using port 0), and runs until a
+//! client sends a `shutdown` request or the process is killed.
+//!
+//! `--smoke` is the CI self-test: it starts a daemon in-process on an
+//! ephemeral port, round-trips one query of every kind over real TCP,
+//! checks each answer against a direct library call, shuts the daemon
+//! down gracefully, and exits non-zero on any mismatch.
+
+use nocomm::service::{
+    Client, Outcome, Request, Response, RuleFamily, RuleSpec, Service, ServiceConfig,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  nocomm-service serve [--addr <host:port>] [--threads <t>]
+                       [--batch-size <b>] [--max-trials <t>]
+  nocomm-service --smoke
+serve prints its bound address on stdout; stop it with a shutdown
+request (see the Serving section of the README) or a signal";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("--smoke") => smoke(),
+        _ => Err("expected `serve` or `--smoke`".to_owned()),
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7199".to_owned(),
+        ..ServiceConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let v = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+        match arg.as_str() {
+            "--addr" => config.addr.clone_from(v),
+            "--threads" => {
+                config.engine_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+            }
+            "--batch-size" => {
+                config.batch_size = v
+                    .parse()
+                    .map_err(|_| format!("bad --batch-size value {v:?}"))?;
+            }
+            "--max-trials" => {
+                config.max_trials = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-trials value {v:?}"))?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let daemon = Service::start(config).map_err(|e| format!("cannot start daemon: {e}"))?;
+    println!("{}", daemon.local_addr());
+    daemon.wait();
+    eprintln!("nocomm-service: drained and shut down");
+    Ok(())
+}
+
+/// One successful outcome out of a response, or a readable error.
+fn expect_ok(what: &str, response: Response) -> Result<Outcome, String> {
+    response
+        .outcome
+        .map_err(|message| format!("{what} failed: {message}"))
+}
+
+fn smoke() -> Result<(), String> {
+    let daemon = Service::start(ServiceConfig::default())
+        .map_err(|e| format!("cannot start daemon: {e}"))?;
+    let addr = daemon.local_addr();
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+    let transport = |e: std::io::Error| format!("transport failure: {e}");
+
+    // pwin: β = 1/2, n = 3, δ = 1 lies on the paper's curve at 23/48.
+    let outcome = expect_ok(
+        "pwin",
+        client
+            .roundtrip(Request::PWin {
+                delta: 1.0,
+                rule: RuleSpec::threshold(vec![0.5, 0.5, 0.5]),
+            })
+            .map_err(transport)?,
+    )?;
+    let Outcome::PWin { value, .. } = outcome else {
+        return Err("pwin answered with the wrong outcome kind".to_owned());
+    };
+    if (value - 23.0 / 48.0).abs() > 1e-12 {
+        return Err(format!("pwin answered {value}, expected 23/48"));
+    }
+
+    // optimal: the oblivious cube optimum at n = 3, δ = 1 is a
+    // deterministic 2/1 partition with value 1/2.
+    let outcome = expect_ok(
+        "optimal",
+        client
+            .roundtrip(Request::Optimal {
+                family: RuleFamily::Oblivious,
+                n: 3,
+                delta: 1.0,
+            })
+            .map_err(transport)?,
+    )?;
+    let Outcome::Optimal { value, .. } = outcome else {
+        return Err("optimal answered with the wrong outcome kind".to_owned());
+    };
+    if (value - 0.5).abs() > 1e-6 {
+        return Err(format!("optimal answered {value}, expected 1/2"));
+    }
+
+    // sweep: must match the library curve bit for bit.
+    let outcome = expect_ok(
+        "sweep",
+        client
+            .roundtrip(Request::Sweep {
+                n: 3,
+                delta: 1.0,
+                grid: 16,
+            })
+            .map_err(transport)?,
+    )?;
+    let Outcome::Sweep { points, .. } = outcome else {
+        return Err("sweep answered with the wrong outcome kind".to_owned());
+    };
+    let library = nocomm::simulator::sweep_threshold_analytic(3, 1.0, 16)
+        .map_err(|e| format!("library sweep failed: {e}"))?;
+    if points.len() != library.len()
+        || points.iter().zip(&library).any(|((x, p), l)| {
+            x.to_bits() != l.x.to_bits() || p.to_bits() != l.probability.to_bits()
+        })
+    {
+        return Err("served sweep disagrees with the library curve".to_owned());
+    }
+
+    // simulate: counts must match a direct engine run with the same
+    // (trials, seed, batch_size) exactly.
+    let trials = 50_000;
+    let seed = 7;
+    let outcome = expect_ok(
+        "simulate",
+        client
+            .roundtrip(Request::Simulate {
+                delta: 1.0,
+                trials,
+                seed,
+                rule: RuleSpec::threshold(vec![0.622, 0.622, 0.622]),
+            })
+            .map_err(transport)?,
+    )?;
+    let Outcome::Simulate { wins, trials: done } = outcome else {
+        return Err("simulate answered with the wrong outcome kind".to_owned());
+    };
+    let rule = nocomm::decision::SingleThresholdAlgorithm::from_f64(&[0.622, 0.622, 0.622])
+        .map_err(|e| format!("rule build failed: {e}"))?;
+    let direct = nocomm::simulator::Simulation::new(trials, seed)
+        .try_with_batch_size(ServiceConfig::default().batch_size)
+        .map_err(|e| format!("engine config failed: {e}"))?
+        .run(&rule, 1.0);
+    if wins != direct.wins || done != direct.trials {
+        return Err(format!(
+            "served run ({wins}/{done}) disagrees with direct run ({}/{})",
+            direct.wins, direct.trials
+        ));
+    }
+
+    // shutdown: acknowledged, then the daemon drains.
+    let outcome = expect_ok(
+        "shutdown",
+        client.roundtrip(Request::Shutdown).map_err(transport)?,
+    )?;
+    if outcome != Outcome::ShuttingDown {
+        return Err("shutdown answered with the wrong outcome kind".to_owned());
+    }
+    daemon.wait();
+    println!("nocomm-service --smoke: all query kinds round-trip correctly");
+    Ok(())
+}

@@ -13,6 +13,8 @@
 //! | [`uniform_sums`] | CDFs/densities of sums of uniforms (Lemmas 2.4/2.5/2.7, Irwin–Hall) |
 //! | [`decision`] | the paper's core: winning probabilities, optimality conditions, optimal algorithms |
 //! | [`simulator`] | multi-threaded Monte-Carlo validation of every closed form |
+//! | [`service`] | the `nocomm-service` query daemon: analytics and simulations over TCP |
+//! | [`obs`] | counters, histograms, deadlines — the observability toolkit |
 //!
 //! # Quickstart
 //!
@@ -32,7 +34,9 @@
 pub use bigint;
 pub use decision;
 pub use geometry;
+pub use obs;
 pub use polynomial;
 pub use rational;
+pub use service;
 pub use simulator;
 pub use uniform_sums;
