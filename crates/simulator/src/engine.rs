@@ -23,41 +23,57 @@
 //!
 //! * **v1** (through PR 2): every player drew three uniforms per
 //!   trial — input, coin, and a fault coin even when `p_crash = 0`.
-//! * **v2** (current): under the default [`FaultStream::OnDemand`],
-//!   the fault draw is skipped entirely when `p_crash = 0`, so a
-//!   crash-free trial consumes two uniforms per player.
+//! * **v2** (through PR 7, still carried by the sequential paths):
+//!   under the default [`FaultStream::OnDemand`], the fault draw is
+//!   skipped entirely when `p_crash = 0`, so a crash-free trial
+//!   consumes two uniforms per player.
 //!   [`FaultStream::CommonRandomNumbers`] restores the v1 shape
 //!   (always draw the fault coin), which keeps the input stream
 //!   shared across different fault rates — use it to compare
 //!   `p_crash` settings variance-free. Runs with `p_crash > 0` are
 //!   bit-identical in both modes.
+//! * **v3** (current): hinted rules default to the **lane kernel** on
+//!   a counter-based Threefry generator. Draw `d` of trial `t` in
+//!   batch `i` is a pure function of `(seed, i, t, d)` — addressed,
+//!   not streamed — with the same per-trial draw *layout* as v2
+//!   (input, coin, and a fault coin only when it would be drawn), so
+//!   both [`FaultStream`] modes keep their v2 semantics. Because
+//!   trials no longer share a serialized generator, `LANES` trials
+//!   fill per inner step and lane width, thread count, batch
+//!   schedule, chaos replay, and checkpoint resume are all invariant
+//!   *by construction*. Opaque rules and [`Simulation::run_dyn`]
+//!   still run the exact v2 sequential stream, and
+//!   [`KernelStream::Sequential`] opts a hinted rule back onto it —
+//!   that is the bit-exact bridge the equivalence tests pin.
 //!
 //! Consequently, same-version estimates are bit-for-bit reproducible
-//! across thread counts, batch schedules, pool reuse, buffered vs
-//! scalar sampling, and dyn vs monomorphized dispatch — but a v2
-//! crash-free estimate differs from the v1 estimate for the same
-//! seed. The expectation tests below were re-pinned against v2
-//! deliberately.
+//! across thread counts, batch schedules, pool reuse, lane widths,
+//! buffered vs scalar sampling, and dyn vs monomorphized dispatch —
+//! but a v3 hinted estimate differs from the v2 estimate for the
+//! same seed (and v2 crash-free differed from v1). The expectation
+//! tests below were re-pinned against v3 deliberately.
 
 use crate::chaos::{self, ChaosPlan, ChaosUnwind, FaultKind};
 use crate::kernel::{
-    BufferedUniforms, GenericKernel, Kernel, ObliviousKernel, ScalarUniforms, ThresholdKernel,
-    UniformSource,
+    BufferedUniforms, GenericKernel, Kernel, LaneKernel, LaneUniforms, ObliviousKernel,
+    ScalarUniforms, ThresholdKernel, UniformSource,
 };
 use crate::metrics::keys;
 use crate::pool::{Job, PoolConfig, WorkerPool};
 use crate::{SimulationError, SimulationReport};
 use decision::{Bin, KernelHint, LocalRule};
 use obs::{Deadline, MetricsSink, NoopSink};
+use rand::counter::CounterKey;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Duration;
 
 /// Version of the per-batch RNG stream shape (see the
 /// [module docs](self) for the history).
-pub const RNG_STREAM_VERSION: u32 = 2;
+pub const RNG_STREAM_VERSION: u32 = 3;
 
 /// Default trials per batch; shared with the instrumented
 /// [`load_stats`](crate::load_stats) loop so its stream stays
@@ -89,6 +105,49 @@ pub enum FaultStream {
     CommonRandomNumbers,
 }
 
+/// How many trials the lane kernel advances per inner-loop step.
+///
+/// Every width produces bit-identical estimates (trial outcomes are
+/// pure functions of their own counters; the width only chooses how
+/// many are computed elementwise at once), so this is a pure
+/// performance knob. [`LaneWidth::W16`] is the default: two vector
+/// registers of lanes per Threefry word gives the round ladder's
+/// serial add–rotate–xor chains a second independent instruction
+/// stream to overlap (measurably ahead of `W8` on the reference
+/// container), while the per-group scratch still fits in L1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// One trial per step — the scalar instantiation the invariance
+    /// tests compare against.
+    W1,
+    /// Eight trials per step.
+    W8,
+    /// Sixteen trials per step (default).
+    #[default]
+    W16,
+}
+
+/// Which uniform stream hinted (threshold/oblivious) rules run on.
+///
+/// Opaque rules and [`Simulation::run_dyn`] always use the
+/// sequential v2 stream regardless of this setting; see the
+/// [module docs](self) stream-version history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelStream {
+    /// The stream-v3 counter-based lane kernel (default).
+    Lanes(LaneWidth),
+    /// The sequential v2 stream through the buffered source — the
+    /// pre-v3 hinted path, kept bit-exact so hinted, opaque, and dyn
+    /// dispatch can still be compared draw for draw.
+    Sequential,
+}
+
+impl Default for KernelStream {
+    fn default() -> KernelStream {
+        KernelStream::Lanes(LaneWidth::default())
+    }
+}
+
 /// A deterministic, thread-parallel Monte-Carlo estimator of the
 /// winning probability `P_A(δ)` of any [`LocalRule`].
 ///
@@ -118,6 +177,7 @@ pub struct Simulation {
     threads: usize,
     batch_size: u64,
     fault_stream: FaultStream,
+    kernel_stream: KernelStream,
     /// Lazily-spawned persistent workers, shared by clones (so
     /// [`Simulation::reseeded`] engines reuse the same threads).
     pool: Arc<OnceLock<WorkerPool>>,
@@ -140,6 +200,7 @@ impl std::fmt::Debug for Simulation {
             .field("threads", &self.threads)
             .field("batch_size", &self.batch_size)
             .field("fault_stream", &self.fault_stream)
+            .field("kernel_stream", &self.kernel_stream)
             .field("pool", &self.pool)
             .field("chaos", &self.chaos)
             .field("batch_deadline", &self.batch_deadline)
@@ -154,10 +215,16 @@ impl std::fmt::Debug for Simulation {
 pub(crate) struct BatchTotals {
     /// Winning trials.
     pub(crate) wins: u64,
-    /// Uniform samples handed to the trial loop.
+    /// Uniform samples handed to the trial loop (logical draws: the
+    /// lane path reports the same `trials × players × per-player`
+    /// quantity the sequential sources count).
     pub(crate) draws: u64,
-    /// Buffer refills performed by the uniform source.
+    /// Buffer refills performed by the uniform source (zero on the
+    /// counter-addressed lane path, which has no buffer).
     pub(crate) refills: u64,
+    /// Threefry blocks computed by the lane path (zero on the
+    /// sequential paths).
+    pub(crate) lane_blocks: u64,
     /// Batches executed.
     pub(crate) batches: u64,
 }
@@ -168,6 +235,7 @@ impl BatchTotals {
         self.wins += other.wins;
         self.draws += other.draws;
         self.refills += other.refills;
+        self.lane_blocks += other.lane_blocks;
         self.batches += other.batches;
     }
 }
@@ -183,11 +251,61 @@ struct TrialParams {
     draw_fault: bool,
 }
 
+/// One monomorphized way of turning a batch index into totals: a
+/// kernel paired with a stream discipline. The chaos/retry wrapper,
+/// the pool plumbing, and the scoped-thread runner are all generic
+/// over this, so every `(kernel, stream)` combination shares one set
+/// of orchestration code while keeping the trial loop fully inlined.
+///
+/// Implementations must be pure per batch: `batch_totals(params, b)`
+/// may depend only on its arguments and construction-time state,
+/// which is what makes chaos re-execution and coordinator reclaim
+/// bit-identical.
+trait TrialLoop: Sync {
+    /// Runs batch `batch` to completion and returns its totals.
+    fn batch_totals(&self, params: TrialParams, batch: u64) -> BatchTotals;
+}
+
+/// A kernel on the sequential (v1/v2) stream through uniform source
+/// `U` — the pre-v3 discipline, still the only one for opaque and
+/// dyn dispatch.
+struct SequentialLoop<K, U> {
+    kernel: K,
+    _uniforms: PhantomData<fn() -> U>,
+}
+
+impl<K, U> SequentialLoop<K, U> {
+    fn new(kernel: K) -> SequentialLoop<K, U> {
+        SequentialLoop {
+            kernel,
+            _uniforms: PhantomData,
+        }
+    }
+}
+
+impl<K: Kernel, U: UniformSource> TrialLoop for SequentialLoop<K, U> {
+    fn batch_totals(&self, params: TrialParams, batch: u64) -> BatchTotals {
+        run_batch::<K, U>(&self.kernel, params, batch)
+    }
+}
+
+/// A hinted kernel on the stream-v3 counter generator, `L` lanes per
+/// step.
+struct LaneLoop<K, const L: usize> {
+    kernel: K,
+}
+
+impl<K: LaneKernel, const L: usize> TrialLoop for LaneLoop<K, L> {
+    fn batch_totals(&self, params: TrialParams, batch: u64) -> BatchTotals {
+        run_lane_batch::<K, L>(&self.kernel, params, batch)
+    }
+}
+
 /// Shared state of one pooled run: workers and the submitting thread
 /// all drain batches from `next` and report per-batch totals to the
 /// coordinator.
-struct PooledRun<K> {
-    kernel: K,
+struct PooledRun<T> {
+    trial_loop: T,
     params: TrialParams,
     batches: u64,
     next: AtomicU64,
@@ -197,7 +315,7 @@ struct PooledRun<K> {
     sink: Arc<dyn MetricsSink>,
 }
 
-impl<K: Kernel> PooledRun<K> {
+impl<T: TrialLoop> PooledRun<T> {
     /// Claims and runs batches until the counter is exhausted,
     /// reporting each completed batch to the coordinator. An injected
     /// worker panic unwinds out of this loop (killing the drain job);
@@ -209,8 +327,8 @@ impl<K: Kernel> PooledRun<K> {
             if batch >= self.batches {
                 return;
             }
-            let totals = execute_batch::<K, BufferedUniforms>(
-                &self.kernel,
+            let totals = execute_batch(
+                &self.trial_loop,
                 self.params,
                 batch,
                 self.chaos.as_deref(),
@@ -286,8 +404,8 @@ enum Attempt {
 /// Re-execution is bit-identical by construction: the batch stream is
 /// a pure function of `(seed, batch)` and a fault arms strictly before
 /// any trial runs, so no partial state survives an unwind.
-fn execute_batch<K: Kernel, U: UniformSource>(
-    kernel: &K,
+fn execute_batch<T: TrialLoop>(
+    trial_loop: &T,
     params: TrialParams,
     batch: u64,
     chaos: Option<&ChaosPlan>,
@@ -295,13 +413,13 @@ fn execute_batch<K: Kernel, U: UniformSource>(
     attempt: Attempt,
 ) -> BatchTotals {
     if chaos.is_none() {
-        return run_batch::<K, U>(kernel, params, batch);
+        return trial_loop.batch_totals(params, batch);
     }
     let mut tries = 0u32;
     loop {
         tries += 1;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            attempt_batch::<K, U>(kernel, params, batch, chaos, sink)
+            attempt_batch(trial_loop, params, batch, chaos, sink)
         }));
         match outcome {
             Ok(totals) => return totals,
@@ -319,8 +437,8 @@ fn execute_batch<K: Kernel, U: UniformSource>(
 
 /// One execution attempt: arm the batch's planned fault (first attempt
 /// only), then run the pure batch.
-fn attempt_batch<K: Kernel, U: UniformSource>(
-    kernel: &K,
+fn attempt_batch<T: TrialLoop>(
+    trial_loop: &T,
     params: TrialParams,
     batch: u64,
     chaos: Option<&ChaosPlan>,
@@ -338,7 +456,7 @@ fn attempt_batch<K: Kernel, U: UniformSource>(
             }
         }
     }
-    run_batch::<K, U>(kernel, params, batch)
+    trial_loop.batch_totals(params, batch)
 }
 
 impl Simulation {
@@ -374,6 +492,7 @@ impl Simulation {
             threads,
             batch_size: DEFAULT_BATCH_SIZE,
             fault_stream: FaultStream::default(),
+            kernel_stream: KernelStream::default(),
             pool: Arc::new(OnceLock::new()),
             sink: Arc::new(NoopSink),
             chaos: None,
@@ -430,6 +549,23 @@ impl Simulation {
     pub fn with_fault_stream(mut self, fault_stream: FaultStream) -> Simulation {
         self.fault_stream = fault_stream;
         self
+    }
+
+    /// Selects the stream hinted rules run on (see [`KernelStream`]):
+    /// the default stream-v3 lane kernel at a chosen [`LaneWidth`],
+    /// or the sequential v2 stream for draw-for-draw comparison with
+    /// opaque and dyn dispatch.
+    #[must_use]
+    pub fn with_kernel_stream(mut self, kernel_stream: KernelStream) -> Simulation {
+        self.kernel_stream = kernel_stream;
+        self
+    }
+
+    /// Shorthand for [`Simulation::with_kernel_stream`] with
+    /// [`KernelStream::Lanes`] at the given width.
+    #[must_use]
+    pub fn with_lane_width(self, width: LaneWidth) -> Simulation {
+        self.with_kernel_stream(KernelStream::Lanes(width))
     }
 
     /// Attaches a metrics sink — typically an
@@ -550,19 +686,22 @@ impl Simulation {
                 // must describe exactly the rule's players.
                 contracts::invariant!(thresholds.len() == rule.n(), "kernel hint arity");
                 (
-                    self.run_owned(ThresholdKernel::new(thresholds), params),
+                    self.run_hinted(ThresholdKernel::new(thresholds), params),
                     keys::DISPATCH_THRESHOLD,
                 )
             }
             KernelHint::Oblivious(alpha) => {
                 contracts::invariant!(alpha.len() == rule.n(), "kernel hint arity");
                 (
-                    self.run_owned(ObliviousKernel::new(alpha), params),
+                    self.run_hinted(ObliviousKernel::new(alpha), params),
                     keys::DISPATCH_OBLIVIOUS,
                 )
             }
             _ => (
-                self.run_borrowed::<_, BufferedUniforms>(&GenericKernel(rule), params),
+                self.run_borrowed(
+                    &SequentialLoop::<_, BufferedUniforms>::new(GenericKernel(rule)),
+                    params,
+                ),
                 keys::DISPATCH_OPAQUE,
             ),
         };
@@ -605,7 +744,10 @@ impl Simulation {
     ) -> SimulationReport {
         assert!((0.0..=1.0).contains(&p_crash), "crash probability range"); // xtask:allow(no-panic): documented precondition
         let params = self.trial_params(delta, p_crash);
-        let totals = self.run_borrowed::<_, ScalarUniforms>(&GenericKernel(rule), params);
+        let totals = self.run_borrowed(
+            &SequentialLoop::<_, ScalarUniforms>::new(GenericKernel(rule)),
+            params,
+        );
         self.flush_run(totals, keys::DISPATCH_DYN);
         contracts::invariant!(
             totals.wins <= self.trials,
@@ -654,11 +796,18 @@ impl Simulation {
         let sink = &*self.sink;
         sink.add(keys::RUNS, 1);
         sink.add(dispatch, 1);
+        // A lane run computes at least one Threefry block per batch
+        // (every rule has a player, every run a batch), so a nonzero
+        // block count identifies the lane path exactly.
+        if totals.lane_blocks > 0 {
+            sink.add(keys::DISPATCH_LANE, 1);
+        }
         sink.add(keys::TRIALS, self.trials);
         sink.add(keys::WINS, totals.wins);
         sink.add(keys::BATCHES, totals.batches);
         sink.add(keys::RNG_DRAWS, totals.draws);
         sink.add(keys::RNG_REFILLS, totals.refills);
+        sink.add(keys::RNG_LANE_BLOCKS, totals.lane_blocks);
     }
 
     /// Bundles the per-run constants handed to every batch.
@@ -673,11 +822,36 @@ impl Simulation {
         }
     }
 
-    /// Runs an owned (`'static`) kernel — sequentially, or on the
-    /// persistent pool when parallelism is planned.
-    fn run_owned<K: Kernel + Send + Sync + 'static>(
+    /// Runs a hinted kernel on the configured [`KernelStream`]: the
+    /// stream-v3 lane loop at the chosen width (monomorphized per
+    /// width), or the sequential v2 loop for bit-exact comparison
+    /// with the opaque/dyn paths.
+    fn run_hinted<K: LaneKernel + Send + Sync + 'static>(
         &self,
         kernel: K,
+        params: TrialParams,
+    ) -> BatchTotals {
+        match self.kernel_stream {
+            KernelStream::Lanes(LaneWidth::W1) => {
+                self.run_owned(LaneLoop::<K, 1> { kernel }, params)
+            }
+            KernelStream::Lanes(LaneWidth::W8) => {
+                self.run_owned(LaneLoop::<K, 8> { kernel }, params)
+            }
+            KernelStream::Lanes(LaneWidth::W16) => {
+                self.run_owned(LaneLoop::<K, 16> { kernel }, params)
+            }
+            KernelStream::Sequential => {
+                self.run_owned(SequentialLoop::<K, BufferedUniforms>::new(kernel), params)
+            }
+        }
+    }
+
+    /// Runs an owned (`'static`) trial loop — sequentially, or on the
+    /// persistent pool when parallelism is planned.
+    fn run_owned<T: TrialLoop + Send + 'static>(
+        &self,
+        trial_loop: T,
         params: TrialParams,
     ) -> BatchTotals {
         let batches = params.trials.div_ceil(params.batch_size);
@@ -685,8 +859,8 @@ impl Simulation {
         if workers == 1 {
             let mut totals = BatchTotals::default();
             for batch in 0..batches {
-                totals.merge(execute_batch::<K, BufferedUniforms>(
-                    &kernel,
+                totals.merge(execute_batch(
+                    &trial_loop,
                     params,
                     batch,
                     self.chaos.as_deref(),
@@ -696,11 +870,11 @@ impl Simulation {
             }
             totals
         } else {
-            self.run_pooled(kernel, params, batches, workers)
+            self.run_pooled(trial_loop, params, batches, workers)
         }
     }
 
-    /// Ships an owned kernel to the persistent pool: `workers - 1`
+    /// Ships an owned trial loop to the persistent pool: `workers - 1`
     /// pool jobs plus the calling thread drain a shared batch
     /// counter, each completed batch reporting `(index, totals)` back
     /// to this coordinating thread.
@@ -713,9 +887,9 @@ impl Simulation {
     /// Determinism does not depend on any of this: batch `i`'s RNG
     /// stream is a pure function of `(seed, i)` and the totals are
     /// summed commutatively over exactly one completion per batch.
-    fn run_pooled<K: Kernel + Send + Sync + 'static>(
+    fn run_pooled<T: TrialLoop + Send + 'static>(
         &self,
-        kernel: K,
+        trial_loop: T,
         params: TrialParams,
         batches: u64,
         workers: usize,
@@ -733,7 +907,7 @@ impl Simulation {
         self.inject_worker_exits(pool);
         let deadline = Deadline::after(self.batch_deadline);
         let run = Arc::new(PooledRun {
-            kernel,
+            trial_loop,
             params,
             batches,
             next: AtomicU64::new(0),
@@ -764,8 +938,8 @@ impl Simulation {
             if batch >= batches {
                 break;
             }
-            let totals = execute_batch::<K, BufferedUniforms>(
-                &run.kernel,
+            let totals = execute_batch(
+                &run.trial_loop,
                 params,
                 batch,
                 self.chaos.as_deref(),
@@ -791,8 +965,8 @@ impl Simulation {
         for batch in 0..batches {
             if !ledger.is_done(batch) {
                 self.sink.add(keys::RECOVERED_BATCHES, 1);
-                let totals = execute_batch::<K, BufferedUniforms>(
-                    &run.kernel,
+                let totals = execute_batch(
+                    &run.trial_loop,
                     params,
                     batch,
                     self.chaos.as_deref(),
@@ -840,27 +1014,24 @@ impl Simulation {
         }
     }
 
-    /// Runs a borrowed kernel — sequentially, or on per-run scoped
-    /// threads. Borrowed kernels (the [`GenericKernel`] fallback)
-    /// cannot ride the persistent pool, whose jobs must be `'static`.
+    /// Runs a borrowed trial loop — sequentially, or on per-run
+    /// scoped threads. Borrowed loops (the [`GenericKernel`]
+    /// fallback) cannot ride the persistent pool, whose jobs must be
+    /// `'static`.
     ///
     /// Scoped workers recover injected faults in place (the
     /// [`Attempt::Coordinator`] policy): scope joins are reliable and
     /// stalls are finite, so there is no lost-batch reclaim to
     /// exercise here and every wait stays bounded.
-    fn run_borrowed<K: Kernel + Sync, U: UniformSource>(
-        &self,
-        kernel: &K,
-        params: TrialParams,
-    ) -> BatchTotals {
+    fn run_borrowed<T: TrialLoop>(&self, trial_loop: &T, params: TrialParams) -> BatchTotals {
         let batches = params.trials.div_ceil(params.batch_size);
         let workers = self.planned_workers();
         let chaos = self.chaos.as_deref();
         if workers == 1 {
             let mut totals = BatchTotals::default();
             for batch in 0..batches {
-                totals.merge(execute_batch::<K, U>(
-                    kernel,
+                totals.merge(execute_batch(
+                    trial_loop,
                     params,
                     batch,
                     chaos,
@@ -885,8 +1056,8 @@ impl Simulation {
                         if batch >= batches {
                             break;
                         }
-                        local.merge(execute_batch::<K, U>(
-                            kernel,
+                        local.merge(execute_batch(
+                            trial_loop,
                             params,
                             batch,
                             chaos,
@@ -966,6 +1137,109 @@ fn run_batch<K: Kernel, U: UniformSource>(
         wins,
         draws: uniforms.draws(),
         refills: uniforms.refills(),
+        lane_blocks: 0,
+        batches: 1,
+    }
+}
+
+/// The Threefry key for a run seeded with `seed` — the stream-v3
+/// analogue of [`batch_rng`], shared with the instrumented
+/// [`load_stats`](crate::load_stats) replay so its draws are
+/// bit-identical to the engine's. Batch and trial live in the
+/// counter, not the key, so one key covers the whole run.
+pub(crate) fn lane_key(seed: u64) -> CounterKey {
+    CounterKey::from_seed(seed)
+}
+
+/// Runs one batch on the stream-v3 counter generator, `L` trials
+/// (lanes) per inner step. Monomorphized over the kernel and the lane
+/// width.
+///
+/// The loop is branch-free per player: the decision and the crash
+/// outcome become `{0.0, 1.0}` masks and both bin sums accumulate
+/// `mask × input`. That is bit-identical to the branchy form — the
+/// masks multiply `input ≥ 0` by exactly `1.0` or `0.0`, and adding
+/// `+0.0` to a non-negative sum is the identity — which the lane
+/// tests pin against a scalar branchy replay. Trial `t`'s draws are
+/// addressed as `(batch, t, kind, player)` in kind-separated planes,
+/// and only the planes the run consumes are generated: inputs
+/// always, coins only when the kernel reads them
+/// ([`LaneKernel::USES_COINS`]), fault coins only under
+/// [`TrialParams::draw_fault`] — so both [`FaultStream`] modes keep
+/// their semantics while e.g. a threshold rule's crash-free run
+/// evaluates half the Threefry blocks an interleaved layout would.
+/// Tail lanes past the batch's trial count are computed and
+/// discarded — counter addressing makes the waste harmless and the
+/// loop shape uniform.
+fn run_lane_batch<K: LaneKernel, const L: usize>(
+    kernel: &K,
+    params: TrialParams,
+    batch: u64,
+) -> BatchTotals {
+    contracts::invariant!(
+        batch * params.batch_size < params.trials,
+        "batch out of range"
+    );
+    let start = batch * params.batch_size;
+    let count = params.batch_size.min(params.trials - start);
+    let n = kernel.players();
+    let per_player = if params.draw_fault { 3 } else { 2 };
+    let mut uniforms = LaneUniforms::<L>::new(
+        lane_key(params.seed),
+        batch,
+        n,
+        K::USES_COINS,
+        params.draw_fault,
+    );
+    let mut wins = 0u64;
+    let mut groups = 0u64;
+    let mut trial0 = 0u64;
+    while trial0 < count {
+        uniforms.fill(trial0);
+        groups += 1;
+        let mut sum0 = [0.0f64; L];
+        let mut sum1 = [0.0f64; L];
+        for player in 0..n {
+            let input = uniforms.input(player);
+            // Coin-blind kernels get a constant placeholder their
+            // `sends_to_zero` never reads (USES_COINS contract).
+            let coin = if K::USES_COINS {
+                uniforms.coin(player)
+            } else {
+                [0.0; L]
+            };
+            if params.draw_fault {
+                let fault = uniforms.fault(player);
+                for j in 0..L {
+                    let live = f64::from(u8::from(fault[j] >= params.p_crash));
+                    let zero =
+                        f64::from(u8::from(kernel.sends_to_zero(player, input[j], coin[j]))) * live;
+                    sum0[j] += zero * input[j];
+                    sum1[j] += (live - zero) * input[j];
+                }
+            } else {
+                for j in 0..L {
+                    let zero = f64::from(u8::from(kernel.sends_to_zero(player, input[j], coin[j])));
+                    sum0[j] += zero * input[j];
+                    sum1[j] += (1.0 - zero) * input[j];
+                }
+            }
+        }
+        let live_lanes = usize::try_from(count - trial0).unwrap_or(L).min(L);
+        for j in 0..live_lanes {
+            wins += u64::from(sum0[j] <= params.delta && sum1[j] <= params.delta);
+        }
+        trial0 += L as u64;
+    }
+    contracts::invariant!(wins <= count, "batch wins exceed batch size");
+    BatchTotals {
+        wins,
+        // Logical draws: the same conservation quantity the
+        // sequential sources count (tail-lane waste is compute, not
+        // stream consumption — nothing downstream ever sees it).
+        draws: count * (n as u64) * per_player as u64,
+        refills: 0,
+        lane_blocks: groups * uniforms.blocks_per_group(),
         batches: 1,
     }
 }
@@ -989,7 +1263,7 @@ mod tests {
     fn stream_version_is_pinned() {
         // Bump deliberately (with the module-docs history updated)
         // whenever the per-trial uniform consumption changes.
-        assert_eq!(RNG_STREAM_VERSION, 2);
+        assert_eq!(RNG_STREAM_VERSION, 3);
     }
 
     #[test]
@@ -1138,14 +1412,19 @@ mod tests {
 
     #[test]
     fn dispatch_paths_are_bit_identical() {
-        // run (kernel + buffered), run over an opaque wrapper
-        // (virtual decide + buffered), and run_dyn (virtual decide +
-        // scalar draws) must agree exactly: kernels and buffering are
-        // transparent views of one logical stream.
+        // On the sequential stream, run (kernel + buffered), run over
+        // an opaque wrapper (virtual decide + buffered), and run_dyn
+        // (virtual decide + scalar draws) must agree exactly: kernels
+        // and buffering are transparent views of one logical stream.
+        // `KernelStream::Sequential` keeps hinted rules on that
+        // stream; the default lane path has its own invariance tests
+        // below.
         let threshold = SingleThresholdAlgorithm::symmetric(4, Rational::ratio(5, 8)).unwrap();
         let oblivious = ObliviousAlgorithm::fair(4);
         for p_crash in [0.0, 0.3] {
-            let sim = Simulation::new(40_000, 31).with_batch_size(3_000);
+            let sim = Simulation::new(40_000, 31)
+                .with_batch_size(3_000)
+                .with_kernel_stream(KernelStream::Sequential);
             let fast = sim.run_with_crashes(&threshold, 1.0, p_crash);
             assert_eq!(
                 sim.run_with_crashes(&Opaque(&threshold), 1.0, p_crash),
@@ -1162,6 +1441,46 @@ mod tests {
     }
 
     #[test]
+    fn lane_widths_are_bit_identical() {
+        // Stream v3 makes every draw a pure function of
+        // (seed, batch, trial, draw), so the lane width is pure
+        // compute shape: W1, W8, and W16 partition the same trials
+        // and must report byte-equal results.
+        let threshold = SingleThresholdAlgorithm::symmetric(4, Rational::ratio(5, 8)).unwrap();
+        let oblivious = ObliviousAlgorithm::fair(4);
+        let rules: [&dyn decision::LocalRule; 2] = [&threshold, &oblivious];
+        for rule in rules {
+            for p_crash in [0.0, 0.3] {
+                let base = Simulation::new(40_000, 31)
+                    .with_batch_size(3_000)
+                    .run_with_crashes(rule, 1.0, p_crash);
+                for width in [LaneWidth::W1, LaneWidth::W8, LaneWidth::W16] {
+                    let r = Simulation::new(40_000, 31)
+                        .with_batch_size(3_000)
+                        .with_lane_width(width)
+                        .run_with_crashes(rule, 1.0, p_crash);
+                    assert_eq!(r, base, "width {width:?}, p_crash {p_crash}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_and_sequential_streams_differ_but_agree_statistically() {
+        // The v3 counter stream is deliberately NOT draw-for-draw
+        // equal to the v2 sequential stream (different generators,
+        // different addressing) — but both are uniform, so the two
+        // estimates agree within Monte-Carlo error.
+        let rule = ObliviousAlgorithm::fair(3);
+        let lane = Simulation::new(400_000, 5).run(&rule, 1.0);
+        let sequential = Simulation::new(400_000, 5)
+            .with_kernel_stream(KernelStream::Sequential)
+            .run(&rule, 1.0);
+        assert_ne!(lane.wins, sequential.wins, "streams should be independent");
+        assert!(lane.agrees_with(sequential.estimate, 4.0), "{lane}");
+    }
+
+    #[test]
     fn fault_stream_modes_agree_when_crashes_possible() {
         // At p_crash > 0 the fault coin is drawn in both modes, so
         // the streams — and hence the reports — are identical.
@@ -1174,13 +1493,31 @@ mod tests {
     }
 
     #[test]
-    fn fault_stream_modes_diverge_at_zero_crash() {
-        // At p_crash = 0 the default mode consumes two uniforms per
-        // player, the common-random-numbers mode three: different
-        // streams, different (equally valid) estimates.
+    fn fault_stream_modes_coincide_at_zero_crash_on_the_lane_stream() {
+        // Stream v3 addresses each draw kind in its own counter
+        // plane, so whether the fault plane is generated cannot
+        // perturb the input/coin draws: at p_crash = 0 the two fault
+        // stream modes are bit-identical — the common-random-numbers
+        // pairing the mode exists for is automatic on the lane path.
         let rule = ObliviousAlgorithm::fair(3);
         let on_demand = Simulation::new(50_000, 13).run(&rule, 1.0);
         let common = Simulation::new(50_000, 13)
+            .with_fault_stream(FaultStream::CommonRandomNumbers)
+            .run(&rule, 1.0);
+        assert_eq!(on_demand, common);
+    }
+
+    #[test]
+    fn fault_stream_modes_diverge_at_zero_crash_on_the_sequential_stream() {
+        // The v2 sequential stream interleaves draws per player, so
+        // at p_crash = 0 the default mode consumes two uniforms per
+        // player and the common-random-numbers mode three: different
+        // streams, different (equally valid) estimates.
+        let rule = ObliviousAlgorithm::fair(3);
+        let sim = Simulation::new(50_000, 13).with_kernel_stream(KernelStream::Sequential);
+        let on_demand = sim.run(&rule, 1.0);
+        let common = sim
+            .clone()
             .with_fault_stream(FaultStream::CommonRandomNumbers)
             .run(&rule, 1.0);
         assert_ne!(on_demand.wins, common.wins);

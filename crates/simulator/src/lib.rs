@@ -60,7 +60,7 @@ pub use antithetic::{run_antithetic, AntitheticReport};
 pub use chaos::{ChaosPlan, FaultKind};
 pub use checkpoint::{SweepCheckpoint, SWEEP_CHECKPOINT_SCHEMA};
 pub use distributed::DistributedSimulation;
-pub use engine::{FaultStream, Simulation, RNG_STREAM_VERSION};
+pub use engine::{FaultStream, KernelStream, LaneWidth, Simulation, RNG_STREAM_VERSION};
 pub use error::{SimulationError, SweepError};
 pub use metrics::{keys, EngineMetrics, MetricsSnapshot};
 pub use omniscient::full_information_win_rate;

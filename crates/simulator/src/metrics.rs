@@ -30,7 +30,8 @@
 //! assert_eq!(snap.trials, 50_000);
 //! assert_eq!(snap.wins, report.wins);
 //! assert_eq!(snap.dispatch_oblivious, 1);
-//! // Crash-free v2 stream: two uniforms per player per trial.
+//! // Crash-free stream: two uniforms per player per trial —
+//! // logical draws, identical on the lane and sequential paths.
 //! assert_eq!(snap.rng_draws, 50_000 * 3 * 2);
 //! ```
 
@@ -70,11 +71,21 @@ pub mod keys {
     pub const DISPATCH_OPAQUE: &str = "engine.dispatch.opaque";
     /// Runs through the deliberate `run_dyn*` baseline (counter).
     pub const DISPATCH_DYN: &str = "engine.dispatch.dyn";
-    /// Uniform samples handed to trial loops (counter).
+    /// Runs that executed on the lane-batched v3 counter-stream
+    /// kernel (counter; hinted runs only, and only when
+    /// `KernelStream::Sequential` was not requested).
+    pub const DISPATCH_LANE: &str = "engine.dispatch.lane";
+    /// Uniform samples handed to trial loops (counter; logical draws
+    /// — the lane path reports the same `trials × n × per_player`
+    /// total as the sequential stream it replaces).
     pub const RNG_DRAWS: &str = "rng.draws";
     /// `BufferedUniforms` chunk refills (counter; scalar sources
-    /// never refill).
+    /// never refill, and the lane path reports zero — see
+    /// [`RNG_LANE_BLOCKS`]).
     pub const RNG_REFILLS: &str = "rng.refills";
+    /// Threefry-4×64 counter blocks evaluated by the lane kernel
+    /// (counter; each block yields four uniforms per lane).
+    pub const RNG_LANE_BLOCKS: &str = "rng.lane_blocks";
     /// Jobs executed by pool workers (counter).
     pub const POOL_JOBS: &str = "pool.jobs";
     /// Batches completed by pooled runs — first completions only,
@@ -129,8 +140,10 @@ pub struct EngineMetrics {
     dispatch_oblivious: Counter,
     dispatch_opaque: Counter,
     dispatch_dyn: Counter,
+    dispatch_lane: Counter,
     rng_draws: Counter,
     rng_refills: Counter,
+    rng_lane_blocks: Counter,
     pool_jobs: Counter,
     pool_batches: Counter,
     pool_panics: Counter,
@@ -171,8 +184,10 @@ impl EngineMetrics {
             dispatch_oblivious: self.dispatch_oblivious.get(),
             dispatch_opaque: self.dispatch_opaque.get(),
             dispatch_dyn: self.dispatch_dyn.get(),
+            dispatch_lane: self.dispatch_lane.get(),
             rng_draws: self.rng_draws.get(),
             rng_refills: self.rng_refills.get(),
+            rng_lane_blocks: self.rng_lane_blocks.get(),
             pool_jobs: self.pool_jobs.get(),
             pool_batches: self.pool_batches.get(),
             pool_panics: self.pool_panics.get(),
@@ -203,8 +218,10 @@ impl EngineMetrics {
             keys::DISPATCH_OBLIVIOUS => &self.dispatch_oblivious,
             keys::DISPATCH_OPAQUE => &self.dispatch_opaque,
             keys::DISPATCH_DYN => &self.dispatch_dyn,
+            keys::DISPATCH_LANE => &self.dispatch_lane,
             keys::RNG_DRAWS => &self.rng_draws,
             keys::RNG_REFILLS => &self.rng_refills,
+            keys::RNG_LANE_BLOCKS => &self.rng_lane_blocks,
             keys::POOL_JOBS => &self.pool_jobs,
             keys::POOL_BATCHES => &self.pool_batches,
             keys::POOL_PANICS => &self.pool_panics,
@@ -261,10 +278,14 @@ pub struct MetricsSnapshot {
     pub dispatch_opaque: u64,
     /// Runs through the deliberate `run_dyn*` baseline.
     pub dispatch_dyn: u64,
-    /// Uniform samples handed to trial loops.
+    /// Runs executed on the lane-batched v3 counter-stream kernel.
+    pub dispatch_lane: u64,
+    /// Uniform samples handed to trial loops (logical draws).
     pub rng_draws: u64,
     /// `BufferedUniforms` chunk refills.
     pub rng_refills: u64,
+    /// Threefry-4×64 counter blocks evaluated by the lane kernel.
+    pub rng_lane_blocks: u64,
     /// Jobs executed by pool workers.
     pub pool_jobs: u64,
     /// Batches drained through the persistent pool's shared counter.
@@ -310,8 +331,10 @@ impl MetricsSnapshot {
             (keys::DISPATCH_OBLIVIOUS, self.dispatch_oblivious),
             (keys::DISPATCH_OPAQUE, self.dispatch_opaque),
             (keys::DISPATCH_DYN, self.dispatch_dyn),
+            (keys::DISPATCH_LANE, self.dispatch_lane),
             (keys::RNG_DRAWS, self.rng_draws),
             (keys::RNG_REFILLS, self.rng_refills),
+            (keys::RNG_LANE_BLOCKS, self.rng_lane_blocks),
             (keys::POOL_JOBS, self.pool_jobs),
             (keys::POOL_BATCHES, self.pool_batches),
             (keys::POOL_PANICS, self.pool_panics),
@@ -439,7 +462,7 @@ mod tests {
         }
         // ...and the snapshot reflects each increment exactly once.
         assert!(m.snapshot().counters().iter().all(|(_, v)| *v == 1));
-        assert_eq!(listed.len(), 24);
+        assert_eq!(listed.len(), 26);
     }
 
     #[test]

@@ -1,17 +1,25 @@
 //! Load observability: per-bin statistics beyond the win/lose bit.
 //!
 //! [`load_stats`] replays the engine's exact trial stream — same
-//! per-batch seeding, same buffered uniform source, same monomorphized
+//! per-batch addressing, same uniform draws, same monomorphized
 //! kernels — while additionally accounting per-bin loads, occupancy,
 //! and overflow coincidences on the very same draws. Its headline
 //! `report` is therefore bit-identical to [`Simulation::run`] at the
 //! same `(rule, delta, trials, seed)`; earlier revisions drew a
 //! private scalar stream and disagreed with the engine (the regression
 //! test below pins the fix).
+//!
+//! Hinted rules replay the stream-v3 counter addressing the engine's
+//! default lane path uses (scalar [`lane_draw`] replays are
+//! bit-identical to any lane width because every draw is a pure
+//! function of `(seed, batch, trial, draw)`); opaque rules replay the
+//! sequential buffered v2 stream, matching the engine's opaque
+//! fallback.
 
-use crate::engine::{batch_rng, DEFAULT_BATCH_SIZE};
+use crate::engine::{batch_rng, lane_key, DEFAULT_BATCH_SIZE};
 use crate::kernel::{
-    BufferedUniforms, GenericKernel, Kernel, ObliviousKernel, ThresholdKernel, UniformSource,
+    lane_draw, BufferedUniforms, DrawKind, GenericKernel, Kernel, ObliviousKernel, ThresholdKernel,
+    UniformSource,
 };
 use crate::SimulationReport;
 use decision::{Bin, KernelHint, LocalRule};
@@ -79,11 +87,11 @@ pub fn load_stats(rule: &dyn LocalRule, delta: f64, trials: u64, seed: u64) -> L
     let acc = match rule.kernel_hint() {
         KernelHint::Threshold(thresholds) => {
             contracts::invariant!(thresholds.len() == rule.n(), "kernel hint arity");
-            collect_loads(&ThresholdKernel::new(thresholds), delta, trials, seed)
+            collect_loads_lane(&ThresholdKernel::new(thresholds), delta, trials, seed)
         }
         KernelHint::Oblivious(alpha) => {
             contracts::invariant!(alpha.len() == rule.n(), "kernel hint arity");
-            collect_loads(&ObliviousKernel::new(alpha), delta, trials, seed)
+            collect_loads_lane(&ObliviousKernel::new(alpha), delta, trials, seed)
         }
         _ => collect_loads(&GenericKernel(rule), delta, trials, seed),
     };
@@ -98,10 +106,11 @@ pub fn load_stats(rule: &dyn LocalRule, delta: f64, trials: u64, seed: u64) -> L
     }
 }
 
-/// The engine's batched trial loop with load accounting bolted on:
-/// per-batch [`batch_rng`] streams through [`BufferedUniforms`], two
-/// uniforms per player (the crash-free v2 stream shape), and the
-/// win condition evaluated on the identically-accumulated bin sums.
+/// The engine's sequential (opaque-fallback) trial loop with load
+/// accounting bolted on: per-batch [`batch_rng`] streams through
+/// [`BufferedUniforms`], two uniforms per player (the crash-free v2
+/// stream shape), and the win condition evaluated on the
+/// identically-accumulated bin sums.
 fn collect_loads<K: Kernel>(kernel: &K, delta: f64, trials: u64, seed: u64) -> LoadAccumulator {
     let mut acc = LoadAccumulator::default();
     let n = kernel.players();
@@ -115,39 +124,107 @@ fn collect_loads<K: Kernel>(kernel: &K, delta: f64, trials: u64, seed: u64) -> L
             for player in 0..n {
                 let input = uniforms.next_unit();
                 let coin = uniforms.next_unit();
-                match kernel.decide(player, input, coin) {
-                    Bin::Zero => {
-                        sums[0] += input;
-                        acc.occupancy[0] += 1;
-                    }
-                    Bin::One => {
-                        sums[1] += input;
-                        acc.occupancy[1] += 1;
-                    }
-                }
+                account_choice(
+                    &mut acc,
+                    &mut sums,
+                    kernel.decide(player, input, coin),
+                    input,
+                );
             }
-            for (b, &sum) in sums.iter().enumerate() {
-                acc.sum_load[b] += sum;
-                if sum > acc.max_load[b] {
-                    acc.max_load[b] = sum;
-                }
-                if sum > delta {
-                    acc.overflows[b] += 1;
-                }
-            }
-            if sums[0] > delta && sums[1] > delta {
-                acc.both_overflows += 1;
-            }
-            if sums[0] <= delta && sums[1] <= delta {
-                acc.wins += 1;
-            }
+            account_trial(&mut acc, delta, sums);
         }
     }
+    check_inclusion_exclusion(&acc, trials);
+    acc
+}
+
+/// The engine's lane-path trial stream with load accounting bolted
+/// on: every uniform is the stream-v3 counter draw
+/// `lane_draw(seed-key, batch, trial, kind, player)`. Coins are drawn
+/// here even for rules that ignore them — the engine skips
+/// generating that plane, but the draws exist in the addressed
+/// stream and a coin-blind `decide` returns the same bin either way.
+/// Branchy accumulation here matches the lane kernel's masked
+/// accumulation bit-for-bit (masks are exactly `0.0`/`1.0` and
+/// adding `+0.0` to a non-negative sum is identity), so `report`
+/// equals [`Simulation::run`] on any lane width.
+///
+/// [`Simulation::run`]: crate::Simulation::run
+fn collect_loads_lane<K: Kernel>(
+    kernel: &K,
+    delta: f64,
+    trials: u64,
+    seed: u64,
+) -> LoadAccumulator {
+    let key = lane_key(seed);
+    let mut acc = LoadAccumulator::default();
+    let n = kernel.players();
+    let batches = trials.div_ceil(DEFAULT_BATCH_SIZE);
+    for batch in 0..batches {
+        let start = batch * DEFAULT_BATCH_SIZE;
+        let count = DEFAULT_BATCH_SIZE.min(trials - start);
+        for trial in 0..count {
+            let mut sums = [0.0f64; 2];
+            for player in 0..n {
+                let input = lane_draw(&key, batch, trial, DrawKind::Input, player);
+                let coin = lane_draw(&key, batch, trial, DrawKind::Coin, player);
+                account_choice(
+                    &mut acc,
+                    &mut sums,
+                    kernel.decide(player, input, coin),
+                    input,
+                );
+            }
+            account_trial(&mut acc, delta, sums);
+        }
+    }
+    check_inclusion_exclusion(&acc, trials);
+    acc
+}
+
+/// Adds one player's input to the bin their rule chose.
+#[inline]
+fn account_choice(acc: &mut LoadAccumulator, sums: &mut [f64; 2], bin: Bin, input: f64) {
+    match bin {
+        Bin::Zero => {
+            sums[0] += input;
+            acc.occupancy[0] += 1;
+        }
+        Bin::One => {
+            sums[1] += input;
+            acc.occupancy[1] += 1;
+        }
+    }
+}
+
+/// Folds one finished trial's bin sums into the accumulator.
+#[inline]
+fn account_trial(acc: &mut LoadAccumulator, delta: f64, sums: [f64; 2]) {
+    for (b, &sum) in sums.iter().enumerate() {
+        acc.sum_load[b] += sum;
+        if sum > acc.max_load[b] {
+            acc.max_load[b] = sum;
+        }
+        if sum > delta {
+            acc.overflows[b] += 1;
+        }
+    }
+    if sums[0] > delta && sums[1] > delta {
+        acc.both_overflows += 1;
+    }
+    if sums[0] <= delta && sums[1] <= delta {
+        acc.wins += 1;
+    }
+}
+
+/// The count-exact inclusion–exclusion identity every collector must
+/// satisfy: wins + over₀ + over₁ = trials + both.
+fn check_inclusion_exclusion(acc: &LoadAccumulator, trials: u64) {
     contracts::invariant!(
         acc.wins + acc.overflows[0] + acc.overflows[1] == trials + acc.both_overflows,
         "inclusion-exclusion must balance exactly in counts"
     );
-    acc
+    let _ = (acc, trials);
 }
 
 #[cfg(test)]

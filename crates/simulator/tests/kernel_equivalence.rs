@@ -7,7 +7,7 @@
 use decision::{Bin, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
 use proptest::prelude::*;
 use rational::Rational;
-use simulator::{FaultStream, Simulation};
+use simulator::{FaultStream, KernelStream, LaneWidth, Simulation};
 
 /// Hides a rule's [`decision::KernelHint`] so the engine takes the
 /// generic per-decision fallback while still using buffered sampling.
@@ -36,15 +36,29 @@ fn threshold_rule() -> impl Strategy<Value = SingleThresholdAlgorithm> {
         .prop_map(|thresholds| SingleThresholdAlgorithm::new(thresholds).unwrap())
 }
 
-/// The three dispatch paths for one engine configuration must agree
-/// exactly: monomorphized kernel + buffered RNG, generic fallback +
-/// buffered RNG, and the fully-dynamic scalar-draw baseline.
+/// The three sequential dispatch paths for one engine configuration
+/// must agree exactly: monomorphized kernel + buffered RNG, generic
+/// fallback + buffered RNG, and the fully-dynamic scalar-draw
+/// baseline. Hinted rules default to the v3 lane stream, so the
+/// kernel run is pinned to [`KernelStream::Sequential`] here; the
+/// lane path is checked separately for width invariance (same
+/// estimator, deliberately different stream).
 fn assert_paths_agree(rule: &dyn LocalRule, sim: &Simulation, delta: f64, p_crash: f64) {
-    let fast = sim.run_with_crashes(rule, delta, p_crash);
-    let opaque = sim.run_with_crashes(&Opaque(rule), delta, p_crash);
-    let baseline = sim.run_dyn_with_crashes(rule, delta, p_crash);
+    let sequential = sim.clone().with_kernel_stream(KernelStream::Sequential);
+    let fast = sequential.run_with_crashes(rule, delta, p_crash);
+    let opaque = sequential.run_with_crashes(&Opaque(rule), delta, p_crash);
+    let baseline = sequential.run_dyn_with_crashes(rule, delta, p_crash);
     assert_eq!(fast, opaque, "kernel vs generic fallback");
     assert_eq!(fast, baseline, "kernel vs dyn baseline");
+    let lane = sim.run_with_crashes(rule, delta, p_crash);
+    for width in [LaneWidth::W1, LaneWidth::W8] {
+        let widened = sim.clone().with_lane_width(width);
+        assert_eq!(
+            widened.run_with_crashes(rule, delta, p_crash),
+            lane,
+            "lane width {width:?} vs default"
+        );
+    }
 }
 
 proptest! {

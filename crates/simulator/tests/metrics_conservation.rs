@@ -12,7 +12,7 @@
 use decision::{Bin, LocalRule, ObliviousAlgorithm, SingleThresholdAlgorithm};
 use proptest::prelude::*;
 use rational::Rational;
-use simulator::{EngineMetrics, FaultStream, Simulation};
+use simulator::{EngineMetrics, FaultStream, KernelStream, Simulation};
 use std::sync::Arc;
 
 /// Uniforms prefetched per `BufferedUniforms` refill; pinned by the
@@ -64,6 +64,23 @@ fn expected_rng_traffic(trials: u64, batch_size: u64, n: u64, per_player: u64) -
     (draws, refills)
 }
 
+/// The exact number of Threefry counter blocks the lane path (width
+/// `lanes`) evaluates: each lane group covers `lanes` trials and
+/// fills `⌈n / 4⌉` four-word blocks per generated draw plane (tail
+/// groups still fill full planes; tail lanes are compute, not
+/// stream). `planes` counts only what the run consumes — inputs
+/// always, coins when the kernel reads them, fault coins when drawn.
+fn expected_lane_blocks(trials: u64, batch_size: u64, n: u64, planes: u64, lanes: u64) -> u64 {
+    let blocks_per_group = n.div_ceil(4) * planes;
+    let batches = trials.div_ceil(batch_size);
+    (0..batches)
+        .map(|batch| {
+            let count = batch_size.min(trials - batch * batch_size);
+            count.div_ceil(lanes) * blocks_per_group
+        })
+        .sum()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -99,13 +116,52 @@ proptest! {
         let report = sim.run_with_crashes(&rule, 1.0, p_crash);
 
         let snap = metrics.snapshot();
-        let (draws, refills) = expected_rng_traffic(trials, batch_size, n, per_player);
+        // Hinted rules default onto the v3 lane path: the logical
+        // draw law is unchanged, nothing is buffered (zero refills),
+        // and the counter-block ledger replaces the refill ledger.
+        // Threshold kernels are coin-blind, so the generated planes
+        // are the input plane plus the fault plane when drawn.
+        let (draws, _) = expected_rng_traffic(trials, batch_size, n, per_player);
+        let planes = if crashes || common_randomness { 2 } else { 1 };
         prop_assert_eq!(snap.rng_draws, draws);
-        prop_assert_eq!(snap.rng_refills, refills);
+        prop_assert_eq!(snap.rng_refills, 0);
+        prop_assert_eq!(
+            snap.rng_lane_blocks,
+            expected_lane_blocks(trials, batch_size, n, planes, 16)
+        );
         prop_assert_eq!(snap.trials, trials);
         prop_assert_eq!(snap.wins, report.wins);
         prop_assert_eq!(snap.batches, trials.div_ceil(batch_size));
         prop_assert_eq!(snap.runs, 1);
+        prop_assert_eq!(snap.dispatch_threshold, 1);
+        prop_assert_eq!(snap.dispatch_lane, 1);
+    }
+
+    // The sequential opt-out keeps the exact v2 refill law (and
+    // evaluates no counter blocks at all).
+    #[test]
+    fn sequential_stream_keeps_the_refill_law(
+        rule in threshold_rule(),
+        seed in 0u64..1 << 32,
+        trials in 1u64..20_000,
+        batch_size in 500u64..4_000,
+        threads in 1usize..5,
+    ) {
+        let n = rule.n() as u64;
+        let metrics = Arc::new(EngineMetrics::new());
+        let sim = Simulation::new(trials, seed)
+            .with_threads(threads)
+            .with_batch_size(batch_size)
+            .with_kernel_stream(KernelStream::Sequential)
+            .with_metrics(metrics.clone());
+        let _ = sim.run(&rule, 1.0);
+
+        let snap = metrics.snapshot();
+        let (draws, refills) = expected_rng_traffic(trials, batch_size, n, 2);
+        prop_assert_eq!(snap.rng_draws, draws);
+        prop_assert_eq!(snap.rng_refills, refills);
+        prop_assert_eq!(snap.rng_lane_blocks, 0);
+        prop_assert_eq!(snap.dispatch_lane, 0);
         prop_assert_eq!(snap.dispatch_threshold, 1);
     }
 

@@ -414,18 +414,29 @@ fn guard_binding(file: &SourceFile, code: &[usize], k: usize) -> Option<(String,
 const ALLOC_METHODS: &[&str] = &["collect", "clone", "to_vec", "to_owned"];
 
 /// `true` when `f` is one of the functions the batch throughput
-/// depends on: the monomorphized batch runner, the kernel decision
-/// methods, and the uniform-source draw/refill path. These execute
-/// per trial (or per 256 draws); one stray allocation there undoes
-/// the monomorphization win.
+/// depends on: the monomorphized batch runners (sequential and
+/// lane-batched), the kernel decision methods, the uniform-source
+/// draw/refill path, and the stream-v3 counter pipeline (the Threefry
+/// ladder, its unit conversion, the lane-group plane fill, and the
+/// per-draw replay accessor). These execute per trial — or per lane
+/// group, or per 256 draws; one stray allocation there undoes the
+/// monomorphization win. `LaneUniforms::new` is the one cold spot in
+/// its impl: it allocates the plane rows exactly once per batch so
+/// `fill` never has to.
 fn is_hot_path(f: &FnView<'_>) -> bool {
     f.item.name == "run_batch"
+        || f.item.name == "run_lane_batch"
         || f.qualified.starts_with("BufferedUniforms::")
         || f.qualified.starts_with("ScalarUniforms::")
+        || (f.qualified.starts_with("LaneUniforms") && f.item.name != "new")
+        || matches!(
+            f.item.name.as_str(),
+            "threefry4x64_lanes" | "threefry4x64" | "word_to_unit" | "lane_draw"
+        )
         || (!f.is_free
             && matches!(
                 f.item.name.as_str(),
-                "decide" | "players" | "next_unit" | "refill"
+                "decide" | "players" | "next_unit" | "refill" | "sends_to_zero"
             ))
 }
 
@@ -642,6 +653,43 @@ mod tests {
             "impl ThresholdKernel {\n    fn decide(&self, player: usize) -> Bin {\n        let scratch = Vec::new();\n        let more = vec![0u8; 4];\n        Bin::Zero\n    }\n}\n",
         );
         assert_eq!(hot_path_alloc(&f).len(), 2);
+    }
+
+    #[test]
+    fn collect_in_run_lane_batch_fires() {
+        let f = lib(
+            "fn run_lane_batch<K: LaneKernel, const L: usize>(kernel: &K) -> u64 {\n    let lanes: Vec<u64> = (0..L).map(|i| i as u64).collect();\n    lanes.len() as u64\n}\n",
+        );
+        let v = hot_path_alloc(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn lane_uniforms_fill_is_hot_but_its_constructor_is_not() {
+        let f = lib(
+            "impl<const L: usize> LaneUniforms<L> {\n    pub(crate) fn new(players: usize) -> Self {\n        let rows = vec![[0.0; L]; players];\n        Self { rows }\n    }\n    pub(crate) fn fill(&mut self, trial0: u64) {\n        let scratch = self.rows.to_vec();\n    }\n}\n",
+        );
+        let v = hot_path_alloc(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 7);
+        assert!(v[0].message.contains("fill"));
+    }
+
+    #[test]
+    fn threefry_ladder_and_lane_draw_are_hot() {
+        let f = lib(
+            "pub fn threefry4x64_lanes<const L: usize>(key: &CounterKey) -> [u64; 4] {\n    let ks = key.ks.to_vec();\n    [ks[0], ks[1], ks[2], ks[3]]\n}\npub(crate) fn lane_draw(key: &CounterKey, trial: u64) -> f64 {\n    let block = key.ks.to_vec();\n    block[0] as f64\n}\n",
+        );
+        assert_eq!(hot_path_alloc(&f).len(), 2);
+    }
+
+    #[test]
+    fn sends_to_zero_method_is_hot() {
+        let f = lib(
+            "impl LaneKernel for ThresholdKernel {\n    fn sends_to_zero(&self, player: usize, input: f64, _coin: f64) -> bool {\n        let t = self.thresholds.clone();\n        input < t[player]\n    }\n}\n",
+        );
+        assert_eq!(hot_path_alloc(&f).len(), 1);
     }
 
     #[test]

@@ -201,7 +201,7 @@ mod tests {
         let path = crate::repo_root().join("results/chaos_smoke.json");
         if let Ok(text) = std::fs::read_to_string(path) {
             let summary = validate_chaos_document(&text).expect("committed artifact");
-            assert_eq!(summary.rng_stream_version, 2);
+            assert_eq!(summary.rng_stream_version, 3);
             assert!(summary.recovered_batches > 0);
         }
     }

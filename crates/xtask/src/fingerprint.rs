@@ -32,9 +32,10 @@ pub const SUMMARY: &str =
 const VERSION_FILE: &str = "crates/simulator/src/engine.rs";
 
 /// `(path, qualified fn)` pairs whose token streams determine the RNG
-/// stream: the generator core, the per-batch seeding, the draw loop,
-/// and both uniform sources. Growing this list is cheap; every entry
-/// is one more function that cannot drift silently.
+/// stream: the generator cores (sequential xoshiro and the stream-v3
+/// Threefry counter pipeline), the per-batch seeding and keying, the
+/// draw loops, and every uniform source. Growing this list is cheap;
+/// every entry is one more function that cannot drift silently.
 pub const CRITICAL_FNS: &[(&str, &str)] = &[
     ("crates/rand/src/lib.rs", "splitmix64"),
     ("crates/rand/src/lib.rs", "StdRng::seed_from_u64"),
@@ -42,9 +43,16 @@ pub const CRITICAL_FNS: &[(&str, &str)] = &[
     ("crates/rand/src/lib.rs", "unit_f64"),
     ("crates/rand/src/lib.rs", "Range::sample_from"),
     ("crates/rand/src/lib.rs", "below"),
+    ("crates/rand/src/lib.rs", "CounterKey::from_seed"),
+    ("crates/rand/src/lib.rs", "inject"),
+    ("crates/rand/src/lib.rs", "threefry4x64_lanes"),
+    ("crates/rand/src/lib.rs", "threefry4x64"),
+    ("crates/rand/src/lib.rs", "word_to_unit"),
     ("crates/simulator/src/engine.rs", "splitmix"),
     ("crates/simulator/src/engine.rs", "batch_rng"),
     ("crates/simulator/src/engine.rs", "run_batch"),
+    ("crates/simulator/src/engine.rs", "lane_key"),
+    ("crates/simulator/src/engine.rs", "run_lane_batch"),
     (
         "crates/simulator/src/kernel.rs",
         "ScalarUniforms::next_unit",
@@ -54,6 +62,8 @@ pub const CRITICAL_FNS: &[(&str, &str)] = &[
         "crates/simulator/src/kernel.rs",
         "BufferedUniforms::next_unit",
     ),
+    ("crates/simulator/src/kernel.rs", "LaneUniforms::fill"),
+    ("crates/simulator/src/kernel.rs", "lane_draw"),
 ];
 
 /// A computed fingerprint: the stream version plus one token hash per

@@ -25,11 +25,13 @@
 //! | `cargo xtask ci` | fmt-check + analyze + tier-1 tests |
 //! | `cargo xtask metrics-check <path>` | validate an `engine-metrics/v1` JSON export |
 //! | `cargo xtask chaos-check <path>` | validate a `chaos-smoke/v1` fault-recovery artifact |
+//! | `cargo xtask bench-check <fresh> <committed>` | gate fresh bench speedups against `results/BENCH_*.json` |
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
 pub mod analyses;
+pub mod bench_check;
 pub mod chaos;
 pub mod fingerprint;
 pub mod lexer;

@@ -50,9 +50,19 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("bench-check") => {
+            if let (Some(fresh), Some(committed)) = (args.get(1), args.get(2)) {
+                run_bench_check(fresh, committed)
+            } else {
+                eprintln!(
+                    "usage: cargo xtask bench-check <path/to/fresh.json> <path/to/committed.json>"
+                );
+                ExitCode::FAILURE
+            }
+        }
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--list|--prune] | analyze [--list|--json|--update-fingerprint] | ci | metrics-check <path> | chaos-check <path>>"
+                "usage: cargo xtask <lint [--list|--prune] | analyze [--list|--json|--update-fingerprint] | ci | metrics-check <path> | chaos-check <path> | bench-check <fresh> <committed>>"
             );
             ExitCode::FAILURE
         }
@@ -97,6 +107,33 @@ fn run_chaos_check(path: &str) -> ExitCode {
         }
         Err(message) => {
             eprintln!("xtask chaos-check: {path}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Compares a fresh benchmark JSON against the committed reference;
+/// nonzero exit on a read failure, a malformed document, a committed
+/// row missing from the fresh measurement, or any fresh speedup below
+/// its tolerance floor.
+fn run_bench_check(fresh_path: &str, committed_path: &str) -> ExitCode {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("xtask bench-check: read {path}: {e}"))
+    };
+    let (fresh, committed) = match (read(fresh_path), read(committed_path)) {
+        (Ok(f), Ok(c)) => (f, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::bench_check::check_bench_documents(&fresh, &committed) {
+        Ok(summary) => {
+            eprintln!("xtask bench-check: {fresh_path} vs {committed_path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask bench-check: {fresh_path} vs {committed_path}:\n{message}");
             ExitCode::FAILURE
         }
     }

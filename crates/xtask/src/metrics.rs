@@ -24,8 +24,10 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "engine.dispatch.oblivious",
     "engine.dispatch.opaque",
     "engine.dispatch.dyn",
+    "engine.dispatch.lane",
     "rng.draws",
     "rng.refills",
+    "rng.lane_blocks",
     "pool.jobs",
     "pool.batches",
     "pool.panics",
@@ -453,7 +455,7 @@ mod tests {
                 samples: 3,
             }
         );
-        assert!(summary.to_string().contains("24 counters"));
+        assert!(summary.to_string().contains("26 counters"));
     }
 
     #[test]
@@ -507,7 +509,7 @@ mod tests {
         let path = crate::repo_root().join("results/engine_metrics.json");
         if let Ok(text) = std::fs::read_to_string(path) {
             let summary = validate_metrics_document(&text).expect("committed artifact");
-            assert_eq!(summary.rng_stream_version, 2);
+            assert_eq!(summary.rng_stream_version, 3);
         }
     }
 

@@ -435,6 +435,7 @@ impl Parser<'_> {
         if i + 1 < end && self.tokens[i].is_punct(b'-') && self.tokens[i + 1].is_punct(b'>') {
             i += 2;
             let mut angle = 0i64;
+            let mut delim = 0i64; // `[`/`(` depth: `[u64; 4]` has a `;` that must not end the type
             while i < end {
                 let t = &self.tokens[i];
                 if t.is_comment() {
@@ -442,6 +443,7 @@ impl Parser<'_> {
                     continue;
                 }
                 if angle == 0
+                    && delim == 0
                     && (t.is_punct(b'{')
                         || t.is_punct(b';')
                         || (t.kind == TokenKind::Ident && self.text(i) == "where"))
@@ -452,6 +454,10 @@ impl Parser<'_> {
                     angle += 1;
                 } else if t.is_punct(b'>') && !self.tokens[i - 1].is_punct(b'-') {
                     angle -= 1;
+                } else if t.is_punct(b'[') || t.is_punct(b'(') {
+                    delim += 1;
+                } else if t.is_punct(b']') || t.is_punct(b')') {
+                    delim -= 1;
                 }
                 ret_tokens.push(i);
                 i += 1;
@@ -845,6 +851,19 @@ mod tests {
         assert_eq!(sig.params[1].ty, "Vec < f64 >");
         assert_eq!(sig.params[2].names, vec!["a", "b"]);
         assert_eq!(sig.ret, "Option < StdRng >");
+    }
+
+    #[test]
+    fn array_return_type_does_not_truncate_the_fn() {
+        // `-> [u64; 4]` carries a `;` inside the brackets; the return
+        // scanner must not mistake it for the end of a bodiless decl.
+        let src = "pub fn threefry4x64(key: &Key, ctr: [u64; 4]) -> [u64; 4] {\n    ctr\n}\nfn lanes<const L: usize>() -> [[u64; L]; 4] { todo() }\n";
+        let (_, t) = tree(src);
+        let fns = t.functions();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].item.sig.ret, "[ u64 ; 4 ]");
+        assert!(fns[0].item.body.is_some());
+        assert!(fns[1].item.body.is_some());
     }
 
     #[test]

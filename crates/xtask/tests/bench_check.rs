@@ -1,0 +1,49 @@
+//! Integration tests for `cargo xtask bench-check` on committed
+//! fixture documents: the synthetic regression fixture must fail the
+//! gate (this is the scenario CI's bench-check step exists to catch),
+//! and the reference must pass against itself.
+
+use xtask::bench_check::{check_bench_documents, floor_for, parse_bench_document};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn reference_fixture_passes_against_itself() {
+    let reference = fixture("bench_reference.json");
+    let summary = check_bench_documents(&reference, &reference).expect("self-comparison passes");
+    assert_eq!(summary.rows, 4);
+}
+
+#[test]
+fn synthetic_regression_fixture_fails_the_gate() {
+    let reference = fixture("bench_reference.json");
+    let regressed = fixture("bench_regressed.json");
+    let message = check_bench_documents(&regressed, &reference)
+        .expect_err("the regressed fixture must fail the gate");
+    // The lane row regressed from 4.380x to 2.900x — below the
+    // 4.380 − 1.095 = 3.285x floor.
+    assert!(message.contains("threshold n = 8 · lane"));
+    assert!(message.contains("2.900x"));
+    // The regressed fixture also silently dropped the `buffered` row;
+    // a vanished benchmark is a failure in its own right.
+    assert!(message.contains("threshold n = 8 · buffered"));
+    assert!(message.contains("missing from the fresh measurement"));
+    // The rows inside the band stay quiet: kernel+buffered moved
+    // 2.592 → 2.500 (floor 1.944) and kernel+metrics is unchanged.
+    assert!(!message.contains("kernel+buffered"));
+    assert!(!message.contains("kernel+metrics"));
+}
+
+#[test]
+fn fixture_floors_match_the_documented_band() {
+    let reference = fixture("bench_reference.json");
+    let rows = parse_bench_document(&reference).expect("reference parses");
+    let lane = rows
+        .iter()
+        .find(|r| r.label == "threshold n = 8 · lane")
+        .expect("lane row present");
+    assert!((floor_for(lane.speedup) - 3.285).abs() < 1e-9);
+}

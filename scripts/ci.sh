@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # The full local gate, identical to .github/workflows/ci.yml:
 #   fmt -> static analyzer -> examples build -> tests (incl. doc-tests)
-#   -> tests with hard invariants -> bench smoke -> metrics smoke
-#   -> service smoke -> analyze smoke (runtime budget).
+#   -> tests with hard invariants -> bench smoke -> bench check
+#   -> metrics smoke -> service smoke -> analyze smoke (runtime budget).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,6 +29,15 @@ echo "==> bench smoke (simulator_throughput)"
 # One short iteration: keeps the bench code and its JSON emission
 # compiling and running without paying for a full measurement.
 cargo bench --package bench --bench simulator_throughput -- --smoke
+
+echo "==> bench check (speedup regression gate)"
+# A short paired measurement to a scratch path, gated against the
+# committed reference: every committed row must be present and within
+# the tolerance band (fresh >= committed - max(0.25 x committed, 0.15)).
+cargo bench --package bench --bench simulator_throughput -- --quick
+cargo run --package xtask --quiet -- bench-check \
+    "${TMPDIR:-/tmp}/BENCH_simulator_throughput.quick.json" \
+    results/BENCH_simulator_throughput.json
 
 echo "==> metrics smoke (engine_metrics + metrics-check)"
 # Exercises the observability path end to end: the example runs a
