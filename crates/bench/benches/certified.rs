@@ -1,0 +1,80 @@
+//! Cost of certifying `β*_n` enclosures, and the payoff of the
+//! bracket hint the table builder threads from row to row: an
+//! unhinted certification pays a coarse argmax scan before it can
+//! bracket the optimum; a hinted one (seeded with the previous row's
+//! midpoint, exactly what `cargo xtask table` does) starts bracketing
+//! immediately.
+//!
+//! Besides the report lines, this bench writes
+//! `results/BENCH_certified.json` with the paired unhinted/hinted
+//! medians and their speedups (`cold` = unhinted, `memoized` =
+//! hinted, reusing the shared paired-timing schema).
+
+use bench::{write_bench_json, PairedTiming};
+use criterion::black_box;
+use decision::certified::certify;
+use std::path::Path;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+/// Median wall-clock nanoseconds of `routine` over [`SAMPLES`] runs.
+fn median_ns(mut routine: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut timings = Vec::new();
+    println!("certified: β*_n enclosure certification (width ≤ 1e-9)");
+    for n in [16u32, 24, 32] {
+        let reference = certify(n, None).expect("certification succeeds");
+        let hint = 0.5 * (reference.beta.lo + reference.beta.hi);
+
+        // The hint is an accelerator, never an oracle: the hinted
+        // enclosure may bracket differently but must still overlap
+        // the unhinted one (both certify the same β*_n) and meet the
+        // same width contract.
+        let hinted = certify(n, Some(hint)).expect("hinted certification succeeds");
+        assert!(
+            hinted.beta.lo <= reference.beta.hi && reference.beta.lo <= hinted.beta.hi,
+            "hinted certification drifted at n = {n}"
+        );
+        assert!(
+            hinted.beta.hi - hinted.beta.lo <= decision::certified::WIDTH_TARGET,
+            "hinted enclosure too wide at n = {n}"
+        );
+
+        let cold_ns = median_ns(|| certify(n, None).expect("certification succeeds").beta.lo);
+        let memoized_ns = median_ns(|| {
+            certify(n, Some(hint))
+                .expect("hinted certification succeeds")
+                .beta
+                .lo
+        });
+        let t = PairedTiming {
+            label: format!("n = {n}"),
+            cold_ns,
+            memoized_ns,
+        };
+        println!(
+            "certified/{:<8} unhinted {:>12.1} ns   hinted {:>12.1} ns   speedup {:.2}x",
+            t.label,
+            t.cold_ns,
+            t.memoized_ns,
+            t.speedup()
+        );
+        timings.push(t);
+    }
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_certified.json");
+    write_bench_json(&path, "certified", &timings).expect("write bench JSON");
+    println!("written: {}", path.display());
+}

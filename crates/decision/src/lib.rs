@@ -64,6 +64,7 @@
 
 mod algorithms;
 mod capacity;
+pub mod certified;
 pub mod conditions;
 mod error;
 pub mod faults;

@@ -160,7 +160,10 @@ fn maximize(
 
     for start in starts {
         let (params, value) = coordinate_ascent(start, objective, options, &mut evaluations);
-        if best.as_ref().is_none_or(|(_, b)| value > *b) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| ordered(value) > ordered(*b))
+        {
             best = Some((params, value));
         }
     }
@@ -172,8 +175,25 @@ fn maximize(
     })
 }
 
+/// Total-order key for maximization: NaN sorts below every real value,
+/// so a NaN objective can never displace a finite incumbent and a
+/// finite probe always displaces a NaN one. (Plain `>` on f64 gets
+/// both of those wrong — any comparison with NaN is `false`, which
+/// used to freeze the ascent whenever an objective evaluation went
+/// NaN and to let NaN probes poison the golden-section bracket.)
+fn ordered(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        v
+    }
+}
+
 /// Cyclic coordinate ascent: golden-section maximization of each
 /// coordinate in turn until a sweep no longer improves.
+///
+/// Steps are clamped to non-decreasing (ordered) value: a line search
+/// that comes back worse — or NaN — leaves the coordinate untouched.
 fn coordinate_ascent(
     mut params: Vec<f64>,
     objective: &mut dyn FnMut(&[f64]) -> f64,
@@ -196,12 +216,16 @@ fn coordinate_ascent(
                 options.tolerance,
                 evaluations,
             );
-            if v > value {
+            if ordered(v) > ordered(value) {
                 params[k] = x;
                 value = v;
             }
         }
-        if value - before < options.tolerance {
+        // A NaN sweep delta (possible only while the incumbent is
+        // still NaN) also counts as converged instead of spinning
+        // through the full sweep budget.
+        let gain = value - before;
+        if gain.is_nan() || gain < options.tolerance {
             break;
         }
     }
@@ -210,6 +234,11 @@ fn coordinate_ascent(
 
 /// Golden-section search for the maximum of a unimodal-ish `f` on
 /// `[lo, hi]`.
+///
+/// Returns the best point *seen* (probes and final midpoint), not the
+/// final midpoint itself — on non-unimodal or partially-NaN
+/// objectives the bracket can drift away from the best probe, and the
+/// midpoint alone used to discard it.
 fn golden_section(
     mut f: impl FnMut(f64) -> f64,
     mut lo: f64,
@@ -218,31 +247,41 @@ fn golden_section(
     evaluations: &mut u64,
 ) -> (f64, f64) {
     const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    fn update_best(best: &mut (f64, f64), x: f64, v: f64) {
+        if ordered(v) > ordered(best.1) {
+            *best = (x, v);
+        }
+    }
     let mut x1 = hi - INV_PHI * (hi - lo);
     let mut x2 = lo + INV_PHI * (hi - lo);
     let mut f1 = f(x1);
     let mut f2 = f(x2);
     *evaluations += 2;
+    let mut best = (x1, f1);
+    update_best(&mut best, x2, f2);
     while hi - lo > tol {
-        if f1 < f2 {
+        if ordered(f1) < ordered(f2) {
             lo = x1;
             x1 = x2;
             f1 = f2;
             x2 = lo + INV_PHI * (hi - lo);
             f2 = f(x2);
+            update_best(&mut best, x2, f2);
         } else {
             hi = x2;
             x2 = x1;
             f2 = f1;
             x1 = hi - INV_PHI * (hi - lo);
             f1 = f(x1);
+            update_best(&mut best, x1, f1);
         }
         *evaluations += 1;
     }
     let mid = 0.5 * (lo + hi);
     let fm = f(mid);
     *evaluations += 1;
-    (mid, fm)
+    update_best(&mut best, mid, fm);
+    best
 }
 
 /// Minimal xorshift64* generator: deterministic restart points with no
@@ -375,5 +414,61 @@ mod tests {
         assert!((x - 0.3).abs() < 1e-8);
         assert!(v.abs() < 1e-15);
         assert!(evals > 0);
+    }
+
+    #[test]
+    fn golden_section_survives_a_nan_region() {
+        // Regression: with plain `<` comparisons the bracket shrinks
+        // *into* the NaN region (every NaN compare reads as "not
+        // better", collapsing hi toward lo = 0) and the returned
+        // midpoint evaluates to NaN. The ordered comparison steers
+        // away and the best-seen tracking returns the true peak.
+        let mut evals = 0;
+        let f = |x: f64| {
+            if x < 0.2 {
+                f64::NAN
+            } else {
+                -(x - 0.25) * (x - 0.25)
+            }
+        };
+        let (x, v) = golden_section(f, 0.0, 1.0, 1e-9, &mut evals);
+        assert!(v.is_finite(), "returned value {v}");
+        assert!((x - 0.25).abs() < 1e-6, "returned point {x}");
+    }
+
+    #[test]
+    fn golden_section_returns_best_seen_not_midpoint() {
+        // Regression: with a coarse tolerance the final bracket is
+        // wide and its midpoint is strictly worse than the best probe;
+        // the old implementation returned the midpoint and discarded
+        // the better point it had already evaluated.
+        let mut evals = 0;
+        let (x, v) = golden_section(|x| -(x - 0.3) * (x - 0.3), 0.0, 1.0, 0.4, &mut evals);
+        // Best probe in this trace is x ≈ 0.236 (value ≈ −0.0041);
+        // the final bracket midpoint is x ≈ 0.191 (value ≈ −0.0119).
+        assert!(v > -0.005, "returned value {v}");
+        assert!((x - 0.236).abs() < 1e-2, "returned point {x}");
+    }
+
+    #[test]
+    fn coordinate_ascent_escapes_a_nan_start() {
+        // Regression: starting inside a NaN region froze the old
+        // ascent — `v > value` is false for every v once value is NaN,
+        // so no step was ever accepted and the NaN start came back
+        // unchanged (after burning the full sweep budget).
+        let mut evals = 0;
+        let objective = |p: &[f64]| {
+            if p.iter().all(|x| *x < 0.2) {
+                f64::NAN
+            } else {
+                -p.iter().map(|x| (x - 0.75) * (x - 0.75)).sum::<f64>()
+            }
+        };
+        let (params, value) =
+            coordinate_ascent(vec![0.1, 0.1], &mut { objective }, &quick(), &mut evals);
+        assert!(value > -1e-6, "value {value}");
+        for p in &params {
+            assert!((p - 0.75).abs() < 1e-4, "param {p}");
+        }
     }
 }

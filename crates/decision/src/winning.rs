@@ -11,7 +11,7 @@
 
 use crate::{Capacity, ModelError, ObliviousAlgorithm, SingleThresholdAlgorithm};
 use rational::{Rational, Scalar};
-use uniform_sums::{box_sum_cdf_in, shifted_box_sum_cdf_in, EvalContext};
+use uniform_sums::{box_sum_cdf_in, irwin_hall_cdf_in, shifted_box_sum_cdf_in, EvalContext};
 
 /// Largest player count for which the `2^n` enumeration over decision
 /// vectors is attempted.
@@ -126,16 +126,11 @@ pub fn winning_probability_oblivious(
 ///
 /// # Errors
 ///
-/// Returns [`ModelError`] on fewer than 2 or more than 22 players.
+/// Returns [`ModelError`] on fewer than 2 players, or on an
+/// asymmetric vector of more than 22 players (the symmetric
+/// collapsed form has no such cap).
 // xtask:allow(no-twin-f64): instantiation wrapper over the generic core
 pub fn winning_probability_oblivious_f64(alpha: &[f64], delta: f64) -> Result<f64, ModelError> {
-    let n = alpha.len();
-    if n > MAX_EXACT_PLAYERS {
-        return Err(ModelError::TooManyPlayersForExact {
-            n,
-            max: MAX_EXACT_PLAYERS,
-        });
-    }
     let mut ctx = EvalContext::new();
     winning_probability_oblivious_in(&mut ctx, alpha, &delta)
 }
@@ -173,13 +168,50 @@ pub fn winning_probability_threshold_in<S: Scalar>(
     }
     let symmetric = thresholds.windows(2).all(|w| w[0] == w[1]);
     if symmetric {
+        // Equal thresholds collapse both conditional box sums to
+        // scaled Irwin–Hall CDFs (Corollary 2.6): Σ_k U[0, β] has
+        // CDF F_k(δ/β), and the bin-1 sum of n−k draws from U[β, 1]
+        // shifts by (n−k)β with equal widths 1 − β. Grouping the
+        // inclusion–exclusion subsets by size is exact — identical
+        // values in every instantiation — and turns the subset
+        // enumeration into O(n) work per bin size, so symmetric
+        // systems scale far past the 22-player asymmetric cap.
         let beta = &thresholds[0];
+        let one_minus = S::one() - beta.clone();
         let mut total = S::zero();
         for k in 0..=n {
             // k players in bin 0, n-k in bin 1.
             let ways = ctx.binomial(n as u32, k as u32);
-            let term = joint_term_in(&vec![beta.clone(); k], &vec![beta.clone(); n - k], delta);
-            total = total + ways * term;
+            let mut prob = S::one();
+            for _ in 0..k {
+                prob = prob * beta.clone();
+            }
+            for _ in k..n {
+                prob = prob * one_minus.clone();
+            }
+            if prob.is_zero() {
+                continue;
+            }
+            // Non-zero `prob` guarantees β > 0 whenever bin 0 is
+            // occupied and β < 1 whenever bin 1 is, so both scale
+            // divisions below are sound.
+            let f0 = if k == 0 {
+                S::one()
+            } else {
+                irwin_hall_cdf_in(k as u32, &(delta.clone() / beta.clone()))
+            };
+            if f0.is_zero() {
+                continue;
+            }
+            let f1 = if k == n {
+                S::one()
+            } else {
+                // n−k draws from U[β, 1]: offset (n−k)β, widths 1−β.
+                let offset = S::from_int((n - k) as i64) * beta.clone();
+                let scaled = (delta.clone() - offset) / one_minus.clone();
+                irwin_hall_cdf_in((n - k) as u32, &scaled)
+            };
+            total = total + ways * prob * f0 * f1;
         }
         S::ensure_probability(&total);
         return Ok(total);
@@ -282,19 +314,14 @@ fn joint_term_in<S: Scalar>(bin0: &[S], bin1: &[S], delta: &S) -> S {
 ///
 /// # Errors
 ///
-/// Returns [`ModelError`] on fewer than 2 or more than 22 players.
+/// Returns [`ModelError`] on fewer than 2 players, or on an
+/// asymmetric vector of more than 22 players (the symmetric
+/// collapsed form has no such cap).
 // xtask:allow(no-twin-f64): instantiation wrapper over the generic core
 pub fn winning_probability_threshold_f64(
     thresholds: &[f64],
     delta: f64,
 ) -> Result<f64, ModelError> {
-    let n = thresholds.len();
-    if n > MAX_EXACT_PLAYERS {
-        return Err(ModelError::TooManyPlayersForExact {
-            n,
-            max: MAX_EXACT_PLAYERS,
-        });
-    }
     let mut ctx = EvalContext::new();
     winning_probability_threshold_in(&mut ctx, thresholds, &delta)
 }

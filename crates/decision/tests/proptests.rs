@@ -9,7 +9,7 @@ use decision::{
     ObliviousAlgorithm, SingleThresholdAlgorithm,
 };
 use proptest::prelude::*;
-use rational::Rational;
+use rational::{Ball, Rational};
 
 fn unit_rational() -> impl Strategy<Value = Rational> {
     (0i64..=12, 12i64..=12).prop_map(|(n, d)| Rational::ratio(n, d))
@@ -135,6 +135,45 @@ proptest! {
                 winning_probability_oblivious_f64(&af, delta).unwrap()
             );
         }
+    }
+
+    // Beyond the reach of exact cross-checking the ball instantiation
+    // takes over as referee: for symmetric systems of up to 32
+    // players, both fast paths land inside the certified enclosure
+    // computed by the *same* generic core instantiated at `Ball` —
+    // containment is an arithmetic theorem (round-to-nearest is
+    // monotone, so every f64 intermediate stays inside its outward-
+    // rounded ball), and the enclosure itself must stay tight enough
+    // to be a meaningful certificate. (Feasible at 32 only because
+    // the symmetric path groups the inclusion–exclusion subsets by
+    // size into scaled Irwin–Hall CDFs; the reflected, compensated
+    // Irwin–Hall sum is also what keeps the widths below PROB_EPS —
+    // the raw alternating sum's cancellation would blow past it by
+    // n = 24.)
+    #[test]
+    fn f64_paths_lie_in_ball_enclosures_up_to_32_players(
+        beta in unit_rational(),
+        n in 2usize..=32,
+        cap in capacity(),
+    ) {
+        let bf = beta.to_f64();
+        let delta = cap.to_f64();
+        let af = vec![bf; n];
+        let balls = vec![Ball::point(bf); n];
+        let mut ctx: EvalContext<Ball> = EvalContext::new();
+        let delta_ball = Ball::point(delta);
+
+        let fast_t = winning_probability_threshold_f64(&af, delta).unwrap();
+        let enc_t = winning_probability_threshold_in(&mut ctx, &balls, &delta_ball).unwrap();
+        prop_assert!(enc_t.lo() <= fast_t && fast_t <= enc_t.hi(),
+            "threshold f64 {fast_t} escapes [{}, {}]", enc_t.lo(), enc_t.hi());
+        prop_assert!(enc_t.width() < contracts::tolerances::PROB_EPS);
+
+        let fast_o = winning_probability_oblivious_f64(&af, delta).unwrap();
+        let enc_o = winning_probability_oblivious_in(&mut ctx, &balls, &delta_ball).unwrap();
+        prop_assert!(enc_o.lo() <= fast_o && fast_o <= enc_o.hi(),
+            "oblivious f64 {fast_o} escapes [{}, {}]", enc_o.lo(), enc_o.hi());
+        prop_assert!(enc_o.width() < contracts::tolerances::PROB_EPS);
     }
 
     #[test]

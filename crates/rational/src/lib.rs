@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 
 mod approx;
+mod ball;
 mod combinatorics;
 mod convert;
 mod ops;
 mod ratio;
 mod scalar;
 
+pub use ball::Ball;
 pub use combinatorics::{binomial, binomial_rational, factorial, factorial_rational};
 pub use convert::ParseRationalError;
 pub use ratio::Rational;

@@ -65,9 +65,12 @@ pub trait Scalar:
 
     /// Embeds the ratio `num / den`.
     ///
-    /// `den` must be non-zero; the `Rational` instantiation panics on
-    /// a zero denominator and the `f64` instantiation returns an
-    /// infinity, exactly as the underlying types do.
+    /// # Panics
+    ///
+    /// Panics if `den` is zero, in *every* instantiation. (The `f64`
+    /// instantiation used to return an infinity instead, which let the
+    /// generic closed forms silently launder a division by zero into a
+    /// float result that the exact pipeline would have refused.)
     fn from_ratio(num: i64, den: i64) -> Self;
 
     /// Converts from an exact rational (lossless for `Rational`,
@@ -92,9 +95,28 @@ pub trait Scalar:
     /// Contract hook: asserts `value` is a probability, with the
     /// tolerance appropriate for the instantiation — exact `[0, 1]`
     /// membership for `Rational`, `contracts::tolerances::PROB_EPS`
-    /// slack for `f64`. Debug-only by default, hard under
+    /// slack for `f64`, enclosure-intersects-`[0, 1]` for
+    /// [`crate::Ball`]. Debug-only by default, hard under
     /// `checked-invariants` (like every contract macro).
     fn ensure_probability(value: &Self);
+
+    /// Folds `term` into the accumulator `acc`, threading a
+    /// compensation value through `carry`; callers must add the final
+    /// `carry` back onto the returned accumulator when the fold ends.
+    ///
+    /// The default is a plain `acc + term` with an untouched carry —
+    /// correct for every instantiation, and exactly right for the
+    /// self-correcting ones (`Rational` is exact, [`crate::Ball`]
+    /// *encloses* its rounding error). The `f64` instantiation
+    /// overrides this with Neumaier's compensated summation, which the
+    /// alternating inclusion–exclusion sums of Theorems 4.1/5.1 need
+    /// to stay inside `contracts::tolerances::PROB_EPS` beyond
+    /// `n ≈ 8`.
+    #[must_use]
+    fn accumulate(acc: Self, term: Self, carry: &mut Self) -> Self {
+        let _ = carry;
+        acc + term
+    }
 }
 
 impl Scalar for Rational {
@@ -153,6 +175,7 @@ impl Scalar for f64 {
     }
 
     fn from_ratio(num: i64, den: i64) -> f64 {
+        assert!(den != 0, "scalar from_ratio with zero denominator");
         num as f64 / den as f64
     }
 
@@ -178,6 +201,19 @@ impl Scalar for f64 {
 
     fn ensure_probability(value: &f64) {
         contracts::ensures_prob!(*value, eps = contracts::tolerances::PROB_EPS);
+    }
+
+    fn accumulate(acc: f64, term: f64, carry: &mut f64) -> f64 {
+        // Neumaier's variant of Kahan summation: the branch picks the
+        // larger-magnitude operand so the recovered rounding error is
+        // exact even when `term` dominates `acc`.
+        let sum = acc + term;
+        *carry += if acc.abs() >= term.abs() {
+            (acc - sum) + term
+        } else {
+            (term - sum) + acc
+        };
+        sum
     }
 }
 
@@ -211,6 +247,7 @@ pub fn binomial_in<S: Scalar>(n: u32, k: u32) -> S {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ball::Ball;
     use crate::combinatorics::{binomial_rational, factorial_rational};
 
     fn roundtrip<S: Scalar>() {
@@ -231,9 +268,38 @@ mod tests {
     }
 
     #[test]
-    fn field_axioms_hold_for_both_instantiations() {
+    fn field_axioms_hold_for_all_instantiations() {
         roundtrip::<Rational>();
         roundtrip::<f64>();
+        roundtrip::<Ball>();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn float_from_ratio_panics_on_zero_denominator() {
+        let _ = <f64 as Scalar>::from_ratio(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn rational_from_ratio_panics_on_zero_denominator() {
+        let _ = <Rational as Scalar>::from_ratio(1, 0);
+    }
+
+    #[test]
+    fn accumulate_recovers_cancelled_digits() {
+        // 1 + 1e100 - 1e100 is 0 in naive f64 summation; Neumaier
+        // accumulation keeps the lost unit in the carry.
+        let terms = [1.0f64, 1e100, -1e100];
+        let mut naive = 0.0;
+        let mut acc = 0.0;
+        let mut carry = 0.0;
+        for &t in &terms {
+            naive += t;
+            acc = Scalar::accumulate(acc, t, &mut carry);
+        }
+        assert_eq!(naive, 0.0);
+        assert_eq!(acc + carry, 1.0);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! is held while a (possibly expensive) evaluation runs.
 
 use crate::query::{CacheStatus, RuleFamily, RuleSpec};
+use crate::wire;
+use decision::certified::{ThresholdRow, ThresholdTable, SCHEMA as TABLE_SCHEMA};
 use decision::numeric::{self, NumericOptimum, SearchOptions};
 use decision::{
     winning_probability_threshold_in, ModelError, ObliviousAlgorithm, SingleThresholdAlgorithm,
@@ -72,6 +74,10 @@ type EntryMap = HashMap<(usize, u64), Arc<Entry>>;
 #[derive(Clone, Debug, Default)]
 pub struct AnalyticCache {
     entries: Arc<RwLock<EntryMap>>,
+    /// Certified threshold rows already served at least once, keyed
+    /// by `n`. Rows are copied verbatim out of the loaded table, so a
+    /// hit is bit-identical to the miss that populated it.
+    thresholds: Arc<RwLock<HashMap<u32, ThresholdRow>>>,
 }
 
 impl AnalyticCache {
@@ -198,6 +204,29 @@ impl AnalyticCache {
         Ok((points, CacheStatus::Miss))
     }
 
+    /// The certified optimal-threshold row for `n` at `δ = n/3`,
+    /// served from memory through the result memo: the first query
+    /// for an `n` copies its row out of the loaded `table` (a miss),
+    /// repeats are O(1) hits, and both carry the same `f64` bit
+    /// patterns. Returns `None` when the table has no row for `n`.
+    #[must_use]
+    pub fn threshold(&self, n: u32, table: &ThresholdTable) -> Option<(ThresholdRow, CacheStatus)> {
+        if let Some(row) = self
+            .thresholds
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&n)
+        {
+            return Some((row.clone(), CacheStatus::Hit));
+        }
+        let row = table.rows().iter().find(|row| row.n == n)?.clone();
+        self.thresholds
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(n, row.clone());
+        Some((row, CacheStatus::Miss))
+    }
+
     fn entry(&self, n: usize, delta: f64) -> Arc<Entry> {
         let key = (n, delta.to_bits());
         if let Some(entry) = self.read_entries().get(&key) {
@@ -210,6 +239,57 @@ impl AnalyticCache {
     fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, EntryMap> {
         self.entries.read().unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// Parses a `threshold-table/v1` JSON document (the artifact written
+/// by `cargo xtask table`) into the in-memory table the daemon
+/// serves. Endpoints arrive bit-exactly: the document's shortest
+/// round-trip number tokens recover the generator's `f64` values.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON, a wrong schema or capacity
+/// rule, or a structurally invalid row.
+pub fn load_threshold_table(text: &str) -> Result<ThresholdTable, String> {
+    let value = wire::parse(text)?;
+    let fields = value.fields("table")?;
+    let schema = wire::field(fields, "schema", "table")?.str("schema")?;
+    if schema != TABLE_SCHEMA {
+        return Err(format!(
+            "unsupported table schema {schema:?} (this daemon serves {TABLE_SCHEMA:?})"
+        ));
+    }
+    let rule = wire::field(fields, "delta_rule", "table")?.str("delta_rule")?;
+    if rule != "n/3" {
+        return Err(format!(
+            "unsupported capacity rule {rule:?} (expected \"n/3\")"
+        ));
+    }
+    let mut rows = Vec::new();
+    for (i, item) in wire::field(fields, "rows", "table")?
+        .items("rows")?
+        .iter()
+        .enumerate()
+    {
+        let what = format!("rows[{i}]");
+        let row = item.fields(&what)?;
+        let n = u32::try_from(wire::field(row, "n", &what)?.u64("n")?)
+            .map_err(|_| format!("{what}: n out of range"))?;
+        let method = match wire::field(row, "method", &what)?.str("method")? {
+            "exact" => "exact",
+            "ball" => "ball",
+            other => return Err(format!("{what}: unknown method {other:?}")),
+        };
+        rows.push(ThresholdRow {
+            n,
+            beta_lo: wire::field(row, "beta_lo", &what)?.f64("beta_lo")?,
+            beta_hi: wire::field(row, "beta_hi", &what)?.f64("beta_hi")?,
+            p_lo: wire::field(row, "p_lo", &what)?.f64("p_lo")?,
+            p_hi: wire::field(row, "p_hi", &what)?.f64("p_hi")?,
+            method,
+        });
+    }
+    Ok(ThresholdTable::new(rows))
 }
 
 impl Entry {
@@ -290,6 +370,45 @@ mod tests {
         assert_eq!(status, CacheStatus::Hit);
         assert_eq!(opt, again);
         assert!((opt.value - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_rows_hit_after_miss_bit_identically() {
+        let cache = AnalyticCache::new();
+        let table = decision::certified::build_table(4).unwrap();
+        let (miss, status) = cache.threshold(3, &table).unwrap();
+        assert_eq!(status, CacheStatus::Miss);
+        let (hit, status) = cache.threshold(3, &table).unwrap();
+        assert_eq!(status, CacheStatus::Hit);
+        assert_eq!(miss.beta_lo.to_bits(), hit.beta_lo.to_bits());
+        assert_eq!(miss.beta_hi.to_bits(), hit.beta_hi.to_bits());
+        assert_eq!(miss.p_lo.to_bits(), hit.p_lo.to_bits());
+        assert_eq!(miss.p_hi.to_bits(), hit.p_hi.to_bits());
+        assert_eq!(miss.method, hit.method);
+        // β* = 1 − √(1/7) for n = 3 lies inside the served enclosure.
+        let beta_star = 1.0 - (1.0f64 / 7.0).sqrt();
+        assert!(miss.beta_lo <= beta_star && beta_star <= miss.beta_hi);
+        // Off-table asks are refused, not fabricated.
+        assert!(cache.threshold(5, &table).is_none());
+        assert!(cache.threshold(0, &table).is_none());
+    }
+
+    #[test]
+    fn threshold_table_round_trips_through_the_wire_loader() {
+        let table = decision::certified::build_table(4).unwrap();
+        let back = load_threshold_table(&table.to_json()).unwrap();
+        assert_eq!(back, table);
+        assert!(load_threshold_table("{}").is_err());
+        let wrong_schema = table
+            .to_json()
+            .replace("threshold-table/v1", "threshold-table/v9");
+        assert!(load_threshold_table(&wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+        let wrong_rule = table.to_json().replace("\"n/3\"", "\"n/2\"");
+        assert!(load_threshold_table(&wrong_rule)
+            .unwrap_err()
+            .contains("capacity rule"));
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! * [`wire`] — a zero-dependency, hand-rolled JSON subset
 //!   (newline-delimited documents, bit-exact float round-trips);
 //! * [`query`] — the typed protocol (`nocomm-service/v1`): requests
-//!   `pwin`, `optimal`, `sweep`, `simulate`, `shutdown`, and
-//!   responses that carry an `engine-metrics/v1`-style counter frame;
+//!   `pwin`, `optimal`, `sweep`, `threshold`, `simulate`, `shutdown`,
+//!   and responses that carry an `engine-metrics/v1`-style counter
+//!   frame;
 //! * [`cache`] — the concurrent read-through [`AnalyticCache`]:
 //!   one shared [`uniform_sums::SharedContext`] per `(n, δ)` plus a
 //!   result memo, making repeated analytic queries O(1) under load
 //!   while staying bit-identical to a cold single-threaded
-//!   evaluation;
+//!   evaluation; `threshold` queries serve certified `β*_n`
+//!   enclosures from the in-memory `threshold-table/v1` table
+//!   ([`load_threshold_table`]) through the same memo, so hits are
+//!   bit-identical to the miss that populated them;
 //! * [`metrics`] — [`ServiceMetrics`], request counters layered over
 //!   the engine's [`simulator::EngineMetrics`];
 //! * [`server`] — the TCP daemon ([`Service`]): thread-per-connection
@@ -64,7 +68,7 @@ pub mod query;
 pub mod server;
 pub mod wire;
 
-pub use cache::AnalyticCache;
+pub use cache::{load_threshold_table, AnalyticCache};
 pub use client::Client;
 pub use metrics::ServiceMetrics;
 pub use query::{

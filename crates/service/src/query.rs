@@ -179,6 +179,13 @@ pub enum Request {
         /// Grid divisions (the sweep has `grid + 1` points).
         grid: usize,
     },
+    /// The certified optimal-threshold enclosure `β*_n` (and `P*_n`)
+    /// at the paper's capacity rule `δ = n/3`, served from the
+    /// precomputed `threshold-table/v1` table held in memory.
+    Threshold {
+        /// Number of players.
+        n: u32,
+    },
     /// A Monte-Carlo confidence run of a described rule, batched onto
     /// the daemon's shared worker pool.
     Simulate {
@@ -204,6 +211,7 @@ impl Request {
             Request::PWin { .. } => "pwin",
             Request::Optimal { .. } => "optimal",
             Request::Sweep { .. } => "sweep",
+            Request::Threshold { .. } => "threshold",
             Request::Simulate { .. } => "simulate",
             Request::Shutdown => "shutdown",
         }
@@ -244,6 +252,9 @@ impl Envelope {
                 let _ = write!(out, ", \"n\": {n}, \"delta\": ");
                 wire::write_number(&mut out, *delta);
                 let _ = write!(out, ", \"grid\": {grid}");
+            }
+            Request::Threshold { n } => {
+                let _ = write!(out, ", \"n\": {n}");
             }
             Request::Simulate {
                 delta,
@@ -310,6 +321,10 @@ impl Envelope {
                 grid: usize::try_from(wire::field(fields, "grid", "sweep request")?.u64("grid")?)
                     .map_err(|_| "grid out of range".to_owned())?,
             },
+            "threshold" => Request::Threshold {
+                n: u32::try_from(wire::field(fields, "n", "threshold request")?.u64("n")?)
+                    .map_err(|_| "n out of range".to_owned())?,
+            },
             "simulate" => Request::Simulate {
                 delta: delta("simulate request")?,
                 trials: wire::field(fields, "trials", "simulate request")?.u64("trials")?,
@@ -319,7 +334,7 @@ impl Envelope {
             "shutdown" => Request::Shutdown,
             other => {
                 return Err(format!(
-                    "unknown request kind {other:?} (pwin, optimal, sweep, simulate, shutdown)"
+                    "unknown request kind {other:?} (pwin, optimal, sweep, threshold, simulate, shutdown)"
                 ))
             }
         };
@@ -450,6 +465,23 @@ pub enum Outcome {
         /// Cache disposition of the answer.
         cache: CacheStatus,
     },
+    /// A certified optimal-threshold row at `δ = n/3`: rigorous
+    /// enclosures of `β*_n` and `P*_n` whose endpoints travel
+    /// bit-exactly, so repeat queries (cache hits) are bit-identical.
+    Threshold {
+        /// Lower bound of the certified `β*_n` enclosure.
+        beta_lo: f64,
+        /// Upper bound of the certified `β*_n` enclosure.
+        beta_hi: f64,
+        /// Lower bound of the certified `P*_n` enclosure.
+        p_lo: f64,
+        /// Upper bound of the certified `P*_n` enclosure.
+        p_hi: f64,
+        /// Certifying pipeline (`"exact"` or `"ball"`).
+        method: String,
+        /// Cache disposition of the answer.
+        cache: CacheStatus,
+    },
     /// The Monte-Carlo estimate. Only the counts travel: estimate and
     /// standard error are rebuilt through
     /// [`SimulationReport::from_counts`], the same code path a direct
@@ -482,6 +514,7 @@ impl Outcome {
             Outcome::PWin { .. } => "pwin",
             Outcome::Optimal { .. } => "optimal",
             Outcome::Sweep { .. } => "sweep",
+            Outcome::Threshold { .. } => "threshold",
             Outcome::Simulate { .. } => "simulate",
             Outcome::ShuttingDown => "shutdown",
         }
@@ -550,6 +583,27 @@ impl Response {
                             out.push(']');
                         }
                         out.push_str("], \"cache\": ");
+                        wire::write_str(&mut out, cache.as_str());
+                    }
+                    Outcome::Threshold {
+                        beta_lo,
+                        beta_hi,
+                        p_lo,
+                        p_hi,
+                        method,
+                        cache,
+                    } => {
+                        out.push_str(", \"beta_lo\": ");
+                        wire::write_number(&mut out, *beta_lo);
+                        out.push_str(", \"beta_hi\": ");
+                        wire::write_number(&mut out, *beta_hi);
+                        out.push_str(", \"p_lo\": ");
+                        wire::write_number(&mut out, *p_lo);
+                        out.push_str(", \"p_hi\": ");
+                        wire::write_number(&mut out, *p_hi);
+                        out.push_str(", \"method\": ");
+                        wire::write_str(&mut out, method);
+                        out.push_str(", \"cache\": ");
                         wire::write_str(&mut out, cache.as_str());
                     }
                     Outcome::Simulate { wins, trials } => {
@@ -635,6 +689,21 @@ impl Response {
                     cache: cache()?,
                 }
             }
+            "threshold" => {
+                let num = |key: &str| -> Result<f64, String> {
+                    wire::field(fields, key, "threshold response")?.f64(key)
+                };
+                Outcome::Threshold {
+                    beta_lo: num("beta_lo")?,
+                    beta_hi: num("beta_hi")?,
+                    p_lo: num("p_lo")?,
+                    p_hi: num("p_hi")?,
+                    method: wire::field(fields, "method", "threshold response")?
+                        .str("method")?
+                        .to_owned(),
+                    cache: cache()?,
+                }
+            }
             "simulate" => {
                 let wins = wire::field(fields, "wins", "simulate response")?.u64("wins")?;
                 let trials = wire::field(fields, "trials", "simulate response")?.u64("trials")?;
@@ -697,6 +766,10 @@ mod tests {
                 },
             },
             Envelope {
+                id: 4,
+                request: Request::Threshold { n: 96 },
+            },
+            Envelope {
                 id: u64::MAX,
                 request: Request::Simulate {
                     delta: 1.0,
@@ -752,6 +825,18 @@ mod tests {
                 outcome: Ok(Outcome::Simulate {
                     wins: 54_470,
                     trials: 100_000,
+                }),
+                metrics: frame(),
+            },
+            Response {
+                id: 7,
+                outcome: Ok(Outcome::Threshold {
+                    beta_lo: 0.622_035_526_990_772_7,
+                    beta_hi: 0.622_035_526_990_772_8,
+                    p_lo: 0.544_631_139_559_79,
+                    p_hi: 0.544_631_139_559_80,
+                    method: "ball".to_owned(),
+                    cache: CacheStatus::Hit,
                 }),
                 metrics: frame(),
             },

@@ -22,6 +22,7 @@
 use crate::cache::AnalyticCache;
 use crate::metrics::ServiceMetrics;
 use crate::query::{CacheStatus, Envelope, MetricsFrame, Outcome, Request, Response};
+use decision::certified::ThresholdTable;
 use decision::LocalRule;
 use simulator::Simulation;
 use std::io::{self, BufRead, BufReader, Write};
@@ -48,6 +49,10 @@ pub struct ServiceConfig {
     /// How often a blocked connection read wakes up to check the
     /// shutdown flag (the drain latency bound for idle connections).
     pub poll_interval: Duration,
+    /// The certified optimal-threshold table served by `threshold`
+    /// queries (see [`crate::cache::load_threshold_table`]); `None`
+    /// makes `threshold` queries a query error.
+    pub table: Option<Arc<ThresholdTable>>,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +64,7 @@ impl Default for ServiceConfig {
             max_trials: 50_000_000,
             max_grid: 65_536,
             poll_interval: Duration::from_millis(50),
+            table: None,
         }
     }
 }
@@ -141,6 +147,26 @@ impl Shared {
                 self.metrics.record_cache(cache == CacheStatus::Hit);
                 Ok(Outcome::Sweep {
                     points: points.iter().map(|p| (p.x, p.probability)).collect(),
+                    cache,
+                })
+            }
+            Request::Threshold { n } => {
+                let Some(table) = self.config.table.as_deref() else {
+                    return Err("this daemon serves no certified threshold table".to_owned());
+                };
+                let last = table.rows().last().map_or(0, |row| row.n);
+                let Some((row, cache)) = self.cache.threshold(*n, table) else {
+                    return Err(format!(
+                        "n = {n} is outside the served table (certified rows cover n = 2..={last})"
+                    ));
+                };
+                self.metrics.record_cache(cache == CacheStatus::Hit);
+                Ok(Outcome::Threshold {
+                    beta_lo: row.beta_lo,
+                    beta_hi: row.beta_hi,
+                    p_lo: row.p_lo,
+                    p_hi: row.p_hi,
+                    method: row.method.to_owned(),
                     cache,
                 })
             }

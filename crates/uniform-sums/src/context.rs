@@ -185,18 +185,35 @@ impl<S: Scalar> EvalContext<S> {
         if *t >= S::from_int(i64::from(m)) {
             return S::one();
         }
+        // Same reflection as `crate::irwin_hall_cdf_in`: evaluate the
+        // alternating sum on the better-conditioned side of m/2.
+        let half = S::from_ratio(i64::from(m), 2);
+        let value = if *t > half {
+            let reflected = S::from_int(i64::from(m)) - t.clone();
+            S::one() - self.alternating_ih_sum(m, &reflected)
+        } else {
+            self.alternating_ih_sum(m, t)
+        };
+        S::ensure_probability(&value);
+        value
+    }
+
+    /// The alternating inclusion–exclusion sum of Corollary 2.6 at a
+    /// point `t ≤ m/2`, normalized by `m!`, with terms folded through
+    /// [`Scalar::accumulate`] (compensated in the `f64` instantiation).
+    fn alternating_ih_sum(&mut self, m: u32, t: &S) -> S {
         let mut acc = S::zero();
+        let mut carry = S::zero();
         for i in 0..=m {
             let shift = S::from_int(i64::from(i));
             if shift >= *t {
                 break;
             }
             let term = self.binomial(m, i) * (t.clone() - shift).powi(m);
-            acc = if i % 2 == 0 { acc + term } else { acc - term };
+            let signed = if i % 2 == 0 { term } else { -term };
+            acc = S::accumulate(acc, signed, &mut carry);
         }
-        let value = acc / self.factorial(m);
-        S::ensure_probability(&value);
-        value
+        (acc + carry) / self.factorial(m)
     }
 }
 
@@ -277,6 +294,24 @@ mod tests {
                 let f = float.irwin_hall_cdf(m, &t.to_f64());
                 assert!((e - f).abs() < 1e-10, "m={m}, t={t}");
             }
+        }
+    }
+
+    #[test]
+    fn float_context_tracks_exact_context_in_the_upper_tail() {
+        // Regression: without the midpoint reflection the float
+        // context lost ~1e-4 at (m, t) = (30, 28); the whole upper
+        // tail must now sit within the probability tolerance.
+        let mut exact = EvalContext::<Rational>::new();
+        let mut float = EvalContext::<f64>::new();
+        for t_num in 46..=60i64 {
+            let t = Rational::ratio(t_num, 2);
+            let e = exact.irwin_hall_cdf(30, &t).to_f64();
+            let f = float.irwin_hall_cdf(30, &t.to_f64());
+            assert!(
+                (e - f).abs() < contracts::tolerances::PROB_EPS,
+                "m=30, t={t}: float {f} vs exact {e}"
+            );
         }
     }
 }

@@ -28,7 +28,19 @@ pub fn irwin_hall_cdf_in<S: Scalar>(m: u32, t: &S) -> S {
     if *t >= S::from_int(i64::from(m)) {
         return S::one();
     }
-    let value = signed_shift_sum(m, t, m) / factorial_in::<S>(m);
+    // Reflect the upper tail onto the lower one through the symmetry
+    // F_m(t) = 1 − F_m(m − t): the alternating sum's condition number
+    // explodes as t → m (≈ 4.5e12 at m = 30, t = 28), while below the
+    // midpoint it stays small enough for compensated f64 summation.
+    // (For instantiations where `>` is partial, like `rational::Ball`,
+    // an incomparable t falls back to the direct sum — still correct.)
+    let half = S::from_ratio(i64::from(m), 2);
+    let value = if *t > half {
+        let reflected = S::from_int(i64::from(m)) - t.clone();
+        S::one() - signed_shift_sum(m, &reflected, m) / factorial_in::<S>(m)
+    } else {
+        signed_shift_sum(m, t, m) / factorial_in::<S>(m)
+    };
     S::ensure_probability(&value);
     value
 }
@@ -41,15 +53,29 @@ pub fn irwin_hall_pdf_in<S: Scalar>(m: u32, t: &S) -> S {
     if m == 0 || !t.is_positive() || *t >= S::from_int(i64::from(m)) {
         return S::zero();
     }
-    signed_shift_sum(m, t, m - 1) / factorial_in::<S>(m - 1)
+    // Same reflection as the CDF (the density is symmetric about m/2,
+    // and continuous on (0, m) for every m, so f_m(t) = f_m(m − t)).
+    let half = S::from_ratio(i64::from(m), 2);
+    let arg = if *t > half {
+        S::from_int(i64::from(m)) - t.clone()
+    } else {
+        t.clone()
+    };
+    signed_shift_sum(m, &arg, m - 1) / factorial_in::<S>(m - 1)
 }
 
 /// The alternating sum `Σ_{0 ≤ i ≤ m, i < t} (−1)^i C(m,i) (t − i)^power`
 /// shared by the CDF (`power = m`) and the density (`power = m − 1`),
 /// with the binomial coefficient maintained by the running update
 /// `C(m, i+1) = C(m, i) · (m − i)/(i + 1)` (exact in every field).
+///
+/// Terms are folded through [`Scalar::accumulate`], so the `f64`
+/// instantiation gets Neumaier-compensated summation — together with
+/// the callers' midpoint reflection this keeps the cancellation error
+/// inside `contracts::tolerances::PROB_EPS` up to `m = 32`.
 fn signed_shift_sum<S: Scalar>(m: u32, t: &S, power: u32) -> S {
     let mut acc = S::zero();
+    let mut carry = S::zero();
     let mut binom = S::one();
     for i in 0..=m {
         let shift = S::from_int(i64::from(i));
@@ -57,12 +83,13 @@ fn signed_shift_sum<S: Scalar>(m: u32, t: &S, power: u32) -> S {
             break;
         }
         let term = binom.clone() * (t.clone() - shift).powi(power);
-        acc = if i % 2 == 0 { acc + term } else { acc - term };
+        let signed = if i % 2 == 0 { term } else { -term };
+        acc = S::accumulate(acc, signed, &mut carry);
         if i < m {
             binom = binom * S::from_ratio(i64::from(m - i), i64::from(i + 1));
         }
     }
-    acc
+    acc + carry
 }
 
 /// Exact Irwin–Hall CDF: the [`Rational`] instantiation of
@@ -165,6 +192,35 @@ mod tests {
         assert_eq!(irwin_hall_cdf(0, &r(-1, 2)), Rational::zero());
         assert_eq!(irwin_hall_pdf(0, &r(1, 2)), Rational::zero());
         assert_eq!(irwin_hall_cdf_f64(0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn large_m_upper_tail_stays_within_tolerance() {
+        // Regression: the naive alternating sum at m = 30, t = 28 has
+        // condition number ≈ 4.5e12 and used to lose ~1e-4 absolute —
+        // five orders of magnitude outside PROB_EPS. Reflection plus
+        // compensated accumulation brings it back under the contract.
+        let exact = irwin_hall_cdf(30, &Rational::integer(28)).to_f64();
+        let float = irwin_hall_cdf_f64(30, 28.0);
+        assert!(
+            (float - exact).abs() < contracts::tolerances::PROB_EPS,
+            "m=30, t=28: float {float} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn float_cdf_tracks_exact_up_to_m_32() {
+        for m in [16u32, 24, 30, 32] {
+            for k in 0..=16 {
+                let t = r(i64::from(m) * i64::from(k), 16);
+                let exact = irwin_hall_cdf(m, &t).to_f64();
+                let float = irwin_hall_cdf_f64(m, t.to_f64());
+                assert!(
+                    (float - exact).abs() < contracts::tolerances::PROB_EPS,
+                    "m={m}, t={t}: float {float} vs exact {exact}"
+                );
+            }
+        }
     }
 
     #[test]

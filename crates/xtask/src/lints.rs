@@ -70,7 +70,7 @@ pub const LINTS: &[Lint] = &[
     },
     Lint {
         id: "no-twin-f64",
-        summary: "forbid new *_f64 free functions outside waived wrapper sites",
+        summary: "forbid new *_f64/*_ball free functions outside waived wrapper sites",
         check: no_twin_float,
     },
     Lint {
@@ -329,11 +329,13 @@ fn unsafe_header(file: &SourceFile) -> Vec<Violation> {
 }
 
 /// The analytic core is written once, generically over `Scalar`; a
-/// `*_f64` free function is almost always a hand-maintained twin of
-/// an exact implementation. Only thin instantiation wrappers over a
-/// generic `_in` core are legitimate, and each carries an explicit
-/// `xtask:allow(no-twin-f64)` waiver. Methods (inside an `impl`) such
-/// as `to_f64` conversions are not flagged.
+/// `*_f64` (or `*_ball`) free function is almost always a
+/// hand-maintained twin of an exact implementation — the ball Scalar
+/// instantiates the same generic core, so a dedicated `_ball` variant
+/// is the same smell as a `_f64` one. Only thin instantiation
+/// wrappers over a generic `_in` core are legitimate, and each
+/// carries an explicit `xtask:allow(no-twin-f64)` waiver. Methods
+/// (inside an `impl`) such as `to_f64` conversions are not flagged.
 fn no_twin_float(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();
@@ -343,7 +345,7 @@ fn no_twin_float(file: &SourceFile) -> Vec<Violation> {
         let item = f.item;
         if !f.is_free
             || item.test
-            || !item.name.ends_with("_f64")
+            || !(item.name.ends_with("_f64") || item.name.ends_with("_ball"))
             || file.is_test_line(item.line)
             || file.allowed("no-twin-f64", item.line)
         {
@@ -636,6 +638,24 @@ mod tests {
     fn waived_f64_wrapper_is_clean() {
         let f = lib(
             "#![forbid(unsafe_code)]\npub fn cdf_f64(t: f64) -> f64 { // xtask:allow(no-twin-f64): instantiation wrapper\n    cdf_in(&t)\n}\n",
+        );
+        assert!(no_twin_float(&f).is_empty());
+    }
+
+    #[test]
+    fn unwaived_ball_free_function_fires() {
+        // The ball Scalar instantiates the same generic `_in` core, so
+        // a dedicated `_ball` free function is the same twin smell.
+        let f = lib("#![forbid(unsafe_code)]\npub fn cdf_ball(t: f64) -> f64 {\n    t\n}\n");
+        let v = no_twin_float(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn waived_ball_wrapper_is_clean() {
+        let f = lib(
+            "#![forbid(unsafe_code)]\npub fn cdf_ball(t: f64) -> f64 { // xtask:allow(no-twin-f64): instantiation wrapper\n    cdf_in(&t)\n}\n",
         );
         assert!(no_twin_float(&f).is_empty());
     }

@@ -50,6 +50,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("table") => run_table(&args),
+        Some("table-check") => run_table_check(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(default_table_path),
+        ),
         Some("bench-check") => {
             if let (Some(fresh), Some(committed)) = (args.get(1), args.get(2)) {
                 run_bench_check(fresh, committed)
@@ -62,7 +69,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--list|--prune] | analyze [--list|--json|--update-fingerprint] | ci | metrics-check <path> | chaos-check <path> | bench-check <fresh> <committed>>"
+                "usage: cargo xtask <lint [--list|--prune] | analyze [--list|--json|--update-fingerprint] | ci | metrics-check <path> | chaos-check <path> | bench-check <fresh> <committed> | table [--max-n N] [--out path] | table-check [path]>"
             );
             ExitCode::FAILURE
         }
@@ -137,6 +144,94 @@ fn run_bench_check(fresh_path: &str, committed_path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Default location of the committed certified threshold table.
+fn default_table_path() -> String {
+    repo_root()
+        .join("results")
+        .join("threshold_table.json")
+        .display()
+        .to_string()
+}
+
+/// Certifies the optimal-threshold table (`n = 2..=max_n` under
+/// `δ = n/3`) and writes `threshold-table/v1` JSON atomically
+/// (temp-file + rename, so readers never observe a torn table).
+fn run_table(args: &[String]) -> ExitCode {
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let Ok(max_n) = opt("--max-n").map_or(Ok(128u32), |raw| raw.parse()) else {
+        eprintln!("xtask table: --max-n expects an integer");
+        return ExitCode::FAILURE;
+    };
+    let out = opt("--out").cloned().unwrap_or_else(default_table_path);
+    let started = std::time::Instant::now();
+    let table = match decision::certified::build_table(max_n) {
+        Ok(table) => table,
+        Err(e) => {
+            eprintln!("xtask table: certification failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = table.to_json();
+    let out_path = std::path::Path::new(&out);
+    let tmp = out_path.with_extension("json.tmp");
+    let write = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, out_path));
+    if let Err(e) = write {
+        eprintln!("xtask table: write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask table: wrote {out}: {} certified rows (n = 2..={max_n}) in {:.1?}",
+        table.rows().len(),
+        started.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Validates the committed threshold table: structural checks over
+/// the `threshold-table/v1` document, then semantic spot
+/// re-certification (derivative sign tests at the enclosure
+/// endpoints) of a handful of rows spread across the table.
+fn run_table_check(path: String) -> ExitCode {
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask table-check: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = match xtask::table::validate_table_document(&text) {
+        Ok(rows) => rows,
+        Err(message) => {
+            eprintln!("xtask table-check: {path}: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let picks = xtask::table::spot_indices(rows.len(), 5);
+    for &idx in &picks {
+        let row = &rows[idx];
+        let n = row.n as u32;
+        if !decision::certified::spot_check(n, row.beta_lo, row.beta_hi) {
+            eprintln!(
+                "xtask table-check: {path}: row n={n} failed spot re-certification \
+                 ([{}, {}] does not bracket the optimum)",
+                row.beta_lo, row.beta_hi
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "xtask table-check: {path}: {} rows ok (n = 2..={}), {} spot re-certified",
+        rows.len(),
+        rows.last().map_or(0, |r| r.n),
+        picks.len()
+    );
+    ExitCode::SUCCESS
 }
 
 /// Validates an `engine-metrics/v1` JSON export; nonzero exit on a

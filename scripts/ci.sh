@@ -2,7 +2,8 @@
 # The full local gate, identical to .github/workflows/ci.yml:
 #   fmt -> static analyzer -> examples build -> tests (incl. doc-tests)
 #   -> tests with hard invariants -> bench smoke -> bench check
-#   -> metrics smoke -> service smoke -> analyze smoke (runtime budget).
+#   -> metrics smoke -> service smoke -> table check
+#   -> analyze smoke (runtime budget).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -50,9 +51,9 @@ rm -f "$metrics_out"
 
 echo "==> service smoke (daemon round trip)"
 # Starts the query daemon on an ephemeral port and round-trips one
-# query of each kind (pwin, optimal, sweep, simulate, shutdown),
-# checking answers against direct library calls. The build is paid
-# untimed; the smoke itself must finish within 5s.
+# query of each kind (pwin, optimal, sweep, threshold, simulate,
+# shutdown), checking answers against direct library calls. The build
+# is paid untimed; the smoke itself must finish within 5s.
 cargo build --release --quiet --bin nocomm-service
 start=$(date +%s)
 cargo run --release --quiet --bin nocomm-service -- --smoke
@@ -60,6 +61,21 @@ elapsed=$(( $(date +%s) - start ))
 echo "service smoke: ${elapsed}s"
 if [ "$elapsed" -ge 5 ]; then
     echo "service smoke: exceeded the 5s runtime budget" >&2
+    exit 1
+fi
+
+echo "==> table check (certified threshold table)"
+# Validates the committed certified-threshold artifact — schema,
+# contiguity, enclosure widths — and spot-checks rows against a fresh
+# derivative sign test. The build is paid untimed; the check itself
+# must finish within 5s.
+cargo build --release --quiet --package xtask
+start=$(date +%s)
+cargo run --release --quiet --package xtask -- table-check
+elapsed=$(( $(date +%s) - start ))
+echo "table check: ${elapsed}s"
+if [ "$elapsed" -ge 5 ]; then
+    echo "table check: exceeded the 5s runtime budget" >&2
     exit 1
 fi
 

@@ -3,6 +3,7 @@
 //! ```text
 //! nocomm-service serve [--addr 127.0.0.1:7199] [--threads 2]
 //!                      [--batch-size 16384] [--max-trials 50000000]
+//!                      [--table results/threshold_table.json]
 //! nocomm-service --smoke
 //! ```
 //!
@@ -23,6 +24,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   nocomm-service serve [--addr <host:port>] [--threads <t>]
                        [--batch-size <b>] [--max-trials <t>]
+                       [--table <threshold_table.json>]
   nocomm-service --smoke
 serve prints its bound address on stdout; stop it with a shutdown
 request (see the Serving section of the README) or a signal";
@@ -73,6 +75,13 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("bad --max-trials value {v:?}"))?;
             }
+            "--table" => {
+                let text = std::fs::read_to_string(v)
+                    .map_err(|e| format!("cannot read table {v:?}: {e}"))?;
+                let table = nocomm::service::load_threshold_table(&text)
+                    .map_err(|e| format!("bad table {v:?}: {e}"))?;
+                config.table = Some(std::sync::Arc::new(table));
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -90,9 +99,93 @@ fn expect_ok(what: &str, response: Response) -> Result<Outcome, String> {
         .map_err(|message| format!("{what} failed: {message}"))
 }
 
+/// The `threshold` leg of the smoke: the served certified enclosure
+/// for n = 3 must contain the paper's exact optimum β* = 1 − √(1/7),
+/// and a repeat query must hit the cache with bit-identical
+/// endpoints.
+fn smoke_threshold(client: &mut Client) -> Result<(), String> {
+    let mut ask = || -> Result<(f64, f64, String), String> {
+        let outcome = expect_ok(
+            "threshold",
+            client
+                .roundtrip(Request::Threshold { n: 3 })
+                .map_err(|e| format!("transport failure: {e}"))?,
+        )?;
+        let Outcome::Threshold {
+            beta_lo,
+            beta_hi,
+            cache,
+            ..
+        } = outcome
+        else {
+            return Err("threshold answered with the wrong outcome kind".to_owned());
+        };
+        Ok((beta_lo, beta_hi, cache.as_str().to_owned()))
+    };
+    let (miss_lo, miss_hi, miss_cache) = ask()?;
+    let (hit_lo, hit_hi, hit_cache) = ask()?;
+    let beta_star = 1.0 - (1.0f64 / 7.0).sqrt();
+    if !(miss_lo <= beta_star && beta_star <= miss_hi) {
+        return Err(format!(
+            "served enclosure [{miss_lo}, {miss_hi}] misses the paper's β* = {beta_star}"
+        ));
+    }
+    if miss_cache != "miss" || hit_cache != "hit" {
+        return Err(format!(
+            "threshold cache dispositions were ({miss_cache}, {hit_cache}), expected (miss, hit)"
+        ));
+    }
+    if miss_lo.to_bits() != hit_lo.to_bits() || miss_hi.to_bits() != hit_hi.to_bits() {
+        return Err("cache hit is not bit-identical to the populating miss".to_owned());
+    }
+    Ok(())
+}
+
+/// The `simulate` leg of the smoke: served counts must match a
+/// direct engine run with the same (trials, seed, batch_size)
+/// exactly.
+fn smoke_simulate(client: &mut Client) -> Result<(), String> {
+    let trials = 50_000;
+    let seed = 7;
+    let outcome = expect_ok(
+        "simulate",
+        client
+            .roundtrip(Request::Simulate {
+                delta: 1.0,
+                trials,
+                seed,
+                rule: RuleSpec::threshold(vec![0.622, 0.622, 0.622]),
+            })
+            .map_err(|e| format!("transport failure: {e}"))?,
+    )?;
+    let Outcome::Simulate { wins, trials: done } = outcome else {
+        return Err("simulate answered with the wrong outcome kind".to_owned());
+    };
+    let rule = nocomm::decision::SingleThresholdAlgorithm::from_f64(&[0.622, 0.622, 0.622])
+        .map_err(|e| format!("rule build failed: {e}"))?;
+    let direct = nocomm::simulator::Simulation::new(trials, seed)
+        .try_with_batch_size(ServiceConfig::default().batch_size)
+        .map_err(|e| format!("engine config failed: {e}"))?
+        .run(&rule, 1.0);
+    if wins != direct.wins || done != direct.trials {
+        return Err(format!(
+            "served run ({wins}/{done}) disagrees with direct run ({}/{})",
+            direct.wins, direct.trials
+        ));
+    }
+    Ok(())
+}
+
 fn smoke() -> Result<(), String> {
-    let daemon = Service::start(ServiceConfig::default())
-        .map_err(|e| format!("cannot start daemon: {e}"))?;
+    // A tiny certified table (exact rows only, milliseconds to build)
+    // so the threshold round-trip exercises the real serving path.
+    let table = nocomm::decision::certified::build_table(4)
+        .map_err(|e| format!("cannot certify smoke table: {e}"))?;
+    let config = ServiceConfig {
+        table: Some(std::sync::Arc::new(table)),
+        ..ServiceConfig::default()
+    };
+    let daemon = Service::start(config).map_err(|e| format!("cannot start daemon: {e}"))?;
     let addr = daemon.local_addr();
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
     let transport = |e: std::io::Error| format!("transport failure: {e}");
@@ -157,36 +250,9 @@ fn smoke() -> Result<(), String> {
         return Err("served sweep disagrees with the library curve".to_owned());
     }
 
-    // simulate: counts must match a direct engine run with the same
-    // (trials, seed, batch_size) exactly.
-    let trials = 50_000;
-    let seed = 7;
-    let outcome = expect_ok(
-        "simulate",
-        client
-            .roundtrip(Request::Simulate {
-                delta: 1.0,
-                trials,
-                seed,
-                rule: RuleSpec::threshold(vec![0.622, 0.622, 0.622]),
-            })
-            .map_err(transport)?,
-    )?;
-    let Outcome::Simulate { wins, trials: done } = outcome else {
-        return Err("simulate answered with the wrong outcome kind".to_owned());
-    };
-    let rule = nocomm::decision::SingleThresholdAlgorithm::from_f64(&[0.622, 0.622, 0.622])
-        .map_err(|e| format!("rule build failed: {e}"))?;
-    let direct = nocomm::simulator::Simulation::new(trials, seed)
-        .try_with_batch_size(ServiceConfig::default().batch_size)
-        .map_err(|e| format!("engine config failed: {e}"))?
-        .run(&rule, 1.0);
-    if wins != direct.wins || done != direct.trials {
-        return Err(format!(
-            "served run ({wins}/{done}) disagrees with direct run ({}/{})",
-            direct.wins, direct.trials
-        ));
-    }
+    smoke_threshold(&mut client)?;
+
+    smoke_simulate(&mut client)?;
 
     // shutdown: acknowledged, then the daemon drains.
     let outcome = expect_ok(
