@@ -1,0 +1,203 @@
+//! Deterministic process-level fault injection.
+//!
+//! A [`ProcChaosPlan`] maps `(shard, attempt)` to the [`ProcFault`]
+//! that attempt's worker process must inject into itself. The plan is
+//! carried to the worker on its command line (`--fault kill:2`), so
+//! the coordinator never needs shared state with the victim — and a
+//! seeded plan replays bit-for-bit, which is what lets the chaos
+//! property tests assert byte-identical merges under crashes.
+
+use std::collections::BTreeMap;
+
+/// A fault a worker process injects into itself while running a shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcFault {
+    /// Abort the process (no unwinding, no cleanup — the moral
+    /// equivalent of `kill -9`) after completing `after` new points.
+    Kill {
+        /// Number of fresh points to complete before aborting.
+        after: usize,
+    },
+    /// Stop making progress after `after` new points and sleep
+    /// forever; the coordinator's stall detector must notice and
+    /// `SIGKILL` the worker.
+    Stall {
+        /// Number of fresh points to complete before hanging.
+        after: usize,
+    },
+    /// Finish the shard, then overwrite the checkpoint with garbage
+    /// and exit cleanly — exercising the corrupt-output path.
+    Corrupt,
+}
+
+impl ProcFault {
+    /// Renders the fault as the worker's `--fault` argument.
+    #[must_use]
+    pub fn to_arg(self) -> String {
+        match self {
+            ProcFault::Kill { after } => format!("kill:{after}"),
+            ProcFault::Stall { after } => format!("stall:{after}"),
+            ProcFault::Corrupt => "corrupt".to_owned(),
+        }
+    }
+
+    /// Parses a `--fault` argument back into a fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `text` is not one of
+    /// `kill:N`, `stall:N`, or `corrupt`.
+    pub fn parse(text: &str) -> Result<ProcFault, String> {
+        if text == "corrupt" {
+            return Ok(ProcFault::Corrupt);
+        }
+        let (kind, count) = text
+            .split_once(':')
+            .ok_or_else(|| format!("unknown fault {text:?}"))?;
+        let after: usize = count
+            .parse()
+            .map_err(|_| format!("bad fault count in {text:?}"))?;
+        match kind {
+            "kill" => Ok(ProcFault::Kill { after }),
+            "stall" => Ok(ProcFault::Stall { after }),
+            _ => Err(format!("unknown fault kind {kind:?}")),
+        }
+    }
+}
+
+/// A replayable schedule of worker faults keyed by `(shard, attempt)`.
+///
+/// Attempt `0` is the first process issued for a shard; each re-issue
+/// increments the attempt, so a plan can make the first attempt crash
+/// and leave the replacement healthy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcChaosPlan {
+    faults: BTreeMap<(usize, u32), ProcFault>,
+}
+
+impl ProcChaosPlan {
+    /// An empty plan: every worker runs fault-free.
+    #[must_use]
+    pub fn new() -> ProcChaosPlan {
+        ProcChaosPlan::default()
+    }
+
+    /// Schedules `fault` for attempt `attempt` of shard `shard`,
+    /// replacing any previous entry for that slot.
+    #[must_use]
+    pub fn inject(mut self, shard: usize, attempt: u32, fault: ProcFault) -> ProcChaosPlan {
+        self.faults.insert((shard, attempt), fault);
+        self
+    }
+
+    /// Derives a deterministic plan from `seed`: each of the `shards`
+    /// shards gets up to `max_faults_per_shard` consecutive faulty
+    /// first attempts, with kinds mixed from the seed. The same seed
+    /// always yields the same plan.
+    #[must_use]
+    pub fn seeded(seed: u64, shards: usize, max_faults_per_shard: u32) -> ProcChaosPlan {
+        fn mix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut plan = ProcChaosPlan::new();
+        for shard in 0..shards {
+            let h = mix(seed ^ ((shard as u64) << 32));
+            let count = u32::try_from(h % u64::from(max_faults_per_shard + 1)).unwrap_or(0);
+            for attempt in 0..count {
+                let f = mix(h ^ u64::from(attempt).wrapping_mul(0xd134_2543_de82_ef95));
+                let fault = match f % 3 {
+                    0 => ProcFault::Kill {
+                        after: usize::try_from((f >> 8) % 2).unwrap_or(0),
+                    },
+                    1 => ProcFault::Stall {
+                        after: usize::try_from((f >> 8) % 2).unwrap_or(0),
+                    },
+                    _ => ProcFault::Corrupt,
+                };
+                plan = plan.inject(shard, attempt, fault);
+            }
+        }
+        plan
+    }
+
+    /// The fault scheduled for `(shard, attempt)`, if any.
+    #[must_use]
+    pub fn fault_for(&self, shard: usize, attempt: u32) -> Option<ProcFault> {
+        self.faults.get(&(shard, attempt)).copied()
+    }
+
+    /// True when no faults are scheduled at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_round_trip_through_their_cli_argument() {
+        for fault in [
+            ProcFault::Kill { after: 0 },
+            ProcFault::Kill { after: 3 },
+            ProcFault::Stall { after: 1 },
+            ProcFault::Corrupt,
+        ] {
+            assert_eq!(ProcFault::parse(&fault.to_arg()), Ok(fault));
+        }
+    }
+
+    #[test]
+    fn malformed_fault_arguments_are_rejected() {
+        for bad in ["", "kill", "kill:", "kill:x", "melt:2", "corrupt:1"] {
+            assert!(ProcFault::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn injected_faults_are_looked_up_by_shard_and_attempt() {
+        let plan = ProcChaosPlan::new()
+            .inject(0, 0, ProcFault::Kill { after: 1 })
+            .inject(2, 1, ProcFault::Corrupt);
+        assert_eq!(plan.fault_for(0, 0), Some(ProcFault::Kill { after: 1 }));
+        assert_eq!(plan.fault_for(0, 1), None);
+        assert_eq!(plan.fault_for(2, 1), Some(ProcFault::Corrupt));
+        assert_eq!(plan.fault_for(1, 0), None);
+        assert!(!plan.is_empty());
+        assert!(ProcChaosPlan::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_replay_exactly() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = ProcChaosPlan::seeded(seed, 5, 3);
+            let b = ProcChaosPlan::seeded(seed, 5, 3);
+            assert_eq!(a, b, "seed {seed}");
+        }
+        // Different seeds should (for these values) differ.
+        assert_ne!(
+            ProcChaosPlan::seeded(1, 8, 3),
+            ProcChaosPlan::seeded(2, 8, 3)
+        );
+    }
+
+    #[test]
+    fn seeded_faults_stay_within_the_budget() {
+        let plan = ProcChaosPlan::seeded(7, 6, 2);
+        for shard in 0..6 {
+            let mut run = 0;
+            while plan.fault_for(shard, run).is_some() {
+                run += 1;
+            }
+            assert!(run <= 2, "shard {shard} got {run} faults");
+            // Faults are consecutive from attempt 0: nothing beyond.
+            assert_eq!(plan.fault_for(shard, run + 1), None);
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! The supervision loop: spawn, watch, kill, re-issue, merge.
+
+use crate::chaos::ProcChaosPlan;
+use crate::error::OrchestratorError;
+use crate::plan::{split_grid, ShardSpec};
+use obs::{MetricsSink, NoopSink};
+use simulator::{keys, SweepCheckpoint};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How to launch one worker process.
+///
+/// The program must honor the `nocomm-shard run` command line (the
+/// `nocomm-shard` binary itself is the normal choice); `args` are
+/// prepended before `run`, so a wrapper script or `cargo run --bin
+/// nocomm-shard --` both work.
+#[derive(Clone, Debug)]
+pub struct WorkerSpec {
+    /// Path to the worker executable.
+    pub program: PathBuf,
+    /// Arguments inserted before the `run` subcommand.
+    pub args: Vec<String>,
+}
+
+impl WorkerSpec {
+    /// A worker launched as `program run ...` with no extra arguments.
+    pub fn new(program: impl Into<PathBuf>) -> WorkerSpec {
+        WorkerSpec {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Uses the currently running executable as the worker — the
+    /// right choice when the coordinator *is* `nocomm-shard`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchestratorError::Io`] when the OS cannot report
+    /// the current executable's path.
+    pub fn current_exe() -> Result<WorkerSpec, OrchestratorError> {
+        Ok(WorkerSpec::new(std::env::current_exe()?))
+    }
+}
+
+/// Tuning for [`run_sweep`]: shard count, scratch directory, worker
+/// launch spec, and the supervision knobs (deadline, stall detection,
+/// respawn budget, backoff).
+#[derive(Clone, Debug)]
+pub struct OrchestratorConfig {
+    /// Number of shards to split the grid into (`1..=grid + 1`).
+    pub shards: usize,
+    /// Directory holding the per-shard checkpoint files
+    /// (`shard-<index>.json`). Created if absent; stale files from a
+    /// crashed coordinator are adopted when valid and scrubbed when
+    /// not, so a restarted coordinator resumes instead of redoing.
+    pub dir: PathBuf,
+    /// How to launch worker processes.
+    pub worker: WorkerSpec,
+    /// Wall-clock budget for one worker attempt; overrunning workers
+    /// are killed and their shard re-issued.
+    pub shard_deadline: Duration,
+    /// A worker whose checkpoint file stops growing for this long is
+    /// considered hung, killed, and its shard re-issued.
+    pub stall_timeout: Duration,
+    /// How many times a shard may be *re*-issued after its first
+    /// attempt before the sweep gives up with
+    /// [`OrchestratorError::ShardExhausted`].
+    pub respawn_budget: u32,
+    /// First re-issue delay; doubles per subsequent attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// How often the supervisor polls its workers.
+    pub poll_interval: Duration,
+    /// Deterministic fault schedule forwarded to workers via
+    /// `--fault`; `None` (the default) runs everything fault-free.
+    pub chaos: Option<ProcChaosPlan>,
+}
+
+impl OrchestratorConfig {
+    /// A config with conservative defaults: 30s shard deadline, 2s
+    /// stall timeout, 4 respawns, 50ms..1s backoff, 20ms polling.
+    pub fn new(shards: usize, dir: impl Into<PathBuf>, worker: WorkerSpec) -> OrchestratorConfig {
+        OrchestratorConfig {
+            shards,
+            dir: dir.into(),
+            worker,
+            shard_deadline: Duration::from_secs(30),
+            stall_timeout: Duration::from_secs(2),
+            respawn_budget: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            poll_interval: Duration::from_millis(20),
+            chaos: None,
+        }
+    }
+
+    fn shard_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("shard-{index}.json"))
+    }
+}
+
+/// One live worker process and the progress we last saw from it.
+struct Running {
+    child: Child,
+    spawned_at: Instant,
+    last_len: u64,
+    last_progress: Instant,
+}
+
+enum Slot {
+    Pending { eligible_at: Instant },
+    Running(Running),
+    Done,
+}
+
+/// Everything the supervisor tracks about one shard.
+struct ShardTask {
+    spec: ShardSpec,
+    expected: SweepCheckpoint,
+    path: PathBuf,
+    slot: Slot,
+    attempts: u32,
+    first_issued: Option<Instant>,
+}
+
+/// Runs `request` — a whole-grid sweep description with no results
+/// yet — as `config.shards` worker processes and merges their shard
+/// checkpoints into the byte-identical whole-grid checkpoint a single
+/// uninterrupted process would have written. See the crate docs for
+/// the supervision contract.
+///
+/// # Errors
+///
+/// [`OrchestratorError::InvalidConfig`] for unrunnable requests,
+/// [`OrchestratorError::Spawn`] when a worker cannot be launched at
+/// all, [`OrchestratorError::ShardExhausted`] when a shard burns its
+/// respawn budget, and [`OrchestratorError::Sweep`]/[`Io`] for
+/// checkpoint and filesystem failures.
+///
+/// [`Io`]: OrchestratorError::Io
+pub fn run_sweep(
+    request: &SweepCheckpoint,
+    config: &OrchestratorConfig,
+) -> Result<SweepCheckpoint, OrchestratorError> {
+    run_sweep_with_metrics(request, config, Arc::new(NoopSink))
+}
+
+/// [`run_sweep`] with the supervision ledger (`shard.*` counters and
+/// the `shard.span_ns` histogram) flowing into `sink`.
+///
+/// # Errors
+///
+/// As for [`run_sweep`].
+pub fn run_sweep_with_metrics(
+    request: &SweepCheckpoint,
+    config: &OrchestratorConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<SweepCheckpoint, OrchestratorError> {
+    validate(request, config)?;
+    std::fs::create_dir_all(&config.dir)?;
+    let mut tasks: Vec<ShardTask> = split_grid(request.grid, config.shards)
+        .into_iter()
+        .map(|spec| ShardTask {
+            expected: SweepCheckpoint::shard(
+                request.n,
+                request.delta,
+                request.grid,
+                request.trials,
+                request.seed,
+                spec.start,
+                spec.points,
+            ),
+            path: config.shard_path(spec.index),
+            slot: Slot::Pending {
+                eligible_at: Instant::now(),
+            },
+            attempts: 0,
+            first_issued: None,
+            spec,
+        })
+        .collect();
+    for task in &mut tasks {
+        adopt_existing(task, sink.as_ref());
+    }
+    if let Err(err) = supervise(&mut tasks, config, sink.as_ref()) {
+        kill_all(&mut tasks, sink.as_ref());
+        return Err(err);
+    }
+    let mut docs = Vec::with_capacity(tasks.len());
+    for task in &tasks {
+        docs.push(SweepCheckpoint::load(&task.path)?);
+    }
+    Ok(SweepCheckpoint::merge_shards(request, &docs)?)
+}
+
+fn invalid(message: impl Into<String>) -> OrchestratorError {
+    OrchestratorError::InvalidConfig {
+        message: message.into(),
+    }
+}
+
+fn validate(
+    request: &SweepCheckpoint,
+    config: &OrchestratorConfig,
+) -> Result<(), OrchestratorError> {
+    if request.n < 2 || request.grid < 2 || request.trials == 0 || !request.delta.is_finite() {
+        return Err(invalid("request parameters are out of range"));
+    }
+    if request.rng_stream_version != simulator::RNG_STREAM_VERSION {
+        return Err(invalid(format!(
+            "request is for rng stream v{}, this build produces v{}",
+            request.rng_stream_version,
+            simulator::RNG_STREAM_VERSION
+        )));
+    }
+    if !request.covers_whole_grid() {
+        return Err(invalid("the request must cover the whole grid"));
+    }
+    if !request.wins.is_empty() {
+        return Err(invalid("the request must not already carry results"));
+    }
+    if config.shards == 0 {
+        return Err(invalid("at least one shard is required"));
+    }
+    if config.shards > request.grid + 1 {
+        return Err(invalid(format!(
+            "{} shards cannot each cover a point of a {}-point grid",
+            config.shards,
+            request.grid + 1
+        )));
+    }
+    if config.worker.program.as_os_str().is_empty() {
+        return Err(invalid("the worker program must be set"));
+    }
+    Ok(())
+}
+
+/// Adopts a pre-existing shard file left by an earlier (possibly
+/// crashed) coordinator: a complete valid file is accepted outright, a
+/// valid prefix is left for the worker to resume, anything else is
+/// scrubbed so the replacement worker starts clean.
+fn adopt_existing(task: &mut ShardTask, sink: &dyn MetricsSink) {
+    match SweepCheckpoint::load(&task.path) {
+        Ok(found) if found.validate_matches(&task.expected).is_ok() => {
+            if found.is_complete() {
+                task.slot = Slot::Done;
+                sink.add(keys::SHARD_COMPLETED, 1);
+            }
+        }
+        Err(simulator::SweepError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {}
+        _ => {
+            sink.add(keys::SHARD_CORRUPT, 1);
+            let _removed = std::fs::remove_file(&task.path);
+        }
+    }
+}
+
+fn supervise(
+    tasks: &mut [ShardTask],
+    config: &OrchestratorConfig,
+    sink: &dyn MetricsSink,
+) -> Result<(), OrchestratorError> {
+    loop {
+        let mut all_done = true;
+        for task in tasks.iter_mut() {
+            match &task.slot {
+                Slot::Done => {}
+                Slot::Pending { eligible_at } => {
+                    all_done = false;
+                    let due = Instant::now() >= *eligible_at;
+                    if due {
+                        spawn_worker(task, config, sink)?;
+                    }
+                }
+                Slot::Running(_) => {
+                    all_done = false;
+                    poll_worker(task, config, sink)?;
+                }
+            }
+        }
+        if all_done {
+            return Ok(());
+        }
+        std::thread::sleep(config.poll_interval);
+    }
+}
+
+fn spawn_worker(
+    task: &mut ShardTask,
+    config: &OrchestratorConfig,
+    sink: &dyn MetricsSink,
+) -> Result<(), OrchestratorError> {
+    let attempt = task.attempts;
+    let mut cmd = Command::new(&config.worker.program);
+    cmd.args(&config.worker.args)
+        .arg("run")
+        .arg("--n")
+        .arg(task.expected.n.to_string())
+        .arg("--delta")
+        .arg(format!("{:?}", task.expected.delta))
+        .arg("--grid")
+        .arg(task.expected.grid.to_string())
+        .arg("--trials")
+        .arg(task.expected.trials.to_string())
+        .arg("--seed")
+        .arg(task.expected.seed.to_string())
+        .arg("--start")
+        .arg(task.spec.start.to_string())
+        .arg("--points")
+        .arg(task.spec.points.to_string())
+        .arg("--out")
+        .arg(&task.path)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(plan) = &config.chaos {
+        if let Some(fault) = plan.fault_for(task.spec.index, attempt) {
+            cmd.arg("--fault").arg(fault.to_arg());
+        }
+    }
+    let child = cmd.spawn().map_err(|source| OrchestratorError::Spawn {
+        shard: task.spec.index,
+        source,
+    })?;
+    task.attempts += 1;
+    let now = Instant::now();
+    if task.first_issued.is_none() {
+        task.first_issued = Some(now);
+    }
+    sink.add(keys::SHARD_ISSUED, 1);
+    task.slot = Slot::Running(Running {
+        child,
+        spawned_at: now,
+        last_len: file_len(&task.path),
+        last_progress: now,
+    });
+    Ok(())
+}
+
+fn poll_worker(
+    task: &mut ShardTask,
+    config: &OrchestratorConfig,
+    sink: &dyn MetricsSink,
+) -> Result<(), OrchestratorError> {
+    let Slot::Running(run) = &mut task.slot else {
+        return Ok(());
+    };
+    match run.child.try_wait() {
+        Ok(Some(status)) if status.success() => accept_or_requeue(task, config, sink),
+        Ok(Some(_)) => {
+            // Dirty exit: whatever the atomic write-rename left behind
+            // is a valid prefix the next attempt resumes (requeue
+            // scrubs it if it is not).
+            requeue(task, config, sink)
+        }
+        Ok(None) => {
+            let now = Instant::now();
+            let len = file_len(&task.path);
+            if len != run.last_len {
+                run.last_len = len;
+                run.last_progress = now;
+            }
+            let stalled = now.duration_since(run.last_progress) > config.stall_timeout;
+            let overdue = now.duration_since(run.spawned_at) > config.shard_deadline;
+            if stalled || overdue {
+                if run.child.kill().is_ok() {
+                    sink.add(keys::SHARD_KILLED, 1);
+                }
+                let _reaped = run.child.wait();
+                requeue(task, config, sink)
+            } else {
+                Ok(())
+            }
+        }
+        Err(_) => {
+            if run.child.kill().is_ok() {
+                sink.add(keys::SHARD_KILLED, 1);
+            }
+            let _reaped = run.child.wait();
+            requeue(task, config, sink)
+        }
+    }
+}
+
+/// A worker exited cleanly: its file must now be the complete,
+/// parameter-exact shard checkpoint. Anything else counts as corrupt
+/// output — scrub and re-issue under the budget.
+fn accept_or_requeue(
+    task: &mut ShardTask,
+    config: &OrchestratorConfig,
+    sink: &dyn MetricsSink,
+) -> Result<(), OrchestratorError> {
+    let accepted = SweepCheckpoint::load(&task.path)
+        .is_ok_and(|found| found.validate_matches(&task.expected).is_ok() && found.is_complete());
+    if accepted {
+        task.slot = Slot::Done;
+        sink.add(keys::SHARD_COMPLETED, 1);
+        if let Some(first) = task.first_issued {
+            let span = u64::try_from(first.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sink.record(keys::SHARD_SPAN_NS, span);
+        }
+        Ok(())
+    } else {
+        sink.add(keys::SHARD_CORRUPT, 1);
+        let _removed = std::fs::remove_file(&task.path);
+        requeue(task, config, sink)
+    }
+}
+
+fn requeue(
+    task: &mut ShardTask,
+    config: &OrchestratorConfig,
+    sink: &dyn MetricsSink,
+) -> Result<(), OrchestratorError> {
+    scrub_invalid(task, sink);
+    if task.attempts > config.respawn_budget {
+        return Err(OrchestratorError::ShardExhausted {
+            shard: task.spec.index,
+            attempts: task.attempts,
+        });
+    }
+    sink.add(keys::SHARD_REISSUED, 1);
+    let shift = task.attempts.saturating_sub(1).min(16);
+    let backoff = config
+        .backoff_base
+        .saturating_mul(1_u32 << shift)
+        .min(config.backoff_cap);
+    task.slot = Slot::Pending {
+        eligible_at: Instant::now() + backoff,
+    };
+    Ok(())
+}
+
+/// Removes a shard file that no replacement worker could resume
+/// (unparseable, or for different sweep parameters); a valid prefix
+/// is kept so the next attempt picks up where the victim died.
+fn scrub_invalid(task: &ShardTask, sink: &dyn MetricsSink) {
+    if !task.path.exists() {
+        return;
+    }
+    let resumable = SweepCheckpoint::load(&task.path)
+        .is_ok_and(|found| found.validate_matches(&task.expected).is_ok());
+    if !resumable {
+        sink.add(keys::SHARD_CORRUPT, 1);
+        let _removed = std::fs::remove_file(&task.path);
+    }
+}
+
+/// Tears down every still-running worker after a fatal error so the
+/// coordinator never leaks processes.
+fn kill_all(tasks: &mut [ShardTask], sink: &dyn MetricsSink) {
+    for task in tasks.iter_mut() {
+        if let Slot::Running(run) = &mut task.slot {
+            if run.child.kill().is_ok() {
+                sink.add(keys::SHARD_KILLED, 1);
+            }
+            let _reaped = run.child.wait();
+        }
+    }
+}
+
+fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map_or(0, |meta| meta.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> SweepCheckpoint {
+        SweepCheckpoint::new(2, 1.0, 4, 1_000, 7)
+    }
+
+    fn config(shards: usize) -> OrchestratorConfig {
+        OrchestratorConfig::new(
+            shards,
+            std::env::temp_dir().join("nocomm-orch-validate"),
+            WorkerSpec::new("/nonexistent/worker"),
+        )
+    }
+
+    #[test]
+    fn unrunnable_configs_are_rejected_before_any_spawn() {
+        let cases: Vec<(SweepCheckpoint, OrchestratorConfig, &str)> = vec![
+            (request(), config(0), "at least one shard"),
+            (request(), config(6), "cannot each cover"),
+            (
+                SweepCheckpoint::shard(2, 1.0, 4, 1_000, 7, 1, 2),
+                config(2),
+                "whole grid",
+            ),
+            (
+                SweepCheckpoint::new(2, 1.0, 1, 1_000, 7),
+                config(1),
+                "out of range",
+            ),
+            (
+                SweepCheckpoint::new(2, f64::NAN, 4, 1_000, 7),
+                config(1),
+                "out of range",
+            ),
+        ];
+        for (req, cfg, needle) in cases {
+            let err = run_sweep(&req, &cfg).unwrap_err();
+            let OrchestratorError::InvalidConfig { message } = err else {
+                panic!("expected InvalidConfig, got {err}");
+            };
+            assert!(message.contains(needle), "{message:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn foreign_stream_versions_never_reach_a_worker() {
+        let mut req = request();
+        req.rng_stream_version += 1;
+        let err = run_sweep(&req, &config(1)).unwrap_err();
+        assert!(
+            matches!(err, OrchestratorError::InvalidConfig { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn requests_carrying_results_are_rejected() {
+        let mut req = request();
+        req.wins.push(3);
+        let err = run_sweep(&req, &config(1)).unwrap_err();
+        assert!(
+            matches!(err, OrchestratorError::InvalidConfig { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_worker_binaries_surface_as_spawn_errors() {
+        let dir = std::env::temp_dir().join("nocomm-orch-spawnfail");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = OrchestratorConfig::new(2, &dir, WorkerSpec::new("/nonexistent/worker"));
+        let err = run_sweep(&request(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, OrchestratorError::Spawn { shard: 0, .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let cfg = config(1);
+        let base = cfg.backoff_base;
+        for (attempts, want) in [
+            (1_u32, base),
+            (2, base * 2),
+            (3, base * 4),
+            (40, cfg.backoff_cap),
+        ] {
+            let shift = attempts.saturating_sub(1).min(16);
+            let backoff = base.saturating_mul(1_u32 << shift).min(cfg.backoff_cap);
+            assert_eq!(backoff, want.min(cfg.backoff_cap), "attempts {attempts}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Typed orchestration failures.
+
+use simulator::SweepError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while supervising a sharded sweep.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OrchestratorError {
+    /// The configuration cannot describe a runnable sweep (zero
+    /// shards, more shards than grid points, empty worker path, ...).
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        message: String,
+    },
+    /// Spawning a worker process failed outright (missing binary,
+    /// exhausted PIDs); distinct from a worker that spawned and died,
+    /// which is retried under the respawn budget.
+    Spawn {
+        /// The shard whose worker could not be spawned.
+        shard: usize,
+        /// The operating-system error.
+        source: io::Error,
+    },
+    /// A shard burned through its entire respawn budget without
+    /// producing a complete, valid checkpoint.
+    ShardExhausted {
+        /// The shard that kept failing.
+        shard: usize,
+        /// How many worker processes were issued for it in total.
+        attempts: u32,
+    },
+    /// A checkpoint-layer failure (corrupt file, parameter mismatch,
+    /// merge gap) that is not attributable to a retryable worker.
+    Sweep(SweepError),
+    /// Filesystem trouble outside the checkpoint files themselves.
+    Io(io::Error),
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::InvalidConfig { message } => {
+                write!(f, "invalid orchestrator config: {message}")
+            }
+            OrchestratorError::Spawn { shard, source } => {
+                write!(f, "failed to spawn worker for shard {shard}: {source}")
+            }
+            OrchestratorError::ShardExhausted { shard, attempts } => write!(
+                f,
+                "shard {shard} exhausted its respawn budget after {attempts} attempts"
+            ),
+            OrchestratorError::Sweep(err) => write!(f, "sweep error: {err}"),
+            OrchestratorError::Io(err) => write!(f, "io error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestratorError::Spawn { source, .. } | OrchestratorError::Io(source) => Some(source),
+            OrchestratorError::Sweep(err) => Some(err),
+            OrchestratorError::InvalidConfig { .. } | OrchestratorError::ShardExhausted { .. } => {
+                None
+            }
+        }
+    }
+}
+
+impl From<SweepError> for OrchestratorError {
+    fn from(err: SweepError) -> OrchestratorError {
+        OrchestratorError::Sweep(err)
+    }
+}
+
+impl From<io::Error> for OrchestratorError {
+    fn from(err: io::Error) -> OrchestratorError {
+        OrchestratorError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_name_the_failing_shard() {
+        let err = OrchestratorError::ShardExhausted {
+            shard: 3,
+            attempts: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("shard 3"), "{text}");
+        assert!(text.contains("5 attempts"), "{text}");
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn sources_chain_through_wrapped_errors() {
+        let err = OrchestratorError::Spawn {
+            shard: 0,
+            source: io::Error::new(io::ErrorKind::NotFound, "no such worker"),
+        };
+        assert!(err.source().is_some());
+        let err: OrchestratorError = SweepError::Corrupt {
+            message: "torn".to_owned(),
+        }
+        .into();
+        assert!(matches!(err, OrchestratorError::Sweep(_)));
+        assert!(err.source().is_some());
+    }
+}

@@ -7,9 +7,12 @@
 //! * [`wire`] — a zero-dependency, hand-rolled JSON subset
 //!   (newline-delimited documents, bit-exact float round-trips);
 //! * [`query`] — the typed protocol (`nocomm-service/v1`): requests
-//!   `pwin`, `optimal`, `sweep`, `threshold`, `simulate`, `shutdown`,
-//!   and responses that carry an `engine-metrics/v1`-style counter
-//!   frame;
+//!   `pwin`, `optimal`, `sweep`, `sweep_mc`, `shards`, `threshold`,
+//!   `simulate`, `shutdown`, and responses that carry an
+//!   `engine-metrics/v1`-style counter frame; `sweep_mc` fans a
+//!   Monte-Carlo sweep out over worker *processes* through the
+//!   `orchestrator` crate and `shards` reports its supervision
+//!   ledger;
 //! * [`cache`] — the concurrent read-through [`AnalyticCache`]:
 //!   one shared [`uniform_sums::SharedContext`] per `(n, δ)` plus a
 //!   result memo, making repeated analytic queries O(1) under load
@@ -75,4 +78,4 @@ pub use query::{
     CacheStatus, Envelope, MetricsFrame, Outcome, Request, Response, RuleFamily, RuleSpec,
     PROTOCOL_VERSION,
 };
-pub use server::{Service, ServiceConfig};
+pub use server::{Service, ServiceConfig, ShardedSweepConfig};

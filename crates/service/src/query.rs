@@ -186,6 +186,26 @@ pub enum Request {
         /// Number of players.
         n: u32,
     },
+    /// A Monte-Carlo sweep of the symmetric threshold family, fanned
+    /// out over worker *processes* by the orchestrator and merged
+    /// bit-identically to a single uninterrupted sweep. A query error
+    /// on daemons configured without a worker binary.
+    SweepMc {
+        /// Number of players.
+        n: usize,
+        /// Bin capacity δ.
+        delta: f64,
+        /// Grid divisions (the sweep has `grid + 1` points).
+        grid: usize,
+        /// Monte-Carlo trials per grid point.
+        trials: u64,
+        /// Sweep seed — point `k` runs on a stream derived from
+        /// `(seed, k)`, so sharding cannot change the answer.
+        seed: u64,
+    },
+    /// The orchestrator's shard supervision ledger (issued, completed,
+    /// re-issued, killed, corrupt), for watching fan-out health.
+    Shards,
     /// A Monte-Carlo confidence run of a described rule, batched onto
     /// the daemon's shared worker pool.
     Simulate {
@@ -211,6 +231,8 @@ impl Request {
             Request::PWin { .. } => "pwin",
             Request::Optimal { .. } => "optimal",
             Request::Sweep { .. } => "sweep",
+            Request::SweepMc { .. } => "sweep_mc",
+            Request::Shards => "shards",
             Request::Threshold { .. } => "threshold",
             Request::Simulate { .. } => "simulate",
             Request::Shutdown => "shutdown",
@@ -253,6 +275,21 @@ impl Envelope {
                 wire::write_number(&mut out, *delta);
                 let _ = write!(out, ", \"grid\": {grid}");
             }
+            Request::SweepMc {
+                n,
+                delta,
+                grid,
+                trials,
+                seed,
+            } => {
+                let _ = write!(out, ", \"n\": {n}, \"delta\": ");
+                wire::write_number(&mut out, *delta);
+                let _ = write!(
+                    out,
+                    ", \"grid\": {grid}, \"trials\": {trials}, \"seed\": {seed}"
+                );
+            }
+            Request::Shards | Request::Shutdown => {}
             Request::Threshold { n } => {
                 let _ = write!(out, ", \"n\": {n}");
             }
@@ -267,7 +304,6 @@ impl Envelope {
                 let _ = write!(out, ", \"trials\": {trials}, \"seed\": {seed}, \"rule\": ");
                 rule.write(&mut out);
             }
-            Request::Shutdown => {}
         }
         out.push('}');
         out
@@ -321,6 +357,18 @@ impl Envelope {
                 grid: usize::try_from(wire::field(fields, "grid", "sweep request")?.u64("grid")?)
                     .map_err(|_| "grid out of range".to_owned())?,
             },
+            "sweep_mc" => Request::SweepMc {
+                n: usize::try_from(wire::field(fields, "n", "sweep_mc request")?.u64("n")?)
+                    .map_err(|_| "n out of range".to_owned())?,
+                delta: delta("sweep_mc request")?,
+                grid: usize::try_from(
+                    wire::field(fields, "grid", "sweep_mc request")?.u64("grid")?,
+                )
+                .map_err(|_| "grid out of range".to_owned())?,
+                trials: wire::field(fields, "trials", "sweep_mc request")?.u64("trials")?,
+                seed: wire::field(fields, "seed", "sweep_mc request")?.u64("seed")?,
+            },
+            "shards" => Request::Shards,
             "threshold" => Request::Threshold {
                 n: u32::try_from(wire::field(fields, "n", "threshold request")?.u64("n")?)
                     .map_err(|_| "n out of range".to_owned())?,
@@ -334,7 +382,7 @@ impl Envelope {
             "shutdown" => Request::Shutdown,
             other => {
                 return Err(format!(
-                    "unknown request kind {other:?} (pwin, optimal, sweep, threshold, simulate, shutdown)"
+                    "unknown request kind {other:?} (pwin, optimal, sweep, sweep_mc, shards, threshold, simulate, shutdown)"
                 ))
             }
         };
@@ -482,6 +530,30 @@ pub enum Outcome {
         /// Cache disposition of the answer.
         cache: CacheStatus,
     },
+    /// A sharded Monte-Carlo sweep: per-point win counts merged from
+    /// worker-process shard checkpoints, byte-identical to a single
+    /// uninterrupted sweep. Only counts travel — estimates rebuild
+    /// through [`SimulationReport::from_counts`].
+    SweepMc {
+        /// Trials per grid point.
+        trials: u64,
+        /// `(β, wins)` per grid point in ascending β order.
+        points: Vec<(f64, u64)>,
+    },
+    /// The shard supervision ledger at answer time.
+    Shards {
+        /// Worker processes issued (spawned) in total.
+        issued: u64,
+        /// Shards completed by workers and accepted.
+        completed: u64,
+        /// Shards re-issued after a worker death, stall, or corrupt
+        /// hand-back.
+        reissued: u64,
+        /// Workers killed by the supervisor (stall or deadline).
+        killed: u64,
+        /// Corrupt shard checkpoints detected and scrubbed.
+        corrupt: u64,
+    },
     /// The Monte-Carlo estimate. Only the counts travel: estimate and
     /// standard error are rebuilt through
     /// [`SimulationReport::from_counts`], the same code path a direct
@@ -514,6 +586,8 @@ impl Outcome {
             Outcome::PWin { .. } => "pwin",
             Outcome::Optimal { .. } => "optimal",
             Outcome::Sweep { .. } => "sweep",
+            Outcome::SweepMc { .. } => "sweep_mc",
+            Outcome::Shards { .. } => "shards",
             Outcome::Threshold { .. } => "threshold",
             Outcome::Simulate { .. } => "simulate",
             Outcome::ShuttingDown => "shutdown",
@@ -537,6 +611,7 @@ impl Response {
     /// Serializes the response as one JSON line (no trailing
     /// newline).
     #[must_use]
+    #[allow(clippy::too_many_lines)] // one block per outcome variant; the flow reads top to bottom
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"v\": ");
         wire::write_str(&mut out, PROTOCOL_VERSION);
@@ -606,6 +681,30 @@ impl Response {
                         out.push_str(", \"cache\": ");
                         wire::write_str(&mut out, cache.as_str());
                     }
+                    Outcome::SweepMc { trials, points } => {
+                        let _ = write!(out, ", \"trials\": {trials}, \"points\": [");
+                        for (i, (x, wins)) in points.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push('[');
+                            wire::write_number(&mut out, *x);
+                            let _ = write!(out, ", {wins}]");
+                        }
+                        out.push(']');
+                    }
+                    Outcome::Shards {
+                        issued,
+                        completed,
+                        reissued,
+                        killed,
+                        corrupt,
+                    } => {
+                        let _ = write!(
+                            out,
+                            ", \"issued\": {issued}, \"completed\": {completed}, \"reissued\": {reissued}, \"killed\": {killed}, \"corrupt\": {corrupt}"
+                        );
+                    }
                     Outcome::Simulate { wins, trials } => {
                         let _ = write!(out, ", \"wins\": {wins}, \"trials\": {trials}");
                     }
@@ -629,6 +728,7 @@ impl Response {
     ///
     /// Returns a message on malformed JSON or a structurally invalid
     /// response.
+    #[allow(clippy::too_many_lines)] // one block per outcome variant; the flow reads top to bottom
     pub fn parse(line: &str) -> Result<Response, String> {
         let value = wire::parse(line)?;
         let fields = value.fields("response")?;
@@ -702,6 +802,38 @@ impl Response {
                         .str("method")?
                         .to_owned(),
                     cache: cache()?,
+                }
+            }
+            "sweep_mc" => {
+                let trials = wire::field(fields, "trials", "sweep_mc response")?.u64("trials")?;
+                let mut points = Vec::new();
+                for (i, item) in wire::field(fields, "points", "sweep_mc response")?
+                    .items("points")?
+                    .iter()
+                    .enumerate()
+                {
+                    let pair = item.items(&format!("points[{i}]"))?;
+                    if pair.len() != 2 {
+                        return Err(format!("points[{i}] must be a [beta, wins] pair"));
+                    }
+                    let wins = pair[1].u64("wins")?;
+                    if wins > trials {
+                        return Err(format!("{wins} wins out of {trials} trials is impossible"));
+                    }
+                    points.push((pair[0].f64("beta")?, wins));
+                }
+                Outcome::SweepMc { trials, points }
+            }
+            "shards" => {
+                let get = |key: &str| -> Result<u64, String> {
+                    wire::field(fields, key, "shards response")?.u64(key)
+                };
+                Outcome::Shards {
+                    issued: get("issued")?,
+                    completed: get("completed")?,
+                    reissued: get("reissued")?,
+                    killed: get("killed")?,
+                    corrupt: get("corrupt")?,
                 }
             }
             "simulate" => {
@@ -779,6 +911,20 @@ mod tests {
                 },
             },
             Envelope {
+                id: 6,
+                request: Request::SweepMc {
+                    n: 3,
+                    delta: 1.0,
+                    grid: 8,
+                    trials: 10_000,
+                    seed: 17,
+                },
+            },
+            Envelope {
+                id: 7,
+                request: Request::Shards,
+            },
+            Envelope {
                 id: 5,
                 request: Request::Shutdown,
             },
@@ -837,6 +983,25 @@ mod tests {
                     p_hi: 0.544_631_139_559_80,
                     method: "ball".to_owned(),
                     cache: CacheStatus::Hit,
+                }),
+                metrics: frame(),
+            },
+            Response {
+                id: 8,
+                outcome: Ok(Outcome::SweepMc {
+                    trials: 2_000,
+                    points: vec![(0.0, 333), (0.5, 958), (1.0, 289)],
+                }),
+                metrics: frame(),
+            },
+            Response {
+                id: 9,
+                outcome: Ok(Outcome::Shards {
+                    issued: 6,
+                    completed: 3,
+                    reissued: 3,
+                    killed: 1,
+                    corrupt: 1,
                 }),
                 metrics: frame(),
             },

@@ -24,13 +24,27 @@ use crate::metrics::ServiceMetrics;
 use crate::query::{CacheStatus, Envelope, MetricsFrame, Outcome, Request, Response};
 use decision::certified::ThresholdTable;
 use decision::LocalRule;
-use simulator::Simulation;
+use orchestrator::{run_sweep_with_metrics, OrchestratorConfig, WorkerSpec};
+use simulator::{Simulation, SweepCheckpoint};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Process fan-out settings for served `sweep_mc` queries: where the
+/// worker binary lives and where shard checkpoints go.
+#[derive(Clone, Debug)]
+pub struct ShardedSweepConfig {
+    /// The worker binary honoring the `nocomm-shard run` CLI.
+    pub worker: PathBuf,
+    /// Scratch directory for per-sweep shard checkpoints.
+    pub dir: PathBuf,
+    /// Worker processes per sweep (clamped to the grid size).
+    pub shards: usize,
+}
 
 /// Tuning for a daemon instance.
 #[derive(Clone, Debug)]
@@ -53,6 +67,10 @@ pub struct ServiceConfig {
     /// queries (see [`crate::cache::load_threshold_table`]); `None`
     /// makes `threshold` queries a query error.
     pub table: Option<Arc<ThresholdTable>>,
+    /// Sharded Monte-Carlo sweeps (`sweep_mc` queries): `None` (the
+    /// default) makes them a query error, keeping daemons that have
+    /// no worker binary from ever spawning processes.
+    pub sweeps: Option<ShardedSweepConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +83,7 @@ impl Default for ServiceConfig {
             max_grid: 65_536,
             poll_interval: Duration::from_millis(50),
             table: None,
+            sweeps: None,
         }
     }
 }
@@ -77,6 +96,11 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     config: ServiceConfig,
+    /// Serializes orchestrated sweeps: one coordinator at a time, so
+    /// two identical `sweep_mc` requests resume each other's shard
+    /// files instead of racing over them. Worker *processes* provide
+    /// the parallelism within the one running sweep.
+    sweep_gate: Mutex<()>,
 }
 
 impl Shared {
@@ -110,6 +134,7 @@ impl Shared {
         response
     }
 
+    #[allow(clippy::too_many_lines)] // one block per request kind; the flow reads top to bottom
     fn outcome(&self, request: &Request) -> Result<Outcome, String> {
         match request {
             Request::PWin { delta, rule } => {
@@ -148,6 +173,75 @@ impl Shared {
                 Ok(Outcome::Sweep {
                     points: points.iter().map(|p| (p.x, p.probability)).collect(),
                     cache,
+                })
+            }
+            Request::SweepMc {
+                n,
+                delta,
+                grid,
+                trials,
+                seed,
+            } => {
+                let Some(sweeps) = &self.config.sweeps else {
+                    return Err(
+                        "this daemon runs no sharded sweeps (no worker binary configured)"
+                            .to_owned(),
+                    );
+                };
+                if *grid < 2 {
+                    return Err(format!("grid must be at least 2, found {grid}"));
+                }
+                if *grid > self.config.max_grid {
+                    return Err(format!(
+                        "grid {grid} exceeds this daemon's limit of {}",
+                        self.config.max_grid
+                    ));
+                }
+                let total = trials.checked_mul(*grid as u64 + 1).unwrap_or(u64::MAX);
+                if *trials == 0 || total > self.config.max_trials {
+                    return Err(format!(
+                        "trials x points must be in 1..={}, found {trials} x {}",
+                        self.config.max_trials,
+                        grid + 1
+                    ));
+                }
+                let request = SweepCheckpoint::new(*n, *delta, *grid, *trials, *seed);
+                // One scratch directory per parameter tuple: a repeat
+                // of the same sweep resumes surviving shard files.
+                let scratch = sweeps.dir.join(format!(
+                    "mc-{n}-{grid}-{trials}-{seed}-{:016x}",
+                    delta.to_bits()
+                ));
+                let config = OrchestratorConfig::new(
+                    sweeps.shards.clamp(1, grid + 1),
+                    &scratch,
+                    WorkerSpec::new(&sweeps.worker),
+                );
+                let gate = self
+                    .sweep_gate
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let merged = run_sweep_with_metrics(&request, &config, self.metrics.engine())
+                    .map_err(|e| e.to_string())?;
+                drop(gate);
+                let _cleanup = std::fs::remove_dir_all(&scratch);
+                Ok(Outcome::SweepMc {
+                    trials: *trials,
+                    points: merged
+                        .points()
+                        .iter()
+                        .map(|p| (p.x, p.report.wins))
+                        .collect(),
+                })
+            }
+            Request::Shards => {
+                let snap = self.metrics.engine_snapshot();
+                Ok(Outcome::Shards {
+                    issued: snap.shard_issued,
+                    completed: snap.shard_completed,
+                    reissued: snap.shard_reissued,
+                    killed: snap.shard_killed,
+                    corrupt: snap.shard_corrupt,
                 })
             }
             Request::Threshold { n } => {
@@ -242,6 +336,7 @@ impl Service {
             shutdown: AtomicBool::new(false),
             addr,
             config,
+            sweep_gate: Mutex::new(()),
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {

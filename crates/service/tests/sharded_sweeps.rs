@@ -1,0 +1,124 @@
+//! Served sharded sweeps: the `sweep_mc` fan-out path and the
+//! `shards` ledger query.
+//!
+//! A daemon configured without a worker binary must refuse `sweep_mc`
+//! with a typed query error (never spawn anything); a configured
+//! daemon must serve the *identical* per-point win counts a direct
+//! single-process library sweep produces, because the orchestrator's
+//! merge is bit-identical by construction.
+
+use service::{Client, Outcome, Request, Service, ServiceConfig, ShardedSweepConfig};
+use std::path::PathBuf;
+
+/// The `nocomm-shard` binary if this test run built it (workspace
+/// `cargo test` builds every member's bins into `target/<profile>/`).
+/// Absent in a `-p service`-only invocation, where the fan-out legs
+/// are skipped — the orchestrator's own tests cover them.
+fn shard_worker() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?; // target/<profile>/deps/<test>
+    let profile_dir = exe.parent()?.parent()?;
+    let candidate = profile_dir.join("nocomm-shard");
+    candidate.is_file().then_some(candidate)
+}
+
+#[test]
+fn unconfigured_daemons_refuse_sweep_mc_with_a_query_error() {
+    let daemon = Service::start(ServiceConfig::default()).expect("daemon start");
+    let mut client = Client::connect(daemon.local_addr()).expect("connect");
+    let response = client
+        .roundtrip(Request::SweepMc {
+            n: 3,
+            delta: 1.0,
+            grid: 8,
+            trials: 1_000,
+            seed: 5,
+        })
+        .expect("round trip");
+    let Err(message) = response.outcome else {
+        panic!("sweep_mc must be a query error without a worker binary");
+    };
+    assert!(message.contains("no worker binary"), "{message}");
+    daemon.shutdown();
+}
+
+#[test]
+fn the_shard_ledger_starts_at_zero() {
+    let daemon = Service::start(ServiceConfig::default()).expect("daemon start");
+    let mut client = Client::connect(daemon.local_addr()).expect("connect");
+    let response = client.roundtrip(Request::Shards).expect("round trip");
+    assert_eq!(
+        response.outcome,
+        Ok(Outcome::Shards {
+            issued: 0,
+            completed: 0,
+            reissued: 0,
+            killed: 0,
+            corrupt: 0,
+        })
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn served_sweeps_match_the_direct_library_sweep_bit_for_bit() {
+    let Some(worker) = shard_worker() else {
+        return; // no nocomm-shard binary in this invocation
+    };
+    let scratch = std::env::temp_dir().join(format!("nocomm-served-sweeps-{}", std::process::id()));
+    let config = ServiceConfig {
+        sweeps: Some(ShardedSweepConfig {
+            worker,
+            dir: scratch.clone(),
+            shards: 3,
+        }),
+        ..ServiceConfig::default()
+    };
+    let daemon = Service::start(config).expect("daemon start");
+    let mut client = Client::connect(daemon.local_addr()).expect("connect");
+
+    let (n, delta, grid, trials, seed) = (2_usize, 1.0_f64, 5_usize, 1_000_u64, 31_u64);
+    let response = client
+        .roundtrip(Request::SweepMc {
+            n,
+            delta,
+            grid,
+            trials,
+            seed,
+        })
+        .expect("round trip");
+    let Ok(Outcome::SweepMc {
+        trials: served_trials,
+        points,
+    }) = response.outcome
+    else {
+        panic!("sweep_mc failed: {:?}", response.outcome);
+    };
+    assert_eq!(served_trials, trials);
+
+    let direct = simulator::sweep_threshold(n, delta, grid, trials, seed).unwrap();
+    assert_eq!(points.len(), direct.len());
+    for (served, direct) in points.iter().zip(&direct) {
+        assert_eq!(served.0.to_bits(), direct.x.to_bits(), "β diverged");
+        assert_eq!(
+            served.1, direct.report.wins,
+            "wins diverged at β = {}",
+            direct.x
+        );
+    }
+
+    // The supervision ledger saw the fan-out.
+    let response = client
+        .roundtrip(Request::Shards)
+        .expect("ledger round trip");
+    let Ok(Outcome::Shards {
+        issued, completed, ..
+    }) = response.outcome
+    else {
+        panic!("shards query failed");
+    };
+    assert_eq!(completed, 3);
+    assert!(issued >= 3);
+
+    daemon.shutdown();
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -68,6 +68,67 @@ fn remote_shutdown_acknowledges_then_drains() {
 }
 
 #[test]
+fn shutdown_racing_concurrent_sweeps_completes_all_accepted_work() {
+    let daemon = start();
+    let addr = daemon.local_addr();
+
+    // A burst of concurrent sweep and simulate requests, each on its
+    // own connection, all still in flight when the shutdown lands.
+    // Every request the daemon *accepted* must drain to a complete,
+    // correct answer — drain means finish the work, not drop it.
+    let workers: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                if i % 2 == 0 {
+                    client.roundtrip(Request::Sweep {
+                        n: 3 + i / 2,
+                        delta: 1.0,
+                        grid: 64,
+                    })
+                } else {
+                    client.roundtrip(Request::Simulate {
+                        delta: 1.0,
+                        trials: 200_000,
+                        seed: 7 + i as u64,
+                        rule: RuleSpec::threshold(vec![0.622, 0.622, 0.622]),
+                    })
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(10));
+    let mut controller = Client::connect(addr).expect("controller connect");
+    let ack = controller
+        .roundtrip(Request::Shutdown)
+        .expect("shutdown round trip");
+    assert_eq!(ack.outcome, Ok(Outcome::ShuttingDown));
+
+    let mut answered = 0;
+    for (i, worker) in workers.into_iter().enumerate() {
+        // A request that raced the drain window may be refused at the
+        // transport level (connection dropped before the daemon read
+        // it) — but an accepted one must never get a partial answer.
+        if let Ok(response) = worker.join().expect("client thread") {
+            match response.outcome {
+                Ok(Outcome::Sweep { points, .. }) => {
+                    assert_eq!(points.len(), 65, "request {i} drained to a truncated sweep");
+                }
+                Ok(Outcome::Simulate { wins, trials }) => {
+                    assert_eq!(trials, 200_000, "request {i} drained short");
+                    assert!(wins <= trials);
+                }
+                other => panic!("request {i} answered {other:?}"),
+            }
+            answered += 1;
+        }
+    }
+    assert!(answered >= 1, "the pre-shutdown burst was entirely lost");
+    daemon.wait();
+}
+
+#[test]
 fn local_shutdown_with_idle_connection_is_bounded() {
     let daemon = start();
     let addr = daemon.local_addr();

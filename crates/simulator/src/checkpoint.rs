@@ -18,6 +18,17 @@
 //! `f64` debug representation (a JSON string), which round-trips
 //! bit-exactly.
 //!
+//! A document may cover only a *shard* of the grid — a contiguous run
+//! of `shard_points` points starting at `shard_start` — so a fleet of
+//! worker processes can each checkpoint their own slice and a
+//! coordinator can merge the slices back into the whole-grid vector
+//! (see `orchestrator`). Whole-grid documents omit the `shard` field
+//! and stay byte-compatible with pre-shard writers. Every document
+//! also carries a `crc` field: an FNV-1a 64 digest over the stored
+//! fields that the parser re-verifies, so a flipped bit that still
+//! reads as a valid digit (invisible to the structural checks) is
+//! still caught.
+//!
 //! The parser is hand-rolled (like `xtask::metrics`; this workspace
 //! vendors no serde) and accepts exactly the subset of JSON the writer
 //! emits: one object of string fields, integer fields, and one array
@@ -47,7 +58,13 @@ pub struct SweepCheckpoint {
     pub trials: u64,
     /// Sweep seed (point `k` derives its engine seed from this).
     pub seed: u64,
-    /// Win counts of completed points, in grid order `0..wins.len()`.
+    /// First grid point this document covers (0 for a whole sweep).
+    pub shard_start: usize,
+    /// Grid points this document covers (`grid + 1` for a whole
+    /// sweep).
+    pub shard_points: usize,
+    /// Win counts of completed points, covering grid points
+    /// `shard_start .. shard_start + wins.len()` in order.
     pub wins: Vec<u64>,
 }
 
@@ -64,28 +81,82 @@ impl SweepCheckpoint {
             grid,
             trials,
             seed,
+            shard_start: 0,
+            shard_points: grid + 1,
             wins: Vec::new(),
         }
     }
 
-    /// Whether every grid point has completed.
+    /// A fresh checkpoint covering only the `points` grid points
+    /// starting at `start` — one worker's slice of a sharded sweep.
+    /// The parameter set and per-point seeding are identical to
+    /// [`SweepCheckpoint::new`], so a shard's point `k` reproduces
+    /// the whole sweep's point `k` bit for bit.
+    #[must_use]
+    pub fn shard(
+        n: usize,
+        delta: f64,
+        grid: usize,
+        trials: u64,
+        seed: u64,
+        start: usize,
+        points: usize,
+    ) -> SweepCheckpoint {
+        SweepCheckpoint {
+            shard_start: start,
+            shard_points: points,
+            ..SweepCheckpoint::new(n, delta, grid, trials, seed)
+        }
+    }
+
+    /// Whether this document covers the full grid rather than a
+    /// proper shard of it.
+    #[must_use]
+    pub fn covers_whole_grid(&self) -> bool {
+        self.shard_start == 0 && self.shard_points == self.grid + 1
+    }
+
+    /// Whether every covered grid point has completed.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.wins.len() == self.grid + 1
+        self.wins.len() == self.shard_points
     }
 
     /// Materializes the completed prefix as [`SweepPoint`]s — the
-    /// same `x` and report a live sweep would have produced.
+    /// same `x` and report a live sweep would have produced for these
+    /// grid points.
     #[must_use]
     pub fn points(&self) -> Vec<SweepPoint> {
         self.wins
             .iter()
             .enumerate()
-            .map(|(k, &wins)| SweepPoint {
-                x: Rational::ratio(k as i64, self.grid as i64).to_f64(),
+            .map(|(i, &wins)| SweepPoint {
+                x: Rational::ratio((self.shard_start + i) as i64, self.grid as i64).to_f64(),
                 report: SimulationReport::from_counts(wins, self.trials),
             })
             .collect()
+    }
+
+    /// FNV-1a 64 digest over every stored field in a fixed canonical
+    /// order. Serialized as the `crc` field and re-verified on parse.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut canon = format!(
+            "{}|{}|{:?}|{}|{}|{}|{}|{}",
+            self.rng_stream_version,
+            self.n,
+            self.delta,
+            self.grid,
+            self.trials,
+            self.seed,
+            self.shard_start,
+            self.shard_points
+        );
+        for wins in &self.wins {
+            let _ = write!(canon, "|{wins}");
+        }
+        fnv1a(canon.as_bytes())
     }
 
     /// Serializes the checkpoint as a `sweep-checkpoint/v1` document.
@@ -104,9 +175,18 @@ impl SweepCheckpoint {
         let _ = writeln!(out, "  \"grid\": {},", self.grid);
         let _ = writeln!(out, "  \"trials\": {},", self.trials);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        if !self.covers_whole_grid() {
+            let _ = writeln!(
+                out,
+                "  \"shard\": {{\"start\": {}, \"points\": {}}},",
+                self.shard_start, self.shard_points
+            );
+        }
+        let _ = writeln!(out, "  \"crc\": {},", self.checksum());
         out.push_str("  \"points\": [\n");
-        for (k, wins) in self.wins.iter().enumerate() {
-            let comma = if k + 1 < self.wins.len() { "," } else { "" };
+        for (i, wins) in self.wins.iter().enumerate() {
+            let comma = if i + 1 < self.wins.len() { "," } else { "" };
+            let k = self.shard_start + i;
             let _ = writeln!(out, "    {{\"k\": {k}, \"wins\": {wins}}}{comma}");
         }
         out.push_str("  ]\n}\n");
@@ -170,7 +250,7 @@ impl SweepCheckpoint {
     /// Returns [`SweepError::Mismatch`] naming the first disagreeing
     /// field. `delta` is compared bit-exactly.
     pub fn validate_matches(&self, requested: &SweepCheckpoint) -> Result<(), SweepError> {
-        let fields: [(&'static str, u64, u64); 6] = [
+        let fields: [(&'static str, u64, u64); 8] = [
             (
                 "rng_stream_version",
                 u64::from(self.rng_stream_version),
@@ -181,6 +261,16 @@ impl SweepCheckpoint {
             ("grid", self.grid as u64, requested.grid as u64),
             ("trials", self.trials, requested.trials),
             ("seed", self.seed, requested.seed),
+            (
+                "shard_start",
+                self.shard_start as u64,
+                requested.shard_start as u64,
+            ),
+            (
+                "shard_points",
+                self.shard_points as u64,
+                requested.shard_points as u64,
+            ),
         ];
         for (field, found, expected) in fields {
             if found != expected {
@@ -202,8 +292,67 @@ impl SweepCheckpoint {
         Ok(())
     }
 
-    /// Range/consistency checks shared by [`SweepCheckpoint::parse`].
-    fn validate_structure(&self) -> Result<(), SweepError> {
+    /// Merges complete shard documents into the whole-grid checkpoint
+    /// `requested` describes. The shards may arrive in any order but
+    /// must tile the grid exactly — contiguous, non-overlapping, and
+    /// jointly covering every point — and each must agree with
+    /// `requested` on every sweep parameter. Because each shard's
+    /// point `k` ran on the stream derived from `(seed, k)`, the
+    /// merged document is byte-identical to the checkpoint a single
+    /// uninterrupted process would have written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Mismatch`] if a shard disagrees with
+    /// `requested` on a sweep parameter, and [`SweepError::Corrupt`]
+    /// if `requested` is not whole-grid, a shard is incomplete, or
+    /// the shards overlap or leave a gap.
+    pub fn merge_shards(
+        requested: &SweepCheckpoint,
+        shards: &[SweepCheckpoint],
+    ) -> Result<SweepCheckpoint, SweepError> {
+        if !requested.covers_whole_grid() {
+            return Err(corrupt("merge target must cover the whole grid"));
+        }
+        let mut merged = requested.clone();
+        merged.wins.clear();
+        let mut sorted: Vec<&SweepCheckpoint> = shards.iter().collect();
+        sorted.sort_by_key(|s| s.shard_start);
+        for shard in sorted {
+            let mut expect = merged.clone();
+            expect.shard_start = shard.shard_start;
+            expect.shard_points = shard.shard_points;
+            shard.validate_matches(&expect)?;
+            if !shard.is_complete() {
+                return Err(corrupt(format!(
+                    "shard at {} is incomplete: {} of {} points",
+                    shard.shard_start,
+                    shard.wins.len(),
+                    shard.shard_points
+                )));
+            }
+            if shard.shard_start != merged.wins.len() {
+                return Err(corrupt(format!(
+                    "shards do not tile the grid: expected a shard starting at {}, found {}",
+                    merged.wins.len(),
+                    shard.shard_start
+                )));
+            }
+            merged.wins.extend_from_slice(&shard.wins);
+        }
+        if !merged.is_complete() {
+            return Err(corrupt(format!(
+                "shards cover only {} of {} grid points",
+                merged.wins.len(),
+                merged.shard_points
+            )));
+        }
+        Ok(merged)
+    }
+
+    /// Range/consistency checks shared by [`SweepCheckpoint::parse`]
+    /// and [`ShardSweep::open`](crate::ShardSweep::open).
+    pub(crate) fn validate_structure(&self) -> Result<(), SweepError> {
         if self.n < 2 {
             return Err(corrupt("n must be at least 2"));
         }
@@ -216,8 +365,18 @@ impl SweepCheckpoint {
         if !self.delta.is_finite() {
             return Err(corrupt("delta must be finite"));
         }
-        if self.wins.len() > self.grid + 1 {
-            return Err(corrupt("more points than the grid holds"));
+        if self.shard_points == 0 {
+            return Err(corrupt("a shard must cover at least one point"));
+        }
+        if self
+            .shard_start
+            .checked_add(self.shard_points)
+            .is_none_or(|end| end > self.grid + 1)
+        {
+            return Err(corrupt("shard extends past the end of the grid"));
+        }
+        if self.wins.len() > self.shard_points {
+            return Err(corrupt("more points than the shard holds"));
         }
         if self.wins.iter().any(|&w| w > self.trials) {
             return Err(corrupt("a point has more wins than trials"));
@@ -231,6 +390,16 @@ fn corrupt(message: impl Into<String>) -> SweepError {
     SweepError::Corrupt {
         message: message.into(),
     }
+}
+
+/// FNV-1a 64-bit over `bytes` — the checkpoint checksum primitive.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// A byte cursor over the checkpoint grammar.
@@ -327,12 +496,14 @@ impl<'a> Cursor<'a> {
     }
 
     /// The `[{"k": …, "wins": …}, …]` array, enforcing contiguous
-    /// ascending `k` from zero.
-    fn parse_points(&mut self) -> Result<Vec<u64>, SweepError> {
+    /// ascending `k`. Returns the first index (when any) alongside the
+    /// counts so the caller can check it against the shard start.
+    fn parse_points(&mut self) -> Result<(Option<u64>, Vec<u64>), SweepError> {
         self.require(b'[')?;
-        let mut wins = Vec::new();
+        let mut first = None;
+        let mut wins: Vec<u64> = Vec::new();
         if self.eat(b']') {
-            return Ok(wins);
+            return Ok((first, wins));
         }
         loop {
             self.require(b'{')?;
@@ -358,10 +529,13 @@ impl<'a> Cursor<'a> {
             let (Some(k), Some(won)) = (k, won) else {
                 return Err(corrupt("a point needs both \"k\" and \"wins\""));
             };
-            if k != wins.len() as u64 {
+            let start = *first.get_or_insert(k);
+            let expected = start
+                .checked_add(wins.len() as u64)
+                .ok_or_else(|| corrupt("point index out of range"))?;
+            if k != expected {
                 return Err(corrupt(format!(
-                    "points must be a contiguous prefix: expected k = {}, found {k}",
-                    wins.len()
+                    "points must be a contiguous run: expected k = {expected}, found {k}"
                 )));
             }
             wins.push(won);
@@ -370,10 +544,39 @@ impl<'a> Cursor<'a> {
             }
         }
         self.require(b']')?;
-        Ok(wins)
+        Ok((first, wins))
+    }
+
+    /// The `{"start": …, "points": …}` shard object.
+    fn parse_shard(&mut self) -> Result<(u64, u64), SweepError> {
+        self.require(b'{')?;
+        let mut start = None;
+        let mut points = None;
+        loop {
+            match self.parse_string()?.as_str() {
+                "start" => {
+                    self.require(b':')?;
+                    start = Some(self.parse_u64()?);
+                }
+                "points" => {
+                    self.require(b':')?;
+                    points = Some(self.parse_u64()?);
+                }
+                other => return Err(corrupt(format!("unknown shard field \"{other}\""))),
+            }
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.require(b'}')?;
+        match (start, points) {
+            (Some(start), Some(points)) => Ok((start, points)),
+            _ => Err(corrupt("a shard needs both \"start\" and \"points\"")),
+        }
     }
 
     /// The top-level checkpoint object.
+    #[allow(clippy::too_many_lines)] // one match arm per schema field; the flow reads top to bottom
     fn parse_document(&mut self) -> Result<SweepCheckpoint, SweepError> {
         self.require(b'{')?;
         let mut schema = None;
@@ -383,7 +586,9 @@ impl<'a> Cursor<'a> {
         let mut grid = None;
         let mut trials = None;
         let mut seed = None;
-        let mut wins = None;
+        let mut shard = None;
+        let mut crc = None;
+        let mut points = None;
         loop {
             match self.parse_string()?.as_str() {
                 "schema" => {
@@ -414,9 +619,17 @@ impl<'a> Cursor<'a> {
                     self.require(b':')?;
                     seed = Some(self.parse_u64()?);
                 }
+                "shard" => {
+                    self.require(b':')?;
+                    shard = Some(self.parse_shard()?);
+                }
+                "crc" => {
+                    self.require(b':')?;
+                    crc = Some(self.parse_u64()?);
+                }
                 "points" => {
                     self.require(b':')?;
-                    wins = Some(self.parse_points()?);
+                    points = Some(self.parse_points()?);
                 }
                 other => return Err(corrupt(format!("unknown field \"{other}\""))),
             }
@@ -442,15 +655,41 @@ impl<'a> Cursor<'a> {
         let n = usize::try_from(field(n, "n")?).map_err(|_| corrupt("n out of range"))?;
         let grid =
             usize::try_from(field(grid, "grid")?).map_err(|_| corrupt("grid out of range"))?;
-        Ok(SweepCheckpoint {
+        let (shard_start, shard_points) = match shard {
+            Some((start, count)) => (
+                usize::try_from(start).map_err(|_| corrupt("shard start out of range"))?,
+                usize::try_from(count).map_err(|_| corrupt("shard points out of range"))?,
+            ),
+            None => (0, grid + 1),
+        };
+        let (first_k, wins) = points.ok_or_else(|| corrupt("missing \"points\""))?;
+        if let Some(first) = first_k {
+            if first != shard_start as u64 {
+                return Err(corrupt(format!(
+                    "points must start at the shard start {shard_start}, found k = {first}"
+                )));
+            }
+        }
+        let doc = SweepCheckpoint {
             rng_stream_version: version,
             n,
             delta,
             grid,
             trials: field(trials, "trials")?,
             seed: field(seed, "seed")?,
-            wins: wins.ok_or_else(|| corrupt("missing \"points\""))?,
-        })
+            shard_start,
+            shard_points,
+            wins,
+        };
+        if let Some(expected) = crc {
+            let found = doc.checksum();
+            if found != expected {
+                return Err(corrupt(format!(
+                    "checksum mismatch: document says {expected}, contents hash to {found}"
+                )));
+            }
+        }
+        Ok(doc)
     }
 }
 
@@ -555,6 +794,176 @@ mod tests {
         requested.wins.clear();
         let err = stored.validate_matches(&requested).unwrap_err();
         assert!(matches!(err, SweepError::Mismatch { field: "delta", .. }));
+    }
+
+    #[test]
+    fn shard_documents_round_trip_and_cover_their_slice() {
+        let mut ckpt = SweepCheckpoint::shard(3, 1.0, 8, 60_000, 11, 3, 4);
+        assert!(!ckpt.covers_whole_grid());
+        ckpt.wins = vec![100, 200];
+        let json = ckpt.to_json();
+        assert!(json.contains("\"shard\": {\"start\": 3, \"points\": 4}"));
+        assert!(json.contains("{\"k\": 3,"), "points carry global indices");
+        let parsed = SweepCheckpoint::parse(&json).unwrap();
+        assert_eq!(parsed, ckpt);
+        assert!(!parsed.is_complete());
+        // Shard points sit at the same grid positions the whole sweep
+        // would have put them.
+        let points = parsed.points();
+        assert_eq!(points[0].x, 3.0 / 8.0);
+        assert_eq!(points[1].x, 0.5);
+        ckpt.wins.extend([300, 400]);
+        let full = SweepCheckpoint::parse(&ckpt.to_json()).unwrap();
+        assert!(full.is_complete());
+    }
+
+    #[test]
+    fn whole_grid_documents_omit_the_shard_field() {
+        let json = sample().to_json();
+        assert!(!json.contains("\"shard\""));
+        let parsed = SweepCheckpoint::parse(&json).unwrap();
+        assert!(parsed.covers_whole_grid());
+        assert_eq!(parsed.shard_start, 0);
+        assert_eq!(parsed.shard_points, 9);
+    }
+
+    #[test]
+    fn shard_bounds_are_validated() {
+        // A shard running past the grid end.
+        let over = SweepCheckpoint::shard(3, 1.0, 8, 60_000, 11, 6, 4);
+        let err = SweepCheckpoint::parse(&over.to_json()).unwrap_err();
+        assert!(err.to_string().contains("past the end"), "{err}");
+        // An empty shard.
+        let empty = SweepCheckpoint::shard(3, 1.0, 8, 60_000, 11, 2, 0);
+        assert!(SweepCheckpoint::parse(&empty.to_json()).is_err());
+        // Points not anchored at the shard start.
+        let mut off = SweepCheckpoint::shard(3, 1.0, 8, 60_000, 11, 3, 4);
+        off.wins = vec![5];
+        let moved = off.to_json().replace("{\"k\": 3,", "{\"k\": 4,");
+        let err = SweepCheckpoint::parse(&moved).unwrap_err();
+        assert!(err.to_string().contains("shard start"), "{err}");
+    }
+
+    #[test]
+    fn bit_flips_in_valid_digits_are_caught_by_the_checksum() {
+        let json = sample().to_json();
+        // Each mangled twin still parses structurally — only the crc
+        // re-verification can tell it from the original.
+        for (from, to) in [
+            ("\"wins\": 31578", "\"wins\": 31570"),
+            ("\"seed\": 11", "\"seed\": 10"),
+            ("\"trials\": 60000", "\"trials\": 60001"),
+        ] {
+            let mangled = json.replace(from, to);
+            assert_ne!(mangled, json, "{from} must appear in the document");
+            let err = SweepCheckpoint::parse(&mangled).unwrap_err();
+            assert!(
+                err.to_string().contains("checksum mismatch"),
+                "{from}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc_less_legacy_documents_still_parse() {
+        let ckpt = sample();
+        let json = ckpt.to_json();
+        let crc_line = json
+            .lines()
+            .find(|l| l.contains("\"crc\""))
+            .expect("crc line");
+        let legacy = json.replace(&format!("{crc_line}\n"), "");
+        assert!(!legacy.contains("\"crc\""));
+        assert_eq!(SweepCheckpoint::parse(&legacy).unwrap(), ckpt);
+    }
+
+    /// Cuts `whole` into complete shard documents at the given point
+    /// counts.
+    fn cut(whole: &SweepCheckpoint, sizes: &[usize]) -> Vec<SweepCheckpoint> {
+        let mut start = 0;
+        sizes
+            .iter()
+            .map(|&size| {
+                let mut shard = SweepCheckpoint::shard(
+                    whole.n,
+                    whole.delta,
+                    whole.grid,
+                    whole.trials,
+                    whole.seed,
+                    start,
+                    size,
+                );
+                shard.wins = whole.wins[start..start + size].to_vec();
+                start += size;
+                shard
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_shards_rebuild_the_whole_document_byte_for_byte() {
+        let mut whole = SweepCheckpoint::new(3, 1.0, 8, 60_000, 11);
+        whole.wins = (0..9).map(|i| 30_000 + i).collect();
+        for sizes in [vec![9], vec![4, 5], vec![3, 3, 3], vec![1; 9]] {
+            let mut shards = cut(&whole, &sizes);
+            shards.reverse(); // order must not matter
+            let requested = SweepCheckpoint::new(3, 1.0, 8, 60_000, 11);
+            let merged = SweepCheckpoint::merge_shards(&requested, &shards).unwrap();
+            assert_eq!(merged, whole, "sizes {sizes:?}");
+            assert_eq!(merged.to_json(), whole.to_json(), "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_incomplete_shards() {
+        let mut whole = SweepCheckpoint::new(3, 1.0, 8, 60_000, 11);
+        whole.wins = (0..9).map(|i| 30_000 + i).collect();
+        let requested = SweepCheckpoint::new(3, 1.0, 8, 60_000, 11);
+
+        let mut gap = cut(&whole, &[4, 5]);
+        gap.remove(1);
+        let err = SweepCheckpoint::merge_shards(&requested, &gap).unwrap_err();
+        assert!(err.to_string().contains("cover only"), "{err}");
+
+        let full = cut(&whole, &[9]);
+        let mut overlap = cut(&whole, &[4, 5]);
+        overlap.push(full[0].clone());
+        assert!(SweepCheckpoint::merge_shards(&requested, &overlap).is_err());
+
+        let mut incomplete = cut(&whole, &[4, 5]);
+        incomplete[1].wins.pop();
+        let err = SweepCheckpoint::merge_shards(&requested, &incomplete).unwrap_err();
+        assert!(err.to_string().contains("incomplete"), "{err}");
+
+        // A shard from a different sweep names the disagreeing field.
+        let mut foreign = cut(&whole, &[4, 5]);
+        foreign[0].seed = 12;
+        let err = SweepCheckpoint::merge_shards(&requested, &foreign).unwrap_err();
+        assert!(matches!(err, SweepError::Mismatch { field: "seed", .. }));
+    }
+
+    #[test]
+    fn shard_mismatches_name_the_field() {
+        let stored = SweepCheckpoint::shard(3, 1.0, 8, 60_000, 11, 3, 4);
+        let mut requested = SweepCheckpoint::shard(3, 1.0, 8, 60_000, 11, 0, 4);
+        let err = stored.validate_matches(&requested).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::Mismatch {
+                field: "shard_start",
+                ..
+            }
+        ));
+        requested.shard_start = 3;
+        requested.shard_points = 5;
+        let err = stored.validate_matches(&requested).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::Mismatch {
+                field: "shard_points",
+                ..
+            }
+        ));
     }
 
     #[test]

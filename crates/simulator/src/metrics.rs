@@ -117,6 +117,24 @@ pub mod keys {
     pub const SWEEP_RESUMED_POINTS: &str = "sweep.resumed_points";
     /// Per-grid-point wall-clock nanoseconds (histogram).
     pub const SWEEP_POINT_SPAN_NS: &str = "sweep.point_ns";
+    /// Shards handed to worker processes by the sweep orchestrator,
+    /// counting every issue including re-issues (counter).
+    pub const SHARD_ISSUED: &str = "shard.issued";
+    /// Shards whose checkpoint a worker completed and the
+    /// orchestrator accepted (counter).
+    pub const SHARD_COMPLETED: &str = "shard.completed";
+    /// Shards re-issued after a worker died, stalled, or produced a
+    /// corrupt checkpoint (counter; zero on a fault-free run).
+    pub const SHARD_REISSUED: &str = "shard.reissued";
+    /// Worker processes the orchestrator killed for stalling or
+    /// missing a shard deadline (counter).
+    pub const SHARD_KILLED: &str = "shard.killed";
+    /// Corrupt or mismatched shard checkpoints detected at
+    /// completion or merge time (counter).
+    pub const SHARD_CORRUPT: &str = "shard.corrupt";
+    /// Wall-clock nanoseconds from a shard's first issue to its
+    /// accepted completion, respawns included (histogram).
+    pub const SHARD_SPAN_NS: &str = "shard.span_ns";
     /// `EvalContext` Irwin–Hall table lookups served from cache
     /// (counter).
     pub const MEMO_HITS: &str = "analytic.memo_hits";
@@ -154,10 +172,16 @@ pub struct EngineMetrics {
     sweep_points: Counter,
     sweep_checkpoint_writes: Counter,
     sweep_resumed_points: Counter,
+    shard_issued: Counter,
+    shard_completed: Counter,
+    shard_reissued: Counter,
+    shard_killed: Counter,
+    shard_corrupt: Counter,
     memo_hits: Counter,
     memo_misses: Counter,
     pool_job_ns: Histogram,
     sweep_point_ns: Histogram,
+    shard_span_ns: Histogram,
 }
 
 impl EngineMetrics {
@@ -198,10 +222,16 @@ impl EngineMetrics {
             sweep_points: self.sweep_points.get(),
             sweep_checkpoint_writes: self.sweep_checkpoint_writes.get(),
             sweep_resumed_points: self.sweep_resumed_points.get(),
+            shard_issued: self.shard_issued.get(),
+            shard_completed: self.shard_completed.get(),
+            shard_reissued: self.shard_reissued.get(),
+            shard_killed: self.shard_killed.get(),
+            shard_corrupt: self.shard_corrupt.get(),
             memo_hits: self.memo_hits.get(),
             memo_misses: self.memo_misses.get(),
             pool_job_ns: self.pool_job_ns.snapshot(),
             sweep_point_ns: self.sweep_point_ns.snapshot(),
+            shard_span_ns: self.shard_span_ns.snapshot(),
         }
     }
 
@@ -232,6 +262,11 @@ impl EngineMetrics {
             keys::SWEEP_POINTS => &self.sweep_points,
             keys::SWEEP_CHECKPOINT_WRITES => &self.sweep_checkpoint_writes,
             keys::SWEEP_RESUMED_POINTS => &self.sweep_resumed_points,
+            keys::SHARD_ISSUED => &self.shard_issued,
+            keys::SHARD_COMPLETED => &self.shard_completed,
+            keys::SHARD_REISSUED => &self.shard_reissued,
+            keys::SHARD_KILLED => &self.shard_killed,
+            keys::SHARD_CORRUPT => &self.shard_corrupt,
             keys::MEMO_HITS => &self.memo_hits,
             keys::MEMO_MISSES => &self.memo_misses,
             _ => return None,
@@ -250,6 +285,7 @@ impl MetricsSink for EngineMetrics {
         match key {
             keys::POOL_JOB_SPAN_NS => self.pool_job_ns.record(value),
             keys::SWEEP_POINT_SPAN_NS => self.sweep_point_ns.record(value),
+            keys::SHARD_SPAN_NS => self.shard_span_ns.record(value),
             _ => {}
         }
     }
@@ -306,6 +342,16 @@ pub struct MetricsSnapshot {
     pub sweep_checkpoint_writes: u64,
     /// Grid points skipped on resume (already checkpointed).
     pub sweep_resumed_points: u64,
+    /// Shards handed to worker processes (re-issues included).
+    pub shard_issued: u64,
+    /// Shards completed by workers and accepted.
+    pub shard_completed: u64,
+    /// Shards re-issued after a worker failure.
+    pub shard_reissued: u64,
+    /// Worker processes killed by the orchestrator.
+    pub shard_killed: u64,
+    /// Corrupt or mismatched shard checkpoints detected.
+    pub shard_corrupt: u64,
     /// `EvalContext` Irwin–Hall lookups served from cache.
     pub memo_hits: u64,
     /// `EvalContext` Irwin–Hall tables computed on a miss.
@@ -314,6 +360,8 @@ pub struct MetricsSnapshot {
     pub pool_job_ns: HistogramSnapshot,
     /// Distribution of per-grid-point sweep times (nanoseconds).
     pub sweep_point_ns: HistogramSnapshot,
+    /// Distribution of shard issue-to-completion times (nanoseconds).
+    pub shard_span_ns: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -345,6 +393,11 @@ impl MetricsSnapshot {
             (keys::SWEEP_POINTS, self.sweep_points),
             (keys::SWEEP_CHECKPOINT_WRITES, self.sweep_checkpoint_writes),
             (keys::SWEEP_RESUMED_POINTS, self.sweep_resumed_points),
+            (keys::SHARD_ISSUED, self.shard_issued),
+            (keys::SHARD_COMPLETED, self.shard_completed),
+            (keys::SHARD_REISSUED, self.shard_reissued),
+            (keys::SHARD_KILLED, self.shard_killed),
+            (keys::SHARD_CORRUPT, self.shard_corrupt),
             (keys::MEMO_HITS, self.memo_hits),
             (keys::MEMO_MISSES, self.memo_misses),
         ]
@@ -384,6 +437,7 @@ impl MetricsSnapshot {
         let histograms = [
             (keys::POOL_JOB_SPAN_NS, &self.pool_job_ns),
             (keys::SWEEP_POINT_SPAN_NS, &self.sweep_point_ns),
+            (keys::SHARD_SPAN_NS, &self.shard_span_ns),
         ];
         for (i, (key, histogram)) in histograms.iter().enumerate() {
             let comma = if i + 1 < histograms.len() { "," } else { "" };
@@ -462,7 +516,27 @@ mod tests {
         }
         // ...and the snapshot reflects each increment exactly once.
         assert!(m.snapshot().counters().iter().all(|(_, v)| *v == 1));
-        assert_eq!(listed.len(), 26);
+        assert_eq!(listed.len(), 31);
+    }
+
+    #[test]
+    fn shard_ledger_keys_route_to_their_cells() {
+        let m = EngineMetrics::new();
+        m.add(keys::SHARD_ISSUED, 4);
+        m.add(keys::SHARD_COMPLETED, 3);
+        m.add(keys::SHARD_REISSUED, 1);
+        m.add(keys::SHARD_KILLED, 1);
+        m.add(keys::SHARD_CORRUPT, 1);
+        m.record(keys::SHARD_SPAN_NS, 5_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.shard_issued, 4);
+        assert_eq!(snap.shard_completed, 3);
+        assert_eq!(snap.shard_reissued, 1);
+        assert_eq!(snap.shard_killed, 1);
+        assert_eq!(snap.shard_corrupt, 1);
+        assert_eq!(snap.shard_span_ns.count, 1);
+        assert_eq!(snap.shard_span_ns.sum, 5_000);
+        assert!(snap.to_json().contains("\"shard.span_ns\""));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::{Simulation, SimulationReport, SweepError};
 use decision::{winning_probability_threshold_in, ModelError, SingleThresholdAlgorithm};
 use obs::{MetricsSink, NoopSink, SpanTimer};
 use rational::Rational;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use uniform_sums::EvalContext;
 
@@ -238,15 +238,7 @@ pub fn sweep_threshold_checkpointed_with_metrics(
 ) -> Result<Vec<SweepPoint>, SweepError> {
     assert!(grid >= 2, "need at least two grid points"); // xtask:allow(no-panic): documented precondition
     let requested = SweepCheckpoint::new(n, delta, grid, trials, seed);
-    let ckpt = if path.exists() {
-        let found = SweepCheckpoint::load(path)?;
-        found.validate_matches(&requested)?;
-        found
-    } else {
-        requested
-    };
-    let engine = Simulation::new(trials, seed).with_metrics(Arc::clone(&sink));
-    continue_sweep(&engine, ckpt, path, &sink)
+    ShardSweep::open_with_metrics(requested, path, sink)?.run_to_completion()
 }
 
 /// Resumes (or replays) the sweep checkpointed at `path`: the sweep
@@ -284,38 +276,187 @@ pub fn resume_sweep_with_metrics(
             found: ckpt.rng_stream_version.to_string(),
         });
     }
-    let engine = Simulation::new(ckpt.trials, ckpt.seed).with_metrics(Arc::clone(&sink));
-    continue_sweep(&engine, ckpt, path, &sink)
+    ShardSweep::from_checkpoint(ckpt, path.to_path_buf(), sink).run_to_completion()
 }
 
-/// Runs the grid points a checkpoint is still missing, persisting
-/// after each, then materializes the full vector from the (now
-/// complete) checkpoint.
-fn continue_sweep(
-    engine: &Simulation,
-    mut ckpt: SweepCheckpoint,
+/// Runs the shard sweep `requested` describes (a whole grid or one
+/// slice of it, see [`SweepCheckpoint::shard`]) to completion,
+/// checkpointing to `path` after every point. A convenience wrapper
+/// over [`ShardSweep::open`].
+///
+/// # Errors
+///
+/// As [`ShardSweep::open`].
+pub fn sweep_threshold_shard(
+    requested: SweepCheckpoint,
     path: &Path,
-    sink: &Arc<dyn MetricsSink>,
 ) -> Result<Vec<SweepPoint>, SweepError> {
-    let seed = ckpt.seed;
-    let start = ckpt.wins.len();
-    if start > 0 {
-        sink.add(keys::SWEEP_RESUMED_POINTS, start as u64);
+    ShardSweep::open(requested, path)?.run_to_completion()
+}
+
+/// [`sweep_threshold_shard`] with a metrics sink attached.
+///
+/// # Errors
+///
+/// As [`ShardSweep::open`].
+pub fn sweep_threshold_shard_with_metrics(
+    requested: SweepCheckpoint,
+    path: &Path,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<Vec<SweepPoint>, SweepError> {
+    ShardSweep::open_with_metrics(requested, path, sink)?.run_to_completion()
+}
+
+/// An in-progress checkpointed sweep over one shard of the grid (or
+/// the whole grid), advanced one point at a time.
+///
+/// This is the unit of progress the orchestration layer supervises: a
+/// worker process opens its shard, calls [`ShardSweep::step`] in a
+/// loop, and the atomic checkpoint write after every point doubles as
+/// its heartbeat — a coordinator watching the file sees monotone
+/// growth, and whatever survives a `SIGKILL` is a well-formed prefix
+/// another worker can resume. Fault injection, pacing, and progress
+/// reporting all happen *between* points, so they cannot perturb the
+/// per-point RNG streams.
+pub struct ShardSweep {
+    engine: Simulation,
+    ckpt: SweepCheckpoint,
+    path: PathBuf,
+    sink: Arc<dyn MetricsSink>,
+}
+
+impl std::fmt::Debug for ShardSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSweep")
+            .field("checkpoint", &self.ckpt)
+            .field("path", &self.path)
+            .finish_non_exhaustive()
     }
-    for k in start..=ckpt.grid {
-        let span = SpanTimer::start(&**sink, keys::SWEEP_POINT_SPAN_NS);
-        let beta = Rational::ratio(k as i64, ckpt.grid as i64);
-        let rule = SingleThresholdAlgorithm::symmetric(ckpt.n, beta)?;
-        let report = engine
-            .reseeded(point_seed(seed, k as u64))
-            .run(&rule, ckpt.delta);
+}
+
+impl ShardSweep {
+    /// Opens (or resumes) the shard sweep `requested` describes,
+    /// checkpointing to `path`. An existing checkpoint for the same
+    /// shard is picked up where it left off; one for a *different*
+    /// shard or sweep is rejected rather than overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Mismatch`] if `requested` carries a
+    /// foreign RNG stream version or an existing checkpoint disagrees
+    /// with it, [`SweepError::Corrupt`] if `requested` is structurally
+    /// invalid or the existing file is damaged, and [`SweepError::Io`]
+    /// if the file cannot be read.
+    pub fn open(requested: SweepCheckpoint, path: &Path) -> Result<ShardSweep, SweepError> {
+        ShardSweep::open_with_metrics(requested, path, Arc::new(NoopSink))
+    }
+
+    /// [`ShardSweep::open`] with a metrics sink attached; instruments
+    /// exactly as [`sweep_threshold_checkpointed_with_metrics`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardSweep::open`].
+    pub fn open_with_metrics(
+        requested: SweepCheckpoint,
+        path: &Path,
+        sink: Arc<dyn MetricsSink>,
+    ) -> Result<ShardSweep, SweepError> {
+        if requested.rng_stream_version != crate::RNG_STREAM_VERSION {
+            return Err(SweepError::Mismatch {
+                field: "rng_stream_version",
+                expected: crate::RNG_STREAM_VERSION.to_string(),
+                found: requested.rng_stream_version.to_string(),
+            });
+        }
+        requested.validate_structure()?;
+        let ckpt = if path.exists() {
+            let found = SweepCheckpoint::load(path)?;
+            found.validate_matches(&requested)?;
+            found
+        } else {
+            requested
+        };
+        Ok(ShardSweep::from_checkpoint(ckpt, path.to_path_buf(), sink))
+    }
+
+    /// Wraps an already-validated checkpoint, counting its completed
+    /// points as resumed.
+    fn from_checkpoint(
+        ckpt: SweepCheckpoint,
+        path: PathBuf,
+        sink: Arc<dyn MetricsSink>,
+    ) -> ShardSweep {
+        if !ckpt.wins.is_empty() {
+            sink.add(keys::SWEEP_RESUMED_POINTS, ckpt.wins.len() as u64);
+        }
+        let engine = Simulation::new(ckpt.trials, ckpt.seed).with_metrics(Arc::clone(&sink));
+        ShardSweep {
+            engine,
+            ckpt,
+            path,
+            sink,
+        }
+    }
+
+    /// Grid points completed so far (including resumed ones).
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.ckpt.wins.len()
+    }
+
+    /// Whether every covered point has completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.ckpt.is_complete()
+    }
+
+    /// The checkpoint as it stands (what the last atomic write
+    /// persisted, plus the initial state before any write).
+    #[must_use]
+    pub fn checkpoint(&self) -> &SweepCheckpoint {
+        &self.ckpt
+    }
+
+    /// Runs the next grid point and atomically persists the grown
+    /// checkpoint. Returns `false` when the shard was already
+    /// complete (and runs nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Model`] for invalid sweep parameters and
+    /// [`SweepError::Io`] if the checkpoint cannot be written.
+    pub fn step(&mut self) -> Result<bool, SweepError> {
+        let offset = self.ckpt.wins.len();
+        if offset >= self.ckpt.shard_points {
+            return Ok(false);
+        }
+        let k = self.ckpt.shard_start + offset;
+        let span = SpanTimer::start(&*self.sink, keys::SWEEP_POINT_SPAN_NS);
+        let beta = Rational::ratio(k as i64, self.ckpt.grid as i64);
+        let rule = SingleThresholdAlgorithm::symmetric(self.ckpt.n, beta)?;
+        let report = self
+            .engine
+            .reseeded(point_seed(self.ckpt.seed, k as u64))
+            .run(&rule, self.ckpt.delta);
         drop(span);
-        sink.add(keys::SWEEP_POINTS, 1);
-        ckpt.wins.push(report.wins);
-        ckpt.write_atomic(path)?;
-        sink.add(keys::SWEEP_CHECKPOINT_WRITES, 1);
+        self.sink.add(keys::SWEEP_POINTS, 1);
+        self.ckpt.wins.push(report.wins);
+        self.ckpt.write_atomic(&self.path)?;
+        self.sink.add(keys::SWEEP_CHECKPOINT_WRITES, 1);
+        Ok(true)
     }
-    Ok(ckpt.points())
+
+    /// Runs every remaining point and materializes the shard's
+    /// [`SweepPoint`]s from the (now complete) checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardSweep::step`].
+    pub fn run_to_completion(mut self) -> Result<Vec<SweepPoint>, SweepError> {
+        while self.step()? {}
+        Ok(self.ckpt.points())
+    }
 }
 
 /// One grid point of an analytic (closed-form) sweep.
@@ -676,6 +817,104 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn shard_sweeps_merge_bit_identically_to_the_whole_sweep() {
+        let (n, delta, grid, trials, seed) = (3, 1.0, 6, 5_000, 11);
+        let whole_file = ScratchFile::new("shard-whole.json");
+        let whole =
+            sweep_threshold_checkpointed(n, delta, grid, trials, seed, &whole_file.0).unwrap();
+        let mut shards = Vec::new();
+        let mut points = Vec::new();
+        for (start, count) in [(0usize, 3usize), (3, 2), (5, 2)] {
+            let file = ScratchFile::new(&format!("shard-{start}.json"));
+            let requested = SweepCheckpoint::shard(n, delta, grid, trials, seed, start, count);
+            points.extend(sweep_threshold_shard(requested, &file.0).unwrap());
+            shards.push(SweepCheckpoint::load(&file.0).unwrap());
+        }
+        // The concatenated shard points equal the whole sweep…
+        assert_eq!(points, whole);
+        // …and the merged checkpoint is byte-identical to the file a
+        // single process wrote.
+        let requested = SweepCheckpoint::new(n, delta, grid, trials, seed);
+        let merged = SweepCheckpoint::merge_shards(&requested, &shards).unwrap();
+        assert_eq!(
+            merged.to_json(),
+            std::fs::read_to_string(&whole_file.0).unwrap()
+        );
+        assert_eq!(merged.points(), whole);
+    }
+
+    #[test]
+    fn killed_shard_resumes_to_the_identical_slice() {
+        let scratch = ScratchFile::new("shard-killed.json");
+        let requested = SweepCheckpoint::shard(3, 1.0, 6, 5_000, 11, 2, 3);
+        let full = sweep_threshold_shard(requested.clone(), &scratch.0).unwrap();
+        let complete = SweepCheckpoint::load(&scratch.0).unwrap();
+        for survived in 0..complete.wins.len() {
+            let mut prefix = complete.clone();
+            prefix.wins.truncate(survived);
+            prefix.write_atomic(&scratch.0).unwrap();
+            let resumed = sweep_threshold_shard(requested.clone(), &scratch.0).unwrap();
+            assert_eq!(resumed, full, "kill after {survived} points");
+        }
+    }
+
+    #[test]
+    fn shard_sweep_steps_and_reports_progress() {
+        let scratch = ScratchFile::new("shard-steps.json");
+        let requested = SweepCheckpoint::shard(2, 1.0, 4, 2_000, 5, 1, 2);
+        let mut sweep = ShardSweep::open(requested, &scratch.0).unwrap();
+        assert_eq!(sweep.completed(), 0);
+        assert!(!sweep.is_complete());
+        assert!(sweep.step().unwrap());
+        assert_eq!(sweep.completed(), 1);
+        // Every step leaves a loadable checkpoint behind.
+        let on_disk = SweepCheckpoint::load(&scratch.0).unwrap();
+        assert_eq!(on_disk, *sweep.checkpoint());
+        assert!(sweep.step().unwrap());
+        assert!(sweep.is_complete());
+        assert!(!sweep.step().unwrap(), "a complete shard steps no more");
+    }
+
+    #[test]
+    fn foreign_stream_version_is_rejected_on_shard_open() {
+        let scratch = ScratchFile::new("shard-version.json");
+        // A requested shard stamped with a foreign stream version…
+        let mut requested = SweepCheckpoint::shard(2, 1.0, 4, 2_000, 5, 0, 2);
+        requested.rng_stream_version = crate::RNG_STREAM_VERSION + 1;
+        let err = ShardSweep::open(requested, &scratch.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::Mismatch {
+                field: "rng_stream_version",
+                ..
+            }
+        ));
+        // …and an on-disk shard from a foreign stream, against a
+        // current-version request.
+        let requested = SweepCheckpoint::shard(2, 1.0, 4, 2_000, 5, 0, 2);
+        sweep_threshold_shard(requested.clone(), &scratch.0).unwrap();
+        let mut stale = SweepCheckpoint::load(&scratch.0).unwrap();
+        stale.rng_stream_version = crate::RNG_STREAM_VERSION - 1;
+        stale.write_atomic(&scratch.0).unwrap();
+        let err = ShardSweep::open(requested, &scratch.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::Mismatch {
+                field: "rng_stream_version",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn structurally_invalid_shard_requests_are_rejected() {
+        let scratch = ScratchFile::new("shard-invalid.json");
+        let requested = SweepCheckpoint::shard(3, 1.0, 6, 5_000, 11, 5, 4);
+        let err = ShardSweep::open(requested, &scratch.0).unwrap_err();
+        assert!(matches!(err, SweepError::Corrupt { .. }), "{err}");
     }
 
     #[test]

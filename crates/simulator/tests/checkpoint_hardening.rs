@@ -1,0 +1,165 @@
+//! Corrupt-checkpoint hardening: hand-mangled `sweep-checkpoint/v1`
+//! documents — truncated, bit-flipped, wrong-version, or otherwise
+//! damaged — must surface a *typed* [`SweepError`] from every entry
+//! point that reads a checkpoint file. Never a panic, never a silent
+//! skip: a sweep resumed from a damaged file either refuses with a
+//! diagnosable error or does not resume at all.
+
+use simulator::{
+    resume_sweep, sweep_threshold_checkpointed, sweep_threshold_shard, ShardSweep, SweepCheckpoint,
+    SweepError,
+};
+use std::path::PathBuf;
+
+/// A per-test scratch path that cleans up after itself.
+struct ScratchFile(PathBuf);
+
+impl ScratchFile {
+    fn new(name: &str) -> ScratchFile {
+        let dir = std::env::temp_dir().join("nocomm-checkpoint-hardening");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        ScratchFile(path)
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// Writes a healthy complete checkpoint and returns its document.
+fn healthy(scratch: &ScratchFile) -> String {
+    sweep_threshold_checkpointed(2, 1.0, 4, 2_000, 9, &scratch.0).unwrap();
+    std::fs::read_to_string(&scratch.0).unwrap()
+}
+
+#[test]
+fn truncated_files_surface_corrupt_errors_everywhere() {
+    let scratch = ScratchFile::new("truncated.json");
+    let full = healthy(&scratch);
+    // Every truncation point a torn (non-atomic) writer could leave.
+    for cut in (0..full.len()).step_by(7) {
+        std::fs::write(&scratch.0, &full[..cut]).unwrap();
+        let err = resume_sweep(&scratch.0).unwrap_err();
+        assert!(
+            matches!(err, SweepError::Corrupt { .. }),
+            "cut at {cut}: resume_sweep gave {err}"
+        );
+        let err = sweep_threshold_checkpointed(2, 1.0, 4, 2_000, 9, &scratch.0).unwrap_err();
+        assert!(
+            matches!(err, SweepError::Corrupt { .. }),
+            "cut at {cut}: checkpointed sweep gave {err}"
+        );
+        let requested = SweepCheckpoint::new(2, 1.0, 4, 2_000, 9);
+        let err = ShardSweep::open(requested, &scratch.0).unwrap_err();
+        assert!(
+            matches!(err, SweepError::Corrupt { .. }),
+            "cut at {cut}: ShardSweep::open gave {err}"
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_digits_are_caught_by_the_checksum() {
+    let scratch = ScratchFile::new("bitflip.json");
+    let full = healthy(&scratch);
+    // Flip the low bit of every digit in the document, one at a time.
+    // Each twin is still structurally valid JSON with in-range values
+    // wherever the grammar allows it — only the crc can tell.
+    let mut rejected = 0;
+    for (i, byte) in full.bytes().enumerate() {
+        if !byte.is_ascii_digit() {
+            continue;
+        }
+        let flipped = if byte == b'9' { b'8' } else { byte ^ 1 };
+        let mut twin = full.clone().into_bytes();
+        twin[i] = flipped;
+        std::fs::write(&scratch.0, &twin).unwrap();
+        match resume_sweep(&scratch.0) {
+            Err(SweepError::Corrupt { .. } | SweepError::Mismatch { .. }) => rejected += 1,
+            Err(other) => panic!("flip at byte {i}: unexpected error kind {other}"),
+            Ok(_) => panic!("flip at byte {i} went undetected"),
+        }
+    }
+    assert!(rejected > 20, "only {rejected} flips exercised");
+}
+
+#[test]
+fn wrong_schema_version_is_a_typed_corrupt_error() {
+    let scratch = ScratchFile::new("schema.json");
+    let full = healthy(&scratch);
+    let mangled = full.replace("sweep-checkpoint/v1", "sweep-checkpoint/v2");
+    std::fs::write(&scratch.0, mangled).unwrap();
+    let err = resume_sweep(&scratch.0).unwrap_err();
+    let SweepError::Corrupt { message } = err else {
+        panic!("expected Corrupt, got {err}");
+    };
+    assert!(message.contains("sweep-checkpoint/v2"), "{message}");
+}
+
+#[test]
+fn foreign_rng_stream_version_is_a_typed_mismatch() {
+    let scratch = ScratchFile::new("rng-version.json");
+    healthy(&scratch);
+    let mut stale = SweepCheckpoint::load(&scratch.0).unwrap();
+    stale.rng_stream_version = simulator::RNG_STREAM_VERSION + 7;
+    stale.write_atomic(&scratch.0).unwrap();
+    for err in [
+        resume_sweep(&scratch.0).unwrap_err(),
+        sweep_threshold_checkpointed(2, 1.0, 4, 2_000, 9, &scratch.0).unwrap_err(),
+        sweep_threshold_shard(
+            SweepCheckpoint::shard(2, 1.0, 4, 2_000, 9, 0, 5),
+            &scratch.0,
+        )
+        .unwrap_err(),
+    ] {
+        assert!(
+            matches!(
+                err,
+                SweepError::Mismatch {
+                    field: "rng_stream_version",
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+}
+
+#[test]
+fn garbage_and_binary_files_never_panic() {
+    let scratch = ScratchFile::new("garbage.json");
+    let cases: &[&[u8]] = &[
+        b"",
+        b"garbage",
+        b"{\"schema\": \"sweep-checkpoint/v1\"",
+        &[0xff, 0xfe, 0x00, 0x01, 0x80],
+        b"[1, 2, 3]",
+        b"{\"schema\": \"sweep-checkpoint/v1\", \"n\": 99999999999999999999999}",
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        std::fs::write(&scratch.0, case).unwrap();
+        let err = resume_sweep(&scratch.0).unwrap_err();
+        assert!(
+            matches!(err, SweepError::Corrupt { .. } | SweepError::Io(_)),
+            "case {i}: {err}"
+        );
+    }
+}
+
+#[test]
+fn damaged_files_are_never_silently_overwritten() {
+    let scratch = ScratchFile::new("no-clobber.json");
+    let full = healthy(&scratch);
+    let torn = &full[..full.len() / 2];
+    std::fs::write(&scratch.0, torn).unwrap();
+    let _ = sweep_threshold_checkpointed(2, 1.0, 4, 2_000, 9, &scratch.0).unwrap_err();
+    assert_eq!(
+        std::fs::read_to_string(&scratch.0).unwrap(),
+        torn,
+        "a rejected file must be left for diagnosis, not clobbered"
+    );
+}

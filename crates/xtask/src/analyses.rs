@@ -239,9 +239,13 @@ fn argument_span(file: &SourceFile, code: &[usize], open_k: usize) -> Vec<usize>
 }
 
 /// Calls that block the current thread on another thread, a channel,
-/// or a socket peer (the service daemon's accept/read/write path: a
+/// a socket peer (the service daemon's accept/read/write path: a
 /// connection thread stalled by a slow client must never be holding a
-/// shared lock).
+/// shared lock), or a child process (the orchestrator's supervision
+/// path: `wait`/`wait_with_output` block until the worker exits, and
+/// even the "non-blocking" `kill`/`try_wait` are syscalls against
+/// process state that must not run under a shared lock — a wedged
+/// worker would stall every contender).
 const BLOCKING_CALLS: &[&str] = &[
     "send",
     "recv",
@@ -250,10 +254,13 @@ const BLOCKING_CALLS: &[&str] = &[
     "wait",
     "wait_timeout",
     "wait_while",
+    "wait_with_output",
     "accept",
     "read_line",
     "write_all",
     "flush",
+    "kill",
+    "try_wait",
 ];
 
 /// Result adapters that pass a lock guard through unchanged, so

@@ -25,6 +25,7 @@
 //! | `cargo xtask ci` | fmt-check + analyze + tier-1 tests |
 //! | `cargo xtask metrics-check <path>` | validate an `engine-metrics/v1` JSON export |
 //! | `cargo xtask chaos-check <path>` | validate a `chaos-smoke/v1` fault-recovery artifact |
+//! | `cargo xtask shard-check <path>` | validate a `shard-smoke/v1` orchestration artifact |
 //! | `cargo xtask bench-check <fresh> <committed>` | gate fresh bench speedups against `results/BENCH_*.json` |
 //! | `cargo xtask table [--max-n N] [--out path]` | certify and write `results/threshold_table.json` |
 //! | `cargo xtask table-check [path]` | validate the committed threshold table + spot re-certify rows |
@@ -40,6 +41,7 @@ pub mod lexer;
 pub mod lints;
 pub mod metrics;
 pub mod scrub;
+pub mod shard;
 pub mod source;
 pub mod table;
 pub mod tree;

@@ -413,10 +413,21 @@ fn no_dyn_hot_loop(file: &SourceFile) -> Vec<Violation> {
 }
 
 /// Calls that deliver a payload to another party — a channel receiver
-/// (`send`) or a socket peer (`write_all`, `flush`, `shutdown`). A
-/// discarded `Result` from any of them silently loses the payload or
-/// leaves the peer half-notified.
-const DELIVERY_CALLS: &[&str] = &["send", "write_all", "flush", "shutdown"];
+/// (`send`), a socket peer (`write_all`, `flush`, `shutdown`) — or
+/// hand a child process's fate back to the supervisor (`spawn`,
+/// `kill`, `wait`, `try_wait`). A discarded `Result` from any of them
+/// silently loses the payload, leaves the peer half-notified, or
+/// leaks an unsupervised (possibly zombie) child.
+const DELIVERY_CALLS: &[&str] = &[
+    "send",
+    "write_all",
+    "flush",
+    "shutdown",
+    "spawn",
+    "kill",
+    "wait",
+    "try_wait",
+];
 
 /// `let _ = tx.send(…)` (and its socket-side siblings `write_all`,
 /// `flush`, `shutdown`) discards delivery failure: if the receiver is
@@ -426,9 +437,15 @@ const DELIVERY_CALLS: &[&str] = &["send", "write_all", "flush", "shutdown"];
 /// `submit` does with `SimulationError::PoolClosed`), branch on it
 /// (as the service's connection loop does on `write_all`), or shut a
 /// channel down by *dropping* the sender — never by throwing the
-/// result away. `try_send` is a different identifier token, so it is
-/// never matched; a deliberate drop carries an
-/// `xtask:allow(no-silent-send)` waiver.
+/// result away. The process-supervision calls (`spawn`, `kill`,
+/// `wait`, `try_wait`) are held to the same bar: `let _ = cmd.spawn()`
+/// leaks an unsupervised child on success and hides the spawn failure
+/// otherwise, and a discarded `kill`/`wait` result leaves the
+/// orchestrator blind to whether the worker is actually gone (a
+/// deliberate best-effort reap binds a named placeholder such as
+/// `let _reaped = child.wait();`). `try_send` is a different
+/// identifier token, so it is never matched; a deliberate drop
+/// carries an `xtask:allow(no-silent-send)` waiver.
 fn no_silent_send(file: &SourceFile) -> Vec<Violation> {
     if file.kind != FileKind::Lib {
         return Vec::new();

@@ -50,6 +50,14 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("shard-check") => {
+            if let Some(path) = args.get(1) {
+                run_shard_check(path)
+            } else {
+                eprintln!("usage: cargo xtask shard-check <path/to/shard_smoke.json>");
+                ExitCode::FAILURE
+            }
+        }
         Some("table") => run_table(&args),
         Some("table-check") => run_table_check(
             args.get(1)
@@ -69,7 +77,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--list|--prune] | analyze [--list|--json|--update-fingerprint] | ci | metrics-check <path> | chaos-check <path> | bench-check <fresh> <committed> | table [--max-n N] [--out path] | table-check [path]>"
+                "usage: cargo xtask <lint [--list|--prune] | analyze [--list|--json|--update-fingerprint] | ci | metrics-check <path> | chaos-check <path> | shard-check <path> | bench-check <fresh> <committed> | table [--max-n N] [--out path] | table-check [path]>"
             );
             ExitCode::FAILURE
         }
@@ -114,6 +122,30 @@ fn run_chaos_check(path: &str) -> ExitCode {
         }
         Err(message) => {
             eprintln!("xtask chaos-check: {path}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates a `shard-smoke/v1` orchestration artifact; nonzero exit
+/// on a read failure, a structural problem, a merge that is not
+/// byte-identical to the single-process baseline, or a supervision
+/// ledger showing the chaos plan never engaged.
+fn run_shard_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask shard-check: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::shard::validate_shard_document(&text) {
+        Ok(summary) => {
+            eprintln!("xtask shard-check: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask shard-check: {path}: {message}");
             ExitCode::FAILURE
         }
     }

@@ -38,12 +38,17 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "sweep.points",
     "sweep.checkpoint_writes",
     "sweep.resumed_points",
+    "shard.issued",
+    "shard.completed",
+    "shard.reissued",
+    "shard.killed",
+    "shard.corrupt",
     "analytic.memo_hits",
     "analytic.memo_misses",
 ];
 
 /// Histogram keys an `engine-metrics/v1` document must carry.
-pub const REQUIRED_HISTOGRAMS: &[&str] = &["pool.job_ns", "sweep.point_ns"];
+pub const REQUIRED_HISTOGRAMS: &[&str] = &["pool.job_ns", "sweep.point_ns", "shard.span_ns"];
 
 /// What a valid document contained, for the success report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -439,7 +444,8 @@ mod tests {
              \"counters\": {{\n{counters}  }},\n  \"histograms\": {{\n    \
              \"pool.job_ns\": {{\"count\": 0, \"sum\": 0, \"buckets\": []}},\n    \
              \"sweep.point_ns\": {{\"count\": 3, \"sum\": 900, \"buckets\": \
-             [{{\"le\": 255, \"count\": 1}}, {{\"le\": 511, \"count\": 2}}]}}\n  }}\n}}\n"
+             [{{\"le\": 255, \"count\": 1}}, {{\"le\": 511, \"count\": 2}}]}},\n    \
+             \"shard.span_ns\": {{\"count\": 0, \"sum\": 0, \"buckets\": []}}\n  }}\n}}\n"
         )
     }
 
@@ -451,11 +457,11 @@ mod tests {
             MetricsSummary {
                 rng_stream_version: 2,
                 counters: REQUIRED_COUNTERS.len(),
-                histograms: 2,
+                histograms: 3,
                 samples: 3,
             }
         );
-        assert!(summary.to_string().contains("26 counters"));
+        assert!(summary.to_string().contains("31 counters"));
     }
 
     #[test]

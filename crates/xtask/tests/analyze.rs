@@ -70,6 +70,20 @@ fn lock_discipline_covers_socket_calls() {
 }
 
 #[test]
+fn lock_discipline_covers_child_process_calls() {
+    let f = fixture(
+        "process_io.rs",
+        "crates/demo/src/process_io.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    // kill under the roster lock, try_wait under the ledger guard,
+    // wait_with_output under the log lock; the dropped, extracted,
+    // and waived sites stay silent.
+    assert_eq!(lines(&v, "lock-discipline"), vec![42, 48, 56], "{v:?}");
+}
+
+#[test]
 fn hot_path_alloc_fires_inside_hot_fns_only() {
     let f = fixture(
         "hot_path_alloc.rs",
@@ -90,6 +104,7 @@ fn analyses_do_not_fire_on_test_files() {
         "lock_discipline.rs",
         "hot_path_alloc.rs",
         "service_io.rs",
+        "process_io.rs",
     ] {
         let f = fixture(name, "crates/demo/tests/t.rs", FileKind::TestLike);
         assert!(check_file(&f).is_empty(), "{name} fired in a test file");

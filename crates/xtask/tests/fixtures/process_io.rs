@@ -1,0 +1,91 @@
+//! Fixture for the process-supervision widening of two rules:
+//! discarded child-process results (`no-silent-send` over
+//! `spawn`/`kill`/`wait`/`try_wait`) and lock guards held across
+//! supervision calls (`lock-discipline` over `kill`/`try_wait`/
+//! `wait`/`wait_with_output`).
+
+/// BAD: a discarded `spawn` leaks an unsupervised child on success
+/// and hides the spawn failure otherwise.
+fn drops_spawn(cmd: &mut Command) {
+    let _ = cmd.spawn();
+}
+
+/// BAD: a discarded `kill` leaves the worker's fate unknown.
+fn drops_kill(child: &mut Child) {
+    let _ = child.kill();
+}
+
+/// BAD: a discarded `wait` throws away the exit status.
+fn drops_wait(child: &mut Child) {
+    let _ = child.wait();
+}
+
+/// GOOD: branching on the supervision result.
+fn handles_kill(child: &mut Child) -> bool {
+    child.kill().is_ok()
+}
+
+/// GOOD: a named placeholder documents a deliberate best-effort reap.
+fn best_effort_reap(child: &mut Child) {
+    let _reaped = child.wait();
+}
+
+/// Waived: a pure poll whose outcome the deadline path re-checks.
+fn waived_poll(child: &mut Child) {
+    let _ = child.try_wait(); // xtask:allow(no-silent-send): poll only; the deadline pass re-checks this child
+}
+
+/// BAD: killing a worker while the roster lock is held — a wedged
+/// worker stalls every thread that needs the roster.
+fn kill_under_lock(roster: &Mutex<Vec<Child>>, index: usize) {
+    let mut guard = roster.lock().unwrap();
+    let _stopped = guard[index].kill().is_ok();
+}
+
+/// BAD: polling a child while the ledger guard is live.
+fn poll_under_lock(ledger: &Mutex<Ledger>, child: &mut Child) {
+    let mut stats = ledger.lock().unwrap();
+    if let Ok(Some(status)) = child.try_wait() {
+        stats.exits += u64::from(status.success());
+    }
+}
+
+/// BAD: draining a child's full output while holding the log lock.
+fn drain_under_lock(log: &Mutex<String>, child: Child) {
+    let guard = log.lock().unwrap();
+    if let Ok(out) = child.wait_with_output() {
+        let _len = guard.len() + out.stdout.len();
+    }
+}
+
+/// GOOD: explicit drop releases the guard before the blocking wait.
+fn dropped(ledger: &Mutex<Ledger>, child: &mut Child) {
+    let guard = ledger.lock().unwrap();
+    let budget = guard.budget;
+    drop(guard);
+    if budget > 0 {
+        let _status = child.wait();
+    }
+}
+
+/// GOOD: extracting owned data in one statement binds no guard.
+fn extracted(roster: &Mutex<Vec<Child>>) -> usize {
+    let fleet: usize = roster.lock().unwrap().len();
+    fleet
+}
+
+/// Waived: the slot lock exists to serialize exactly this poll.
+fn slot_poll(slot: &Mutex<Child>) -> bool {
+    let mut guard = slot.lock().unwrap();
+    // xtask:allow(lock-discipline): process_io fixture — the slot lock serializes this single poll by design
+    guard.try_wait().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_helper(child: &mut Child) {
+        let _ = child.kill();
+    }
+}

@@ -153,6 +153,27 @@ fn no_silent_send_covers_socket_deliveries() {
 }
 
 #[test]
+fn no_silent_send_covers_child_process_calls() {
+    let f = fixture(
+        "process_io.rs",
+        "crates/demo/src/process_io.rs",
+        FileKind::Lib,
+    );
+    let v = check_file(&f);
+    let hits = by_lint(&v, "no-silent-send");
+    // The discarded `spawn`, `kill`, and `wait` fire; the branched
+    // kill, the named best-effort reap, the waived poll, and the
+    // test-module helper stay silent.
+    assert_eq!(hits.len(), 3, "{v:?}");
+    assert_eq!(hits[0].line, 10);
+    assert!(hits[0].message.contains("spawn"));
+    assert_eq!(hits[1].line, 15);
+    assert!(hits[1].message.contains("kill"));
+    assert_eq!(hits[2].line, 20);
+    assert!(hits[2].message.contains("wait"));
+}
+
+#[test]
 fn allowlist_entries_silence_matching_paths_only() {
     let f = fixture("prints.rs", "crates/demo/src/prints.rs", FileKind::Lib);
     let v = check_file(&f);

@@ -2,7 +2,7 @@
 # The full local gate, identical to .github/workflows/ci.yml:
 #   fmt -> static analyzer -> examples build -> tests (incl. doc-tests)
 #   -> tests with hard invariants -> bench smoke -> bench check
-#   -> metrics smoke -> service smoke -> table check
+#   -> metrics smoke -> shard smoke -> service smoke -> table check
 #   -> analyze smoke (runtime budget).
 set -eu
 
@@ -48,6 +48,27 @@ metrics_out="${TMPDIR:-/tmp}/engine_metrics.ci.json"
 cargo run --release --quiet --example engine_metrics -- --out "$metrics_out"
 cargo run --package xtask --quiet -- metrics-check "$metrics_out"
 rm -f "$metrics_out"
+
+echo "==> shard smoke (nocomm-shard + shard-check)"
+# Proves crash-surviving orchestration end to end: a fault-free and a
+# chaos-injected (kill + stall + corrupt) multi-process sweep must
+# both merge byte-identically to the single-process baseline, and the
+# shard-smoke/v1 report must satisfy the checker — as must the
+# committed artifact. The build is paid untimed; the smoke itself
+# must finish within 10s.
+cargo build --release --quiet --package orchestrator --bin nocomm-shard
+shard_out="${TMPDIR:-/tmp}/shard_smoke.ci.json"
+start=$(date +%s)
+cargo run --release --quiet --package orchestrator --bin nocomm-shard -- --smoke --out "$shard_out"
+elapsed=$(( $(date +%s) - start ))
+echo "shard smoke: ${elapsed}s"
+if [ "$elapsed" -ge 10 ]; then
+    echo "shard smoke: exceeded the 10s runtime budget" >&2
+    exit 1
+fi
+cargo run --package xtask --quiet -- shard-check "$shard_out"
+cargo run --package xtask --quiet -- shard-check results/shard_smoke.json
+rm -f "$shard_out"
 
 echo "==> service smoke (daemon round trip)"
 # Starts the query daemon on an ephemeral port and round-trips one

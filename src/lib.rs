@@ -13,6 +13,7 @@
 //! | [`uniform_sums`] | CDFs/densities of sums of uniforms (Lemmas 2.4/2.5/2.7, Irwin–Hall) |
 //! | [`decision`] | the paper's core: winning probabilities, optimality conditions, optimal algorithms |
 //! | [`simulator`] | multi-threaded Monte-Carlo validation of every closed form |
+//! | [`orchestrator`] | crash-surviving multi-process sweep sharding with bit-identical merge |
 //! | [`service`] | the `nocomm-service` query daemon: analytics and simulations over TCP |
 //! | [`obs`] | counters, histograms, deadlines — the observability toolkit |
 //!
@@ -35,6 +36,7 @@ pub use bigint;
 pub use decision;
 pub use geometry;
 pub use obs;
+pub use orchestrator;
 pub use polynomial;
 pub use rational;
 pub use service;
